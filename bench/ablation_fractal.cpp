@@ -1,0 +1,57 @@
+// Section II cross-check (Yook, Jeong & Barabasi): the box-counting
+// fractal dimension of router locations — the paper confirms ~1.5 for its
+// datasets. Also an ablation over box-size sweeps, and a uniform-scatter
+// control showing what dimension a Waxman-style placement would give.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "generators/waxman_gen.h"
+#include "geo/box_counting.h"
+
+int main() {
+  using namespace geonet;
+  bench::print_banner("ablation_fractal",
+                      "Section II fractal-dimension cross-check");
+  const auto& s = bench::scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+  const auto locations = graph.locations();
+
+  report::Table table({"Point set", "Region", "dimension", "r^2"});
+  for (const auto& region : geo::regions::paper_study_regions()) {
+    const auto result = geo::box_counting_dimension(locations, region);
+    table.add_row({"measured dataset", region.name,
+                   report::fmt(result.dimension, 2),
+                   report::fmt(result.fit.r_squared, 2)});
+  }
+
+  // Control: uniform random placement (Waxman assumption 1) has dimension
+  // near 2 — visibly different from real, clustered infrastructure.
+  generators::WaxmanOptions waxman;
+  waxman.node_count = locations.size() / 2;
+  waxman.beta = 0.0;  // placement only, no links needed
+  const auto uniform = generators::generate_waxman(geo::regions::us(), waxman);
+  const auto control =
+      geo::box_counting_dimension(uniform.locations(), geo::regions::us());
+  table.add_row({"uniform control", "US", report::fmt(control.dimension, 2),
+                 report::fmt(control.fit.r_squared, 2)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Sweep: dimension stability across box-size ranges (US).
+  report::Table sweep({"min box (arcmin)", "max box", "scales", "dimension"});
+  for (const double min_box : {15.0, 30.0, 60.0}) {
+    for (const std::size_t scales : {5, 7}) {
+      const auto result = geo::box_counting_dimension(
+          locations, geo::regions::us(), min_box, 960.0, scales);
+      sweep.add_row({report::fmt(min_box, 0), "960", std::to_string(scales),
+                     report::fmt(result.dimension, 2)});
+    }
+  }
+  std::printf("%s\n", sweep.to_string().c_str());
+  std::printf("check: the measured dataset's dimension sits well below the\n"
+              "uniform control's ~2 (paper/Yook et al.: ~1.5 at full scale;\n"
+              "smaller synthetic worlds read lower because the number of\n"
+              "distinct metro locations caps the fine-scale box counts).\n");
+  return 0;
+}

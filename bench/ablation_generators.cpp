@@ -1,0 +1,145 @@
+// Section VII ablation: run the paper's analysis pipeline over topology
+// generators — the geography-aware generator this library provides, the
+// classic Waxman model, and Barabasi-Albert — and check which of the
+// paper's empirical signatures each reproduces. Also sweeps the
+// ground-truth long-haul knob that controls the Table V split.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/density.h"
+#include "core/link_domains.h"
+#include "core/validate.h"
+#include "core/waxman_fit.h"
+#include "generators/ba_gen.h"
+#include "generators/geo_gen.h"
+#include "generators/hierarchical_gen.h"
+#include "generators/inet_gen.h"
+#include "generators/waxman_gen.h"
+#include "net/graph_algos.h"
+#include "stats/ccdf.h"
+
+namespace {
+
+using namespace geonet;
+
+struct Signature {
+  std::size_t realism_passed = 0;
+  std::size_t realism_total = 0;
+  double density_slope = 0.0;
+  double lambda_miles = 0.0;
+  double fraction_sensitive = 0.0;
+  double degree_tail_slope = 0.0;
+  double intradomain_fraction = 0.0;
+};
+
+Signature measure(const net::AnnotatedGraph& graph,
+                  const population::WorldPopulation& world) {
+  Signature sig;
+  const auto realism = core::check_realism(graph, world, geo::regions::us());
+  sig.realism_passed = realism.passed;
+  sig.realism_total = realism.checks.size();
+  const geo::Region us = geo::regions::us();
+  sig.density_slope =
+      core::analyze_density(graph, world, us).loglog_fit.slope;
+  const auto w = core::characterize_region(graph, us);
+  sig.lambda_miles = w.lambda_miles;
+  sig.fraction_sensitive = w.fraction_links_below_limit;
+  const auto degrees = graph.degrees();
+  std::vector<double> values(degrees.begin(), degrees.end());
+  sig.degree_tail_slope = stats::fit_ccdf_tail(values, 0.3).slope;
+  sig.intradomain_fraction =
+      core::analyze_link_domains(graph).intradomain_fraction();
+  return sig;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("ablation_generators",
+                      "Section VII topology-generator comparison");
+  const auto& s = bench::scenario();
+  const std::size_t n = std::max<std::size_t>(
+      4000, s.truth().topology().router_count() / 2);
+
+  report::Table table({"Generator", "density slope", "lambda (mi)",
+                       "% dist-sensitive", "deg tail", "intra %",
+                       "realism"});
+  const auto add = [&](const char* name, const Signature& sig) {
+    table.add_row({name, report::fmt(sig.density_slope, 2),
+                   report::fmt(sig.lambda_miles, 0),
+                   report::fmt_percent(sig.fraction_sensitive),
+                   report::fmt(sig.degree_tail_slope, 2),
+                   report::fmt_percent(sig.intradomain_fraction),
+                   std::to_string(sig.realism_passed) + "/" +
+                       std::to_string(sig.realism_total)});
+  };
+
+  {
+    generators::GeoGeneratorOptions options;
+    options.router_count = n;
+    const auto result = generators::generate_geo_topology(s.world(), options);
+    add("GeoGenerator", measure(result.graph, s.world()));
+  }
+  {
+    generators::WaxmanOptions options;
+    options.node_count = std::min<std::size_t>(n, 6000);
+    options.alpha = 0.05;
+    options.beta = 0.02;
+    const auto graph = generators::generate_waxman(geo::regions::us(), options);
+    add("Waxman", measure(graph, s.world()));
+  }
+  {
+    generators::BarabasiAlbertOptions options;
+    options.node_count = n;
+    const auto graph =
+        generators::generate_barabasi_albert(geo::regions::us(), options);
+    add("BarabasiAlbert", measure(graph, s.world()));
+  }
+  {
+    generators::InetOptions options;
+    options.node_count = n;
+    const auto graph = generators::generate_inet(geo::regions::us(), options);
+    add("Inet", measure(graph, s.world()));
+  }
+  {
+    generators::TransitStubOptions options;
+    options.transit_domains = std::max<std::size_t>(4, n / 1500);
+    options.stubs_per_transit = 8;
+    options.stub_nodes_mean = 12;
+    const auto graph =
+        generators::generate_transit_stub(geo::regions::us(), options);
+    add("TransitStub", measure(graph, s.world()));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "reading: only the geography-aware generator reproduces all of the\n"
+      "paper's signatures at once — superlinear density (>1), a mile-scale\n"
+      "distance decay, a dominant distance-sensitive link share, a heavy\n"
+      "degree tail, and a realistic intradomain majority. Waxman gets the\n"
+      "distance decay but places nodes uniformly (density slope near 0 and\n"
+      "no AS structure); BA and Inet get degree tails but no geography;\n"
+      "TransitStub has hierarchy and an intradomain majority, but its\n"
+      "uniform domain placement still misses the population law.\n\n");
+
+  // Knob sweep: structural (distance-free) link probability drives the
+  // fraction of distance-sensitive links (the Table V split).
+  report::Table sweep({"structural link prob", "% dist-sensitive",
+                       "lambda (mi)"});
+  for (const double p : {0.05, 0.30, 0.70}) {
+    synth::GroundTruthOptions growth;
+    growth.interface_scale = s.options().scale * 0.5;
+    growth.structural_link_probability = p;
+    growth.seed = 777;
+    const auto truth = synth::GroundTruth::build(s.world(), growth);
+    const auto result = generators::topology_from_truth(truth);
+    const auto w = core::characterize_region(result.graph, geo::regions::us());
+    sweep.add_row({report::fmt(p, 2),
+                   report::fmt_percent(w.fraction_links_below_limit),
+                   report::fmt(w.lambda_miles, 0)});
+  }
+  std::printf("%s", sweep.to_string().c_str());
+  std::printf("(more structural long-haul links -> smaller distance-sensitive\n"
+              " share, mirroring how the 75-95%% range arises in Table V)\n");
+  return 0;
+}

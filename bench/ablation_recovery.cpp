@@ -1,0 +1,129 @@
+// Pipeline validation the original authors could not do: plant known
+// parameters in the ground truth, run the full measurement + analysis
+// pipeline, and check the recovered values track the planted ones.
+//
+// Two sweeps:
+//   1. planted placement exponent alpha  -> recovered Figure 2 slope
+//   2. planted link decay scale lambda   -> recovered Figure 5 lambda
+//
+// Recovery is attenuated (patch aggregation, truncation, city snapping),
+// so the check is *monotone tracking*, not equality — this bench
+// quantifies exactly how much the paper's methodology compresses the
+// underlying exponents.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/density.h"
+#include "core/waxman_fit.h"
+
+namespace {
+
+using namespace geonet;
+
+/// A single-region world (the US profile only) so sweeps are cheap.
+population::EconomicProfile us_profile() {
+  auto profile = *population::profile_by_name("USA");
+  return profile;
+}
+
+struct SweepPoint {
+  double planted;
+  double recovered;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner("ablation_recovery",
+                      "planted-vs-recovered parameter validation");
+  const double scale = bench::scenario().options().scale;
+
+  // --- Sweep 1: placement exponent. ---
+  report::Table alpha_table({"planted alpha", "recovered slope", "r^2"});
+  std::vector<SweepPoint> alpha_points;
+  for (const double alpha : {1.0, 1.4, 1.8, 2.4}) {
+    auto profile = us_profile();
+    profile.placement_alpha = alpha;
+    const auto world = population::WorldPopulation::build(31, {profile});
+
+    synth::GroundTruthOptions growth;
+    growth.interface_scale = scale;
+    growth.seed = 32;
+    const auto truth = synth::GroundTruth::build(world, growth);
+
+    const auto skitter = synth::run_skitter(truth);
+    const synth::GeoMapper mapper(synth::GeoMapper::ixmapper_profile(),
+                                  [&] {
+                                    std::vector<geo::GeoPoint> cities;
+                                    for (const auto& c :
+                                         world.grid_for(0).cities()) {
+                                      cities.push_back(c.center);
+                                    }
+                                    return cities;
+                                  }(),
+                                  33);
+    const auto graph =
+        synth::process_interface_observation(truth, skitter, mapper);
+
+    const auto density =
+        core::analyze_density(graph, world, geo::regions::us());
+    alpha_table.add_row({report::fmt(alpha, 1),
+                         report::fmt(density.loglog_fit.slope, 2),
+                         report::fmt(density.loglog_fit.r_squared, 2)});
+    alpha_points.push_back({alpha, density.loglog_fit.slope});
+  }
+  std::printf("%s", alpha_table.to_string().c_str());
+  bool alpha_monotone = true;
+  for (std::size_t i = 1; i < alpha_points.size(); ++i) {
+    alpha_monotone &= alpha_points[i].recovered > alpha_points[i - 1].recovered;
+  }
+  std::printf("recovered slope tracks planted alpha monotonically: %s\n\n",
+              alpha_monotone ? "yes" : "NO");
+
+  // --- Sweep 2: link decay scale. ---
+  report::Table lambda_table({"planted lambda (mi)", "recovered lambda (mi)",
+                              "% dist-sensitive"});
+  std::vector<SweepPoint> lambda_points;
+  for (const double lambda : {50.0, 105.0, 200.0}) {
+    auto profile = us_profile();
+    profile.link_distance_scale_miles = lambda;
+    const auto world = population::WorldPopulation::build(31, {profile});
+
+    synth::GroundTruthOptions growth;
+    growth.interface_scale = scale;
+    growth.seed = 34;
+    const auto truth = synth::GroundTruth::build(world, growth);
+    const auto skitter = synth::run_skitter(truth);
+    const synth::GeoMapper mapper(synth::GeoMapper::ixmapper_profile(),
+                                  [&] {
+                                    std::vector<geo::GeoPoint> cities;
+                                    for (const auto& c :
+                                         world.grid_for(0).cities()) {
+                                      cities.push_back(c.center);
+                                    }
+                                    return cities;
+                                  }(),
+                                  35);
+    const auto graph =
+        synth::process_interface_observation(truth, skitter, mapper);
+    const auto w = core::characterize_region(graph, geo::regions::us());
+    lambda_table.add_row({report::fmt(lambda, 0),
+                          report::fmt(w.lambda_miles, 0),
+                          report::fmt_percent(w.fraction_links_below_limit)});
+    lambda_points.push_back({lambda, w.lambda_miles});
+  }
+  std::printf("%s", lambda_table.to_string().c_str());
+  bool lambda_monotone = true;
+  for (std::size_t i = 1; i < lambda_points.size(); ++i) {
+    lambda_monotone &=
+        lambda_points[i].recovered > lambda_points[i - 1].recovered;
+  }
+  std::printf("recovered lambda tracks planted lambda monotonically: %s\n",
+              lambda_monotone ? "yes" : "NO");
+  std::printf("\n(the gap between planted and recovered values quantifies the\n"
+              " attenuation built into the paper's own methodology: 75-arcmin\n"
+              " patch aggregation, >=1-router truncation, city-granularity\n"
+              " geolocation, and pair-density weighting of f(d).)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace geonet::bench {
+
+const synth::Scenario& scenario() {
+  static const synth::Scenario instance = [] {
+    const auto options = synth::ScenarioOptions::defaults();
+    std::fprintf(stderr, "[geonet] building scenario at scale %.3f...\n",
+                 options.scale);
+    synth::Scenario s = synth::Scenario::build(options);
+    std::fprintf(stderr, "[geonet] scenario ready\n");
+    return s;
+  }();
+  return instance;
+}
+
+const std::vector<DatasetRef>& all_datasets() {
+  static const std::vector<DatasetRef> datasets = {
+      {synth::DatasetKind::kMercator, synth::MapperKind::kIxMapper,
+       "IxMapper, Mercator"},
+      {synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper,
+       "IxMapper, Skitter"},
+      {synth::DatasetKind::kMercator, synth::MapperKind::kEdgeScape,
+       "EdgeScape, Mercator"},
+      {synth::DatasetKind::kSkitter, synth::MapperKind::kEdgeScape,
+       "EdgeScape, Skitter"},
+  };
+  return datasets;
+}
+
+const std::vector<DatasetRef>& ixmapper_datasets() {
+  static const std::vector<DatasetRef> datasets = {
+      {synth::DatasetKind::kMercator, synth::MapperKind::kIxMapper,
+       "Mercator"},
+      {synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper,
+       "Skitter"},
+  };
+  return datasets;
+}
+
+void print_banner(const char* experiment, const char* paper_artifact) {
+  std::printf("================================================================\n");
+  std::printf("%s  --  reproduces %s\n", experiment, paper_artifact);
+  std::printf("  (paper: On the Geographic Location of Internet Resources,\n");
+  std::printf("   Lakhina/Byers/Crovella/Matta, IMC 2002; synthetic substrate)\n");
+  std::printf("================================================================\n");
+}
+
+void save_series(const std::string& filename, const report::Series& series,
+                 const std::string& comment) {
+  const std::string path = report::results_dir() + "/" + filename;
+  if (report::write_series(path, series, comment)) {
+    std::printf("  [series written: %s]\n", path.c_str());
+  }
+}
+
+namespace paper {
+
+DensitySlopes density_slope(const std::string& region_name) {
+  if (region_name == "US") return {1.20, 1.26};
+  if (region_name == "Europe") return {1.56, 1.60};
+  if (region_name == "Japan") return {1.75, 1.71};
+  return {0.0, 0.0};
+}
+
+SemilogSlopes semilog_slope(const std::string& region_name) {
+  if (region_name == "US") return {-0.00691, -0.00705};
+  if (region_name == "Europe") return {-0.0128, -0.0123};
+  if (region_name == "Japan") return {-0.00689, -0.00882};
+  return {0.0, 0.0};
+}
+
+SensitivityRow sensitivity(const std::string& region_name) {
+  if (region_name == "US") return {820.0, 0.821, 818.0, 0.772};
+  if (region_name == "Europe") return {383.0, 0.973, 366.0, 0.954};
+  if (region_name == "Japan") return {165.0, 0.915, 116.0, 0.928};
+  return {0.0, 0.0, 0.0, 0.0};
+}
+
+LinkDomainRow link_domains(const std::string& scope_name) {
+  if (scope_name == "World") return {146936, 1664.0, 715997, 757.0};
+  if (scope_name == "US") return {77367, 762.0, 354593, 421.0};
+  if (scope_name == "Europe") return {15365, 88.6, 99023, 29.1};
+  if (scope_name == "Japan") return {3651, 181.0, 44701, 54.5};
+  return {0, 0, 0, 0};
+}
+
+}  // namespace paper
+
+}  // namespace geonet::bench

@@ -1,0 +1,78 @@
+#pragma once
+
+// Shared infrastructure for the experiment binaries: one canonical
+// Scenario per process (GEONET_SCALE-controlled), the paper's reference
+// numbers, and printing helpers for paper-vs-measured rows.
+
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "report/series.h"
+#include "report/table.h"
+#include "synth/scenario.h"
+
+namespace geonet::bench {
+
+/// The process-wide scenario; built on first use and reported to stderr.
+const synth::Scenario& scenario();
+
+/// All four (dataset, mapper) combinations in Table I order.
+struct DatasetRef {
+  synth::DatasetKind dataset;
+  synth::MapperKind mapper;
+  const char* label;
+};
+const std::vector<DatasetRef>& all_datasets();
+
+/// The (dataset, mapper) pairs the paper's main body uses (IxMapper).
+const std::vector<DatasetRef>& ixmapper_datasets();
+
+/// Prints the standard experiment banner (scale, dataset sizes).
+void print_banner(const char* experiment, const char* paper_artifact);
+
+/// Writes a two-column series under results/ and reports the path.
+void save_series(const std::string& filename, const report::Series& series,
+                 const std::string& comment);
+
+// -----------------------------------------------------------------
+// Paper reference values (Tables II-VI, Figures 2 and 5), used to print
+// the expected numbers next to the measured ones.
+// -----------------------------------------------------------------
+namespace paper {
+
+/// Figure 2 fitted density slopes, IxMapper panels.
+struct DensitySlopes {
+  double mercator;
+  double skitter;
+};
+DensitySlopes density_slope(const std::string& region_name);
+
+/// Figure 5 semilog slopes (per mile), IxMapper panels.
+struct SemilogSlopes {
+  double mercator;
+  double skitter;
+};
+SemilogSlopes semilog_slope(const std::string& region_name);
+
+/// Table V rows (IxMapper): limit (mi) and % links below.
+struct SensitivityRow {
+  double mercator_limit_miles;
+  double mercator_fraction_below;
+  double skitter_limit_miles;
+  double skitter_fraction_below;
+};
+SensitivityRow sensitivity(const std::string& region_name);
+
+/// Table VI rows (Skitter): counts and mean lengths.
+struct LinkDomainRow {
+  double inter_count;
+  double inter_mean_miles;
+  double intra_count;
+  double intra_mean_miles;
+};
+LinkDomainRow link_domains(const std::string& scope_name);
+
+}  // namespace paper
+
+}  // namespace geonet::bench

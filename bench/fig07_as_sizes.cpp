@@ -1,0 +1,59 @@
+// Figure 7 (and appendix Figure 15): log-log complementary distributions
+// of the three AS size measures — number of interfaces, number of
+// distinct locations, and AS degree — all long-tailed.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/as_analysis.h"
+#include "stats/summary.h"
+#include "stats/ccdf.h"
+
+int main() {
+  using namespace geonet;
+  bench::print_banner("fig07_as_sizes", "Figure 7 (+ Figure 15)");
+  const auto& s = bench::scenario();
+
+  report::Table table({"Dataset", "Measure", "ASes", "max", "median",
+                       "tail slope", "tail r^2"});
+  for (const auto& ref : bench::all_datasets()) {
+    const auto analysis = core::analyze_as_sizes(s.graph(ref.dataset, ref.mapper));
+    struct Measure {
+      const char* name;
+      std::vector<double> values;
+      stats::LinearFit tail;
+    };
+    const std::vector<Measure> measures = {
+        {"interfaces", analysis.node_counts(), analysis.tail_nodes},
+        {"locations", analysis.location_counts(), analysis.tail_locations},
+        {"degree", analysis.degrees(), analysis.tail_degree},
+    };
+    for (const auto& m : measures) {
+      double max_value = 0.0;
+      for (const double v : m.values) max_value = std::max(max_value, v);
+      table.add_row({ref.label, m.name, report::fmt_count(m.values.size()),
+                     report::fmt(max_value, 0),
+                     report::fmt(stats::quantile(m.values, 0.5), 0),
+                     report::fmt(m.tail.slope, 2),
+                     report::fmt(m.tail.r_squared, 2)});
+      if (ref.dataset == synth::DatasetKind::kSkitter &&
+          ref.mapper == synth::MapperKind::kIxMapper) {
+        const auto ccdf = stats::empirical_ccdf(m.values);
+        const auto ll = stats::log_log(ccdf);
+        report::Series series;
+        series.name = std::string("log10(") + m.name + ") vs log10(P[X>x])";
+        for (const auto& pt : ll) series.points.push_back({pt.x, pt.p});
+        bench::save_series(std::string("fig07_") + m.name + ".dat", series,
+                           "Figure 7 CCDF");
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("check: all three measures span orders of magnitude with\n"
+              "negative log-log tail slopes (long tails), as in Figure 7;\n"
+              "the locations measure behaves like the other two — the\n"
+              "paper's new observation.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9: CDFs of AS convex hull area for the World and for the US and
+// Europe restrictions. ~80% of ASes in the paper have one or two
+// locations, hence zero hull area; the rest spread over many decades.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.h"
+#include "core/hull_analysis.h"
+#include "stats/summary.h"
+#include "stats/ccdf.h"
+
+int main() {
+  using namespace geonet;
+  bench::print_banner("fig09_hull_cdf", "Figure 9");
+  const auto& s = bench::scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  struct Scope {
+    const char* name;
+    std::optional<geo::Region> region;
+  };
+  const Scope scopes[] = {{"World", std::nullopt},
+                          {"US", geo::regions::us()},
+                          {"Europe", geo::regions::europe()}};
+
+  report::Table table({"Scope", "ASes", "zero-area", "median +area (mi^2)",
+                       "p99 (mi^2)"});
+  for (const auto& scope : scopes) {
+    core::HullOptions options;
+    options.restrict_to = scope.region;
+    const auto analysis = core::analyze_hulls(graph, options);
+
+    std::vector<double> positive;
+    std::vector<double> all_areas;
+    for (const auto& r : analysis.records) {
+      all_areas.push_back(r.hull_area_sq_miles);
+      if (r.hull_area_sq_miles > 0.0) positive.push_back(r.hull_area_sq_miles);
+    }
+    table.add_row({scope.name, report::fmt_count(analysis.records.size()),
+                   report::fmt_percent(analysis.zero_area_fraction),
+                   report::fmt(stats::quantile(positive, 0.5), 0),
+                   report::fmt(stats::quantile(positive, 0.99), 0)});
+
+    const auto cdf = stats::empirical_cdf(all_areas);
+    report::Series series{"hull area (mi^2) vs P[X<=x]", {}};
+    for (const auto& pt : cdf) series.points.push_back({pt.x, pt.p});
+    bench::save_series(std::string("fig09_") + scope.name + ".dat", series,
+                       "Figure 9 hull-area CDF");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("check: a large point mass at zero area (paper: ~80%%; this\n"
+              "substrate: ~half) followed by wide dispersion spanning many\n"
+              "orders of magnitude, for all three scopes.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// google-benchmark microbenchmarks for the performance-critical kernels:
+// great-circle distance, LPM trie lookups, convex hulls, the three
+// pair-distance histogram engines, grid tallies, and end-to-end synthesis.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/distance_pref.h"
+#include "geo/convex_hull.h"
+#include "geo/distance.h"
+#include "geo/grid.h"
+#include "net/prefix_trie.h"
+#include "population/synth_population.h"
+#include "stats/fenwick.h"
+#include "stats/rng.h"
+#include "synth/ground_truth.h"
+
+namespace {
+
+using namespace geonet;
+
+std::vector<geo::GeoPoint> random_points(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<geo::GeoPoint> pts;
+  pts.reserve(n);
+  const geo::Region us = geo::regions::us();
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(us.south_deg, us.north_deg),
+                   rng.uniform(us.west_deg, us.east_deg)});
+  }
+  return pts;
+}
+
+void BM_GreatCircle(benchmark::State& state) {
+  const auto pts = random_points(1024, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = pts[i % pts.size()];
+    const auto& b = pts[(i * 7 + 3) % pts.size()];
+    benchmark::DoNotOptimize(geo::great_circle_miles(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_GreatCircle);
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  stats::Rng rng(2);
+  net::PrefixTrie trie;
+  for (int i = 0; i < state.range(0); ++i) {
+    trie.insert({net::Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                 static_cast<std::uint8_t>(8 + rng.uniform_index(17))},
+                static_cast<std::uint32_t>(i));
+  }
+  std::uint32_t q = 0x01020304;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.longest_match(net::Ipv4Addr{q}));
+    q = q * 1664525u + 1013904223u;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixTrieLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ConvexHull(benchmark::State& state) {
+  const auto geo_pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
+  const geo::AlbersProjection proj = geo::AlbersProjection::world();
+  std::vector<geo::PlanarPoint> pts;
+  for (const auto& p : geo_pts) pts.push_back(proj.project(p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::convex_hull(pts));
+  }
+}
+BENCHMARK(BM_ConvexHull)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GridTally(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 4);
+  const geo::Grid grid(geo::regions::us(), 7.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.tally(pts));
+  }
+}
+BENCHMARK(BM_GridTally)->Arg(10000)->Arg(100000);
+
+void BM_FenwickSample(benchmark::State& state) {
+  stats::Rng rng(5);
+  std::vector<double> weights(100000);
+  for (auto& w : weights) w = rng.uniform();
+  const stats::FenwickTree tree(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.sample(rng));
+  }
+}
+BENCHMARK(BM_FenwickSample);
+
+void BM_PairHistogram(benchmark::State& state) {
+  const auto method = static_cast<core::PairCountMethod>(state.range(1));
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 6);
+  const geo::Region us = geo::regions::us();
+  core::DistancePrefOptions options;
+  options.method = method;
+  options.sample_pairs = 500000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::pair_distance_histogram(pts, 0.0, 3500.0, 100, us, options));
+  }
+  state.SetLabel(method == core::PairCountMethod::kExact    ? "exact"
+                 : method == core::PairCountMethod::kGrid   ? "grid"
+                                                            : "sampled");
+}
+BENCHMARK(BM_PairHistogram)
+    ->Args({2000, 0})   // exact
+    ->Args({2000, 1})   // grid
+    ->Args({2000, 2})   // sampled
+    ->Args({20000, 1})
+    ->Args({20000, 2});
+
+void BM_GroundTruthBuild(benchmark::State& state) {
+  const auto world = population::WorldPopulation::build(7);
+  synth::GroundTruthOptions options;
+  options.interface_scale = 0.01 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::GroundTruth::build(world, options));
+  }
+}
+BENCHMARK(BM_GroundTruthBuild)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_PopulationSynthesis(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        population::WorldPopulation::build(static_cast<std::uint64_t>(
+            state.iterations())));
+  }
+}
+BENCHMARK(BM_PopulationSynthesis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

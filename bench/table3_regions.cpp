@@ -1,0 +1,58 @@
+// Table III: variation in people-per-interface density across world
+// economic regions, and the far smaller variation in online users per
+// interface (Skitter + IxMapper).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/density.h"
+
+int main() {
+  using namespace geonet;
+  bench::print_banner("table3_regions", "Table III");
+  const auto& s = bench::scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  const auto rows = core::economic_region_table(graph, s.world());
+
+  // Paper values for the last two columns.
+  struct PaperRow {
+    const char* name;
+    double people_per;
+    double online_per;
+  };
+  const PaperRow paper_rows[] = {
+      {"Africa", 100011, 495},   {"South America", 33752, 2161},
+      {"Mexico", 35534, 784},    {"W. Europe", 3817, 1489},
+      {"Japan", 3631, 1250},     {"Australia", 975, 552},
+      {"USA", 1061, 588},        {"World", 10032, 910},
+  };
+
+  report::Table table({"Region", "Pop (M)", "Nodes", "People/Node",
+                       "Online (M)", "Online/Node", "paper P/N", "paper O/N"});
+  double min_people = 1e18, max_people = 0.0;
+  double min_online = 1e18, max_online = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    table.add_row({row.name, report::fmt(row.population_millions, 0),
+                   report::fmt_count(row.nodes),
+                   report::fmt(row.people_per_node, 0),
+                   report::fmt(row.online_millions, 1),
+                   report::fmt(row.online_per_node, 0),
+                   report::fmt(paper_rows[i].people_per, 0),
+                   report::fmt(paper_rows[i].online_per, 0)});
+    if (i + 1 < rows.size() && row.nodes > 0) {  // exclude the World row
+      min_people = std::min(min_people, row.people_per_node);
+      max_people = std::max(max_people, row.people_per_node);
+      min_online = std::min(min_online, row.online_per_node);
+      max_online = std::max(max_online, row.online_per_node);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("people/node spread : %.0fx   (paper: >100x)\n",
+              max_people / min_people);
+  std::printf("online/node spread : %.1fx   (paper: ~4x)\n",
+              max_online / min_online);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table IV + Figure 3: the homogeneity test. The two halves of the US
+// show similar infrastructure deployment; Central America is drastically
+// different, justifying the per-region analysis.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/density.h"
+#include "report/ascii_map.h"
+
+int main() {
+  using namespace geonet;
+  bench::print_banner("table4_homogeneity", "Table IV + Figure 3");
+  const auto& s = bench::scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  const auto rows = core::homogeneity_table(graph, s.world());
+  struct PaperRow {
+    double pop_millions;
+    double people_per;
+  };
+  const PaperRow paper_rows[] = {{168, 991}, {132, 1305}, {154, 35533}};
+
+  report::Table table({"Region", "Pop (M)", "Nodes", "People/Node",
+                       "paper Pop", "paper P/N"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({rows[i].name, report::fmt(rows[i].population_millions, 0),
+                   report::fmt_count(rows[i].nodes),
+                   report::fmt(rows[i].people_per_node, 0),
+                   report::fmt(paper_rows[i].pop_millions, 0),
+                   report::fmt(paper_rows[i].people_per, 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (rows[0].nodes > 0 && rows[1].nodes > 0 && rows[2].nodes > 0) {
+    std::printf("N-US vs S-US people/node ratio : %.2f (paper: 1.32 — similar)\n",
+                rows[1].people_per_node / rows[0].people_per_node);
+    std::printf("CentralAm vs N-US ratio        : %.1f (paper: 35.9 — different)\n",
+                rows[2].people_per_node / rows[0].people_per_node);
+  }
+
+  std::printf("\nFigure 3 regions (node density):\n");
+  for (const auto& region :
+       {geo::regions::northern_us(), geo::regions::southern_us(),
+        geo::regions::central_america()}) {
+    std::printf("\n-- %s --\n%s", region.name.c_str(),
+                report::ascii_density_map(graph.locations(), region, 66).c_str());
+  }
+  return 0;
+}

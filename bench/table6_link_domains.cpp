@@ -1,0 +1,78 @@
+// Table VI: intradomain versus interdomain links — counts and mean
+// lengths for the World and the three study regions. The paper finds
+// intradomain links are >= 83% of links and roughly half as long as
+// interdomain links.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.h"
+#include "core/link_domains.h"
+#include "core/waxman_fit.h"
+
+int main() {
+  using namespace geonet;
+  bench::print_banner("table6_link_domains", "Table VI");
+  const auto& s = bench::scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  struct Scope {
+    const char* name;
+    std::optional<geo::Region> region;
+  };
+  const Scope scopes[] = {{"World", std::nullopt},
+                          {"US", geo::regions::us()},
+                          {"Europe", geo::regions::europe()},
+                          {"Japan", geo::regions::japan()}};
+
+  report::Table table({"Scope", "Inter cnt", "Inter mean mi", "Intra cnt",
+                       "Intra mean mi", "intra %", "paper inter mi",
+                       "paper intra mi"});
+  for (const auto& scope : scopes) {
+    const auto stats = core::analyze_link_domains(graph, scope.region);
+    const auto paper = bench::paper::link_domains(scope.name);
+    table.add_row({scope.name, report::fmt_count(stats.interdomain_count),
+                   report::fmt(stats.interdomain_mean_miles, 1),
+                   report::fmt_count(stats.intradomain_count),
+                   report::fmt(stats.intradomain_mean_miles, 1),
+                   report::fmt_percent(stats.intradomain_fraction()),
+                   report::fmt(paper.inter_mean_miles, 1),
+                   report::fmt(paper.intra_mean_miles, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto world = core::analyze_link_domains(graph);
+  std::printf("inter/intra mean-length ratio (World): %.2f (paper: ~2.2)\n\n",
+              world.intradomain_mean_miles > 0.0
+                  ? world.interdomain_mean_miles / world.intradomain_mean_miles
+                  : 0.0);
+
+  // Decomposition f(d) = f_intra(d) + f_inter(d): how distance-sensitive
+  // is each link class on its own? (The paper observes intradomain mean
+  // lengths sit inside the Table V sensitivity limits while interdomain
+  // means approach or exceed them.)
+  report::Table decompose({"Region", "class", "lambda (mi)",
+                           "% links < limit"});
+  for (const auto& region : geo::regions::paper_study_regions()) {
+    for (const auto filter : {core::DomainFilter::kIntradomainOnly,
+                              core::DomainFilter::kInterdomainOnly}) {
+      core::DistancePrefOptions pref_options;
+      pref_options.domain_filter = filter;
+      const auto pref =
+          core::distance_preference(graph, region, pref_options);
+      core::WaxmanFitOptions fit_options;
+      fit_options.small_d_cut_miles = core::paper_small_d_cut(region);
+      const auto w = core::characterize_waxman(pref, fit_options);
+      decompose.add_row(
+          {region.name,
+           filter == core::DomainFilter::kIntradomainOnly ? "intra" : "inter",
+           report::fmt(w.lambda_miles, 0),
+           report::fmt_percent(w.fraction_links_below_limit)});
+    }
+  }
+  std::printf("%s", decompose.to_string().c_str());
+  std::printf("(intradomain links carry the sharp distance decay; interdomain\n"
+              " links are flatter — consistent with Table VI's 2x lengths)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// analyze_topology: run the paper's geographic analyses on *any* annotated
+// topology file — the downstream-consumer path. Feed it a file written by
+// topology_generator (or your own graph in the same format) and get the
+// paper's signatures back: density-vs-population fit, distance preference
+// characterisation, AS size measures, hulls, link domains.
+//
+// Usage: analyze_topology <topology.graph> [region]
+//   region: US (default), Europe, Japan, World, ...
+
+#include <cstdio>
+
+#include "core/as_analysis.h"
+#include "core/density.h"
+#include "core/hull_analysis.h"
+#include "core/link_domains.h"
+#include "core/link_lengths.h"
+#include "core/validate.h"
+#include "core/waxman_fit.h"
+#include "net/graph_io.h"
+#include "population/synth_population.h"
+
+int main(int argc, char** argv) {
+  using namespace geonet;
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <topology.graph> [region]\n", argv[0]);
+    return 2;
+  }
+  std::string error;
+  const auto graph = net::read_graph_file(argv[1], &error);
+  if (!graph) {
+    std::fprintf(stderr, "failed to read %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  const geo::Region region =
+      (argc > 2 ? geo::regions::by_name(argv[2]) : std::nullopt)
+          .value_or(geo::regions::us());
+
+  std::printf("%s: %zu %s nodes, %zu links; analysing region %s\n",
+              argv[1], graph->node_count(), to_string(graph->kind()),
+              graph->edge_count(), region.name.c_str());
+
+  // Population reference: the library's synthetic world. For topologies
+  // generated elsewhere, substitute your own raster here.
+  const auto world = population::WorldPopulation::build(2002);
+
+  const auto density = core::analyze_density(*graph, world, region);
+  std::printf("\ndensity vs population (Fig 2): slope %.2f, r^2 %.2f over "
+              "%zu patches -> %s\n",
+              density.loglog_fit.slope, density.loglog_fit.r_squared,
+              density.patches.size(),
+              density.superlinear() ? "superlinear" : "NOT superlinear");
+
+  const auto waxman = core::characterize_region(*graph, region);
+  std::printf("distance preference (Figs 4-6, Table V): lambda %.0f mi, "
+              "limit %.0f mi, %.0f%% of links distance-sensitive\n",
+              waxman.lambda_miles, waxman.sensitivity_limit_miles,
+              100.0 * waxman.fraction_links_below_limit);
+
+  const auto as_sizes = core::analyze_as_sizes(*graph);
+  std::printf("AS structure (Figs 7-8): %zu ASes, corr(interfaces,locations) "
+              "%.2f, corr(interfaces,degree) %.2f\n",
+              as_sizes.records.size(), as_sizes.corr_nodes_locations,
+              as_sizes.corr_nodes_degree);
+
+  const auto hulls = core::analyze_hulls(*graph);
+  std::printf("geographic extent (Figs 9-10): %.0f%% of ASes with zero hull "
+              "area; dispersal threshold at ~%.0f locations\n",
+              100.0 * hulls.zero_area_fraction,
+              hulls.thresholds.by_locations);
+
+  const auto domains = core::analyze_link_domains(*graph);
+  std::printf("link domains (Table VI): %.0f%% intradomain; mean lengths "
+              "intra %.0f mi / inter %.0f mi\n",
+              100.0 * domains.intradomain_fraction(),
+              domains.intradomain_mean_miles, domains.interdomain_mean_miles);
+
+  const auto lengths = core::analyze_link_lengths(*graph);
+  std::printf("link lengths: median %.0f mi, mean %.0f mi, max %.0f mi\n",
+              lengths.summary.median, lengths.summary.mean,
+              lengths.summary.max);
+
+  std::printf("\nrealism verdict against the paper's findings:\n%s",
+              to_string(core::check_realism(*graph, world, region)).c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// mapper_accuracy: how much does the geolocation service matter?
+//
+// The paper runs every analysis twice (IxMapper and EdgeScape) and shows
+// the conclusions agree. This example quantifies the disagreement at the
+// node level: for a sample of observed interfaces, it maps each address
+// with both services and measures the distance between the two answers
+// and between each answer and the ground truth — something the paper's
+// authors could not do, because nobody knows the true location of a real
+// router. A synthetic substrate does.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "geo/distance.h"
+#include "report/table.h"
+#include "stats/summary.h"
+#include "synth/scenario.h"
+
+int main() {
+  using namespace geonet;
+
+  synth::ScenarioOptions options = synth::ScenarioOptions::defaults();
+  options.scale = std::min(options.scale, 0.08);
+  std::printf("building scenario at scale %.3f...\n", options.scale);
+  const synth::Scenario scenario = synth::Scenario::build(options);
+  const auto& truth = scenario.truth();
+
+  // Rebuild the two mappers exactly as the scenario pipeline does.
+  std::vector<geo::GeoPoint> city_db;
+  for (const auto& grid : scenario.world().grids()) {
+    for (const auto& city : grid.cities()) city_db.push_back(city.center);
+  }
+  const synth::GeoMapper ixmapper(synth::GeoMapper::ixmapper_profile(),
+                                  city_db, options.seed ^ 0x1a11ULL);
+  const synth::GeoMapper edgescape(synth::GeoMapper::edgescape_profile(),
+                                   city_db, options.seed ^ 0xed6eULL);
+
+  std::vector<double> err_ix, err_es, disagree;
+  std::size_t ix_fail = 0, es_fail = 0;
+  for (const net::InterfaceId iface : scenario.skitter_raw().interfaces) {
+    const auto addr = truth.topology().interface(iface).addr;
+    const geo::GeoPoint real = truth.interface_location(iface);
+    const geo::GeoPoint home = truth.interface_as_home(iface);
+    const auto a = ixmapper.map(addr, real, home);
+    const auto b = edgescape.map(addr, real, home);
+    if (!a) ++ix_fail;
+    if (!b) ++es_fail;
+    if (a) err_ix.push_back(geo::great_circle_miles(*a, real));
+    if (b) err_es.push_back(geo::great_circle_miles(*b, real));
+    if (a && b) disagree.push_back(geo::great_circle_miles(*a, *b));
+  }
+
+  const auto row = [](const char* name, const std::vector<double>& xs) {
+    const auto s = stats::summarize(xs);
+    std::printf("%-22s n=%-7zu median=%6.1f mi  mean=%7.1f mi  p95=%7.1f mi\n",
+                name, s.n, s.median, s.mean, stats::quantile(xs, 0.95));
+  };
+  std::printf("\nper-interface geolocation error vs ground truth:\n");
+  row("IxMapper error", err_ix);
+  row("EdgeScape error", err_es);
+  row("IxMapper vs EdgeScape", disagree);
+  std::printf("\nfailure rates: IxMapper %.2f%%, EdgeScape %.2f%% "
+              "(paper: ~1.5%% / ~0.3%%)\n",
+              100.0 * static_cast<double>(ix_fail) /
+                  static_cast<double>(scenario.skitter_raw().interfaces.size()),
+              100.0 * static_cast<double>(es_fail) /
+                  static_cast<double>(scenario.skitter_raw().interfaces.size()));
+
+  // Does the mapping choice change the headline analysis? Compare the
+  // distance-sensitivity fraction computed from the two processed graphs.
+  std::printf("\nagreement fraction within 25 miles: %.1f%%\n",
+              100.0 *
+                  static_cast<double>(std::count_if(
+                      disagree.begin(), disagree.end(),
+                      [](double d) { return d < 25.0; })) /
+                  static_cast<double>(disagree.size()));
+  std::printf("(city-granularity agreement is what Padmanabhan & Subramanian\n"
+              " report for hostname-based techniques, and why the paper's\n"
+              " results are stable across mappers)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// measurement_study: the full reproduction in one program.
+//
+// Builds the synthetic planet, runs both measurement campaigns (Skitter-
+// and Mercator-style), maps them with both geolocation services, runs the
+// complete analysis pipeline on each of the four processed datasets, and
+// prints a compact cross-dataset consistency report — the paper's core
+// robustness claim ("consistent across two datasets and two mapping
+// methods").
+//
+// Usage: measurement_study [scale]
+//   scale: fraction of the paper's dataset sizes (default 0.08).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/study.h"
+#include "report/series.h"
+#include "report/table.h"
+#include "synth/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace geonet;
+
+  synth::ScenarioOptions options = synth::ScenarioOptions::defaults();
+  options.scale = 0.08;
+  if (argc > 1) {
+    const double parsed = std::atof(argv[1]);
+    if (parsed > 0.0) options.scale = parsed;
+  }
+
+  std::printf("building the synthetic planet and both measurement\n"
+              "campaigns at scale %.3f...\n\n", options.scale);
+  const synth::Scenario scenario = synth::Scenario::build(options);
+
+  core::StudyOptions study_options;
+  study_options.compute_fractal_dimension = false;
+
+  report::Table consistency({"Dataset", "US slope", "EU slope", "JP slope",
+                             "US lambda", "% sensitive (US)", "intra %",
+                             "corr(n,loc)"});
+  for (const auto dataset :
+       {synth::DatasetKind::kMercator, synth::DatasetKind::kSkitter}) {
+    for (const auto mapper :
+         {synth::MapperKind::kIxMapper, synth::MapperKind::kEdgeScape}) {
+      const auto& graph = scenario.graph(dataset, mapper);
+      const core::StudyReport r =
+          core::run_study(graph, scenario.world(), study_options);
+      std::printf("%s", core::summarize(r).c_str());
+      std::string md = report::results_dir() + "/study_" + r.dataset_name + ".md";
+      for (auto& c : md) {
+        if (c == '+') c = '_';
+      }
+      core::write_study_markdown(r, md);
+      consistency.add_row(
+          {r.dataset_name,
+           report::fmt(r.regions[0].density.loglog_fit.slope, 2),
+           report::fmt(r.regions[1].density.loglog_fit.slope, 2),
+           report::fmt(r.regions[2].density.loglog_fit.slope, 2),
+           report::fmt(r.regions[0].waxman.lambda_miles, 0),
+           report::fmt_percent(
+               r.regions[0].waxman.fraction_links_below_limit),
+           report::fmt_percent(r.world_links.intradomain_fraction()),
+           report::fmt(r.as_sizes.corr_nodes_locations, 2)});
+    }
+  }
+
+  std::printf("\n==== cross-dataset consistency (the paper's robustness "
+              "claim) ====\n%s",
+              consistency.to_string().c_str());
+  std::printf("\nall four rows should agree qualitatively: superlinear\n"
+              "density slopes, lambda of order 100 miles, a dominant\n"
+              "distance-sensitive link share, an intradomain majority, and\n"
+              "strongly correlated AS size measures.\n");
+  return 0;
+}

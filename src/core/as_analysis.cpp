@@ -1,0 +1,106 @@
+#include "net/topology.h"
+#include "core/as_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/summary.h"
+
+namespace geonet::core {
+
+namespace {
+
+std::vector<double> log10_of(const std::vector<double>& xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back(std::log10(std::max(x, 1e-12)));
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> AsSizeAnalysis::node_counts() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(static_cast<double>(r.node_count));
+  return out;
+}
+
+std::vector<double> AsSizeAnalysis::location_counts() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    out.push_back(static_cast<double>(r.location_count));
+  }
+  return out;
+}
+
+std::vector<double> AsSizeAnalysis::degrees() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(static_cast<double>(r.degree));
+  return out;
+}
+
+AsSizeAnalysis analyze_as_sizes(const net::AnnotatedGraph& graph,
+                                double location_quantum_deg) {
+  AsSizeAnalysis out;
+
+  struct Accumulator {
+    std::size_t nodes = 0;
+    std::unordered_set<std::uint64_t> locations;
+    std::unordered_set<std::uint32_t> neighbors;
+  };
+  std::unordered_map<std::uint32_t, Accumulator> by_as;
+
+  for (const auto& node : graph.nodes()) {
+    if (node.asn == net::kUnknownAs) continue;  // the paper's separate AS
+    auto& acc = by_as[node.asn];
+    ++acc.nodes;
+    acc.locations.insert(geo::quantized_key(node.location, location_quantum_deg));
+  }
+
+  for (const auto& edge : graph.edges()) {
+    const std::uint32_t as_a = graph.node(edge.a).asn;
+    const std::uint32_t as_b = graph.node(edge.b).asn;
+    if (as_a == net::kUnknownAs || as_b == net::kUnknownAs || as_a == as_b) {
+      continue;
+    }
+    by_as[as_a].neighbors.insert(as_b);
+    by_as[as_b].neighbors.insert(as_a);
+  }
+
+  out.records.reserve(by_as.size());
+  for (const auto& [asn, acc] : by_as) {
+    out.records.push_back(
+        {asn, acc.nodes, acc.locations.size(), acc.neighbors.size()});
+  }
+  // Deterministic order for reproducible output.
+  std::sort(out.records.begin(), out.records.end(),
+            [](const AsRecord& a, const AsRecord& b) { return a.asn < b.asn; });
+
+  const auto nodes = log10_of(out.node_counts());
+  const auto locations = log10_of(out.location_counts());
+  // Degree-0 ASes (no interdomain edge observed) would force log(0);
+  // correlations use only ASes present in the AS graph.
+  std::vector<double> deg_nodes, deg_locations, deg_values;
+  for (const auto& r : out.records) {
+    if (r.degree == 0) continue;
+    deg_nodes.push_back(std::log10(static_cast<double>(r.node_count)));
+    deg_locations.push_back(std::log10(static_cast<double>(r.location_count)));
+    deg_values.push_back(std::log10(static_cast<double>(r.degree)));
+  }
+
+  out.corr_nodes_locations = stats::pearson(nodes, locations);
+  out.corr_nodes_degree = stats::pearson(deg_nodes, deg_values);
+  out.corr_locations_degree = stats::pearson(deg_locations, deg_values);
+
+  out.tail_nodes = stats::fit_ccdf_tail(out.node_counts());
+  out.tail_locations = stats::fit_ccdf_tail(out.location_counts());
+  out.tail_degree = stats::fit_ccdf_tail(out.degrees());
+  return out;
+}
+
+}  // namespace geonet::core

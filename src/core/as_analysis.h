@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/annotated_graph.h"
+#include "stats/ccdf.h"
+
+namespace geonet::core {
+
+/// Section VI.A's three measures of AS size.
+struct AsRecord {
+  std::uint32_t asn = 0;
+  std::size_t node_count = 0;      ///< interfaces (Skitter) or routers (Mercator)
+  std::size_t location_count = 0;  ///< distinct geographic locations
+  std::size_t degree = 0;          ///< neighbours in the AS graph
+};
+
+/// AS size analysis over a processed dataset. Nodes in the paper's
+/// "separate AS" (asn 0, unmapped) are omitted, as in Section III.C.
+struct AsSizeAnalysis {
+  std::vector<AsRecord> records;
+
+  /// log10-space Pearson correlations between the size measures
+  /// (the tightness of the Figure 8 scatterplots).
+  double corr_nodes_locations = 0.0;
+  double corr_nodes_degree = 0.0;
+  double corr_locations_degree = 0.0;
+
+  /// CCDF tail fits of the three measures (Figure 7 long tails).
+  stats::LinearFit tail_nodes;
+  stats::LinearFit tail_locations;
+  stats::LinearFit tail_degree;
+
+  [[nodiscard]] std::vector<double> node_counts() const;
+  [[nodiscard]] std::vector<double> location_counts() const;
+  [[nodiscard]] std::vector<double> degrees() const;
+};
+
+/// Computes per-AS size measures, the AS graph degree, pairwise
+/// correlations, and CCDF tail exponents.
+AsSizeAnalysis analyze_as_sizes(const net::AnnotatedGraph& graph,
+                                double location_quantum_deg = 0.01);
+
+}  // namespace geonet::core

@@ -1,0 +1,98 @@
+#include "core/density.h"
+
+#include <cmath>
+
+#include "geo/grid.h"
+
+namespace geonet::core {
+
+DensityAnalysis analyze_density(const net::AnnotatedGraph& graph,
+                                const population::WorldPopulation& world,
+                                const geo::Region& region,
+                                double patch_arcmin) {
+  DensityAnalysis out;
+  out.patch_arcmin = patch_arcmin;
+
+  const geo::Grid patches(region, patch_arcmin);
+  std::vector<double> node_counts(patches.cell_count(), 0.0);
+  for (const auto& node : graph.nodes()) {
+    if (const auto cell = patches.cell_of(node.location)) {
+      node_counts[patches.flat_index(*cell)] += 1.0;
+      ++out.nodes_in_region;
+    }
+  }
+
+  std::vector<double> log_pop;
+  std::vector<double> log_nodes;
+  for (std::size_t flat = 0; flat < node_counts.size(); ++flat) {
+    if (node_counts[flat] <= 0.0) continue;
+    ++out.occupied_patches;
+    const geo::Region bounds = patches.cell_bounds(patches.unflatten(flat));
+    const double people = world.population_in(bounds);
+    if (people <= 0.0) continue;
+    out.patches.push_back({people, node_counts[flat]});
+    log_pop.push_back(std::log10(people));
+    log_nodes.push_back(std::log10(node_counts[flat]));
+  }
+
+  out.loglog_fit = stats::fit_line(log_pop, log_nodes);
+  return out;
+}
+
+std::size_t count_nodes_in(const net::AnnotatedGraph& graph,
+                           const geo::Region& region) {
+  std::size_t count = 0;
+  for (const auto& node : graph.nodes()) {
+    if (region.contains(node.location)) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+RegionDensityRow make_row(std::string name, double population_millions,
+                          double online_millions, std::size_t nodes) {
+  RegionDensityRow row;
+  row.name = std::move(name);
+  row.population_millions = population_millions;
+  row.online_millions = online_millions;
+  row.nodes = nodes;
+  if (nodes > 0) {
+    row.people_per_node = population_millions * 1e6 / static_cast<double>(nodes);
+    row.online_per_node = online_millions * 1e6 / static_cast<double>(nodes);
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<RegionDensityRow> economic_region_table(
+    const net::AnnotatedGraph& graph, const population::WorldPopulation& world) {
+  std::vector<RegionDensityRow> rows;
+  double world_pop = 0.0;
+  double world_online = 0.0;
+  for (const auto& profile : world.profiles()) {
+    rows.push_back(make_row(profile.name, profile.population_millions,
+                            profile.online_millions,
+                            count_nodes_in(graph, profile.extent)));
+    world_pop += profile.population_millions;
+    world_online += profile.online_millions;
+  }
+  rows.push_back(make_row("World", world_pop, world_online, graph.node_count()));
+  return rows;
+}
+
+std::vector<RegionDensityRow> homogeneity_table(
+    const net::AnnotatedGraph& graph, const population::WorldPopulation& world) {
+  std::vector<RegionDensityRow> rows;
+  for (const geo::Region& region :
+       {geo::regions::northern_us(), geo::regions::southern_us(),
+        geo::regions::central_america()}) {
+    const double people = world.population_in(region);
+    rows.push_back(make_row(region.name, people / 1e6, 0.0,
+                            count_nodes_in(graph, region)));
+  }
+  return rows;
+}
+
+}  // namespace geonet::core

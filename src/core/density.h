@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+#include "population/synth_population.h"
+#include "stats/linear_fit.h"
+
+namespace geonet::core {
+
+/// One 75-arcmin patch with both people and infrastructure.
+struct PatchPoint {
+  double population = 0.0;
+  double node_count = 0.0;
+};
+
+/// Section IV.B: the relationship between infrastructure density and
+/// population density over equal-size patches of a region.
+struct DensityAnalysis {
+  std::vector<PatchPoint> patches;  ///< patches with population and nodes
+  stats::LinearFit loglog_fit;      ///< log10(nodes) vs log10(population)
+  std::size_t nodes_in_region = 0;
+  std::size_t occupied_patches = 0; ///< patches with >= 1 node
+  double patch_arcmin = 75.0;
+
+  /// The paper's headline: fitted slope > 1 means superlinear scaling.
+  [[nodiscard]] bool superlinear() const noexcept {
+    return loglog_fit.slope > 1.0;
+  }
+};
+
+/// Tallies nodes and people into patches of `patch_arcmin` (75 in the
+/// paper) and fits the log-log relationship (Figure 2). Patches lacking
+/// either people or nodes cannot appear on log axes and are excluded from
+/// the fit, as in the paper's plots.
+DensityAnalysis analyze_density(const net::AnnotatedGraph& graph,
+                                const population::WorldPopulation& world,
+                                const geo::Region& region,
+                                double patch_arcmin = 75.0);
+
+/// A row of Table III / Table IV.
+struct RegionDensityRow {
+  std::string name;
+  double population_millions = 0.0;
+  double online_millions = 0.0;  ///< 0 when unknown (Table IV)
+  std::size_t nodes = 0;
+  double people_per_node = 0.0;
+  double online_per_node = 0.0;
+};
+
+/// Number of graph nodes mapped inside the region box.
+std::size_t count_nodes_in(const net::AnnotatedGraph& graph,
+                           const geo::Region& region);
+
+/// Table III: people/online-users per interface across the world economic
+/// regions, plus the World total row.
+std::vector<RegionDensityRow> economic_region_table(
+    const net::AnnotatedGraph& graph, const population::WorldPopulation& world);
+
+/// Table IV: the homogeneity test over Northern US / Southern US /
+/// Central America, with populations read from the synthetic raster.
+std::vector<RegionDensityRow> homogeneity_table(
+    const net::AnnotatedGraph& graph, const population::WorldPopulation& world);
+
+}  // namespace geonet::core

@@ -1,0 +1,184 @@
+#include "core/distance_pref.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance.h"
+#include "geo/grid.h"
+#include "stats/rng.h"
+
+namespace geonet::core {
+
+std::vector<double> DistancePreference::cumulated() const {
+  std::vector<double> out(f.size(), 0.0);
+  double running = 0.0;
+  for (std::size_t b = 0; b < f.size(); ++b) {
+    running += f[b];
+    out[b] = running;
+  }
+  return out;
+}
+
+double DistancePreference::fraction_links_below(double limit_miles) const {
+  if (links == 0) return 0.0;
+  double below = 0.0;
+  double total = 0.0;
+  for (std::size_t b = 0; b < link_hist.bin_count(); ++b) {
+    total += link_hist.count(b);
+    if (link_hist.bin_center(b) < limit_miles) below += link_hist.count(b);
+  }
+  total += link_hist.overflow();
+  return total > 0.0 ? below / total : 0.0;
+}
+
+double paper_bin_miles(const geo::Region& region, std::size_t bins) {
+  if (region.name == "US") return 35.0;
+  if (region.name == "Europe") return 15.0;
+  if (region.name == "Japan") return 11.0;
+  return region.diagonal_miles() / static_cast<double>(bins);
+}
+
+namespace {
+
+stats::Histogram exact_pair_histogram(const std::vector<geo::GeoPoint>& points,
+                                      double lo, double hi, std::size_t bins) {
+  stats::Histogram hist(lo, hi, bins);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      hist.add(geo::great_circle_miles(points[i], points[j]));
+    }
+  }
+  return hist;
+}
+
+stats::Histogram sampled_pair_histogram(const std::vector<geo::GeoPoint>& points,
+                                        double lo, double hi, std::size_t bins,
+                                        std::size_t samples,
+                                        std::uint64_t seed) {
+  stats::Histogram hist(lo, hi, bins);
+  const std::size_t n = points.size();
+  if (n < 2) return hist;
+  const double total_pairs = 0.5 * static_cast<double>(n) *
+                             static_cast<double>(n - 1);
+  const double weight = total_pairs / static_cast<double>(samples);
+  stats::Rng rng(seed);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t i = rng.uniform_index(n);
+    std::size_t j = rng.uniform_index(n - 1);
+    if (j >= i) ++j;
+    hist.add(geo::great_circle_miles(points[i], points[j]), weight);
+  }
+  return hist;
+}
+
+stats::Histogram grid_pair_histogram(const std::vector<geo::GeoPoint>& points,
+                                     double lo, double hi, std::size_t bins,
+                                     const geo::Region& region,
+                                     double cell_arcmin,
+                                     std::size_t max_cells) {
+  stats::Histogram hist(lo, hi, bins);
+  struct Cell {
+    geo::GeoPoint center;
+    double count;
+  };
+  std::vector<Cell> cells;
+
+  // Tally nodes into cells, adaptively coarsening while the point set is
+  // too diffuse: cost is quadratic in non-empty cells, and the centre
+  // approximation stays sound as long as the cell diagonal is well below
+  // the bin width.
+  const double bin_width = (hi - lo) / static_cast<double>(bins);
+  for (double arcmin = cell_arcmin;; arcmin *= 2.0) {
+    const geo::Grid grid(region, arcmin);
+    const std::vector<double> counts = grid.tally(points);
+    cells.clear();
+    for (std::size_t flat = 0; flat < counts.size(); ++flat) {
+      if (counts[flat] > 0.0) {
+        cells.push_back(
+            {grid.cell_center(grid.unflatten(flat)), counts[flat]});
+      }
+    }
+    if (cells.size() <= max_cells) break;
+    const geo::Grid next(region, arcmin * 2.0);
+    if (next.max_cell_diagonal_miles() > 0.75 * bin_width) break;
+  }
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Same-cell pairs: distance below the cell diagonal, booked at ~0.
+    hist.add(0.0, 0.5 * cells[i].count * (cells[i].count - 1.0));
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      hist.add(geo::great_circle_miles(cells[i].center, cells[j].center),
+               cells[i].count * cells[j].count);
+    }
+  }
+  return hist;
+}
+
+}  // namespace
+
+stats::Histogram pair_distance_histogram(
+    const std::vector<geo::GeoPoint>& points, double lo, double hi,
+    std::size_t bins, const geo::Region& region,
+    const DistancePrefOptions& options) {
+  switch (options.method) {
+    case PairCountMethod::kExact:
+      return exact_pair_histogram(points, lo, hi, bins);
+    case PairCountMethod::kSampled:
+      return sampled_pair_histogram(points, lo, hi, bins, options.sample_pairs,
+                                    options.seed);
+    case PairCountMethod::kGrid:
+    default:
+      return grid_pair_histogram(points, lo, hi, bins, region,
+                                 options.grid_cell_arcmin,
+                                 options.max_grid_cells);
+  }
+}
+
+DistancePreference distance_preference(const net::AnnotatedGraph& graph,
+                                       const geo::Region& region,
+                                       const DistancePrefOptions& options) {
+  const std::size_t bins = std::max<std::size_t>(1, options.bins);
+  const double bin_miles = options.bin_miles > 0.0
+                               ? options.bin_miles
+                               : paper_bin_miles(region, bins);
+  const double hi = bin_miles * static_cast<double>(bins);
+
+  // Nodes located in the region, with a dense reindexing for edges.
+  std::vector<geo::GeoPoint> points;
+  std::vector<std::int64_t> index_of(graph.node_count(), -1);
+  for (std::uint32_t id = 0; id < graph.node_count(); ++id) {
+    const auto& node = graph.node(id);
+    if (region.contains(node.location)) {
+      index_of[id] = static_cast<std::int64_t>(points.size());
+      points.push_back(node.location);
+    }
+  }
+
+  DistancePreference out{
+      stats::Histogram(0.0, hi, bins), stats::Histogram(0.0, hi, bins),
+      {},   bin_miles,
+      points.size(), 0};
+
+  for (const auto& edge : graph.edges()) {
+    if (index_of[edge.a] < 0 || index_of[edge.b] < 0) continue;
+    if (options.domain_filter != DomainFilter::kAll) {
+      const std::uint32_t as_a = graph.node(edge.a).asn;
+      const std::uint32_t as_b = graph.node(edge.b).asn;
+      if (as_a == 0 || as_b == 0) continue;  // the paper's separate AS
+      const bool intra = as_a == as_b;
+      if (intra != (options.domain_filter == DomainFilter::kIntradomainOnly)) {
+        continue;
+      }
+    }
+    ++out.links;
+    out.link_hist.add(geo::great_circle_miles(graph.node(edge.a).location,
+                                              graph.node(edge.b).location));
+  }
+
+  out.pair_hist =
+      pair_distance_histogram(points, 0.0, hi, bins, region, options);
+  out.f = out.link_hist.ratio(out.pair_hist);
+  return out;
+}
+
+}  // namespace geonet::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+#include "stats/histogram.h"
+
+namespace geonet::core {
+
+/// How the node-pair distance histogram (the denominator of equation (1))
+/// is computed.
+///
+/// * kExact: all O(n^2) pairs; exact, only viable for small n.
+/// * kGrid: nodes are tallied into fine grid cells and cell pairs counted
+///   at centre-to-centre distance. Error is bounded by the cell diagonal,
+///   far below the paper's bin sizes (11-35 mi); cost is O(c^2) in
+///   non-empty cells, not O(n^2) in nodes.
+/// * kSampled: Monte Carlo over random pairs, scaled to C(n,2).
+enum class PairCountMethod : std::uint8_t { kExact, kGrid, kSampled };
+
+/// Restricts which links feed the numerator of f(d); the denominator
+/// (node pairs) is unchanged, so f_all = f_intra + f_inter bin by bin.
+enum class DomainFilter : std::uint8_t { kAll, kIntradomainOnly, kInterdomainOnly };
+
+struct DistancePrefOptions {
+  std::size_t bins = 100;          ///< the paper uses 100 bins per region
+  DomainFilter domain_filter = DomainFilter::kAll;
+  double bin_miles = 0.0;          ///< 0 = paper value for known regions,
+                                   ///<     else diagonal/bins
+  PairCountMethod method = PairCountMethod::kGrid;
+  double grid_cell_arcmin = 7.5;   ///< kGrid base resolution
+  /// kGrid coarsens (doubling the cell) while more cells than this are
+  /// occupied and the cell diagonal stays below 3/4 of the bin width.
+  std::size_t max_grid_cells = 6000;
+  std::size_t sample_pairs = 2'000'000;  ///< kSampled draws
+  std::uint64_t seed = 1729;       ///< kSampled determinism
+};
+
+/// Section V: the empirical distance preference function
+///   f(d) = #links with length in [d, d+b) / #node pairs in [d, d+b).
+struct DistancePreference {
+  stats::Histogram link_hist;   ///< numerator of (1)
+  stats::Histogram pair_hist;   ///< denominator of (1)
+  std::vector<double> f;        ///< the ratio, one value per bin
+  double bin_miles = 0.0;
+  std::size_t nodes = 0;        ///< nodes located in the region
+  std::size_t links = 0;        ///< links with both ends in the region
+
+  /// Cumulated preference function F(d) = sum_{d' < d} f(d') (Figure 6).
+  [[nodiscard]] std::vector<double> cumulated() const;
+
+  /// Centre of bin b in miles.
+  [[nodiscard]] double bin_center(std::size_t b) const noexcept {
+    return link_hist.bin_center(b);
+  }
+
+  /// Fraction of links with length below `limit_miles` (Table V).
+  [[nodiscard]] double fraction_links_below(double limit_miles) const;
+};
+
+/// The bin widths the paper quotes for Figure 4 (35 / 15 / 11 mi); falls
+/// back to diagonal/bins for other regions.
+double paper_bin_miles(const geo::Region& region, std::size_t bins = 100);
+
+/// Estimates the distance preference function for nodes/links of the graph
+/// that fall inside `region`.
+DistancePreference distance_preference(const net::AnnotatedGraph& graph,
+                                       const geo::Region& region,
+                                       const DistancePrefOptions& options = {});
+
+/// The pair-distance histogram alone (exposed for testing and the
+/// method-comparison microbenchmarks).
+stats::Histogram pair_distance_histogram(
+    const std::vector<geo::GeoPoint>& points, double lo, double hi,
+    std::size_t bins, const geo::Region& region,
+    const DistancePrefOptions& options);
+
+}  // namespace geonet::core

@@ -1,0 +1,125 @@
+#include "net/topology.h"
+#include "core/hull_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/summary.h"
+
+namespace geonet::core {
+
+namespace {
+
+/// Smallest measure value v such that every AS with measure >= v has a
+/// hull at least `area_cut`; 0 when no such regime exists.
+double detect_threshold(const std::vector<AsHullRecord>& records,
+                        double area_cut,
+                        double (*measure)(const AsHullRecord&)) {
+  std::vector<const AsHullRecord*> sorted;
+  sorted.reserve(records.size());
+  for (const auto& r : records) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const AsHullRecord* a, const AsHullRecord* b) {
+              return measure(*a) < measure(*b);
+            });
+
+  // Walk from the top down while every AS stays dispersed.
+  double threshold = 0.0;
+  bool any = false;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if ((*it)->hull_area_sq_miles < area_cut) break;
+    threshold = measure(**it);
+    any = true;
+  }
+  return any ? threshold : 0.0;
+}
+
+}  // namespace
+
+HullAnalysis analyze_hulls(const net::AnnotatedGraph& graph,
+                           const HullOptions& options) {
+  HullAnalysis out;
+
+  // Group node locations by AS (skipping the unmapped bucket), restricted
+  // to the requested box when present.
+  struct Accumulator {
+    std::vector<geo::GeoPoint> points;
+    std::unordered_set<std::uint64_t> locations;
+  };
+  std::unordered_map<std::uint32_t, Accumulator> by_as;
+  for (const auto& node : graph.nodes()) {
+    if (node.asn == net::kUnknownAs) continue;
+    if (options.restrict_to && !options.restrict_to->contains(node.location)) {
+      continue;
+    }
+    auto& acc = by_as[node.asn];
+    acc.points.push_back(node.location);
+    acc.locations.insert(
+        geo::quantized_key(node.location, options.location_quantum_deg));
+  }
+
+  // AS degrees come from the full graph (degree is not a geographic
+  // property, so the restriction does not apply).
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> neighbors;
+  for (const auto& edge : graph.edges()) {
+    const std::uint32_t as_a = graph.node(edge.a).asn;
+    const std::uint32_t as_b = graph.node(edge.b).asn;
+    if (as_a == net::kUnknownAs || as_b == net::kUnknownAs || as_a == as_b) {
+      continue;
+    }
+    neighbors[as_a].insert(as_b);
+    neighbors[as_b].insert(as_a);
+  }
+
+  const geo::AlbersProjection projection =
+      options.restrict_to ? geo::AlbersProjection::for_region(*options.restrict_to)
+                          : geo::AlbersProjection::world();
+
+  std::size_t zero_area = 0;
+  out.records.reserve(by_as.size());
+  for (const auto& [asn, acc] : by_as) {
+    AsHullRecord record;
+    record.asn = asn;
+    record.node_count = acc.points.size();
+    record.location_count = acc.locations.size();
+    const auto it = neighbors.find(asn);
+    record.degree = it == neighbors.end() ? 0 : it->second.size();
+    record.hull_area_sq_miles = geo::hull_area_sq_miles(acc.points, projection);
+    if (record.hull_area_sq_miles <= 0.0) ++zero_area;
+    out.records.push_back(record);
+  }
+  std::sort(out.records.begin(), out.records.end(),
+            [](const AsHullRecord& a, const AsHullRecord& b) {
+              return a.asn < b.asn;
+            });
+
+  if (!out.records.empty()) {
+    out.zero_area_fraction =
+        static_cast<double>(zero_area) / static_cast<double>(out.records.size());
+  }
+
+  // Dispersal cut: a fraction of the 99th-percentile positive hull.
+  std::vector<double> positive_areas;
+  for (const auto& r : out.records) {
+    if (r.hull_area_sq_miles > 0.0) positive_areas.push_back(r.hull_area_sq_miles);
+  }
+  if (!positive_areas.empty()) {
+    out.thresholds.dispersed_area_sq_miles =
+        options.dispersed_fraction * stats::quantile(positive_areas, 0.99);
+    const double cut = out.thresholds.dispersed_area_sq_miles;
+    out.thresholds.by_degree = detect_threshold(
+        out.records, cut,
+        +[](const AsHullRecord& r) { return static_cast<double>(r.degree); });
+    out.thresholds.by_node_count = detect_threshold(
+        out.records, cut,
+        +[](const AsHullRecord& r) { return static_cast<double>(r.node_count); });
+    out.thresholds.by_locations = detect_threshold(
+        out.records, cut, +[](const AsHullRecord& r) {
+          return static_cast<double>(r.location_count);
+        });
+  }
+  return out;
+}
+
+}  // namespace geonet::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/as_analysis.h"
+#include "geo/convex_hull.h"
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+
+namespace geonet::core {
+
+/// Per-AS geographic extent (Section VI.B): the area of the convex hull of
+/// the AS's node locations after Albers equal-area projection.
+struct AsHullRecord {
+  std::uint32_t asn = 0;
+  double hull_area_sq_miles = 0.0;
+  std::size_t node_count = 0;
+  std::size_t location_count = 0;
+  std::size_t degree = 0;
+};
+
+/// The size threshold above which every AS is maximally dispersed
+/// (Figure 10's second regime), per size measure.
+struct DispersalThresholds {
+  double by_degree = 0.0;       ///< the paper finds ~100
+  double by_node_count = 0.0;   ///< the paper finds ~1000 interfaces
+  double by_locations = 0.0;    ///< the paper finds ~100
+  /// Hull area above which an AS counts as "dispersed" for the detection.
+  double dispersed_area_sq_miles = 0.0;
+};
+
+struct HullAnalysis {
+  std::vector<AsHullRecord> records;
+  /// Fraction of ASes with one or two locations, hence zero hull area
+  /// (~80% in Figure 9).
+  double zero_area_fraction = 0.0;
+  DispersalThresholds thresholds;
+};
+
+struct HullOptions {
+  /// Restrict to nodes inside this box (Figure 9b/9c); nullopt = world.
+  std::optional<geo::Region> restrict_to;
+  double location_quantum_deg = 0.01;
+  /// "Dispersed" = hull at least this fraction of the 99th-percentile
+  /// positive hull area.
+  double dispersed_fraction = 0.1;
+};
+
+/// Computes per-AS convex hulls and the two-regime dispersal thresholds.
+HullAnalysis analyze_hulls(const net::AnnotatedGraph& graph,
+                           const HullOptions& options = {});
+
+}  // namespace geonet::core

@@ -1,0 +1,45 @@
+#include "net/topology.h"
+#include "core/link_domains.h"
+
+#include "geo/distance.h"
+
+namespace geonet::core {
+
+LinkDomainStats analyze_link_domains(
+    const net::AnnotatedGraph& graph,
+    const std::optional<geo::Region>& scope_region) {
+  LinkDomainStats out;
+  out.scope = scope_region ? scope_region->name : "World";
+
+  double inter_total = 0.0;
+  double intra_total = 0.0;
+  for (const auto& edge : graph.edges()) {
+    const auto& node_a = graph.node(edge.a);
+    const auto& node_b = graph.node(edge.b);
+    if (node_a.asn == net::kUnknownAs || node_b.asn == net::kUnknownAs) continue;
+    if (scope_region && (!scope_region->contains(node_a.location) ||
+                         !scope_region->contains(node_b.location))) {
+      continue;
+    }
+    const double length =
+        geo::great_circle_miles(node_a.location, node_b.location);
+    if (node_a.asn == node_b.asn) {
+      ++out.intradomain_count;
+      intra_total += length;
+    } else {
+      ++out.interdomain_count;
+      inter_total += length;
+    }
+  }
+  if (out.interdomain_count > 0) {
+    out.interdomain_mean_miles =
+        inter_total / static_cast<double>(out.interdomain_count);
+  }
+  if (out.intradomain_count > 0) {
+    out.intradomain_mean_miles =
+        intra_total / static_cast<double>(out.intradomain_count);
+  }
+  return out;
+}
+
+}  // namespace geonet::core

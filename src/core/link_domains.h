@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+
+namespace geonet::core {
+
+/// Section VI.C / Table VI: interdomain vs intradomain link statistics.
+///
+/// A link is interdomain when its endpoints carry different (known) AS
+/// numbers, intradomain when they match. Links touching the unmapped AS
+/// bucket are excluded, as the paper omits that separate AS from all AS
+/// analyses.
+struct LinkDomainStats {
+  std::string scope;  ///< region name or "World"
+  std::size_t interdomain_count = 0;
+  std::size_t intradomain_count = 0;
+  double interdomain_mean_miles = 0.0;
+  double intradomain_mean_miles = 0.0;
+
+  [[nodiscard]] double intradomain_fraction() const noexcept {
+    const std::size_t total = interdomain_count + intradomain_count;
+    return total == 0 ? 0.0
+                      : static_cast<double>(intradomain_count) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Computes Table VI for one scope: links with both endpoints inside
+/// `scope_region` (or every link when nullopt).
+LinkDomainStats analyze_link_domains(
+    const net::AnnotatedGraph& graph,
+    const std::optional<geo::Region>& scope_region = std::nullopt);
+
+}  // namespace geonet::core

@@ -1,0 +1,82 @@
+#include "core/link_lengths.h"
+
+#include <algorithm>
+
+#include "geo/distance.h"
+#include "net/graph_algos.h"
+#include "stats/rng.h"
+
+namespace geonet::core {
+
+LinkLengthAnalysis analyze_link_lengths(
+    const net::AnnotatedGraph& graph,
+    const std::optional<geo::Region>& scope_region) {
+  LinkLengthAnalysis out;
+  std::size_t zero = 0;
+  for (const auto& edge : graph.edges()) {
+    const auto& a = graph.node(edge.a).location;
+    const auto& b = graph.node(edge.b).location;
+    if (scope_region && (!scope_region->contains(a) ||
+                         !scope_region->contains(b))) {
+      continue;
+    }
+    const double miles = geo::great_circle_miles(a, b);
+    out.lengths_miles.push_back(miles);
+    if (miles < 1e-9) ++zero;
+  }
+  out.summary = stats::summarize(out.lengths_miles);
+  if (!out.lengths_miles.empty()) {
+    out.fraction_zero =
+        static_cast<double>(zero) /
+        static_cast<double>(out.lengths_miles.size());
+  }
+  out.tail = stats::fit_ccdf_tail(out.lengths_miles, 0.6);
+  return out;
+}
+
+SmallWorldProbe probe_link_removal(const net::AnnotatedGraph& graph,
+                                   double remove_fraction,
+                                   LinkRemoval strategy,
+                                   std::size_t hop_samples,
+                                   std::uint64_t seed) {
+  SmallWorldProbe out;
+  const std::size_t m = graph.edge_count();
+  if (m == 0) return out;
+
+  // Order links by the removal criterion; keep the first
+  // (1 - remove_fraction) of them.
+  std::vector<std::size_t> order(m);
+  for (std::size_t e = 0; e < m; ++e) order[e] = e;
+  if (strategy == LinkRemoval::kLongest) {
+    std::vector<double> length(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      const auto& edge = graph.edges()[e];
+      length[e] = geo::great_circle_miles(graph.node(edge.a).location,
+                                          graph.node(edge.b).location);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return length[a] < length[b];
+    });
+  } else {
+    stats::Rng rng(seed ^ 0xabcdef12ULL);
+    rng.shuffle(std::span<std::size_t>(order));
+  }
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(m) *
+      std::clamp(1.0 - remove_fraction, 0.0, 1.0));
+
+  net::AnnotatedGraph pruned(graph.kind(), graph.name() + " (pruned)");
+  for (const auto& node : graph.nodes()) pruned.add_node(node);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const auto& edge = graph.edges()[order[i]];
+    pruned.add_edge(edge.a, edge.b);
+  }
+
+  out.kept_fraction =
+      m == 0 ? 0.0 : static_cast<double>(keep) / static_cast<double>(m);
+  out.giant_component = net::giant_component_size(pruned);
+  out.mean_hops = net::estimated_mean_hops(pruned, hop_samples, seed);
+  return out;
+}
+
+}  // namespace geonet::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+#include "stats/ccdf.h"
+#include "stats/summary.h"
+
+namespace geonet::core {
+
+/// Section II contrast: Yook, Jeong & Barabasi studied the *distribution
+/// of link lengths*, whereas the paper studies the conditional
+/// probability f(d). This module computes the former so both views can be
+/// compared on the same dataset.
+struct LinkLengthAnalysis {
+  std::vector<double> lengths_miles;   ///< one entry per in-scope link
+  stats::Summary summary;
+  double fraction_zero = 0.0;          ///< same-location links
+  stats::LinearFit tail;               ///< CCDF log-log tail fit
+};
+
+/// Computes link lengths for links with both endpoints inside
+/// `scope_region` (or all links when nullopt).
+LinkLengthAnalysis analyze_link_lengths(
+    const net::AnnotatedGraph& graph,
+    const std::optional<geo::Region>& scope_region = std::nullopt);
+
+/// Small-world probe (the paper's Section V endnote, citing Watts &
+/// Strogatz): the few non-local links "play an important structural
+/// role". Removing the longest X% of links is compared against removing
+/// a random X%: the long links hold the graph's distant parts together,
+/// so targeting them shrinks the giant component (and/or stretches paths)
+/// far more than random damage of equal size does.
+struct SmallWorldProbe {
+  double kept_fraction = 0.0;           ///< links kept
+  double mean_hops = 0.0;               ///< over reachable pairs
+  std::size_t giant_component = 0;
+};
+
+enum class LinkRemoval : std::uint8_t { kLongest, kRandom };
+
+SmallWorldProbe probe_link_removal(const net::AnnotatedGraph& graph,
+                                   double remove_fraction,
+                                   LinkRemoval strategy,
+                                   std::size_t hop_samples = 64,
+                                   std::uint64_t seed = 9);
+
+}  // namespace geonet::core

@@ -1,0 +1,149 @@
+#include "core/study.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include "report/table.h"
+
+namespace geonet::core {
+
+StudyReport run_study(const net::AnnotatedGraph& graph,
+                      const population::WorldPopulation& world,
+                      const StudyOptions& options) {
+  StudyReport report;
+  report.dataset_name = graph.name();
+  report.nodes = graph.node_count();
+  report.links = graph.edge_count();
+
+  {
+    std::unordered_set<std::uint64_t> keys;
+    for (const auto& node : graph.nodes()) {
+      keys.insert(geo::quantized_key(node.location));
+    }
+    report.distinct_locations = keys.size();
+  }
+
+  report.economic_rows = economic_region_table(graph, world);
+  report.homogeneity_rows = homogeneity_table(graph, world);
+
+  const std::vector<geo::Region> regions =
+      options.regions.empty() ? geo::regions::paper_study_regions()
+                              : options.regions;
+  for (const geo::Region& region : regions) {
+    RegionStudy study;
+    study.region = region;
+    study.density = analyze_density(graph, world, region, options.patch_arcmin);
+    study.distance = distance_preference(graph, region, options.distance);
+    WaxmanFitOptions fit_options;
+    fit_options.small_d_cut_miles = paper_small_d_cut(region);
+    study.waxman = characterize_waxman(study.distance, fit_options);
+    study.link_domains = analyze_link_domains(graph, region);
+    report.regions.push_back(std::move(study));
+  }
+
+  report.world_links = analyze_link_domains(graph);
+  report.link_lengths = analyze_link_lengths(graph);
+  report.as_sizes = analyze_as_sizes(graph);
+  report.hulls = analyze_hulls(graph);
+
+  if (options.compute_fractal_dimension) {
+    report.fractal = geo::box_counting_dimension(graph.locations(),
+                                                 geo::regions::us());
+  }
+  return report;
+}
+
+std::string summarize(const StudyReport& report) {
+  std::string out;
+  char line[256];
+  const auto append = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+
+  append("dataset: %s\n", report.dataset_name.c_str());
+  append("  nodes=%zu links=%zu locations=%zu\n", report.nodes, report.links,
+         report.distinct_locations);
+  for (const auto& region : report.regions) {
+    append("  %-7s density-slope=%.2f  lambda=%.0f mi  limit=%.0f mi  "
+           "links<limit=%.1f%%  intra=%.1f%%\n",
+           region.region.name.c_str(), region.density.loglog_fit.slope,
+           region.waxman.lambda_miles, region.waxman.sensitivity_limit_miles,
+           100.0 * region.waxman.fraction_links_below_limit,
+           100.0 * region.link_domains.intradomain_fraction());
+  }
+  append("  AS records=%zu  corr(nodes,locs)=%.2f  corr(nodes,deg)=%.2f  "
+         "corr(locs,deg)=%.2f\n",
+         report.as_sizes.records.size(), report.as_sizes.corr_nodes_locations,
+         report.as_sizes.corr_nodes_degree,
+         report.as_sizes.corr_locations_degree);
+  append("  hulls: zero-area=%.1f%%  thresholds deg=%.0f nodes=%.0f locs=%.0f\n",
+         100.0 * report.hulls.zero_area_fraction,
+         report.hulls.thresholds.by_degree,
+         report.hulls.thresholds.by_node_count,
+         report.hulls.thresholds.by_locations);
+  append("  link lengths: median=%.0f mi  mean=%.0f mi  zero-frac=%.2f\n",
+         report.link_lengths.summary.median, report.link_lengths.summary.mean,
+         report.link_lengths.fraction_zero);
+  append("  fractal dimension (US): %.2f\n", report.fractal.dimension);
+  return out;
+}
+
+bool write_study_markdown(const StudyReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# Study: " << report.dataset_name << "\n\n";
+  out << report.nodes << " nodes, " << report.links << " links, "
+      << report.distinct_locations << " distinct locations\n\n";
+
+  out << "## Table III: people per node across economic regions\n\n";
+  report::Table economic({"Region", "Pop (M)", "Nodes", "People/Node",
+                          "Online/Node"});
+  for (const auto& row : report.economic_rows) {
+    economic.add_row({row.name, report::fmt(row.population_millions, 0),
+                      report::fmt_count(row.nodes),
+                      report::fmt(row.people_per_node, 0),
+                      report::fmt(row.online_per_node, 0)});
+  }
+  out << economic.to_markdown() << "\n";
+
+  out << "## Table IV: homogeneity test\n\n";
+  report::Table homogeneity({"Region", "Pop (M)", "Nodes", "People/Node"});
+  for (const auto& row : report.homogeneity_rows) {
+    homogeneity.add_row({row.name, report::fmt(row.population_millions, 0),
+                         report::fmt_count(row.nodes),
+                         report::fmt(row.people_per_node, 0)});
+  }
+  out << homogeneity.to_markdown() << "\n";
+
+  out << "## Per-region fits (Figures 2, 5; Tables V, VI)\n\n";
+  report::Table regions({"Region", "density slope", "lambda (mi)",
+                         "limit (mi)", "% links < limit", "intra %"});
+  for (const auto& region : report.regions) {
+    regions.add_row(
+        {region.region.name, report::fmt(region.density.loglog_fit.slope, 2),
+         report::fmt(region.waxman.lambda_miles, 0),
+         report::fmt(region.waxman.sensitivity_limit_miles, 0),
+         report::fmt_percent(region.waxman.fraction_links_below_limit),
+         report::fmt_percent(region.link_domains.intradomain_fraction())});
+  }
+  out << regions.to_markdown() << "\n";
+
+  out << "## AS structure (Figures 7-10)\n\n";
+  out << "- ASes: " << report.as_sizes.records.size() << "\n";
+  out << "- corr(interfaces, locations): "
+      << report::fmt(report.as_sizes.corr_nodes_locations, 2) << "\n";
+  out << "- corr(interfaces, degree): "
+      << report::fmt(report.as_sizes.corr_nodes_degree, 2) << "\n";
+  out << "- zero-hull fraction: "
+      << report::fmt_percent(report.hulls.zero_area_fraction) << "\n";
+  out << "- dispersal thresholds: degree "
+      << report::fmt(report.hulls.thresholds.by_degree, 0) << ", nodes "
+      << report::fmt(report.hulls.thresholds.by_node_count, 0)
+      << ", locations "
+      << report::fmt(report.hulls.thresholds.by_locations, 0) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace geonet::core

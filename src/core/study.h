@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/as_analysis.h"
+#include "core/density.h"
+#include "core/distance_pref.h"
+#include "core/hull_analysis.h"
+#include "core/link_domains.h"
+#include "core/link_lengths.h"
+#include "core/waxman_fit.h"
+#include "geo/box_counting.h"
+#include "net/annotated_graph.h"
+#include "population/synth_population.h"
+
+namespace geonet::core {
+
+/// Everything the paper computes for one study region of one dataset.
+struct RegionStudy {
+  geo::Region region;
+  DensityAnalysis density;               ///< Figure 2 panel
+  DistancePreference distance;           ///< Figure 4 panel
+  WaxmanCharacterisation waxman;         ///< Figures 5-6, Table V row
+  LinkDomainStats link_domains;          ///< Table VI row
+};
+
+/// The complete result set of the paper for one processed dataset: the
+/// top-level object of this library.
+struct StudyReport {
+  std::string dataset_name;
+
+  std::vector<RegionDensityRow> economic_rows;    ///< Table III
+  std::vector<RegionDensityRow> homogeneity_rows; ///< Table IV
+  std::vector<RegionStudy> regions;               ///< US, Europe, Japan
+  LinkDomainStats world_links;                    ///< Table VI world row
+  LinkLengthAnalysis link_lengths;                ///< Yook et al. contrast
+  AsSizeAnalysis as_sizes;                        ///< Figures 7-8
+  HullAnalysis hulls;                             ///< Figures 9-10 (world)
+  geo::FractalDimension fractal;                  ///< Yook et al. cross-check
+
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::size_t distinct_locations = 0;             ///< Table I column
+};
+
+struct StudyOptions {
+  double patch_arcmin = 75.0;
+  DistancePrefOptions distance;
+  bool compute_fractal_dimension = true;
+  /// Regions to study; empty = the paper's US / Europe / Japan.
+  std::vector<geo::Region> regions;
+};
+
+/// Runs the paper's full analysis pipeline over one processed dataset.
+/// This one call regenerates every table and figure of the paper for that
+/// dataset (the benches print them; examples consume them).
+StudyReport run_study(const net::AnnotatedGraph& graph,
+                      const population::WorldPopulation& world,
+                      const StudyOptions& options = {});
+
+/// Renders a compact human-readable summary of a report.
+std::string summarize(const StudyReport& report);
+
+/// Writes the report's tables (III, IV, V, VI and the per-region fits)
+/// as a markdown document; returns false on I/O failure.
+bool write_study_markdown(const StudyReport& report, const std::string& path);
+
+}  // namespace geonet::core

@@ -1,0 +1,102 @@
+#include "core/validate.h"
+
+#include <cstdio>
+
+#include "core/as_analysis.h"
+#include "core/density.h"
+#include "core/hull_analysis.h"
+#include "core/link_domains.h"
+#include "core/waxman_fit.h"
+#include "stats/ccdf.h"
+
+namespace geonet::core {
+
+RealismSignature measure_signature(const net::AnnotatedGraph& graph,
+                                   const population::WorldPopulation& world,
+                                   const geo::Region& region) {
+  RealismSignature sig;
+  sig.nodes = graph.node_count();
+  sig.links = graph.edge_count();
+
+  const DensityAnalysis density = analyze_density(graph, world, region);
+  sig.density_slope = density.loglog_fit.slope;
+  sig.density_r2 = density.loglog_fit.r_squared;
+
+  const WaxmanCharacterisation waxman = characterize_region(graph, region);
+  sig.lambda_miles = waxman.lambda_miles;
+  sig.fraction_distance_sensitive = waxman.fraction_links_below_limit;
+
+  const auto degrees = graph.degrees();
+  std::vector<double> degree_values(degrees.begin(), degrees.end());
+  sig.degree_tail_slope = stats::fit_ccdf_tail(degree_values, 0.3).slope;
+
+  const AsSizeAnalysis as_sizes = analyze_as_sizes(graph);
+  sig.as_count = as_sizes.records.size();
+  sig.corr_nodes_locations = as_sizes.corr_nodes_locations;
+  sig.intradomain_fraction =
+      analyze_link_domains(graph).intradomain_fraction();
+  sig.zero_hull_fraction = analyze_hulls(graph).zero_area_fraction;
+  return sig;
+}
+
+RealismReport evaluate_realism(const RealismSignature& signature) {
+  RealismReport report;
+  report.signature = signature;
+  const bool has_as_structure = signature.as_count >= 10;
+
+  const auto check = [&](const char* criterion, bool pass, double value,
+                         const char* expectation) {
+    report.checks.push_back({criterion, pass, value, expectation});
+    if (pass) ++report.passed;
+  };
+
+  check("superlinear density (Fig 2)", signature.density_slope > 1.0,
+        signature.density_slope, "slope > 1 (paper: 1.2-1.75)");
+  check("density relationship strength",
+        signature.density_r2 > 0.4, signature.density_r2, "r^2 > 0.4");
+  check("mile-scale distance decay (Fig 5)",
+        signature.lambda_miles > 20.0 && signature.lambda_miles < 600.0,
+        signature.lambda_miles, "lambda in [20, 600] mi (paper: 80-145)");
+  check("distance-sensitive majority (Table V)",
+        signature.fraction_distance_sensitive > 0.6 &&
+            signature.fraction_distance_sensitive <= 1.0,
+        signature.fraction_distance_sensitive,
+        "fraction in (0.6, 1] (paper: 0.75-0.95)");
+  check("heavy degree tail (Fig 7c)", signature.degree_tail_slope < -1.0,
+        signature.degree_tail_slope, "log-log CCDF slope < -1");
+  if (has_as_structure) {
+    check("intradomain majority (Table VI)",
+          signature.intradomain_fraction > 0.7,
+          signature.intradomain_fraction, "fraction > 0.7 (paper: >0.83)");
+    check("size-location correlation (Fig 8a)",
+          signature.corr_nodes_locations > 0.5,
+          signature.corr_nodes_locations, "log-log r > 0.5");
+    check("zero-extent AS point mass (Fig 9)",
+          signature.zero_hull_fraction > 0.2,
+          signature.zero_hull_fraction, "fraction > 0.2 (paper: ~0.8)");
+  }
+  return report;
+}
+
+RealismReport check_realism(const net::AnnotatedGraph& graph,
+                            const population::WorldPopulation& world,
+                            const geo::Region& region) {
+  return evaluate_realism(measure_signature(graph, world, region));
+}
+
+std::string to_string(const RealismReport& report) {
+  std::string out;
+  char line[160];
+  for (const auto& check : report.checks) {
+    std::snprintf(line, sizeof(line), "  [%s] %-38s %8.2f  (%s)\n",
+                  check.pass ? "PASS" : "FAIL", check.criterion.c_str(),
+                  check.value, check.expectation.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %zu/%zu criteria passed\n",
+                report.passed, report.checks.size());
+  out += line;
+  return out;
+}
+
+}  // namespace geonet::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+#include "population/synth_population.h"
+
+namespace geonet::core {
+
+/// The paper's empirical findings, distilled into a topology-realism
+/// signature. This is the deliverable the conclusion calls for: a way to
+/// *validate* candidate topologies ("providing an important characteristic
+/// to be taken into account in constructing and validating topology
+/// generators", Section V).
+struct RealismSignature {
+  double density_slope = 0.0;          ///< Figure 2: expect > 1
+  double density_r2 = 0.0;
+  double lambda_miles = 0.0;           ///< Figure 5: expect O(100) miles
+  double fraction_distance_sensitive = 0.0;  ///< Table V: expect 0.75-0.95
+  double degree_tail_slope = 0.0;      ///< Figure 7-ish: expect < -1
+  double intradomain_fraction = 0.0;   ///< Table VI: expect > 0.8
+  double corr_nodes_locations = 0.0;   ///< Figure 8: expect strong
+  double zero_hull_fraction = 0.0;     ///< Figure 9: expect a point mass
+  std::size_t as_count = 0;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+};
+
+/// One acceptance criterion derived from the paper.
+struct RealismCheck {
+  std::string criterion;
+  bool pass = false;
+  double value = 0.0;
+  std::string expectation;
+};
+
+struct RealismReport {
+  RealismSignature signature;
+  std::vector<RealismCheck> checks;
+  std::size_t passed = 0;
+
+  [[nodiscard]] bool all_pass() const noexcept {
+    return passed == checks.size();
+  }
+};
+
+/// Measures the signature of a topology over `region` using `world` as
+/// the population reference.
+RealismSignature measure_signature(const net::AnnotatedGraph& graph,
+                                   const population::WorldPopulation& world,
+                                   const geo::Region& region);
+
+/// Evaluates the paper's acceptance criteria against a signature.
+/// Criteria without AS structure (single-AS graphs) are skipped rather
+/// than failed.
+RealismReport evaluate_realism(const RealismSignature& signature);
+
+/// Convenience: measure + evaluate.
+RealismReport check_realism(const net::AnnotatedGraph& graph,
+                            const population::WorldPopulation& world,
+                            const geo::Region& region);
+
+/// Renders the report as an aligned text block.
+std::string to_string(const RealismReport& report);
+
+}  // namespace geonet::core

@@ -1,0 +1,86 @@
+#include "core/waxman_fit.h"
+
+#include <cmath>
+#include <vector>
+
+namespace geonet::core {
+
+double paper_small_d_cut(const geo::Region& region) {
+  if (region.name == "US") return 250.0;
+  if (region.name == "Europe") return 300.0;
+  if (region.name == "Japan") return 200.0;
+  return 0.0;
+}
+
+WaxmanCharacterisation characterize_waxman(const DistancePreference& pref,
+                                           const WaxmanFitOptions& options) {
+  WaxmanCharacterisation out;
+  const std::size_t bins = pref.f.size();
+  if (bins == 0) return out;
+
+  const double range = pref.bin_miles * static_cast<double>(bins);
+  out.small_d_cut_miles =
+      options.small_d_cut_miles > 0.0 ? options.small_d_cut_miles : range / 3.0;
+
+  // --- Small-d regime: ln f(d) vs d (Figure 5). Bins are weighted by the
+  // square root of their pair support so sparsely-supported estimates do
+  // not swamp the fit on small datasets. ---
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> ws;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double d = pref.bin_center(b);
+    if (d > out.small_d_cut_miles) break;
+    if (pref.f[b] <= 0.0 ||
+        pref.pair_hist.count(b) < options.min_pair_support) {
+      continue;
+    }
+    xs.push_back(d);
+    ys.push_back(std::log(pref.f[b]));
+    ws.push_back(std::sqrt(pref.pair_hist.count(b)));
+  }
+  out.semilog_fit = stats::fit_line_weighted(xs, ys, ws);
+  if (out.semilog_fit.slope < 0.0) {
+    out.lambda_miles = -1.0 / out.semilog_fit.slope;
+  }
+  out.beta = std::exp(out.semilog_fit.intercept);
+
+  // --- Large-d regime: flat level and F(d) linearity (Figure 6). ---
+  double flat_sum = 0.0;
+  std::size_t flat_count = 0;
+  const auto cumulated = pref.cumulated();
+  std::vector<double> cx;
+  std::vector<double> cy;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double d = pref.bin_center(b);
+    if (d <= out.small_d_cut_miles) continue;
+    if (pref.pair_hist.count(b) < options.min_pair_support) continue;
+    flat_sum += pref.f[b];
+    ++flat_count;
+    cx.push_back(d);
+    cy.push_back(cumulated[b]);
+  }
+  if (flat_count > 0) out.flat_level = flat_sum / static_cast<double>(flat_count);
+  out.cumulative_fit = stats::fit_line(cx, cy);
+
+  // --- Table V: the limit where the exponential meets the flat level. ---
+  if (out.lambda_miles > 0.0 && out.flat_level > 0.0 &&
+      out.beta > out.flat_level) {
+    out.sensitivity_limit_miles =
+        out.lambda_miles * std::log(out.beta / out.flat_level);
+    out.fraction_links_below_limit =
+        pref.fraction_links_below(out.sensitivity_limit_miles);
+  }
+  return out;
+}
+
+WaxmanCharacterisation characterize_region(
+    const net::AnnotatedGraph& graph, const geo::Region& region,
+    const DistancePrefOptions& pref_options) {
+  const DistancePreference pref = distance_preference(graph, region, pref_options);
+  WaxmanFitOptions fit_options;
+  fit_options.small_d_cut_miles = paper_small_d_cut(region);
+  return characterize_waxman(pref, fit_options);
+}
+
+}  // namespace geonet::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "core/distance_pref.h"
+#include "stats/linear_fit.h"
+
+namespace geonet::core {
+
+/// Section V's characterisation of f(d): an exponentially declining
+/// Waxman-like regime for small d, a flat (distance-independent) regime
+/// for large d, and the limit separating them (Table V).
+struct WaxmanCharacterisation {
+  /// ln f(d) vs d over the small-d window (Figure 5). slope = -1/lambda.
+  stats::LinearFit semilog_fit;
+  double lambda_miles = 0.0;  ///< decay scale, the paper's alpha*L
+  double beta = 0.0;          ///< f(0) of the fit, exp(intercept)
+
+  double small_d_cut_miles = 0.0;  ///< window used for the semilog fit
+  double flat_level = 0.0;         ///< mean f(d) in the large-d regime
+
+  /// F(d) linearity check over the large-d regime (Figure 6); r_squared
+  /// near 1 supports distance independence.
+  stats::LinearFit cumulative_fit;
+
+  /// Where the exponential fit meets the flat level (Table V "Limit").
+  double sensitivity_limit_miles = 0.0;
+  /// Fraction of links shorter than the limit (Table V "% Links < Limit").
+  double fraction_links_below_limit = 0.0;
+};
+
+struct WaxmanFitOptions {
+  /// Upper edge (miles) of the small-d fit window; 0 picks the paper's
+  /// values for the known study regions (250 / 300 / 200 mi) and a third
+  /// of the histogram range otherwise.
+  double small_d_cut_miles = 0.0;
+  /// Bins with fewer supporting pairs than this are too noisy to fit.
+  double min_pair_support = 30.0;
+};
+
+/// The small-d fit window the paper uses per study region (Figure 5).
+double paper_small_d_cut(const geo::Region& region);
+
+/// Fits both regimes of an empirical distance preference function.
+WaxmanCharacterisation characterize_waxman(const DistancePreference& pref,
+                                           const WaxmanFitOptions& options = {});
+
+/// Convenience: runs distance_preference() then characterize_waxman() with
+/// the paper's per-region parameters.
+WaxmanCharacterisation characterize_region(const net::AnnotatedGraph& graph,
+                                           const geo::Region& region,
+                                           const DistancePrefOptions& pref_options = {});
+
+}  // namespace geonet::core

@@ -1,0 +1,59 @@
+#include "generators/ba_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace geonet::generators {
+
+net::AnnotatedGraph generate_barabasi_albert(
+    const geo::Region& region, const BarabasiAlbertOptions& options) {
+  net::AnnotatedGraph graph(net::NodeKind::kRouter, "BarabasiAlbert");
+  stats::Rng rng(options.seed);
+
+  const std::size_t m = std::max<std::size_t>(1, options.edges_per_node);
+  const std::size_t n = std::max(options.node_count, m + 1);
+
+  const auto add_node = [&]() {
+    return graph.add_node(
+        {net::Ipv4Addr{static_cast<std::uint32_t>(0x03000000 + graph.node_count())},
+         {rng.uniform(region.south_deg, region.north_deg),
+          rng.uniform(region.west_deg, region.east_deg)},
+         1});
+  };
+
+  // Degree-proportional sampling via the repeated-endpoints trick: each
+  // edge endpoint appears once in this list.
+  std::vector<std::uint32_t> endpoints;
+
+  // Seed clique of m+1 nodes.
+  for (std::size_t i = 0; i <= m; ++i) add_node();
+  for (std::uint32_t i = 0; i <= m; ++i) {
+    for (std::uint32_t j = i + 1; j <= m; ++j) {
+      if (graph.add_edge(i, j)) {
+        endpoints.push_back(i);
+        endpoints.push_back(j);
+      }
+    }
+  }
+
+  while (graph.node_count() < n) {
+    const std::uint32_t fresh = add_node();
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < m && attempts < 50 * m) {
+      ++attempts;
+      const std::uint32_t target =
+          endpoints[rng.uniform_index(endpoints.size())];
+      if (graph.add_edge(fresh, target)) {
+        endpoints.push_back(fresh);
+        endpoints.push_back(target);
+        ++added;
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace geonet::generators

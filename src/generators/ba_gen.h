@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+
+namespace geonet::generators {
+
+/// Barabasi-Albert preferential attachment: the degree-distribution-first
+/// school of topology generation the paper contrasts with geographic
+/// models. Node locations are uniform (the model carries no geometry).
+struct BarabasiAlbertOptions {
+  std::size_t node_count = 1000;
+  std::size_t edges_per_node = 2;  ///< m: links added with each new node
+  std::uint64_t seed = 3;
+};
+
+net::AnnotatedGraph generate_barabasi_albert(
+    const geo::Region& region, const BarabasiAlbertOptions& options = {});
+
+}  // namespace geonet::generators

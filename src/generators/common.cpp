@@ -1,0 +1,19 @@
+#include "generators/common.h"
+
+#include "geo/distance.h"
+
+namespace geonet::generators {
+
+std::vector<double> link_latencies_ms(const net::AnnotatedGraph& graph,
+                                      double circuity) {
+  std::vector<double> out;
+  out.reserve(graph.edge_count());
+  for (const auto& edge : graph.edges()) {
+    const double miles = geo::great_circle_miles(graph.node(edge.a).location,
+                                                 graph.node(edge.b).location);
+    out.push_back(geo::fiber_latency_ms(miles, circuity));
+  }
+  return out;
+}
+
+}  // namespace geonet::generators

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <vector>
+
+#include "net/annotated_graph.h"
+
+namespace geonet::generators {
+
+/// Per-edge propagation latencies derived from node geography — the
+/// annotation the paper argues becomes "a straightforward matter" once
+/// topologies carry locations (Section VII). Parallel to graph.edges().
+std::vector<double> link_latencies_ms(const net::AnnotatedGraph& graph,
+                                      double circuity = 1.5);
+
+}  // namespace geonet::generators

@@ -1,0 +1,47 @@
+#include "generators/geo_gen.h"
+
+#include "generators/common.h"
+#include "population/economic_profile.h"
+
+namespace geonet::generators {
+
+GeneratedTopology topology_from_truth(const synth::GroundTruth& truth) {
+  net::AnnotatedGraph graph(net::NodeKind::kRouter, "GeoGenerator");
+  const net::Topology& topology = truth.topology();
+
+  for (net::RouterId r = 0; r < topology.router_count(); ++r) {
+    const net::Router& router = topology.router(r);
+    const net::Ipv4Addr addr =
+        router.interfaces.empty()
+            ? net::Ipv4Addr{0}
+            : topology.interface(router.interfaces.front()).addr;
+    graph.add_node({addr, router.location, router.asn});
+  }
+  for (const net::Link& link : topology.links()) {
+    graph.add_edge(topology.interface(link.if_a).router,
+                   topology.interface(link.if_b).router);
+  }
+
+  GeneratedTopology out{std::move(graph), {}};
+  out.link_latency_ms = link_latencies_ms(out.graph);
+  return out;
+}
+
+GeneratedTopology generate_geo_topology(
+    const population::WorldPopulation& world,
+    const GeoGeneratorOptions& options) {
+  synth::GroundTruthOptions growth = options.growth;
+  growth.seed = options.seed;
+
+  // Convert the requested router count into the interface-budget scale the
+  // growth engine consumes.
+  const double paper_interfaces =
+      population::world_totals().paper_interfaces;
+  growth.interface_scale = static_cast<double>(options.router_count) *
+                           growth.interfaces_per_router / paper_interfaces;
+
+  const synth::GroundTruth truth = synth::GroundTruth::build(world, growth);
+  return topology_from_truth(truth);
+}
+
+}  // namespace geonet::generators

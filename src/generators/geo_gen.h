@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/annotated_graph.h"
+#include "population/synth_population.h"
+#include "synth/ground_truth.h"
+
+namespace geonet::generators {
+
+/// The "next generation" topology generator the paper's conclusion calls
+/// for: router-level graphs annotated with geographic locations, AS
+/// identifiers, and link latencies, grown from population data with
+/// distance-sensitive link formation.
+///
+/// The growth engine is the same code that builds the measurement
+/// substrate (synth::GroundTruth); here it is exposed as a generator whose
+/// *output* is the annotated graph itself rather than an object to probe.
+struct GeoGeneratorOptions {
+  /// Approximate router count to generate.
+  std::size_t router_count = 20000;
+  synth::GroundTruthOptions growth;  ///< scale/seed fields are derived
+  std::uint64_t seed = 4;
+};
+
+struct GeneratedTopology {
+  net::AnnotatedGraph graph;               ///< locations + AS labels
+  std::vector<double> link_latency_ms;     ///< parallel to graph.edges()
+};
+
+/// Generates an annotated router-level topology over the synthetic world.
+GeneratedTopology generate_geo_topology(
+    const population::WorldPopulation& world,
+    const GeoGeneratorOptions& options = {});
+
+/// Projects a ground truth into the generator output format (truth
+/// locations and AS labels, no measurement distortion). Useful to compare
+/// "what the generator built" against "what a measurement would see".
+GeneratedTopology topology_from_truth(const synth::GroundTruth& truth);
+
+}  // namespace geonet::generators

@@ -1,0 +1,105 @@
+#include "generators/hierarchical_gen.h"
+
+#include <vector>
+
+#include "geo/distance.h"
+#include "stats/rng.h"
+
+namespace geonet::generators {
+
+namespace {
+
+geo::GeoPoint scatter(stats::Rng& rng, const geo::GeoPoint& center,
+                      double radius_miles, const geo::Region& clip) {
+  const geo::GeoPoint p = geo::destination_point(
+      center, rng.uniform(0.0, 360.0), rng.uniform(0.0, radius_miles));
+  return clip.contains(p) ? p : center;
+}
+
+}  // namespace
+
+net::AnnotatedGraph generate_transit_stub(const geo::Region& region,
+                                          const TransitStubOptions& options) {
+  net::AnnotatedGraph graph(net::NodeKind::kRouter, "TransitStub");
+  stats::Rng rng(options.seed);
+  // Transit domains own ASNs 1..transit_domains; stub ASNs follow.
+  std::uint32_t next_stub_asn =
+      static_cast<std::uint32_t>(options.transit_domains) + 1;
+  std::uint32_t next_addr = 0x05000000;
+
+  const auto add_node = [&](const geo::GeoPoint& where, std::uint32_t asn) {
+    return graph.add_node({net::Ipv4Addr{next_addr++}, where, asn});
+  };
+
+  // A connected clique-ish backbone of transit-domain gateways.
+  struct Domain {
+    std::vector<std::uint32_t> nodes;
+  };
+  std::vector<Domain> transits;
+
+  for (std::size_t t = 0; t < options.transit_domains; ++t) {
+    const auto asn = static_cast<std::uint32_t>(t + 1);
+    const geo::GeoPoint center{rng.uniform(region.south_deg, region.north_deg),
+                               rng.uniform(region.west_deg, region.east_deg)};
+    Domain domain;
+    for (std::size_t i = 0; i < options.transit_nodes_per_domain; ++i) {
+      domain.nodes.push_back(add_node(
+          scatter(rng, center, options.transit_radius_miles, region), asn));
+    }
+    // Ring + random chords inside the transit domain.
+    for (std::size_t i = 0; i < domain.nodes.size(); ++i) {
+      graph.add_edge(domain.nodes[i],
+                     domain.nodes[(i + 1) % domain.nodes.size()]);
+      if (rng.bernoulli(options.extra_edge_probability) &&
+          domain.nodes.size() > 2) {
+        graph.add_edge(domain.nodes[i],
+                       domain.nodes[rng.uniform_index(domain.nodes.size())]);
+      }
+    }
+    // Connect this transit domain to a previous one (backbone stays
+    // connected), plus occasional extra transit-transit edges.
+    if (!transits.empty()) {
+      const Domain& peer = transits[rng.uniform_index(transits.size())];
+      graph.add_edge(domain.nodes[rng.uniform_index(domain.nodes.size())],
+                     peer.nodes[rng.uniform_index(peer.nodes.size())]);
+      if (rng.bernoulli(0.5) && transits.size() > 1) {
+        const Domain& other = transits[rng.uniform_index(transits.size())];
+        graph.add_edge(domain.nodes[rng.uniform_index(domain.nodes.size())],
+                       other.nodes[rng.uniform_index(other.nodes.size())]);
+      }
+    }
+
+    // Stub domains hanging off this transit's nodes.
+    for (std::size_t s = 0; s < options.stubs_per_transit; ++s) {
+      const std::uint32_t stub_asn = next_stub_asn++;
+      const std::uint32_t gateway =
+          domain.nodes[rng.uniform_index(domain.nodes.size())];
+      const geo::GeoPoint stub_center = scatter(
+          rng, graph.node(gateway).location,
+          options.transit_radius_miles * 0.5, region);
+      const std::size_t count = std::max<std::size_t>(
+          2, rng.poisson(static_cast<double>(options.stub_nodes_mean)));
+      std::vector<std::uint32_t> stub_nodes;
+      for (std::size_t i = 0; i < count; ++i) {
+        stub_nodes.push_back(add_node(
+            scatter(rng, stub_center, options.stub_radius_miles, region),
+            stub_asn));
+      }
+      // Random tree inside the stub + extras.
+      for (std::size_t i = 1; i < stub_nodes.size(); ++i) {
+        graph.add_edge(stub_nodes[i], stub_nodes[rng.uniform_index(i)]);
+        if (rng.bernoulli(options.extra_edge_probability)) {
+          graph.add_edge(stub_nodes[i],
+                         stub_nodes[rng.uniform_index(stub_nodes.size())]);
+        }
+      }
+      // The stub's uplink into its transit.
+      graph.add_edge(stub_nodes[rng.uniform_index(stub_nodes.size())],
+                     gateway);
+    }
+    transits.push_back(std::move(domain));
+  }
+  return graph;
+}
+
+}  // namespace geonet::generators

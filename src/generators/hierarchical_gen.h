@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+
+namespace geonet::generators {
+
+/// GT-ITM/Tiers-style transit-stub generator — the "structural" school of
+/// topology generation the paper's Section II describes: an explicit
+/// hierarchy of transit domains, each serving several stub domains.
+/// Unlike the originals, domains here are placed *geographically* (each
+/// domain gets a random centre and a radius), making this the midpoint
+/// between purely structural models and the paper's geography-first
+/// vision. Every domain is labelled as its own AS.
+struct TransitStubOptions {
+  std::size_t transit_domains = 4;
+  std::size_t transit_nodes_per_domain = 8;
+  std::size_t stubs_per_transit = 6;
+  std::size_t stub_nodes_mean = 10;
+  double stub_radius_miles = 40.0;
+  double transit_radius_miles = 600.0;
+  double extra_edge_probability = 0.25;  ///< redundancy inside domains
+  std::uint64_t seed = 6;
+};
+
+net::AnnotatedGraph generate_transit_stub(const geo::Region& region,
+                                          const TransitStubOptions& options = {});
+
+}  // namespace geonet::generators

@@ -1,0 +1,78 @@
+#include "generators/inet_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace geonet::generators {
+
+net::AnnotatedGraph generate_inet(const geo::Region& region,
+                                  const InetOptions& options) {
+  net::AnnotatedGraph graph(net::NodeKind::kRouter, "Inet");
+  stats::Rng rng(options.seed);
+  const std::size_t n = std::max<std::size_t>(options.node_count, 4);
+  const std::size_t max_degree =
+      options.max_degree > 0 ? options.max_degree : n / 3;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.add_node({net::Ipv4Addr{static_cast<std::uint32_t>(0x04000000 + i)},
+                    {rng.uniform(region.south_deg, region.north_deg),
+                     rng.uniform(region.west_deg, region.east_deg)},
+                    1});
+  }
+
+  // Power-law target degrees, minimum 1.
+  std::vector<std::size_t> target(n);
+  for (auto& d : target) {
+    d = std::clamp<std::size_t>(
+        static_cast<std::size_t>(stats::pareto(rng, 1.0,
+                                               options.degree_exponent - 1.0)),
+        1, max_degree);
+  }
+  // Sort descending: node 0 gets the largest degree (the Inet "core").
+  std::sort(target.rbegin(), target.rend());
+
+  std::vector<std::size_t> residual = target;
+  const auto connect = [&](std::uint32_t a, std::uint32_t b) {
+    if (graph.add_edge(a, b)) {
+      if (residual[a] > 0) --residual[a];
+      if (residual[b] > 0) --residual[b];
+      return true;
+    }
+    return false;
+  };
+
+  // Core clique among the few highest-degree nodes.
+  const std::size_t core = std::min<std::size_t>(3, n);
+  for (std::uint32_t i = 0; i < core; ++i) {
+    for (std::uint32_t j = i + 1; j < core; ++j) connect(i, j);
+  }
+
+  // Attach every other node to an already-attached target with
+  // probability proportional to its residual degree.
+  for (std::uint32_t v = static_cast<std::uint32_t>(core); v < n; ++v) {
+    std::vector<double> weights(v, 0.0);
+    for (std::uint32_t u = 0; u < v; ++u) {
+      weights[u] = static_cast<double>(residual[u]) + 0.05;
+    }
+    const std::size_t u = stats::weighted_index(rng, weights);
+    connect(v, static_cast<std::uint32_t>(u < v ? u : 0));
+  }
+
+  // Second pass: satisfy remaining residual degrees by matching.
+  std::vector<std::uint32_t> stubs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < residual[i]; ++k) stubs.push_back(i);
+  }
+  rng.shuffle(std::span<std::uint32_t>(stubs));
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    connect(stubs[i], stubs[i + 1]);
+  }
+  return graph;
+}
+
+}  // namespace geonet::generators

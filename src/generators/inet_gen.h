@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+
+namespace geonet::generators {
+
+/// Inet-style degree-sequence generator (Jin, Chen & Jamin), another of
+/// the degree-distribution-first baselines the paper's Section II cites:
+/// draw a power-law degree sequence, connect highest-degree nodes into a
+/// core, then attach remaining stubs degree-proportionally. Locations are
+/// uniform (the model has no geometry).
+struct InetOptions {
+  std::size_t node_count = 1000;
+  double degree_exponent = 2.2;   ///< P[deg = k] ~ k^-exponent
+  std::size_t max_degree = 0;     ///< 0 = n/3
+  std::uint64_t seed = 5;
+};
+
+net::AnnotatedGraph generate_inet(const geo::Region& region,
+                                  const InetOptions& options = {});
+
+}  // namespace geonet::generators

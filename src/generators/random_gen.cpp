@@ -1,0 +1,26 @@
+#include "generators/random_gen.h"
+
+#include "stats/rng.h"
+
+namespace geonet::generators {
+
+net::AnnotatedGraph generate_erdos_renyi(const geo::Region& region,
+                                         const ErdosRenyiOptions& options) {
+  net::AnnotatedGraph graph(net::NodeKind::kRouter, "ErdosRenyi");
+  stats::Rng rng(options.seed);
+
+  for (std::size_t i = 0; i < options.node_count; ++i) {
+    graph.add_node({net::Ipv4Addr{static_cast<std::uint32_t>(0x02000000 + i)},
+                    {rng.uniform(region.south_deg, region.north_deg),
+                     rng.uniform(region.west_deg, region.east_deg)},
+                    1});
+  }
+  for (std::uint32_t i = 0; i < options.node_count; ++i) {
+    for (std::uint32_t j = i + 1; j < options.node_count; ++j) {
+      if (rng.bernoulli(options.edge_probability)) graph.add_edge(i, j);
+    }
+  }
+  return graph;
+}
+
+}  // namespace geonet::generators

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+
+namespace geonet::generators {
+
+/// Erdos-Renyi G(n, p): every pair connected with fixed probability,
+/// blind to geography. The paper's Section II notes such graphs are
+/// typically disconnected at sparse densities — reproduced in the tests.
+struct ErdosRenyiOptions {
+  std::size_t node_count = 1000;
+  double edge_probability = 0.002;
+  std::uint64_t seed = 2;
+};
+
+net::AnnotatedGraph generate_erdos_renyi(const geo::Region& region,
+                                         const ErdosRenyiOptions& options = {});
+
+}  // namespace geonet::generators

@@ -1,0 +1,40 @@
+#include "generators/waxman_gen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "geo/distance.h"
+#include "stats/rng.h"
+
+namespace geonet::generators {
+
+net::AnnotatedGraph generate_waxman(const geo::Region& region,
+                                    const WaxmanOptions& options) {
+  net::AnnotatedGraph graph(net::NodeKind::kRouter, "Waxman");
+  stats::Rng rng(options.seed);
+
+  std::vector<geo::GeoPoint> points;
+  points.reserve(options.node_count);
+  for (std::size_t i = 0; i < options.node_count; ++i) {
+    const geo::GeoPoint p{rng.uniform(region.south_deg, region.north_deg),
+                          rng.uniform(region.west_deg, region.east_deg)};
+    points.push_back(p);
+    graph.add_node({net::Ipv4Addr{static_cast<std::uint32_t>(0x01000000 + i)},
+                    p, 1});
+  }
+
+  // L = maximum distance between nodes; the box diagonal bounds it and is
+  // the conventional stand-in.
+  const double max_distance = region.diagonal_miles();
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < points.size(); ++j) {
+      const double d = geo::great_circle_miles(points[i], points[j]);
+      const double p =
+          options.beta * std::exp(-d / (options.alpha * max_distance));
+      if (rng.bernoulli(p)) graph.add_edge(i, j);
+    }
+  }
+  return graph;
+}
+
+}  // namespace geonet::generators

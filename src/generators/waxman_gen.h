@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+
+namespace geonet::generators {
+
+/// The classic Waxman model (Waxman 1988), the baseline whose two
+/// assumptions the paper tests: (1) nodes uniform at random in the plane
+/// — which the paper refutes — and (2) connection probability decaying
+/// exponentially with distance — which the paper supports.
+struct WaxmanOptions {
+  std::size_t node_count = 1000;
+  double alpha = 0.15;  ///< distance sensitivity, (0, 1]
+  double beta = 0.2;    ///< link density, (0, 1]
+  std::uint64_t seed = 1;
+};
+
+/// Generates a Waxman graph over `region`: nodes uniform in the box,
+/// P[link] = beta * exp(-d / (alpha * L)) with L the maximum node
+/// separation. All nodes share one synthetic AS (the model has none).
+net::AnnotatedGraph generate_waxman(const geo::Region& region,
+                                    const WaxmanOptions& options = {});
+
+}  // namespace geonet::generators

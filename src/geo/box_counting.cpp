@@ -1,0 +1,48 @@
+#include "geo/box_counting.h"
+
+#include <cmath>
+
+#include "geo/grid.h"
+
+namespace geonet::geo {
+
+BoxCount count_boxes(std::span<const GeoPoint> points, const Region& region,
+                     double box_arcmin) {
+  const Grid grid(region, box_arcmin);
+  const auto counts = grid.tally(points);
+  std::size_t occupied = 0;
+  for (const double c : counts) {
+    if (c > 0.0) ++occupied;
+  }
+  return {box_arcmin, occupied};
+}
+
+FractalDimension box_counting_dimension(std::span<const GeoPoint> points,
+                                        const Region& region,
+                                        double min_arcmin, double max_arcmin,
+                                        std::size_t scales) {
+  FractalDimension result;
+  if (scales < 2 || !(min_arcmin > 0.0) || !(max_arcmin > min_arcmin)) {
+    return result;
+  }
+
+  const double ratio = std::pow(max_arcmin / min_arcmin,
+                                1.0 / static_cast<double>(scales - 1));
+  std::vector<double> log_inv_eps;
+  std::vector<double> log_n;
+  double eps = min_arcmin;
+  for (std::size_t i = 0; i < scales; ++i, eps *= ratio) {
+    const BoxCount bc = count_boxes(points, region, eps);
+    result.sweep.push_back(bc);
+    if (bc.occupied_boxes > 0) {
+      log_inv_eps.push_back(std::log10(1.0 / bc.box_arcmin));
+      log_n.push_back(std::log10(static_cast<double>(bc.occupied_boxes)));
+    }
+  }
+
+  result.fit = stats::fit_line(log_inv_eps, log_n);
+  result.dimension = result.fit.slope;
+  return result;
+}
+
+}  // namespace geonet::geo

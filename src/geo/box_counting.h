@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "geo/region.h"
+#include "stats/linear_fit.h"
+
+namespace geonet::geo {
+
+/// One scale of a box-counting sweep.
+struct BoxCount {
+  double box_arcmin = 0.0;        ///< box edge length at this scale
+  std::size_t occupied_boxes = 0; ///< boxes containing >= 1 point
+};
+
+/// Result of a box-counting fractal-dimension estimate.
+///
+/// Yook, Jeong and Barabasi reported a fractal dimension of ~1.5 for
+/// routers, ASes and population density; the paper states its datasets
+/// confirm this via the box-counting method. dimension is the slope of
+/// log N(eps) versus log (1/eps).
+struct FractalDimension {
+  double dimension = 0.0;
+  stats::LinearFit fit;           ///< underlying log-log fit
+  std::vector<BoxCount> sweep;    ///< per-scale occupied-box counts
+};
+
+/// Counts occupied boxes of the given edge length over the region.
+BoxCount count_boxes(std::span<const GeoPoint> points, const Region& region,
+                     double box_arcmin);
+
+/// Estimates the box-counting dimension by sweeping box sizes
+/// geometrically from `min_arcmin` to `max_arcmin` over `scales` steps.
+FractalDimension box_counting_dimension(std::span<const GeoPoint> points,
+                                        const Region& region,
+                                        double min_arcmin = 15.0,
+                                        double max_arcmin = 960.0,
+                                        std::size_t scales = 7);
+
+}  // namespace geonet::geo

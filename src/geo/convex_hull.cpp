@@ -1,0 +1,78 @@
+#include "geo/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geonet::geo {
+
+namespace {
+
+double cross(const PlanarPoint& o, const PlanarPoint& a,
+             const PlanarPoint& b) noexcept {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+}  // namespace
+
+std::vector<PlanarPoint> convex_hull(std::span<const PlanarPoint> points) {
+  std::vector<PlanarPoint> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  std::vector<PlanarPoint> hull(2 * n);
+  std::size_t k = 0;
+
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+
+  hull.resize(k - 1);  // last point repeats the first
+  return hull;
+}
+
+double polygon_signed_area(std::span<const PlanarPoint> polygon) noexcept {
+  if (polygon.size() < 3) return 0.0;
+  double twice_area = 0.0;
+  for (std::size_t i = 0; i < polygon.size(); ++i) {
+    const auto& a = polygon[i];
+    const auto& b = polygon[(i + 1) % polygon.size()];
+    twice_area += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * twice_area;
+}
+
+double polygon_area(std::span<const PlanarPoint> polygon) noexcept {
+  return std::fabs(polygon_signed_area(polygon));
+}
+
+double hull_area_sq_miles(std::span<const GeoPoint> points,
+                          const AlbersProjection& projection) {
+  std::vector<PlanarPoint> projected;
+  projected.reserve(points.size());
+  for (const auto& p : points) projected.push_back(projection.project(p));
+  const auto hull = convex_hull(projected);
+  return polygon_area(hull);
+}
+
+bool point_in_convex_polygon(const PlanarPoint& query,
+                             std::span<const PlanarPoint> hull) noexcept {
+  if (hull.size() < 3) return false;
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const auto& a = hull[i];
+    const auto& b = hull[(i + 1) % hull.size()];
+    if (cross(a, b, query) < 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace geonet::geo

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/projection.h"
+
+namespace geonet::geo {
+
+/// Convex hull of a planar point set (Andrew's monotone chain, O(n log n)).
+///
+/// Returns the hull vertices in counter-clockwise order without repeating
+/// the first vertex. Degenerate inputs return what is available: empty for
+/// no points, one vertex for coincident points, two for collinear sets.
+std::vector<PlanarPoint> convex_hull(std::span<const PlanarPoint> points);
+
+/// Signed area of a simple polygon (shoelace); positive when the vertices
+/// wind counter-clockwise.
+[[nodiscard]] double polygon_signed_area(std::span<const PlanarPoint> polygon) noexcept;
+
+/// Absolute polygon area; 0 for fewer than three vertices.
+[[nodiscard]] double polygon_area(std::span<const PlanarPoint> polygon) noexcept;
+
+/// Area of the convex hull of a set of geographic points after projecting
+/// with the given Albers projection, in square miles. This is exactly the
+/// paper's Section VI.B measure of the geographic extent of an AS.
+[[nodiscard]] double hull_area_sq_miles(std::span<const GeoPoint> points,
+                                        const AlbersProjection& projection);
+
+/// True iff the query point lies inside or on the boundary of a convex
+/// polygon given in counter-clockwise order.
+[[nodiscard]] bool point_in_convex_polygon(const PlanarPoint& query,
+                                           std::span<const PlanarPoint> hull) noexcept;
+
+}  // namespace geonet::geo

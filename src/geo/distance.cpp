@@ -1,0 +1,74 @@
+#include "geo/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geonet::geo {
+
+namespace {
+
+double haversine_central_angle(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double sin_dlat = std::sin(0.5 * dlat);
+  const double sin_dlon = std::sin(0.5 * dlon);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace
+
+double great_circle_miles(const GeoPoint& a, const GeoPoint& b) noexcept {
+  return kEarthRadiusMiles * haversine_central_angle(a, b);
+}
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  return kEarthRadiusKm * haversine_central_angle(a, b);
+}
+
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double bearing = rad_to_deg(std::atan2(y, x));
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+GeoPoint destination_point(const GeoPoint& start, double bearing_deg,
+                           double distance_miles) noexcept {
+  const double delta = distance_miles / kEarthRadiusMiles;
+  const double theta = deg_to_rad(bearing_deg);
+  const double lat1 = deg_to_rad(start.lat_deg);
+  const double lon1 = deg_to_rad(start.lon_deg);
+
+  const double sin_lat2 = std::sin(lat1) * std::cos(delta) +
+                          std::cos(lat1) * std::sin(delta) * std::cos(theta);
+  const double lat2 = std::asin(std::clamp(sin_lat2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(lat1);
+  const double x = std::cos(delta) - std::sin(lat1) * sin_lat2;
+  const double lon2 = lon1 + std::atan2(y, x);
+
+  return normalized({rad_to_deg(lat2), rad_to_deg(lon2)});
+}
+
+double miles_per_lat_degree() noexcept {
+  return kEarthRadiusMiles * kDegToRad;
+}
+
+double miles_per_lon_degree(double lat_deg) noexcept {
+  return kEarthRadiusMiles * kDegToRad * std::cos(deg_to_rad(lat_deg));
+}
+
+double fiber_latency_ms(double distance_miles, double circuity) noexcept {
+  constexpr double kMilesPerMs = 186.282 * 2.0 / 3.0;  // ~2/3 c in fibre
+  return circuity * distance_miles / kMilesPerMs;
+}
+
+}  // namespace geonet::geo

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "geo/geo_point.h"
+
+namespace geonet::geo {
+
+/// Mean Earth radius. The paper reports all lengths in statute miles;
+/// we follow suit everywhere (Tables V and VI, Figures 4-6).
+constexpr double kEarthRadiusMiles = 3958.7613;
+constexpr double kEarthRadiusKm = 6371.0088;
+
+/// Great-circle distance between two points, in statute miles (haversine).
+[[nodiscard]] double great_circle_miles(const GeoPoint& a,
+                                        const GeoPoint& b) noexcept;
+
+/// Great-circle distance in kilometres.
+[[nodiscard]] double great_circle_km(const GeoPoint& a,
+                                     const GeoPoint& b) noexcept;
+
+/// Initial bearing from a to b, degrees clockwise from north in [0, 360).
+[[nodiscard]] double initial_bearing_deg(const GeoPoint& a,
+                                         const GeoPoint& b) noexcept;
+
+/// Destination point reached travelling `distance_miles` from `start` along
+/// the given initial bearing. Used to scatter synthetic routers around city
+/// centres without distorting distances at high latitude.
+[[nodiscard]] GeoPoint destination_point(const GeoPoint& start,
+                                         double bearing_deg,
+                                         double distance_miles) noexcept;
+
+/// Miles subtended by one degree of longitude at the given latitude.
+[[nodiscard]] double miles_per_lon_degree(double lat_deg) noexcept;
+
+/// Miles subtended by one degree of latitude (constant on a sphere).
+[[nodiscard]] double miles_per_lat_degree() noexcept;
+
+/// One-way propagation latency in milliseconds over a great-circle fibre
+/// path of the given length, assuming light at ~2/3 c in fibre and a
+/// route-circuity factor (paths are not laid along geodesics).
+[[nodiscard]] double fiber_latency_ms(double distance_miles,
+                                      double circuity = 1.5) noexcept;
+
+}  // namespace geonet::geo

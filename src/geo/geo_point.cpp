@@ -1,0 +1,41 @@
+#include "geo/geo_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace geonet::geo {
+
+bool is_valid(const GeoPoint& p) noexcept {
+  return std::isfinite(p.lat_deg) && std::isfinite(p.lon_deg) &&
+         p.lat_deg >= -90.0 && p.lat_deg <= 90.0 && p.lon_deg >= -180.0 &&
+         p.lon_deg <= 180.0;
+}
+
+GeoPoint normalized(const GeoPoint& p) noexcept {
+  GeoPoint out = p;
+  out.lat_deg = std::clamp(out.lat_deg, -90.0, 90.0);
+  out.lon_deg = std::fmod(out.lon_deg + 180.0, 360.0);
+  if (out.lon_deg < 0.0) out.lon_deg += 360.0;
+  out.lon_deg -= 180.0;
+  return out;
+}
+
+std::string to_string(const GeoPoint& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f%c %.2f%c", std::fabs(p.lat_deg),
+                p.lat_deg >= 0.0 ? 'N' : 'S', std::fabs(p.lon_deg),
+                p.lon_deg >= 0.0 ? 'E' : 'W');
+  return buf;
+}
+
+std::uint64_t quantized_key(const GeoPoint& p, double quantum_deg) noexcept {
+  const GeoPoint q = normalized(p);
+  const auto lat = static_cast<std::int64_t>(std::llround(q.lat_deg / quantum_deg));
+  const auto lon = static_cast<std::int64_t>(std::llround(q.lon_deg / quantum_deg));
+  const auto ulat = static_cast<std::uint64_t>(lat + (1LL << 30));
+  const auto ulon = static_cast<std::uint64_t>(lon + (1LL << 30));
+  return (ulat << 32) | (ulon & 0xffffffffULL);
+}
+
+}  // namespace geonet::geo

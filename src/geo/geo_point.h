@@ -1,0 +1,46 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace geonet::geo {
+
+/// A point on the Earth's surface in decimal degrees.
+///
+/// Latitude is positive north, longitude positive east, matching the
+/// conventions of the paper's Table II ("50N", "150W" = lat +50, lon -150).
+struct GeoPoint {
+  double lat_deg = 0.0;  ///< [-90, +90]
+  double lon_deg = 0.0;  ///< [-180, +180)
+
+  friend auto operator<=>(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// True iff lat is in [-90, 90] and lon in [-180, 180].
+[[nodiscard]] bool is_valid(const GeoPoint& p) noexcept;
+
+/// Wraps longitude into [-180, 180) and clamps latitude to [-90, 90].
+[[nodiscard]] GeoPoint normalized(const GeoPoint& p) noexcept;
+
+/// Human-readable form, e.g. "40.71N 74.01W".
+[[nodiscard]] std::string to_string(const GeoPoint& p);
+
+/// Packs a point quantised to `quantum_deg` into one 64-bit key, so that
+/// "distinct locations" (Table I, Figure 7b) can be counted with a hash
+/// set. Points within the same quantum cell share a key.
+[[nodiscard]] std::uint64_t quantized_key(const GeoPoint& p,
+                                          double quantum_deg = 0.01) noexcept;
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kDegToRad = kPi / 180.0;
+constexpr double kRadToDeg = 180.0 / kPi;
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * kDegToRad;
+}
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept {
+  return rad * kRadToDeg;
+}
+
+}  // namespace geonet::geo

@@ -1,0 +1,73 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/distance.h"
+
+namespace geonet::geo {
+
+Grid::Grid(Region region, double cell_arcmin)
+    : region_(std::move(region)),
+      cell_arcmin_(cell_arcmin),
+      cell_deg_(cell_arcmin / 60.0) {
+  if (!(cell_arcmin > 0.0)) {
+    throw std::invalid_argument("Grid: cell size must be positive");
+  }
+  rows_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(region_.lat_span_deg() / cell_deg_ - 1e-9)));
+  cols_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(region_.lon_span_deg() / cell_deg_ - 1e-9)));
+}
+
+std::optional<CellIndex> Grid::cell_of(const GeoPoint& p) const noexcept {
+  if (!region_.contains(p)) return std::nullopt;
+  auto row = static_cast<std::size_t>((p.lat_deg - region_.south_deg) / cell_deg_);
+  auto col = static_cast<std::size_t>((p.lon_deg - region_.west_deg) / cell_deg_);
+  row = std::min(row, rows_ - 1);
+  col = std::min(col, cols_ - 1);
+  return CellIndex{row, col};
+}
+
+GeoPoint Grid::cell_center(const CellIndex& c) const noexcept {
+  const Region b = cell_bounds(c);
+  return b.center();
+}
+
+Region Grid::cell_bounds(const CellIndex& c) const noexcept {
+  Region b;
+  b.name = region_.name;
+  b.south_deg = region_.south_deg + cell_deg_ * static_cast<double>(c.row);
+  b.north_deg = std::min(region_.north_deg, b.south_deg + cell_deg_);
+  b.west_deg = region_.west_deg + cell_deg_ * static_cast<double>(c.col);
+  b.east_deg = std::min(region_.east_deg, b.west_deg + cell_deg_);
+  return b;
+}
+
+double Grid::max_cell_diagonal_miles() const noexcept {
+  // The widest cell in miles is the one nearest the equator-facing edge.
+  const double lat_edge =
+      std::min(std::fabs(region_.south_deg), std::fabs(region_.north_deg));
+  const double lat_extent = cell_deg_ * miles_per_lat_degree();
+  const double lon_extent = cell_deg_ * miles_per_lon_degree(
+      region_.south_deg <= 0.0 && region_.north_deg >= 0.0 ? 0.0 : lat_edge);
+  return std::hypot(lat_extent, lon_extent);
+}
+
+std::vector<double> Grid::tally(std::span<const GeoPoint> points,
+                                std::size_t* dropped) const {
+  std::vector<double> counts(cell_count(), 0.0);
+  std::size_t outside = 0;
+  for (const auto& p : points) {
+    if (const auto cell = cell_of(p)) {
+      counts[flat_index(*cell)] += 1.0;
+    } else {
+      ++outside;
+    }
+  }
+  if (dropped != nullptr) *dropped = outside;
+  return counts;
+}
+
+}  // namespace geonet::geo

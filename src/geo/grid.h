@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "geo/region.h"
+
+namespace geonet::geo {
+
+/// Row/column address of a grid cell. Row 0 is the southern edge, column 0
+/// the western edge.
+struct CellIndex {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  friend bool operator==(const CellIndex&, const CellIndex&) = default;
+};
+
+/// A regular latitude/longitude grid over a region.
+///
+/// Section IV of the paper subdivides each study region into patches of
+/// 75 arc-minutes square; this grid is that subdivision (and, at finer
+/// resolutions, the cell structure used by the population raster and the
+/// grid-accelerated pair counter).
+class Grid {
+ public:
+  /// Requires cell_arcmin > 0. The final row/column absorbs any remainder
+  /// so the grid exactly covers the region.
+  Grid(Region region, double cell_arcmin);
+
+  [[nodiscard]] const Region& region() const noexcept { return region_; }
+  [[nodiscard]] double cell_arcmin() const noexcept { return cell_arcmin_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept { return rows_ * cols_; }
+
+  /// Cell containing the point, or nullopt if outside the region.
+  [[nodiscard]] std::optional<CellIndex> cell_of(const GeoPoint& p) const noexcept;
+
+  /// Flattened row-major index.
+  [[nodiscard]] std::size_t flat_index(const CellIndex& c) const noexcept {
+    return c.row * cols_ + c.col;
+  }
+  [[nodiscard]] CellIndex unflatten(std::size_t flat) const noexcept {
+    return {flat / cols_, flat % cols_};
+  }
+
+  /// Geographic centre of a cell.
+  [[nodiscard]] GeoPoint cell_center(const CellIndex& c) const noexcept;
+
+  /// Bounding box of a cell (clipped to the region).
+  [[nodiscard]] Region cell_bounds(const CellIndex& c) const noexcept;
+
+  /// Longest distance between any two points of one cell, in miles; bounds
+  /// the positional error of centre-of-cell approximations.
+  [[nodiscard]] double max_cell_diagonal_miles() const noexcept;
+
+  /// Tallies points into flat cell counts; points outside are ignored and
+  /// their number returned through dropped (if non-null).
+  [[nodiscard]] std::vector<double> tally(std::span<const GeoPoint> points,
+                                          std::size_t* dropped = nullptr) const;
+
+ private:
+  Region region_;
+  double cell_arcmin_;
+  double cell_deg_;
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace geonet::geo

@@ -1,0 +1,54 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace geonet::geo {
+
+AlbersProjection::AlbersProjection(double std_parallel1_deg,
+                                   double std_parallel2_deg,
+                                   double origin_lat_deg,
+                                   double origin_lon_deg) noexcept {
+  const double phi1 = deg_to_rad(std_parallel1_deg);
+  const double phi2 = deg_to_rad(std_parallel2_deg);
+  const double phi0 = deg_to_rad(origin_lat_deg);
+  origin_lon_rad_ = deg_to_rad(origin_lon_deg);
+
+  if (std::fabs(phi1 - phi2) < 1e-12) {
+    n_ = std::sin(phi1);
+  } else {
+    n_ = 0.5 * (std::sin(phi1) + std::sin(phi2));
+  }
+  // Degenerate parallels straddling the equator symmetrically would give
+  // n = 0 (a cylindrical limit); nudge to keep the cone well defined.
+  if (std::fabs(n_) < 1e-9) n_ = 1e-9;
+
+  c_ = std::cos(phi1) * std::cos(phi1) + 2.0 * n_ * std::sin(phi1);
+  rho0_ = kEarthRadiusMiles *
+          std::sqrt(std::max(0.0, c_ - 2.0 * n_ * std::sin(phi0))) / n_;
+}
+
+AlbersProjection AlbersProjection::for_region(const Region& region) noexcept {
+  const double span = region.lat_span_deg();
+  const double p1 = region.south_deg + span / 6.0;
+  const double p2 = region.north_deg - span / 6.0;
+  const GeoPoint c = region.center();
+  return AlbersProjection(p1, p2, c.lat_deg, c.lon_deg);
+}
+
+AlbersProjection AlbersProjection::world() noexcept {
+  return AlbersProjection(20.0, 50.0, 0.0, 0.0);
+}
+
+PlanarPoint AlbersProjection::project(const GeoPoint& p) const noexcept {
+  const double phi = deg_to_rad(p.lat_deg);
+  const double lam = deg_to_rad(p.lon_deg);
+  const double rho = kEarthRadiusMiles *
+                     std::sqrt(std::max(0.0, c_ - 2.0 * n_ * std::sin(phi))) /
+                     n_;
+  const double theta = n_ * (lam - origin_lon_rad_);
+  return {rho * std::sin(theta), rho0_ - rho * std::cos(theta)};
+}
+
+}  // namespace geonet::geo

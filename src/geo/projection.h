@@ -1,0 +1,46 @@
+#pragma once
+
+#include "geo/geo_point.h"
+#include "geo/region.h"
+
+namespace geonet::geo {
+
+/// A point in a planar projected coordinate system, in miles.
+struct PlanarPoint {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend auto operator<=>(const PlanarPoint&, const PlanarPoint&) = default;
+};
+
+/// Albers equal-area conic projection.
+///
+/// Section VI.B of the paper measures the convex hull of each AS's
+/// interface set after projecting the globe with the Albers Equal Area
+/// projection, unfolding at the poles and the International Date Line.
+/// Equal-area means hull *areas* are preserved up to small distortion,
+/// which is exactly the property the analysis needs.
+class AlbersProjection {
+ public:
+  /// Standard-parallel form; defaults are a common world/US compromise.
+  AlbersProjection(double std_parallel1_deg, double std_parallel2_deg,
+                   double origin_lat_deg, double origin_lon_deg) noexcept;
+
+  /// Projection tuned for a particular region box: standard parallels at
+  /// 1/6 and 5/6 of the latitude span (Snyder's rule of thumb).
+  static AlbersProjection for_region(const Region& region) noexcept;
+
+  /// Projection covering the whole globe, as the paper uses for Figure 9a.
+  static AlbersProjection world() noexcept;
+
+  /// Forward projection to planar miles.
+  [[nodiscard]] PlanarPoint project(const GeoPoint& p) const noexcept;
+
+ private:
+  double n_ = 0.0;
+  double c_ = 0.0;
+  double rho0_ = 0.0;
+  double origin_lon_rad_ = 0.0;
+};
+
+}  // namespace geonet::geo

@@ -1,0 +1,60 @@
+#include "geo/region.h"
+
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace geonet::geo {
+
+double Region::diagonal_miles() const noexcept {
+  return great_circle_miles({south_deg, west_deg}, {north_deg, east_deg});
+}
+
+double Region::area_sq_miles() const noexcept {
+  const double dlon_rad = deg_to_rad(lon_span_deg());
+  const double band = std::sin(deg_to_rad(north_deg)) -
+                      std::sin(deg_to_rad(south_deg));
+  return kEarthRadiusMiles * kEarthRadiusMiles * dlon_rad * band;
+}
+
+namespace regions {
+
+Region us() { return {"US", 25.0, 50.0, -150.0, -45.0}; }
+Region europe() { return {"Europe", 42.0, 58.0, -5.0, 22.0}; }
+Region japan() { return {"Japan", 30.0, 60.0, 130.0, 150.0}; }
+
+Region northern_us() { return {"Northern US", 37.5, 50.0, -150.0, -45.0}; }
+Region southern_us() { return {"Southern US", 25.0, 37.5, -150.0, -45.0}; }
+Region central_america() { return {"Central Am.", 7.0, 25.0, -118.0, -77.0}; }
+
+Region africa() { return {"Africa", -35.0, 37.0, -18.0, 52.0}; }
+Region south_america() { return {"South America", -56.0, 12.0, -82.0, -34.0}; }
+Region mexico() { return {"Mexico", 7.0, 25.0, -118.0, -77.0}; }
+Region western_europe() { return {"W. Europe", 36.0, 60.0, -10.0, 22.0}; }
+Region australia() { return {"Australia", -45.0, -10.0, 112.0, 155.0}; }
+Region world() { return {"World", -90.0, 90.0, -180.0, 180.0}; }
+
+std::vector<Region> paper_study_regions() {
+  return {us(), europe(), japan()};
+}
+
+std::vector<Region> economic_regions() {
+  return {africa(), south_america(), mexico(),     western_europe(),
+          japan(),  australia(),     us()};
+}
+
+std::optional<Region> by_name(std::string_view name) {
+  static const std::vector<Region> all = {
+      us(),         europe(),          japan(),
+      northern_us(), southern_us(),    central_america(),
+      africa(),      south_america(),  mexico(),
+      western_europe(), australia(),   world()};
+  for (const auto& r : all) {
+    if (r.name == name) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace regions
+
+}  // namespace geonet::geo

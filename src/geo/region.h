@@ -1,0 +1,83 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace geonet::geo {
+
+/// A named latitude/longitude bounding box.
+///
+/// The paper delineates all study regions with simple lat/lon boundaries
+/// (Table II) and notes that region names are therefore approximate. Boxes
+/// here never cross the International Date Line, matching the paper's
+/// regions.
+struct Region {
+  std::string name;
+  double south_deg = 0.0;  ///< inclusive
+  double north_deg = 0.0;  ///< exclusive upper edge
+  double west_deg = 0.0;   ///< inclusive
+  double east_deg = 0.0;   ///< exclusive upper edge
+
+  [[nodiscard]] bool contains(const GeoPoint& p) const noexcept {
+    return p.lat_deg >= south_deg && p.lat_deg < north_deg &&
+           p.lon_deg >= west_deg && p.lon_deg < east_deg;
+  }
+
+  [[nodiscard]] double lat_span_deg() const noexcept {
+    return north_deg - south_deg;
+  }
+  [[nodiscard]] double lon_span_deg() const noexcept {
+    return east_deg - west_deg;
+  }
+
+  /// Geometric centre of the box.
+  [[nodiscard]] GeoPoint center() const noexcept {
+    return {0.5 * (south_deg + north_deg), 0.5 * (west_deg + east_deg)};
+  }
+
+  /// Great-circle distance between opposite corners, an upper bound on any
+  /// intra-region distance; used to size distance-preference histograms.
+  [[nodiscard]] double diagonal_miles() const noexcept;
+
+  /// Approximate surface area of the box in square miles (exact for a
+  /// spherical Earth: R^2 * dlon * (sin(north) - sin(south))).
+  [[nodiscard]] double area_sq_miles() const noexcept;
+};
+
+/// The paper's study regions and reference boxes.
+namespace regions {
+
+/// Table II rows.
+Region us();      ///< 25N..50N, 150W..45W
+Region europe();  ///< 42N..58N, 5W..22E
+Region japan();   ///< 30N..60N, 130E..150E
+
+/// Figure 3 homogeneity-test subregions.
+Region northern_us();      ///< upper half of the US box
+Region southern_us();      ///< lower half of the US box
+Region central_america();  ///< "Mexico"/Central America comparison box
+
+/// Table III world economic regions.
+Region africa();
+Region south_america();
+Region mexico();
+Region western_europe();
+Region australia();
+Region world();
+
+/// The three Table II regions, in the paper's order (US, Europe, Japan).
+std::vector<Region> paper_study_regions();
+
+/// All Table III rows except World, in the paper's order.
+std::vector<Region> economic_regions();
+
+/// Looks a region up by its canonical name (case sensitive).
+std::optional<Region> by_name(std::string_view name);
+
+}  // namespace regions
+
+}  // namespace geonet::geo

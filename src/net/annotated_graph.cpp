@@ -1,0 +1,53 @@
+#include "net/annotated_graph.h"
+
+#include <algorithm>
+
+namespace geonet::net {
+
+const char* to_string(NodeKind kind) noexcept {
+  return kind == NodeKind::kInterface ? "interface" : "router";
+}
+
+std::uint32_t AnnotatedGraph::add_node(const GraphNode& node) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(node);
+  return id;
+}
+
+std::uint64_t AnnotatedGraph::edge_key(std::uint32_t a, std::uint32_t b) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+bool AnnotatedGraph::add_edge(std::uint32_t a, std::uint32_t b) {
+  if (a == b || a >= nodes_.size() || b >= nodes_.size()) return false;
+  const auto [it, inserted] = edge_set_.insert(edge_key(a, b));
+  (void)it;
+  if (!inserted) return false;
+  edges_.push_back({std::min(a, b), std::max(a, b)});
+  return true;
+}
+
+bool AnnotatedGraph::has_edge(std::uint32_t a, std::uint32_t b) const noexcept {
+  if (a == b || a >= nodes_.size() || b >= nodes_.size()) return false;
+  return edge_set_.contains(edge_key(a, b));
+}
+
+std::vector<std::uint32_t> AnnotatedGraph::degrees() const {
+  std::vector<std::uint32_t> deg(nodes_.size(), 0);
+  for (const auto& e : edges_) {
+    ++deg[e.a];
+    ++deg[e.b];
+  }
+  return deg;
+}
+
+std::vector<geo::GeoPoint> AnnotatedGraph::locations() const {
+  std::vector<geo::GeoPoint> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.location);
+  return out;
+}
+
+}  // namespace geonet::net

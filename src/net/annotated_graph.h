@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "net/ipv4.h"
+
+namespace geonet::net {
+
+/// Whether graph nodes are router interfaces (Skitter-style observation)
+/// or disambiguated routers (Mercator-style). The paper keeps the two
+/// terms strictly distinct; so do we.
+enum class NodeKind : std::uint8_t { kInterface, kRouter };
+
+[[nodiscard]] const char* to_string(NodeKind kind) noexcept;
+
+/// A geographically-mapped, AS-labelled node in an observed dataset.
+struct GraphNode {
+  Ipv4Addr addr;
+  geo::GeoPoint location;
+  std::uint32_t asn = 0;  ///< 0 = the paper's "separate AS" for unmapped IPs
+};
+
+/// An undirected edge by node index, stored with a <= b.
+struct GraphEdge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+
+  friend bool operator==(const GraphEdge&, const GraphEdge&) = default;
+};
+
+/// The interchange object between the measurement/mapping pipeline and the
+/// analysis pipeline: the paper's "processed dataset" (Table I rows).
+///
+/// Nodes carry a geographic location and an AS number; edges are
+/// deduplicated undirected node pairs. Self-loops (a Skitter anomaly the
+/// paper discards) are rejected at insertion.
+class AnnotatedGraph {
+ public:
+  explicit AnnotatedGraph(NodeKind kind, std::string name = {})
+      : kind_(kind), name_(std::move(name)) {}
+
+  std::uint32_t add_node(const GraphNode& node);
+
+  /// Adds an undirected edge; returns false (and adds nothing) for
+  /// self-loops, out-of-range endpoints, and duplicates.
+  bool add_edge(std::uint32_t a, std::uint32_t b);
+
+  /// True iff the exact undirected edge already exists.
+  [[nodiscard]] bool has_edge(std::uint32_t a, std::uint32_t b) const noexcept;
+
+  [[nodiscard]] NodeKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const GraphNode& node(std::uint32_t id) const noexcept {
+    return nodes_[id];
+  }
+  [[nodiscard]] const std::vector<GraphNode>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const noexcept { return edges_; }
+
+  /// Degree of every node (undirected).
+  [[nodiscard]] std::vector<std::uint32_t> degrees() const;
+
+  /// All node locations, in node order (convenience for geo analyses).
+  [[nodiscard]] std::vector<geo::GeoPoint> locations() const;
+
+ private:
+  static std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) noexcept;
+
+  NodeKind kind_;
+  std::string name_;
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+  std::unordered_set<std::uint64_t> edge_set_;
+};
+
+}  // namespace geonet::net

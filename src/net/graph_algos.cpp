@@ -1,0 +1,161 @@
+#include "net/graph_algos.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "stats/rng.h"
+
+namespace geonet::net {
+
+BfsTree bfs_tree(const Topology& topology, RouterId source) {
+  const std::size_t n = topology.router_count();
+  BfsTree tree;
+  tree.source = source;
+  tree.parent.assign(n, kNoParent);
+  tree.entry_if.assign(n, 0);
+  tree.hop_count.assign(n, kNoParent);
+
+  std::queue<RouterId> frontier;
+  tree.hop_count[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const RouterId u = frontier.front();
+    frontier.pop();
+    for (const Adjacency& adj : topology.neighbors(u)) {
+      if (tree.hop_count[adj.neighbor] != kNoParent) continue;
+      tree.hop_count[adj.neighbor] = tree.hop_count[u] + 1;
+      tree.parent[adj.neighbor] = u;
+      tree.entry_if[adj.neighbor] = adj.remote_if;
+      frontier.push(adj.neighbor);
+    }
+  }
+  return tree;
+}
+
+std::vector<RouterId> extract_path(const BfsTree& tree, RouterId destination) {
+  std::vector<RouterId> path;
+  if (destination >= tree.hop_count.size() ||
+      tree.hop_count[destination] == kNoParent) {
+    return path;
+  }
+  for (RouterId cursor = destination;;) {
+    path.push_back(cursor);
+    if (cursor == tree.source) break;
+    cursor = tree.parent[cursor];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+std::vector<std::vector<std::uint32_t>> build_adjacency(
+    const AnnotatedGraph& graph) {
+  std::vector<std::vector<std::uint32_t>> adj(graph.node_count());
+  for (const auto& e : graph.edges()) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> connected_components(const AnnotatedGraph& graph,
+                                                std::size_t* count) {
+  const auto adj = build_adjacency(graph);
+  const std::size_t n = graph.node_count();
+  std::vector<std::uint32_t> component(n, kNoParent);
+  std::uint32_t next_id = 0;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (component[start] != kNoParent) continue;
+    component[start] = next_id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t v : adj[u]) {
+        if (component[v] == kNoParent) {
+          component[v] = next_id;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (count != nullptr) *count = next_id;
+  return component;
+}
+
+std::size_t giant_component_size(const AnnotatedGraph& graph) {
+  std::size_t count = 0;
+  const auto component = connected_components(graph, &count);
+  if (count == 0) return 0;
+  std::vector<std::size_t> sizes(count, 0);
+  for (const std::uint32_t c : component) ++sizes[c];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+std::vector<std::uint32_t> router_components(const Topology& topology,
+                                             std::size_t* count) {
+  const std::size_t n = topology.router_count();
+  std::vector<std::uint32_t> component(n, kNoParent);
+  std::uint32_t next_id = 0;
+  std::vector<RouterId> stack;
+  for (RouterId start = 0; start < n; ++start) {
+    if (component[start] != kNoParent) continue;
+    component[start] = next_id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const RouterId u = stack.back();
+      stack.pop_back();
+      for (const Adjacency& adj : topology.neighbors(u)) {
+        if (component[adj.neighbor] == kNoParent) {
+          component[adj.neighbor] = next_id;
+          stack.push_back(adj.neighbor);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (count != nullptr) *count = next_id;
+  return component;
+}
+
+double estimated_mean_hops(const AnnotatedGraph& graph, std::size_t samples,
+                           std::uint64_t seed) {
+  const std::size_t n = graph.node_count();
+  if (n == 0) return 0.0;
+  const auto adj = build_adjacency(graph);
+  stats::Rng rng(seed);
+
+  double total_hops = 0.0;
+  std::size_t total_pairs = 0;
+  std::vector<std::uint32_t> dist(n);
+  std::queue<std::uint32_t> frontier;
+
+  const std::size_t runs = std::min(samples, n);
+  for (std::size_t s = 0; s < runs; ++s) {
+    const auto source = static_cast<std::uint32_t>(
+        samples >= n ? s : rng.uniform_index(n));
+    std::fill(dist.begin(), dist.end(), kNoParent);
+    dist[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop();
+      for (const std::uint32_t v : adj[u]) {
+        if (dist[v] == kNoParent) {
+          dist[v] = dist[u] + 1;
+          total_hops += dist[v];
+          ++total_pairs;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return total_pairs == 0 ? 0.0 : total_hops / static_cast<double>(total_pairs);
+}
+
+}  // namespace geonet::net

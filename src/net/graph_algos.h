@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/annotated_graph.h"
+#include "net/topology.h"
+
+namespace geonet::net {
+
+constexpr std::uint32_t kNoParent = std::numeric_limits<std::uint32_t>::max();
+
+/// Breadth-first shortest-path tree over the router graph of a Topology.
+///
+/// The measurement simulators use this as their forwarding model: probe
+/// packets follow hop-count-shortest paths, which is the idealised
+/// behaviour traceroute observes.
+struct BfsTree {
+  RouterId source = 0;
+  std::vector<std::uint32_t> parent;       ///< kNoParent for source/unreached
+  std::vector<InterfaceId> entry_if;       ///< interface used to ENTER each router
+  std::vector<std::uint32_t> hop_count;    ///< kNoParent if unreachable
+};
+
+/// Builds the BFS tree rooted at source. Tie-breaking is deterministic:
+/// neighbours are visited in adjacency order.
+BfsTree bfs_tree(const Topology& topology, RouterId source);
+
+/// Extracts the router path source -> destination from a BFS tree;
+/// empty if the destination is unreachable.
+std::vector<RouterId> extract_path(const BfsTree& tree, RouterId destination);
+
+/// Connected components over an AnnotatedGraph; returns component id per
+/// node and writes the number of components through count (if non-null).
+std::vector<std::uint32_t> connected_components(const AnnotatedGraph& graph,
+                                                std::size_t* count = nullptr);
+
+/// Number of nodes in the largest connected component.
+std::size_t giant_component_size(const AnnotatedGraph& graph);
+
+/// Connected components over the router graph of a Topology.
+std::vector<std::uint32_t> router_components(const Topology& topology,
+                                             std::size_t* count = nullptr);
+
+/// Mean shortest-path hop count estimated from `samples` random source
+/// BFS runs over the graph's giant component (exact if samples >= nodes).
+double estimated_mean_hops(const AnnotatedGraph& graph, std::size_t samples,
+                           std::uint64_t seed);
+
+}  // namespace geonet::net

@@ -1,0 +1,158 @@
+#include "net/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "net/topology.h"
+
+namespace geonet::net {
+
+bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
+                 std::span<const double> link_latency_ms) {
+  out << "# geonet annotated topology\n";
+  out << "kind " << to_string(graph.kind()) << '\n';
+  if (!graph.name().empty()) out << "name " << graph.name() << '\n';
+  out << "# node <id> <lat> <lon> <asn> <addr>\n";
+  char buf[160];
+  for (std::uint32_t id = 0; id < graph.node_count(); ++id) {
+    const GraphNode& node = graph.node(id);
+    std::snprintf(buf, sizeof(buf), "node %u %.6f %.6f %u %s\n", id,
+                  node.location.lat_deg, node.location.lon_deg, node.asn,
+                  to_string(node.addr).c_str());
+    out << buf;
+  }
+  out << "# link <a> <b> [latency_ms]\n";
+  const bool with_latency = link_latency_ms.size() == graph.edge_count();
+  for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+    const GraphEdge& edge = graph.edges()[e];
+    if (with_latency) {
+      std::snprintf(buf, sizeof(buf), "link %u %u %.4f\n", edge.a, edge.b,
+                    link_latency_ms[e]);
+    } else {
+      std::snprintf(buf, sizeof(buf), "link %u %u\n", edge.a, edge.b);
+    }
+    out << buf;
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_graph_file(const std::string& path, const AnnotatedGraph& graph,
+                      std::span<const double> link_latency_ms) {
+  std::ofstream out(path);
+  return out && write_graph(out, graph, link_latency_ms);
+}
+
+namespace {
+
+bool fail(std::string* error, std::size_t line_no, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<AnnotatedGraph> read_graph(std::istream& in,
+                                         std::string* error) {
+  NodeKind kind = NodeKind::kRouter;
+  std::string name;
+
+  struct PendingNode {
+    std::uint64_t id;
+    GraphNode node;
+  };
+  std::vector<PendingNode> nodes;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> links;
+
+  std::string line;
+  std::size_t line_no = 0;
+  const auto parse_failed = [&](const std::string& what) {
+    fail(error, line_no, what);
+    return std::optional<AnnotatedGraph>{};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag)) continue;  // blank line
+
+    if (tag == "kind") {
+      std::string value;
+      fields >> value;
+      if (value == "interface") {
+        kind = NodeKind::kInterface;
+      } else if (value == "router") {
+        kind = NodeKind::kRouter;
+      } else {
+        return parse_failed("unknown kind '" + value + "'");
+      }
+    } else if (tag == "name") {
+      std::getline(fields >> std::ws, name);
+    } else if (tag == "node") {
+      PendingNode pending;
+      double lat = 0.0, lon = 0.0;
+      std::uint32_t asn = 0;
+      if (!(fields >> pending.id >> lat >> lon >> asn)) {
+        return parse_failed("malformed node record");
+      }
+      if (!geo::is_valid({lat, lon})) {
+        return parse_failed("invalid coordinates");
+      }
+      pending.node.location = {lat, lon};
+      pending.node.asn = asn;
+      std::string addr_text;
+      if (fields >> addr_text) {
+        const auto addr = parse_ipv4(addr_text);
+        if (!addr) return parse_failed("bad address '" + addr_text + "'");
+        pending.node.addr = *addr;
+      }
+      nodes.push_back(pending);
+    } else if (tag == "link") {
+      std::uint64_t a = 0, b = 0;
+      if (!(fields >> a >> b)) {
+        return parse_failed("malformed link record");
+      }
+      links.emplace_back(a, b);
+    } else {
+      return parse_failed("unknown record '" + tag + "'");
+    }
+  }
+
+  AnnotatedGraph graph(kind, name);
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  index.reserve(nodes.size());
+  for (const PendingNode& pending : nodes) {
+    if (!index.try_emplace(pending.id, graph.add_node(pending.node)).second) {
+      fail(error, 0, "duplicate node id " + std::to_string(pending.id));
+      return std::nullopt;
+    }
+  }
+  for (const auto& [a, b] : links) {
+    const auto ia = index.find(a);
+    const auto ib = index.find(b);
+    if (ia == index.end() || ib == index.end()) {
+      fail(error, 0, "link references unknown node");
+      return std::nullopt;
+    }
+    graph.add_edge(ia->second, ib->second);  // dedup/self-loop safe
+  }
+  return graph;
+}
+
+std::optional<AnnotatedGraph> read_graph_file(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return read_graph(in, error);
+}
+
+}  // namespace geonet::net

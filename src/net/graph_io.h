@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "net/annotated_graph.h"
+
+namespace geonet::net {
+
+/// Plain-text serialization of annotated topologies — the interchange
+/// format between the generator tools and the analysis pipeline, so that
+/// downstream users can analyse graphs produced elsewhere (or feed
+/// geonet-generated graphs into their own simulators).
+///
+/// Format (one record per line, '#' comments ignored):
+///   kind interface|router
+///   name <free text>
+///   node <id> <lat> <lon> <asn> [addr]
+///   link <a> <b> [extra columns ignored]
+///
+/// Node ids may be arbitrary distinct integers; they are remapped to
+/// dense indices on read. Links referencing unknown ids are an error.
+
+/// Writes the graph; when `link_latency_ms` is non-empty it must parallel
+/// graph.edges() and is emitted as an extra column. Returns false on I/O
+/// failure.
+bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
+                 std::span<const double> link_latency_ms = {});
+
+bool write_graph_file(const std::string& path, const AnnotatedGraph& graph,
+                      std::span<const double> link_latency_ms = {});
+
+/// Reads a graph; on failure returns nullopt and, when `error` is
+/// non-null, stores a one-line diagnostic including the line number.
+std::optional<AnnotatedGraph> read_graph(std::istream& in,
+                                         std::string* error = nullptr);
+
+std::optional<AnnotatedGraph> read_graph_file(const std::string& path,
+                                              std::string* error = nullptr);
+
+}  // namespace geonet::net

@@ -1,0 +1,83 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace geonet::net {
+
+std::string to_string(Ipv4Addr addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr.value >> 24) & 0xff,
+                (addr.value >> 16) & 0xff, (addr.value >> 8) & 0xff,
+                addr.value & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Addr> parse_ipv4(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (cursor >= end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    unsigned part = 0;
+    const auto [next, ec] = std::from_chars(cursor, end, part);
+    if (ec != std::errc{} || next == cursor || part > 255) return std::nullopt;
+    // Reject leading zeros beyond a bare "0" (ambiguous octal forms).
+    if (next - cursor > 1 && *cursor == '0') return std::nullopt;
+    value = (value << 8) | part;
+    cursor = next;
+  }
+  if (cursor != end) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+bool is_private(Ipv4Addr addr) noexcept {
+  const std::uint32_t v = addr.value;
+  return (v & 0xff000000u) == 0x0a000000u ||   // 10.0.0.0/8
+         (v & 0xfff00000u) == 0xac100000u ||   // 172.16.0.0/12
+         (v & 0xffff0000u) == 0xc0a80000u ||   // 192.168.0.0/16
+         (v & 0xff000000u) == 0x7f000000u;     // 127.0.0.0/8
+}
+
+std::uint32_t prefix_mask(std::uint8_t length) noexcept {
+  if (length == 0) return 0;
+  if (length >= 32) return 0xffffffffu;
+  return ~((1u << (32 - length)) - 1u);
+}
+
+Prefix normalized(const Prefix& p) noexcept {
+  Prefix out = p;
+  if (out.length > 32) out.length = 32;
+  out.network.value &= prefix_mask(out.length);
+  return out;
+}
+
+bool contains(const Prefix& p, Ipv4Addr addr) noexcept {
+  const std::uint32_t mask = prefix_mask(p.length);
+  return (addr.value & mask) == (p.network.value & mask);
+}
+
+std::string to_string(const Prefix& p) {
+  return to_string(p.network) + "/" + std::to_string(p.length);
+}
+
+std::optional<Prefix> parse_prefix(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = parse_ipv4(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  const std::string_view len_text = text.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length > 32) {
+    return std::nullopt;
+  }
+  return normalized(Prefix{*addr, static_cast<std::uint8_t>(length)});
+}
+
+}  // namespace geonet::net

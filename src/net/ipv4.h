@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace geonet::net {
+
+/// An IPv4 address stored in host byte order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  friend auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+};
+
+/// Dotted-quad formatting, e.g. "192.0.2.1".
+[[nodiscard]] std::string to_string(Ipv4Addr addr);
+
+/// Parses dotted-quad text; rejects malformed input (extra octets, values
+/// above 255, empty components, trailing junk).
+[[nodiscard]] std::optional<Ipv4Addr> parse_ipv4(std::string_view text);
+
+/// True for RFC 1918 private space plus loopback; the paper discards
+/// private addresses originating from misconfigured routers before mapping.
+[[nodiscard]] bool is_private(Ipv4Addr addr) noexcept;
+
+/// A CIDR prefix. Invariant (after normalized()): host bits are zero.
+struct Prefix {
+  Ipv4Addr network;
+  std::uint8_t length = 0;  ///< 0..32
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+};
+
+/// All-ones-style mask for the given prefix length.
+[[nodiscard]] std::uint32_t prefix_mask(std::uint8_t length) noexcept;
+
+/// Zeroes host bits so the Prefix invariant holds.
+[[nodiscard]] Prefix normalized(const Prefix& p) noexcept;
+
+/// True iff addr falls inside the prefix.
+[[nodiscard]] bool contains(const Prefix& p, Ipv4Addr addr) noexcept;
+
+/// "a.b.c.d/len" formatting.
+[[nodiscard]] std::string to_string(const Prefix& p);
+
+/// Parses "a.b.c.d/len"; rejects lengths above 32.
+[[nodiscard]] std::optional<Prefix> parse_prefix(std::string_view text);
+
+}  // namespace geonet::net

@@ -1,0 +1,97 @@
+#include "net/prefix_trie.h"
+
+namespace geonet::net {
+
+namespace {
+
+constexpr std::uint32_t bit_at(std::uint32_t value, int depth) noexcept {
+  return (value >> (31 - depth)) & 1u;
+}
+
+}  // namespace
+
+PrefixTrie::PrefixTrie() { nodes_.emplace_back(); }
+
+void PrefixTrie::insert(const Prefix& prefix, std::uint32_t value) {
+  const Prefix p = normalized(prefix);
+  std::size_t node = 0;
+  for (int depth = 0; depth < p.length; ++depth) {
+    const std::uint32_t bit = bit_at(p.network.value, depth);
+    if (nodes_[node].child[bit] < 0) {
+      nodes_[node].child[bit] = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = static_cast<std::size_t>(nodes_[node].child[bit]);
+  }
+  if (!nodes_[node].terminal) ++size_;
+  nodes_[node].terminal = true;
+  nodes_[node].value = value;
+}
+
+std::optional<std::uint32_t> PrefixTrie::longest_match(Ipv4Addr addr) const noexcept {
+  const auto entry = longest_match_entry(addr);
+  if (!entry) return std::nullopt;
+  return entry->value;
+}
+
+std::optional<PrefixTrie::Match> PrefixTrie::longest_match_entry(
+    Ipv4Addr addr) const noexcept {
+  std::optional<Match> best;
+  std::size_t node = 0;
+  for (int depth = 0; depth <= 32; ++depth) {
+    if (nodes_[node].terminal) {
+      const std::uint32_t mask = prefix_mask(static_cast<std::uint8_t>(depth));
+      best = Match{{Ipv4Addr{addr.value & mask}, static_cast<std::uint8_t>(depth)},
+                   nodes_[node].value};
+    }
+    if (depth == 32) break;
+    const std::uint32_t bit = bit_at(addr.value, depth);
+    if (nodes_[node].child[bit] < 0) break;
+    node = static_cast<std::size_t>(nodes_[node].child[bit]);
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> PrefixTrie::exact_match(const Prefix& prefix) const noexcept {
+  const Prefix p = normalized(prefix);
+  std::size_t node = 0;
+  for (int depth = 0; depth < p.length; ++depth) {
+    const std::uint32_t bit = bit_at(p.network.value, depth);
+    if (nodes_[node].child[bit] < 0) return std::nullopt;
+    node = static_cast<std::size_t>(nodes_[node].child[bit]);
+  }
+  if (!nodes_[node].terminal) return std::nullopt;
+  return nodes_[node].value;
+}
+
+std::vector<PrefixTrie::Match> PrefixTrie::entries() const {
+  std::vector<Match> out;
+  out.reserve(size_);
+
+  struct Frame {
+    std::size_t node;
+    std::uint32_t bits;
+    std::uint8_t depth;
+  };
+  std::vector<Frame> stack = {{0, 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[f.node];
+    if (n.terminal) {
+      out.push_back({{Ipv4Addr{f.bits}, f.depth}, n.value});
+    }
+    // Push child 1 first so child 0 (lower addresses) is visited first.
+    for (int bit = 1; bit >= 0; --bit) {
+      if (n.child[bit] >= 0) {
+        const std::uint32_t child_bits =
+            f.bits | (bit == 1 ? (1u << (31 - f.depth)) : 0u);
+        stack.push_back({static_cast<std::size_t>(n.child[bit]), child_bits,
+                         static_cast<std::uint8_t>(f.depth + 1)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace geonet::net

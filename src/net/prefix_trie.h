@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace geonet::net {
+
+/// Longest-prefix-match table from CIDR prefixes to 32-bit values
+/// (AS numbers, in this library's use).
+///
+/// Section III.C of the paper labels every node with its parent AS by
+/// finding the longest advertised BGP prefix matching the node's address
+/// and recording the originating AS. This binary trie implements that
+/// lookup in O(32) per query.
+class PrefixTrie {
+ public:
+  PrefixTrie();
+
+  /// Inserts or replaces the value for a prefix. The prefix is normalized
+  /// first, mirroring how a BGP RIB keys routes.
+  void insert(const Prefix& prefix, std::uint32_t value);
+
+  /// Value of the longest matching prefix, or nullopt if nothing matches.
+  [[nodiscard]] std::optional<std::uint32_t> longest_match(Ipv4Addr addr) const noexcept;
+
+  /// The matching prefix itself alongside its value.
+  struct Match {
+    Prefix prefix;
+    std::uint32_t value = 0;
+  };
+  [[nodiscard]] std::optional<Match> longest_match_entry(Ipv4Addr addr) const noexcept;
+
+  /// Exact-match lookup (no LPM walk).
+  [[nodiscard]] std::optional<std::uint32_t> exact_match(const Prefix& prefix) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// All stored entries (order: trie preorder, i.e. by prefix bits).
+  [[nodiscard]] std::vector<Match> entries() const;
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    bool terminal = false;
+    std::uint32_t value = 0;
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace geonet::net

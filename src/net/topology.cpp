@@ -1,0 +1,44 @@
+#include "net/topology.h"
+
+#include <cassert>
+
+namespace geonet::net {
+
+RouterId Topology::add_router(const geo::GeoPoint& location, std::uint32_t asn) {
+  const auto id = static_cast<RouterId>(routers_.size());
+  routers_.push_back({location, asn, {}});
+  adjacency_.emplace_back();
+  return id;
+}
+
+InterfaceId Topology::add_interface(RouterId router, Ipv4Addr addr) {
+  assert(router < routers_.size());
+  const auto id = static_cast<InterfaceId>(interfaces_.size());
+  interfaces_.push_back({addr, router});
+  routers_[router].interfaces.push_back(id);
+  return id;
+}
+
+LinkId Topology::add_link(RouterId a, RouterId b, Ipv4Addr addr_a,
+                          Ipv4Addr addr_b) {
+  assert(a != b && a < routers_.size() && b < routers_.size());
+  const InterfaceId if_a = add_interface(a, addr_a);
+  const InterfaceId if_b = add_interface(b, addr_b);
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back({if_a, if_b});
+  adjacency_[a].push_back({b, if_a, if_b, id});
+  adjacency_[b].push_back({a, if_b, if_a, id});
+  return id;
+}
+
+bool Topology::are_connected(RouterId a, RouterId b) const noexcept {
+  const auto& smaller =
+      adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a] : adjacency_[b];
+  const RouterId target = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  for (const auto& adj : smaller) {
+    if (adj.neighbor == target) return true;
+  }
+  return false;
+}
+
+}  // namespace geonet::net

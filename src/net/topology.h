@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "net/ipv4.h"
+
+namespace geonet::net {
+
+using RouterId = std::uint32_t;
+using InterfaceId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+constexpr std::uint32_t kUnknownAs = 0;
+
+/// A physical router in the ground-truth topology.
+struct Router {
+  geo::GeoPoint location;
+  std::uint32_t asn = kUnknownAs;
+  std::vector<InterfaceId> interfaces;
+};
+
+/// One interface (IP address) on a router. Point-to-point links contribute
+/// one interface to each endpoint router, mirroring the real addressing
+/// structure that makes interface-level maps (Skitter) differ from
+/// router-level maps (Mercator).
+struct Interface {
+  Ipv4Addr addr;
+  RouterId router = 0;
+};
+
+/// An undirected physical link between two interfaces on distinct routers.
+struct Link {
+  InterfaceId if_a = 0;
+  InterfaceId if_b = 0;
+};
+
+/// Router adjacency record: the neighbour plus the interfaces carrying it.
+struct Adjacency {
+  RouterId neighbor = 0;
+  InterfaceId local_if = 0;   ///< interface on this router
+  InterfaceId remote_if = 0;  ///< interface on the neighbour
+  LinkId link = 0;
+};
+
+/// Ground-truth router-level topology: routers with geographic locations
+/// and AS labels, interfaces with addresses, and point-to-point links.
+///
+/// This is the "real Internet" that the measurement simulators probe; the
+/// paper's datasets are *observations* of such an object, never the object
+/// itself.
+class Topology {
+ public:
+  RouterId add_router(const geo::GeoPoint& location,
+                      std::uint32_t asn = kUnknownAs);
+
+  /// Adds a standalone interface (e.g. a loopback) to a router.
+  InterfaceId add_interface(RouterId router, Ipv4Addr addr);
+
+  /// Connects two routers with a new link, minting one new interface on
+  /// each endpoint with the given addresses. Returns the link id.
+  /// Requires a != b.
+  LinkId add_link(RouterId a, RouterId b, Ipv4Addr addr_a, Ipv4Addr addr_b);
+
+  [[nodiscard]] std::size_t router_count() const noexcept { return routers_.size(); }
+  [[nodiscard]] std::size_t interface_count() const noexcept { return interfaces_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+
+  [[nodiscard]] const Router& router(RouterId id) const noexcept { return routers_[id]; }
+  [[nodiscard]] Router& router(RouterId id) noexcept { return routers_[id]; }
+  [[nodiscard]] const Interface& interface(InterfaceId id) const noexcept {
+    return interfaces_[id];
+  }
+  [[nodiscard]] const Link& link(LinkId id) const noexcept { return links_[id]; }
+
+  [[nodiscard]] std::span<const Adjacency> neighbors(RouterId id) const noexcept {
+    return adjacency_[id];
+  }
+  [[nodiscard]] std::size_t degree(RouterId id) const noexcept {
+    return adjacency_[id].size();
+  }
+
+  [[nodiscard]] const std::vector<Router>& routers() const noexcept { return routers_; }
+  [[nodiscard]] const std::vector<Interface>& interfaces() const noexcept {
+    return interfaces_;
+  }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+
+  /// True iff routers a and b share at least one direct link.
+  [[nodiscard]] bool are_connected(RouterId a, RouterId b) const noexcept;
+
+ private:
+  std::vector<Router> routers_;
+  std::vector<Interface> interfaces_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace geonet::net

@@ -1,0 +1,120 @@
+#include "net/weighted_paths.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "geo/distance.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+
+namespace geonet::net {
+
+WeightedGraph::WeightedGraph(const AnnotatedGraph& graph,
+                             std::span<const double> edge_weights)
+    : graph_(&graph), weights_(edge_weights) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const auto& e : graph.edges()) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets_[i + 1] = offsets_[i] + degree[i];
+  }
+  arcs_.resize(offsets_[n]);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::uint32_t e = 0; e < graph.edges().size(); ++e) {
+    const auto& edge = graph.edges()[e];
+    arcs_[cursor[edge.a]++] = {edge.b, e};
+    arcs_[cursor[edge.b]++] = {edge.a, e};
+  }
+}
+
+WeightedGraph::ShortestPaths WeightedGraph::dijkstra(
+    std::uint32_t source) const {
+  const std::size_t n = graph_->node_count();
+  ShortestPaths out;
+  out.distance.assign(n, kUnreachable);
+  out.parent.assign(n, UINT32_MAX);
+  if (source >= n) return out;
+
+  using Item = std::pair<double, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  out.distance[source] = 0.0;
+  frontier.push({0.0, source});
+  while (!frontier.empty()) {
+    const auto [dist, u] = frontier.top();
+    frontier.pop();
+    if (dist > out.distance[u]) continue;  // stale entry
+    for (std::uint32_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+      const auto [v, edge] = arcs_[i];
+      const double w = edge < weights_.size() ? weights_[edge] : 1.0;
+      const double candidate = dist + std::max(0.0, w);
+      if (candidate < out.distance[v]) {
+        out.distance[v] = candidate;
+        out.parent[v] = u;
+        frontier.push({candidate, v});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> WeightedGraph::extract_path(
+    const ShortestPaths& paths, std::uint32_t source, std::uint32_t target) {
+  std::vector<std::uint32_t> out;
+  if (target >= paths.distance.size() ||
+      paths.distance[target] == kUnreachable) {
+    return out;
+  }
+  for (std::uint32_t cursor = target;;) {
+    out.push_back(cursor);
+    if (cursor == source) break;
+    cursor = paths.parent[cursor];
+    if (cursor == UINT32_MAX) return {};  // malformed inputs
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+StretchStats latency_stretch(const AnnotatedGraph& graph,
+                             std::span<const double> latency_ms,
+                             std::size_t sample_sources, std::uint64_t seed) {
+  StretchStats stats;
+  const std::size_t n = graph.node_count();
+  if (n < 2) return stats;
+
+  const WeightedGraph weighted(graph, latency_ms);
+  stats::Rng rng(seed);
+  std::vector<double> ratios;
+
+  const std::size_t sources = std::min(sample_sources, n);
+  for (std::size_t s = 0; s < sources; ++s) {
+    const auto source = static_cast<std::uint32_t>(rng.uniform_index(n));
+    const auto paths = weighted.dijkstra(source);
+    // Sample a handful of reachable targets per source.
+    for (int t = 0; t < 32; ++t) {
+      const auto target = static_cast<std::uint32_t>(rng.uniform_index(n));
+      if (target == source ||
+          paths.distance[target] == WeightedGraph::kUnreachable) {
+        continue;
+      }
+      const double direct_miles = geo::great_circle_miles(
+          graph.node(source).location, graph.node(target).location);
+      const double direct_ms = geo::fiber_latency_ms(direct_miles);
+      if (direct_ms < 0.05) continue;  // co-located pair: ratio meaningless
+      ratios.push_back(paths.distance[target] / direct_ms);
+    }
+  }
+
+  stats.pairs = ratios.size();
+  if (!ratios.empty()) {
+    stats.mean = stats::mean(ratios);
+    stats.median = stats::quantile(ratios, 0.5);
+    stats.p95 = stats::quantile(ratios, 0.95);
+  }
+  return stats;
+}
+
+}  // namespace geonet::net

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "net/annotated_graph.h"
+
+namespace geonet::net {
+
+/// Weighted shortest paths over an AnnotatedGraph — the consumer-side
+/// payoff of latency-annotated topologies (Section VII of the paper:
+/// topologies "must be labeled with link latencies" to be useful in
+/// simulation). Weights are arbitrary non-negative per-edge costs,
+/// typically propagation latencies in milliseconds.
+class WeightedGraph {
+ public:
+  /// `edge_weights` parallels graph.edges(); both are referenced, not
+  /// copied, and must outlive this object.
+  WeightedGraph(const AnnotatedGraph& graph,
+                std::span<const double> edge_weights);
+
+  static constexpr double kUnreachable =
+      std::numeric_limits<double>::infinity();
+
+  struct ShortestPaths {
+    std::vector<double> distance;        ///< kUnreachable if not reached
+    std::vector<std::uint32_t> parent;   ///< UINT32_MAX for source/unreached
+  };
+
+  /// Dijkstra from a source node.
+  [[nodiscard]] ShortestPaths dijkstra(std::uint32_t source) const;
+
+  /// Node sequence source..target from a ShortestPaths result; empty when
+  /// unreachable.
+  static std::vector<std::uint32_t> extract_path(const ShortestPaths& paths,
+                                                 std::uint32_t source,
+                                                 std::uint32_t target);
+
+  [[nodiscard]] const AnnotatedGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  const AnnotatedGraph* graph_;
+  std::span<const double> weights_;
+  // CSR-style adjacency: neighbor + edge index per arc.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs_;
+};
+
+/// Latency stretch statistics: over sampled reachable node pairs, the
+/// ratio of shortest-path latency (over the annotated links) to the
+/// direct great-circle propagation latency. Values near 1 mean the
+/// topology routes close to the geographic optimum; large values flag
+/// detour-heavy designs.
+struct StretchStats {
+  std::size_t pairs = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+StretchStats latency_stretch(const AnnotatedGraph& graph,
+                             std::span<const double> latency_ms,
+                             std::size_t sample_sources, std::uint64_t seed);
+
+}  // namespace geonet::net

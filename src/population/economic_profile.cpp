@@ -1,0 +1,111 @@
+#include "population/economic_profile.h"
+
+namespace geonet::population {
+
+std::vector<EconomicProfile> world_profiles() {
+  // Population / online-user / interface figures follow the paper's
+  // Table III (IxMapper + Skitter column). Placement alphas follow the
+  // Figure 2 fitted slopes for the three study regions; other regions get
+  // a moderate default. Boxes are disjoint by construction.
+  std::vector<EconomicProfile> profiles;
+
+  profiles.push_back({.name = "Africa",
+                      .extent = {"Africa", -35.0, 35.0, -18.0, 52.0},
+                      .population_millions = 837.0,
+                      .online_millions = 4.15,
+                      .paper_interfaces = 8379.0,
+                      .placement_alpha = 1.5,
+                      .city_count = 520,
+                      .zipf_s = 1.05,
+                      .urban_fraction = 0.55,
+                      .link_distance_scale_miles = 95.0});
+
+  profiles.push_back({.name = "South America",
+                      .extent = {"South America", -56.0, 7.0, -82.0, -34.0},
+                      .population_millions = 341.0,
+                      .online_millions = 21.9,
+                      .paper_interfaces = 10131.0,
+                      .placement_alpha = 1.5,
+                      .city_count = 420,
+                      .zipf_s = 1.08,
+                      .urban_fraction = 0.75,
+                      .link_distance_scale_miles = 95.0});
+
+  profiles.push_back({.name = "Mexico",
+                      .extent = {"Mexico", 7.0, 25.0, -118.0, -83.1},
+                      .population_millions = 154.0,
+                      .online_millions = 3.42,
+                      .paper_interfaces = 4361.0,
+                      .placement_alpha = 1.5,
+                      .city_count = 260,
+                      .zipf_s = 1.12,
+                      .urban_fraction = 0.7,
+                      .link_distance_scale_miles = 95.0});
+
+  profiles.push_back({.name = "W. Europe",
+                      .extent = {"W. Europe", 36.0, 60.0, -10.0, 22.0},
+                      .population_millions = 366.0,
+                      .online_millions = 143.0,
+                      .paper_interfaces = 95993.0,
+                      .placement_alpha = 2.0,
+                      .city_count = 750,
+                      .zipf_s = 0.95,
+                      .urban_fraction = 0.85,
+                      .link_distance_scale_miles = 42.0});
+
+  profiles.push_back({.name = "Japan",
+                      .extent = {"Japan", 30.0, 46.0, 130.0, 146.0},
+                      .population_millions = 136.0,
+                      .online_millions = 47.1,
+                      .paper_interfaces = 37649.0,
+                      .placement_alpha = 2.3,
+                      .city_count = 340,
+                      .zipf_s = 1.1,
+                      .urban_fraction = 0.88,
+                      .link_distance_scale_miles = 48.0});
+
+  profiles.push_back({.name = "Australia",
+                      .extent = {"Australia", -45.0, -10.0, 112.0, 155.0},
+                      .population_millions = 18.0,
+                      .online_millions = 10.1,
+                      .paper_interfaces = 18277.0,
+                      .placement_alpha = 1.55,
+                      .city_count = 160,
+                      .zipf_s = 1.2,
+                      .urban_fraction = 0.9,
+                      .link_distance_scale_miles = 95.0});
+
+  profiles.push_back({.name = "USA",
+                      .extent = {"USA", 25.0, 49.5, -125.0, -66.0},
+                      .population_millions = 299.0,
+                      .online_millions = 166.0,
+                      .paper_interfaces = 282048.0,
+                      .placement_alpha = 1.55,
+                      .city_count = 950,
+                      .zipf_s = 1.0,
+                      .urban_fraction = 0.8,
+                      .link_distance_scale_miles = 105.0});
+
+  return profiles;
+}
+
+std::optional<EconomicProfile> profile_by_name(std::string_view name) {
+  for (auto& profile : world_profiles()) {
+    if (profile.name == name) return profile;
+  }
+  return std::nullopt;
+}
+
+EconomicProfile world_totals() {
+  EconomicProfile total;
+  total.name = "World";
+  total.extent = geo::regions::world();
+  for (const auto& profile : world_profiles()) {
+    total.population_millions += profile.population_millions;
+    total.online_millions += profile.online_millions;
+    total.paper_interfaces += profile.paper_interfaces;
+  }
+  return total;
+}
+
+}  // namespace geonet::population

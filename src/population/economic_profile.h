@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/region.h"
+
+namespace geonet::population {
+
+/// Demographic and Internet-development parameters for one world economic
+/// region — the library's stand-in for the CIESIN population figures and
+/// the Nua "How many online?" survey numbers quoted in Table III.
+///
+/// `extent` boxes are mutually disjoint so the synthetic world never
+/// double-counts people; they sit inside (or around) the broader analysis
+/// regions of `geo::regions`.
+struct EconomicProfile {
+  std::string name;
+  geo::Region extent;
+  double population_millions = 0.0;
+  double online_millions = 0.0;
+  /// Skitter interface count the paper maps into this region (Table III);
+  /// used as the per-region infrastructure budget, scaled by the scenario.
+  double paper_interfaces = 0.0;
+  /// Superlinear exponent for router placement: expected routers in a
+  /// patch scale as (patch population)^placement_alpha (Figure 2 slopes).
+  double placement_alpha = 1.3;
+  /// Number of synthetic cities seeding the urban population.
+  std::size_t city_count = 120;
+  /// Zipf exponent of city sizes.
+  double zipf_s = 1.05;
+  /// Fraction of people in cities; the rest is uniform rural background.
+  double urban_fraction = 0.8;
+  /// Decay scale (miles) of distance-sensitive link formation in this
+  /// region; Figure 5 finds lambda = 1/slope of ~80 mi (Europe) to
+  /// ~145 mi (US).
+  double link_distance_scale_miles = 130.0;
+
+  [[nodiscard]] double people_per_interface() const noexcept {
+    return paper_interfaces > 0.0
+               ? population_millions * 1e6 / paper_interfaces
+               : 0.0;
+  }
+  [[nodiscard]] double online_per_interface() const noexcept {
+    return paper_interfaces > 0.0 ? online_millions * 1e6 / paper_interfaces
+                                  : 0.0;
+  }
+};
+
+/// The seven Table III economic regions with the paper's population,
+/// online-user, and interface figures.
+std::vector<EconomicProfile> world_profiles();
+
+/// Looks up a profile by name in world_profiles().
+std::optional<EconomicProfile> profile_by_name(std::string_view name);
+
+/// Sum of population/online/interface figures across world_profiles();
+/// the synthetic counterpart of Table III's "World" row.
+EconomicProfile world_totals();
+
+}  // namespace geonet::population

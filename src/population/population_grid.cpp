@@ -1,0 +1,53 @@
+#include "population/population_grid.h"
+
+namespace geonet::population {
+
+PopulationGrid::PopulationGrid(geo::Grid grid)
+    : grid_(std::move(grid)), people_(grid_.cell_count(), 0.0) {}
+
+void PopulationGrid::deposit(const geo::GeoPoint& p, double people) noexcept {
+  if (const auto cell = grid_.cell_of(p)) {
+    deposit_cell(*cell, people);
+  }
+}
+
+void PopulationGrid::deposit_cell(const geo::CellIndex& cell,
+                                  double people) noexcept {
+  const std::size_t flat = grid_.flat_index(cell);
+  if (flat < people_.size() && people > 0.0) {
+    people_[flat] += people;
+    total_ += people;
+  }
+}
+
+double PopulationGrid::cell_population(const geo::CellIndex& cell) const noexcept {
+  const std::size_t flat = grid_.flat_index(cell);
+  return flat < people_.size() ? people_[flat] : 0.0;
+}
+
+double PopulationGrid::population_in(const geo::Region& box) const noexcept {
+  double sum = 0.0;
+  for (std::size_t flat = 0; flat < people_.size(); ++flat) {
+    if (people_[flat] <= 0.0) continue;
+    if (box.contains(grid_.cell_center(grid_.unflatten(flat)))) {
+      sum += people_[flat];
+    }
+  }
+  return sum;
+}
+
+std::optional<geo::GeoPoint> PopulationGrid::sample_location(
+    stats::Rng& rng) const {
+  if (total_ <= 0.0) return std::nullopt;
+  if (!sampler_ || sampler_total_ != total_) {
+    sampler_.emplace(people_);
+    sampler_total_ = total_;
+  }
+  const std::size_t flat = sampler_->sample(rng);
+  if (flat >= people_.size()) return std::nullopt;
+  const geo::Region bounds = grid_.cell_bounds(grid_.unflatten(flat));
+  return geo::GeoPoint{rng.uniform(bounds.south_deg, bounds.north_deg),
+                       rng.uniform(bounds.west_deg, bounds.east_deg)};
+}
+
+}  // namespace geonet::population

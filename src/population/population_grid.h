@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/grid.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace geonet::population {
+
+/// A synthetic city: the seed of an urban population cluster.
+struct City {
+  geo::GeoPoint center;
+  double population = 0.0;
+};
+
+/// A gridded population raster over one region, the library's stand-in for
+/// the CIESIN "Gridded Population of the World" dataset the paper uses.
+///
+/// Cell values are person counts (not densities). The raster also supports
+/// population-weighted location sampling, which is how the ground-truth
+/// generator decides where infrastructure demand exists.
+class PopulationGrid {
+ public:
+  explicit PopulationGrid(geo::Grid grid);
+
+  [[nodiscard]] const geo::Grid& grid() const noexcept { return grid_; }
+
+  /// Adds `people` to the cell containing p (no-op outside the region).
+  void deposit(const geo::GeoPoint& p, double people) noexcept;
+
+  /// Adds `people` to the cell addressed directly.
+  void deposit_cell(const geo::CellIndex& cell, double people) noexcept;
+
+  [[nodiscard]] double cell_population(const geo::CellIndex& cell) const noexcept;
+  [[nodiscard]] const std::vector<double>& cell_populations() const noexcept {
+    return people_;
+  }
+  [[nodiscard]] double total_population() const noexcept { return total_; }
+
+  /// Population inside an arbitrary box, approximated by cell centres.
+  [[nodiscard]] double population_in(const geo::Region& box) const noexcept;
+
+  /// Draws a location with probability proportional to cell population,
+  /// uniformly positioned within the chosen cell. Returns nullopt when the
+  /// raster is empty.
+  [[nodiscard]] std::optional<geo::GeoPoint> sample_location(stats::Rng& rng) const;
+
+  /// Records the cities used to build this raster (metadata for reports).
+  void set_cities(std::vector<City> cities) { cities_ = std::move(cities); }
+  [[nodiscard]] const std::vector<City>& cities() const noexcept { return cities_; }
+
+ private:
+  geo::Grid grid_;
+  std::vector<double> people_;
+  double total_ = 0.0;
+  std::vector<City> cities_;
+  mutable std::optional<stats::DiscreteSampler> sampler_;  // built lazily
+  mutable double sampler_total_ = -1.0;  // total_ when sampler_ was built
+};
+
+}  // namespace geonet::population

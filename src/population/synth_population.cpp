@@ -1,0 +1,173 @@
+#include "population/synth_population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance.h"
+#include "stats/distributions.h"
+
+namespace geonet::population {
+
+std::vector<City> synthesize_cities(const EconomicProfile& profile,
+                                    stats::Rng& rng,
+                                    const SynthesisOptions& options) {
+  std::vector<City> cities;
+  if (profile.city_count == 0 || profile.population_millions <= 0.0) {
+    return cities;
+  }
+  cities.reserve(profile.city_count);
+
+  const geo::Region& box = profile.extent;
+  const auto uniform_point = [&]() {
+    return geo::GeoPoint{rng.uniform(box.south_deg, box.north_deg),
+                         rng.uniform(box.west_deg, box.east_deg)};
+  };
+
+  // Clustered placement: most cities spawn a heavy-tailed hop away from an
+  // existing city, producing coastal-corridor-like agglomerations rather
+  // than a uniform scatter (the paper stresses router placement is highly
+  // irregular, tracking exactly this kind of population pattern).
+  for (std::size_t i = 0; i < profile.city_count; ++i) {
+    geo::GeoPoint center;
+    if (i == 0 || !rng.bernoulli(options.cluster_probability)) {
+      center = uniform_point();
+    } else {
+      const auto& anchor = cities[rng.uniform_index(cities.size())];
+      const double hop = stats::pareto(rng, options.cluster_scale_miles,
+                                       options.cluster_pareto_alpha);
+      center = geo::destination_point(anchor.center, rng.uniform(0.0, 360.0),
+                                      hop);
+      if (!box.contains(center)) center = uniform_point();
+    }
+    cities.push_back({center, 0.0});
+  }
+
+  // Zipf sizes over ranks, normalised to the urban share of the region.
+  const double urban_people =
+      profile.population_millions * 1e6 * profile.urban_fraction;
+  double weight_sum = 0.0;
+  std::vector<double> weights(cities.size());
+  for (std::size_t rank = 1; rank <= cities.size(); ++rank) {
+    weights[rank - 1] = std::pow(static_cast<double>(rank), -profile.zipf_s);
+    weight_sum += weights[rank - 1];
+  }
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    cities[i].population = urban_people * weights[i] / weight_sum;
+  }
+  return cities;
+}
+
+namespace {
+
+/// Spreads one city's population over nearby raster cells with a Gaussian
+/// kernel truncated at 3 sigma.
+void deposit_city(PopulationGrid& raster, const City& city, double sigma_miles) {
+  const geo::Grid& grid = raster.grid();
+  const auto center_cell = grid.cell_of(city.center);
+  if (!center_cell) return;
+
+  const double cell_deg = grid.cell_arcmin() / 60.0;
+  const double lat_miles_per_cell = cell_deg * geo::miles_per_lat_degree();
+  const double lon_miles_per_cell =
+      cell_deg * std::max(1.0, geo::miles_per_lon_degree(city.center.lat_deg));
+  const auto reach_rows = static_cast<std::ptrdiff_t>(
+      std::ceil(3.0 * sigma_miles / lat_miles_per_cell));
+  const auto reach_cols = static_cast<std::ptrdiff_t>(
+      std::ceil(3.0 * sigma_miles / lon_miles_per_cell));
+
+  struct Deposit {
+    geo::CellIndex cell;
+    double weight;
+  };
+  std::vector<Deposit> deposits;
+  double weight_sum = 0.0;
+
+  const auto rows = static_cast<std::ptrdiff_t>(grid.rows());
+  const auto cols = static_cast<std::ptrdiff_t>(grid.cols());
+  for (std::ptrdiff_t dr = -reach_rows; dr <= reach_rows; ++dr) {
+    const std::ptrdiff_t row = static_cast<std::ptrdiff_t>(center_cell->row) + dr;
+    if (row < 0 || row >= rows) continue;
+    for (std::ptrdiff_t dc = -reach_cols; dc <= reach_cols; ++dc) {
+      const std::ptrdiff_t col = static_cast<std::ptrdiff_t>(center_cell->col) + dc;
+      if (col < 0 || col >= cols) continue;
+      const geo::CellIndex cell{static_cast<std::size_t>(row),
+                                static_cast<std::size_t>(col)};
+      const double d = geo::great_circle_miles(city.center, grid.cell_center(cell));
+      if (d > 3.0 * sigma_miles) continue;
+      const double w = std::exp(-0.5 * (d / sigma_miles) * (d / sigma_miles));
+      deposits.push_back({cell, w});
+      weight_sum += w;
+    }
+  }
+  if (weight_sum <= 0.0) {
+    raster.deposit_cell(*center_cell, city.population);
+    return;
+  }
+  for (const auto& dep : deposits) {
+    raster.deposit_cell(dep.cell, city.population * dep.weight / weight_sum);
+  }
+}
+
+}  // namespace
+
+PopulationGrid synthesize_population(const EconomicProfile& profile,
+                                     stats::Rng& rng,
+                                     const SynthesisOptions& options) {
+  PopulationGrid raster(geo::Grid(profile.extent, options.cell_arcmin));
+  auto cities = synthesize_cities(profile, rng, options);
+
+  for (const auto& city : cities) {
+    const double sigma =
+        options.min_city_sigma_miles +
+        options.sigma_per_sqrt_person * std::sqrt(std::max(0.0, city.population));
+    deposit_city(raster, city, sigma);
+  }
+
+  // Uniform rural background over every cell.
+  const double rural_people =
+      profile.population_millions * 1e6 * (1.0 - profile.urban_fraction);
+  if (rural_people > 0.0 && raster.grid().cell_count() > 0) {
+    const double per_cell =
+        rural_people / static_cast<double>(raster.grid().cell_count());
+    for (std::size_t flat = 0; flat < raster.grid().cell_count(); ++flat) {
+      raster.deposit_cell(raster.grid().unflatten(flat), per_cell);
+    }
+  }
+
+  raster.set_cities(std::move(cities));
+  return raster;
+}
+
+WorldPopulation WorldPopulation::build(std::uint64_t seed,
+                                       const SynthesisOptions& options) {
+  return build(seed, world_profiles(), options);
+}
+
+WorldPopulation WorldPopulation::build(std::uint64_t seed,
+                                       std::vector<EconomicProfile> profiles,
+                                       const SynthesisOptions& options) {
+  WorldPopulation world;
+  world.profiles_ = std::move(profiles);
+  stats::Rng rng(seed);
+  world.grids_.reserve(world.profiles_.size());
+  for (std::size_t i = 0; i < world.profiles_.size(); ++i) {
+    stats::Rng child = rng.fork(i + 1);
+    world.grids_.push_back(
+        synthesize_population(world.profiles_[i], child, options));
+  }
+  return world;
+}
+
+double WorldPopulation::total_population() const noexcept {
+  double total = 0.0;
+  for (const auto& g : grids_) total += g.total_population();
+  return total;
+}
+
+double WorldPopulation::population_in(const geo::Region& box) const noexcept {
+  double total = 0.0;
+  for (const auto& g : grids_) total += g.population_in(box);
+  return total;
+}
+
+}  // namespace geonet::population

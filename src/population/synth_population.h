@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "population/economic_profile.h"
+#include "population/population_grid.h"
+#include "stats/rng.h"
+
+namespace geonet::population {
+
+/// Knobs for the synthetic population builder.
+struct SynthesisOptions {
+  double cell_arcmin = 7.5;        ///< raster resolution (1/10 of a patch)
+  double cluster_probability = 0.7;///< chance a city seeds near an earlier one
+  double cluster_scale_miles = 60.0;   ///< Pareto scale of inter-city hops
+  double cluster_pareto_alpha = 1.1;   ///< heavy tail of inter-city hops
+  double min_city_sigma_miles = 4.0;   ///< urban kernel width floor
+  double sigma_per_sqrt_person = 0.004;///< kernel width growth with city size
+};
+
+/// Generates the synthetic city list for a profile: sizes follow a Zipf
+/// law over ranks; centres follow a clustered (correlated random walk)
+/// placement that yields the patchy, fractal-like spatial pattern real
+/// population grids show.
+std::vector<City> synthesize_cities(const EconomicProfile& profile,
+                                    stats::Rng& rng,
+                                    const SynthesisOptions& options = {});
+
+/// Builds the full population raster for one economic region: Zipf cities
+/// spread with Gaussian kernels plus a uniform rural background
+/// (1 - urban_fraction of the total).
+PopulationGrid synthesize_population(const EconomicProfile& profile,
+                                     stats::Rng& rng,
+                                     const SynthesisOptions& options = {});
+
+/// The complete synthetic planet: one raster per economic region.
+///
+/// This is the substrate equivalent of "CIESIN + Nua": everything the
+/// paper's Section IV analysis needs to relate infrastructure to people.
+class WorldPopulation {
+ public:
+  /// Builds rasters for all `world_profiles()` deterministically from seed.
+  static WorldPopulation build(std::uint64_t seed,
+                               const SynthesisOptions& options = {});
+
+  /// Builds rasters for a custom profile set (parameter-sweep studies).
+  static WorldPopulation build(std::uint64_t seed,
+                               std::vector<EconomicProfile> profiles,
+                               const SynthesisOptions& options = {});
+
+  [[nodiscard]] const std::vector<EconomicProfile>& profiles() const noexcept {
+    return profiles_;
+  }
+  [[nodiscard]] const std::vector<PopulationGrid>& grids() const noexcept {
+    return grids_;
+  }
+  [[nodiscard]] const PopulationGrid& grid_for(std::size_t profile_index) const {
+    return grids_.at(profile_index);
+  }
+
+  /// Total people across the planet.
+  [[nodiscard]] double total_population() const noexcept;
+
+  /// Population inside an arbitrary box, summed across all rasters.
+  [[nodiscard]] double population_in(const geo::Region& box) const noexcept;
+
+ private:
+  std::vector<EconomicProfile> profiles_;
+  std::vector<PopulationGrid> grids_;
+};
+
+}  // namespace geonet::population

@@ -1,0 +1,57 @@
+#include "report/ascii_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace geonet::report {
+
+std::string ascii_density_map(std::span<const geo::GeoPoint> points,
+                              const geo::Region& region, std::size_t width) {
+  width = std::max<std::size_t>(width, 8);
+  // Terminal character cells are ~2x taller than wide.
+  const double aspect = region.lat_span_deg() / region.lon_span_deg();
+  const auto height = std::max<std::size_t>(
+      3, static_cast<std::size_t>(static_cast<double>(width) * aspect * 0.5));
+
+  std::vector<std::size_t> counts(width * height, 0);
+  for (const auto& p : points) {
+    if (!region.contains(p)) continue;
+    auto col = static_cast<std::size_t>((p.lon_deg - region.west_deg) /
+                                        region.lon_span_deg() *
+                                        static_cast<double>(width));
+    auto row = static_cast<std::size_t>((p.lat_deg - region.south_deg) /
+                                        region.lat_span_deg() *
+                                        static_cast<double>(height));
+    col = std::min(col, width - 1);
+    row = std::min(row, height - 1);
+    ++counts[row * width + col];
+  }
+
+  const std::size_t max_count =
+      *std::max_element(counts.begin(), counts.end());
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kShades) - 2;  // last index
+
+  std::string out;
+  out.reserve((width + 1) * height);
+  // Row 0 is the southern edge; print north first.
+  for (std::size_t row = height; row-- > 0;) {
+    for (std::size_t col = 0; col < width; ++col) {
+      const std::size_t c = counts[row * width + col];
+      std::size_t level = 0;
+      if (c > 0 && max_count > 0) {
+        level = 1 + static_cast<std::size_t>(
+                        std::log1p(static_cast<double>(c)) /
+                        std::log1p(static_cast<double>(max_count)) *
+                        static_cast<double>(kLevels - 1));
+        level = std::min(level, kLevels);
+      }
+      out += kShades[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace geonet::report

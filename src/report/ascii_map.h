@@ -1,0 +1,18 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "geo/geo_point.h"
+#include "geo/region.h"
+
+namespace geonet::report {
+
+/// Renders a point set as an ASCII density map of the region — the
+/// terminal stand-in for the paper's Figure 1 scatter maps. Darker
+/// characters mean more points per character cell.
+std::string ascii_density_map(std::span<const geo::GeoPoint> points,
+                              const geo::Region& region,
+                              std::size_t width = 72);
+
+}  // namespace geonet::report

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geonet::report {
+
+/// Description of one gnuplot panel over previously-written .dat files.
+struct GnuplotPanel {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  std::vector<std::string> dat_files;  ///< paths relative to the script
+  bool points = true;                  ///< points vs lines
+  bool logx = false;
+  bool logy = false;
+};
+
+/// Writes a standalone gnuplot script rendering each panel to a PNG next
+/// to the script. Returns false on I/O failure. Run with
+/// `gnuplot <script>` from the results directory.
+bool write_gnuplot_script(const std::string& path,
+                          const std::vector<GnuplotPanel>& panels);
+
+}  // namespace geonet::report

@@ -1,0 +1,54 @@
+#include "report/series.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace geonet::report {
+
+bool write_series(const std::string& path, const Series& series,
+                  const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (!comment.empty()) out << "# " << comment << '\n';
+  out << "# " << series.name << ": x y\n";
+  for (const auto& [x, y] : series.points) {
+    out << x << ' ' << y << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_columns(const std::string& path,
+                   const std::vector<std::string>& headers,
+                   const std::vector<std::vector<double>>& columns,
+                   const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (!comment.empty()) out << "# " << comment << '\n';
+  out << '#';
+  for (const auto& h : headers) out << ' ' << h;
+  out << '\n';
+
+  std::size_t rows = columns.empty() ? 0 : columns.front().size();
+  for (const auto& col : columns) rows = std::min(rows, col.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) out << ' ';
+      out << columns[c][r];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::string results_dir() {
+  std::string dir = "results";
+  if (const char* env = std::getenv("GEONET_RESULTS_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+}  // namespace geonet::report

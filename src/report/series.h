@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace geonet::report {
+
+/// A named (x, y) series destined for a gnuplot-style .dat file.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Writes one series as two whitespace-separated columns with a comment
+/// header. Returns false (and writes nothing) on I/O failure.
+bool write_series(const std::string& path, const Series& series,
+                  const std::string& comment = {});
+
+/// Writes several aligned columns: the header names each column; rows are
+/// truncated to the shortest column. Returns false on I/O failure.
+bool write_columns(const std::string& path,
+                   const std::vector<std::string>& headers,
+                   const std::vector<std::vector<double>>& columns,
+                   const std::string& comment = {});
+
+/// Directory benches drop their .dat files into; created on demand.
+/// Honours GEONET_RESULTS_DIR, defaulting to "results".
+std::string results_dir();
+
+}  // namespace geonet::report

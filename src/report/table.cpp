@@ -1,0 +1,106 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace geonet::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != ',' && c != '%' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row,
+                            bool align_numbers) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      const bool right = align_numbers && looks_numeric(row[c]);
+      if (right) out.append(pad, ' ');
+      out += row[c];
+      if (!right) out.append(pad, ' ');
+      if (c + 1 < row.size()) out += "  ";
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  emit_row(headers_, false);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : 0, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    out += '|';
+    for (const auto& cell : row) {
+      out += ' ';
+      out += cell;
+      out += " |";
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  out += '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_int(long long value) { return std::to_string(value); }
+
+std::string fmt_count(unsigned long long value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt(100.0 * fraction, precision) + "%";
+}
+
+}  // namespace geonet::report

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geonet::report {
+
+/// Column-aligned plain-text table, used by every bench to print the
+/// paper's tables next to the measured values.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps. Numeric-
+  /// looking cells are right-aligned, text cells left-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as a GitHub-flavoured markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision number formatting helpers for table cells.
+std::string fmt(double value, int precision = 2);
+std::string fmt_int(long long value);
+/// Formats with thousands separators, e.g. 563,521.
+std::string fmt_count(unsigned long long value);
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace geonet::report

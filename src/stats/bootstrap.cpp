@@ -1,0 +1,51 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/linear_fit.h"
+#include "stats/summary.h"
+
+namespace geonet::stats {
+
+BootstrapInterval bootstrap_paired(std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   const PairedStatistic& statistic,
+                                   std::size_t resamples, double alpha,
+                                   std::uint64_t seed) {
+  BootstrapInterval out;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n == 0 || resamples == 0) return out;
+
+  out.point = statistic(xs.subspan(0, n), ys.subspan(0, n));
+  out.resamples = resamples;
+
+  Rng rng(seed);
+  std::vector<double> bx(n), by(n), values;
+  values.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = rng.uniform_index(n);
+      bx[i] = xs[j];
+      by[i] = ys[j];
+    }
+    values.push_back(statistic(bx, by));
+  }
+  out.lo = quantile(values, alpha / 2.0);
+  out.hi = quantile(values, 1.0 - alpha / 2.0);
+  return out;
+}
+
+BootstrapInterval bootstrap_slope(std::span<const double> xs,
+                                  std::span<const double> ys,
+                                  std::size_t resamples, double alpha,
+                                  std::uint64_t seed) {
+  return bootstrap_paired(
+      xs, ys,
+      [](std::span<const double> x, std::span<const double> y) {
+        return fit_line(x, y).slope;
+      },
+      resamples, alpha, seed);
+}
+
+}  // namespace geonet::stats

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "stats/rng.h"
+
+namespace geonet::stats {
+
+/// Percentile bootstrap confidence interval for an arbitrary statistic of
+/// paired samples — used to put uncertainty bands on the paper's fitted
+/// slopes (Figure 2, Figure 5), where OLS standard errors are unreliable
+/// because patch noise is far from i.i.d. Gaussian.
+struct BootstrapInterval {
+  double point = 0.0;   ///< statistic on the full sample
+  double lo = 0.0;      ///< lower percentile bound
+  double hi = 0.0;      ///< upper percentile bound
+  std::size_t resamples = 0;
+};
+
+/// Statistic over paired data (xs, ys) of equal length.
+using PairedStatistic =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+/// Resamples (x, y) pairs with replacement `resamples` times and returns
+/// the [alpha/2, 1-alpha/2] percentile interval of the statistic.
+BootstrapInterval bootstrap_paired(std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   const PairedStatistic& statistic,
+                                   std::size_t resamples = 400,
+                                   double alpha = 0.05,
+                                   std::uint64_t seed = 271828);
+
+/// Convenience: bootstrap CI of the OLS slope of y on x.
+BootstrapInterval bootstrap_slope(std::span<const double> xs,
+                                  std::span<const double> ys,
+                                  std::size_t resamples = 400,
+                                  double alpha = 0.05,
+                                  std::uint64_t seed = 271828);
+
+}  // namespace geonet::stats

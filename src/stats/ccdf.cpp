@@ -1,0 +1,74 @@
+#include "stats/ccdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geonet::stats {
+
+namespace {
+
+std::vector<double> sorted_finite(std::span<const double> xs) {
+  std::vector<double> v;
+  v.reserve(xs.size());
+  for (const double x : xs) {
+    if (std::isfinite(x)) v.push_back(x);
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+std::vector<DistPoint> empirical_cdf(std::span<const double> xs) {
+  const auto v = sorted_finite(xs);
+  std::vector<DistPoint> out;
+  const double n = static_cast<double>(v.size());
+  for (std::size_t i = 0; i < v.size();) {
+    std::size_t j = i;
+    while (j + 1 < v.size() && v[j + 1] == v[i]) ++j;
+    out.push_back({v[i], static_cast<double>(j + 1) / n});
+    i = j + 1;
+  }
+  return out;
+}
+
+std::vector<DistPoint> empirical_ccdf(std::span<const double> xs) {
+  const auto v = sorted_finite(xs);
+  std::vector<DistPoint> out;
+  const double n = static_cast<double>(v.size());
+  for (std::size_t i = 0; i < v.size();) {
+    std::size_t j = i;
+    while (j + 1 < v.size() && v[j + 1] == v[i]) ++j;
+    // P[X > x] over values strictly greater than v[i].
+    out.push_back({v[i], static_cast<double>(v.size() - (j + 1)) / n});
+    i = j + 1;
+  }
+  return out;
+}
+
+std::vector<DistPoint> log_log(std::span<const DistPoint> curve) {
+  std::vector<DistPoint> out;
+  out.reserve(curve.size());
+  for (const auto& pt : curve) {
+    if (pt.x > 0.0 && pt.p > 0.0) {
+      out.push_back({std::log10(pt.x), std::log10(pt.p)});
+    }
+  }
+  return out;
+}
+
+LinearFit fit_ccdf_tail(std::span<const double> xs, double lower_quantile) {
+  const auto ccdf = empirical_ccdf(xs);
+  const auto ll = log_log(ccdf);
+  if (ll.size() < 3) return {};
+  const auto start = static_cast<std::size_t>(
+      lower_quantile * static_cast<double>(ll.size()));
+  std::vector<double> lx, lp;
+  for (std::size_t i = std::min(start, ll.size() - 3); i < ll.size(); ++i) {
+    lx.push_back(ll[i].x);
+    lp.push_back(ll[i].p);
+  }
+  return fit_line(lx, lp);
+}
+
+}  // namespace geonet::stats

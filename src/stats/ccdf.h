@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/linear_fit.h"
+
+namespace geonet::stats {
+
+/// One point of an empirical (C)CDF curve.
+struct DistPoint {
+  double x = 0.0;
+  double p = 0.0;
+};
+
+/// Empirical CDF: P[X <= x] evaluated at each distinct sample value.
+std::vector<DistPoint> empirical_cdf(std::span<const double> xs);
+
+/// Empirical complementary CDF: P[X > x] at each distinct sample value.
+/// The paper's Figure 7 plots these on log-log axes for AS size measures.
+std::vector<DistPoint> empirical_ccdf(std::span<const double> xs);
+
+/// log10/log10 transform of a curve, dropping points with x <= 0 or p <= 0.
+std::vector<DistPoint> log_log(std::span<const DistPoint> curve);
+
+/// Fits the tail exponent of a CCDF: slope of log10 P[X > x] vs log10 x over
+/// the upper part of the curve (x above the q-quantile of distinct values,
+/// default the median). For a Pareto tail with P[X > x] ~ x^-a, returns ~ -a.
+LinearFit fit_ccdf_tail(std::span<const double> xs, double lower_quantile = 0.5);
+
+}  // namespace geonet::stats

@@ -1,0 +1,79 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace geonet::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s), cdf_(n) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: s must be >= 0");
+  double cum = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    cum += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = cum;
+  }
+  for (auto& c : cdf_) c /= cum;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::pmf(std::size_t k) const noexcept {
+  if (k == 0 || k > cdf_.size()) return 0.0;
+  const double prev = k == 1 ? 0.0 : cdf_[k - 2];
+  return cdf_[k - 1] - prev;
+}
+
+double pareto(Rng& rng, double x_min, double alpha) noexcept {
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return x_min * std::pow(u, -1.0 / alpha);
+}
+
+double bounded_pareto(Rng& rng, double x_min, double x_max,
+                      double alpha) noexcept {
+  const double u = rng.uniform();
+  const double la = std::pow(x_min, alpha);
+  const double ha = std::pow(x_max, alpha);
+  // Inverse CDF of the bounded Pareto.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::size_t weighted_index(Rng& rng, std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return weights.size();
+  double target = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights)
+    : cum_(weights.size()) {
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += std::max(0.0, weights[i]);
+    cum_[i] = cum;
+  }
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const noexcept {
+  if (cum_.empty() || cum_.back() <= 0.0) return cum_.size();
+  const double target = rng.uniform() * cum_.back();
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), target);
+  return std::min(static_cast<std::size_t>(it - cum_.begin()), cum_.size() - 1);
+}
+
+}  // namespace geonet::stats

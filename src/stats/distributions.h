@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace geonet::stats {
+
+/// Samples ranks 1..n with P[rank = k] proportional to k^{-s}.
+///
+/// City populations (Zipf's law for cities, s near 1) and AS footprints
+/// in the synthetic world are drawn from this sampler. Sampling is
+/// O(log n) by binary search over the precomputed CDF.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s >= 0 (s = 0 degenerates to uniform ranks).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws a rank in [1, n].
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  /// P[rank = k] for k in [1, n].
+  [[nodiscard]] double pmf(std::size_t k) const noexcept;
+
+  [[nodiscard]] std::size_t n() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double s() const noexcept { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P[rank <= k]
+};
+
+/// Continuous Pareto (power-law tail) deviate: x >= x_min with density
+/// proportional to x^{-(alpha+1)}. Requires x_min > 0, alpha > 0.
+double pareto(Rng& rng, double x_min, double alpha) noexcept;
+
+/// Bounded Pareto deviate on [x_min, x_max].
+double bounded_pareto(Rng& rng, double x_min, double x_max,
+                      double alpha) noexcept;
+
+/// Samples an index with probability proportional to weights[i].
+/// Returns weights.size() if all weights are zero/negative.
+std::size_t weighted_index(Rng& rng, std::span<const double> weights) noexcept;
+
+/// Precomputed cumulative table for repeated weighted index sampling in
+/// O(log n) per draw.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Draws an index in [0, size()); size() itself if the total weight is 0.
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cum_.size(); }
+  [[nodiscard]] double total_weight() const noexcept {
+    return cum_.empty() ? 0.0 : cum_.back();
+  }
+
+ private:
+  std::vector<double> cum_;
+};
+
+}  // namespace geonet::stats

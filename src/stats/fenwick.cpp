@@ -1,0 +1,61 @@
+#include "stats/fenwick.h"
+
+#include <algorithm>
+
+namespace geonet::stats {
+
+FenwickTree::FenwickTree(std::size_t n) : tree_(n + 1, 0.0), values_(n, 0.0) {}
+
+FenwickTree::FenwickTree(const std::vector<double>& weights)
+    : FenwickTree(weights.size()) {
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) set(i, weights[i]);
+  }
+}
+
+void FenwickTree::set(std::size_t i, double weight) {
+  add(i, weight - values_[i]);
+}
+
+void FenwickTree::add(std::size_t i, double delta) {
+  if (i >= values_.size()) return;
+  if (values_[i] + delta < 0.0) delta = -values_[i];
+  values_[i] += delta;
+  for (std::size_t j = i + 1; j <= values_.size(); j += j & (~j + 1)) {
+    tree_[j] += delta;
+  }
+}
+
+double FenwickTree::prefix_sum(std::size_t i) const noexcept {
+  i = std::min(i, values_.size());
+  double sum = 0.0;
+  for (std::size_t j = i; j > 0; j -= j & (~j + 1)) {
+    sum += tree_[j];
+  }
+  return sum;
+}
+
+std::size_t FenwickTree::lower_bound(double target) const noexcept {
+  if (values_.empty() || total() <= 0.0 || target >= total()) {
+    return values_.size();
+  }
+  std::size_t pos = 0;
+  std::size_t mask = 1;
+  while (mask * 2 <= values_.size()) mask *= 2;
+  for (; mask > 0; mask /= 2) {
+    const std::size_t next = pos + mask;
+    if (next <= values_.size() && tree_[next] <= target) {
+      target -= tree_[next];
+      pos = next;
+    }
+  }
+  return pos;  // 0-based index of the element crossed
+}
+
+std::size_t FenwickTree::sample(Rng& rng) const noexcept {
+  const double t = total();
+  if (t <= 0.0) return values_.size();
+  return lower_bound(rng.uniform() * t);
+}
+
+}  // namespace geonet::stats

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace geonet::stats {
+
+/// Fenwick (binary indexed) tree over non-negative double weights,
+/// supporting O(log n) point update, prefix sum, and weighted sampling.
+///
+/// The ground-truth generator uses this to sample grid cells proportional
+/// to their *remaining* router quota, which changes as ASes claim routers.
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t n);
+  explicit FenwickTree(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Current weight at index i.
+  [[nodiscard]] double value(std::size_t i) const noexcept { return values_[i]; }
+
+  /// Sets the weight at index i (must be >= 0).
+  void set(std::size_t i, double weight);
+
+  /// Adds delta to the weight at index i (result clamped at 0).
+  void add(std::size_t i, double delta);
+
+  /// Sum of weights in [0, i) — i.e. excluding i.
+  [[nodiscard]] double prefix_sum(std::size_t i) const noexcept;
+
+  /// Total weight.
+  [[nodiscard]] double total() const noexcept { return prefix_sum(size()); }
+
+  /// Smallest index i with prefix_sum(i+1) > target (target in [0, total)).
+  /// Returns size() when the tree is empty or total() == 0.
+  [[nodiscard]] std::size_t lower_bound(double target) const noexcept;
+
+  /// Draws an index with probability proportional to its weight;
+  /// size() when the total weight is zero.
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+ private:
+  std::vector<double> tree_;    // 1-based internal array
+  std::vector<double> values_;  // current weights (for value())
+};
+
+}  // namespace geonet::stats

@@ -1,0 +1,59 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace geonet::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  if (!std::isfinite(x) || x < lo_ || x >= hi_) return counts_.size();
+  auto b = static_cast<std::size_t>((x - lo_) / width_);
+  if (b >= counts_.size()) b = counts_.size() - 1;  // guard fp edge at hi
+  return b;
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  const std::size_t b = bin_of(x);
+  if (b < counts_.size()) {
+    counts_[b] += weight;
+  } else if (x < lo_) {
+    underflow_ += weight;
+  } else {
+    overflow_ += weight;
+  }
+}
+
+void Histogram::add_to_bin(std::size_t b, double weight) noexcept {
+  if (b < counts_.size()) counts_[b] += weight;
+}
+
+double Histogram::bin_left(std::size_t b) const noexcept {
+  return lo_ + width_ * static_cast<double>(b);
+}
+
+double Histogram::bin_center(std::size_t b) const noexcept {
+  return bin_left(b) + 0.5 * width_;
+}
+
+double Histogram::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0);
+}
+
+std::vector<double> Histogram::ratio(const Histogram& denominator) const {
+  std::vector<double> out(counts_.size(), 0.0);
+  const std::size_t n = std::min(counts_.size(), denominator.counts_.size());
+  for (std::size_t b = 0; b < n; ++b) {
+    if (denominator.counts_[b] > 0.0) out[b] = counts_[b] / denominator.counts_[b];
+  }
+  return out;
+}
+
+}  // namespace geonet::stats

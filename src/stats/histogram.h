@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace geonet::stats {
+
+/// Fixed-width binned histogram over [lo, hi).
+///
+/// The paper's distance-preference analysis (Section V) bins both link
+/// lengths and node-pair distances into equal-width bins; this type is the
+/// shared accumulator for both. Weights are doubles so the grid-accelerated
+/// pair counter can add cell-product weights directly.
+class Histogram {
+ public:
+  /// Creates a histogram of `bins` equal-width bins spanning [lo, hi).
+  /// Requires bins > 0 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Trivial single-bin histogram over [0, 1); a valid empty placeholder.
+  Histogram() : Histogram(0.0, 1.0, 1) {}
+
+  /// Adds `weight` to the bin containing x. Values outside [lo, hi) are
+  /// tallied in underflow/overflow and excluded from bin totals.
+  void add(double x, double weight = 1.0) noexcept;
+
+  /// Adds `weight` directly to bin `b` (b < bin_count()).
+  void add_to_bin(std::size_t b, double weight = 1.0) noexcept;
+
+  /// Bin index for x, or bin_count() if out of range.
+  [[nodiscard]] std::size_t bin_of(double x) const noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Left edge / centre of bin b.
+  [[nodiscard]] double bin_left(std::size_t b) const noexcept;
+  [[nodiscard]] double bin_center(std::size_t b) const noexcept;
+
+  [[nodiscard]] double count(std::size_t b) const noexcept { return counts_[b]; }
+  [[nodiscard]] const std::vector<double>& counts() const noexcept { return counts_; }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+
+  /// Sum of all in-range bin weights.
+  [[nodiscard]] double total() const noexcept;
+
+  /// Element-wise bin ratio this/denominator; bins where the denominator is
+  /// zero yield 0. Requires identical binning.
+  [[nodiscard]] std::vector<double> ratio(const Histogram& denominator) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace geonet::stats

@@ -1,0 +1,55 @@
+#include "stats/linear_fit.h"
+
+#include <cmath>
+#include <vector>
+
+namespace geonet::stats {
+
+LinearFit fit_line_weighted(std::span<const double> xs,
+                            std::span<const double> ys,
+                            std::span<const double> ws) {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+
+  double sw = 0.0, swx = 0.0, swy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = ws.empty() ? 1.0 : ws[i];
+    if (!std::isfinite(xs[i]) || !std::isfinite(ys[i]) || !(w > 0.0)) continue;
+    sw += w;
+    swx += w * xs[i];
+    swy += w * ys[i];
+    ++fit.n;
+  }
+  if (fit.n == 0 || sw <= 0.0) return fit;
+
+  const double mx = swx / sw;
+  const double my = swy / sw;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = ws.empty() ? 1.0 : ws[i];
+    if (!std::isfinite(xs[i]) || !std::isfinite(ys[i]) || !(w > 0.0)) continue;
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += w * dx * dx;
+    sxy += w * dx * dy;
+    syy += w * dy * dy;
+  }
+
+  if (fit.n < 2 || sxx <= 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  return fit_line_weighted(xs, ys, {});
+}
+
+}  // namespace geonet::stats

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+
+namespace geonet::stats {
+
+/// Result of an ordinary least-squares straight-line fit y = slope*x + b.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< Coefficient of determination in [0, 1].
+  std::size_t n = 0;       ///< Number of points actually used.
+
+  /// Value of the fitted line at x.
+  [[nodiscard]] double at(double x) const noexcept {
+    return slope * x + intercept;
+  }
+};
+
+/// Fits y = slope*x + intercept by ordinary least squares.
+///
+/// Points with non-finite coordinates are skipped. With fewer than two
+/// usable points, or zero x-variance, the fit is degenerate: slope = 0,
+/// intercept = mean(y) (or 0 with no points), r_squared = 0.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Weighted least squares with per-point non-negative weights.
+LinearFit fit_line_weighted(std::span<const double> xs,
+                            std::span<const double> ys,
+                            std::span<const double> ws);
+
+}  // namespace geonet::stats

@@ -1,0 +1,120 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace geonet::stats {
+
+namespace {
+
+std::vector<double> finite_only(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) {
+    if (std::isfinite(x)) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const double x : xs) {
+    if (std::isfinite(x)) {
+      sum += x;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  auto v = finite_only(xs);
+  s.n = v.size();
+  if (v.empty()) return s;
+
+  s.mean = std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+  double ss = 0.0;
+  for (const double x : v) {
+    const double d = x - s.mean;
+    ss += d * d;
+  }
+  s.stddev = v.size() > 1 ? std::sqrt(ss / static_cast<double>(v.size() - 1)) : 0.0;
+
+  std::sort(v.begin(), v.end());
+  s.min = v.front();
+  s.max = v.back();
+  const std::size_t m = v.size() / 2;
+  s.median = (v.size() % 2 == 1) ? v[m] : 0.5 * (v[m - 1] + v[m]);
+  return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  auto v = finite_only(xs);
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  double sx = 0.0, sy = 0.0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(xs[i]) || !std::isfinite(ys[i])) continue;
+    sx += xs[i];
+    sy += ys[i];
+    ++m;
+  }
+  if (m < 2) return 0.0;
+  const double mx = sx / static_cast<double>(m);
+  const double my = sy / static_cast<double>(m);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(xs[i]) || !std::isfinite(ys[i])) continue;
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  const auto rx = average_ranks(xs.subspan(0, n));
+  const auto ry = average_ranks(ys.subspan(0, n));
+  return pearson(rx, ry);
+}
+
+}  // namespace geonet::stats

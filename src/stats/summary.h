@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace geonet::stats {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a Summary; non-finite values are ignored.
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for an empty span. Non-finite values ignored.
+double mean(std::span<const double> xs);
+
+/// q-quantile (0 <= q <= 1) by linear interpolation of order statistics.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; 0 when degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation; average ranks for ties.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Ranks with ties averaged (1-based ranks), as used by spearman().
+std::vector<double> average_ranks(std::span<const double> xs);
+
+}  // namespace geonet::stats

@@ -1,0 +1,57 @@
+#include "synth/bgp.h"
+
+#include <stdexcept>
+
+namespace geonet::synth {
+
+void BgpTable::announce(const net::Prefix& prefix, std::uint32_t asn) {
+  const net::Prefix p = net::normalized(prefix);
+  entries_.push_back({p, asn});
+  trie_.insert(p, asn);
+}
+
+std::optional<std::uint32_t> BgpTable::origin_as(net::Ipv4Addr addr) const noexcept {
+  return trie_.longest_match(addr);
+}
+
+net::Prefix AddressAllocator::allocate_block(std::uint8_t length) {
+  if (length < 8 || length > 30) {
+    throw std::invalid_argument("AddressAllocator: length must be in [8,30]");
+  }
+  const std::uint32_t block_size = 1u << (32 - length);
+  // Align the cursor to the block size.
+  std::uint32_t start = (cursor_ + block_size - 1) & ~(block_size - 1);
+
+  // Skip reserved ranges entirely.
+  const auto overlaps_reserved = [&](std::uint32_t s) {
+    const std::uint32_t e = s + block_size - 1;
+    const auto hits = [&](std::uint32_t lo, std::uint32_t hi) {
+      return s <= hi && e >= lo;
+    };
+    return hits(0x0a000000u, 0x0affffffu) ||  // 10/8
+           hits(0x7f000000u, 0x7fffffffu) ||  // 127/8
+           hits(0xac100000u, 0xac1fffffu) ||  // 172.16/12
+           hits(0xc0a80000u, 0xc0a8ffffu) ||  // 192.168/16
+           hits(0xe0000000u, 0xffffffffu);    // multicast + reserved
+  };
+  while (overlaps_reserved(start)) {
+    start += block_size;
+  }
+  if (start < cursor_) {
+    throw std::runtime_error("AddressAllocator: public IPv4 space exhausted");
+  }
+  cursor_ = start + block_size;
+  allocated_ += block_size;
+  return net::Prefix{net::Ipv4Addr{start}, length};
+}
+
+net::Ipv4Addr AsAddressSpace::next() {
+  const std::uint32_t block_size = 1u << (32 - block_length_);
+  if (blocks_.empty() || offset_ >= block_size) {
+    blocks_.push_back(allocator_->allocate_block(block_length_));
+    offset_ = 1;  // skip the network address itself
+  }
+  return net::Ipv4Addr{blocks_.back().network.value + offset_++};
+}
+
+}  // namespace geonet::synth

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix_trie.h"
+
+namespace geonet::synth {
+
+/// One BGP RIB entry: an advertised prefix and its originating AS.
+struct BgpEntry {
+  net::Prefix prefix;
+  std::uint32_t origin_asn = 0;
+};
+
+/// A synthetic BGP table, the library's stand-in for the RouteViews
+/// backbone-table union the paper uses to label nodes with their parent AS
+/// (Section III.C): longest advertised prefix matching the address wins.
+class BgpTable {
+ public:
+  /// Announces a prefix originated by `asn` (later announcements of the
+  /// same prefix overwrite earlier ones, as a RIB refresh would).
+  void announce(const net::Prefix& prefix, std::uint32_t asn);
+
+  /// AS originating the longest matching prefix, or nullopt if the address
+  /// is not covered (the paper groups such nodes into a separate AS and
+  /// omits them from AS analysis).
+  [[nodiscard]] std::optional<std::uint32_t> origin_as(net::Ipv4Addr addr) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<BgpEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<BgpEntry> entries_;
+  net::PrefixTrie trie_;
+};
+
+/// Sequential allocator of address blocks from public IPv4 space, used to
+/// give every synthetic AS its own prefixes. Skips RFC 1918 and loopback
+/// space so `net::is_private` filtering stays meaningful.
+class AddressAllocator {
+ public:
+  /// Starts allocating at 1.0.0.0.
+  AddressAllocator() = default;
+
+  /// Allocates the next /`length` block (length in [8, 30]).
+  net::Prefix allocate_block(std::uint8_t length);
+
+  /// Addresses handed out so far (for diagnostics).
+  [[nodiscard]] std::uint64_t allocated() const noexcept { return allocated_; }
+
+ private:
+  std::uint32_t cursor_ = 0x01000000;  // 1.0.0.0
+  std::uint64_t allocated_ = 0;
+};
+
+/// Bump-pointer supply of host addresses inside a growing set of blocks;
+/// each AS owns one. `next()` mints a fresh address, pulling a new block
+/// from the allocator when the current one is exhausted.
+class AsAddressSpace {
+ public:
+  AsAddressSpace(AddressAllocator& allocator, std::uint8_t block_length = 19)
+      : allocator_(&allocator), block_length_(block_length) {}
+
+  net::Ipv4Addr next();
+
+  [[nodiscard]] const std::vector<net::Prefix>& blocks() const noexcept {
+    return blocks_;
+  }
+
+ private:
+  AddressAllocator* allocator_;
+  std::uint8_t block_length_;
+  std::vector<net::Prefix> blocks_;
+  std::uint32_t offset_ = 0;  // next host offset within the last block
+};
+
+}  // namespace geonet::synth

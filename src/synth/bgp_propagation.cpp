@@ -1,0 +1,319 @@
+#include "synth/bgp_propagation.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace geonet::synth {
+
+namespace {
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+/// Adjacency split by role, keyed by ASN.
+struct RelationGraph {
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> providers_of;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> customers_of;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> peers_of;
+};
+
+RelationGraph build_graph(std::span<const AsRelationship> relationships) {
+  RelationGraph graph;
+  for (const auto& rel : relationships) {
+    if (rel.relation == AsRelation::kCustomerProvider) {
+      graph.providers_of[rel.customer_asn].push_back(rel.provider_asn);
+      graph.customers_of[rel.provider_asn].push_back(rel.customer_asn);
+    } else {
+      graph.peers_of[rel.customer_asn].push_back(rel.provider_asn);
+      graph.peers_of[rel.provider_asn].push_back(rel.customer_asn);
+    }
+  }
+  return graph;
+}
+
+void bfs_closure(
+    const std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>& step,
+    std::unordered_set<std::uint32_t>& members) {
+  std::queue<std::uint32_t> frontier;
+  for (const std::uint32_t asn : members) frontier.push(asn);
+  while (!frontier.empty()) {
+    const std::uint32_t asn = frontier.front();
+    frontier.pop();
+    const auto it = step.find(asn);
+    if (it == step.end()) continue;
+    for (const std::uint32_t next : it->second) {
+      if (members.insert(next).second) frontier.push(next);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AsRelationship> infer_as_relationships(const GroundTruth& truth,
+                                                   double provider_ratio) {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<AsRelationship> out;
+  const net::Topology& topology = truth.topology();
+
+  for (const net::Link& link : topology.links()) {
+    const std::uint32_t as_a =
+        topology.router(topology.interface(link.if_a).router).asn;
+    const std::uint32_t as_b =
+        topology.router(topology.interface(link.if_b).router).asn;
+    if (as_a == as_b) continue;
+    if (!seen.insert(pair_key(as_a, as_b)).second) continue;
+
+    const AsInfo* info_a = truth.as_info(as_a);
+    const AsInfo* info_b = truth.as_info(as_b);
+    const double size_a =
+        info_a != nullptr ? static_cast<double>(info_a->routers.size()) : 1.0;
+    const double size_b =
+        info_b != nullptr ? static_cast<double>(info_b->routers.size()) : 1.0;
+
+    AsRelationship rel;
+    if (size_a >= provider_ratio * size_b) {
+      rel = {as_b, as_a, AsRelation::kCustomerProvider};
+    } else if (size_b >= provider_ratio * size_a) {
+      rel = {as_a, as_b, AsRelation::kCustomerProvider};
+    } else {
+      rel = {std::min(as_a, as_b), std::max(as_a, as_b),
+             AsRelation::kPeerPeer};
+    }
+    out.push_back(rel);
+  }
+
+  // Post-pass (as Gao-style inference does): every AS outside the top of
+  // the hierarchy buys transit somewhere. An AS left with no provider has
+  // its link to its largest neighbour reinterpreted as a transit
+  // purchase, unless it is itself among the largest ASes (a tier-1).
+  std::unordered_map<std::uint32_t, std::size_t> provider_count;
+  for (const auto& rel : out) {
+    if (rel.relation == AsRelation::kCustomerProvider) {
+      ++provider_count[rel.customer_asn];
+    }
+  }
+  std::size_t biggest = 0;
+  for (const AsInfo& info : truth.ases()) {
+    biggest = std::max(biggest, info.routers.size());
+  }
+  const double tier1_floor = 0.5 * static_cast<double>(biggest);
+
+  // Ascending size order so small ASes claim transit first and the
+  // cascade propagates upward with live provider counts.
+  std::vector<const AsInfo*> ascending;
+  for (const AsInfo& info : truth.ases()) ascending.push_back(&info);
+  std::sort(ascending.begin(), ascending.end(),
+            [](const AsInfo* a, const AsInfo* b) {
+              return a->routers.size() < b->routers.size();
+            });
+
+  bool changed = true;
+  for (int pass = 0; pass < 8 && changed; ++pass) {
+  changed = false;
+  for (const AsInfo* info_ptr : ascending) {
+    const AsInfo& info = *info_ptr;
+    if (provider_count[info.asn] > 0) continue;
+    if (static_cast<double>(info.routers.size()) >= tier1_floor) continue;
+
+    // Find this AS's largest neighbour among the inferred edges,
+    // preferring flips that do not orphan the counterparty (stealing its
+    // only provider just moves the hole around).
+    AsRelationship* best = nullptr;
+    double best_size = -1.0;
+    bool best_orphans = true;
+    for (auto& rel : out) {
+      const bool touches =
+          rel.customer_asn == info.asn || rel.provider_asn == info.asn;
+      if (!touches) continue;
+      const std::uint32_t other =
+          rel.customer_asn == info.asn ? rel.provider_asn : rel.customer_asn;
+      const AsInfo* other_info = truth.as_info(other);
+      const double other_size =
+          other_info != nullptr
+              ? static_cast<double>(other_info->routers.size())
+              : 0.0;
+      const bool orphans = rel.relation == AsRelation::kCustomerProvider &&
+                           rel.customer_asn == other &&
+                           provider_count[other] <= 1;
+      const bool better = best == nullptr ||
+                          (best_orphans && !orphans) ||
+                          (best_orphans == orphans && other_size > best_size);
+      if (better) {
+        best_size = other_size;
+        best = &rel;
+        best_orphans = orphans;
+      }
+    }
+    if (best != nullptr) {
+      const std::uint32_t other = best->customer_asn == info.asn
+                                      ? best->provider_asn
+                                      : best->customer_asn;
+      // Keep the live counts honest: overwriting a transit edge that had
+      // `other` as the customer removes one of `other`'s providers.
+      if (best->relation == AsRelation::kCustomerProvider &&
+          best->customer_asn == other) {
+        --provider_count[other];
+      }
+      *best = {info.asn, other, AsRelation::kCustomerProvider};
+      ++provider_count[info.asn];
+      changed = true;
+    }
+  }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> visible_at(
+    const GroundTruth& truth, std::span<const AsRelationship> relationships,
+    std::uint32_t origin_asn) {
+  (void)truth;
+  const RelationGraph graph = build_graph(relationships);
+
+  // Up: the origin and all transitive providers hear customer routes.
+  std::unordered_set<std::uint32_t> upward{origin_asn};
+  bfs_closure(graph.providers_of, upward);
+
+  // Across: customer routes are exported to peers (one peering hop).
+  std::unordered_set<std::uint32_t> reached = upward;
+  for (const std::uint32_t asn : upward) {
+    const auto it = graph.peers_of.find(asn);
+    if (it == graph.peers_of.end()) continue;
+    for (const std::uint32_t peer : it->second) reached.insert(peer);
+  }
+
+  // Down: everyone who heard the route exports it to customers.
+  bfs_closure(graph.customers_of, reached);
+
+  std::vector<std::uint32_t> out(reached.begin(), reached.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+BgpTable vantage_table(const GroundTruth& truth,
+                       std::span<const AsRelationship> relationships,
+                       std::uint32_t vantage_asn) {
+  return route_views_union(truth, relationships, {{vantage_asn}});
+}
+
+BgpTable route_views_union(const GroundTruth& truth,
+                           std::span<const AsRelationship> relationships,
+                           std::span<const std::uint32_t> vantage_asns) {
+  const std::unordered_set<std::uint32_t> vantages(vantage_asns.begin(),
+                                                   vantage_asns.end());
+  BgpTable table;
+  for (const AsInfo& origin : truth.ases()) {
+    if (!origin.announced) continue;
+    const auto reach = visible_at(truth, relationships, origin.asn);
+    const bool seen = std::any_of(
+        reach.begin(), reach.end(),
+        [&](std::uint32_t asn) { return vantages.contains(asn); });
+    if (!seen) continue;
+    for (const net::Prefix& block : origin.prefixes) {
+      table.announce(block, origin.asn);
+    }
+  }
+  return table;
+}
+
+std::vector<std::uint32_t> as_path(
+    std::span<const AsRelationship> relationships, std::uint32_t src_asn,
+    std::uint32_t dst_asn) {
+  if (src_asn == dst_asn) return {src_asn};
+  const RelationGraph graph = build_graph(relationships);
+
+  // BFS over (asn, phase) states; phases encode the valley-free grammar
+  // up* across? down*: 0 = still climbing, 1 = crossed a peering,
+  // 2 = descending.
+  struct State {
+    std::uint32_t asn;
+    int phase;
+  };
+  struct Parent {
+    std::uint32_t asn = 0;
+    int phase = -1;
+  };
+  std::unordered_map<std::uint64_t, Parent> parents;
+  const auto key = [](std::uint32_t asn, int phase) {
+    return (static_cast<std::uint64_t>(asn) << 2) | static_cast<std::uint64_t>(phase);
+  };
+
+  std::queue<State> frontier;
+  frontier.push({src_asn, 0});
+  parents[key(src_asn, 0)] = {src_asn, -1};
+
+  const auto visit = [&](const State& from, std::uint32_t next, int phase) {
+    if (parents.contains(key(next, phase))) return State{0, -1};
+    parents[key(next, phase)] = {from.asn, from.phase};
+    return State{next, phase};
+  };
+
+  State goal{0, -1};
+  while (!frontier.empty() && goal.phase < 0) {
+    const State state = frontier.front();
+    frontier.pop();
+    const auto expand = [&](const std::unordered_map<
+                                std::uint32_t, std::vector<std::uint32_t>>& step,
+                            int next_phase) {
+      const auto it = step.find(state.asn);
+      if (it == step.end()) return;
+      for (const std::uint32_t next : it->second) {
+        const State fresh = visit(state, next, next_phase);
+        if (fresh.phase < 0) continue;
+        if (fresh.asn == dst_asn) {
+          goal = fresh;
+          return;
+        }
+        frontier.push(fresh);
+      }
+    };
+    if (state.phase == 0) {
+      expand(graph.providers_of, 0);   // keep climbing
+      expand(graph.peers_of, 1);       // one peering crossing
+    }
+    if (state.phase <= 2) {
+      expand(graph.customers_of, 2);   // descend
+    }
+    if (goal.phase >= 0) break;
+  }
+  if (goal.phase < 0) return {};
+
+  std::vector<std::uint32_t> path;
+  State cursor = goal;
+  while (cursor.phase != -1) {
+    path.push_back(cursor.asn);
+    const Parent parent = parents.at(key(cursor.asn, cursor.phase));
+    if (parent.phase == -1 && parent.asn == cursor.asn) break;
+    cursor = {parent.asn, parent.phase};
+  }
+  path.push_back(src_asn);
+  // Remove the duplicated source if the loop broke after pushing it.
+  if (path.size() >= 2 && path[path.size() - 1] == path[path.size() - 2]) {
+    path.pop_back();
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double table_coverage(const GroundTruth& truth, const BgpTable& table) {
+  std::size_t announced = 0;
+  std::size_t covered = 0;
+  for (const AsInfo& info : truth.ases()) {
+    if (!info.announced) continue;
+    for (const net::Prefix& block : info.prefixes) {
+      ++announced;
+      const auto origin =
+          table.origin_as(net::Ipv4Addr{block.network.value + 1});
+      if (origin && *origin == info.asn) ++covered;
+    }
+  }
+  return announced == 0
+             ? 0.0
+             : static_cast<double>(covered) / static_cast<double>(announced);
+}
+
+}  // namespace geonet::synth

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "synth/bgp.h"
+#include "synth/ground_truth.h"
+
+namespace geonet::synth {
+
+/// Business relationship between two directly-connected ASes, in the
+/// Gao-Rexford model that governs real BGP export policy.
+enum class AsRelation : std::uint8_t { kCustomerProvider, kPeerPeer };
+
+struct AsRelationship {
+  std::uint32_t customer_asn = 0;  ///< for kPeerPeer: the smaller ASN
+  std::uint32_t provider_asn = 0;  ///< for kPeerPeer: the larger ASN
+  AsRelation relation = AsRelation::kCustomerProvider;
+};
+
+/// Infers relationships from the ground truth's physical interdomain
+/// links: a pair whose router counts differ by more than `provider_ratio`
+/// is customer-provider (small pays big); comparable sizes peer.
+std::vector<AsRelationship> infer_as_relationships(
+    const GroundTruth& truth, double provider_ratio = 1.4);
+
+/// The set of ASes that receive routes originated by `origin` under
+/// valley-free export: up through all transitive providers, across one
+/// peering hop from any of those, then down through customers.
+std::vector<std::uint32_t> visible_at(
+    const GroundTruth& truth, std::span<const AsRelationship> relationships,
+    std::uint32_t origin_asn);
+
+/// Builds the BGP table a single vantage AS would observe: the prefixes
+/// of every origin whose routes reach it valley-free.
+BgpTable vantage_table(const GroundTruth& truth,
+                       std::span<const AsRelationship> relationships,
+                       std::uint32_t vantage_asn);
+
+/// The RouteViews construction: the union of the backbone tables
+/// contributed by several vantage ASes (Section III.C of the paper).
+BgpTable route_views_union(const GroundTruth& truth,
+                           std::span<const AsRelationship> relationships,
+                           std::span<const std::uint32_t> vantage_asns);
+
+/// Fraction of announced ground-truth prefixes present in `table`
+/// (coverage of the omniscient RIB).
+double table_coverage(const GroundTruth& truth, const BgpTable& table);
+
+/// Fewest-hop valley-free AS path from src to dst (the route BGP policy
+/// admits), or empty when policy forbids every path. This is the paper's
+/// Section VII use case: AS-labelled topologies make interdomain-routing
+/// simulation possible.
+std::vector<std::uint32_t> as_path(
+    std::span<const AsRelationship> relationships, std::uint32_t src_asn,
+    std::uint32_t dst_asn);
+
+}  // namespace geonet::synth

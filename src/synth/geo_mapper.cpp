@@ -1,0 +1,142 @@
+#include "synth/geo_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/distance.h"
+
+namespace geonet::synth {
+
+CityIndex::CityIndex(std::vector<geo::GeoPoint> cities, double bucket_deg)
+    : cities_(std::move(cities)), bucket_deg_(bucket_deg) {
+  rows_ = static_cast<std::size_t>(std::ceil(180.0 / bucket_deg_));
+  cols_ = static_cast<std::size_t>(std::ceil(360.0 / bucket_deg_));
+  buckets_.resize(rows_ * cols_);
+  for (std::uint32_t i = 0; i < cities_.size(); ++i) {
+    buckets_[bucket_of(cities_[i])].push_back(i);
+  }
+}
+
+std::size_t CityIndex::bucket_of(const geo::GeoPoint& p) const noexcept {
+  const geo::GeoPoint q = geo::normalized(p);
+  auto row = static_cast<std::size_t>((q.lat_deg + 90.0) / bucket_deg_);
+  auto col = static_cast<std::size_t>((q.lon_deg + 180.0) / bucket_deg_);
+  row = std::min(row, rows_ - 1);
+  col = std::min(col, cols_ - 1);
+  return row * cols_ + col;
+}
+
+std::optional<std::size_t> CityIndex::nearest(const geo::GeoPoint& p) const {
+  if (cities_.empty()) return std::nullopt;
+
+  const std::size_t home = bucket_of(p);
+  const std::ptrdiff_t home_row = static_cast<std::ptrdiff_t>(home / cols_);
+  const std::ptrdiff_t home_col = static_cast<std::ptrdiff_t>(home % cols_);
+
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  // Expand square rings of buckets until no unvisited ring can possibly
+  // beat the best hit. The per-ring distance bound must use the
+  // *compressed* longitude scale at this latitude, or a hit found early
+  // can mask a closer city a few rings further out.
+  const double lat_for_lon = std::min(88.0, std::fabs(p.lat_deg) + bucket_deg_);
+  const double miles_per_ring =
+      bucket_deg_ * std::min(geo::miles_per_lat_degree(),
+                             geo::miles_per_lon_degree(lat_for_lon));
+  const auto max_ring = static_cast<std::ptrdiff_t>(std::max(rows_, cols_));
+  for (std::ptrdiff_t ring = 0; ring <= max_ring; ++ring) {
+    if (found &&
+        static_cast<double>(ring - 1) * miles_per_ring > best_dist) {
+      break;
+    }
+    bool ring_in_range = false;
+    for (std::ptrdiff_t dr = -ring; dr <= ring; ++dr) {
+      const std::ptrdiff_t row = home_row + dr;
+      if (row < 0 || row >= static_cast<std::ptrdiff_t>(rows_)) continue;
+      for (std::ptrdiff_t dc = -ring; dc <= ring; ++dc) {
+        if (std::max(std::abs(dr), std::abs(dc)) != ring) continue;
+        // Longitude wraps around the globe.
+        std::ptrdiff_t col = (home_col + dc) % static_cast<std::ptrdiff_t>(cols_);
+        if (col < 0) col += static_cast<std::ptrdiff_t>(cols_);
+        ring_in_range = true;
+        for (const std::uint32_t idx :
+             buckets_[static_cast<std::size_t>(row) * cols_ +
+                      static_cast<std::size_t>(col)]) {
+          const double d = geo::great_circle_miles(p, cities_[idx]);
+          if (d < best_dist) {
+            best_dist = d;
+            best = idx;
+            found = true;
+          }
+        }
+      }
+    }
+    if (!ring_in_range && ring > 0 && !found) break;
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+MapperProfile GeoMapper::ixmapper_profile() {
+  // Failure rates follow the paper's Section III.B: ~1-1.5% of addresses
+  // could not be located by IxMapper.
+  return {.name = "IxMapper",
+          .failure_rate = 0.013,
+          .hq_error_rate = 0.02,
+          .precise_rate = 0.0,
+          .precise_quantum_deg = 0.05};
+}
+
+MapperProfile GeoMapper::edgescape_profile() {
+  // EdgeScape missed only 0.3-0.6% and supplements hostname parsing with
+  // ISP-supplied data, modelled as a chance of precise answers.
+  return {.name = "EdgeScape",
+          .failure_rate = 0.005,
+          .hq_error_rate = 0.015,
+          .precise_rate = 0.35,
+          .precise_quantum_deg = 0.05};
+}
+
+GeoMapper::GeoMapper(MapperProfile profile, std::vector<geo::GeoPoint> city_db,
+                     std::uint64_t seed)
+    : profile_(std::move(profile)), index_(std::move(city_db)), seed_(seed) {}
+
+std::optional<geo::GeoPoint> GeoMapper::map(
+    net::Ipv4Addr addr, const geo::GeoPoint& true_location,
+    const geo::GeoPoint& as_home) const {
+  if (net::is_private(addr)) return std::nullopt;
+
+  // Derive the per-address decision stream deterministically: the same
+  // address queried twice gives the same answer.
+  std::uint64_t h = seed_ ^ (0x9e3779b97f4a7c15ULL * (addr.value + 1));
+  stats::Rng rng(stats::splitmix64(h));
+
+  if (rng.bernoulli(profile_.failure_rate)) return std::nullopt;
+  if (rng.bernoulli(profile_.hq_error_rate)) {
+    // whois fallback: the organisation's registered headquarters.
+    if (const auto city = index_.nearest(as_home)) {
+      return index_.cities()[*city];
+    }
+    return as_home;
+  }
+  // ISP-supplied precision is a property of the *place*, not the address:
+  // key the decision on the location cell so co-located interfaces (e.g.
+  // on one router) always answer consistently and alias-vote ties stay
+  // rare, as the paper observed.
+  std::uint64_t place = seed_ ^ geo::quantized_key(true_location, 0.05);
+  stats::Rng place_rng(stats::splitmix64(place));
+  if (place_rng.bernoulli(profile_.precise_rate)) {
+    const double q = profile_.precise_quantum_deg;
+    return geo::GeoPoint{std::round(true_location.lat_deg / q) * q,
+                         std::round(true_location.lon_deg / q) * q};
+  }
+  if (const auto city = index_.nearest(true_location)) {
+    return index_.cities()[*city];
+  }
+  return std::nullopt;
+}
+
+}  // namespace geonet::synth

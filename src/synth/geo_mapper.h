@@ -1,0 +1,102 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "geo/grid.h"
+#include "net/ipv4.h"
+#include "stats/rng.h"
+
+namespace geonet::synth {
+
+/// Error model of one geolocation service.
+///
+/// Padmanabhan & Subramanian showed hostname-based mapping is accurate to
+/// city granularity; both tools the paper uses are built on that technique,
+/// so the dominant error mode simulated here is a *city snap*: the true
+/// location is replaced by the nearest city in the mapper's database. Two
+/// further modes reproduce the paper's caveats: whois-style fallback maps a
+/// node to its organisation's registered headquarters, and a small fraction
+/// of addresses cannot be located at all.
+struct MapperProfile {
+  std::string name;
+  double failure_rate = 0.015;   ///< P[address cannot be located]
+  double hq_error_rate = 0.03;   ///< P[mapped to the AS home, not the node]
+  /// P[the service knows the precise location (ISP-supplied data), so the
+  /// answer is the true location quantised rather than a city snap].
+  double precise_rate = 0.0;
+  /// Quantisation of precise answers, degrees.
+  double precise_quantum_deg = 0.05;
+};
+
+/// Deterministic nearest-city lookup over a fixed city database, bucketed
+/// on a coarse grid for speed.
+class CityIndex {
+ public:
+  explicit CityIndex(std::vector<geo::GeoPoint> cities,
+                     double bucket_deg = 2.0);
+
+  /// Index of the nearest city, or nullopt when the database is empty.
+  [[nodiscard]] std::optional<std::size_t> nearest(const geo::GeoPoint& p) const;
+
+  [[nodiscard]] const std::vector<geo::GeoPoint>& cities() const noexcept {
+    return cities_;
+  }
+
+ private:
+  std::vector<geo::GeoPoint> cities_;
+  double bucket_deg_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+
+  [[nodiscard]] std::size_t bucket_of(const geo::GeoPoint& p) const noexcept;
+};
+
+/// Interface of a geolocation service: address in, location out.
+/// `true_location` and `as_home` are the oracle inputs a synthetic
+/// implementation may consult to produce realistic answers; a real
+/// service would have neither.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  [[nodiscard]] virtual std::optional<geo::GeoPoint> map(
+      net::Ipv4Addr addr, const geo::GeoPoint& true_location,
+      const geo::GeoPoint& as_home) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// A simulated geolocation service (IxMapper / EdgeScape profile).
+///
+/// Mapping is a pure function of (address, seed): the same address always
+/// maps the same way, as a real lookup database would behave.
+class GeoMapper final : public Mapper {
+ public:
+  GeoMapper(MapperProfile profile, std::vector<geo::GeoPoint> city_db,
+            std::uint64_t seed);
+
+  /// Maps an address. `true_location` is where the interface really is;
+  /// `as_home` is the registered headquarters of its organisation.
+  /// Returns nullopt for unmappable addresses (including all private
+  /// space, which the paper discards before mapping).
+  [[nodiscard]] std::optional<geo::GeoPoint> map(
+      net::Ipv4Addr addr, const geo::GeoPoint& true_location,
+      const geo::GeoPoint& as_home) const override;
+
+  [[nodiscard]] std::string name() const override { return profile_.name; }
+
+  [[nodiscard]] const MapperProfile& profile() const noexcept { return profile_; }
+
+  /// The paper's two services.
+  static MapperProfile ixmapper_profile();
+  static MapperProfile edgescape_profile();
+
+ private:
+  MapperProfile profile_;
+  CityIndex index_;
+  std::uint64_t seed_;
+};
+
+}  // namespace geonet::synth

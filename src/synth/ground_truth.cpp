@@ -1,0 +1,614 @@
+#include "synth/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geo/distance.h"
+#include "stats/distributions.h"
+#include "stats/fenwick.h"
+#include "stats/rng.h"
+
+namespace geonet::synth {
+
+namespace {
+
+using geo::GeoPoint;
+using net::RouterId;
+using population::EconomicProfile;
+using population::PopulationGrid;
+using population::WorldPopulation;
+using stats::Rng;
+
+/// Per-region router supply: each grid cell holds a quota of routers drawn
+/// Poisson with mean proportional to (cell population)^alpha. ASes *claim*
+/// routers from these quotas, so the aggregate cell counts track the
+/// planted superlinear law (Figure 2) regardless of how AS sizes vary.
+class RouterQuota {
+ public:
+  RouterQuota(const PopulationGrid& raster, double alpha, std::size_t budget,
+              Rng& rng)
+      : raster_(&raster), tree_(raster.grid().cell_count()) {
+    const auto& people = raster.cell_populations();
+    double z = 0.0;
+    std::vector<double> weights(people.size(), 0.0);
+    for (std::size_t i = 0; i < people.size(); ++i) {
+      if (people[i] > 0.0) {
+        weights[i] = std::pow(people[i], alpha);
+        z += weights[i];
+      }
+    }
+    if (z <= 0.0) return;
+    for (std::size_t i = 0; i < people.size(); ++i) {
+      if (weights[i] <= 0.0) continue;
+      const double lambda =
+          static_cast<double>(budget) * weights[i] / z;
+      const auto count = rng.poisson(lambda);
+      if (count > 0) {
+        tree_.set(i, static_cast<double>(count));
+        remaining_ += count;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return remaining_; }
+
+  /// Cell index drawn proportional to current availability.
+  [[nodiscard]] std::optional<std::size_t> sample_cell(Rng& rng) const {
+    if (remaining_ == 0) return std::nullopt;
+    const std::size_t cell = tree_.sample(rng);
+    if (cell >= tree_.size()) return std::nullopt;
+    return cell;
+  }
+
+  /// Availability-weighted cell within `radius_miles` of `home`
+  /// (rejection sampling; falls back to nullopt when unlucky).
+  [[nodiscard]] std::optional<std::size_t> sample_cell_within(
+      Rng& rng, const GeoPoint& home, double radius_miles,
+      int attempts = 24) const {
+    for (int i = 0; i < attempts; ++i) {
+      const auto cell = sample_cell(rng);
+      if (!cell) return std::nullopt;
+      if (geo::great_circle_miles(home, cell_center(*cell)) <= radius_miles) {
+        return cell;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Routers still available in a cell.
+  [[nodiscard]] std::size_t available(std::size_t cell) const noexcept {
+    return static_cast<std::size_t>(tree_.value(cell) + 0.5);
+  }
+
+  /// Claims up to `want` routers from a cell; returns the number claimed.
+  std::size_t take(std::size_t cell, std::size_t want) {
+    const auto avail = static_cast<std::size_t>(tree_.value(cell) + 0.5);
+    const std::size_t took = std::min(want, avail);
+    if (took > 0) {
+      tree_.add(cell, -static_cast<double>(took));
+      remaining_ -= took;
+    }
+    return took;
+  }
+
+  [[nodiscard]] GeoPoint cell_center(std::size_t cell) const {
+    return raster_->grid().cell_center(raster_->grid().unflatten(cell));
+  }
+
+  [[nodiscard]] GeoPoint random_point_in_cell(std::size_t cell,
+                                              Rng& rng) const {
+    const geo::Region b =
+        raster_->grid().cell_bounds(raster_->grid().unflatten(cell));
+    return {rng.uniform(b.south_deg, b.north_deg),
+            rng.uniform(b.west_deg, b.east_deg)};
+  }
+
+ private:
+  const PopulationGrid* raster_;
+  stats::FenwickTree tree_;
+  std::size_t remaining_ = 0;
+};
+
+/// Deduplicating link builder: refuses self-links and repeated router pairs.
+class LinkBuilder {
+ public:
+  explicit LinkBuilder(net::Topology& topology) : topology_(&topology) {}
+
+  bool connect(RouterId a, RouterId b, AsAddressSpace& numbering) {
+    if (a == b) return false;
+    const std::uint64_t key = pair_key(a, b);
+    if (!seen_.insert(key).second) return false;
+    topology_->add_link(a, b, numbering.next(), numbering.next());
+    return true;
+  }
+
+ private:
+  static std::uint64_t pair_key(RouterId a, RouterId b) noexcept {
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    return (hi << 32) | lo;
+  }
+
+  net::Topology* topology_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+/// Draws a site index weighted by exp(-distance/lambda) from `from` among
+/// sites[0, limit); falls back to the nearest when all weights underflow.
+std::size_t pick_site_by_distance(const std::vector<Site>& sites,
+                                  std::size_t limit, const GeoPoint& from,
+                                  double lambda, Rng& rng) {
+  std::vector<double> weights(limit, 0.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < limit; ++j) {
+    const double d = geo::great_circle_miles(from, sites[j].center);
+    weights[j] = std::exp(-d / lambda);
+    total += weights[j];
+  }
+  if (total <= 0.0) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < limit; ++j) {
+      const double d = geo::great_circle_miles(from, sites[j].center);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    return best;
+  }
+  const std::size_t idx = stats::weighted_index(rng, weights);
+  return idx < limit ? idx : limit - 1;
+}
+
+}  // namespace
+
+GroundTruth GroundTruth::build(const WorldPopulation& world,
+                               const GroundTruthOptions& options) {
+  GroundTruth gt;
+  gt.options_ = options;
+  Rng root(options.seed);
+
+  const auto& profiles = world.profiles();
+  const std::size_t n_profiles = profiles.size();
+
+  // Per-region router budgets from the paper's interface counts, turned
+  // into per-cell quotas that encode the superlinear placement law.
+  Rng quota_rng = root.fork(17);
+  std::vector<std::size_t> budgets(n_profiles);
+  std::vector<RouterQuota> quotas;
+  quotas.reserve(n_profiles);
+  for (std::size_t i = 0; i < n_profiles; ++i) {
+    budgets[i] = std::max<std::size_t>(
+        30, static_cast<std::size_t>(profiles[i].paper_interfaces *
+                                     options.interface_scale /
+                                     options.interfaces_per_router));
+    quotas.emplace_back(world.grid_for(i), profiles[i].placement_alpha,
+                        budgets[i], quota_rng);
+  }
+  const auto quota_weights = [&]() {
+    std::vector<double> w(n_profiles);
+    for (std::size_t i = 0; i < n_profiles; ++i) {
+      w[i] = static_cast<double>(quotas[i].remaining());
+    }
+    return w;
+  };
+
+  // ---------------------------------------------------------------
+  // Stage 1: mint ASes that claim routers from the cell quotas.
+  // ---------------------------------------------------------------
+  Rng as_rng = root.fork(1);
+  std::uint32_t next_asn = 100;
+
+  for (std::size_t pi = 0; pi < n_profiles; ++pi) {
+    while (quotas[pi].remaining() > 0) {
+      AsInfo info;
+      info.asn = next_asn++;
+      info.profile_index = pi;
+      info.announced = !as_rng.bernoulli(options.unannounced_fraction);
+
+      const double max_size = std::max<double>(
+          options.min_as_size + 1,
+          options.max_as_size_fraction * static_cast<double>(budgets[pi]));
+      auto size = static_cast<std::size_t>(
+          std::llround(stats::bounded_pareto(as_rng, options.min_as_size,
+                                             max_size,
+                                             options.as_size_pareto_alpha)));
+      size = std::max<std::size_t>(size, options.min_as_size);
+
+      // Home cell: availability-weighted, preferring a metro big enough to
+      // hold the whole headquarters deployment (small organisations do not
+      // split across cities just because their city is small).
+      std::optional<std::size_t> home_cell;
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        const auto candidate = quotas[pi].sample_cell(as_rng);
+        if (!candidate) break;
+        if (!home_cell) home_cell = candidate;
+        if (quotas[pi].available(*candidate) >=
+            std::min<std::size_t>(size, 8)) {
+          home_cell = candidate;
+          break;
+        }
+      }
+      if (!home_cell) break;
+      info.home = quotas[pi].random_point_in_cell(*home_cell, as_rng);
+
+      // Per-AS dispersal trait: large ASes always reach far; small and
+      // medium ones vary widely (Section VI.B's two regimes).
+      const bool large = size >= options.large_as_threshold;
+      const double far_probability =
+          large ? options.large_as_far_site_probability
+                : as_rng.uniform(0.0, 2.0 * options.small_as_far_site_probability);
+
+      std::size_t site_count;
+      if (!large && as_rng.bernoulli(options.single_site_probability)) {
+        site_count = 1;  // an enterprise confined to one metro
+      } else {
+        const double multiplier = large ? options.large_site_multiplier : 1.0;
+        site_count = static_cast<std::size_t>(std::llround(
+            multiplier *
+            std::pow(static_cast<double>(size), options.site_exponent) *
+            as_rng.uniform(0.6, 1.4)));
+      }
+      site_count = std::clamp<std::size_t>(site_count, 1, size);
+
+      // Desired router share per site rank: headquarters-heavy.
+      std::vector<double> shares(site_count);
+      double share_z = 0.0;
+      for (std::size_t k = 0; k < site_count; ++k) {
+        shares[k] = std::pow(static_cast<double>(k + 1),
+                             -options.site_weight_exponent);
+        share_z += shares[k];
+      }
+
+      // Claim routers site by site. Each site occupies one quota cell;
+      // shortfalls are made up by extra nearby claims afterwards.
+      std::unordered_map<std::uint64_t, std::size_t> site_of_cell;
+      std::size_t placed = 0;
+      const auto place_at = [&](std::size_t region, std::size_t cell,
+                                std::size_t count) {
+        if (count == 0) return;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(region) << 32) | cell;
+        const auto [it, fresh] =
+            site_of_cell.try_emplace(key, info.sites.size());
+        if (fresh) {
+          info.sites.push_back({quotas[region].cell_center(cell), {}});
+        }
+        Site& site = info.sites[it->second];
+        for (std::size_t r = 0; r < count; ++r) {
+          const GeoPoint location =
+              quotas[region].random_point_in_cell(cell, as_rng);
+          const RouterId router = gt.topology_.add_router(location, info.asn);
+          site.routers.push_back(router);
+          info.routers.push_back(router);
+        }
+        placed += count;
+      };
+
+      for (std::size_t k = 0; k < site_count && placed < size; ++k) {
+        const auto want = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::llround(
+                   shares[k] / share_z * static_cast<double>(size))));
+        std::size_t region = pi;
+        std::optional<std::size_t> cell;
+        if (k == 0) {
+          cell = home_cell;
+        } else if (as_rng.bernoulli(far_probability)) {
+          const auto weights = quota_weights();
+          const std::size_t target = stats::weighted_index(as_rng, weights);
+          region = target < n_profiles ? target : pi;
+          cell = quotas[region].sample_cell(as_rng);
+        } else {
+          const double radius =
+              stats::pareto(as_rng, options.near_site_scale_miles,
+                            options.near_site_pareto_alpha);
+          cell = quotas[pi].sample_cell_within(as_rng, info.home, radius);
+        }
+        if (!cell) continue;
+        place_at(region, *cell,
+                 quotas[region].take(*cell, std::min(want, size - placed)));
+      }
+
+      // Make up any shortfall close to home first (the same metro), then
+      // regionally, then anywhere — so small ASes stay compact.
+      while (placed < size && quotas[pi].remaining() > 0) {
+        auto cell = quotas[pi].sample_cell_within(as_rng, info.home, 25.0, 12);
+        if (!cell) {
+          cell = quotas[pi].sample_cell_within(as_rng, info.home, 400.0, 8);
+        }
+        if (!cell) cell = quotas[pi].sample_cell(as_rng);
+        if (!cell) break;
+        place_at(pi, *cell, quotas[pi].take(*cell, size - placed));
+      }
+
+      if (info.routers.empty()) {
+        --next_asn;  // nothing claimed (region exhausted); retire the ASN
+        continue;
+      }
+      gt.ases_.push_back(std::move(info));
+    }
+  }
+
+  // ---------------------------------------------------------------
+  // Stage 2: addressing (one loopback per router).
+  // ---------------------------------------------------------------
+  AddressAllocator allocator;
+  std::vector<AsAddressSpace> spaces;
+  spaces.reserve(gt.ases_.size());
+  for (std::size_t i = 0; i < gt.ases_.size(); ++i) {
+    spaces.emplace_back(allocator, options.block_prefix_length);
+  }
+  for (std::size_t ai = 0; ai < gt.ases_.size(); ++ai) {
+    for (const RouterId r : gt.ases_[ai].routers) {
+      gt.topology_.add_interface(r, spaces[ai].next());
+    }
+  }
+
+  // ---------------------------------------------------------------
+  // Stage 3: intradomain links.
+  // ---------------------------------------------------------------
+  Rng link_rng = root.fork(2);
+  LinkBuilder links(gt.topology_);
+
+  for (std::size_t ai = 0; ai < gt.ases_.size(); ++ai) {
+    AsInfo& as_info = gt.ases_[ai];
+    const double lambda =
+        profiles[as_info.profile_index].link_distance_scale_miles;
+
+    // 3a. Within each site: a random tree plus extra local links.
+    for (const Site& site : as_info.sites) {
+      const auto& rs = site.routers;
+      for (std::size_t j = 1; j < rs.size(); ++j) {
+        links.connect(rs[j], rs[link_rng.uniform_index(j)], spaces[ai]);
+      }
+      const auto extras = static_cast<std::size_t>(
+          options.intra_site_extra_links_per_router *
+          static_cast<double>(rs.size()));
+      for (std::size_t e = 0; e < extras && rs.size() >= 2; ++e) {
+        const RouterId a = rs[link_rng.uniform_index(rs.size())];
+        const RouterId b = rs[link_rng.uniform_index(rs.size())];
+        links.connect(a, b, spaces[ai]);
+      }
+    }
+
+    // 3b. Between sites of the AS: a connecting tree whose parent choice is
+    // mostly distance-sensitive (Waxman-like), sometimes structural
+    // (distance-free backbone homerun), plus distance-weighted redundancy.
+    const auto& sites = as_info.sites;
+    for (std::size_t s = 1; s < sites.size(); ++s) {
+      std::size_t parent;
+      if (link_rng.bernoulli(options.structural_link_probability)) {
+        parent = 0;  // backbone homerun, whatever the distance
+      } else {
+        parent = pick_site_by_distance(sites, s, sites[s].center, lambda,
+                                       link_rng);
+      }
+      const RouterId a =
+          sites[s].routers[link_rng.uniform_index(sites[s].routers.size())];
+      const RouterId b = sites[parent]
+                             .routers[link_rng.uniform_index(
+                                 sites[parent].routers.size())];
+      links.connect(a, b, spaces[ai]);
+    }
+    const auto site_extras = static_cast<std::size_t>(
+        options.inter_site_extra_fraction * static_cast<double>(sites.size()));
+    for (std::size_t e = 0; e < site_extras && sites.size() >= 2; ++e) {
+      const std::size_t s = link_rng.uniform_index(sites.size());
+      const std::size_t t = pick_site_by_distance(sites, sites.size(),
+                                                  sites[s].center, lambda,
+                                                  link_rng);
+      if (s == t) continue;
+      const RouterId a =
+          sites[s].routers[link_rng.uniform_index(sites[s].routers.size())];
+      const RouterId b =
+          sites[t].routers[link_rng.uniform_index(sites[t].routers.size())];
+      links.connect(a, b, spaces[ai]);
+    }
+  }
+
+  // ---------------------------------------------------------------
+  // Stage 4: interdomain links via a size-preferential AS graph.
+  // ---------------------------------------------------------------
+  Rng peer_rng = root.fork(3);
+  const std::size_t n_as = gt.ases_.size();
+  std::vector<std::size_t> as_degree(n_as, 0);
+
+  const auto realize_as_edge = [&](std::size_t a, std::size_t b) {
+    if (a == b) return;
+    AsInfo& as_a = gt.ases_[a];
+    AsInfo& as_b = gt.ases_[b];
+    const auto physical = static_cast<std::size_t>(
+        1 + peer_rng.poisson(options.links_per_as_edge - 1.0));
+    for (std::size_t l = 0; l < physical; ++l) {
+      std::size_t sa = 0, sb = 0;
+      if (peer_rng.bernoulli(options.peering_colocated_probability)) {
+        // Peer at the closest site pair (IXP-style colocation); sample if
+        // the cross product is large.
+        const std::size_t pairs = as_a.sites.size() * as_b.sites.size();
+        double best = std::numeric_limits<double>::infinity();
+        if (pairs <= 4096) {
+          for (std::size_t i = 0; i < as_a.sites.size(); ++i) {
+            for (std::size_t j = 0; j < as_b.sites.size(); ++j) {
+              const double d = geo::great_circle_miles(
+                  as_a.sites[i].center, as_b.sites[j].center);
+              if (d < best) {
+                best = d;
+                sa = i;
+                sb = j;
+              }
+            }
+          }
+        } else {
+          for (std::size_t t = 0; t < 256; ++t) {
+            const std::size_t i = peer_rng.uniform_index(as_a.sites.size());
+            const std::size_t j = peer_rng.uniform_index(as_b.sites.size());
+            const double d = geo::great_circle_miles(as_a.sites[i].center,
+                                                     as_b.sites[j].center);
+            if (d < best) {
+              best = d;
+              sa = i;
+              sb = j;
+            }
+          }
+        }
+      } else {
+        sa = peer_rng.uniform_index(as_a.sites.size());
+        sb = peer_rng.uniform_index(as_b.sites.size());
+      }
+      const RouterId ra = as_a.sites[sa].routers[peer_rng.uniform_index(
+          as_a.sites[sa].routers.size())];
+      const RouterId rb = as_b.sites[sb].routers[peer_rng.uniform_index(
+          as_b.sites[sb].routers.size())];
+      // Interdomain links are numbered from one side's space — the source
+      // of the paper's AS-mapping ambiguity for border interfaces. The
+      // larger party (the provider) usually assigns the /30.
+      const bool a_is_larger = as_a.routers.size() >= as_b.routers.size();
+      const std::size_t provider = a_is_larger ? a : b;
+      const std::size_t customer = a_is_larger ? b : a;
+      AsAddressSpace& numbering =
+          peer_rng.bernoulli(0.85) ? spaces[provider] : spaces[customer];
+      links.connect(ra, rb, numbering);
+    }
+    ++as_degree[a];
+    ++as_degree[b];
+  };
+
+  const auto pick_peer = [&](std::size_t upto, const GeoPoint& from,
+                             double lambda) {
+    std::vector<double> weights(upto, 0.0);
+    const bool distance_free =
+        peer_rng.bernoulli(options.interdomain_far_probability);
+    for (std::size_t j = 0; j < upto; ++j) {
+      double w = static_cast<double>(gt.ases_[j].routers.size()) +
+                 3.0 * static_cast<double>(as_degree[j]);
+      if (!distance_free) {
+        const double d = geo::great_circle_miles(from, gt.ases_[j].home);
+        w *= std::exp(-d / (options.interdomain_distance_multiplier * lambda));
+      }
+      weights[j] = w;
+    }
+    const std::size_t idx = stats::weighted_index(peer_rng, weights);
+    return idx < upto ? idx : peer_rng.uniform_index(upto);
+  };
+
+  // Attachment pass guarantees AS-level connectivity.
+  for (std::size_t a = 1; a < n_as; ++a) {
+    const double lambda =
+        profiles[gt.ases_[a].profile_index].link_distance_scale_miles;
+    realize_as_edge(a, pick_peer(a, gt.ases_[a].home, lambda));
+  }
+  // Core mesh: the largest ASes (the era's tier-1 transit providers)
+  // interconnect pairwise, as they did in reality — without this the AS
+  // hierarchy fragments into disconnected customer cones.
+  {
+    std::vector<std::size_t> by_size(n_as);
+    for (std::size_t i = 0; i < n_as; ++i) by_size[i] = i;
+    std::sort(by_size.begin(), by_size.end(), [&](std::size_t a, std::size_t b) {
+      return gt.ases_[a].routers.size() > gt.ases_[b].routers.size();
+    });
+    const std::size_t core = std::min<std::size_t>(n_as, 8);
+    for (std::size_t i = 0; i < core; ++i) {
+      for (std::size_t j = i + 1; j < core; ++j) {
+        realize_as_edge(by_size[i], by_size[j]);
+      }
+    }
+  }
+
+  // Extra peerings beyond the tree, initiated by size-weighted ASes
+  // (stub networks do not keep adding transit providers).
+  std::vector<double> size_weights(n_as);
+  for (std::size_t i = 0; i < n_as; ++i) {
+    size_weights[i] = static_cast<double>(gt.ases_[i].routers.size());
+  }
+  const stats::DiscreteSampler initiator(size_weights);
+  const auto extra_edges = static_cast<std::size_t>(
+      (options.as_edge_factor - 1.0) * static_cast<double>(n_as));
+  for (std::size_t e = 0; e < extra_edges && n_as >= 2; ++e) {
+    const std::size_t a = initiator.sample(peer_rng);
+    if (a >= n_as) break;
+    const double lambda =
+        profiles[gt.ases_[a].profile_index].link_distance_scale_miles;
+    const std::size_t b = pick_peer(n_as, gt.ases_[a].home, lambda);
+    if (a != b) realize_as_edge(a, b);
+  }
+
+  // ---------------------------------------------------------------
+  // Stage 5: BGP view.
+  // ---------------------------------------------------------------
+  Rng bgp_rng = root.fork(4);
+  for (std::size_t ai = 0; ai < gt.ases_.size(); ++ai) {
+    AsInfo& as_info = gt.ases_[ai];
+    as_info.prefixes = spaces[ai].blocks();
+    if (!as_info.announced) continue;
+    for (const net::Prefix& block : as_info.prefixes) {
+      if (bgp_rng.bernoulli(options.split_announcement_probability) &&
+          block.length < 30) {
+        // Announce the two halves separately (a common deaggregation).
+        const auto half = static_cast<std::uint8_t>(block.length + 1);
+        const std::uint32_t step = 1u << (32 - half);
+        gt.bgp_.announce({block.network, half}, as_info.asn);
+        gt.bgp_.announce({net::Ipv4Addr{block.network.value + step}, half},
+                         as_info.asn);
+      } else {
+        gt.bgp_.announce(block, as_info.asn);
+      }
+      if (bgp_rng.bernoulli(options.foreign_more_specific_probability) &&
+          block.length <= 24 && gt.ases_.size() > 1) {
+        // A customer announces a more-specific /24 from inside the block —
+        // real-world noise that LPM mapping must honour.
+        const std::size_t other = bgp_rng.uniform_index(gt.ases_.size());
+        if (other != ai) {
+          const std::uint32_t offset =
+              static_cast<std::uint32_t>(bgp_rng.uniform_index(
+                  1u << (24 - block.length)))
+              << 8;
+          gt.bgp_.announce({net::Ipv4Addr{block.network.value + offset}, 24},
+                           gt.ases_[other].asn);
+        }
+      }
+    }
+  }
+
+  for (std::size_t ai = 0; ai < gt.ases_.size(); ++ai) {
+    gt.asn_index_[gt.ases_[ai].asn] = ai;
+  }
+  return gt;
+}
+
+const AsInfo* GroundTruth::as_info(std::uint32_t asn) const noexcept {
+  const auto it = asn_index_.find(asn);
+  return it == asn_index_.end() ? nullptr : &ases_[it->second];
+}
+
+const geo::GeoPoint& GroundTruth::interface_location(
+    net::InterfaceId id) const noexcept {
+  return topology_.router(topology_.interface(id).router).location;
+}
+
+geo::GeoPoint GroundTruth::interface_as_home(net::InterfaceId id) const noexcept {
+  const std::uint32_t asn = interface_true_asn(id);
+  const AsInfo* info = as_info(asn);
+  return info != nullptr ? info->home : interface_location(id);
+}
+
+std::uint32_t GroundTruth::interface_true_asn(net::InterfaceId id) const noexcept {
+  return topology_.router(topology_.interface(id).router).asn;
+}
+
+std::size_t GroundTruth::interdomain_link_count() const noexcept {
+  std::size_t count = 0;
+  for (const net::Link& link : topology_.links()) {
+    const auto& if_a = topology_.interface(link.if_a);
+    const auto& if_b = topology_.interface(link.if_b);
+    if (topology_.router(if_a.router).asn != topology_.router(if_b.router).asn) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace geonet::synth

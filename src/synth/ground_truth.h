@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "net/topology.h"
+#include "population/synth_population.h"
+#include "synth/bgp.h"
+
+namespace geonet::synth {
+
+/// One point of presence of an AS: a location plus the routers placed there.
+struct Site {
+  geo::GeoPoint center;
+  std::vector<net::RouterId> routers;
+};
+
+/// A synthetic autonomous system.
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::size_t profile_index = 0;   ///< home economic region
+  geo::GeoPoint home;              ///< registered headquarters
+  std::vector<Site> sites;
+  std::vector<net::RouterId> routers;
+  std::vector<net::Prefix> prefixes;  ///< allocated address blocks
+  bool announced = true;              ///< present in the BGP table
+};
+
+/// Knobs of the synthetic-Internet grower. Defaults reproduce the
+/// qualitative structure the paper measures; the ablation benches sweep
+/// the interesting ones.
+struct GroundTruthOptions {
+  /// Fraction of the paper's per-region interface counts to build.
+  double interface_scale = 0.15;
+  /// Conversion from interface budget to router count (a router with mean
+  /// degree k carries ~k link interfaces plus a loopback).
+  double interfaces_per_router = 4.8;
+
+  // --- AS population ---
+  double as_size_pareto_alpha = 0.9;  ///< long-tail exponent of router counts
+  std::uint32_t min_as_size = 2;
+  double max_as_size_fraction = 0.08; ///< cap, as fraction of region budget
+
+  // --- geography of ASes ---
+  double site_exponent = 0.55;   ///< sites ~ size^exponent
+  /// Probability a small/medium AS is confined to a single location
+  /// (enterprise networks); drives Figure 9's ~80% zero-area mass.
+  double single_site_probability = 0.78;
+  double near_site_scale_miles = 120.0;  ///< Pareto scale of near-home reach
+  double near_site_pareto_alpha = 1.1;
+  double small_as_far_site_probability = 0.25;  ///< mean per-AS trait
+  double large_as_far_site_probability = 0.60;
+  std::uint32_t large_as_threshold = 150;       ///< routers
+  /// Site-count multiplier for large ASes (real carriers run far more
+  /// POPs than the small-AS scaling law suggests).
+  double large_site_multiplier = 2.5;
+  /// Router share of an AS's k-th site decays as (k+1)^-exponent.
+  double site_weight_exponent = 0.8;
+
+  // --- link formation ---
+  double intra_site_extra_links_per_router = 0.45;
+  double inter_site_extra_fraction = 0.35;  ///< extra site-site links / site
+  /// Probability a structural inter-site (backbone) link ignores distance.
+  double structural_link_probability = 0.30;
+  double as_edge_factor = 1.4;       ///< AS-graph edges per AS
+  double links_per_as_edge = 1.5;    ///< mean physical links per AS edge
+  double interdomain_distance_multiplier = 2.5;  ///< lambda stretch
+  double interdomain_far_probability = 0.5;  ///< distance-free AS peerings
+  double peering_colocated_probability = 0.4;///< realize at closest site pair
+
+  // --- addressing / BGP ---
+  std::uint8_t block_prefix_length = 20;
+  double unannounced_fraction = 0.02;  ///< ASes missing from the BGP table
+  double split_announcement_probability = 0.4;
+  double foreign_more_specific_probability = 0.02;
+
+  std::uint64_t seed = 42;
+};
+
+/// The synthetic "real Internet": a geographically embedded router-level
+/// topology with AS structure, addressing, and a BGP view. Measurement
+/// simulators observe this object; no analysis code ever reads it directly
+/// (exactly as the paper never sees the true Internet).
+class GroundTruth {
+ public:
+  static GroundTruth build(const population::WorldPopulation& world,
+                           const GroundTruthOptions& options = {});
+
+  [[nodiscard]] const net::Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const std::vector<AsInfo>& ases() const noexcept { return ases_; }
+  [[nodiscard]] const BgpTable& bgp() const noexcept { return bgp_; }
+  [[nodiscard]] const GroundTruthOptions& options() const noexcept { return options_; }
+
+  /// AS record by AS number; nullptr if unknown.
+  [[nodiscard]] const AsInfo* as_info(std::uint32_t asn) const noexcept;
+
+  /// True (physical) location of an interface = its router's location.
+  [[nodiscard]] const geo::GeoPoint& interface_location(net::InterfaceId id) const noexcept;
+
+  /// Headquarters of the organisation owning the interface's router.
+  [[nodiscard]] geo::GeoPoint interface_as_home(net::InterfaceId id) const noexcept;
+
+  /// Ground-truth AS of the interface's router (which may differ from what
+  /// BGP mapping of the interface *address* reports, as in reality).
+  [[nodiscard]] std::uint32_t interface_true_asn(net::InterfaceId id) const noexcept;
+
+  /// Interdomain link count in the ground truth (diagnostics).
+  [[nodiscard]] std::size_t interdomain_link_count() const noexcept;
+
+ private:
+  net::Topology topology_;
+  std::vector<AsInfo> ases_;
+  std::unordered_map<std::uint32_t, std::size_t> asn_index_;
+  BgpTable bgp_;
+  GroundTruthOptions options_;
+};
+
+}  // namespace geonet::synth

@@ -1,0 +1,151 @@
+#include "synth/hostnames.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace geonet::synth {
+
+CityCodebook::CityCodebook(std::vector<geo::GeoPoint> cities)
+    : cities_(cities), index_(std::move(cities)) {
+  by_code_.reserve(cities_.size());
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    by_code_.emplace(code(i), i);
+  }
+}
+
+std::string CityCodebook::code(std::size_t city_index) const {
+  // Base-26, three letters: supports 17,576 cities.
+  char buf[4] = {
+      static_cast<char>('a' + (city_index / 676) % 26),
+      static_cast<char>('a' + (city_index / 26) % 26),
+      static_cast<char>('a' + city_index % 26),
+      '\0',
+  };
+  return buf;
+}
+
+std::optional<std::size_t> CityCodebook::decode(std::string_view token) const {
+  if (token.size() != 3) return std::nullopt;
+  const auto it = by_code_.find(std::string(token));
+  if (it == by_code_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string make_hostname(stats::Rng& rng, std::string_view city_code,
+                          std::uint32_t asn) {
+  static const char* kIfPrefixes[] = {"so", "ge", "xe", "pos", "fa"};
+  static const char* kRoles[] = {"cr", "br", "ar", "xl"};
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s-%llu-%llu-%llu.%s%llu.%.*s%llu.as%u.net",
+                kIfPrefixes[rng.uniform_index(5)],
+                static_cast<unsigned long long>(rng.uniform_index(8)),
+                static_cast<unsigned long long>(rng.uniform_index(4)),
+                static_cast<unsigned long long>(rng.uniform_index(4)),
+                kRoles[rng.uniform_index(4)],
+                static_cast<unsigned long long>(1 + rng.uniform_index(9)),
+                static_cast<int>(city_code.size()), city_code.data(),
+                static_cast<unsigned long long>(1 + rng.uniform_index(9)),
+                asn);
+  return buf;
+}
+
+std::optional<std::size_t> parse_city(std::string_view hostname,
+                                      const CityCodebook& codebook) {
+  // Scan dot-separated labels; a label whose leading alphabetic run (with
+  // any trailing digits stripped) decodes as a city token wins. Labels
+  // like "so-2-1-0" or "cr3" simply fail to decode.
+  std::size_t begin = 0;
+  while (begin <= hostname.size()) {
+    std::size_t end = hostname.find('.', begin);
+    if (end == std::string_view::npos) end = hostname.size();
+    std::string_view label = hostname.substr(begin, end - begin);
+    // Strip trailing digits (the per-city POP ordinal).
+    while (!label.empty() && std::isdigit(static_cast<unsigned char>(label.back()))) {
+      label.remove_suffix(1);
+    }
+    if (const auto city = codebook.decode(label)) return city;
+    if (end == hostname.size()) break;
+    begin = end + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> DnsDatabase::lookup(net::Ipv4Addr addr) const {
+  const auto it = records_.find(addr.value);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DnsDatabase::insert(net::Ipv4Addr addr, std::string hostname) {
+  records_[addr.value] = std::move(hostname);
+}
+
+void DnsDatabase::insert_loc(net::Ipv4Addr addr, const geo::GeoPoint& where) {
+  loc_records_[addr.value] = where;
+}
+
+std::optional<geo::GeoPoint> DnsDatabase::lookup_loc(net::Ipv4Addr addr) const {
+  const auto it = loc_records_.find(addr.value);
+  if (it == loc_records_.end()) return std::nullopt;
+  return it->second;
+}
+
+DnsDatabase build_dns(const GroundTruth& truth, const CityCodebook& codebook,
+                      const DnsOptions& options) {
+  DnsDatabase dns;
+  stats::Rng rng(options.seed);
+  const net::Topology& topology = truth.topology();
+  for (const net::Interface& iface : topology.interfaces()) {
+    const geo::GeoPoint& where = topology.router(iface.router).location;
+    if (rng.bernoulli(options.loc_fraction)) {
+      dns.insert_loc(iface.addr, where);  // exact, as RFC 1876 allows
+    }
+    if (!rng.bernoulli(options.named_fraction)) continue;
+    auto city = codebook.nearest(where);
+    if (!city) continue;
+    if (rng.bernoulli(options.stale_fraction)) {
+      // Stale record: points at some other random city.
+      city = rng.uniform_index(codebook.size());
+    }
+    const std::uint32_t asn = topology.router(iface.router).asn;
+    dns.insert(iface.addr, make_hostname(rng, codebook.code(*city), asn));
+  }
+  return dns;
+}
+
+HostnameMapper::HostnameMapper(const DnsDatabase& dns,
+                               const CityCodebook& codebook,
+                               double whois_fallback_rate, std::uint64_t seed)
+    : dns_(&dns),
+      codebook_(&codebook),
+      whois_fallback_rate_(whois_fallback_rate),
+      seed_(seed) {}
+
+std::optional<geo::GeoPoint> HostnameMapper::map(
+    net::Ipv4Addr addr, const geo::GeoPoint& true_location,
+    const geo::GeoPoint& as_home) const {
+  (void)true_location;  // a mechanical mapper never sees the oracle
+  if (net::is_private(addr)) return std::nullopt;
+
+  // The paper's fallback chain: hostname parsing, then LOC, then whois.
+  if (const auto hostname = dns_->lookup(addr)) {
+    if (const auto city = parse_city(*hostname, *codebook_)) {
+      return codebook_->cities()[*city];
+    }
+  }
+  if (const auto loc = dns_->lookup_loc(addr)) {
+    return loc;
+  }
+  // whois lookup against the registered organisation succeeds for most
+  // blocks and answers with the headquarters city.
+  std::uint64_t h = seed_ ^ (0xda942042e4dd58b5ULL * (addr.value + 1));
+  stats::Rng rng(stats::splitmix64(h));
+  if (rng.bernoulli(whois_fallback_rate_)) {
+    if (const auto city = codebook_->nearest(as_home)) {
+      return codebook_->cities()[*city];
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace geonet::synth

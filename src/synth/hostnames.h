@@ -1,0 +1,117 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "net/ipv4.h"
+#include "stats/rng.h"
+#include "synth/geo_mapper.h"
+#include "synth/ground_truth.h"
+
+namespace geonet::synth {
+
+/// Assigns every synthetic city a short unique code — the stand-in for
+/// the airport codes and city abbreviations real ISPs put in router
+/// hostnames ("...XL1.NYC8.ALTER.NET" in the paper's example).
+class CityCodebook {
+ public:
+  explicit CityCodebook(std::vector<geo::GeoPoint> cities);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cities_.size(); }
+  [[nodiscard]] const std::vector<geo::GeoPoint>& cities() const noexcept {
+    return cities_;
+  }
+
+  /// Three-letter code of a city ("aaa", "aab", ...). Requires index < size().
+  [[nodiscard]] std::string code(std::size_t city_index) const;
+
+  /// Inverse of code(); nullopt for unknown tokens.
+  [[nodiscard]] std::optional<std::size_t> decode(std::string_view token) const;
+
+  /// Index of the city nearest to p (linear in city count only at build
+  /// time; lookup delegated to a CityIndex).
+  [[nodiscard]] std::optional<std::size_t> nearest(const geo::GeoPoint& p) const {
+    return index_.nearest(p);
+  }
+
+ private:
+  std::vector<geo::GeoPoint> cities_;
+  CityIndex index_;
+  std::unordered_map<std::string, std::size_t> by_code_;
+};
+
+/// Builds an ISP-style router interface hostname carrying a city token,
+/// e.g. "so-2-1-0.cr3.aab2.as204.net". Deterministic given the rng state.
+std::string make_hostname(stats::Rng& rng, std::string_view city_code,
+                          std::uint32_t asn);
+
+/// Extracts the first label of a hostname that decodes as a city token
+/// (the paper's hostname-based mapping heuristic). Returns the city index.
+std::optional<std::size_t> parse_city(std::string_view hostname,
+                                      const CityCodebook& codebook);
+
+/// Reverse-DNS database for the synthetic Internet: address -> hostname,
+/// plus optional RFC 1876 LOC records carrying explicit coordinates.
+/// A configurable fraction of interfaces has no PTR record, and a small
+/// fraction carries a *stale* name (the router moved; the name did not) —
+/// both failure modes the hostname heuristic suffers in reality.
+class DnsDatabase {
+ public:
+  [[nodiscard]] std::optional<std::string> lookup(net::Ipv4Addr addr) const;
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  void insert(net::Ipv4Addr addr, std::string hostname);
+
+  /// RFC 1876 LOC record: exact coordinates, "accurate, [but] not
+  /// required and therefore not always available" (paper, Section II).
+  void insert_loc(net::Ipv4Addr addr, const geo::GeoPoint& where);
+  [[nodiscard]] std::optional<geo::GeoPoint> lookup_loc(net::Ipv4Addr addr) const;
+  [[nodiscard]] std::size_t loc_count() const noexcept {
+    return loc_records_.size();
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::string> records_;
+  std::unordered_map<std::uint32_t, geo::GeoPoint> loc_records_;
+};
+
+struct DnsOptions {
+  double named_fraction = 0.88;   ///< interfaces with a PTR record
+  double stale_fraction = 0.015;  ///< named, but with a wrong city token
+  double loc_fraction = 0.04;     ///< interfaces with an RFC 1876 LOC record
+  std::uint64_t seed = 1021;
+};
+
+/// Names the ground truth's interfaces after their routers' nearest
+/// cities, honouring the failure modes above.
+DnsDatabase build_dns(const GroundTruth& truth, const CityCodebook& codebook,
+                      const DnsOptions& options = {});
+
+/// A mechanically-faithful IxMapper implementing the paper's fallback
+/// chain: hostname city-token parsing first, then DNS LOC records, and
+/// finally whois (the organisation's headquarters city); unmappable when
+/// all three fail. Contrast with GeoMapper, which models the same
+/// behaviour statistically.
+class HostnameMapper final : public Mapper {
+ public:
+  HostnameMapper(const DnsDatabase& dns, const CityCodebook& codebook,
+                 double whois_fallback_rate, std::uint64_t seed);
+
+  [[nodiscard]] std::optional<geo::GeoPoint> map(
+      net::Ipv4Addr addr, const geo::GeoPoint& true_location,
+      const geo::GeoPoint& as_home) const override;
+
+  [[nodiscard]] std::string name() const override { return "HostnameMapper"; }
+
+ private:
+  const DnsDatabase* dns_;
+  const CityCodebook* codebook_;
+  double whois_fallback_rate_;
+  std::uint64_t seed_;
+};
+
+}  // namespace geonet::synth

@@ -1,0 +1,105 @@
+#include "synth/mercator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/graph_algos.h"
+#include "stats/rng.h"
+
+namespace geonet::synth {
+
+RouterObservation run_mercator(const GroundTruth& truth,
+                               const MercatorOptions& options) {
+  RouterObservation out;
+  const net::Topology& topology = truth.topology();
+  const std::size_t n = topology.router_count();
+  if (n == 0) return out;
+
+  stats::Rng rng(options.seed);
+
+  // Single vantage point: the highest-degree router (a well-connected
+  // academic host, as the Scan project used).
+  net::RouterId source = 0;
+  for (net::RouterId r = 1; r < n; ++r) {
+    if (topology.degree(r) > topology.degree(source)) source = r;
+  }
+  const net::BfsTree tree = net::bfs_tree(topology, source);
+
+  // Pass 1: which interfaces are observed, and which router links carry
+  // probes. Tree edges are always seen; lateral links are found by loose
+  // source routing with some probability.
+  std::unordered_map<net::RouterId, std::vector<net::InterfaceId>> observed;
+  std::vector<std::pair<net::InterfaceId, net::InterfaceId>> observed_links;
+  std::unordered_set<std::uint64_t> seen_links;
+
+  const auto link_key = [](net::LinkId id) { return static_cast<std::uint64_t>(id); };
+
+  const auto observe = [&](net::RouterId router, net::InterfaceId iface) {
+    auto& list = observed[router];
+    if (std::find(list.begin(), list.end(), iface) == list.end()) {
+      list.push_back(iface);
+      ++out.raw_interfaces;
+    }
+  };
+
+  for (net::RouterId r = 0; r < n; ++r) {
+    if (tree.hop_count[r] == net::kNoParent) continue;  // unreachable
+    for (const net::Adjacency& adj : topology.neighbors(r)) {
+      const bool is_tree_edge = (tree.parent[adj.neighbor] == r &&
+                                 tree.entry_if[adj.neighbor] == adj.remote_if) ||
+                                (tree.parent[r] == adj.neighbor &&
+                                 tree.entry_if[r] == adj.local_if);
+      if (!seen_links.contains(link_key(adj.link))) {
+        const bool discovered =
+            is_tree_edge || rng.bernoulli(options.lateral_discovery_rate);
+        if (discovered) {
+          seen_links.insert(link_key(adj.link));
+          observe(r, adj.local_if);
+          observe(adj.neighbor, adj.remote_if);
+          observed_links.emplace_back(adj.local_if, adj.remote_if);
+        }
+      }
+    }
+  }
+
+  // Pass 2: alias resolution. A router whose probes all answer correctly
+  // collapses to one node; otherwise every observed interface stands alone
+  // (the paper describes exactly this failure mode for UDP-probe
+  // disambiguation).
+  std::unordered_map<net::InterfaceId, std::uint32_t> node_of_interface;
+  for (auto& [router, ifaces] : observed) {
+    std::sort(ifaces.begin(), ifaces.end());
+    const bool resolved =
+        ifaces.size() < 2 || rng.bernoulli(options.alias_resolution_rate);
+    if (resolved) {
+      const auto node = static_cast<std::uint32_t>(out.routers.size());
+      out.routers.push_back({ifaces, router});
+      for (const net::InterfaceId iface : ifaces) {
+        node_of_interface[iface] = node;
+      }
+    } else {
+      for (const net::InterfaceId iface : ifaces) {
+        const auto node = static_cast<std::uint32_t>(out.routers.size());
+        out.routers.push_back({{iface}, router});
+        node_of_interface[iface] = node;
+      }
+    }
+  }
+
+  // Pass 3: project links onto observed nodes, deduplicated.
+  std::unordered_set<std::uint64_t> emitted;
+  for (const auto& [if_a, if_b] : observed_links) {
+    const std::uint32_t a = node_of_interface.at(if_a);
+    const std::uint32_t b = node_of_interface.at(if_b);
+    if (a == b) continue;
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    if (emitted.insert((hi << 32) | lo).second) {
+      out.links.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+}  // namespace geonet::synth

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/topology.h"
+#include "synth/ground_truth.h"
+
+namespace geonet::synth {
+
+/// Parameters of the Mercator-style measurement simulation.
+///
+/// Mercator (the Scan project) maps from a single host, uses loose source
+/// routing to discover lateral (non-tree) connectivity, and applies
+/// UDP-probe alias resolution to collapse interface addresses onto
+/// canonical routers. The observed object is a router-level graph — the
+/// paper's key structural contrast with Skitter.
+struct MercatorOptions {
+  /// Probability a given non-tree link is discovered by source routing.
+  double lateral_discovery_rate = 0.5;
+  /// Probability alias resolution succeeds for a router with several
+  /// observed interfaces; failures leave each interface as its own node.
+  double alias_resolution_rate = 0.85;
+  std::uint64_t seed = 11;
+};
+
+/// One observed (possibly partially-resolved) router.
+struct ObservedRouter {
+  std::vector<net::InterfaceId> interfaces;  ///< >= 1
+  net::RouterId true_router = 0;             ///< ground truth (diagnostics)
+};
+
+/// Raw router-level observation, before geolocation or AS mapping.
+struct RouterObservation {
+  std::vector<ObservedRouter> routers;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;  ///< router idx
+  std::size_t raw_interfaces = 0;  ///< interfaces seen before resolution
+};
+
+/// Runs the Mercator simulation over the ground truth.
+RouterObservation run_mercator(const GroundTruth& truth,
+                               const MercatorOptions& options = {});
+
+}  // namespace geonet::synth

@@ -1,0 +1,304 @@
+#include "synth/scenario.h"
+
+#include <algorithm>
+
+#include "synth/bgp_propagation.h"
+#include "synth/hostnames.h"
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace geonet::synth {
+
+const char* to_string(DatasetKind kind) noexcept {
+  return kind == DatasetKind::kSkitter ? "Skitter" : "Mercator";
+}
+
+const char* to_string(MapperKind kind) noexcept {
+  return kind == MapperKind::kIxMapper ? "IxMapper" : "EdgeScape";
+}
+
+namespace {
+
+/// AS of an interface as the paper derives it: longest-prefix match of the
+/// interface's address in the BGP table; 0 for uncovered addresses.
+std::uint32_t bgp_asn(const GroundTruth& truth, const BgpTable* bgp,
+                      net::InterfaceId iface) {
+  const net::Ipv4Addr addr = truth.topology().interface(iface).addr;
+  const BgpTable& table = bgp != nullptr ? *bgp : truth.bgp();
+  return table.origin_as(addr).value_or(net::kUnknownAs);
+}
+
+}  // namespace
+
+net::AnnotatedGraph process_interface_observation(
+    const GroundTruth& truth, const InterfaceObservation& raw,
+    const Mapper& mapper, ProcessingStats* stats, const BgpTable* bgp) {
+  ProcessingStats local;
+  local.input_nodes = raw.interfaces.size();
+
+  net::AnnotatedGraph graph(net::NodeKind::kInterface,
+                            std::string("Skitter+") + mapper.name());
+  std::unordered_map<net::InterfaceId, std::uint32_t> node_of;
+
+  for (const net::InterfaceId iface : raw.interfaces) {
+    const auto location =
+        mapper.map(truth.topology().interface(iface).addr,
+                   truth.interface_location(iface), truth.interface_as_home(iface));
+    if (!location) {
+      ++local.unmapped_nodes;
+      continue;
+    }
+    const std::uint32_t asn = bgp_asn(truth, bgp, iface);
+    if (asn == net::kUnknownAs) ++local.as_unmapped_nodes;
+    node_of[iface] = graph.add_node(
+        {truth.topology().interface(iface).addr, *location, asn});
+  }
+
+  for (const auto& [a, b] : raw.links) {
+    const auto it_a = node_of.find(a);
+    const auto it_b = node_of.find(b);
+    if (it_a == node_of.end() || it_b == node_of.end()) continue;
+    graph.add_edge(it_a->second, it_b->second);
+  }
+
+  local.output_nodes = graph.node_count();
+  local.output_links = graph.edge_count();
+  local.distinct_locations = distinct_location_count(graph);
+  if (stats != nullptr) *stats = local;
+  return graph;
+}
+
+net::AnnotatedGraph process_router_observation(
+    const GroundTruth& truth, const RouterObservation& raw,
+    const Mapper& mapper, ProcessingStats* stats, const BgpTable* bgp) {
+  ProcessingStats local;
+  local.input_nodes = raw.routers.size();
+
+  net::AnnotatedGraph graph(net::NodeKind::kRouter,
+                            std::string("Mercator+") + mapper.name());
+  std::vector<std::int64_t> node_of(raw.routers.size(), -1);
+
+  for (std::size_t i = 0; i < raw.routers.size(); ++i) {
+    const ObservedRouter& router = raw.routers[i];
+
+    // Map every interface; vote on location (most common wins, ties
+    // discard the router) and on AS (most common wins, unmapped tolerated).
+    std::vector<geo::GeoPoint> mapped;
+    std::vector<std::uint32_t> asns;
+    for (const net::InterfaceId iface : router.interfaces) {
+      const auto location = mapper.map(truth.topology().interface(iface).addr,
+                                       truth.interface_location(iface),
+                                       truth.interface_as_home(iface));
+      if (location) mapped.push_back(*location);
+      asns.push_back(bgp_asn(truth, bgp, iface));
+    }
+    if (mapped.empty()) {
+      ++local.unmapped_nodes;
+      continue;
+    }
+
+    // Location vote over quantised keys.
+    std::unordered_map<std::uint64_t, std::pair<std::size_t, geo::GeoPoint>> votes;
+    for (const auto& loc : mapped) {
+      auto& slot = votes[geo::quantized_key(loc)];
+      ++slot.first;
+      slot.second = loc;
+    }
+    std::size_t best = 0;
+    bool tie = false;
+    geo::GeoPoint winner;
+    for (const auto& [key, value] : votes) {
+      (void)key;
+      if (value.first > best) {
+        best = value.first;
+        winner = value.second;
+        tie = false;
+      } else if (value.first == best) {
+        tie = true;
+      }
+    }
+    if (tie && votes.size() > 1) {
+      ++local.tie_discarded_routers;
+      continue;
+    }
+
+    // AS vote (prefer mapped ASes over the unknown bucket).
+    std::unordered_map<std::uint32_t, std::size_t> as_votes;
+    for (const std::uint32_t asn : asns) ++as_votes[asn];
+    std::uint32_t best_asn = net::kUnknownAs;
+    std::size_t best_count = 0;
+    for (const auto& [asn, count] : as_votes) {
+      const bool better =
+          count > best_count ||
+          (count == best_count && best_asn == net::kUnknownAs && asn != net::kUnknownAs);
+      if (better) {
+        best_count = count;
+        best_asn = asn;
+      }
+    }
+    if (best_asn == net::kUnknownAs) ++local.as_unmapped_nodes;
+
+    node_of[i] = graph.add_node(
+        {truth.topology().interface(router.interfaces.front()).addr, winner,
+         best_asn});
+  }
+
+  for (const auto& [a, b] : raw.links) {
+    if (node_of[a] < 0 || node_of[b] < 0) continue;
+    graph.add_edge(static_cast<std::uint32_t>(node_of[a]),
+                   static_cast<std::uint32_t>(node_of[b]));
+  }
+
+  local.output_nodes = graph.node_count();
+  local.output_links = graph.edge_count();
+  local.distinct_locations = distinct_location_count(graph);
+  if (stats != nullptr) *stats = local;
+  return graph;
+}
+
+std::size_t distinct_location_count(const net::AnnotatedGraph& graph,
+                                    double quantum_deg) {
+  std::unordered_set<std::uint64_t> keys;
+  keys.reserve(graph.node_count());
+  for (const auto& node : graph.nodes()) {
+    keys.insert(geo::quantized_key(node.location, quantum_deg));
+  }
+  return keys.size();
+}
+
+ScenarioOptions ScenarioOptions::defaults() {
+  ScenarioOptions options;
+  if (const char* env = std::getenv("GEONET_SCALE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0) options.scale = parsed;
+  }
+  return options;
+}
+
+std::size_t Scenario::slot(DatasetKind dataset, MapperKind mapper) noexcept {
+  return (dataset == DatasetKind::kSkitter ? 0u : 2u) +
+         (mapper == MapperKind::kIxMapper ? 0u : 1u);
+}
+
+Scenario Scenario::build(const ScenarioOptions& options) {
+  Scenario s;
+  s.options_ = options;
+
+  s.world_ = std::make_unique<population::WorldPopulation>(
+      population::WorldPopulation::build(options.seed));
+
+  GroundTruthOptions truth_options = options.truth;
+  truth_options.interface_scale = options.scale;
+  truth_options.seed = options.seed ^ 0xa5a5a5a5ULL;
+  s.truth_ = std::make_unique<GroundTruth>(
+      GroundTruth::build(*s.world_, truth_options));
+
+  // The earlier (Mercator-epoch) Internet: same world and growth seed, so
+  // it is statistically an earlier snapshot of the same deployment
+  // pattern, at a fraction of the size.
+  GroundTruthOptions epoch_options = truth_options;
+  epoch_options.interface_scale =
+      options.scale * std::clamp(options.mercator_epoch_factor, 0.05, 1.0);
+  s.mercator_truth_ = std::make_unique<GroundTruth>(
+      GroundTruth::build(*s.world_, epoch_options));
+
+  SkitterOptions skitter_options = options.skitter;
+  skitter_options.seed = options.seed ^ 0x51c177e6ULL;
+  // Destination lists scale with the world so coverage stays comparable.
+  skitter_options.destinations_per_monitor = std::max<std::size_t>(
+      200, s.truth_->topology().router_count() / 4);
+  s.skitter_raw_ = run_skitter(*s.truth_, skitter_options);
+
+  MercatorOptions mercator_options = options.mercator;
+  mercator_options.seed = options.seed ^ 0x3e2ca707ULL;
+  s.mercator_raw_ = run_mercator(*s.mercator_truth_, mercator_options);
+
+  // City database shared by both mappers: where people actually live.
+  std::vector<geo::GeoPoint> city_db;
+  for (const auto& grid : s.world_->grids()) {
+    for (const auto& city : grid.cities()) city_db.push_back(city.center);
+  }
+
+  const GeoMapper ixmapper(GeoMapper::ixmapper_profile(), city_db,
+                           options.seed ^ 0x1a11ULL);
+  const GeoMapper edgescape(GeoMapper::edgescape_profile(), city_db,
+                            options.seed ^ 0xed6eULL);
+
+  // Mechanical-fidelity mode: hostname parsing instead of the statistical
+  // IxMapper, and a propagated RouteViews union instead of the omniscient
+  // RIB.
+  std::unique_ptr<CityCodebook> codebook;
+  std::unique_ptr<DnsDatabase> dns;
+  std::unique_ptr<DnsDatabase> dns_mercator;
+  std::unique_ptr<HostnameMapper> hostname_mapper;
+  std::unique_ptr<HostnameMapper> hostname_mapper_mercator;
+  std::unique_ptr<BgpTable> propagated;
+  std::unique_ptr<BgpTable> propagated_mercator;
+  const auto propagate_for = [](const GroundTruth& truth) {
+    const auto relationships = infer_as_relationships(truth);
+    std::vector<const AsInfo*> by_size;
+    for (const auto& info : truth.ases()) by_size.push_back(&info);
+    std::sort(by_size.begin(), by_size.end(),
+              [](const AsInfo* a, const AsInfo* b) {
+                return a->routers.size() > b->routers.size();
+              });
+    std::vector<std::uint32_t> vantages;
+    for (std::size_t i = 0; i < by_size.size() && i < 24; ++i) {
+      vantages.push_back(by_size[i]->asn);
+    }
+    return std::make_unique<BgpTable>(
+        route_views_union(truth, relationships, vantages));
+  };
+  if (options.mechanical_pipeline) {
+    codebook = std::make_unique<CityCodebook>(city_db);
+    dns = std::make_unique<DnsDatabase>(build_dns(*s.truth_, *codebook));
+    dns_mercator =
+        std::make_unique<DnsDatabase>(build_dns(*s.mercator_truth_, *codebook));
+    hostname_mapper = std::make_unique<HostnameMapper>(
+        *dns, *codebook, 0.85, options.seed ^ 0xd45ULL);
+    hostname_mapper_mercator = std::make_unique<HostnameMapper>(
+        *dns_mercator, *codebook, 0.85, options.seed ^ 0xd45ULL);
+    propagated = propagate_for(*s.truth_);
+    propagated_mercator = propagate_for(*s.mercator_truth_);
+  }
+
+  const auto process = [&](DatasetKind dataset, MapperKind mapper_kind,
+                           const Mapper& mapper) {
+    const std::size_t i = slot(dataset, mapper_kind);
+    if (dataset == DatasetKind::kSkitter) {
+      s.graphs_[i] = std::make_unique<net::AnnotatedGraph>(
+          process_interface_observation(*s.truth_, s.skitter_raw_, mapper,
+                                        &s.stats_[i], propagated.get()));
+    } else {
+      s.graphs_[i] = std::make_unique<net::AnnotatedGraph>(
+          process_router_observation(*s.mercator_truth_, s.mercator_raw_,
+                                     mapper, &s.stats_[i],
+                                     propagated_mercator.get()));
+    }
+  };
+  const Mapper& ix_role = options.mechanical_pipeline
+                              ? static_cast<const Mapper&>(*hostname_mapper)
+                              : static_cast<const Mapper&>(ixmapper);
+  const Mapper& ix_role_mercator =
+      options.mechanical_pipeline
+          ? static_cast<const Mapper&>(*hostname_mapper_mercator)
+          : static_cast<const Mapper&>(ixmapper);
+  process(DatasetKind::kSkitter, MapperKind::kIxMapper, ix_role);
+  process(DatasetKind::kSkitter, MapperKind::kEdgeScape, edgescape);
+  process(DatasetKind::kMercator, MapperKind::kIxMapper, ix_role_mercator);
+  process(DatasetKind::kMercator, MapperKind::kEdgeScape, edgescape);
+  return s;
+}
+
+const net::AnnotatedGraph& Scenario::graph(DatasetKind dataset,
+                                           MapperKind mapper) const noexcept {
+  return *graphs_[slot(dataset, mapper)];
+}
+
+const ProcessingStats& Scenario::stats(DatasetKind dataset,
+                                       MapperKind mapper) const noexcept {
+  return stats_[slot(dataset, mapper)];
+}
+
+}  // namespace geonet::synth

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/annotated_graph.h"
+#include "population/synth_population.h"
+#include "synth/geo_mapper.h"
+#include "synth/ground_truth.h"
+#include "synth/mercator.h"
+#include "synth/skitter.h"
+
+namespace geonet::synth {
+
+/// The two topology datasets of the paper.
+enum class DatasetKind : std::uint8_t { kSkitter, kMercator };
+/// The two geolocation services of the paper.
+enum class MapperKind : std::uint8_t { kIxMapper, kEdgeScape };
+
+[[nodiscard]] const char* to_string(DatasetKind kind) noexcept;
+[[nodiscard]] const char* to_string(MapperKind kind) noexcept;
+
+/// Bookkeeping from one run of the processing pipeline — the numbers the
+/// paper quotes in Section III.B (unmapped fractions, tie discards) and
+/// Table I (processed sizes).
+struct ProcessingStats {
+  std::size_t input_nodes = 0;
+  std::size_t unmapped_nodes = 0;       ///< geolocation failures, discarded
+  std::size_t tie_discarded_routers = 0;///< Mercator location-vote ties
+  std::size_t as_unmapped_nodes = 0;    ///< no BGP cover: the "separate AS"
+  std::size_t output_nodes = 0;
+  std::size_t output_links = 0;
+  std::size_t distinct_locations = 0;
+};
+
+/// Geolocates and AS-labels a raw Skitter observation, producing the
+/// processed interface-level dataset.
+net::AnnotatedGraph process_interface_observation(
+    const GroundTruth& truth, const InterfaceObservation& raw,
+    const Mapper& mapper, ProcessingStats* stats = nullptr,
+    const BgpTable* bgp = nullptr);  ///< nullptr = truth.bgp()
+
+/// Geolocates and AS-labels a raw Mercator observation. Router location is
+/// the most common location across its interfaces; ties discard the router
+/// (and its links), as in Section III.B.
+net::AnnotatedGraph process_router_observation(
+    const GroundTruth& truth, const RouterObservation& raw,
+    const Mapper& mapper, ProcessingStats* stats = nullptr,
+    const BgpTable* bgp = nullptr);  ///< nullptr = truth.bgp()
+
+/// Scenario build parameters; `scale` multiplies the paper's dataset
+/// sizes. Honors the GEONET_SCALE environment variable in defaults().
+struct ScenarioOptions {
+  double scale = 0.15;
+  std::uint64_t seed = 2002;
+  /// Mechanical-fidelity mode: replace the statistical IxMapper with the
+  /// hostname->LOC->whois parsing pipeline over generated reverse DNS,
+  /// and replace the omniscient BGP table with a RouteViews-style union
+  /// derived from valley-free route propagation.
+  bool mechanical_pipeline = false;
+  /// The Mercator snapshot predates Skitter's by ~2.4 years (Aug 1999 vs
+  /// Jan 2002); the earlier Internet was roughly half the size. Mercator
+  /// probes a separate ground truth built at scale * this factor over the
+  /// same world (and is AS-mapped with its own, earlier BGP table, as the
+  /// paper used the Aug 10, 1999 RouteViews snapshot).
+  double mercator_epoch_factor = 0.45;
+  GroundTruthOptions truth;       ///< interface_scale/seed overridden
+  SkitterOptions skitter;         ///< seed overridden
+  MercatorOptions mercator;       ///< seed overridden
+
+  static ScenarioOptions defaults();
+};
+
+/// The canonical end-to-end experiment world: one synthetic planet, one
+/// ground-truth Internet, two measurement campaigns, two mappers, four
+/// processed datasets. Every bench and example builds exactly one of
+/// these, so all experiments share the same underlying reality.
+class Scenario {
+ public:
+  static Scenario build(const ScenarioOptions& options = ScenarioOptions::defaults());
+
+  [[nodiscard]] const ScenarioOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const population::WorldPopulation& world() const noexcept {
+    return *world_;
+  }
+  /// The Skitter-epoch (later, larger) ground truth.
+  [[nodiscard]] const GroundTruth& truth() const noexcept { return *truth_; }
+  /// The Mercator-epoch (earlier, smaller) ground truth.
+  [[nodiscard]] const GroundTruth& mercator_truth() const noexcept {
+    return *mercator_truth_;
+  }
+  [[nodiscard]] const InterfaceObservation& skitter_raw() const noexcept {
+    return skitter_raw_;
+  }
+  [[nodiscard]] const RouterObservation& mercator_raw() const noexcept {
+    return mercator_raw_;
+  }
+
+  /// Processed dataset for a (dataset, mapper) pair — a Table I row.
+  [[nodiscard]] const net::AnnotatedGraph& graph(DatasetKind dataset,
+                                                 MapperKind mapper) const noexcept;
+  [[nodiscard]] const ProcessingStats& stats(DatasetKind dataset,
+                                             MapperKind mapper) const noexcept;
+
+ private:
+  static std::size_t slot(DatasetKind dataset, MapperKind mapper) noexcept;
+
+  ScenarioOptions options_;
+  std::unique_ptr<population::WorldPopulation> world_;
+  std::unique_ptr<GroundTruth> truth_;
+  std::unique_ptr<GroundTruth> mercator_truth_;
+  InterfaceObservation skitter_raw_;
+  RouterObservation mercator_raw_;
+  std::array<std::unique_ptr<net::AnnotatedGraph>, 4> graphs_;
+  std::array<ProcessingStats, 4> stats_;
+};
+
+/// Counts distinct quantised node locations in a processed dataset.
+std::size_t distinct_location_count(const net::AnnotatedGraph& graph,
+                                    double quantum_deg = 0.01);
+
+}  // namespace geonet::synth

@@ -1,0 +1,103 @@
+#include "synth/skitter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "net/graph_algos.h"
+#include "stats/rng.h"
+
+namespace geonet::synth {
+
+namespace {
+
+std::uint64_t pair_key(net::InterfaceId a, net::InterfaceId b) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+}  // namespace
+
+InterfaceObservation run_skitter(const GroundTruth& truth,
+                                 const SkitterOptions& options) {
+  InterfaceObservation out;
+  const net::Topology& topology = truth.topology();
+  const std::size_t n = topology.router_count();
+  if (n == 0) return out;
+
+  stats::Rng rng(options.seed);
+
+  // Per-router trait: does it answer TTL-expired probes?
+  std::vector<bool> responds(n, true);
+  if (options.hop_response_rate < 1.0) {
+    stats::Rng trait_rng = rng.fork(0x51);
+    for (std::size_t r = 0; r < n; ++r) {
+      responds[r] = trait_rng.bernoulli(options.hop_response_rate);
+    }
+  }
+
+  // Monitors sit at well-connected routers (measurement infrastructure
+  // lives in big POPs), chosen degree-weighted.
+  std::vector<double> degree_weights(n);
+  for (net::RouterId r = 0; r < n; ++r) {
+    degree_weights[r] = static_cast<double>(topology.degree(r));
+  }
+  const stats::DiscreteSampler monitor_sampler(degree_weights);
+  std::vector<net::RouterId> monitors;
+  std::unordered_set<net::RouterId> monitor_set;
+  while (monitors.size() < std::min(options.monitor_count, n)) {
+    const std::size_t pick = monitor_sampler.sample(rng);
+    if (pick >= n) break;
+    const auto router = static_cast<net::RouterId>(pick);
+    if (monitor_set.insert(router).second) monitors.push_back(router);
+  }
+
+  std::unordered_set<net::InterfaceId> seen_interfaces;
+  std::unordered_set<std::uint64_t> seen_links;
+  std::unordered_set<net::InterfaceId> destination_interfaces;
+
+  for (const net::RouterId monitor : monitors) {
+    const net::BfsTree tree = net::bfs_tree(topology, monitor);
+
+    // Per-monitor destination list of varying size, uniform over routers
+    // (the real lists aim to cover the whole address space).
+    const double spread = options.destination_list_variation;
+    const auto list_size = static_cast<std::size_t>(
+        static_cast<double>(options.destinations_per_monitor) *
+        rng.uniform(1.0 - spread, 1.0 + spread));
+
+    for (std::size_t d = 0; d < list_size; ++d) {
+      const auto destination =
+          static_cast<net::RouterId>(rng.uniform_index(n));
+      const auto path = net::extract_path(tree, destination);
+      if (path.size() < 2) continue;
+      ++out.traces;
+
+      // Entry interfaces of every hop past the monitor, including the
+      // access router serving the destination. The paper's 18% discard
+      // concerns end-host addresses on the destination lists; hosts hang
+      // *behind* the access router and are never recorded here at all.
+      net::InterfaceId previous = 0;
+      bool have_previous = false;
+      for (std::size_t h = 1; h < path.size(); ++h) {
+        if (!responds[path[h]]) continue;  // silent hop: spliced over
+        const net::InterfaceId entry = tree.entry_if[path[h]];
+        if (seen_interfaces.insert(entry).second) {
+          out.interfaces.push_back(entry);
+        }
+        if (have_previous && previous != entry &&
+            seen_links.insert(pair_key(previous, entry)).second) {
+          out.links.emplace_back(previous, entry);
+        }
+        previous = entry;
+        have_previous = true;
+      }
+      // One end-host address per trace would have been discarded.
+      destination_interfaces.insert(tree.entry_if[path.back()]);
+    }
+  }
+  out.destination_interfaces_discarded = out.traces;
+  return out;
+}
+
+}  // namespace geonet::synth

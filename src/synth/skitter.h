@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/topology.h"
+#include "synth/ground_truth.h"
+
+namespace geonet::synth {
+
+/// Parameters of the Skitter-style measurement simulation.
+///
+/// Skitter (CAIDA) runs traceroute-like hop-limited probes from ~20
+/// monitors worldwide to large destination lists; intermediate routers
+/// reveal the IP of the interface the probe *entered on*. The observed
+/// object is therefore an interface-level graph whose "links" join
+/// interfaces adjacent on forward paths.
+struct SkitterOptions {
+  std::size_t monitor_count = 19;
+  /// Mean destinations per monitor; per-monitor lists vary around this
+  /// ("each probing a destination list of varying size").
+  std::size_t destinations_per_monitor = 4000;
+  double destination_list_variation = 0.5;  ///< +/- fraction of the mean
+  /// Probability a router answers TTL-expired probes at all (a per-router
+  /// trait: some filter ICMP entirely). Silent routers vanish from
+  /// traces, splicing their neighbours into false interface adjacencies —
+  /// a classic traceroute-map artifact the downstream pipeline must
+  /// tolerate.
+  double hop_response_rate = 0.97;
+  std::uint64_t seed = 7;
+};
+
+/// Raw interface-level observation, before geolocation or AS mapping.
+struct InterfaceObservation {
+  std::vector<net::InterfaceId> interfaces;  ///< distinct observed interfaces
+  std::vector<std::pair<net::InterfaceId, net::InterfaceId>> links;  ///< distinct
+  std::size_t traces = 0;  ///< forward paths probed
+  std::size_t destination_interfaces_discarded = 0;  ///< per the paper's 18%
+};
+
+/// Runs the Skitter simulation over the ground truth: per-monitor BFS
+/// forwarding trees, per-destination path extraction, entry-interface
+/// recording, and discarding of destination-list interfaces.
+InterfaceObservation run_skitter(const GroundTruth& truth,
+                                 const SkitterOptions& options = {});
+
+}  // namespace geonet::synth

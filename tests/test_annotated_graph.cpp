@@ -1,0 +1,98 @@
+#include "net/annotated_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace geonet::net {
+namespace {
+
+GraphNode node_at(double lat, double lon, std::uint32_t asn = 1) {
+  return {Ipv4Addr{0}, {lat, lon}, asn};
+}
+
+TEST(AnnotatedGraph, KindAndName) {
+  const AnnotatedGraph g(NodeKind::kInterface, "Skitter+IxMapper");
+  EXPECT_EQ(g.kind(), NodeKind::kInterface);
+  EXPECT_EQ(g.name(), "Skitter+IxMapper");
+  EXPECT_STREQ(to_string(NodeKind::kInterface), "interface");
+  EXPECT_STREQ(to_string(NodeKind::kRouter), "router");
+}
+
+TEST(AnnotatedGraph, AddNodesSequentialIds) {
+  AnnotatedGraph g(NodeKind::kRouter);
+  EXPECT_EQ(g.add_node(node_at(1, 1)), 0u);
+  EXPECT_EQ(g.add_node(node_at(2, 2)), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_DOUBLE_EQ(g.node(1).location.lat_deg, 2.0);
+}
+
+TEST(AnnotatedGraph, EdgeDeduplication) {
+  AnnotatedGraph g(NodeKind::kRouter);
+  g.add_node(node_at(0, 0));
+  g.add_node(node_at(1, 1));
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // undirected duplicate
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AnnotatedGraph, SelfLoopsRejected) {
+  AnnotatedGraph g(NodeKind::kInterface);
+  g.add_node(node_at(0, 0));
+  EXPECT_FALSE(g.add_edge(0, 0));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(AnnotatedGraph, OutOfRangeEdgeRejected) {
+  AnnotatedGraph g(NodeKind::kInterface);
+  g.add_node(node_at(0, 0));
+  EXPECT_FALSE(g.add_edge(0, 5));
+  EXPECT_FALSE(g.add_edge(7, 9));
+}
+
+TEST(AnnotatedGraph, EdgesStoredCanonically) {
+  AnnotatedGraph g(NodeKind::kRouter);
+  g.add_node(node_at(0, 0));
+  g.add_node(node_at(1, 1));
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edges().front().a, 0u);
+  EXPECT_EQ(g.edges().front().b, 1u);
+}
+
+TEST(AnnotatedGraph, HasEdgeQueries) {
+  AnnotatedGraph g(NodeKind::kRouter);
+  g.add_node(node_at(0, 0));
+  g.add_node(node_at(1, 1));
+  g.add_node(node_at(2, 2));
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 99));
+}
+
+TEST(AnnotatedGraph, DegreesCount) {
+  AnnotatedGraph g(NodeKind::kRouter);
+  for (int i = 0; i < 4; ++i) g.add_node(node_at(i, i));
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto deg = g.degrees();
+  EXPECT_EQ(deg[0], 3u);
+  EXPECT_EQ(deg[1], 1u);
+  EXPECT_EQ(deg[2], 1u);
+  EXPECT_EQ(deg[3], 1u);
+}
+
+TEST(AnnotatedGraph, LocationsInNodeOrder) {
+  AnnotatedGraph g(NodeKind::kInterface);
+  g.add_node(node_at(5, 6));
+  g.add_node(node_at(7, 8));
+  const auto locs = g.locations();
+  ASSERT_EQ(locs.size(), 2u);
+  EXPECT_DOUBLE_EQ(locs[0].lat_deg, 5.0);
+  EXPECT_DOUBLE_EQ(locs[1].lon_deg, 8.0);
+}
+
+}  // namespace
+}  // namespace geonet::net

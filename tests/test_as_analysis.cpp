@@ -1,0 +1,138 @@
+#include "core/as_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topology.h"
+#include "tests/test_world.h"
+
+namespace geonet::core {
+namespace {
+
+/// Hand-built graph: AS 1 has 3 nodes in 2 locations; AS 2 has 2 nodes in
+/// 1 location; AS 3 has 1 node; plus an unmapped node (asn 0).
+/// AS edges: 1-2, 1-3 -> degrees 2, 1, 1.
+net::AnnotatedGraph make_as_graph() {
+  net::AnnotatedGraph g(net::NodeKind::kInterface, "handmade");
+  g.add_node({net::Ipv4Addr{1}, {40.0, -74.0}, 1});   // 0
+  g.add_node({net::Ipv4Addr{2}, {40.0, -74.0}, 1});   // 1 same loc
+  g.add_node({net::Ipv4Addr{3}, {34.0, -118.0}, 1});  // 2
+  g.add_node({net::Ipv4Addr{4}, {41.9, -87.6}, 2});   // 3
+  g.add_node({net::Ipv4Addr{5}, {41.9, -87.6}, 2});   // 4
+  g.add_node({net::Ipv4Addr{6}, {47.6, -122.3}, 3});  // 5
+  g.add_node({net::Ipv4Addr{7}, {33.7, -84.4}, 0});   // 6 unmapped
+  g.add_edge(0, 1);  // intra AS 1
+  g.add_edge(1, 3);  // AS 1 - AS 2
+  g.add_edge(2, 5);  // AS 1 - AS 3
+  g.add_edge(4, 6);  // AS 2 - unmapped: ignored for degrees
+  return g;
+}
+
+const AsRecord* find_as(const AsSizeAnalysis& a, std::uint32_t asn) {
+  const auto it = std::find_if(a.records.begin(), a.records.end(),
+                               [&](const AsRecord& r) { return r.asn == asn; });
+  return it == a.records.end() ? nullptr : &*it;
+}
+
+TEST(AsAnalysis, CountsPerAs) {
+  const auto analysis = analyze_as_sizes(make_as_graph());
+  ASSERT_EQ(analysis.records.size(), 3u);  // unmapped bucket omitted
+
+  const AsRecord* as1 = find_as(analysis, 1);
+  ASSERT_NE(as1, nullptr);
+  EXPECT_EQ(as1->node_count, 3u);
+  EXPECT_EQ(as1->location_count, 2u);
+  EXPECT_EQ(as1->degree, 2u);
+
+  const AsRecord* as2 = find_as(analysis, 2);
+  ASSERT_NE(as2, nullptr);
+  EXPECT_EQ(as2->node_count, 2u);
+  EXPECT_EQ(as2->location_count, 1u);
+  EXPECT_EQ(as2->degree, 1u);
+
+  const AsRecord* as3 = find_as(analysis, 3);
+  ASSERT_NE(as3, nullptr);
+  EXPECT_EQ(as3->node_count, 1u);
+  EXPECT_EQ(as3->location_count, 1u);
+  EXPECT_EQ(as3->degree, 1u);
+}
+
+TEST(AsAnalysis, RecordsSortedByAsn) {
+  const auto analysis = analyze_as_sizes(make_as_graph());
+  for (std::size_t i = 1; i < analysis.records.size(); ++i) {
+    EXPECT_LT(analysis.records[i - 1].asn, analysis.records[i].asn);
+  }
+}
+
+TEST(AsAnalysis, ParallelAsEdgesCountOnce) {
+  auto g = make_as_graph();
+  // A second physical link between AS1 and AS2 must not raise degree.
+  g.add_edge(0, 4);
+  const auto analysis = analyze_as_sizes(g);
+  EXPECT_EQ(find_as(analysis, 1)->degree, 2u);
+  EXPECT_EQ(find_as(analysis, 2)->degree, 1u);
+}
+
+TEST(AsAnalysis, EmptyGraph) {
+  const net::AnnotatedGraph g(net::NodeKind::kInterface);
+  const auto analysis = analyze_as_sizes(g);
+  EXPECT_TRUE(analysis.records.empty());
+  EXPECT_DOUBLE_EQ(analysis.corr_nodes_locations, 0.0);
+}
+
+TEST(AsAnalysis, VectorsAlignWithRecords) {
+  const auto analysis = analyze_as_sizes(make_as_graph());
+  const auto nodes = analysis.node_counts();
+  const auto locs = analysis.location_counts();
+  const auto degs = analysis.degrees();
+  ASSERT_EQ(nodes.size(), analysis.records.size());
+  for (std::size_t i = 0; i < analysis.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(nodes[i], analysis.records[i].node_count);
+    EXPECT_DOUBLE_EQ(locs[i], analysis.records[i].location_count);
+    EXPECT_DOUBLE_EQ(degs[i], analysis.records[i].degree);
+  }
+}
+
+TEST(AsAnalysis, LocationQuantumMatters) {
+  net::AnnotatedGraph g(net::NodeKind::kInterface);
+  g.add_node({net::Ipv4Addr{1}, {40.00, -74.00}, 1});
+  g.add_node({net::Ipv4Addr{2}, {40.30, -74.30}, 1});
+  EXPECT_EQ(analyze_as_sizes(g, 0.01).records.front().location_count, 2u);
+  EXPECT_EQ(analyze_as_sizes(g, 5.0).records.front().location_count, 1u);
+}
+
+TEST(AsAnalysis, ScenarioSizesAreLongTailedAndCorrelated) {
+  // Section VI.A on the full pipeline output.
+  const auto& s = testing::small_scenario();
+  const auto analysis = analyze_as_sizes(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper));
+  ASSERT_GT(analysis.records.size(), 50u);
+
+  // All three pairwise correlations positive and meaningful.
+  EXPECT_GT(analysis.corr_nodes_locations, 0.5);
+  EXPECT_GT(analysis.corr_nodes_degree, 0.3);
+  EXPECT_GT(analysis.corr_locations_degree, 0.3);
+
+  // Long tails: CCDF tail exponents clearly negative, and max >> median.
+  EXPECT_LT(analysis.tail_nodes.slope, -0.5);
+  EXPECT_LT(analysis.tail_locations.slope, -0.5);
+  std::size_t max_nodes = 0;
+  for (const auto& r : analysis.records) {
+    max_nodes = std::max(max_nodes, r.node_count);
+  }
+  EXPECT_GT(max_nodes, 50u);
+}
+
+TEST(AsAnalysis, StrongestCorrelationIsNodesVsLocations) {
+  // Figure 8: the tightest scatter is interfaces vs locations.
+  const auto& s = testing::small_scenario();
+  const auto analysis = analyze_as_sizes(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper));
+  EXPECT_GE(analysis.corr_nodes_locations, analysis.corr_nodes_degree - 0.05);
+  EXPECT_GE(analysis.corr_nodes_locations,
+            analysis.corr_locations_degree - 0.05);
+}
+
+}  // namespace
+}  // namespace geonet::core

@@ -1,0 +1,99 @@
+#include "synth/bgp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace geonet::synth {
+namespace {
+
+using net::parse_ipv4;
+using net::parse_prefix;
+
+TEST(BgpTable, OriginAsByLongestMatch) {
+  BgpTable table;
+  table.announce(*parse_prefix("10.0.0.0/8"), 100);
+  table.announce(*parse_prefix("10.5.0.0/16"), 200);
+  EXPECT_EQ(table.origin_as(*parse_ipv4("10.5.1.1")).value(), 200u);
+  EXPECT_EQ(table.origin_as(*parse_ipv4("10.6.1.1")).value(), 100u);
+  EXPECT_FALSE(table.origin_as(*parse_ipv4("11.0.0.1")).has_value());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(BgpTable, RefreshOverwrites) {
+  BgpTable table;
+  table.announce(*parse_prefix("192.0.2.0/24"), 1);
+  table.announce(*parse_prefix("192.0.2.0/24"), 2);
+  EXPECT_EQ(table.origin_as(*parse_ipv4("192.0.2.9")).value(), 2u);
+}
+
+TEST(AddressAllocator, BlocksAreAlignedAndDisjoint) {
+  AddressAllocator alloc;
+  std::set<std::uint32_t> starts;
+  for (int i = 0; i < 100; ++i) {
+    const net::Prefix block = alloc.allocate_block(20);
+    const std::uint32_t size = 1u << 12;
+    EXPECT_EQ(block.network.value % size, 0u) << net::to_string(block);
+    EXPECT_TRUE(starts.insert(block.network.value).second);
+  }
+  EXPECT_EQ(alloc.allocated(), 100u * (1u << 12));
+}
+
+TEST(AddressAllocator, SkipsPrivateSpace) {
+  AddressAllocator alloc;
+  // Burn through enough /9s to cross 10/8, 127/8, 172.16/12, 192.168/16.
+  for (int i = 0; i < 300; ++i) {
+    const net::Prefix block = alloc.allocate_block(9);
+    const std::uint32_t first = block.network.value;
+    const std::uint32_t last = first + (1u << 23) - 1;
+    for (const std::uint32_t probe : {first, last, first + (last - first) / 2}) {
+      EXPECT_FALSE(net::is_private(net::Ipv4Addr{probe}))
+          << net::to_string(net::Ipv4Addr{probe});
+    }
+    if (first >= 0xc8000000u) break;  // past 200/8: covered the ranges
+  }
+}
+
+TEST(AddressAllocator, RejectsSillyLengths) {
+  AddressAllocator alloc;
+  EXPECT_THROW(alloc.allocate_block(7), std::invalid_argument);
+  EXPECT_THROW(alloc.allocate_block(31), std::invalid_argument);
+}
+
+TEST(AsAddressSpace, MintsUniquePublicAddresses) {
+  AddressAllocator alloc;
+  AsAddressSpace space(alloc, 24);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {  // forces several /24 blocks
+    const net::Ipv4Addr addr = space.next();
+    EXPECT_TRUE(seen.insert(addr.value).second);
+    EXPECT_FALSE(net::is_private(addr));
+  }
+  EXPECT_GE(space.blocks().size(), 4u);
+}
+
+TEST(AsAddressSpace, AddressesBelongToOwnBlocks) {
+  AddressAllocator alloc;
+  AsAddressSpace a(alloc, 24);
+  AsAddressSpace b(alloc, 24);
+  for (int i = 0; i < 300; ++i) {
+    const net::Ipv4Addr from_a = a.next();
+    const net::Ipv4Addr from_b = b.next();
+    bool a_owns = false;
+    for (const auto& block : a.blocks()) a_owns |= contains(block, from_a);
+    EXPECT_TRUE(a_owns);
+    bool b_in_a = false;
+    for (const auto& block : a.blocks()) b_in_a |= contains(block, from_b);
+    EXPECT_FALSE(b_in_a);
+  }
+}
+
+TEST(AsAddressSpace, SkipsNetworkAddress) {
+  AddressAllocator alloc;
+  AsAddressSpace space(alloc, 24);
+  const net::Ipv4Addr first = space.next();
+  EXPECT_EQ(first.value & 0xffu, 1u);  // .1, not .0
+}
+
+}  // namespace
+}  // namespace geonet::synth

@@ -1,0 +1,259 @@
+#include "synth/bgp_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_world.h"
+
+namespace geonet::synth {
+namespace {
+
+using testing::small_truth;
+
+const std::vector<AsRelationship>& relationships() {
+  static const std::vector<AsRelationship> rels =
+      infer_as_relationships(small_truth());
+  return rels;
+}
+
+TEST(BgpPropagation, InfersOneRelationshipPerAsPair) {
+  const auto& rels = relationships();
+  ASSERT_FALSE(rels.empty());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const auto& rel : rels) {
+    const auto canon = std::minmax(rel.customer_asn, rel.provider_asn);
+    EXPECT_TRUE(pairs.insert(canon).second) << "duplicate pair";
+    EXPECT_NE(rel.customer_asn, rel.provider_asn);
+  }
+}
+
+TEST(BgpPropagation, ProvidersAreUsuallyLargerThanCustomers) {
+  // The size heuristic makes providers larger; the every-AS-buys-transit
+  // post-pass may occasionally invert that for hierarchy tops, so the
+  // check is a strong majority, not a universal rule.
+  const auto& truth = small_truth();
+  std::size_t total = 0;
+  std::size_t larger = 0;
+  for (const auto& rel : relationships()) {
+    if (rel.relation != AsRelation::kCustomerProvider) continue;
+    const AsInfo* customer = truth.as_info(rel.customer_asn);
+    const AsInfo* provider = truth.as_info(rel.provider_asn);
+    ASSERT_NE(customer, nullptr);
+    ASSERT_NE(provider, nullptr);
+    ++total;
+    if (provider->routers.size() >= customer->routers.size()) ++larger;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(larger) / static_cast<double>(total), 0.78);
+}
+
+TEST(BgpPropagation, MixOfRelationsExists) {
+  std::size_t c2p = 0;
+  std::size_t p2p = 0;
+  for (const auto& rel : relationships()) {
+    (rel.relation == AsRelation::kCustomerProvider ? c2p : p2p) += 1;
+  }
+  EXPECT_GT(c2p, 0u);
+  EXPECT_GT(p2p, 0u);
+}
+
+TEST(BgpPropagation, OriginAlwaysSeesItself) {
+  const auto& truth = small_truth();
+  for (std::size_t i = 0; i < 20; ++i) {
+    const std::uint32_t asn = truth.ases()[i * 7 % truth.ases().size()].asn;
+    const auto reach = visible_at(truth, relationships(), asn);
+    EXPECT_TRUE(std::binary_search(reach.begin(), reach.end(), asn));
+  }
+}
+
+TEST(BgpPropagation, LargeTransitSeesMostOrigins) {
+  // The biggest AS sits atop the hierarchy: customer routes propagate up
+  // to it from nearly everywhere (that is what made RouteViews feasible).
+  const auto& truth = small_truth();
+  const AsInfo* biggest = &truth.ases().front();
+  for (const AsInfo& info : truth.ases()) {
+    if (info.routers.size() > biggest->routers.size()) biggest = &info;
+  }
+  const BgpTable table = vantage_table(truth, relationships(), biggest->asn);
+  EXPECT_GT(table_coverage(truth, table), 0.8);
+}
+
+TEST(BgpPropagation, AnyTransitBuyingVantageSeesNearlyEverything) {
+  // Valley-free export hands a stub its providers' full tables, so even
+  // the smallest AS receives near-complete routes — which is why a
+  // single RouteViews feed already covers almost all announced space.
+  const auto& truth = small_truth();
+  const AsInfo* biggest = &truth.ases().front();
+  const AsInfo* smallest = &truth.ases().front();
+  for (const AsInfo& info : truth.ases()) {
+    if (info.routers.size() > biggest->routers.size()) biggest = &info;
+    if (info.routers.size() < smallest->routers.size()) smallest = &info;
+  }
+  const double big_coverage = table_coverage(
+      truth, vantage_table(truth, relationships(), biggest->asn));
+  const double small_coverage = table_coverage(
+      truth, vantage_table(truth, relationships(), smallest->asn));
+  EXPECT_GT(big_coverage, 0.9);
+  EXPECT_GT(small_coverage, 0.9);
+}
+
+TEST(BgpPropagation, UnionImprovesCoverageMonotonically) {
+  const auto& truth = small_truth();
+  // Vantages in decreasing size order, like RouteViews' backbone feeds.
+  std::vector<const AsInfo*> by_size;
+  for (const AsInfo& info : truth.ases()) by_size.push_back(&info);
+  std::sort(by_size.begin(), by_size.end(),
+            [](const AsInfo* a, const AsInfo* b) {
+              return a->routers.size() > b->routers.size();
+            });
+  std::vector<std::uint32_t> vantages;
+  double previous = 0.0;
+  for (std::size_t count : {1u, 4u, 12u}) {
+    vantages.clear();
+    for (std::size_t i = 0; i < count && i < by_size.size(); ++i) {
+      vantages.push_back(by_size[i]->asn);
+    }
+    const double coverage = table_coverage(
+        truth, route_views_union(truth, relationships(), vantages));
+    EXPECT_GE(coverage, previous - 1e-12) << count;
+    previous = coverage;
+  }
+  EXPECT_GT(previous, 0.85);
+}
+
+TEST(BgpPropagation, UnannouncedAsesNeverAppear) {
+  const auto& truth = small_truth();
+  std::vector<std::uint32_t> all;
+  for (const AsInfo& info : truth.ases()) all.push_back(info.asn);
+  const BgpTable table = route_views_union(truth, relationships(), all);
+  for (const AsInfo& info : truth.ases()) {
+    if (info.announced) continue;
+    for (const net::Prefix& block : info.prefixes) {
+      const auto origin =
+          table.origin_as(net::Ipv4Addr{block.network.value + 1});
+      if (origin) {
+        EXPECT_NE(*origin, info.asn);
+      }
+    }
+  }
+}
+
+TEST(BgpPropagation, ValleyFreeBlocksPeerPeerTransit) {
+  // Hand-built: origin 1 is a customer of 2; 2 peers with 3; 3 has
+  // customer 4 and peer 5. Routes go 1->2 (up), 2->3 (across), 3->4
+  // (down). They must NOT continue across a second peering to 5.
+  const std::vector<AsRelationship> rels = {
+      {1, 2, AsRelation::kCustomerProvider},
+      {2, 3, AsRelation::kPeerPeer},
+      {4, 3, AsRelation::kCustomerProvider},
+      {3, 5, AsRelation::kPeerPeer},
+  };
+  const auto reach = visible_at(small_truth(), rels, 1);
+  EXPECT_TRUE(std::binary_search(reach.begin(), reach.end(), 2u));
+  EXPECT_TRUE(std::binary_search(reach.begin(), reach.end(), 3u));
+  EXPECT_TRUE(std::binary_search(reach.begin(), reach.end(), 4u));
+  EXPECT_FALSE(std::binary_search(reach.begin(), reach.end(), 5u));
+}
+
+TEST(BgpPropagation, DownstreamOnlyForProviderRoutes) {
+  // Origin 1 is the PROVIDER of 2; 2 has provider 3. A route learned from
+  // one's provider is exported only to customers, so 3 must not hear 1's
+  // routes through 2.
+  const std::vector<AsRelationship> rels = {
+      {2, 1, AsRelation::kCustomerProvider},  // 2 is customer of 1
+      {2, 3, AsRelation::kCustomerProvider},  // 2 is customer of 3
+  };
+  const auto reach = visible_at(small_truth(), rels, 1);
+  EXPECT_TRUE(std::binary_search(reach.begin(), reach.end(), 2u));
+  EXPECT_FALSE(std::binary_search(reach.begin(), reach.end(), 3u));
+}
+
+TEST(AsPath, TrivialAndDirectPaths) {
+  const std::vector<AsRelationship> rels = {
+      {1, 2, AsRelation::kCustomerProvider},
+  };
+  const auto self = as_path(rels, 1, 1);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], 1u);
+
+  const auto up = as_path(rels, 1, 2);
+  ASSERT_EQ(up.size(), 2u);
+  EXPECT_EQ(up[0], 1u);
+  EXPECT_EQ(up[1], 2u);
+
+  const auto down = as_path(rels, 2, 1);
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_EQ(down[0], 2u);
+  EXPECT_EQ(down[1], 1u);
+}
+
+TEST(AsPath, ClassicUpAcrossDown) {
+  // 1 -> 2 (provider) -> 3 (peer) -> 4 (customer of 3).
+  const std::vector<AsRelationship> rels = {
+      {1, 2, AsRelation::kCustomerProvider},
+      {2, 3, AsRelation::kPeerPeer},
+      {4, 3, AsRelation::kCustomerProvider},
+  };
+  const auto path = as_path(rels, 1, 4);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], 1u);
+  EXPECT_EQ(path[1], 2u);
+  EXPECT_EQ(path[2], 3u);
+  EXPECT_EQ(path[3], 4u);
+}
+
+TEST(AsPath, ValleyForbidden) {
+  // 1 and 3 are both customers of 2... wait, that IS reachable (up then
+  // down). The forbidden shape is down-then-up: 2 is the only provider
+  // link of both 1 and 3, and the only path from 1 to 3 via 4 would go
+  // down to 4 then up to 3 — policy forbids it.
+  const std::vector<AsRelationship> rels = {
+      {4, 1, AsRelation::kCustomerProvider},  // 4 is customer of 1
+      {4, 3, AsRelation::kCustomerProvider},  // 4 is customer of 3
+  };
+  EXPECT_TRUE(as_path(rels, 1, 3).empty());  // would need a valley via 4
+  // But 1 can reach 4 (down) and 4 can reach 3 (up).
+  EXPECT_EQ(as_path(rels, 1, 4).size(), 2u);
+  EXPECT_EQ(as_path(rels, 4, 3).size(), 2u);
+}
+
+TEST(AsPath, TwoPeeringsForbidden) {
+  // 1 - 2 (peer), 2 - 3 (peer): a route may cross at most one peering.
+  const std::vector<AsRelationship> rels = {
+      {1, 2, AsRelation::kPeerPeer},
+      {2, 3, AsRelation::kPeerPeer},
+  };
+  EXPECT_EQ(as_path(rels, 1, 2).size(), 2u);
+  EXPECT_TRUE(as_path(rels, 1, 3).empty());
+}
+
+TEST(AsPath, PathsExistBetweenSampledScenarioAses) {
+  const auto& truth = small_truth();
+  const auto& rels = relationships();
+  std::size_t reachable = 0;
+  std::size_t total = 0;
+  double hops = 0.0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const std::uint32_t src =
+        truth.ases()[(i * 13) % truth.ases().size()].asn;
+    const std::uint32_t dst =
+        truth.ases()[(i * 29 + 7) % truth.ases().size()].asn;
+    if (src == dst) continue;
+    ++total;
+    const auto path = as_path(rels, src, dst);
+    if (path.empty()) continue;
+    ++reachable;
+    hops += static_cast<double>(path.size() - 1);
+    EXPECT_EQ(path.front(), src);
+    EXPECT_EQ(path.back(), dst);
+  }
+  ASSERT_GT(total, 30u);
+  // Nearly all AS pairs are policy-reachable (default-free reachability),
+  // with short AS paths (the era's BGP tables averaged ~4 hops).
+  EXPECT_GT(static_cast<double>(reachable) / static_cast<double>(total), 0.9);
+  EXPECT_LT(hops / static_cast<double>(reachable), 7.0);
+}
+
+}  // namespace
+}  // namespace geonet::synth

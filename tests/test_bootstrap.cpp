@@ -1,0 +1,79 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/linear_fit.h"
+
+namespace geonet::stats {
+namespace {
+
+TEST(Bootstrap, SlopeIntervalCoversTruth) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(2.0 * x + 1.0 + rng.normal(0.0, 1.0));
+  }
+  const auto ci = bootstrap_slope(xs, ys);
+  EXPECT_NEAR(ci.point, 2.0, 0.1);
+  EXPECT_LT(ci.lo, 2.0);
+  EXPECT_GT(ci.hi, 2.0);
+  EXPECT_LT(ci.hi - ci.lo, 0.5);
+  EXPECT_EQ(ci.resamples, 400u);
+}
+
+TEST(Bootstrap, IntervalShrinksWithSampleSize) {
+  Rng rng(6);
+  const auto make = [&](int n) {
+    std::vector<double> xs, ys;
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.uniform(0.0, 10.0);
+      xs.push_back(x);
+      ys.push_back(x + rng.normal(0.0, 2.0));
+    }
+    const auto ci = bootstrap_slope(xs, ys);
+    return ci.hi - ci.lo;
+  };
+  EXPECT_GT(make(50), make(2000));
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{10, 20, 30, 40};
+  const auto ci = bootstrap_paired(
+      xs, ys,
+      [](std::span<const double> x, std::span<const double> y) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) sum += y[i] / x[i];
+        return sum / static_cast<double>(x.size());
+      },
+      100);
+  EXPECT_DOUBLE_EQ(ci.point, 10.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 10.0);  // the ratio is constant: zero variance
+  EXPECT_DOUBLE_EQ(ci.hi, 10.0);
+}
+
+TEST(Bootstrap, EmptyInputsDegenerate) {
+  const auto ci = bootstrap_slope({}, {});
+  EXPECT_EQ(ci.resamples, 0u);
+  EXPECT_DOUBLE_EQ(ci.point, 0.0);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  Rng rng(7);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(rng.uniform(0.0, 1.0));
+    ys.push_back(rng.uniform(0.0, 1.0));
+  }
+  const auto a = bootstrap_slope(xs, ys, 200, 0.05, 99);
+  const auto b = bootstrap_slope(xs, ys, 200, 0.05, 99);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace geonet::stats

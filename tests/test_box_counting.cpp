@@ -1,0 +1,84 @@
+#include "geo/box_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace geonet::geo {
+namespace {
+
+TEST(BoxCounting, CountBoxesSinglePoint) {
+  const std::vector<GeoPoint> pts{{40.0, -100.0}};
+  const BoxCount bc = count_boxes(pts, regions::us(), 75.0);
+  EXPECT_EQ(bc.occupied_boxes, 1u);
+}
+
+TEST(BoxCounting, FinerBoxesNeverFewer) {
+  stats::Rng rng(3);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 2000; ++i) {
+    pts.push_back({rng.uniform(26.0, 49.0), rng.uniform(-149.0, -46.0)});
+  }
+  const auto coarse = count_boxes(pts, regions::us(), 300.0);
+  const auto fine = count_boxes(pts, regions::us(), 75.0);
+  EXPECT_GE(fine.occupied_boxes, coarse.occupied_boxes);
+}
+
+TEST(BoxCounting, UniformCloudHasDimensionNearTwo) {
+  stats::Rng rng(4);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 60000; ++i) {
+    pts.push_back({rng.uniform(26.0, 49.0), rng.uniform(-149.0, -46.0)});
+  }
+  const auto result =
+      box_counting_dimension(pts, regions::us(), 60.0, 960.0, 5);
+  EXPECT_NEAR(result.dimension, 2.0, 0.25);
+  EXPECT_GT(result.fit.r_squared, 0.95);
+}
+
+TEST(BoxCounting, LineOfPointsHasDimensionNearOne) {
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>(i) / 20000.0;
+    pts.push_back({30.0 + 18.0 * t, -140.0 + 90.0 * t});
+  }
+  const auto result =
+      box_counting_dimension(pts, regions::us(), 30.0, 960.0, 6);
+  EXPECT_NEAR(result.dimension, 1.0, 0.2);
+}
+
+TEST(BoxCounting, SinglePointHasDimensionNearZero) {
+  const std::vector<GeoPoint> pts{{40.0, -100.0}};
+  const auto result = box_counting_dimension(pts, regions::us());
+  EXPECT_NEAR(result.dimension, 0.0, 1e-9);
+}
+
+TEST(BoxCounting, SweepRecordsAllScales) {
+  stats::Rng rng(5);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.uniform(26.0, 49.0), rng.uniform(-149.0, -46.0)});
+  }
+  const auto result =
+      box_counting_dimension(pts, regions::us(), 15.0, 960.0, 7);
+  EXPECT_EQ(result.sweep.size(), 7u);
+  for (const auto& bc : result.sweep) {
+    EXPECT_GT(bc.occupied_boxes, 0u);
+    EXPECT_LE(bc.occupied_boxes, 100u);
+  }
+}
+
+TEST(BoxCounting, InvalidParametersDegenerate) {
+  const std::vector<GeoPoint> pts{{40.0, -100.0}};
+  EXPECT_DOUBLE_EQ(
+      box_counting_dimension(pts, regions::us(), 100.0, 50.0, 5).dimension,
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      box_counting_dimension(pts, regions::us(), 15.0, 960.0, 1).dimension,
+      0.0);
+}
+
+}  // namespace
+}  // namespace geonet::geo

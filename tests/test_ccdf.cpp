@@ -1,0 +1,87 @@
+#include "stats/ccdf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace geonet::stats {
+namespace {
+
+TEST(EmpiricalCdf, SimpleSample) {
+  std::vector<double> xs{1, 2, 2, 4};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].p, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].p, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].x, 4.0);
+  EXPECT_DOUBLE_EQ(cdf[2].p, 1.0);
+}
+
+TEST(EmpiricalCcdf, ComplementOfCdf) {
+  std::vector<double> xs{1, 2, 2, 4};
+  const auto ccdf = empirical_ccdf(xs);
+  ASSERT_EQ(ccdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(ccdf[0].p, 0.75);  // P[X > 1]
+  EXPECT_DOUBLE_EQ(ccdf[1].p, 0.25);  // P[X > 2]
+  EXPECT_DOUBLE_EQ(ccdf[2].p, 0.0);   // P[X > 4]
+}
+
+TEST(EmpiricalCdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+  EXPECT_TRUE(empirical_ccdf({}).empty());
+}
+
+TEST(EmpiricalCdf, MonotoneNondecreasing) {
+  std::vector<double> xs{5, 1, 3, 3, 9, 2, 2, 2};
+  const auto cdf = empirical_cdf(xs);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GE(cdf[i].p, cdf[i - 1].p);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().p, 1.0);
+}
+
+TEST(LogLog, DropsNonPositive) {
+  std::vector<DistPoint> curve{{10.0, 0.1}, {0.0, 0.5}, {100.0, 0.0}};
+  const auto ll = log_log(curve);
+  ASSERT_EQ(ll.size(), 1u);
+  EXPECT_DOUBLE_EQ(ll[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(ll[0].p, -1.0);
+}
+
+TEST(FitCcdfTail, RecoversParetoExponent) {
+  Rng rng(77);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(pareto(rng, 1.0, 1.5));
+  const LinearFit fit = fit_ccdf_tail(xs, 0.2);
+  // CCDF of Pareto(1.5) has log-log slope -1.5.
+  EXPECT_NEAR(fit.slope, -1.5, 0.15);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(FitCcdfTail, TooFewPointsDegenerate) {
+  std::vector<double> xs{1.0, 1.0};
+  const LinearFit fit = fit_ccdf_tail(xs);
+  EXPECT_EQ(fit.n, 0u);
+}
+
+TEST(FitCcdfTail, ExponentialTailIsSteeperThanPareto) {
+  Rng rng(78);
+  std::vector<double> heavy, light;
+  for (int i = 0; i < 30000; ++i) {
+    heavy.push_back(pareto(rng, 1.0, 1.0));
+    light.push_back(1.0 + rng.exponential(1.0));
+  }
+  const double heavy_slope = fit_ccdf_tail(heavy, 0.3).slope;
+  const double light_slope = fit_ccdf_tail(light, 0.3).slope;
+  EXPECT_GT(heavy_slope, light_slope);  // -1 > -several
+}
+
+}  // namespace
+}  // namespace geonet::stats

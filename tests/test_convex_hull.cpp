@@ -1,0 +1,129 @@
+#include "geo/convex_hull.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace geonet::geo {
+namespace {
+
+TEST(ConvexHull, EmptyAndTinyInputs) {
+  EXPECT_TRUE(convex_hull({}).empty());
+
+  const std::vector<PlanarPoint> one{{1.0, 2.0}};
+  EXPECT_EQ(convex_hull(one).size(), 1u);
+
+  const std::vector<PlanarPoint> two{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_EQ(convex_hull(two).size(), 2u);
+}
+
+TEST(ConvexHull, DuplicatesCollapse) {
+  const std::vector<PlanarPoint> pts{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(convex_hull(pts).size(), 1u);
+}
+
+TEST(ConvexHull, CollinearPointsYieldSegment) {
+  const std::vector<PlanarPoint> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 2u);
+  EXPECT_DOUBLE_EQ(polygon_area(hull), 0.0);
+}
+
+TEST(ConvexHull, UnitSquare) {
+  const std::vector<PlanarPoint> pts{
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_DOUBLE_EQ(polygon_area(hull), 1.0);
+}
+
+TEST(ConvexHull, CounterClockwiseWinding) {
+  const std::vector<PlanarPoint> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const auto hull = convex_hull(pts);
+  EXPECT_GT(polygon_signed_area(hull), 0.0);
+}
+
+TEST(ConvexHull, ContainsAllInputPoints) {
+  stats::Rng rng(9);
+  std::vector<PlanarPoint> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)});
+  }
+  const auto hull = convex_hull(pts);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(point_in_convex_polygon(p, hull));
+  }
+}
+
+TEST(ConvexHull, HullOfHullIsIdempotent) {
+  stats::Rng rng(10);
+  std::vector<PlanarPoint> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0)});
+  }
+  const auto hull = convex_hull(pts);
+  const auto hull2 = convex_hull(hull);
+  EXPECT_EQ(hull.size(), hull2.size());
+  EXPECT_NEAR(polygon_area(hull), polygon_area(hull2), 1e-9);
+}
+
+TEST(ConvexHull, AreaGrowsWithSpread) {
+  std::vector<PlanarPoint> tight{{0, 0}, {1, 0}, {0, 1}};
+  std::vector<PlanarPoint> wide{{0, 0}, {10, 0}, {0, 10}};
+  EXPECT_LT(polygon_area(convex_hull(tight)), polygon_area(convex_hull(wide)));
+}
+
+TEST(PolygonArea, TriangleKnownArea) {
+  const std::vector<PlanarPoint> tri{{0, 0}, {4, 0}, {0, 3}};
+  EXPECT_DOUBLE_EQ(polygon_area(tri), 6.0);
+  EXPECT_DOUBLE_EQ(polygon_signed_area(tri), 6.0);
+  const std::vector<PlanarPoint> tri_cw{{0, 0}, {0, 3}, {4, 0}};
+  EXPECT_DOUBLE_EQ(polygon_signed_area(tri_cw), -6.0);
+}
+
+TEST(PolygonArea, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(polygon_area({}), 0.0);
+  const std::vector<PlanarPoint> two{{0, 0}, {5, 5}};
+  EXPECT_DOUBLE_EQ(polygon_area(two), 0.0);
+}
+
+TEST(PointInPolygon, BoundaryAndOutside) {
+  const std::vector<PlanarPoint> square{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_TRUE(point_in_convex_polygon({1, 1}, square));
+  EXPECT_TRUE(point_in_convex_polygon({0, 0}, square));   // vertex
+  EXPECT_TRUE(point_in_convex_polygon({1, 0}, square));   // edge
+  EXPECT_FALSE(point_in_convex_polygon({3, 1}, square));
+  EXPECT_FALSE(point_in_convex_polygon({-0.1, 1}, square));
+}
+
+TEST(HullAreaSqMiles, SinglePointAndPairAreZero) {
+  const AlbersProjection proj = AlbersProjection::world();
+  const std::vector<GeoPoint> one{{40.0, -74.0}};
+  EXPECT_DOUBLE_EQ(hull_area_sq_miles(one, proj), 0.0);
+  const std::vector<GeoPoint> pair{{40.0, -74.0}, {34.0, -118.0}};
+  EXPECT_DOUBLE_EQ(hull_area_sq_miles(pair, proj), 0.0);
+}
+
+TEST(HullAreaSqMiles, OneDegreeBoxNearEquator) {
+  const AlbersProjection proj = AlbersProjection::world();
+  const std::vector<GeoPoint> corners{
+      {0.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {1.0, 0.0}};
+  const Region box{"box", 0.0, 1.0, 0.0, 1.0};
+  EXPECT_NEAR(hull_area_sq_miles(corners, proj) / box.area_sq_miles(), 1.0,
+              0.02);
+}
+
+TEST(HullAreaSqMiles, GrowsWithGeographicSpread) {
+  const AlbersProjection proj = AlbersProjection::world();
+  const std::vector<GeoPoint> metro{
+      {40.7, -74.0}, {40.8, -74.1}, {40.9, -73.9}};
+  const std::vector<GeoPoint> continental{
+      {40.7, -74.0}, {34.0, -118.2}, {47.6, -122.3}};
+  EXPECT_LT(hull_area_sq_miles(metro, proj),
+            hull_area_sq_miles(continental, proj) / 100.0);
+}
+
+}  // namespace
+}  // namespace geonet::geo

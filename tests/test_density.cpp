@@ -1,0 +1,162 @@
+#include "core/density.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+#include "tests/test_world.h"
+
+namespace geonet::core {
+namespace {
+
+/// A hand-built world with one populated region and a graph whose node
+/// counts follow an exact power of patch population, so the analysis must
+/// recover the planted exponent.
+struct PlantedWorld {
+  population::WorldPopulation world = population::WorldPopulation::build(5);
+  net::AnnotatedGraph graph{net::NodeKind::kInterface, "planted"};
+};
+
+net::AnnotatedGraph planted_graph(const population::WorldPopulation& world,
+                                  double exponent, double scale) {
+  net::AnnotatedGraph graph(net::NodeKind::kInterface, "planted");
+  const geo::Region us = geo::regions::us();
+  const geo::Grid patches(us, 75.0);
+  stats::Rng rng(17);
+  for (std::size_t flat = 0; flat < patches.cell_count(); ++flat) {
+    const geo::Region bounds = patches.cell_bounds(patches.unflatten(flat));
+    const double people = world.population_in(bounds);
+    if (people <= 0.0) continue;
+    const auto nodes = static_cast<std::size_t>(
+        std::llround(scale * std::pow(people / 1e6, exponent)));
+    for (std::size_t k = 0; k < nodes; ++k) {
+      graph.add_node({net::Ipv4Addr{0},
+                      {rng.uniform(bounds.south_deg, bounds.north_deg),
+                       rng.uniform(bounds.west_deg, bounds.east_deg)},
+                      1});
+    }
+  }
+  return graph;
+}
+
+TEST(Density, RecoversPlantedExponent) {
+  const population::WorldPopulation world = population::WorldPopulation::build(5);
+  const auto graph = planted_graph(world, 1.5, 40.0);
+  const DensityAnalysis result =
+      analyze_density(graph, world, geo::regions::us());
+  // Rounding to integer node counts truncates small patches; the fit still
+  // lands close to the planted exponent.
+  EXPECT_NEAR(result.loglog_fit.slope, 1.5, 0.25);
+  EXPECT_GT(result.loglog_fit.r_squared, 0.9);
+  EXPECT_TRUE(result.superlinear());
+}
+
+TEST(Density, LinearPlantIsNotSuperlinear) {
+  const population::WorldPopulation world = population::WorldPopulation::build(5);
+  const auto graph = planted_graph(world, 0.7, 40.0);
+  const DensityAnalysis result =
+      analyze_density(graph, world, geo::regions::us());
+  EXPECT_LT(result.loglog_fit.slope, 1.0);
+  EXPECT_FALSE(result.superlinear());
+}
+
+TEST(Density, EmptyGraphYieldsNoPatches) {
+  const population::WorldPopulation world = population::WorldPopulation::build(5);
+  const net::AnnotatedGraph graph(net::NodeKind::kInterface);
+  const DensityAnalysis result =
+      analyze_density(graph, world, geo::regions::us());
+  EXPECT_TRUE(result.patches.empty());
+  EXPECT_EQ(result.nodes_in_region, 0u);
+  EXPECT_EQ(result.loglog_fit.n, 0u);
+}
+
+TEST(Density, NodesOutsideRegionIgnored) {
+  const population::WorldPopulation world = population::WorldPopulation::build(5);
+  net::AnnotatedGraph graph(net::NodeKind::kInterface);
+  graph.add_node({net::Ipv4Addr{0}, {51.5, -0.1}, 1});  // London
+  const DensityAnalysis result =
+      analyze_density(graph, world, geo::regions::us());
+  EXPECT_EQ(result.nodes_in_region, 0u);
+}
+
+TEST(Density, PatchSizeParameterRespected) {
+  const population::WorldPopulation world = population::WorldPopulation::build(5);
+  const auto graph = planted_graph(world, 1.2, 20.0);
+  const DensityAnalysis fine =
+      analyze_density(graph, world, geo::regions::us(), 37.5);
+  const DensityAnalysis coarse =
+      analyze_density(graph, world, geo::regions::us(), 150.0);
+  EXPECT_GT(fine.occupied_patches, coarse.occupied_patches);
+  EXPECT_DOUBLE_EQ(fine.patch_arcmin, 37.5);
+}
+
+TEST(Density, CountNodesIn) {
+  net::AnnotatedGraph graph(net::NodeKind::kInterface);
+  graph.add_node({net::Ipv4Addr{0}, {40.0, -100.0}, 1});
+  graph.add_node({net::Ipv4Addr{0}, {41.0, -101.0}, 1});
+  graph.add_node({net::Ipv4Addr{0}, {51.5, -0.1}, 1});
+  EXPECT_EQ(count_nodes_in(graph, geo::regions::us()), 2u);
+  EXPECT_EQ(count_nodes_in(graph, geo::regions::europe()), 1u);
+  EXPECT_EQ(count_nodes_in(graph, geo::regions::japan()), 0u);
+}
+
+TEST(Density, EconomicTableHasWorldRow) {
+  const auto& s = testing::small_scenario();
+  const auto rows = economic_region_table(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      s.world());
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows.back().name, "World");
+  EXPECT_EQ(rows.back().nodes,
+            s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper)
+                .node_count());
+  // Regional node counts sum to at most the world row.
+  std::size_t regional = 0;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) regional += rows[i].nodes;
+  EXPECT_LE(regional, rows.back().nodes);
+}
+
+TEST(Density, EconomicTableReproducesTableIIIContrast) {
+  const auto& s = testing::small_scenario();
+  const auto rows = economic_region_table(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      s.world());
+  double people_lo = 1e18, people_hi = 0.0;
+  double online_lo = 1e18, online_hi = 0.0;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    if (rows[i].nodes == 0) continue;
+    people_lo = std::min(people_lo, rows[i].people_per_node);
+    people_hi = std::max(people_hi, rows[i].people_per_node);
+    online_lo = std::min(online_lo, rows[i].online_per_node);
+    online_hi = std::max(online_hi, rows[i].online_per_node);
+  }
+  // Section IV.A: people/interface varies ~100x, online/interface only a
+  // few-fold. At test scale the contrast is attenuated but must be clear.
+  EXPECT_GT(people_hi / people_lo, 20.0);
+  EXPECT_LT(online_hi / online_lo, people_hi / people_lo / 4.0);
+}
+
+TEST(Density, HomogeneityTableMatchesTableIVShape) {
+  const auto& s = testing::small_scenario();
+  const auto rows = homogeneity_table(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      s.world());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "Northern US");
+  EXPECT_EQ(rows[1].name, "Southern US");
+  EXPECT_EQ(rows[2].name, "Central Am.");
+  // The two US halves are within a small factor; Central America is far
+  // less developed (paper: 991 vs 1305 vs 35,533 people/interface).
+  ASSERT_GT(rows[0].nodes, 0u);
+  ASSERT_GT(rows[1].nodes, 0u);
+  const double ratio_us = rows[1].people_per_node / rows[0].people_per_node;
+  EXPECT_GT(ratio_us, 0.2);
+  EXPECT_LT(ratio_us, 5.0);
+  if (rows[2].nodes > 0) {
+    EXPECT_GT(rows[2].people_per_node, 4.0 * rows[0].people_per_node);
+  }
+}
+
+}  // namespace
+}  // namespace geonet::core

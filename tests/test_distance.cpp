@@ -1,0 +1,111 @@
+#include "geo/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace geonet::geo {
+namespace {
+
+// Reference coordinates.
+constexpr GeoPoint kNewYork{40.7128, -74.0060};
+constexpr GeoPoint kLosAngeles{34.0522, -118.2437};
+constexpr GeoPoint kLondon{51.5074, -0.1278};
+constexpr GeoPoint kTokyo{35.6762, 139.6503};
+
+TEST(Distance, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(great_circle_miles(kNewYork, kNewYork), 0.0);
+}
+
+TEST(Distance, KnownCityPairs) {
+  // Accepted great-circle values: NY-LA ~2445 mi, NY-London ~3460 mi,
+  // London-Tokyo ~5940 mi.
+  EXPECT_NEAR(great_circle_miles(kNewYork, kLosAngeles), 2445.0, 15.0);
+  EXPECT_NEAR(great_circle_miles(kNewYork, kLondon), 3460.0, 20.0);
+  EXPECT_NEAR(great_circle_miles(kLondon, kTokyo), 5940.0, 30.0);
+}
+
+TEST(Distance, Symmetric) {
+  EXPECT_DOUBLE_EQ(great_circle_miles(kNewYork, kTokyo),
+                   great_circle_miles(kTokyo, kNewYork));
+}
+
+TEST(Distance, KmMilesConsistent) {
+  const double miles = great_circle_miles(kNewYork, kLondon);
+  const double km = great_circle_km(kNewYork, kLondon);
+  EXPECT_NEAR(km / miles, 1.609344, 0.001);
+}
+
+TEST(Distance, AntipodalIsHalfCircumference) {
+  const double d = great_circle_miles({0.0, 0.0}, {0.0, 180.0});
+  EXPECT_NEAR(d, kPi * kEarthRadiusMiles, 1.0);
+}
+
+TEST(Distance, OneDegreeOfLatitude) {
+  const double d = great_circle_miles({30.0, 10.0}, {31.0, 10.0});
+  EXPECT_NEAR(d, miles_per_lat_degree(), 0.01);
+  EXPECT_NEAR(miles_per_lat_degree(), 69.09, 0.1);
+}
+
+TEST(Distance, LongitudeShrinksWithLatitude) {
+  EXPECT_NEAR(miles_per_lon_degree(0.0), miles_per_lat_degree(), 1e-9);
+  EXPECT_NEAR(miles_per_lon_degree(60.0), 0.5 * miles_per_lat_degree(), 1e-9);
+  EXPECT_NEAR(miles_per_lon_degree(90.0), 0.0, 1e-9);
+}
+
+TEST(Distance, TriangleInequalitySampled) {
+  stats::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const GeoPoint a{rng.uniform(-80.0, 80.0), rng.uniform(-180.0, 180.0)};
+    const GeoPoint b{rng.uniform(-80.0, 80.0), rng.uniform(-180.0, 180.0)};
+    const GeoPoint c{rng.uniform(-80.0, 80.0), rng.uniform(-180.0, 180.0)};
+    EXPECT_LE(great_circle_miles(a, c),
+              great_circle_miles(a, b) + great_circle_miles(b, c) + 1e-6);
+  }
+}
+
+TEST(Bearing, CardinalDirections) {
+  EXPECT_NEAR(initial_bearing_deg({0.0, 0.0}, {10.0, 0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg({0.0, 0.0}, {0.0, 10.0}), 90.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg({10.0, 0.0}, {0.0, 0.0}), 180.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg({0.0, 10.0}, {0.0, 0.0}), 270.0, 1e-9);
+}
+
+TEST(DestinationPoint, RoundTripsDistance) {
+  stats::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const GeoPoint start{rng.uniform(-60.0, 60.0), rng.uniform(-179.0, 179.0)};
+    const double bearing = rng.uniform(0.0, 360.0);
+    const double dist = rng.uniform(1.0, 2000.0);
+    const GeoPoint end = destination_point(start, bearing, dist);
+    EXPECT_NEAR(great_circle_miles(start, end), dist, dist * 1e-6 + 1e-6);
+  }
+}
+
+TEST(DestinationPoint, ZeroDistanceStaysPut) {
+  const GeoPoint end = destination_point(kNewYork, 123.0, 0.0);
+  EXPECT_NEAR(end.lat_deg, kNewYork.lat_deg, 1e-9);
+  EXPECT_NEAR(end.lon_deg, kNewYork.lon_deg, 1e-9);
+}
+
+TEST(DestinationPoint, NorthFromEquator) {
+  const GeoPoint end = destination_point({0.0, 0.0}, 0.0, miles_per_lat_degree());
+  EXPECT_NEAR(end.lat_deg, 1.0, 1e-6);
+  EXPECT_NEAR(end.lon_deg, 0.0, 1e-9);
+}
+
+TEST(FiberLatency, ProportionalToDistance) {
+  EXPECT_DOUBLE_EQ(fiber_latency_ms(0.0), 0.0);
+  const double one = fiber_latency_ms(1000.0);
+  EXPECT_NEAR(fiber_latency_ms(2000.0), 2.0 * one, 1e-9);
+  // ~1000 mi at 2/3 c with 1.5 circuity: 1000*1.5/124.2 ~ 12 ms.
+  EXPECT_NEAR(one, 12.1, 0.5);
+}
+
+TEST(FiberLatency, CircuityScales) {
+  EXPECT_NEAR(fiber_latency_ms(500.0, 2.0) / fiber_latency_ms(500.0, 1.0), 2.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace geonet::geo

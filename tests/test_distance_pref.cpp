@@ -1,0 +1,238 @@
+#include "core/distance_pref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/distance.h"
+#include "stats/rng.h"
+
+namespace geonet::core {
+namespace {
+
+/// Small cluster graph with known geometry: nodes at three "cities"
+/// ~100 and ~200 miles apart along a parallel.
+net::AnnotatedGraph make_city_graph() {
+  net::AnnotatedGraph g(net::NodeKind::kRouter, "cities");
+  // At 40N one degree of longitude is ~52.9 miles.
+  const double lat = 40.0;
+  const double step = 100.0 / geo::miles_per_lon_degree(lat);
+  // Two nodes per city.
+  for (int city = 0; city < 3; ++city) {
+    for (int k = 0; k < 2; ++k) {
+      g.add_node({net::Ipv4Addr{0},
+                  {lat, -100.0 + step * city},
+                  1});
+    }
+  }
+  // Links: within city 0 (distance 0), city0-city1 (~100 mi).
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  return g;
+}
+
+geo::Region city_region() { return {"box", 35.0, 45.0, -105.0, -90.0}; }
+
+TEST(DistancePref, ExactCountsMatchHandComputation) {
+  const auto g = make_city_graph();
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kExact;
+  options.bins = 10;
+  options.bin_miles = 30.0;
+  const DistancePreference pref =
+      distance_preference(g, city_region(), options);
+
+  EXPECT_EQ(pref.nodes, 6u);
+  EXPECT_EQ(pref.links, 2u);
+  // Pairs: same-city pairs 3 (bin 0); cross-city at ~100mi: 4 pairs
+  // (bin 3); at ~200mi: 4 pairs (bin 6); c0-c2? cities at 0,100,200 ->
+  // pairs (c0,c1) 4 at 100, (c1,c2) 4 at 100, (c0,c2) 4 at 200.
+  EXPECT_DOUBLE_EQ(pref.pair_hist.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(pref.pair_hist.count(3), 8.0);
+  EXPECT_DOUBLE_EQ(pref.pair_hist.count(6), 4.0);
+  // Links: one at 0, one at ~100.
+  EXPECT_DOUBLE_EQ(pref.link_hist.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(pref.link_hist.count(3), 1.0);
+  // f(d) = links/pairs per bin.
+  EXPECT_DOUBLE_EQ(pref.f[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pref.f[3], 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(pref.f[6], 0.0);
+}
+
+TEST(DistancePref, CumulatedIsRunningSum) {
+  const auto g = make_city_graph();
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kExact;
+  options.bins = 10;
+  options.bin_miles = 30.0;
+  const auto pref = distance_preference(g, city_region(), options);
+  const auto cumulative = pref.cumulated();
+  double running = 0.0;
+  for (std::size_t b = 0; b < pref.f.size(); ++b) {
+    running += pref.f[b];
+    EXPECT_DOUBLE_EQ(cumulative[b], running);
+  }
+}
+
+TEST(DistancePref, FractionLinksBelow) {
+  const auto g = make_city_graph();
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kExact;
+  options.bins = 10;
+  options.bin_miles = 30.0;
+  const auto pref = distance_preference(g, city_region(), options);
+  EXPECT_DOUBLE_EQ(pref.fraction_links_below(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(pref.fraction_links_below(150.0), 1.0);
+  EXPECT_DOUBLE_EQ(pref.fraction_links_below(5.0), 0.0);
+}
+
+TEST(DistancePref, LinksOutsideRegionExcluded) {
+  auto g = make_city_graph();
+  const auto outside = g.add_node({net::Ipv4Addr{0}, {50.0, -100.0}, 1});
+  g.add_edge(0, outside);
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kExact;
+  options.bins = 10;
+  options.bin_miles = 30.0;
+  const auto pref = distance_preference(g, city_region(), options);
+  EXPECT_EQ(pref.nodes, 6u);  // the extra node is at 50N, outside
+  EXPECT_EQ(pref.links, 2u);  // boundary-crossing link dropped
+}
+
+TEST(DistancePref, GridApproximatesExact) {
+  // Random city-like point set: grid-based pair counting must agree with
+  // exact counting to within the cell-diagonal bin slop.
+  stats::Rng rng(11);
+  net::AnnotatedGraph g(net::NodeKind::kRouter, "random");
+  const geo::Region box{"box", 38.0, 44.0, -104.0, -92.0};
+  for (int i = 0; i < 400; ++i) {
+    g.add_node({net::Ipv4Addr{0},
+                {rng.uniform(box.south_deg, box.north_deg),
+                 rng.uniform(box.west_deg, box.east_deg)},
+                1});
+  }
+  DistancePrefOptions exact;
+  exact.method = PairCountMethod::kExact;
+  exact.bins = 20;
+  exact.bin_miles = 40.0;
+  DistancePrefOptions grid = exact;
+  grid.method = PairCountMethod::kGrid;
+  grid.grid_cell_arcmin = 7.5;
+
+  const auto pe = distance_preference(g, box, exact);
+  const auto pg = distance_preference(g, box, grid);
+  double total_exact = 0.0, total_grid = 0.0, l1 = 0.0;
+  for (std::size_t b = 0; b < 20; ++b) {
+    total_exact += pe.pair_hist.count(b);
+    total_grid += pg.pair_hist.count(b);
+    l1 += std::fabs(pe.pair_hist.count(b) - pg.pair_hist.count(b));
+  }
+  EXPECT_NEAR(total_grid, total_exact, total_exact * 0.01);
+  EXPECT_LT(l1 / total_exact, 0.25);  // mass shifts at most one bin
+}
+
+TEST(DistancePref, SampledApproximatesExact) {
+  stats::Rng rng(12);
+  net::AnnotatedGraph g(net::NodeKind::kRouter, "random");
+  const geo::Region box{"box", 38.0, 44.0, -104.0, -92.0};
+  for (int i = 0; i < 300; ++i) {
+    g.add_node({net::Ipv4Addr{0},
+                {rng.uniform(box.south_deg, box.north_deg),
+                 rng.uniform(box.west_deg, box.east_deg)},
+                1});
+  }
+  DistancePrefOptions exact;
+  exact.method = PairCountMethod::kExact;
+  exact.bins = 10;
+  exact.bin_miles = 80.0;
+  DistancePrefOptions sampled = exact;
+  sampled.method = PairCountMethod::kSampled;
+  sampled.sample_pairs = 200000;
+
+  const auto pe = distance_preference(g, box, exact);
+  const auto ps = distance_preference(g, box, sampled);
+  double total_exact = 0.0, total_sampled = 0.0;
+  for (std::size_t b = 0; b < 10; ++b) {
+    total_exact += pe.pair_hist.count(b);
+    total_sampled += ps.pair_hist.count(b);
+    if (pe.pair_hist.count(b) > 500.0) {
+      EXPECT_NEAR(ps.pair_hist.count(b) / pe.pair_hist.count(b), 1.0, 0.1)
+          << "bin " << b;
+    }
+  }
+  EXPECT_NEAR(total_sampled, total_exact, total_exact * 0.05);
+}
+
+TEST(DistancePref, PaperBinSizes) {
+  EXPECT_DOUBLE_EQ(paper_bin_miles(geo::regions::us()), 35.0);
+  EXPECT_DOUBLE_EQ(paper_bin_miles(geo::regions::europe()), 15.0);
+  EXPECT_DOUBLE_EQ(paper_bin_miles(geo::regions::japan()), 11.0);
+  // Unknown region: diagonal / bins.
+  const geo::Region box{"box", 0.0, 10.0, 0.0, 10.0};
+  EXPECT_NEAR(paper_bin_miles(box, 100), box.diagonal_miles() / 100.0, 1e-9);
+}
+
+TEST(DistancePref, DomainDecompositionSumsToWhole) {
+  // f_all(d) = f_intra(d) + f_inter(d) bin by bin, because the domain
+  // filter touches only the numerator (links touching the unknown-AS
+  // bucket are excluded from every class for this check).
+  net::AnnotatedGraph g(net::NodeKind::kRouter, "domains");
+  stats::Rng rng(21);
+  const geo::Region box{"box", 38.0, 44.0, -104.0, -92.0};
+  for (int i = 0; i < 120; ++i) {
+    g.add_node({net::Ipv4Addr{0},
+                {rng.uniform(box.south_deg, box.north_deg),
+                 rng.uniform(box.west_deg, box.east_deg)},
+                1 + static_cast<std::uint32_t>(rng.uniform_index(4))});
+  }
+  for (int e = 0; e < 400; ++e) {
+    g.add_edge(static_cast<std::uint32_t>(rng.uniform_index(120)),
+               static_cast<std::uint32_t>(rng.uniform_index(120)));
+  }
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kExact;
+  options.bins = 12;
+  options.bin_miles = 60.0;
+
+  options.domain_filter = DomainFilter::kAll;
+  const auto all = distance_preference(g, box, options);
+  options.domain_filter = DomainFilter::kIntradomainOnly;
+  const auto intra = distance_preference(g, box, options);
+  options.domain_filter = DomainFilter::kInterdomainOnly;
+  const auto inter = distance_preference(g, box, options);
+
+  EXPECT_EQ(all.links, intra.links + inter.links);  // no unknown-AS nodes
+  for (std::size_t b = 0; b < all.f.size(); ++b) {
+    EXPECT_NEAR(all.f[b], intra.f[b] + inter.f[b], 1e-12) << "bin " << b;
+  }
+}
+
+TEST(DistancePref, DomainFilterExcludesUnknownAs) {
+  net::AnnotatedGraph g(net::NodeKind::kRouter, "unknown");
+  g.add_node({net::Ipv4Addr{0}, {40.0, -100.0}, 1});
+  g.add_node({net::Ipv4Addr{0}, {40.1, -100.1}, 0});  // unmapped AS
+  g.add_edge(0, 1);
+  const geo::Region box{"box", 38.0, 44.0, -104.0, -92.0};
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kExact;
+  options.bins = 4;
+  options.bin_miles = 100.0;
+  options.domain_filter = DomainFilter::kIntradomainOnly;
+  EXPECT_EQ(distance_preference(g, box, options).links, 0u);
+  options.domain_filter = DomainFilter::kInterdomainOnly;
+  EXPECT_EQ(distance_preference(g, box, options).links, 0u);
+  options.domain_filter = DomainFilter::kAll;
+  EXPECT_EQ(distance_preference(g, box, options).links, 1u);
+}
+
+TEST(DistancePref, EmptyRegionProducesZeros) {
+  const auto g = make_city_graph();
+  const geo::Region empty{"empty", -10.0, 0.0, 0.0, 10.0};
+  const auto pref = distance_preference(g, empty);
+  EXPECT_EQ(pref.nodes, 0u);
+  EXPECT_EQ(pref.links, 0u);
+  for (const double v : pref.f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace geonet::core

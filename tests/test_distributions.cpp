@@ -1,0 +1,140 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace geonet::stats {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfDecreasesWithRank) {
+  const ZipfSampler zipf(50, 1.0);
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_GT(zipf.pmf(k), zipf.pmf(k + 1));
+  }
+}
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  const ZipfSampler zipf(10, 1.0);
+  EXPECT_DOUBLE_EQ(zipf.pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.pmf(11), 0.0);
+}
+
+TEST(Zipf, SamplesMatchPmf) {
+  const ZipfSampler zipf(10, 1.0);
+  Rng rng(33);
+  std::vector<int> counts(11, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, zipf.pmf(k), 0.005)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler zipf(4, 0.0);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(zipf.pmf(k), 0.25, 1e-12);
+  }
+}
+
+TEST(Zipf, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(5, -0.5), std::invalid_argument);
+}
+
+TEST(Pareto, RespectsMinimum) {
+  Rng rng(34);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(pareto(rng, 10.0, 1.5), 10.0);
+  }
+}
+
+TEST(Pareto, TailExponentApproximatelyCorrect) {
+  // For Pareto(alpha), P[X > 2 x_min] = 2^-alpha.
+  Rng rng(35);
+  constexpr int kN = 200000;
+  int above = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (pareto(rng, 1.0, 2.0) > 2.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kN, 0.25, 0.01);
+}
+
+TEST(BoundedPareto, StaysInRange) {
+  Rng rng(36);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = bounded_pareto(rng, 2.0, 50.0, 1.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 50.0);
+  }
+}
+
+TEST(BoundedPareto, SkewsTowardMinimum) {
+  Rng rng(37);
+  int low = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (bounded_pareto(rng, 1.0, 100.0, 1.5) < 2.0) ++low;
+  }
+  EXPECT_GT(static_cast<double>(low) / kN, 0.5);
+}
+
+TEST(WeightedIndex, FollowsWeights) {
+  Rng rng(38);
+  std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[weighted_index(rng, weights)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kN, 0.6, 0.01);
+}
+
+TEST(WeightedIndex, AllZeroReturnsSize) {
+  Rng rng(39);
+  std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(weighted_index(rng, weights), weights.size());
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  std::vector<double> weights{2.0, 0.0, 8.0};
+  const DiscreteSampler sampler(weights);
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 10.0);
+  Rng rng(40);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.2, 0.01);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.8, 0.01);
+}
+
+TEST(DiscreteSampler, EmptyOrZeroTotalReturnsSize) {
+  Rng rng(41);
+  const DiscreteSampler empty(std::vector<double>{});
+  EXPECT_EQ(empty.sample(rng), 0u);
+  const DiscreteSampler zeros(std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_EQ(zeros.sample(rng), 3u);
+}
+
+TEST(DiscreteSampler, NegativeWeightsTreatedAsZero) {
+  const DiscreteSampler sampler(std::vector<double>{-5.0, 1.0});
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 1.0);
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace geonet::stats

@@ -1,0 +1,109 @@
+#include "stats/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace geonet::stats {
+namespace {
+
+TEST(Fenwick, PrefixSumsMatchBruteForce) {
+  std::vector<double> weights{1, 0, 3, 2, 5, 0, 7};
+  const FenwickTree tree(weights);
+  double running = 0.0;
+  for (std::size_t i = 0; i <= weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tree.prefix_sum(i), running);
+    if (i < weights.size()) running += weights[i];
+  }
+  EXPECT_DOUBLE_EQ(tree.total(), 18.0);
+}
+
+TEST(Fenwick, SetAndAdd) {
+  FenwickTree tree(4);
+  tree.set(0, 5.0);
+  tree.add(2, 3.0);
+  EXPECT_DOUBLE_EQ(tree.value(0), 5.0);
+  EXPECT_DOUBLE_EQ(tree.value(2), 3.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 8.0);
+  tree.set(0, 1.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 4.0);
+}
+
+TEST(Fenwick, AddClampsAtZero) {
+  FenwickTree tree(2);
+  tree.set(0, 2.0);
+  tree.add(0, -10.0);
+  EXPECT_DOUBLE_EQ(tree.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+}
+
+TEST(Fenwick, OutOfRangeAddIgnored) {
+  FenwickTree tree(2);
+  tree.add(99, 1.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+}
+
+TEST(Fenwick, LowerBoundFindsOwningIndex) {
+  const FenwickTree tree(std::vector<double>{2.0, 0.0, 3.0, 5.0});
+  EXPECT_EQ(tree.lower_bound(0.0), 0u);
+  EXPECT_EQ(tree.lower_bound(1.9), 0u);
+  EXPECT_EQ(tree.lower_bound(2.0), 2u);  // index 1 has zero weight
+  EXPECT_EQ(tree.lower_bound(4.9), 2u);
+  EXPECT_EQ(tree.lower_bound(5.0), 3u);
+  EXPECT_EQ(tree.lower_bound(9.9), 3u);
+  EXPECT_EQ(tree.lower_bound(10.0), 4u);  // past total
+}
+
+TEST(Fenwick, EmptyTree) {
+  const FenwickTree tree(0);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+  Rng rng(1);
+  EXPECT_EQ(tree.sample(rng), 0u);
+}
+
+TEST(Fenwick, SampleFollowsWeights) {
+  const FenwickTree tree(std::vector<double>{1.0, 0.0, 3.0});
+  Rng rng(99);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const std::size_t idx = tree.sample(rng);
+    ASSERT_LT(idx, 3u);
+    ++counts[idx];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.01);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.01);
+}
+
+TEST(Fenwick, SampleAfterDepletion) {
+  FenwickTree tree(std::vector<double>{1.0, 4.0});
+  tree.add(1, -4.0);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(tree.sample(rng), 0u);
+  tree.add(0, -1.0);
+  EXPECT_EQ(tree.sample(rng), 2u);  // exhausted
+}
+
+TEST(Fenwick, LargeRandomConsistency) {
+  Rng rng(123);
+  std::vector<double> weights(1000);
+  for (auto& w : weights) w = rng.uniform();
+  FenwickTree tree(weights);
+  // Random mutations, then verify against brute force.
+  for (int i = 0; i < 500; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.uniform_index(1000));
+    const double v = rng.uniform();
+    tree.set(idx, v);
+    weights[idx] = v;
+  }
+  const double brute = std::accumulate(weights.begin(), weights.end(), 0.0);
+  EXPECT_NEAR(tree.total(), brute, 1e-9);
+  EXPECT_NEAR(tree.prefix_sum(500),
+              std::accumulate(weights.begin(), weights.begin() + 500, 0.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace geonet::stats

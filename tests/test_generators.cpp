@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distance_pref.h"
+#include "generators/ba_gen.h"
+#include "generators/common.h"
+#include "generators/geo_gen.h"
+#include "generators/random_gen.h"
+#include "generators/waxman_gen.h"
+#include "geo/distance.h"
+#include "net/graph_algos.h"
+#include "stats/ccdf.h"
+#include "tests/test_world.h"
+
+namespace geonet::generators {
+namespace {
+
+const geo::Region kBox{"box", 30.0, 45.0, -110.0, -85.0};
+
+TEST(Waxman, NodesInsideRegion) {
+  WaxmanOptions options;
+  options.node_count = 500;
+  const auto g = generate_waxman(kBox, options);
+  EXPECT_EQ(g.node_count(), 500u);
+  for (const auto& node : g.nodes()) {
+    EXPECT_TRUE(kBox.contains(node.location));
+  }
+}
+
+TEST(Waxman, LinkProbabilityDecaysWithDistance) {
+  WaxmanOptions options;
+  options.node_count = 800;
+  options.alpha = 0.1;
+  options.beta = 0.5;
+  const auto g = generate_waxman(kBox, options);
+  core::DistancePrefOptions pref_options;
+  pref_options.method = core::PairCountMethod::kExact;
+  pref_options.bins = 8;
+  pref_options.bin_miles = kBox.diagonal_miles() / 8.0;
+  const auto pref = core::distance_preference(g, kBox, pref_options);
+  // Empirical f(d) must be monotone-ish decreasing: first bin clearly
+  // exceeds later bins.
+  ASSERT_GT(pref.links, 100u);
+  EXPECT_GT(pref.f[0], 2.0 * pref.f[4]);
+}
+
+TEST(Waxman, BetaControlsDensity) {
+  WaxmanOptions sparse;
+  sparse.node_count = 400;
+  sparse.beta = 0.05;
+  WaxmanOptions dense = sparse;
+  dense.beta = 0.4;
+  EXPECT_GT(generate_waxman(kBox, dense).edge_count(),
+            3u * generate_waxman(kBox, sparse).edge_count());
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  ErdosRenyiOptions options;
+  options.node_count = 600;
+  options.edge_probability = 0.01;
+  const auto g = generate_erdos_renyi(kBox, options);
+  const double expected = 0.01 * 600.0 * 599.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, SparseGraphTypicallyDisconnected) {
+  // Section II: sparse G(n, p) is usually not connected.
+  ErdosRenyiOptions options;
+  options.node_count = 1000;
+  options.edge_probability = 0.8 / 1000.0;  // below the ln n / n threshold
+  const auto g = generate_erdos_renyi(kBox, options);
+  EXPECT_LT(net::giant_component_size(g), g.node_count());
+}
+
+TEST(BarabasiAlbert, EdgeAndNodeCounts) {
+  BarabasiAlbertOptions options;
+  options.node_count = 500;
+  options.edges_per_node = 2;
+  const auto g = generate_barabasi_albert(kBox, options);
+  EXPECT_EQ(g.node_count(), 500u);
+  // Seed clique (3 nodes, 3 edges) + 2 per subsequent node.
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), 3.0 + 2.0 * 497.0, 20.0);
+}
+
+TEST(BarabasiAlbert, IsConnected) {
+  BarabasiAlbertOptions options;
+  options.node_count = 400;
+  const auto g = generate_barabasi_albert(kBox, options);
+  EXPECT_EQ(net::giant_component_size(g), g.node_count());
+}
+
+TEST(BarabasiAlbert, DegreeDistributionLongTailed) {
+  BarabasiAlbertOptions options;
+  options.node_count = 3000;
+  options.edges_per_node = 2;
+  const auto g = generate_barabasi_albert(kBox, options);
+  const auto degrees = g.degrees();
+  std::vector<double> values(degrees.begin(), degrees.end());
+  const auto fit = stats::fit_ccdf_tail(values, 0.3);
+  // BA's CCDF tail slope is about -2 (degree exponent 3); allow slack.
+  EXPECT_LT(fit.slope, -1.2);
+  std::uint32_t max_degree = 0;
+  for (const auto d : degrees) max_degree = std::max(max_degree, d);
+  EXPECT_GT(max_degree, 50u);
+}
+
+TEST(LinkLatencies, ProportionalToGeography) {
+  net::AnnotatedGraph g(net::NodeKind::kRouter, "latency");
+  g.add_node({net::Ipv4Addr{1}, {40.7, -74.0}, 1});
+  g.add_node({net::Ipv4Addr{2}, {34.0, -118.2}, 1});
+  g.add_node({net::Ipv4Addr{3}, {40.8, -74.1}, 1});
+  g.add_edge(0, 1);  // coast to coast
+  g.add_edge(0, 2);  // same metro
+  const auto latencies = link_latencies_ms(g);
+  ASSERT_EQ(latencies.size(), 2u);
+  EXPECT_GT(latencies[0], 20.0);
+  EXPECT_LT(latencies[1], 1.0);
+  // Circuity factor doubles latency.
+  const auto doubled = link_latencies_ms(g, 3.0);
+  EXPECT_NEAR(doubled[0] / latencies[0], 2.0, 1e-9);
+}
+
+TEST(GeoGenerator, ProducesAnnotatedConnectedTopology) {
+  GeoGeneratorOptions options;
+  options.router_count = 2000;
+  const auto result = generate_geo_topology(geonet::testing::small_world(),
+                                            options);
+  EXPECT_NEAR(static_cast<double>(result.graph.node_count()), 2000.0, 500.0);
+  EXPECT_GT(result.graph.edge_count(), result.graph.node_count());
+  EXPECT_EQ(result.link_latency_ms.size(), result.graph.edge_count());
+  EXPECT_EQ(net::giant_component_size(result.graph),
+            result.graph.node_count());
+  // Every node carries an AS label and a real location.
+  for (const auto& node : result.graph.nodes()) {
+    EXPECT_NE(node.asn, net::kUnknownAs);
+    EXPECT_TRUE(geo::is_valid(node.location));
+  }
+}
+
+TEST(GeoGenerator, FromTruthPreservesStructure) {
+  const auto& truth = geonet::testing::small_truth();
+  const auto result = topology_from_truth(truth);
+  EXPECT_EQ(result.graph.node_count(), truth.topology().router_count());
+  // Parallel physical links collapse onto one graph edge.
+  EXPECT_LE(result.graph.edge_count(), truth.topology().link_count());
+  EXPECT_GT(result.graph.edge_count(), truth.topology().link_count() * 9 / 10);
+}
+
+TEST(GeoGenerator, MostLinksAreShort) {
+  // The paper's central claim materialised by the generator: the bulk of
+  // links is distance-sensitive (short).
+  const auto& truth = geonet::testing::small_truth();
+  const auto result = topology_from_truth(truth);
+  std::size_t shorter_than_300 = 0;
+  for (const auto& e : result.graph.edges()) {
+    const double d = geo::great_circle_miles(
+        result.graph.node(e.a).location, result.graph.node(e.b).location);
+    if (d < 300.0) ++shorter_than_300;
+  }
+  EXPECT_GT(static_cast<double>(shorter_than_300) /
+                static_cast<double>(result.graph.edge_count()),
+            0.6);
+}
+
+}  // namespace
+}  // namespace geonet::generators

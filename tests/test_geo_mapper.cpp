@@ -1,0 +1,152 @@
+#include "synth/geo_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace geonet::synth {
+namespace {
+
+std::vector<geo::GeoPoint> test_cities() {
+  return {{40.7, -74.0},   // New York
+          {34.05, -118.2}, // Los Angeles
+          {41.9, -87.6},   // Chicago
+          {51.5, -0.13},   // London
+          {35.68, 139.7}}; // Tokyo
+}
+
+TEST(CityIndex, NearestFindsObviousCity) {
+  const CityIndex index(test_cities());
+  const auto ny = index.nearest({40.8, -73.9});
+  ASSERT_TRUE(ny.has_value());
+  EXPECT_EQ(*ny, 0u);
+  const auto tokyo = index.nearest({36.0, 140.0});
+  ASSERT_TRUE(tokyo.has_value());
+  EXPECT_EQ(*tokyo, 4u);
+}
+
+TEST(CityIndex, EmptyDatabase) {
+  const CityIndex index({});
+  EXPECT_FALSE(index.nearest({0.0, 0.0}).has_value());
+}
+
+TEST(CityIndex, AgreesWithLinearScan) {
+  stats::Rng rng(4);
+  std::vector<geo::GeoPoint> cities;
+  for (int i = 0; i < 500; ++i) {
+    cities.push_back({rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)});
+  }
+  const CityIndex index(cities);
+  for (int q = 0; q < 200; ++q) {
+    const geo::GeoPoint p{rng.uniform(-60.0, 60.0),
+                          rng.uniform(-180.0, 180.0)};
+    const auto got = index.nearest(p);
+    ASSERT_TRUE(got.has_value());
+    double best = 1e18;
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < cities.size(); ++i) {
+      const double d = geo::great_circle_miles(p, cities[i]);
+      if (d < best) {
+        best = d;
+        expected = i;
+      }
+    }
+    EXPECT_NEAR(geo::great_circle_miles(p, cities[*got]), best, 1e-9);
+    (void)expected;
+  }
+}
+
+TEST(GeoMapper, DeterministicPerAddress) {
+  const GeoMapper mapper(GeoMapper::ixmapper_profile(), test_cities(), 1);
+  const net::Ipv4Addr addr{0x08080808};
+  const geo::GeoPoint loc{40.8, -73.9};
+  const geo::GeoPoint home{34.0, -118.0};
+  const auto first = mapper.map(addr, loc, home);
+  for (int i = 0; i < 20; ++i) {
+    const auto again = mapper.map(addr, loc, home);
+    ASSERT_EQ(first.has_value(), again.has_value());
+    if (first) {
+      EXPECT_DOUBLE_EQ(first->lat_deg, again->lat_deg);
+      EXPECT_DOUBLE_EQ(first->lon_deg, again->lon_deg);
+    }
+  }
+}
+
+TEST(GeoMapper, PrivateAddressesAlwaysUnmapped) {
+  const GeoMapper mapper(GeoMapper::edgescape_profile(), test_cities(), 2);
+  EXPECT_FALSE(mapper.map(*net::parse_ipv4("10.1.2.3"), {40.7, -74.0},
+                          {40.7, -74.0})
+                   .has_value());
+  EXPECT_FALSE(mapper.map(*net::parse_ipv4("192.168.0.1"), {40.7, -74.0},
+                          {40.7, -74.0})
+                   .has_value());
+}
+
+TEST(GeoMapper, FailureRateApproximatelyHonoured) {
+  MapperProfile profile = GeoMapper::ixmapper_profile();
+  profile.failure_rate = 0.2;
+  profile.hq_error_rate = 0.0;
+  const GeoMapper mapper(profile, test_cities(), 3);
+  int failures = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const net::Ipv4Addr addr{0x01000000u + static_cast<std::uint32_t>(i)};
+    if (!mapper.map(addr, {40.7, -74.0}, {40.7, -74.0})) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / kN, 0.2, 0.02);
+}
+
+TEST(GeoMapper, CitySnapReturnsExactCityCoordinates) {
+  MapperProfile profile = GeoMapper::ixmapper_profile();
+  profile.failure_rate = 0.0;
+  profile.hq_error_rate = 0.0;
+  const GeoMapper mapper(profile, test_cities(), 4);
+  const auto mapped = mapper.map(*net::parse_ipv4("8.8.8.8"),
+                                 {41.0, -73.5},  // near New York
+                                 {34.0, -118.0});
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_DOUBLE_EQ(mapped->lat_deg, 40.7);
+  EXPECT_DOUBLE_EQ(mapped->lon_deg, -74.0);
+}
+
+TEST(GeoMapper, HqErrorMapsToHomeCity) {
+  MapperProfile profile = GeoMapper::ixmapper_profile();
+  profile.failure_rate = 0.0;
+  profile.hq_error_rate = 1.0;  // always whois fallback
+  const GeoMapper mapper(profile, test_cities(), 5);
+  const auto mapped = mapper.map(*net::parse_ipv4("8.8.4.4"),
+                                 {40.8, -73.9},    // physically in New York
+                                 {34.1, -118.1});  // org registered in LA
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_DOUBLE_EQ(mapped->lat_deg, 34.05);  // snapped to LA
+}
+
+TEST(GeoMapper, PreciseModeQuantizesTrueLocation) {
+  MapperProfile profile = GeoMapper::edgescape_profile();
+  profile.failure_rate = 0.0;
+  profile.hq_error_rate = 0.0;
+  profile.precise_rate = 1.0;
+  profile.precise_quantum_deg = 0.05;
+  const GeoMapper mapper(profile, test_cities(), 6);
+  const auto mapped = mapper.map(*net::parse_ipv4("9.9.9.9"),
+                                 {40.813, -73.928}, {40.7, -74.0});
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_NEAR(mapped->lat_deg, 40.80, 1e-9);
+  EXPECT_NEAR(mapped->lon_deg, -73.95, 1e-9);
+}
+
+TEST(GeoMapper, ProfilesMatchPaperFailureRates) {
+  const MapperProfile ix = GeoMapper::ixmapper_profile();
+  const MapperProfile es = GeoMapper::edgescape_profile();
+  EXPECT_EQ(ix.name, "IxMapper");
+  EXPECT_EQ(es.name, "EdgeScape");
+  // Section III.B: IxMapper misses 1-1.5%, EdgeScape 0.3-0.6%.
+  EXPECT_GT(ix.failure_rate, es.failure_rate);
+  EXPECT_LE(ix.failure_rate, 0.015);
+  EXPECT_LE(es.failure_rate, 0.006);
+}
+
+}  // namespace
+}  // namespace geonet::synth

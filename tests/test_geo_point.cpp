@@ -1,0 +1,69 @@
+#include "geo/geo_point.h"
+
+#include <gtest/gtest.h>
+
+namespace geonet::geo {
+namespace {
+
+TEST(GeoPoint, ValidityBounds) {
+  EXPECT_TRUE(is_valid({0.0, 0.0}));
+  EXPECT_TRUE(is_valid({90.0, 180.0}));
+  EXPECT_TRUE(is_valid({-90.0, -180.0}));
+  EXPECT_FALSE(is_valid({90.1, 0.0}));
+  EXPECT_FALSE(is_valid({0.0, 180.1}));
+  EXPECT_FALSE(is_valid({std::numeric_limits<double>::quiet_NaN(), 0.0}));
+}
+
+TEST(GeoPoint, NormalizeWrapsLongitude) {
+  EXPECT_NEAR(normalized({0.0, 190.0}).lon_deg, -170.0, 1e-12);
+  EXPECT_NEAR(normalized({0.0, -190.0}).lon_deg, 170.0, 1e-12);
+  EXPECT_NEAR(normalized({0.0, 360.0}).lon_deg, 0.0, 1e-12);
+  EXPECT_NEAR(normalized({0.0, 540.0}).lon_deg, -180.0, 1e-12);
+}
+
+TEST(GeoPoint, NormalizeClampsLatitude) {
+  EXPECT_DOUBLE_EQ(normalized({95.0, 0.0}).lat_deg, 90.0);
+  EXPECT_DOUBLE_EQ(normalized({-95.0, 0.0}).lat_deg, -90.0);
+}
+
+TEST(GeoPoint, NormalizeIdempotent) {
+  const GeoPoint p = normalized({47.3, -260.0});
+  const GeoPoint q = normalized(p);
+  EXPECT_DOUBLE_EQ(p.lat_deg, q.lat_deg);
+  EXPECT_DOUBLE_EQ(p.lon_deg, q.lon_deg);
+}
+
+TEST(GeoPoint, ToStringHemispheres) {
+  EXPECT_EQ(to_string({40.71, -74.01}), "40.71N 74.01W");
+  EXPECT_EQ(to_string({-33.87, 151.21}), "33.87S 151.21E");
+}
+
+TEST(GeoPoint, DegRadRoundTrip) {
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(123.456)), 123.456, 1e-12);
+  EXPECT_NEAR(deg_to_rad(180.0), kPi, 1e-12);
+}
+
+TEST(QuantizedKey, SameCellSameKey) {
+  EXPECT_EQ(quantized_key({40.001, -74.001}), quantized_key({40.002, -74.002}));
+}
+
+TEST(QuantizedKey, DifferentCellsDiffer) {
+  EXPECT_NE(quantized_key({40.0, -74.0}), quantized_key({40.1, -74.0}));
+  EXPECT_NE(quantized_key({40.0, -74.0}), quantized_key({40.0, -74.1}));
+}
+
+TEST(QuantizedKey, QuantumControlsGranularity) {
+  const GeoPoint a{40.0, -74.0};
+  const GeoPoint b{40.2, -74.2};
+  EXPECT_NE(quantized_key(a, 0.01), quantized_key(b, 0.01));
+  EXPECT_EQ(quantized_key(a, 10.0), quantized_key(b, 10.0));
+}
+
+TEST(QuantizedKey, HemispheresDistinct) {
+  EXPECT_NE(quantized_key({10.0, 20.0}), quantized_key({-10.0, 20.0}));
+  EXPECT_NE(quantized_key({10.0, 20.0}), quantized_key({10.0, -20.0}));
+  EXPECT_NE(quantized_key({10.0, 20.0}), quantized_key({20.0, 10.0}));
+}
+
+}  // namespace
+}  // namespace geonet::geo

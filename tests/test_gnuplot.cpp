@@ -1,0 +1,69 @@
+#include "report/gnuplot.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace geonet::report {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Gnuplot, WritesPanelsWithSettings) {
+  const std::string path = ::testing::TempDir() + "/geonet_plot.gp";
+  GnuplotPanel panel;
+  panel.title = "f(d) US";
+  panel.xlabel = "d (miles)";
+  panel.ylabel = "f(d)";
+  panel.dat_files = {"fig04_a.dat", "fig04_b.dat"};
+  panel.logy = true;
+  ASSERT_TRUE(write_gnuplot_script(path, {panel}));
+
+  const std::string script = read_all(path);
+  EXPECT_NE(script.find("set title \"f(d) US\""), std::string::npos);
+  EXPECT_NE(script.find("set xlabel \"d (miles)\""), std::string::npos);
+  EXPECT_NE(script.find("set logscale y"), std::string::npos);
+  EXPECT_NE(script.find("unset logscale x"), std::string::npos);
+  EXPECT_NE(script.find("fig04_a.dat"), std::string::npos);
+  EXPECT_NE(script.find("fig04_b.dat"), std::string::npos);
+  EXPECT_NE(script.find("set output \"f_d__US_0.png\""), std::string::npos);
+}
+
+TEST(Gnuplot, MultiplePanelsEachGetOutputs) {
+  const std::string path = ::testing::TempDir() + "/geonet_multi.gp";
+  GnuplotPanel a;
+  a.title = "one";
+  a.dat_files = {"a.dat"};
+  GnuplotPanel b;
+  b.title = "two";
+  b.dat_files = {"b.dat"};
+  b.points = false;
+  ASSERT_TRUE(write_gnuplot_script(path, {a, b}));
+  const std::string script = read_all(path);
+  EXPECT_NE(script.find("one_0.png"), std::string::npos);
+  EXPECT_NE(script.find("two_1.png"), std::string::npos);
+  EXPECT_NE(script.find("with lines"), std::string::npos);
+  EXPECT_NE(script.find("with points"), std::string::npos);
+}
+
+TEST(Gnuplot, QuotesAreSanitized) {
+  const std::string path = ::testing::TempDir() + "/geonet_quote.gp";
+  GnuplotPanel panel;
+  panel.title = "say \"hi\"";
+  panel.dat_files = {"x.dat"};
+  ASSERT_TRUE(write_gnuplot_script(path, {panel}));
+  EXPECT_EQ(read_all(path).find("\"say \"hi\"\""), std::string::npos);
+}
+
+TEST(Gnuplot, FailsOnBadPath) {
+  EXPECT_FALSE(write_gnuplot_script("/no/such/dir/x.gp", {}));
+}
+
+}  // namespace
+}  // namespace geonet::report

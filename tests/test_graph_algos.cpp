@@ -1,0 +1,153 @@
+#include "net/graph_algos.h"
+
+#include <gtest/gtest.h>
+
+namespace geonet::net {
+namespace {
+
+Ipv4Addr addr(std::uint32_t v) { return Ipv4Addr{v}; }
+
+/// Path topology: r0 - r1 - r2 - r3, plus a spur r1 - r4.
+Topology make_path_topology() {
+  Topology t;
+  for (int i = 0; i < 5; ++i) {
+    t.add_router({static_cast<double>(i), 0.0});
+  }
+  t.add_link(0, 1, addr(1), addr(2));
+  t.add_link(1, 2, addr(3), addr(4));
+  t.add_link(2, 3, addr(5), addr(6));
+  t.add_link(1, 4, addr(7), addr(8));
+  return t;
+}
+
+TEST(BfsTree, HopCountsFromSource) {
+  const Topology t = make_path_topology();
+  const BfsTree tree = bfs_tree(t, 0);
+  EXPECT_EQ(tree.hop_count[0], 0u);
+  EXPECT_EQ(tree.hop_count[1], 1u);
+  EXPECT_EQ(tree.hop_count[2], 2u);
+  EXPECT_EQ(tree.hop_count[3], 3u);
+  EXPECT_EQ(tree.hop_count[4], 2u);
+}
+
+TEST(BfsTree, EntryInterfacesAreOnIncomingLink) {
+  const Topology t = make_path_topology();
+  const BfsTree tree = bfs_tree(t, 0);
+  // Router 1 is entered from router 0 over link 0; its entry interface
+  // must live on router 1.
+  EXPECT_EQ(t.interface(tree.entry_if[1]).router, 1u);
+  EXPECT_EQ(t.interface(tree.entry_if[3]).router, 3u);
+}
+
+TEST(BfsTree, ExtractPathEndpoints) {
+  const Topology t = make_path_topology();
+  const BfsTree tree = bfs_tree(t, 0);
+  const auto path = extract_path(tree, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 2u);
+  EXPECT_EQ(path.back(), 3u);
+}
+
+TEST(BfsTree, PathToSourceIsItself) {
+  const Topology t = make_path_topology();
+  const BfsTree tree = bfs_tree(t, 2);
+  const auto path = extract_path(tree, 2);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path.front(), 2u);
+}
+
+TEST(BfsTree, UnreachableGivesEmptyPath) {
+  Topology t;
+  t.add_router({0.0, 0.0});
+  t.add_router({1.0, 1.0});  // isolated
+  const BfsTree tree = bfs_tree(t, 0);
+  EXPECT_EQ(tree.hop_count[1], kNoParent);
+  EXPECT_TRUE(extract_path(tree, 1).empty());
+}
+
+TEST(BfsTree, ShortestOfTwoRoutes) {
+  Topology t;
+  for (int i = 0; i < 4; ++i) t.add_router({static_cast<double>(i), 0.0});
+  // Square: 0-1, 1-3, 0-2, 2-3 -> dist(0,3) == 2.
+  t.add_link(0, 1, addr(1), addr(2));
+  t.add_link(1, 3, addr(3), addr(4));
+  t.add_link(0, 2, addr(5), addr(6));
+  t.add_link(2, 3, addr(7), addr(8));
+  const BfsTree tree = bfs_tree(t, 0);
+  EXPECT_EQ(tree.hop_count[3], 2u);
+}
+
+AnnotatedGraph make_two_component_graph() {
+  AnnotatedGraph g(NodeKind::kRouter);
+  for (int i = 0; i < 6; ++i) {
+    g.add_node({Ipv4Addr{0}, {static_cast<double>(i), 0.0}, 1});
+  }
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);  // second component of size 2 + isolated node 5
+  return g;
+}
+
+TEST(Components, CountsAndLabels) {
+  const AnnotatedGraph g = make_two_component_graph();
+  std::size_t count = 0;
+  const auto comp = connected_components(g, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(Components, GiantComponentSize) {
+  const AnnotatedGraph g = make_two_component_graph();
+  EXPECT_EQ(giant_component_size(g), 3u);
+}
+
+TEST(Components, EmptyGraph) {
+  const AnnotatedGraph g(NodeKind::kRouter);
+  std::size_t count = 99;
+  EXPECT_TRUE(connected_components(g, &count).empty());
+  EXPECT_EQ(count, 0u);
+  EXPECT_EQ(giant_component_size(g), 0u);
+}
+
+TEST(Components, RouterComponentsOverTopology) {
+  Topology t;
+  for (int i = 0; i < 4; ++i) t.add_router({0.0, 0.0});
+  t.add_link(0, 1, addr(1), addr(2));
+  std::size_t count = 0;
+  const auto comp = router_components(t, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(MeanHops, PathGraphExact) {
+  AnnotatedGraph g(NodeKind::kRouter);
+  for (int i = 0; i < 4; ++i) {
+    g.add_node({Ipv4Addr{0}, {static_cast<double>(i), 0.0}, 1});
+  }
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  // All-pairs hop counts of a 4-path: mean = 20/12 when sampled from all
+  // sources (directed pairs).
+  const double mean = estimated_mean_hops(g, 1000, 1);
+  EXPECT_NEAR(mean, 20.0 / 12.0, 1e-9);
+}
+
+TEST(MeanHops, EmptyAndSingleton) {
+  const AnnotatedGraph empty(NodeKind::kRouter);
+  EXPECT_DOUBLE_EQ(estimated_mean_hops(empty, 10, 1), 0.0);
+  AnnotatedGraph one(NodeKind::kRouter);
+  one.add_node({Ipv4Addr{0}, {0.0, 0.0}, 1});
+  EXPECT_DOUBLE_EQ(estimated_mean_hops(one, 10, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace geonet::net

@@ -1,0 +1,138 @@
+#include "net/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "generators/common.h"
+#include "net/topology.h"
+
+namespace geonet::net {
+namespace {
+
+AnnotatedGraph sample_graph() {
+  AnnotatedGraph g(NodeKind::kRouter, "sample graph");
+  g.add_node({*parse_ipv4("1.0.0.1"), {40.7128, -74.006}, 100});
+  g.add_node({*parse_ipv4("1.0.0.2"), {34.0522, -118.244}, 100});
+  g.add_node({*parse_ipv4("2.0.0.1"), {51.5074, -0.1278}, 200});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  return g;
+}
+
+TEST(GraphIo, RoundTripsNodesEdgesAndMetadata) {
+  const AnnotatedGraph original = sample_graph();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_graph(buffer, original));
+
+  std::string error;
+  const auto restored = read_graph(buffer, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->kind(), NodeKind::kRouter);
+  EXPECT_EQ(restored->name(), "sample graph");
+  ASSERT_EQ(restored->node_count(), original.node_count());
+  ASSERT_EQ(restored->edge_count(), original.edge_count());
+  for (std::uint32_t i = 0; i < original.node_count(); ++i) {
+    EXPECT_NEAR(restored->node(i).location.lat_deg,
+                original.node(i).location.lat_deg, 1e-5);
+    EXPECT_EQ(restored->node(i).asn, original.node(i).asn);
+    EXPECT_EQ(restored->node(i).addr, original.node(i).addr);
+  }
+  EXPECT_TRUE(restored->has_edge(0, 1));
+  EXPECT_TRUE(restored->has_edge(1, 2));
+  EXPECT_FALSE(restored->has_edge(0, 2));
+}
+
+TEST(GraphIo, RoundTripsLatencyColumn) {
+  const AnnotatedGraph original = sample_graph();
+  const auto latencies = generators::link_latencies_ms(original);
+  std::stringstream buffer;
+  ASSERT_TRUE(write_graph(buffer, original, latencies));
+  // The extra column must not break reading.
+  const auto restored = read_graph(buffer);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->edge_count(), original.edge_count());
+}
+
+TEST(GraphIo, ReadsInterfaceKindAndComments) {
+  std::stringstream in(
+      "# a comment\n"
+      "kind interface\n"
+      "node 5 10.5 20.5 7\n"
+      "node 9 11.5 21.5 7   # trailing comment\n"
+      "link 5 9\n"
+      "\n");
+  const auto g = read_graph(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->kind(), NodeKind::kInterface);
+  EXPECT_EQ(g->node_count(), 2u);
+  EXPECT_EQ(g->edge_count(), 1u);
+}
+
+TEST(GraphIo, SparseIdsAreRemapped) {
+  std::stringstream in(
+      "node 1000 0 0 1\n"
+      "node 42 1 1 1\n"
+      "link 1000 42\n");
+  const auto g = read_graph(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->node_count(), 2u);
+  EXPECT_TRUE(g->has_edge(0, 1));
+}
+
+TEST(GraphIo, RejectsMalformedRecords) {
+  std::string error;
+  {
+    std::stringstream in("node 1 abc def 1\n");
+    EXPECT_FALSE(read_graph(in, &error).has_value());
+    EXPECT_NE(error.find("line 1"), std::string::npos);
+  }
+  {
+    std::stringstream in("frobnicate 1 2 3\n");
+    EXPECT_FALSE(read_graph(in, &error).has_value());
+  }
+  {
+    std::stringstream in("node 1 0 0 1\nlink 1 2\n");
+    EXPECT_FALSE(read_graph(in, &error).has_value());
+    EXPECT_NE(error.find("unknown node"), std::string::npos);
+  }
+  {
+    std::stringstream in("node 1 0 0 1\nnode 1 2 2 2\n");
+    EXPECT_FALSE(read_graph(in, &error).has_value());
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+  }
+  {
+    std::stringstream in("node 1 95.0 0 1\n");  // invalid latitude
+    EXPECT_FALSE(read_graph(in, &error).has_value());
+  }
+  {
+    std::stringstream in("kind banana\n");
+    EXPECT_FALSE(read_graph(in, &error).has_value());
+  }
+}
+
+TEST(GraphIo, BadAddressRejected) {
+  std::stringstream in("node 1 0 0 1 999.999.999.999\n");
+  std::string error;
+  EXPECT_FALSE(read_graph(in, &error).has_value());
+  EXPECT_NE(error.find("bad address"), std::string::npos);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/geonet_io.graph";
+  const AnnotatedGraph original = sample_graph();
+  ASSERT_TRUE(write_graph_file(path, original));
+  std::string error;
+  const auto restored = read_graph_file(path, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->node_count(), 3u);
+}
+
+TEST(GraphIo, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(read_graph_file("/no/such/file.graph", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geonet::net

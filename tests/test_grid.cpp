@@ -1,0 +1,107 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "geo/distance.h"
+
+namespace geonet::geo {
+namespace {
+
+TEST(Grid, DimensionsFromCellSize) {
+  // US box: 25 deg lat x 105 deg lon at 75 arcmin = 1.25 deg cells.
+  const Grid grid(regions::us(), 75.0);
+  EXPECT_EQ(grid.rows(), 20u);
+  EXPECT_EQ(grid.cols(), 84u);
+  EXPECT_EQ(grid.cell_count(), 20u * 84u);
+}
+
+TEST(Grid, RejectsNonPositiveCell) {
+  EXPECT_THROW(Grid(regions::us(), 0.0), std::invalid_argument);
+  EXPECT_THROW(Grid(regions::us(), -5.0), std::invalid_argument);
+}
+
+TEST(Grid, CellOfCorners) {
+  const Grid grid(regions::us(), 75.0);
+  const auto sw = grid.cell_of({25.0, -150.0});
+  ASSERT_TRUE(sw.has_value());
+  EXPECT_EQ(sw->row, 0u);
+  EXPECT_EQ(sw->col, 0u);
+
+  const auto ne = grid.cell_of({49.999, -45.001});
+  ASSERT_TRUE(ne.has_value());
+  EXPECT_EQ(ne->row, grid.rows() - 1);
+  EXPECT_EQ(ne->col, grid.cols() - 1);
+}
+
+TEST(Grid, OutsideReturnsNullopt) {
+  const Grid grid(regions::us(), 75.0);
+  EXPECT_FALSE(grid.cell_of({51.0, -100.0}).has_value());
+  EXPECT_FALSE(grid.cell_of({40.0, -44.0}).has_value());
+}
+
+TEST(Grid, FlattenRoundTrip) {
+  const Grid grid(regions::europe(), 30.0);
+  for (std::size_t flat : {std::size_t{0}, grid.cell_count() / 2,
+                           grid.cell_count() - 1}) {
+    EXPECT_EQ(grid.flat_index(grid.unflatten(flat)), flat);
+  }
+}
+
+TEST(Grid, CellCenterInsideBounds) {
+  const Grid grid(regions::japan(), 75.0);
+  for (std::size_t flat = 0; flat < grid.cell_count(); flat += 7) {
+    const CellIndex cell = grid.unflatten(flat);
+    const Region bounds = grid.cell_bounds(cell);
+    const GeoPoint center = grid.cell_center(cell);
+    EXPECT_TRUE(bounds.contains(center)) << flat;
+    EXPECT_EQ(grid.cell_of(center)->row, cell.row);
+    EXPECT_EQ(grid.cell_of(center)->col, cell.col);
+  }
+}
+
+TEST(Grid, CellBoundsClippedAtRegionEdge) {
+  // 16-degree lat span at 75 arcmin = 12.8 cells -> 13 rows, last clipped.
+  const Grid grid(regions::europe(), 75.0);
+  const Region last =
+      grid.cell_bounds({grid.rows() - 1, 0});
+  EXPECT_LE(last.north_deg, regions::europe().north_deg + 1e-12);
+  EXPECT_LT(last.lat_span_deg(), 1.25 + 1e-12);
+}
+
+TEST(Grid, TallyCountsAndDrops) {
+  const Grid grid(regions::us(), 75.0);
+  std::vector<GeoPoint> points{
+      {40.0, -100.0}, {40.0, -100.0}, {40.01, -99.99},   // same cell
+      {30.0, -90.0},
+      {60.0, -100.0},  // outside
+  };
+  std::size_t dropped = 0;
+  const auto counts = grid.tally(points, &dropped);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_DOUBLE_EQ(std::accumulate(counts.begin(), counts.end(), 0.0), 4.0);
+  const auto cell = grid.cell_of({40.0, -100.0});
+  EXPECT_DOUBLE_EQ(counts[grid.flat_index(*cell)], 3.0);
+}
+
+TEST(Grid, MaxCellDiagonalBoundsSampledCells) {
+  const Grid grid(regions::us(), 7.5);
+  const double bound = grid.max_cell_diagonal_miles();
+  for (std::size_t flat = 0; flat < grid.cell_count(); flat += 101) {
+    const Region b = grid.cell_bounds(grid.unflatten(flat));
+    const double diag = great_circle_miles({b.south_deg, b.west_deg},
+                                           {b.north_deg, b.east_deg});
+    EXPECT_LE(diag, bound + 1e-6);
+  }
+}
+
+TEST(Grid, SingleCellDegenerateRegion) {
+  const Region tiny{"tiny", 10.0, 10.1, 20.0, 20.1};
+  const Grid grid(tiny, 75.0);
+  EXPECT_EQ(grid.cell_count(), 1u);
+  EXPECT_TRUE(grid.cell_of({10.05, 20.05}).has_value());
+}
+
+}  // namespace
+}  // namespace geonet::geo

@@ -1,0 +1,205 @@
+#include "synth/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "net/graph_algos.h"
+#include "tests/test_world.h"
+
+namespace geonet::synth {
+namespace {
+
+using testing::small_truth;
+using testing::small_world;
+
+TEST(GroundTruth, BuildsNonTrivialWorld) {
+  const GroundTruth& gt = small_truth();
+  EXPECT_GT(gt.topology().router_count(), 1000u);
+  EXPECT_GT(gt.topology().link_count(), gt.topology().router_count());
+  EXPECT_GT(gt.ases().size(), 50u);
+  EXPECT_GT(gt.bgp().size(), gt.ases().size() / 2);
+}
+
+TEST(GroundTruth, RouterGraphIsConnected) {
+  const GroundTruth& gt = small_truth();
+  std::size_t components = 0;
+  net::router_components(gt.topology(), &components);
+  EXPECT_EQ(components, 1u);
+}
+
+TEST(GroundTruth, EveryRouterBelongsToItsAs) {
+  const GroundTruth& gt = small_truth();
+  std::size_t assigned = 0;
+  for (const AsInfo& as_info : gt.ases()) {
+    for (const net::RouterId r : as_info.routers) {
+      EXPECT_EQ(gt.topology().router(r).asn, as_info.asn);
+      ++assigned;
+    }
+  }
+  EXPECT_EQ(assigned, gt.topology().router_count());
+}
+
+TEST(GroundTruth, SitesPartitionAsRouters) {
+  const GroundTruth& gt = small_truth();
+  for (const AsInfo& as_info : gt.ases()) {
+    std::size_t in_sites = 0;
+    for (const Site& site : as_info.sites) {
+      EXPECT_FALSE(site.routers.empty());
+      in_sites += site.routers.size();
+    }
+    EXPECT_EQ(in_sites, as_info.routers.size()) << "asn " << as_info.asn;
+  }
+}
+
+TEST(GroundTruth, RoutersLieInsideSomeProfileExtent) {
+  const GroundTruth& gt = small_truth();
+  const auto& profiles = small_world().profiles();
+  std::size_t outside = 0;
+  for (const net::Router& router : gt.topology().routers()) {
+    bool inside = false;
+    for (const auto& profile : profiles) {
+      inside |= profile.extent.contains(router.location);
+    }
+    if (!inside) ++outside;
+  }
+  EXPECT_EQ(outside, 0u);
+}
+
+TEST(GroundTruth, InterfaceAddressesAreUniqueAndPublic) {
+  const GroundTruth& gt = small_truth();
+  std::unordered_set<std::uint32_t> seen;
+  for (const net::Interface& iface : gt.topology().interfaces()) {
+    EXPECT_TRUE(seen.insert(iface.addr.value).second);
+    EXPECT_FALSE(net::is_private(iface.addr));
+  }
+}
+
+TEST(GroundTruth, IntradomainAddressesComeFromOwnAs) {
+  const GroundTruth& gt = small_truth();
+  std::size_t checked = 0;
+  for (const net::Link& link : gt.topology().links()) {
+    const auto& if_a = gt.topology().interface(link.if_a);
+    const auto& if_b = gt.topology().interface(link.if_b);
+    const std::uint32_t as_a = gt.topology().router(if_a.router).asn;
+    const std::uint32_t as_b = gt.topology().router(if_b.router).asn;
+    if (as_a != as_b) continue;  // interdomain numbering is ambiguous
+    const AsInfo* info = gt.as_info(as_a);
+    ASSERT_NE(info, nullptr);
+    for (const net::Ipv4Addr addr : {if_a.addr, if_b.addr}) {
+      bool owned = false;
+      for (const net::Prefix& block : info->prefixes) {
+        owned |= net::contains(block, addr);
+      }
+      EXPECT_TRUE(owned);
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(GroundTruth, MostLinksAreIntradomain) {
+  const GroundTruth& gt = small_truth();
+  const double inter = static_cast<double>(gt.interdomain_link_count());
+  const double total = static_cast<double>(gt.topology().link_count());
+  EXPECT_GT(inter, 0.0);
+  EXPECT_LT(inter / total, 0.35);  // the paper finds < 20%; generous bound
+}
+
+TEST(GroundTruth, BgpResolvesMostLoopbacks) {
+  const GroundTruth& gt = small_truth();
+  std::size_t resolved = 0;
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (const AsInfo& as_info : gt.ases()) {
+    for (const net::RouterId r : as_info.routers) {
+      // The first interface added per router is its loopback.
+      const net::InterfaceId loopback =
+          gt.topology().router(r).interfaces.front();
+      const auto asn = gt.bgp().origin_as(gt.topology().interface(loopback).addr);
+      ++total;
+      if (asn) {
+        ++resolved;
+        if (*asn == as_info.asn) ++correct;
+      }
+    }
+  }
+  // ~2% of ASes are unannounced; foreign more-specifics add slight noise.
+  EXPECT_GT(static_cast<double>(resolved) / static_cast<double>(total), 0.93);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(resolved), 0.95);
+}
+
+TEST(GroundTruth, UnannouncedAsesAbsentFromBgp) {
+  const GroundTruth& gt = small_truth();
+  std::size_t unannounced = 0;
+  for (const AsInfo& as_info : gt.ases()) {
+    if (as_info.announced) continue;
+    ++unannounced;
+    for (const net::Prefix& block : as_info.prefixes) {
+      const auto origin = gt.bgp().origin_as(
+          net::Ipv4Addr{block.network.value + 1});
+      // Either uncovered or covered by someone else's more-specific.
+      if (origin) {
+        EXPECT_NE(*origin, as_info.asn);
+      }
+    }
+  }
+  EXPECT_GT(unannounced, 0u);
+}
+
+TEST(GroundTruth, AsSizesAreLongTailed) {
+  const GroundTruth& gt = small_truth();
+  std::size_t biggest = 0;
+  std::size_t tiny = 0;
+  for (const AsInfo& as_info : gt.ases()) {
+    biggest = std::max(biggest, as_info.routers.size());
+    if (as_info.routers.size() <= 4) ++tiny;
+  }
+  EXPECT_GT(biggest, 50u);
+  EXPECT_GT(static_cast<double>(tiny) / static_cast<double>(gt.ases().size()),
+            0.4);
+}
+
+TEST(GroundTruth, InterfaceHelpersConsistent) {
+  const GroundTruth& gt = small_truth();
+  const AsInfo& first = gt.ases().front();
+  const net::RouterId r = first.routers.front();
+  const net::InterfaceId iface = gt.topology().router(r).interfaces.front();
+  EXPECT_EQ(gt.interface_true_asn(iface), first.asn);
+  EXPECT_DOUBLE_EQ(gt.interface_location(iface).lat_deg,
+                   gt.topology().router(r).location.lat_deg);
+  EXPECT_DOUBLE_EQ(gt.interface_as_home(iface).lat_deg, first.home.lat_deg);
+}
+
+TEST(GroundTruth, AsInfoLookup) {
+  const GroundTruth& gt = small_truth();
+  const AsInfo& first = gt.ases().front();
+  EXPECT_EQ(gt.as_info(first.asn), &first);
+  EXPECT_EQ(gt.as_info(9999999), nullptr);
+}
+
+TEST(GroundTruth, DeterministicForFixedSeed) {
+  const GroundTruthOptions options = testing::small_truth_options();
+  const GroundTruth a = GroundTruth::build(small_world(), options);
+  const GroundTruth b = GroundTruth::build(small_world(), options);
+  EXPECT_EQ(a.topology().router_count(), b.topology().router_count());
+  EXPECT_EQ(a.topology().link_count(), b.topology().link_count());
+  EXPECT_EQ(a.ases().size(), b.ases().size());
+  EXPECT_EQ(a.bgp().size(), b.bgp().size());
+  // Spot-check a router location.
+  const auto mid = a.topology().router_count() / 2;
+  EXPECT_DOUBLE_EQ(a.topology().router(mid).location.lat_deg,
+                   b.topology().router(mid).location.lat_deg);
+}
+
+TEST(GroundTruth, ScaleControlsSize) {
+  GroundTruthOptions tiny = testing::small_truth_options();
+  tiny.interface_scale = 0.01;
+  const GroundTruth small = GroundTruth::build(small_world(), tiny);
+  EXPECT_LT(small.topology().router_count(),
+            small_truth().topology().router_count());
+}
+
+}  // namespace
+}  // namespace geonet::synth

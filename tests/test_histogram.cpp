@@ -1,0 +1,112 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace geonet::stats {
+namespace {
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.99);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, DefaultConstructedIsUsable) {
+  Histogram h;
+  EXPECT_EQ(h.bin_count(), 1u);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+}
+
+TEST(Histogram, LowerEdgeInclusiveUpperExclusive) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  h.add(10.0);  // exactly hi -> overflow
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+}
+
+TEST(Histogram, UnderflowOverflowTracked) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(11.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+TEST(Histogram, NonFiniteGoesNowhereInBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+TEST(Histogram, WeightsAccumulate) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5, 2.5);
+  h.add(1.9, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 3.0);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 11.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 19.0);
+}
+
+TEST(Histogram, BinOfMapsEdgesConsistently) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+  EXPECT_EQ(h.bin_of(0.25), 1u);
+  EXPECT_EQ(h.bin_of(0.9999), 3u);
+  EXPECT_EQ(h.bin_of(1.0), 4u);   // out of range
+  EXPECT_EQ(h.bin_of(-0.1), 4u);  // out of range
+}
+
+TEST(Histogram, AddToBinDirect) {
+  Histogram h(0.0, 1.0, 4);
+  h.add_to_bin(2, 7.0);
+  h.add_to_bin(99, 1.0);  // ignored
+  EXPECT_DOUBLE_EQ(h.count(2), 7.0);
+  EXPECT_DOUBLE_EQ(h.total(), 7.0);
+}
+
+TEST(Histogram, RatioElementwise) {
+  Histogram links(0.0, 3.0, 3);
+  Histogram pairs(0.0, 3.0, 3);
+  links.add(0.5, 2.0);
+  pairs.add(0.5, 8.0);
+  pairs.add(2.5, 4.0);  // links bin empty -> ratio 0
+  const auto f = links.ratio(pairs);
+  EXPECT_DOUBLE_EQ(f[0], 0.25);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);  // denominator 0
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+}
+
+TEST(Histogram, RatioEmptyDenominatorBinYieldsZero) {
+  Histogram a(0.0, 2.0, 2);
+  Histogram b(0.0, 2.0, 2);
+  a.add(0.5);
+  const auto f = a.ratio(b);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+}
+
+}  // namespace
+}  // namespace geonet::stats

@@ -1,0 +1,225 @@
+#include "synth/hostnames.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/distance.h"
+#include "tests/test_world.h"
+
+namespace geonet::synth {
+namespace {
+
+std::vector<geo::GeoPoint> test_cities() {
+  return {{40.7, -74.0}, {34.05, -118.2}, {41.9, -87.6}, {51.5, -0.13}};
+}
+
+TEST(CityCodebook, CodesAreUniqueAndDecodable) {
+  const CityCodebook codebook(test_cities());
+  ASSERT_EQ(codebook.size(), 4u);
+  for (std::size_t i = 0; i < codebook.size(); ++i) {
+    const std::string code = codebook.code(i);
+    EXPECT_EQ(code.size(), 3u);
+    const auto decoded = codebook.decode(code);
+    ASSERT_TRUE(decoded.has_value()) << code;
+    EXPECT_EQ(*decoded, i);
+  }
+}
+
+TEST(CityCodebook, DecodeRejectsUnknownTokens) {
+  const CityCodebook codebook(test_cities());
+  EXPECT_FALSE(codebook.decode("zzz").has_value());
+  EXPECT_FALSE(codebook.decode("ab").has_value());
+  EXPECT_FALSE(codebook.decode("abcd").has_value());
+  EXPECT_FALSE(codebook.decode("").has_value());
+}
+
+TEST(CityCodebook, NearestDelegatesToIndex) {
+  const CityCodebook codebook(test_cities());
+  const auto city = codebook.nearest({40.8, -73.9});
+  ASSERT_TRUE(city.has_value());
+  EXPECT_EQ(*city, 0u);  // New York
+}
+
+TEST(Hostnames, GeneratedNamesParseBackToTheirCity) {
+  const CityCodebook codebook(test_cities());
+  stats::Rng rng(3);
+  for (std::size_t city = 0; city < codebook.size(); ++city) {
+    for (int i = 0; i < 20; ++i) {
+      const std::string hostname =
+          make_hostname(rng, codebook.code(city), 64512);
+      const auto parsed = parse_city(hostname, codebook);
+      ASSERT_TRUE(parsed.has_value()) << hostname;
+      EXPECT_EQ(*parsed, city) << hostname;
+    }
+  }
+}
+
+TEST(Hostnames, ParseHandlesPaperStyleName) {
+  // The paper's example: 0.so-5-2-0.XL1.NYC8.ALTER.NET (lowercased
+  // convention here). Build a codebook where some index maps to "nyc"-like
+  // code and check token extraction logic with ordinals.
+  const CityCodebook codebook(test_cities());
+  const std::string code = codebook.code(2);
+  const std::string hostname = "0.so-5-2-0.xl1." + code + "8.alter.net";
+  const auto parsed = parse_city(hostname, codebook);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, 2u);
+}
+
+TEST(Hostnames, UnparseableNamesReturnNullopt) {
+  const CityCodebook codebook(test_cities());
+  EXPECT_FALSE(parse_city("core1.example.com", codebook).has_value());
+  EXPECT_FALSE(parse_city("", codebook).has_value());
+  EXPECT_FALSE(parse_city("so-1-2-3", codebook).has_value());
+}
+
+TEST(DnsDatabase, InsertAndLookup) {
+  DnsDatabase dns;
+  dns.insert(net::Ipv4Addr{42}, "cr1.aaa1.as7.net");
+  EXPECT_EQ(dns.lookup(net::Ipv4Addr{42}).value(), "cr1.aaa1.as7.net");
+  EXPECT_FALSE(dns.lookup(net::Ipv4Addr{43}).has_value());
+}
+
+TEST(BuildDns, NamesRoughlyTheConfiguredFraction) {
+  const auto& truth = geonet::testing::small_truth();
+  std::vector<geo::GeoPoint> cities;
+  for (const auto& grid : geonet::testing::small_world().grids()) {
+    for (const auto& city : grid.cities()) cities.push_back(city.center);
+  }
+  const CityCodebook codebook(std::move(cities));
+  DnsOptions options;
+  options.named_fraction = 0.8;
+  const DnsDatabase dns = build_dns(truth, codebook, options);
+  const double named = static_cast<double>(dns.size()) /
+                       static_cast<double>(truth.topology().interface_count());
+  EXPECT_NEAR(named, 0.8, 0.03);
+}
+
+TEST(BuildDns, NamesPointNearTheRouter) {
+  const auto& truth = geonet::testing::small_truth();
+  std::vector<geo::GeoPoint> cities;
+  for (const auto& grid : geonet::testing::small_world().grids()) {
+    for (const auto& city : grid.cities()) cities.push_back(city.center);
+  }
+  const CityCodebook codebook(std::move(cities));
+  DnsOptions options;
+  options.stale_fraction = 0.0;
+  const DnsDatabase dns = build_dns(truth, codebook, options);
+
+  std::size_t checked = 0;
+  for (const auto& iface : truth.topology().interfaces()) {
+    const auto hostname = dns.lookup(iface.addr);
+    if (!hostname) continue;
+    const auto city = parse_city(*hostname, codebook);
+    ASSERT_TRUE(city.has_value()) << *hostname;
+    const auto& router_loc = truth.topology().router(iface.router).location;
+    const auto nearest = codebook.nearest(router_loc);
+    EXPECT_EQ(*city, *nearest);
+    if (++checked > 500) break;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(HostnameMapper, MapsNamedInterfacesToTheirCity) {
+  const auto& truth = geonet::testing::small_truth();
+  std::vector<geo::GeoPoint> cities;
+  for (const auto& grid : geonet::testing::small_world().grids()) {
+    for (const auto& city : grid.cities()) cities.push_back(city.center);
+  }
+  const CityCodebook codebook(std::move(cities));
+  DnsOptions options;
+  options.stale_fraction = 0.0;
+  const DnsDatabase dns = build_dns(truth, codebook, options);
+  const HostnameMapper mapper(dns, codebook, 0.9, 7);
+
+  std::size_t mapped = 0;
+  std::size_t close = 0;
+  for (const auto& iface : truth.topology().interfaces()) {
+    const auto where = mapper.map(
+        iface.addr, truth.topology().router(iface.router).location,
+        truth.topology().router(iface.router).location);
+    if (!where) continue;
+    ++mapped;
+    if (geo::great_circle_miles(*where,
+                                truth.topology().router(iface.router).location) <
+        150.0) {
+      ++close;
+    }
+    if (mapped > 2000) break;
+  }
+  ASSERT_GT(mapped, 1000u);
+  EXPECT_GT(static_cast<double>(close) / static_cast<double>(mapped), 0.95);
+}
+
+TEST(HostnameMapper, PrivateAddressesUnmapped) {
+  const CityCodebook codebook(test_cities());
+  const DnsDatabase dns;
+  const HostnameMapper mapper(dns, codebook, 1.0, 7);
+  EXPECT_FALSE(mapper.map(*net::parse_ipv4("10.0.0.1"), {40.7, -74.0},
+                          {40.7, -74.0})
+                   .has_value());
+}
+
+TEST(DnsDatabase, LocRecords) {
+  DnsDatabase dns;
+  EXPECT_FALSE(dns.lookup_loc(net::Ipv4Addr{1}).has_value());
+  dns.insert_loc(net::Ipv4Addr{1}, {40.75, -73.99});
+  const auto loc = dns.lookup_loc(net::Ipv4Addr{1});
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_DOUBLE_EQ(loc->lat_deg, 40.75);
+  EXPECT_EQ(dns.loc_count(), 1u);
+}
+
+TEST(BuildDns, LocFractionHonoured) {
+  const auto& truth = geonet::testing::small_truth();
+  std::vector<geo::GeoPoint> cities;
+  for (const auto& grid : geonet::testing::small_world().grids()) {
+    for (const auto& city : grid.cities()) cities.push_back(city.center);
+  }
+  const CityCodebook codebook(std::move(cities));
+  DnsOptions options;
+  options.loc_fraction = 0.10;
+  const DnsDatabase dns = build_dns(truth, codebook, options);
+  const double fraction =
+      static_cast<double>(dns.loc_count()) /
+      static_cast<double>(truth.topology().interface_count());
+  EXPECT_NEAR(fraction, 0.10, 0.02);
+}
+
+TEST(HostnameMapper, LocRecordBeatsWhoisButNotHostname) {
+  const CityCodebook codebook(test_cities());
+  DnsDatabase dns;
+  const net::Ipv4Addr with_loc = *net::parse_ipv4("7.7.7.7");
+  dns.insert_loc(with_loc, {40.813, -73.928});  // exact LOC answer
+  const HostnameMapper mapper(dns, codebook, 1.0, 7);
+
+  // Unnamed + LOC -> the LOC coordinates win over the whois HQ city.
+  const auto via_loc = mapper.map(with_loc, {40.813, -73.928}, {34.1, -118.1});
+  ASSERT_TRUE(via_loc.has_value());
+  EXPECT_DOUBLE_EQ(via_loc->lat_deg, 40.813);
+
+  // Named + LOC -> the hostname's city token wins (the paper's order).
+  stats::Rng rng(5);
+  dns.insert(with_loc, make_hostname(rng, codebook.code(1), 99));
+  const auto via_name = mapper.map(with_loc, {40.813, -73.928}, {34.1, -118.1});
+  ASSERT_TRUE(via_name.has_value());
+  EXPECT_DOUBLE_EQ(via_name->lat_deg, 34.05);  // city 1 = Los Angeles
+}
+
+TEST(HostnameMapper, UnnamedFallsBackToWhoisHeadquarters) {
+  const CityCodebook codebook(test_cities());
+  const DnsDatabase dns;  // empty: nothing is named
+  const HostnameMapper always(dns, codebook, 1.0, 7);
+  const auto mapped = always.map(*net::parse_ipv4("8.8.8.8"),
+                                 {40.8, -73.9},     // true: New York
+                                 {34.1, -118.1});   // HQ: Los Angeles
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_DOUBLE_EQ(mapped->lat_deg, 34.05);  // whois answered with HQ city
+
+  const HostnameMapper never(dns, codebook, 0.0, 7);
+  EXPECT_FALSE(never.map(*net::parse_ipv4("8.8.8.8"), {40.8, -73.9},
+                         {34.1, -118.1})
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace geonet::synth

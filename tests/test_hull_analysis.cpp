@@ -1,0 +1,133 @@
+#include "core/hull_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topology.h"
+#include "tests/test_world.h"
+
+namespace geonet::core {
+namespace {
+
+const AsHullRecord* find_as(const HullAnalysis& a, std::uint32_t asn) {
+  const auto it =
+      std::find_if(a.records.begin(), a.records.end(),
+                   [&](const AsHullRecord& r) { return r.asn == asn; });
+  return it == a.records.end() ? nullptr : &*it;
+}
+
+/// AS 1: continental triangle (big hull). AS 2: two points (zero hull).
+/// AS 3: single point (zero hull). AS 0 nodes must be ignored.
+net::AnnotatedGraph make_hull_graph() {
+  net::AnnotatedGraph g(net::NodeKind::kInterface, "hulls");
+  g.add_node({net::Ipv4Addr{1}, {40.7, -74.0}, 1});
+  g.add_node({net::Ipv4Addr{2}, {34.0, -118.2}, 1});
+  g.add_node({net::Ipv4Addr{3}, {47.6, -122.3}, 1});
+  g.add_node({net::Ipv4Addr{4}, {41.9, -87.6}, 2});
+  g.add_node({net::Ipv4Addr{5}, {29.8, -95.4}, 2});
+  g.add_node({net::Ipv4Addr{6}, {33.7, -84.4}, 3});
+  g.add_node({net::Ipv4Addr{7}, {25.8, -80.2}, 0});
+  g.add_edge(0, 3);  // AS1 - AS2
+  return g;
+}
+
+TEST(HullAnalysis, AreasPerAs) {
+  const HullAnalysis analysis = analyze_hulls(make_hull_graph());
+  ASSERT_EQ(analysis.records.size(), 3u);
+  const auto* as1 = find_as(analysis, 1);
+  ASSERT_NE(as1, nullptr);
+  EXPECT_GT(as1->hull_area_sq_miles, 100000.0);  // continental triangle
+  EXPECT_EQ(as1->node_count, 3u);
+  EXPECT_EQ(as1->degree, 1u);
+
+  EXPECT_DOUBLE_EQ(find_as(analysis, 2)->hull_area_sq_miles, 0.0);
+  EXPECT_DOUBLE_EQ(find_as(analysis, 3)->hull_area_sq_miles, 0.0);
+}
+
+TEST(HullAnalysis, ZeroAreaFraction) {
+  const HullAnalysis analysis = analyze_hulls(make_hull_graph());
+  EXPECT_NEAR(analysis.zero_area_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(HullAnalysis, RestrictionShrinksHulls) {
+  // Restricting to a box that cuts off the west coast shrinks AS 1 to two
+  // eastern points -> zero area.
+  HullOptions options;
+  options.restrict_to = geo::Region{"east", 25.0, 50.0, -100.0, -60.0};
+  const HullAnalysis analysis = analyze_hulls(make_hull_graph(), options);
+  const auto* as1 = find_as(analysis, 1);
+  ASSERT_NE(as1, nullptr);
+  EXPECT_EQ(as1->node_count, 1u);  // only New York remains
+  EXPECT_DOUBLE_EQ(as1->hull_area_sq_miles, 0.0);
+}
+
+TEST(HullAnalysis, EmptyGraph) {
+  const net::AnnotatedGraph g(net::NodeKind::kInterface);
+  const HullAnalysis analysis = analyze_hulls(g);
+  EXPECT_TRUE(analysis.records.empty());
+  EXPECT_DOUBLE_EQ(analysis.zero_area_fraction, 0.0);
+}
+
+TEST(HullAnalysis, ScenarioShowsTwoRegimes) {
+  const auto& s = testing::small_scenario();
+  const HullAnalysis analysis = analyze_hulls(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper));
+  ASSERT_GT(analysis.records.size(), 50u);
+
+  // A substantial share of ASes has zero geographic extent (Figure 9).
+  EXPECT_GT(analysis.zero_area_fraction, 0.25);
+
+  // Above the detected size thresholds, everything is dispersed
+  // (Figure 10's second regime).
+  const auto& t = analysis.thresholds;
+  EXPECT_GT(t.dispersed_area_sq_miles, 0.0);
+  if (t.by_node_count > 0.0) {
+    for (const auto& r : analysis.records) {
+      if (static_cast<double>(r.node_count) >= t.by_node_count) {
+        EXPECT_GE(r.hull_area_sq_miles, t.dispersed_area_sq_miles);
+      }
+    }
+  }
+}
+
+TEST(HullAnalysis, SmallAsesShowWideVariability) {
+  // Figure 10's first regime: among small ASes, some are compact and some
+  // are widely dispersed.
+  const auto& s = testing::small_scenario();
+  const HullAnalysis analysis = analyze_hulls(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper));
+  std::size_t compact = 0;
+  std::size_t dispersed = 0;
+  for (const auto& r : analysis.records) {
+    if (r.node_count > 20) continue;  // small ASes only
+    if (r.hull_area_sq_miles <= 0.0) {
+      ++compact;
+    } else if (r.hull_area_sq_miles > 1e6) {  // continental scale
+      ++dispersed;
+    }
+  }
+  EXPECT_GT(compact, 10u);
+  EXPECT_GT(dispersed, 3u);
+}
+
+TEST(HullAnalysis, WorldHullsLargerThanRegional) {
+  const auto& s = testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+  const HullAnalysis world = analyze_hulls(graph);
+  HullOptions us_options;
+  us_options.restrict_to = geo::regions::us();
+  const HullAnalysis us = analyze_hulls(graph, us_options);
+  double world_max = 0.0, us_max = 0.0;
+  for (const auto& r : world.records) {
+    world_max = std::max(world_max, r.hull_area_sq_miles);
+  }
+  for (const auto& r : us.records) {
+    us_max = std::max(us_max, r.hull_area_sq_miles);
+  }
+  EXPECT_GT(world_max, us_max);
+}
+
+}  // namespace
+}  // namespace geonet::core

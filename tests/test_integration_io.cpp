@@ -1,0 +1,62 @@
+// End-to-end I/O integration: a full processed dataset survives the text
+// round trip, and the analyses computed before and after agree exactly.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/as_analysis.h"
+#include "core/link_domains.h"
+#include "net/graph_io.h"
+#include "tests/test_world.h"
+
+namespace geonet::net {
+namespace {
+
+TEST(IntegrationIo, ProcessedDatasetRoundTripsLosslessly) {
+  const auto& s = geonet::testing::small_scenario();
+  const AnnotatedGraph& original =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(write_graph(buffer, original));
+  std::string error;
+  const auto restored = read_graph(buffer, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+
+  ASSERT_EQ(restored->node_count(), original.node_count());
+  ASSERT_EQ(restored->edge_count(), original.edge_count());
+  EXPECT_EQ(restored->kind(), original.kind());
+
+  // Spot-check node payloads across the id range.
+  for (std::uint32_t id = 0; id < original.node_count();
+       id += original.node_count() / 97 + 1) {
+    EXPECT_EQ(restored->node(id).asn, original.node(id).asn) << id;
+    EXPECT_NEAR(restored->node(id).location.lat_deg,
+                original.node(id).location.lat_deg, 1e-5)
+        << id;
+    EXPECT_EQ(restored->node(id).addr, original.node(id).addr) << id;
+  }
+
+  // The analyses must not notice the round trip (locations are written
+  // with 6 decimals ~ 0.1 m, far below any analysis quantum).
+  const auto before = core::analyze_as_sizes(original);
+  const auto after = core::analyze_as_sizes(*restored);
+  ASSERT_EQ(before.records.size(), after.records.size());
+  for (std::size_t i = 0; i < before.records.size(); ++i) {
+    EXPECT_EQ(before.records[i].asn, after.records[i].asn);
+    EXPECT_EQ(before.records[i].node_count, after.records[i].node_count);
+    EXPECT_EQ(before.records[i].location_count, after.records[i].location_count);
+    EXPECT_EQ(before.records[i].degree, after.records[i].degree);
+  }
+
+  const auto domains_before = core::analyze_link_domains(original);
+  const auto domains_after = core::analyze_link_domains(*restored);
+  EXPECT_EQ(domains_before.interdomain_count, domains_after.interdomain_count);
+  EXPECT_EQ(domains_before.intradomain_count, domains_after.intradomain_count);
+  EXPECT_NEAR(domains_before.intradomain_mean_miles,
+              domains_after.intradomain_mean_miles, 0.01);
+}
+
+}  // namespace
+}  // namespace geonet::net

@@ -1,0 +1,105 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace geonet::net {
+namespace {
+
+TEST(Ipv4, FormatKnownAddresses) {
+  EXPECT_EQ(to_string(Ipv4Addr{0}), "0.0.0.0");
+  EXPECT_EQ(to_string(Ipv4Addr{0xffffffff}), "255.255.255.255");
+  EXPECT_EQ(to_string(Ipv4Addr{0xc0000201}), "192.0.2.1");
+}
+
+TEST(Ipv4, ParseRoundTrip) {
+  for (const char* text : {"0.0.0.0", "1.2.3.4", "255.255.255.255",
+                           "192.168.1.1", "10.0.0.255"}) {
+    const auto addr = parse_ipv4(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(to_string(*addr), text);
+  }
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  for (const char* text :
+       {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.999", "a.b.c.d",
+        "1.2.3.4x", "1..3.4", ".1.2.3", "01.2.3.4", "-1.2.3.4"}) {
+    EXPECT_FALSE(parse_ipv4(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4, ParseAllowsBareZeroOctets) {
+  EXPECT_TRUE(parse_ipv4("0.0.0.1").has_value());
+}
+
+TEST(Ipv4, PrivateRanges) {
+  EXPECT_TRUE(is_private(*parse_ipv4("10.1.2.3")));
+  EXPECT_TRUE(is_private(*parse_ipv4("172.16.0.1")));
+  EXPECT_TRUE(is_private(*parse_ipv4("172.31.255.255")));
+  EXPECT_TRUE(is_private(*parse_ipv4("192.168.100.1")));
+  EXPECT_TRUE(is_private(*parse_ipv4("127.0.0.1")));
+  EXPECT_FALSE(is_private(*parse_ipv4("172.32.0.1")));
+  EXPECT_FALSE(is_private(*parse_ipv4("11.0.0.1")));
+  EXPECT_FALSE(is_private(*parse_ipv4("8.8.8.8")));
+  EXPECT_FALSE(is_private(*parse_ipv4("192.169.0.1")));
+}
+
+TEST(Prefix, MaskValues) {
+  EXPECT_EQ(prefix_mask(0), 0u);
+  EXPECT_EQ(prefix_mask(8), 0xff000000u);
+  EXPECT_EQ(prefix_mask(24), 0xffffff00u);
+  EXPECT_EQ(prefix_mask(32), 0xffffffffu);
+  EXPECT_EQ(prefix_mask(33), 0xffffffffu);  // clamped
+}
+
+TEST(Prefix, NormalizeZeroesHostBits) {
+  const Prefix p = normalized({*parse_ipv4("192.168.1.77"), 24});
+  EXPECT_EQ(to_string(p), "192.168.1.0/24");
+}
+
+TEST(Prefix, ContainsSemantics) {
+  const Prefix p = *parse_prefix("10.20.0.0/16");
+  EXPECT_TRUE(contains(p, *parse_ipv4("10.20.0.0")));
+  EXPECT_TRUE(contains(p, *parse_ipv4("10.20.255.255")));
+  EXPECT_FALSE(contains(p, *parse_ipv4("10.21.0.0")));
+  EXPECT_FALSE(contains(p, *parse_ipv4("11.20.0.0")));
+}
+
+TEST(Prefix, DefaultRouteContainsEverything) {
+  const Prefix p = *parse_prefix("0.0.0.0/0");
+  EXPECT_TRUE(contains(p, *parse_ipv4("1.2.3.4")));
+  EXPECT_TRUE(contains(p, *parse_ipv4("255.255.255.255")));
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24",
+                           "1.2.3.4/32"}) {
+    const auto p = parse_prefix(text);
+    ASSERT_TRUE(p.has_value()) << text;
+    EXPECT_EQ(to_string(*p), text);
+  }
+}
+
+TEST(Prefix, ParseRejectsBad) {
+  for (const char* text :
+       {"", "10.0.0.0", "10.0.0.0/", "10.0.0.0/33", "10.0.0/8",
+        "10.0.0.0/8x", "banana/8"}) {
+    EXPECT_FALSE(parse_prefix(text).has_value()) << text;
+  }
+}
+
+TEST(Prefix, ParseNormalizes) {
+  const auto p = parse_prefix("10.0.0.255/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(to_string(*p), "10.0.0.0/24");
+}
+
+TEST(Prefix, Ordering) {
+  EXPECT_LT(Ipv4Addr{1}, Ipv4Addr{2});
+  const Prefix a{Ipv4Addr{0x0a000000}, 8};
+  const Prefix b{Ipv4Addr{0x0a000000}, 16};
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace geonet::net

@@ -1,0 +1,115 @@
+#include "stats/linear_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace geonet::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs{0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 5u);
+}
+
+TEST(LinearFit, AtEvaluatesLine) {
+  const LinearFit fit{2.0, 3.0, 1.0, 2};
+  EXPECT_DOUBLE_EQ(fit.at(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(fit.at(10.0), 23.0);
+}
+
+TEST(LinearFit, NoisyDataApproximateSlope) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(3.0 * x + 1.0 + rng.normal(0.0, 0.5));
+  }
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.2);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, EmptyInputIsDegenerate) {
+  const LinearFit fit = fit_line({}, {});
+  EXPECT_EQ(fit.n, 0u);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+}
+
+TEST(LinearFit, SinglePointYieldsMeanIntercept) {
+  std::vector<double> xs{2.0};
+  std::vector<double> ys{7.0};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_EQ(fit.n, 1u);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 7.0);
+}
+
+TEST(LinearFit, ZeroVarianceX) {
+  std::vector<double> xs{3.0, 3.0, 3.0};
+  std::vector<double> ys{1.0, 2.0, 3.0};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+TEST(LinearFit, SkipsNonFinitePoints) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> xs{0, 1, nan, 3, 4};
+  std::vector<double> ys{0, 2, 4, inf, 8};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_EQ(fit.n, 3u);  // points 0, 1, 4 survive
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(LinearFit, MismatchedLengthsUseShorter) {
+  std::vector<double> xs{0, 1, 2, 3, 4, 5, 6};
+  std::vector<double> ys{1, 3, 5};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_EQ(fit.n, 3u);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(LinearFitWeighted, ZeroWeightExcludesPoint) {
+  std::vector<double> xs{0, 1, 2, 100};
+  std::vector<double> ys{0, 1, 2, -50};
+  std::vector<double> ws{1, 1, 1, 0};
+  const LinearFit fit = fit_line_weighted(xs, ys, ws);
+  EXPECT_EQ(fit.n, 3u);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-12);
+}
+
+TEST(LinearFitWeighted, HeavyWeightDominates) {
+  // Two clusters: slope-1 points with tiny weight, flat points heavy.
+  std::vector<double> xs{0, 1, 2, 3};
+  std::vector<double> ys{0, 1, 5, 5};
+  std::vector<double> ws{0.001, 0.001, 1000, 1000};
+  const LinearFit fit = fit_line_weighted(xs, ys, ws);
+  EXPECT_NEAR(fit.slope, 0.0, 0.05);
+}
+
+TEST(LinearFit, NegativeSlope) {
+  std::vector<double> xs{0, 1, 2, 3};
+  std::vector<double> ys{9, 7, 5, 3};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace geonet::stats

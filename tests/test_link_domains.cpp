@@ -1,0 +1,104 @@
+#include "core/link_domains.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/distance.h"
+#include "net/topology.h"
+#include "tests/test_world.h"
+
+namespace geonet::core {
+namespace {
+
+/// Two ASes: AS1 in New York + Chicago, AS2 in Chicago.
+/// Links: NY-Chicago intra (AS1), Chicago-Chicago inter (AS1-AS2),
+/// plus a link touching an unmapped node (ignored).
+net::AnnotatedGraph make_domain_graph() {
+  net::AnnotatedGraph g(net::NodeKind::kRouter, "domains");
+  g.add_node({net::Ipv4Addr{1}, {40.7, -74.0}, 1});   // 0 NY, AS1
+  g.add_node({net::Ipv4Addr{2}, {41.9, -87.6}, 1});   // 1 Chi, AS1
+  g.add_node({net::Ipv4Addr{3}, {41.9, -87.6}, 2});   // 2 Chi, AS2
+  g.add_node({net::Ipv4Addr{4}, {34.0, -118.2}, 0});  // 3 LA, unmapped
+  g.add_edge(0, 1);  // intra, ~712 mi
+  g.add_edge(1, 2);  // inter, 0 mi
+  g.add_edge(2, 3);  // touches unmapped: excluded
+  return g;
+}
+
+TEST(LinkDomains, ClassifiesAndMeasures) {
+  const LinkDomainStats stats = analyze_link_domains(make_domain_graph());
+  EXPECT_EQ(stats.scope, "World");
+  EXPECT_EQ(stats.intradomain_count, 1u);
+  EXPECT_EQ(stats.interdomain_count, 1u);
+  EXPECT_NEAR(stats.intradomain_mean_miles, 712.0, 15.0);
+  EXPECT_DOUBLE_EQ(stats.interdomain_mean_miles, 0.0);
+  EXPECT_DOUBLE_EQ(stats.intradomain_fraction(), 0.5);
+}
+
+TEST(LinkDomains, RegionScopeRequiresBothEndpointsInside) {
+  const geo::Region midwest{"midwest", 38.0, 45.0, -95.0, -80.0};
+  const LinkDomainStats stats =
+      analyze_link_domains(make_domain_graph(), midwest);
+  EXPECT_EQ(stats.scope, "midwest");
+  EXPECT_EQ(stats.intradomain_count, 0u);  // NY endpoint outside
+  EXPECT_EQ(stats.interdomain_count, 1u);  // Chi-Chi inside
+}
+
+TEST(LinkDomains, EmptyGraph) {
+  const net::AnnotatedGraph g(net::NodeKind::kRouter);
+  const LinkDomainStats stats = analyze_link_domains(g);
+  EXPECT_EQ(stats.interdomain_count + stats.intradomain_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.intradomain_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.interdomain_mean_miles, 0.0);
+}
+
+TEST(LinkDomains, ScenarioMatchesTableVIShape) {
+  const auto& s = testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+  const LinkDomainStats world = analyze_link_domains(graph);
+
+  // The paper: intradomain links are the large majority (>= 83% world).
+  EXPECT_GT(world.intradomain_fraction(), 0.7);
+  // Interdomain links are markedly longer on average (paper: ~2x).
+  EXPECT_GT(world.interdomain_mean_miles, 1.3 * world.intradomain_mean_miles);
+}
+
+TEST(LinkDomains, RegionalRowsAreConsistentWithWorld) {
+  const auto& s = testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+  const LinkDomainStats world = analyze_link_domains(graph);
+  std::size_t regional_total = 0;
+  for (const auto& region : geo::regions::paper_study_regions()) {
+    const LinkDomainStats row = analyze_link_domains(graph, region);
+    regional_total += row.interdomain_count + row.intradomain_count;
+    if (row.intradomain_count > 50) {
+      EXPECT_GT(row.intradomain_fraction(), 0.5) << region.name;
+    }
+  }
+  EXPECT_LE(regional_total, world.interdomain_count + world.intradomain_count);
+  // About half of all links lie within the continental US (paper note).
+  const LinkDomainStats us = analyze_link_domains(graph, geo::regions::us());
+  const double us_share =
+      static_cast<double>(us.interdomain_count + us.intradomain_count) /
+      static_cast<double>(world.interdomain_count + world.intradomain_count);
+  EXPECT_GT(us_share, 0.25);
+  EXPECT_LT(us_share, 0.8);
+}
+
+TEST(LinkDomains, MeanLengthsWithinDistanceSensitivityIntuition) {
+  // Table VI vs Table V: intradomain mean lengths sit well inside the
+  // distance-sensitive range for every study region.
+  const auto& s = testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+  for (const auto& region : geo::regions::paper_study_regions()) {
+    const LinkDomainStats row = analyze_link_domains(graph, region);
+    if (row.intradomain_count < 50) continue;
+    EXPECT_LT(row.intradomain_mean_miles, 0.5 * region.diagonal_miles())
+        << region.name;
+  }
+}
+
+}  // namespace
+}  // namespace geonet::core

@@ -1,0 +1,92 @@
+#include "core/link_lengths.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "tests/test_world.h"
+
+namespace geonet::core {
+namespace {
+
+net::AnnotatedGraph line_graph() {
+  net::AnnotatedGraph g(net::NodeKind::kRouter, "line");
+  g.add_node({net::Ipv4Addr{1}, {40.0, -100.0}, 1});
+  g.add_node({net::Ipv4Addr{2}, {40.0, -100.0}, 1});  // co-located
+  g.add_node({net::Ipv4Addr{3}, {40.0, -99.0}, 1});   // ~53 mi east
+  g.add_node({net::Ipv4Addr{4}, {51.5, -0.1}, 2});    // London
+  g.add_edge(0, 1);  // zero length
+  g.add_edge(1, 2);  // ~53 mi
+  g.add_edge(2, 3);  // transatlantic
+  return g;
+}
+
+TEST(LinkLengths, MeasuresEveryLink) {
+  const auto analysis = analyze_link_lengths(line_graph());
+  ASSERT_EQ(analysis.lengths_miles.size(), 3u);
+  EXPECT_NEAR(analysis.fraction_zero, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(analysis.summary.min, 0.0, 1e-9);
+  EXPECT_GT(analysis.summary.max, 4000.0);
+}
+
+TEST(LinkLengths, RegionScopeFiltersLinks) {
+  const auto analysis =
+      analyze_link_lengths(line_graph(), geo::regions::us());
+  ASSERT_EQ(analysis.lengths_miles.size(), 2u);  // transatlantic excluded
+  EXPECT_LT(analysis.summary.max, 100.0);
+}
+
+TEST(LinkLengths, EmptyGraph) {
+  const net::AnnotatedGraph g(net::NodeKind::kRouter);
+  const auto analysis = analyze_link_lengths(g);
+  EXPECT_TRUE(analysis.lengths_miles.empty());
+  EXPECT_DOUBLE_EQ(analysis.fraction_zero, 0.0);
+}
+
+TEST(LinkLengths, ScenarioLengthsAreHeavyTailed) {
+  const auto& s = geonet::testing::small_scenario();
+  const auto analysis = analyze_link_lengths(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper));
+  ASSERT_GT(analysis.lengths_miles.size(), 1000u);
+  // Median short, max intercontinental: the distribution Yook et al.
+  // studied is broad.
+  EXPECT_LT(analysis.summary.median, 300.0);
+  EXPECT_GT(analysis.summary.max, 3000.0);
+  EXPECT_GT(analysis.fraction_zero, 0.1);  // same-city link mass
+}
+
+TEST(SmallWorld, LongLinksMatterMoreThanRandomOnes) {
+  // The paper's Section V endnote (Watts & Strogatz): the small fraction
+  // of non-local links plays an outsized structural role. Removing the
+  // longest 10% must damage global connectivity far more than removing a
+  // random 10%.
+  const auto& s = geonet::testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  const auto intact =
+      probe_link_removal(graph, 0.0, LinkRemoval::kLongest, 48, 5);
+  const auto no_long =
+      probe_link_removal(graph, 0.10, LinkRemoval::kLongest, 48, 5);
+  const auto no_random =
+      probe_link_removal(graph, 0.10, LinkRemoval::kRandom, 48, 5);
+
+  EXPECT_NEAR(intact.kept_fraction, 1.0, 1e-9);
+  EXPECT_NEAR(no_long.kept_fraction, 0.90, 0.01);
+  // Random damage of the same size barely changes the giant component;
+  // targeting long links severs much more of it.
+  EXPECT_GT(no_random.giant_component, no_long.giant_component);
+  EXPECT_GT(no_random.giant_component, graph.node_count() * 6 / 10);
+}
+
+TEST(SmallWorld, RemovingEverythingDisconnects) {
+  const auto& s = geonet::testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+  const auto gutted =
+      probe_link_removal(graph, 1.0, LinkRemoval::kLongest, 16, 5);
+  EXPECT_NEAR(gutted.kept_fraction, 0.0, 1e-9);
+  EXPECT_LE(gutted.giant_component, 1u);
+}
+
+}  // namespace
+}  // namespace geonet::core

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "generators/hierarchical_gen.h"
+#include "generators/inet_gen.h"
+#include "geo/distance.h"
+#include "net/graph_algos.h"
+#include "stats/ccdf.h"
+
+namespace geonet::generators {
+namespace {
+
+const geo::Region kBox{"box", 28.0, 48.0, -120.0, -80.0};
+
+TEST(Inet, ProducesRequestedNodeCount) {
+  InetOptions options;
+  options.node_count = 700;
+  const auto g = generate_inet(kBox, options);
+  EXPECT_EQ(g.node_count(), 700u);
+  EXPECT_GE(g.edge_count(), g.node_count() - 3);
+}
+
+TEST(Inet, GraphIsConnected) {
+  InetOptions options;
+  options.node_count = 800;
+  const auto g = generate_inet(kBox, options);
+  EXPECT_EQ(net::giant_component_size(g), g.node_count());
+}
+
+TEST(Inet, DegreeTailIsHeavy) {
+  InetOptions options;
+  options.node_count = 4000;
+  options.degree_exponent = 2.1;
+  const auto g = generate_inet(kBox, options);
+  const auto degrees = g.degrees();
+  std::vector<double> values(degrees.begin(), degrees.end());
+  const auto tail = stats::fit_ccdf_tail(values, 0.4);
+  EXPECT_LT(tail.slope, -0.8);
+  const auto max_degree = *std::max_element(degrees.begin(), degrees.end());
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(Inet, NodesInsideRegion) {
+  const auto g = generate_inet(kBox, {});
+  for (const auto& node : g.nodes()) {
+    EXPECT_TRUE(kBox.contains(node.location));
+  }
+}
+
+TEST(Inet, DeterministicPerSeed) {
+  InetOptions options;
+  options.node_count = 300;
+  const auto a = generate_inet(kBox, options);
+  const auto b = generate_inet(kBox, options);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+}
+
+TEST(TransitStub, StructureMatchesOptions) {
+  TransitStubOptions options;
+  options.transit_domains = 3;
+  options.transit_nodes_per_domain = 5;
+  options.stubs_per_transit = 4;
+  options.stub_nodes_mean = 8;
+  const auto g = generate_transit_stub(kBox, options);
+
+  // 3 transit ASes + 12 stub ASes.
+  std::set<std::uint32_t> ases;
+  for (const auto& node : g.nodes()) ases.insert(node.asn);
+  EXPECT_EQ(ases.size(), 3u + 12u);
+  EXPECT_GE(g.node_count(), 3u * 5u + 12u * 2u);
+}
+
+TEST(TransitStub, GraphIsConnected) {
+  const auto g = generate_transit_stub(kBox, {});
+  EXPECT_EQ(net::giant_component_size(g), g.node_count());
+}
+
+TEST(TransitStub, StubsAreGeographicallyCompact) {
+  TransitStubOptions options;
+  options.stub_radius_miles = 30.0;
+  const auto g = generate_transit_stub(kBox, options);
+
+  // Group nodes by AS; transit ASes are the first `transit_domains` ASNs.
+  std::map<std::uint32_t, std::vector<geo::GeoPoint>> by_as;
+  for (const auto& node : g.nodes()) {
+    by_as[node.asn].push_back(node.location);
+  }
+  std::size_t compact = 0;
+  std::size_t stubs = 0;
+  for (const auto& [asn, points] : by_as) {
+    if (asn <= options.transit_domains) continue;  // skip transit ASes
+    ++stubs;
+    double max_d = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::size_t j = i + 1; j < points.size(); ++j) {
+        max_d = std::max(max_d, geo::great_circle_miles(points[i], points[j]));
+      }
+    }
+    if (max_d <= 2.0 * options.stub_radius_miles + 1e-6) ++compact;
+  }
+  ASSERT_GT(stubs, 0u);
+  EXPECT_EQ(compact, stubs);
+}
+
+TEST(TransitStub, IntradomainLinksDominate) {
+  const auto g = generate_transit_stub(kBox, {});
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const auto& e : g.edges()) {
+    (g.node(e.a).asn == g.node(e.b).asn ? intra : inter) += 1;
+  }
+  EXPECT_GT(intra, 2 * inter);
+}
+
+}  // namespace
+}  // namespace geonet::generators

@@ -1,0 +1,198 @@
+#include "population/synth_population.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/distance.h"
+#include "population/economic_profile.h"
+
+namespace geonet::population {
+namespace {
+
+TEST(PopulationGrid, DepositAndTotals) {
+  PopulationGrid raster(geo::Grid(geo::regions::us(), 75.0));
+  raster.deposit({40.0, -100.0}, 1000.0);
+  raster.deposit({40.0, -100.0}, 500.0);
+  raster.deposit({60.0, -100.0}, 999.0);  // outside: ignored
+  EXPECT_DOUBLE_EQ(raster.total_population(), 1500.0);
+  const auto cell = raster.grid().cell_of({40.0, -100.0});
+  EXPECT_DOUBLE_EQ(raster.cell_population(*cell), 1500.0);
+}
+
+TEST(PopulationGrid, NegativeDepositsIgnored) {
+  PopulationGrid raster(geo::Grid(geo::regions::us(), 75.0));
+  raster.deposit({40.0, -100.0}, -5.0);
+  EXPECT_DOUBLE_EQ(raster.total_population(), 0.0);
+}
+
+TEST(PopulationGrid, PopulationInBox) {
+  PopulationGrid raster(geo::Grid(geo::regions::us(), 75.0));
+  raster.deposit({40.0, -120.0}, 100.0);
+  raster.deposit({40.0, -80.0}, 200.0);
+  const geo::Region west{"west", 25.0, 50.0, -150.0, -100.0};
+  EXPECT_DOUBLE_EQ(raster.population_in(west), 100.0);
+  EXPECT_DOUBLE_EQ(raster.population_in(geo::regions::us()), 300.0);
+}
+
+TEST(PopulationGrid, SampleEmptyReturnsNullopt) {
+  PopulationGrid raster(geo::Grid(geo::regions::us(), 75.0));
+  stats::Rng rng(1);
+  EXPECT_FALSE(raster.sample_location(rng).has_value());
+}
+
+TEST(PopulationGrid, SamplingFollowsWeights) {
+  PopulationGrid raster(geo::Grid(geo::regions::us(), 75.0));
+  raster.deposit({30.0, -120.0}, 900.0);
+  raster.deposit({45.0, -70.0}, 100.0);
+  stats::Rng rng(2);
+  int west = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto p = raster.sample_location(rng);
+    ASSERT_TRUE(p.has_value());
+    if (p->lon_deg < -100.0) ++west;
+  }
+  EXPECT_NEAR(static_cast<double>(west) / kN, 0.9, 0.01);
+}
+
+TEST(PopulationGrid, SamplerRefreshesAfterDeposit) {
+  PopulationGrid raster(geo::Grid(geo::regions::us(), 75.0));
+  raster.deposit({30.0, -120.0}, 100.0);
+  stats::Rng rng(3);
+  (void)raster.sample_location(rng);  // builds the sampler
+  raster.deposit({45.0, -70.0}, 1e9); // invalidates it
+  int east = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (raster.sample_location(rng)->lon_deg > -100.0) ++east;
+  }
+  EXPECT_GT(east, 950);
+}
+
+TEST(EconomicProfile, TableIIIFigures) {
+  const auto profiles = world_profiles();
+  ASSERT_EQ(profiles.size(), 7u);
+
+  const auto usa = profile_by_name("USA");
+  ASSERT_TRUE(usa.has_value());
+  EXPECT_DOUBLE_EQ(usa->population_millions, 299.0);
+  EXPECT_DOUBLE_EQ(usa->online_millions, 166.0);
+  EXPECT_NEAR(usa->people_per_interface(), 1060.1, 1.0);  // paper: 1,061
+  EXPECT_NEAR(usa->online_per_interface(), 588.5, 1.0);   // paper: 588
+
+  const auto africa = profile_by_name("Africa");
+  ASSERT_TRUE(africa.has_value());
+  EXPECT_NEAR(africa->people_per_interface(), 99893.0, 200.0);  // ~100,011
+}
+
+TEST(EconomicProfile, PeoplePerInterfaceVariesOver100x) {
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const auto& p : world_profiles()) {
+    lo = std::min(lo, p.people_per_interface());
+    hi = std::max(hi, p.people_per_interface());
+  }
+  EXPECT_GT(hi / lo, 100.0);  // Section IV.A
+}
+
+TEST(EconomicProfile, OnlinePerInterfaceVariesOnlyAFewX) {
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const auto& p : world_profiles()) {
+    lo = std::min(lo, p.online_per_interface());
+    hi = std::max(hi, p.online_per_interface());
+  }
+  EXPECT_LT(hi / lo, 6.0);  // paper: about a factor of four
+}
+
+TEST(EconomicProfile, ExtentsAreDisjoint) {
+  const auto profiles = world_profiles();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+      const auto& a = profiles[i].extent;
+      const auto& b = profiles[j].extent;
+      const bool overlap = a.south_deg < b.north_deg &&
+                           b.south_deg < a.north_deg &&
+                           a.west_deg < b.east_deg && b.west_deg < a.east_deg;
+      EXPECT_FALSE(overlap) << profiles[i].name << " vs " << profiles[j].name;
+    }
+  }
+}
+
+TEST(EconomicProfile, WorldTotalsSum) {
+  const EconomicProfile world = world_totals();
+  EXPECT_NEAR(world.population_millions, 2151.0, 1.0);
+  EXPECT_NEAR(world.online_millions, 395.67, 1.0);
+  EXPECT_GT(world.paper_interfaces, 440000.0);
+}
+
+TEST(EconomicProfile, UnknownNameIsNullopt) {
+  EXPECT_FALSE(profile_by_name("Narnia").has_value());
+}
+
+TEST(SynthCities, SizesFollowZipfOrdering) {
+  const auto profile = *profile_by_name("USA");
+  stats::Rng rng(7);
+  const auto cities = synthesize_cities(profile, rng);
+  ASSERT_EQ(cities.size(), profile.city_count);
+  for (std::size_t i = 1; i < cities.size(); ++i) {
+    EXPECT_GE(cities[i - 1].population, cities[i].population);
+  }
+  double total = 0.0;
+  for (const auto& c : cities) total += c.population;
+  EXPECT_NEAR(total,
+              profile.population_millions * 1e6 * profile.urban_fraction,
+              1.0);
+}
+
+TEST(SynthCities, CentersInsideExtent) {
+  const auto profile = *profile_by_name("Japan");
+  stats::Rng rng(8);
+  for (const auto& city : synthesize_cities(profile, rng)) {
+    EXPECT_TRUE(profile.extent.contains(city.center))
+        << geo::to_string(city.center);
+  }
+}
+
+TEST(SynthPopulation, TotalMatchesProfile) {
+  const auto profile = *profile_by_name("Australia");
+  stats::Rng rng(9);
+  const PopulationGrid raster = synthesize_population(profile, rng);
+  EXPECT_NEAR(raster.total_population(), profile.population_millions * 1e6,
+              profile.population_millions * 1e6 * 0.02);
+}
+
+TEST(SynthPopulation, UrbanCellsDenserThanRural) {
+  const auto profile = *profile_by_name("USA");
+  stats::Rng rng(10);
+  const PopulationGrid raster = synthesize_population(profile, rng);
+  // The largest city's cell should hold far more than the uniform floor.
+  const auto& top_city = raster.cities().front();
+  const auto cell = raster.grid().cell_of(top_city.center);
+  ASSERT_TRUE(cell.has_value());
+  const double rural_floor = profile.population_millions * 1e6 *
+                             (1.0 - profile.urban_fraction) /
+                             static_cast<double>(raster.grid().cell_count());
+  EXPECT_GT(raster.cell_population(*cell), 50.0 * rural_floor);
+}
+
+TEST(WorldPopulation, BuildsAllRegionsDeterministically) {
+  const WorldPopulation a = WorldPopulation::build(11);
+  const WorldPopulation b = WorldPopulation::build(11);
+  ASSERT_EQ(a.grids().size(), 7u);
+  EXPECT_DOUBLE_EQ(a.total_population(), b.total_population());
+  EXPECT_NEAR(a.total_population(), 2151e6, 2151e6 * 0.02);
+}
+
+TEST(WorldPopulation, PopulationInSpansGrids) {
+  const WorldPopulation world = WorldPopulation::build(12);
+  const double us = world.population_in(geo::regions::us());
+  EXPECT_GT(us, 200e6);
+  EXPECT_LT(us, 350e6);
+  const double japan = world.population_in(geo::regions::japan());
+  EXPECT_GT(japan, 100e6);
+  EXPECT_LT(japan, 160e6);
+}
+
+}  // namespace
+}  // namespace geonet::population

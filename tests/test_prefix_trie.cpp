@@ -1,0 +1,129 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace geonet::net {
+namespace {
+
+TEST(PrefixTrie, EmptyTrieMatchesNothing) {
+  const PrefixTrie trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.longest_match(*parse_ipv4("1.2.3.4")).has_value());
+}
+
+TEST(PrefixTrie, ExactPrefixLookup) {
+  PrefixTrie trie;
+  trie.insert(*parse_prefix("10.0.0.0/8"), 100);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.exact_match(*parse_prefix("10.0.0.0/8")).value(), 100u);
+  EXPECT_FALSE(trie.exact_match(*parse_prefix("10.0.0.0/9")).has_value());
+  EXPECT_FALSE(trie.exact_match(*parse_prefix("11.0.0.0/8")).has_value());
+}
+
+TEST(PrefixTrie, LongestMatchWins) {
+  PrefixTrie trie;
+  trie.insert(*parse_prefix("10.0.0.0/8"), 1);
+  trie.insert(*parse_prefix("10.1.0.0/16"), 2);
+  trie.insert(*parse_prefix("10.1.2.0/24"), 3);
+
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("10.1.2.3")).value(), 3u);
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("10.1.9.9")).value(), 2u);
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("10.200.0.1")).value(), 1u);
+  EXPECT_FALSE(trie.longest_match(*parse_ipv4("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, MatchEntryReportsPrefix) {
+  PrefixTrie trie;
+  trie.insert(*parse_prefix("192.0.2.0/24"), 7);
+  const auto match = trie.longest_match_entry(*parse_ipv4("192.0.2.200"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(to_string(match->prefix), "192.0.2.0/24");
+  EXPECT_EQ(match->value, 7u);
+}
+
+TEST(PrefixTrie, DefaultRouteCatchesAll) {
+  PrefixTrie trie;
+  trie.insert(*parse_prefix("0.0.0.0/0"), 42);
+  trie.insert(*parse_prefix("8.8.8.0/24"), 8);
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("1.1.1.1")).value(), 42u);
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("8.8.8.8")).value(), 8u);
+}
+
+TEST(PrefixTrie, HostRoute) {
+  PrefixTrie trie;
+  trie.insert(*parse_prefix("5.5.5.5/32"), 55);
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("5.5.5.5")).value(), 55u);
+  EXPECT_FALSE(trie.longest_match(*parse_ipv4("5.5.5.4")).has_value());
+}
+
+TEST(PrefixTrie, ReinsertOverwrites) {
+  PrefixTrie trie;
+  trie.insert(*parse_prefix("10.0.0.0/8"), 1);
+  trie.insert(*parse_prefix("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("10.0.0.1")).value(), 2u);
+}
+
+TEST(PrefixTrie, SiblingPrefixesDoNotInterfere) {
+  PrefixTrie trie;
+  trie.insert(*parse_prefix("128.0.0.0/1"), 1);
+  trie.insert(*parse_prefix("0.0.0.0/1"), 0);
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("200.0.0.1")).value(), 1u);
+  EXPECT_EQ(trie.longest_match(*parse_ipv4("100.0.0.1")).value(), 0u);
+}
+
+TEST(PrefixTrie, EntriesReturnsAllInserted) {
+  PrefixTrie trie;
+  trie.insert(*parse_prefix("10.0.0.0/8"), 1);
+  trie.insert(*parse_prefix("10.1.0.0/16"), 2);
+  trie.insert(*parse_prefix("192.0.2.0/24"), 3);
+  const auto entries = trie.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  std::vector<std::string> texts;
+  for (const auto& e : entries) texts.push_back(to_string(e.prefix));
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "10.0.0.0/8"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "10.1.0.0/16"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "192.0.2.0/24"), texts.end());
+}
+
+// Property test: the trie agrees with a brute-force linear scan on random
+// prefixes and queries.
+TEST(PrefixTrie, AgreesWithLinearScanOnRandomData) {
+  stats::Rng rng(1234);
+  PrefixTrie trie;
+  std::vector<std::pair<Prefix, std::uint32_t>> table;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const Prefix p = normalized(
+        {Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+         static_cast<std::uint8_t>(rng.uniform_index(25) + 8)});
+    trie.insert(p, i);
+    // Mirror overwrite semantics in the reference table.
+    auto it = std::find_if(table.begin(), table.end(),
+                           [&](const auto& e) { return e.first == p; });
+    if (it != table.end()) {
+      it->second = i;
+    } else {
+      table.emplace_back(p, i);
+    }
+  }
+  for (int q = 0; q < 2000; ++q) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng.next_u64())};
+    std::optional<std::uint32_t> expected;
+    int best_len = -1;
+    for (const auto& [prefix, value] : table) {
+      if (contains(prefix, addr) && prefix.length > best_len) {
+        best_len = prefix.length;
+        expected = value;
+      }
+    }
+    EXPECT_EQ(trie.longest_match(addr), expected) << to_string(addr);
+  }
+}
+
+}  // namespace
+}  // namespace geonet::net

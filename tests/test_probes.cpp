@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "synth/mercator.h"
+#include "synth/skitter.h"
+#include "tests/test_world.h"
+
+namespace geonet::synth {
+namespace {
+
+using testing::small_truth;
+
+TEST(Skitter, ObservesASubstantialFractionOfInterfaces) {
+  const GroundTruth& gt = small_truth();
+  const InterfaceObservation obs = run_skitter(gt);
+  EXPECT_GT(obs.traces, 1000u);
+  EXPECT_GT(obs.interfaces.size(), gt.topology().router_count() / 2);
+  EXPECT_GT(obs.links.size(), obs.interfaces.size() / 2);
+  // Observation is strictly smaller than reality.
+  EXPECT_LT(obs.interfaces.size(), gt.topology().interface_count());
+}
+
+TEST(Skitter, ObservedInterfacesAreDistinctAndReal) {
+  const GroundTruth& gt = small_truth();
+  const InterfaceObservation obs = run_skitter(gt);
+  std::unordered_set<net::InterfaceId> seen;
+  for (const net::InterfaceId iface : obs.interfaces) {
+    EXPECT_LT(iface, gt.topology().interface_count());
+    EXPECT_TRUE(seen.insert(iface).second);
+  }
+}
+
+TEST(Skitter, LinksConnectObservedInterfaces) {
+  const GroundTruth& gt = small_truth();
+  const InterfaceObservation obs = run_skitter(gt);
+  std::unordered_set<net::InterfaceId> seen(obs.interfaces.begin(),
+                                            obs.interfaces.end());
+  std::set<std::pair<net::InterfaceId, net::InterfaceId>> links;
+  for (const auto& [a, b] : obs.links) {
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(seen.contains(a));
+    EXPECT_TRUE(seen.contains(b));
+    const auto canon = std::minmax(a, b);
+    EXPECT_TRUE(links.insert({canon.first, canon.second}).second)
+        << "duplicate link";
+  }
+}
+
+TEST(Skitter, InterfaceLinksJoinAdjacentRoutersWhenAllRespond) {
+  // With every router answering probes, a Skitter "link" joins the entry
+  // interfaces of consecutive hops, so the two routers must be directly
+  // connected in the truth.
+  const GroundTruth& gt = small_truth();
+  SkitterOptions options;
+  options.hop_response_rate = 1.0;
+  const InterfaceObservation obs = run_skitter(gt, options);
+  std::size_t checked = 0;
+  for (const auto& [a, b] : obs.links) {
+    const net::RouterId ra = gt.topology().interface(a).router;
+    const net::RouterId rb = gt.topology().interface(b).router;
+    ASSERT_NE(ra, rb);
+    EXPECT_TRUE(gt.topology().are_connected(ra, rb));
+    if (++checked > 2000) break;
+  }
+}
+
+TEST(Skitter, SilentRoutersCreateFalseAdjacencies) {
+  // With some routers filtering ICMP, traces splice over them, producing
+  // interface links between routers that are NOT directly connected — a
+  // documented artifact of traceroute maps that the paper's pipeline
+  // inherits. Silent routers themselves never appear.
+  const GroundTruth& gt = small_truth();
+  SkitterOptions options;
+  options.hop_response_rate = 0.9;
+  const InterfaceObservation obs = run_skitter(gt, options);
+  std::size_t false_adjacent = 0;
+  for (const auto& [a, b] : obs.links) {
+    const net::RouterId ra = gt.topology().interface(a).router;
+    const net::RouterId rb = gt.topology().interface(b).router;
+    if (!gt.topology().are_connected(ra, rb)) ++false_adjacent;
+  }
+  EXPECT_GT(false_adjacent, 0u);
+  // Still a small minority of links.
+  EXPECT_LT(false_adjacent, obs.links.size() / 4);
+}
+
+TEST(Skitter, MoreMonitorsSeeMore) {
+  const GroundTruth& gt = small_truth();
+  SkitterOptions one;
+  one.monitor_count = 1;
+  one.destinations_per_monitor = 500;
+  SkitterOptions many = one;
+  many.monitor_count = 12;
+  const auto few_obs = run_skitter(gt, one);
+  const auto many_obs = run_skitter(gt, many);
+  EXPECT_GT(many_obs.links.size(), few_obs.links.size());
+}
+
+TEST(Skitter, DeterministicForSeed) {
+  const GroundTruth& gt = small_truth();
+  SkitterOptions options;
+  options.destinations_per_monitor = 300;
+  const auto a = run_skitter(gt, options);
+  const auto b = run_skitter(gt, options);
+  EXPECT_EQ(a.interfaces.size(), b.interfaces.size());
+  EXPECT_EQ(a.links.size(), b.links.size());
+  EXPECT_EQ(a.traces, b.traces);
+}
+
+TEST(Mercator, ObservesRoutersWithInterfaces) {
+  const GroundTruth& gt = small_truth();
+  const RouterObservation obs = run_mercator(gt);
+  EXPECT_GT(obs.routers.size(), gt.topology().router_count() / 2);
+  EXPECT_GT(obs.raw_interfaces, obs.routers.size() / 2);
+  for (const ObservedRouter& router : obs.routers) {
+    EXPECT_FALSE(router.interfaces.empty());
+    for (const net::InterfaceId iface : router.interfaces) {
+      // All interfaces of an observed router truly share that router.
+      EXPECT_EQ(gt.topology().interface(iface).router, router.true_router);
+    }
+  }
+}
+
+TEST(Mercator, PerfectAliasResolutionYieldsAtMostOneNodePerRouter) {
+  const GroundTruth& gt = small_truth();
+  MercatorOptions options;
+  options.alias_resolution_rate = 1.0;
+  const RouterObservation obs = run_mercator(gt, options);
+  std::unordered_set<net::RouterId> seen;
+  for (const ObservedRouter& router : obs.routers) {
+    EXPECT_TRUE(seen.insert(router.true_router).second)
+        << "router observed as two nodes despite perfect resolution";
+  }
+}
+
+TEST(Mercator, FailedAliasResolutionInflatesNodeCount) {
+  const GroundTruth& gt = small_truth();
+  MercatorOptions never;
+  never.alias_resolution_rate = 0.0;
+  MercatorOptions always;
+  always.alias_resolution_rate = 1.0;
+  const auto unresolved = run_mercator(gt, never);
+  const auto resolved = run_mercator(gt, always);
+  EXPECT_GT(unresolved.routers.size(), resolved.routers.size());
+  // Without resolution, observed "routers" == observed interfaces.
+  EXPECT_EQ(unresolved.routers.size(), unresolved.raw_interfaces);
+}
+
+TEST(Mercator, LateralDiscoveryAddsLinks) {
+  const GroundTruth& gt = small_truth();
+  MercatorOptions tree_only;
+  tree_only.lateral_discovery_rate = 0.0;
+  MercatorOptions full;
+  full.lateral_discovery_rate = 1.0;
+  full.alias_resolution_rate = 1.0;
+  const auto tree_obs = run_mercator(gt, tree_only);
+  const auto full_obs = run_mercator(gt, full);
+  EXPECT_GT(full_obs.links.size(), tree_obs.links.size());
+  // With full lateral discovery and resolution, every truth link between
+  // reachable routers appears (parallel links collapse onto router pairs).
+  EXPECT_GE(full_obs.links.size(), gt.topology().link_count() * 9 / 10);
+}
+
+TEST(Mercator, LinksReferenceObservedNodes) {
+  const GroundTruth& gt = small_truth();
+  const RouterObservation obs = run_mercator(gt);
+  for (const auto& [a, b] : obs.links) {
+    ASSERT_LT(a, obs.routers.size());
+    ASSERT_LT(b, obs.routers.size());
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST(SkitterVsMercator, SkitterSeesMoreNodes) {
+  // Table I structure: the interface-level dataset is larger than the
+  // router-level one.
+  const GroundTruth& gt = small_truth();
+  const auto skitter = run_skitter(gt);
+  const auto mercator = run_mercator(gt);
+  EXPECT_GT(skitter.interfaces.size(), mercator.routers.size());
+}
+
+}  // namespace
+}  // namespace geonet::synth

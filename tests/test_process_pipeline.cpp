@@ -1,0 +1,180 @@
+// White-box tests of the processing pipeline using a scripted Mapper:
+// exact control over per-address answers makes the paper's Section III.B
+// rules (location votes, tie discards, AS votes) directly checkable.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "synth/scenario.h"
+#include "tests/test_world.h"
+
+namespace geonet::synth {
+namespace {
+
+/// Mapper whose answers are a lookup table; unknown addresses fail.
+class ScriptedMapper final : public Mapper {
+ public:
+  void answer(net::Ipv4Addr addr, const geo::GeoPoint& where) {
+    table_[addr.value] = where;
+  }
+
+  std::optional<geo::GeoPoint> map(net::Ipv4Addr addr, const geo::GeoPoint&,
+                                   const geo::GeoPoint&) const override {
+    const auto it = table_.find(addr.value);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string name() const override { return "Scripted"; }
+
+ private:
+  std::unordered_map<std::uint32_t, geo::GeoPoint> table_;
+};
+
+/// Finds a ground-truth router with at least `n` interfaces.
+net::RouterId router_with_interfaces(const GroundTruth& truth, std::size_t n) {
+  for (net::RouterId r = 0; r < truth.topology().router_count(); ++r) {
+    if (truth.topology().router(r).interfaces.size() >= n) return r;
+  }
+  ADD_FAILURE() << "no router with " << n << " interfaces";
+  return 0;
+}
+
+net::Ipv4Addr addr_of(const GroundTruth& truth, net::InterfaceId iface) {
+  return truth.topology().interface(iface).addr;
+}
+
+TEST(ProcessRouters, MajorityLocationWins) {
+  const auto& truth = testing::small_truth();
+  const net::RouterId r = router_with_interfaces(truth, 3);
+  const auto& ifaces = truth.topology().router(r).interfaces;
+
+  RouterObservation raw;
+  raw.routers.push_back({{ifaces[0], ifaces[1], ifaces[2]}, r});
+
+  ScriptedMapper mapper;
+  const geo::GeoPoint majority{40.0, -74.0};
+  const geo::GeoPoint outlier{34.0, -118.0};
+  mapper.answer(addr_of(truth, ifaces[0]), majority);
+  mapper.answer(addr_of(truth, ifaces[1]), majority);
+  mapper.answer(addr_of(truth, ifaces[2]), outlier);
+
+  ProcessingStats stats;
+  const auto graph = process_router_observation(truth, raw, mapper, &stats);
+  ASSERT_EQ(graph.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(graph.node(0).location.lat_deg, 40.0);
+  EXPECT_EQ(stats.tie_discarded_routers, 0u);
+}
+
+TEST(ProcessRouters, LocationTieDiscardsTheRouter) {
+  const auto& truth = testing::small_truth();
+  const net::RouterId r = router_with_interfaces(truth, 2);
+  const auto& ifaces = truth.topology().router(r).interfaces;
+
+  RouterObservation raw;
+  raw.routers.push_back({{ifaces[0], ifaces[1]}, r});
+
+  ScriptedMapper mapper;
+  mapper.answer(addr_of(truth, ifaces[0]), {40.0, -74.0});
+  mapper.answer(addr_of(truth, ifaces[1]), {34.0, -118.0});
+
+  ProcessingStats stats;
+  const auto graph = process_router_observation(truth, raw, mapper, &stats);
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_EQ(stats.tie_discarded_routers, 1u);
+}
+
+TEST(ProcessRouters, SingleMappedInterfaceIsNoTie) {
+  const auto& truth = testing::small_truth();
+  const net::RouterId r = router_with_interfaces(truth, 2);
+  const auto& ifaces = truth.topology().router(r).interfaces;
+
+  RouterObservation raw;
+  raw.routers.push_back({{ifaces[0], ifaces[1]}, r});
+
+  ScriptedMapper mapper;  // only one interface mappable
+  mapper.answer(addr_of(truth, ifaces[0]), {40.0, -74.0});
+
+  ProcessingStats stats;
+  const auto graph = process_router_observation(truth, raw, mapper, &stats);
+  ASSERT_EQ(graph.node_count(), 1u);
+  EXPECT_EQ(stats.tie_discarded_routers, 0u);
+}
+
+TEST(ProcessRouters, FullyUnmappedRouterDiscarded) {
+  const auto& truth = testing::small_truth();
+  const net::RouterId r = router_with_interfaces(truth, 1);
+  RouterObservation raw;
+  raw.routers.push_back(
+      {{truth.topology().router(r).interfaces.front()}, r});
+
+  const ScriptedMapper mapper;  // empty: everything fails
+  ProcessingStats stats;
+  const auto graph = process_router_observation(truth, raw, mapper, &stats);
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_EQ(stats.unmapped_nodes, 1u);
+}
+
+TEST(ProcessRouters, LinksToDiscardedRoutersDrop) {
+  const auto& truth = testing::small_truth();
+  const net::RouterId r1 = router_with_interfaces(truth, 1);
+  net::RouterId r2 = r1 + 1;
+  const net::InterfaceId if1 = truth.topology().router(r1).interfaces.front();
+  const net::InterfaceId if2 = truth.topology().router(r2).interfaces.front();
+
+  RouterObservation raw;
+  raw.routers.push_back({{if1}, r1});
+  raw.routers.push_back({{if2}, r2});
+  raw.links.emplace_back(0, 1);
+
+  ScriptedMapper mapper;
+  mapper.answer(addr_of(truth, if1), {40.0, -74.0});
+  // if2 unmapped -> router 1 discarded -> link dropped.
+
+  const auto graph = process_router_observation(truth, raw, mapper);
+  EXPECT_EQ(graph.node_count(), 1u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(ProcessInterfaces, UnmappedInterfacesAndTheirLinksDrop) {
+  const auto& truth = testing::small_truth();
+  const net::RouterId r = router_with_interfaces(truth, 2);
+  const auto& ifaces = truth.topology().router(r).interfaces;
+
+  InterfaceObservation raw;
+  raw.interfaces = {ifaces[0], ifaces[1]};
+  raw.links.emplace_back(ifaces[0], ifaces[1]);
+
+  ScriptedMapper mapper;
+  mapper.answer(addr_of(truth, ifaces[0]), {40.0, -74.0});
+
+  ProcessingStats stats;
+  const auto graph = process_interface_observation(truth, raw, mapper, &stats);
+  EXPECT_EQ(graph.node_count(), 1u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(stats.unmapped_nodes, 1u);
+}
+
+TEST(ProcessInterfaces, AsLabelsComeFromBgpNotGroundTruth) {
+  // The pipeline must label by longest-prefix match of the address, the
+  // paper's method — not by peeking at the true owner.
+  const auto& truth = testing::small_truth();
+  const net::RouterId r = router_with_interfaces(truth, 1);
+  const net::InterfaceId iface = truth.topology().router(r).interfaces.front();
+
+  InterfaceObservation raw;
+  raw.interfaces = {iface};
+
+  ScriptedMapper mapper;
+  mapper.answer(addr_of(truth, iface), {40.0, -74.0});
+
+  const auto graph = process_interface_observation(truth, raw, mapper);
+  ASSERT_EQ(graph.node_count(), 1u);
+  const auto expected =
+      truth.bgp().origin_as(addr_of(truth, iface)).value_or(net::kUnknownAs);
+  EXPECT_EQ(graph.node(0).asn, expected);
+}
+
+}  // namespace
+}  // namespace geonet::synth

@@ -1,0 +1,100 @@
+#include "geo/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace geonet::geo {
+namespace {
+
+double planar_distance(const PlanarPoint& a, const PlanarPoint& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+TEST(Albers, OriginProjectsNearZero) {
+  const Region us = regions::us();
+  const AlbersProjection proj = AlbersProjection::for_region(us);
+  const PlanarPoint origin = proj.project(us.center());
+  EXPECT_NEAR(origin.x, 0.0, 1e-6);
+  EXPECT_NEAR(origin.y, 0.0, 1e-6);
+}
+
+TEST(Albers, DistancesNearOriginApproximateGreatCircle) {
+  const Region us = regions::us();
+  const AlbersProjection proj = AlbersProjection::for_region(us);
+  const GeoPoint a{38.0, -97.0};
+  const GeoPoint b{39.0, -95.0};
+  const double planar = planar_distance(proj.project(a), proj.project(b));
+  const double sphere = great_circle_miles(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 0.01);
+}
+
+TEST(Albers, PreservesAreasAcrossLatitudes) {
+  // Equal-area property: two 1-degree boxes at different latitudes must
+  // project to areas in the same ratio as their spherical areas.
+  const AlbersProjection proj = AlbersProjection::world();
+  const auto projected_quad_area = [&](double lat, double lon) {
+    const PlanarPoint p00 = proj.project({lat, lon});
+    const PlanarPoint p01 = proj.project({lat, lon + 1.0});
+    const PlanarPoint p11 = proj.project({lat + 1.0, lon + 1.0});
+    const PlanarPoint p10 = proj.project({lat + 1.0, lon});
+    // Shoelace over the quad.
+    const auto cross = [](const PlanarPoint& a, const PlanarPoint& b) {
+      return a.x * b.y - b.x * a.y;
+    };
+    return 0.5 * std::fabs(cross(p00, p01) + cross(p01, p11) +
+                           cross(p11, p10) + cross(p10, p00));
+  };
+  const Region low{"low", 10.0, 11.0, 5.0, 6.0};
+  const Region high{"high", 55.0, 56.0, 5.0, 6.0};
+  const double ratio_truth = high.area_sq_miles() / low.area_sq_miles();
+  const double ratio_projected =
+      projected_quad_area(55.0, 5.0) / projected_quad_area(10.0, 5.0);
+  EXPECT_NEAR(ratio_projected / ratio_truth, 1.0, 0.01);
+}
+
+TEST(Albers, AbsoluteAreaIsAccurate) {
+  const Region us = regions::us();
+  const AlbersProjection proj = AlbersProjection::for_region(us);
+  // A 2x2 degree box in the middle of the region.
+  const Region box{"box", 36.0, 38.0, -98.0, -96.0};
+  const PlanarPoint p00 = proj.project({box.south_deg, box.west_deg});
+  const PlanarPoint p01 = proj.project({box.south_deg, box.east_deg});
+  const PlanarPoint p11 = proj.project({box.north_deg, box.east_deg});
+  const PlanarPoint p10 = proj.project({box.north_deg, box.west_deg});
+  const auto cross = [](const PlanarPoint& a, const PlanarPoint& b) {
+    return a.x * b.y - b.x * a.y;
+  };
+  const double projected = 0.5 * std::fabs(cross(p00, p01) + cross(p01, p11) +
+                                           cross(p11, p10) + cross(p10, p00));
+  EXPECT_NEAR(projected / box.area_sq_miles(), 1.0, 0.01);
+}
+
+TEST(Albers, MeridiansConvergePoleward) {
+  const AlbersProjection proj = AlbersProjection::world();
+  const double equator = planar_distance(proj.project({0.0, 0.0}),
+                                         proj.project({0.0, 10.0}));
+  const double north = planar_distance(proj.project({70.0, 0.0}),
+                                       proj.project({70.0, 10.0}));
+  EXPECT_LT(north, equator);
+}
+
+TEST(Albers, DistinctPointsProjectDistinctly) {
+  const AlbersProjection proj = AlbersProjection::world();
+  EXPECT_NE(proj.project({10.0, 20.0}), proj.project({10.0, 21.0}));
+  EXPECT_NE(proj.project({10.0, 20.0}), proj.project({11.0, 20.0}));
+}
+
+TEST(Albers, SouthernHemisphereRegionWorks) {
+  const Region australia{"Australia", -45.0, -10.0, 112.0, 155.0};
+  const AlbersProjection proj = AlbersProjection::for_region(australia);
+  const GeoPoint a{-33.9, 151.2};  // Sydney
+  const GeoPoint b{-37.8, 144.9};  // Melbourne
+  const double planar = planar_distance(proj.project(a), proj.project(b));
+  EXPECT_NEAR(planar / great_circle_miles(a, b), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace geonet::geo

@@ -1,0 +1,166 @@
+// Property-style parameterized sweeps over the geographic primitives:
+// every invariant must hold for every study region (and a few synthetic
+// boxes), not just hand-picked examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/box_counting.h"
+#include "geo/convex_hull.h"
+#include "geo/distance.h"
+#include "geo/grid.h"
+#include "geo/projection.h"
+#include "geo/region.h"
+#include "stats/rng.h"
+
+namespace geonet::geo {
+namespace {
+
+std::vector<Region> sweep_regions() {
+  return {regions::us(),
+          regions::europe(),
+          regions::japan(),
+          regions::australia(),
+          regions::south_america(),
+          {"equatorial", -8.0, 8.0, -30.0, 10.0},
+          {"tall", 10.0, 58.0, 100.0, 112.0}};
+}
+
+class RegionSweep : public ::testing::TestWithParam<Region> {
+ protected:
+  stats::Rng rng_{GetParam().name.size() * 7919 + 11};
+
+  GeoPoint random_point() {
+    const Region& r = GetParam();
+    return {rng_.uniform(r.south_deg, r.north_deg),
+            rng_.uniform(r.west_deg, r.east_deg)};
+  }
+};
+
+TEST_P(RegionSweep, RandomPointsAreContained) {
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(GetParam().contains(random_point()));
+  }
+}
+
+TEST_P(RegionSweep, DiagonalBoundsSampledPairDistances) {
+  const double diag = GetParam().diagonal_miles();
+  for (int i = 0; i < 300; ++i) {
+    const double d = great_circle_miles(random_point(), random_point());
+    EXPECT_LE(d, diag + 1e-6);
+  }
+}
+
+TEST_P(RegionSweep, AreaPositiveAndBelowHemisphere) {
+  const double area = GetParam().area_sq_miles();
+  EXPECT_GT(area, 0.0);
+  EXPECT_LT(area, 2.0 * kPi * kEarthRadiusMiles * kEarthRadiusMiles);
+}
+
+TEST_P(RegionSweep, GridRoundTripsEverySampledPoint) {
+  for (const double arcmin : {75.0, 22.5, 7.5}) {
+    const Grid grid(GetParam(), arcmin);
+    for (int i = 0; i < 200; ++i) {
+      const GeoPoint p = random_point();
+      const auto cell = grid.cell_of(p);
+      ASSERT_TRUE(cell.has_value());
+      EXPECT_TRUE(grid.cell_bounds(*cell).contains(p))
+          << to_string(p) << " arcmin=" << arcmin;
+    }
+  }
+}
+
+TEST_P(RegionSweep, GridCellsPartitionTally) {
+  const Grid grid(GetParam(), 75.0);
+  std::vector<GeoPoint> points;
+  for (int i = 0; i < 800; ++i) points.push_back(random_point());
+  std::size_t dropped = 0;
+  const auto counts = grid.tally(points, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  double total = 0.0;
+  for (const double c : counts) total += c;
+  EXPECT_DOUBLE_EQ(total, 800.0);
+}
+
+TEST_P(RegionSweep, ProjectionPreservesSmallDistancesEverywhere) {
+  const AlbersProjection proj = AlbersProjection::for_region(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const GeoPoint a = random_point();
+    const GeoPoint b =
+        destination_point(a, rng_.uniform(0.0, 360.0), rng_.uniform(5.0, 60.0));
+    if (!GetParam().contains(b)) continue;
+    const PlanarPoint pa = proj.project(a);
+    const PlanarPoint pb = proj.project(b);
+    const double planar = std::hypot(pa.x - pb.x, pa.y - pb.y);
+    const double sphere = great_circle_miles(a, b);
+    // Equal-area conic preserves areas, not distances; for regions
+    // spanning 60+ degrees of latitude the distance distortion reaches
+    // ~10% at the edges.
+    EXPECT_NEAR(planar / sphere, 1.0, 0.12) << to_string(a);
+  }
+}
+
+TEST_P(RegionSweep, HullOfProjectedSampleContainsProjectedPoints) {
+  const AlbersProjection proj = AlbersProjection::for_region(GetParam());
+  std::vector<PlanarPoint> pts;
+  for (int i = 0; i < 300; ++i) pts.push_back(proj.project(random_point()));
+  const auto hull = convex_hull(pts);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(point_in_convex_polygon(p, hull));
+  }
+}
+
+TEST_P(RegionSweep, HullAreaNeverExceedsRegionArea) {
+  const AlbersProjection proj = AlbersProjection::for_region(GetParam());
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 400; ++i) pts.push_back(random_point());
+  const double hull_area = hull_area_sq_miles(pts, proj);
+  // Parallels project to arcs, so a hull of near-corner points can bulge
+  // past the straight-edged box area; allow that sliver plus distortion.
+  EXPECT_LE(hull_area, GetParam().area_sq_miles() * 1.15);
+  EXPECT_GT(hull_area, 0.0);
+}
+
+TEST_P(RegionSweep, BoxCountingDimensionBetweenZeroAndTwo) {
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back(random_point());
+  const auto result = box_counting_dimension(pts, GetParam());
+  EXPECT_GT(result.dimension, 0.0);
+  EXPECT_LT(result.dimension, 2.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegions, RegionSweep,
+                         ::testing::ValuesIn(sweep_regions()),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (auto& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- destination_point round trip swept over distances and bearings ---
+
+class DestinationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DestinationSweep, DistanceRoundTrips) {
+  const auto [bearing, distance] = GetParam();
+  stats::Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const GeoPoint start{rng.uniform(-65.0, 65.0), rng.uniform(-179.0, 179.0)};
+    const GeoPoint end = destination_point(start, bearing, distance);
+    EXPECT_NEAR(great_circle_miles(start, end), distance, 1e-6 * distance + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BearingsAndDistances, DestinationSweep,
+    ::testing::Combine(::testing::Values(0.0, 45.0, 90.0, 180.0, 270.0, 359.0),
+                       ::testing::Values(1.0, 50.0, 500.0, 3000.0)));
+
+}  // namespace
+}  // namespace geonet::geo

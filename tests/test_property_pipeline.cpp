@@ -1,0 +1,195 @@
+// Parameterized invariant sweeps over the measurement pipeline: every
+// processed dataset (dataset x mapper), every pair-counting engine, and a
+// range of generator seeds must satisfy the structural invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distance_pref.h"
+#include "geo/distance.h"
+#include "generators/ba_gen.h"
+#include "generators/geo_gen.h"
+#include "generators/waxman_gen.h"
+#include "net/graph_algos.h"
+#include "tests/test_world.h"
+
+namespace geonet {
+namespace {
+
+// ------------------------------------------------------------------
+// Sweep 1: all four processed datasets.
+// ------------------------------------------------------------------
+
+using DatasetParam = std::tuple<synth::DatasetKind, synth::MapperKind>;
+
+class ProcessedDatasetSweep : public ::testing::TestWithParam<DatasetParam> {
+ protected:
+  const net::AnnotatedGraph& graph() const {
+    return testing::small_scenario().graph(std::get<0>(GetParam()),
+                                           std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(ProcessedDatasetSweep, AllLocationsValidAndOnLand) {
+  const auto& profiles = testing::small_scenario().world().profiles();
+  std::size_t stray = 0;
+  for (const auto& node : graph().nodes()) {
+    ASSERT_TRUE(geo::is_valid(node.location));
+    bool in_some_region = false;
+    for (const auto& profile : profiles) {
+      in_some_region |= profile.extent.contains(node.location);
+    }
+    if (!in_some_region) ++stray;
+  }
+  // City snapping keeps nodes inside economic regions; only quantisation
+  // at region edges can stray.
+  EXPECT_LT(static_cast<double>(stray),
+            0.02 * static_cast<double>(graph().node_count()));
+}
+
+TEST_P(ProcessedDatasetSweep, EdgesReferenceValidNodesWithoutLoops) {
+  for (const auto& edge : graph().edges()) {
+    ASSERT_LT(edge.a, graph().node_count());
+    ASSERT_LT(edge.b, graph().node_count());
+    EXPECT_LT(edge.a, edge.b);  // canonical order implies no self-loop
+  }
+}
+
+TEST_P(ProcessedDatasetSweep, MostNodesCarryAsLabels) {
+  std::size_t unmapped = 0;
+  for (const auto& node : graph().nodes()) {
+    if (node.asn == net::kUnknownAs) ++unmapped;
+  }
+  EXPECT_LT(static_cast<double>(unmapped),
+            0.10 * static_cast<double>(graph().node_count()));
+}
+
+TEST_P(ProcessedDatasetSweep, GiantComponentDominates) {
+  // Mercator's single-source map is tree-heavy, so discarding unmapped or
+  // tie-voted routers severs more of it than the multi-monitor Skitter map.
+  const bool router_level = std::get<0>(GetParam()) == synth::DatasetKind::kMercator;
+  const std::size_t floor = router_level ? graph().node_count() * 6 / 10
+                                         : graph().node_count() * 7 / 10;
+  EXPECT_GT(net::giant_component_size(graph()), floor);
+}
+
+TEST_P(ProcessedDatasetSweep, DegreesAreConsistentWithEdgeCount) {
+  const auto degrees = graph().degrees();
+  std::size_t total = 0;
+  for (const auto d : degrees) total += d;
+  EXPECT_EQ(total, 2 * graph().edge_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProcessedDatasets, ProcessedDatasetSweep,
+    ::testing::Combine(::testing::Values(synth::DatasetKind::kSkitter,
+                                         synth::DatasetKind::kMercator),
+                       ::testing::Values(synth::MapperKind::kIxMapper,
+                                         synth::MapperKind::kEdgeScape)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------------
+// Sweep 2: pair-counting engines agree on total mass for any geometry.
+// ------------------------------------------------------------------
+
+class PairEngineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PairEngineSweep, EnginesAgreeOnTotalPairMass) {
+  stats::Rng rng(GetParam());
+  const geo::Region box{"box", 36.0, 46.0, -110.0, -90.0};
+  std::vector<geo::GeoPoint> points;
+  const std::size_t n = 120 + rng.uniform_index(250);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mixture of clustered and scattered points.
+    if (rng.bernoulli(0.7)) {
+      points.push_back({40.0 + rng.normal(0.0, 0.4),
+                        -100.0 + rng.normal(0.0, 0.4)});
+    } else {
+      points.push_back({rng.uniform(box.south_deg, box.north_deg),
+                        rng.uniform(box.west_deg, box.east_deg)});
+    }
+  }
+  for (auto& p : points) {
+    p.lat_deg = std::clamp(p.lat_deg, box.south_deg, box.north_deg - 1e-9);
+    p.lon_deg = std::clamp(p.lon_deg, box.west_deg, box.east_deg - 1e-9);
+  }
+
+  const double expected =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  for (const auto method :
+       {core::PairCountMethod::kExact, core::PairCountMethod::kGrid,
+        core::PairCountMethod::kSampled}) {
+    core::DistancePrefOptions options;
+    options.method = method;
+    options.sample_pairs = 100000;
+    options.seed = GetParam();
+    const auto hist = core::pair_distance_histogram(
+        points, 0.0, box.diagonal_miles() * 1.01, 50, box, options);
+    const double mass = hist.total() + hist.overflow() + hist.underflow();
+    EXPECT_NEAR(mass, expected, expected * 0.02)
+        << "method " << static_cast<int>(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairEngineSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ------------------------------------------------------------------
+// Sweep 3: generator invariants across seeds.
+// ------------------------------------------------------------------
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, BarabasiAlbertAlwaysConnected) {
+  generators::BarabasiAlbertOptions options;
+  options.node_count = 600;
+  options.seed = GetParam();
+  const auto g = generators::generate_barabasi_albert(geo::regions::us(),
+                                                      options);
+  EXPECT_EQ(net::giant_component_size(g), g.node_count());
+}
+
+TEST_P(GeneratorSeedSweep, WaxmanShortLinksOutnumberLongOnes) {
+  generators::WaxmanOptions options;
+  options.node_count = 500;
+  options.alpha = 0.12;
+  options.beta = 0.4;
+  options.seed = GetParam();
+  const auto g = generators::generate_waxman(geo::regions::us(), options);
+  const double half = geo::regions::us().diagonal_miles() / 2.0;
+  std::size_t short_links = 0;
+  std::size_t long_links = 0;
+  for (const auto& e : g.edges()) {
+    const double d = geo::great_circle_miles(g.node(e.a).location,
+                                             g.node(e.b).location);
+    (d < half ? short_links : long_links) += 1;
+  }
+  ASSERT_GT(short_links + long_links, 50u);
+  EXPECT_GT(short_links, 3 * long_links);
+}
+
+TEST_P(GeneratorSeedSweep, GeoGeneratorDeterministicPerSeed) {
+  generators::GeoGeneratorOptions options;
+  options.router_count = 800;
+  options.seed = GetParam();
+  const auto a =
+      generators::generate_geo_topology(testing::small_world(), options);
+  const auto b =
+      generators::generate_geo_topology(testing::small_world(), options);
+  EXPECT_EQ(a.graph.node_count(), b.graph.node_count());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  ASSERT_GT(a.graph.node_count(), 0u);
+  const auto mid = a.graph.node_count() / 2;
+  EXPECT_DOUBLE_EQ(a.graph.node(mid).location.lon_deg,
+                   b.graph.node(mid).location.lon_deg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace geonet

@@ -1,0 +1,122 @@
+#include "geo/region.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace geonet::geo {
+namespace {
+
+TEST(Region, PaperTableIIBoundaries) {
+  const Region us = regions::us();
+  EXPECT_DOUBLE_EQ(us.north_deg, 50.0);
+  EXPECT_DOUBLE_EQ(us.south_deg, 25.0);
+  EXPECT_DOUBLE_EQ(us.west_deg, -150.0);
+  EXPECT_DOUBLE_EQ(us.east_deg, -45.0);
+
+  const Region europe = regions::europe();
+  EXPECT_DOUBLE_EQ(europe.north_deg, 58.0);
+  EXPECT_DOUBLE_EQ(europe.south_deg, 42.0);
+  EXPECT_DOUBLE_EQ(europe.west_deg, -5.0);
+  EXPECT_DOUBLE_EQ(europe.east_deg, 22.0);
+
+  const Region japan = regions::japan();
+  EXPECT_DOUBLE_EQ(japan.north_deg, 60.0);
+  EXPECT_DOUBLE_EQ(japan.south_deg, 30.0);
+  EXPECT_DOUBLE_EQ(japan.west_deg, 130.0);
+  EXPECT_DOUBLE_EQ(japan.east_deg, 150.0);
+}
+
+TEST(Region, ContainsInclusiveExclusive) {
+  const Region us = regions::us();
+  EXPECT_TRUE(us.contains({25.0, -150.0}));   // lower edges inclusive
+  EXPECT_FALSE(us.contains({50.0, -100.0}));  // upper edges exclusive
+  EXPECT_FALSE(us.contains({40.0, -45.0}));
+  EXPECT_TRUE(us.contains({40.0, -100.0}));
+  EXPECT_FALSE(us.contains({40.0, 100.0}));
+}
+
+TEST(Region, UsSubregionsPartitionTheBox) {
+  const Region north = regions::northern_us();
+  const Region south = regions::southern_us();
+  const Region us = regions::us();
+  EXPECT_DOUBLE_EQ(north.north_deg, us.north_deg);
+  EXPECT_DOUBLE_EQ(south.south_deg, us.south_deg);
+  EXPECT_DOUBLE_EQ(north.south_deg, south.north_deg);
+  // Any US point is in exactly one subregion.
+  for (double lat = 25.5; lat < 50.0; lat += 3.1) {
+    const GeoPoint p{lat, -100.0};
+    EXPECT_NE(north.contains(p), south.contains(p));
+  }
+}
+
+TEST(Region, SpansAndCenter) {
+  const Region europe = regions::europe();
+  EXPECT_DOUBLE_EQ(europe.lat_span_deg(), 16.0);
+  EXPECT_DOUBLE_EQ(europe.lon_span_deg(), 27.0);
+  const GeoPoint c = europe.center();
+  EXPECT_DOUBLE_EQ(c.lat_deg, 50.0);
+  EXPECT_DOUBLE_EQ(c.lon_deg, 8.5);
+}
+
+TEST(Region, DiagonalBoundsAllInteriorDistances) {
+  const Region japan = regions::japan();
+  const double diag = japan.diagonal_miles();
+  EXPECT_GT(diag, 0.0);
+  EXPECT_GE(diag + 1e-6,
+            great_circle_miles({japan.south_deg, japan.west_deg},
+                               {japan.north_deg, japan.east_deg}));
+}
+
+TEST(Region, AreaMatchesSphericalFormula) {
+  // Whole sphere: 4 pi R^2.
+  const Region world = regions::world();
+  EXPECT_NEAR(world.area_sq_miles(),
+              4.0 * kPi * kEarthRadiusMiles * kEarthRadiusMiles,
+              1.0);
+}
+
+TEST(Region, AreaOfBandScalesWithLongitude) {
+  const Region half{"half", 0.0, 10.0, 0.0, 180.0};
+  const Region full{"full", 0.0, 10.0, -180.0, 180.0};
+  EXPECT_NEAR(full.area_sq_miles() / half.area_sq_miles(), 2.0, 1e-9);
+}
+
+TEST(Region, ByNameFindsAllCanonicalRegions) {
+  for (const char* name :
+       {"US", "Europe", "Japan", "Northern US", "Southern US", "Central Am.",
+        "Africa", "South America", "Mexico", "W. Europe", "Australia",
+        "World"}) {
+    const auto region = regions::by_name(name);
+    ASSERT_TRUE(region.has_value()) << name;
+    EXPECT_EQ(region->name, name);
+  }
+  EXPECT_FALSE(regions::by_name("Atlantis").has_value());
+}
+
+TEST(Region, PaperStudyRegionsOrder) {
+  const auto regions = regions::paper_study_regions();
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[0].name, "US");
+  EXPECT_EQ(regions[1].name, "Europe");
+  EXPECT_EQ(regions[2].name, "Japan");
+}
+
+TEST(Region, EconomicRegionsMatchTableIII) {
+  const auto regions = regions::economic_regions();
+  ASSERT_EQ(regions.size(), 7u);
+  EXPECT_EQ(regions.front().name, "Africa");
+  EXPECT_EQ(regions.back().name, "US");
+}
+
+TEST(Region, WorldContainsEverything) {
+  const Region world = regions::world();
+  EXPECT_TRUE(world.contains({0.0, 0.0}));
+  EXPECT_TRUE(world.contains({-89.9, -179.9}));
+  EXPECT_TRUE(world.contains({89.9, 179.9}));
+}
+
+}  // namespace
+}  // namespace geonet::geo

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "report/ascii_map.h"
+#include "report/series.h"
+#include "report/table.h"
+
+namespace geonet::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"Region", "Nodes"});
+  table.add_row({"US", "1234"});
+  table.add_row({"Europe", "56"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("Region"), std::string::npos);
+  EXPECT_NE(out.find("US"), std::string::npos);
+  EXPECT_NE(out.find("1234"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NO_THROW(table.to_string());
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table table({"name", "count"});
+  table.add_row({"x", "5"});
+  table.add_row({"y", "12345"});
+  const std::string out = table.to_string();
+  // "5" must be right-aligned under "count": find the row line.
+  std::istringstream stream(out);
+  std::string line;
+  std::getline(stream, line);  // header
+  std::getline(stream, line);  // separator
+  std::getline(stream, line);  // row x
+  EXPECT_EQ(line.back(), '5');
+}
+
+TEST(Table, MarkdownRendering) {
+  Table table({"Region", "Nodes"});
+  table.add_row({"US", "1234"});
+  const std::string md = table.to_markdown();
+  EXPECT_EQ(md, "| Region | Nodes |\n|---|---|\n| US | 1234 |\n");
+}
+
+TEST(Formatting, Fmt) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Formatting, FmtCountThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(563521), "563,521");
+  EXPECT_EQ(fmt_count(1075454), "1,075,454");
+}
+
+TEST(Formatting, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.921, 1), "92.1%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Series, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/geonet_series.dat";
+  Series series{"f(d)", {{1.0, 0.5}, {2.0, 0.25}}};
+  ASSERT_TRUE(write_series(path, series, "unit test"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# unit test");
+  std::getline(in, line);  // series header
+  double x = 0.0, y = 0.0;
+  in >> x >> y;
+  EXPECT_DOUBLE_EQ(x, 1.0);
+  EXPECT_DOUBLE_EQ(y, 0.5);
+  in >> x >> y;
+  EXPECT_DOUBLE_EQ(x, 2.0);
+  EXPECT_DOUBLE_EQ(y, 0.25);
+}
+
+TEST(Series, WriteColumnsTruncatesToShortest) {
+  const std::string path = ::testing::TempDir() + "/geonet_columns.dat";
+  ASSERT_TRUE(write_columns(path, {"a", "b"},
+                            {{1.0, 2.0, 3.0}, {10.0, 20.0}}));
+  std::ifstream in(path);
+  std::string line;
+  int data_lines = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') ++data_lines;
+  }
+  EXPECT_EQ(data_lines, 2);
+}
+
+TEST(Series, WriteFailsOnBadPath) {
+  EXPECT_FALSE(write_series("/nonexistent-dir/xyz/file.dat", {"s", {}}));
+}
+
+TEST(AsciiMap, DimensionsAndContent) {
+  std::vector<geo::GeoPoint> points;
+  for (int i = 0; i < 50; ++i) points.push_back({40.0, -100.0});
+  points.push_back({30.0, -80.0});
+  const geo::Region us = geo::regions::us();
+  const std::string map = ascii_density_map(points, us, 60);
+  // 60 wide, aspect-derived height, newline-terminated rows.
+  const auto first_newline = map.find('\n');
+  EXPECT_EQ(first_newline, 60u);
+  // Dense cell renders darker than the single-point cell.
+  EXPECT_NE(map.find('@'), std::string::npos);
+  EXPECT_NE(map.find_first_of(".:-="), std::string::npos);
+}
+
+TEST(AsciiMap, EmptyPointsAllBlank) {
+  const std::string map =
+      ascii_density_map({}, geo::regions::us(), 40);
+  for (const char c : map) {
+    EXPECT_TRUE(c == ' ' || c == '\n');
+  }
+}
+
+TEST(AsciiMap, PointsOutsideRegionIgnored) {
+  std::vector<geo::GeoPoint> points{{51.5, -0.1}};  // London not in US box
+  const std::string map = ascii_density_map(points, geo::regions::us(), 40);
+  for (const char c : map) {
+    EXPECT_TRUE(c == ' ' || c == '\n');
+  }
+}
+
+TEST(ResultsDir, CreatesDirectory) {
+  const std::string dir = results_dir();
+  EXPECT_FALSE(dir.empty());
+  std::ofstream probe(dir + "/probe.tmp");
+  EXPECT_TRUE(probe.good());
+  probe.close();
+  std::remove((dir + "/probe.tmp").c_str());
+}
+
+}  // namespace
+}  // namespace geonet::report

@@ -1,0 +1,201 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace geonet::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differ;
+  }
+  EXPECT_GT(differ, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(8);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexIsUnbiased) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.2, 0.01);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(12);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(14);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(15);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(16);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(4.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(18);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(2.5));
+  EXPECT_NEAR(sum / kN, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / kN, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(20);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(std::span<int>(copy));
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(42);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  int differ = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a.next_u64() != child_b.next_u64()) ++differ;
+  }
+  EXPECT_GT(differ, 60);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(42);
+  Rng p2(42);
+  Rng c1 = p1.fork(9);
+  Rng c2 = p2.fork(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+  EXPECT_NE(splitmix64(s2), first);  // state advanced
+}
+
+}  // namespace
+}  // namespace geonet::stats

@@ -1,0 +1,159 @@
+#include "synth/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_world.h"
+
+namespace geonet::synth {
+namespace {
+
+using testing::small_scenario;
+
+TEST(Scenario, BuildsAllFourProcessedDatasets) {
+  const Scenario& s = small_scenario();
+  for (const DatasetKind dataset :
+       {DatasetKind::kSkitter, DatasetKind::kMercator}) {
+    for (const MapperKind mapper :
+         {MapperKind::kIxMapper, MapperKind::kEdgeScape}) {
+      const auto& graph = s.graph(dataset, mapper);
+      EXPECT_GT(graph.node_count(), 100u) << graph.name();
+      EXPECT_GT(graph.edge_count(), 100u) << graph.name();
+      const auto& stats = s.stats(dataset, mapper);
+      EXPECT_EQ(stats.output_nodes, graph.node_count());
+      EXPECT_EQ(stats.output_links, graph.edge_count());
+      EXPECT_GT(stats.distinct_locations, 10u);
+      EXPECT_LE(stats.distinct_locations, graph.node_count());
+    }
+  }
+}
+
+TEST(Scenario, DatasetNamesIdentifyPipeline) {
+  const Scenario& s = small_scenario();
+  EXPECT_EQ(s.graph(DatasetKind::kSkitter, MapperKind::kIxMapper).name(),
+            "Skitter+IxMapper");
+  EXPECT_EQ(s.graph(DatasetKind::kMercator, MapperKind::kEdgeScape).name(),
+            "Mercator+EdgeScape");
+  EXPECT_STREQ(to_string(DatasetKind::kSkitter), "Skitter");
+  EXPECT_STREQ(to_string(MapperKind::kEdgeScape), "EdgeScape");
+}
+
+TEST(Scenario, NodeKindsMatchDatasets) {
+  const Scenario& s = small_scenario();
+  EXPECT_EQ(s.graph(DatasetKind::kSkitter, MapperKind::kIxMapper).kind(),
+            net::NodeKind::kInterface);
+  EXPECT_EQ(s.graph(DatasetKind::kMercator, MapperKind::kIxMapper).kind(),
+            net::NodeKind::kRouter);
+}
+
+TEST(Scenario, TableIShape_SkitterLargerThanMercator) {
+  const Scenario& s = small_scenario();
+  for (const MapperKind mapper :
+       {MapperKind::kIxMapper, MapperKind::kEdgeScape}) {
+    EXPECT_GT(s.graph(DatasetKind::kSkitter, mapper).node_count(),
+              s.graph(DatasetKind::kMercator, mapper).node_count());
+    EXPECT_GT(s.graph(DatasetKind::kSkitter, mapper).edge_count(),
+              s.graph(DatasetKind::kMercator, mapper).edge_count());
+  }
+}
+
+TEST(Scenario, EdgeScapeMapsMoreThanIxMapper) {
+  // Section III.B: EdgeScape's failure rate is lower, so it keeps more
+  // nodes of the same raw observation.
+  const Scenario& s = small_scenario();
+  EXPECT_GE(s.graph(DatasetKind::kSkitter, MapperKind::kEdgeScape).node_count(),
+            s.graph(DatasetKind::kSkitter, MapperKind::kIxMapper).node_count());
+  EXPECT_LT(s.stats(DatasetKind::kSkitter, MapperKind::kEdgeScape).unmapped_nodes,
+            s.stats(DatasetKind::kSkitter, MapperKind::kIxMapper).unmapped_nodes);
+}
+
+TEST(Scenario, UnmappedFractionsMatchPaperOrderOfMagnitude) {
+  const Scenario& s = small_scenario();
+  const auto& stats = s.stats(DatasetKind::kSkitter, MapperKind::kIxMapper);
+  const double unmapped_fraction =
+      static_cast<double>(stats.unmapped_nodes) /
+      static_cast<double>(stats.input_nodes);
+  EXPECT_GT(unmapped_fraction, 0.001);
+  EXPECT_LT(unmapped_fraction, 0.05);  // paper: ~1.5%
+}
+
+TEST(Scenario, MercatorTieDiscardsHappenButAreRare) {
+  const Scenario& s = small_scenario();
+  const auto& stats = s.stats(DatasetKind::kMercator, MapperKind::kIxMapper);
+  const double tie_fraction = static_cast<double>(stats.tie_discarded_routers) /
+                              static_cast<double>(stats.input_nodes);
+  EXPECT_LT(tie_fraction, 0.08);  // paper: 2.9%
+}
+
+TEST(Scenario, SomeNodesLandInTheSeparateAs) {
+  const Scenario& s = small_scenario();
+  const auto& stats = s.stats(DatasetKind::kSkitter, MapperKind::kIxMapper);
+  EXPECT_GT(stats.as_unmapped_nodes, 0u);  // paper: 1.5-2.8%
+  EXPECT_LT(static_cast<double>(stats.as_unmapped_nodes) /
+                static_cast<double>(stats.output_nodes),
+            0.10);
+}
+
+TEST(Scenario, GraphsCarryValidLocations) {
+  const Scenario& s = small_scenario();
+  const auto& graph = s.graph(DatasetKind::kSkitter, MapperKind::kIxMapper);
+  for (const auto& node : graph.nodes()) {
+    EXPECT_TRUE(geo::is_valid(node.location));
+  }
+}
+
+TEST(Scenario, DistinctLocationCountHelper) {
+  net::AnnotatedGraph g(net::NodeKind::kInterface);
+  g.add_node({net::Ipv4Addr{1}, {40.0, -74.0}, 1});
+  g.add_node({net::Ipv4Addr{2}, {40.0, -74.0}, 1});
+  g.add_node({net::Ipv4Addr{3}, {34.0, -118.0}, 1});
+  EXPECT_EQ(distinct_location_count(g), 2u);
+  EXPECT_EQ(distinct_location_count(g, 90.0), 1u);
+}
+
+TEST(Scenario, DefaultOptionsReadScaleFromEnvironment) {
+  // Do not mutate the process environment here; just check the default.
+  const ScenarioOptions options = ScenarioOptions::defaults();
+  EXPECT_GT(options.scale, 0.0);
+}
+
+TEST(Scenario, MechanicalPipelineProducesComparableDatasets) {
+  synth::ScenarioOptions options;
+  options.scale = 0.02;
+  options.seed = 77;
+  options.mechanical_pipeline = true;
+  const Scenario mechanical = Scenario::build(options);
+  options.mechanical_pipeline = false;
+  const Scenario statistical = Scenario::build(options);
+
+  const auto& m = mechanical.graph(DatasetKind::kSkitter, MapperKind::kIxMapper);
+  const auto& t = statistical.graph(DatasetKind::kSkitter, MapperKind::kIxMapper);
+  EXPECT_EQ(m.name(), "Skitter+HostnameMapper");
+  // Node/edge counts within 10% of the statistical pipeline.
+  EXPECT_NEAR(static_cast<double>(m.node_count()),
+              static_cast<double>(t.node_count()),
+              0.10 * static_cast<double>(t.node_count()));
+  EXPECT_NEAR(static_cast<double>(m.edge_count()),
+              static_cast<double>(t.edge_count()),
+              0.10 * static_cast<double>(t.edge_count()));
+  // Propagated BGP leaves somewhat more nodes AS-unmapped than the
+  // omniscient table, but the bulk still resolves.
+  const auto& stats = mechanical.stats(DatasetKind::kSkitter,
+                                       MapperKind::kIxMapper);
+  EXPECT_LT(static_cast<double>(stats.as_unmapped_nodes),
+            0.25 * static_cast<double>(stats.output_nodes));
+}
+
+TEST(ProcessInterfaces, DiscardsUnmappableAndKeepsEdgesConsistent) {
+  const auto& s = small_scenario();
+  ProcessingStats stats;
+  const GeoMapper mapper(GeoMapper::ixmapper_profile(), {{40.0, -74.0}}, 7);
+  const auto graph =
+      process_interface_observation(s.truth(), s.skitter_raw(), mapper, &stats);
+  EXPECT_EQ(stats.input_nodes, s.skitter_raw().interfaces.size());
+  EXPECT_EQ(stats.output_nodes + stats.unmapped_nodes, stats.input_nodes);
+  // Single-city database: everything mappable snaps to one location.
+  EXPECT_LE(stats.distinct_locations, 2u);
+}
+
+}  // namespace
+}  // namespace geonet::synth

@@ -1,0 +1,120 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace geonet::stats {
+namespace {
+
+TEST(Summary, BasicStatistics) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summary, EvenCountMedianInterpolates) {
+  std::vector<double> xs{1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 2.5);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, IgnoresNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> xs{1.0, nan, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+TEST(Mean, HandlesEmpty) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Quantile, OrderStatistics) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 20.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsGiveZero) {
+  std::vector<double> xs{1, 1, 1};
+  std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Pearson, IgnoresNaNPairs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> xs{1, 2, nan, 4};
+  std::vector<double> ys{2, 4, 100, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(AverageRanks, NoTies) {
+  std::vector<double> xs{30, 10, 20};
+  const auto ranks = average_ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(AverageRanks, TiesAveraged) {
+  std::vector<double> xs{5, 5, 1};
+  const auto ranks = average_ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 1.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{1, 8, 27, 64, 125};  // x^3: nonlinear, monotone
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Spearman, ReversedIsMinusOne) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{4, 3, 2, 1};
+  EXPECT_NEAR(spearman(xs, ys), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace geonet::stats

@@ -1,0 +1,99 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace geonet::net {
+namespace {
+
+Ipv4Addr addr(std::uint32_t v) { return Ipv4Addr{v}; }
+
+TEST(Topology, AddRouterBasics) {
+  Topology t;
+  const RouterId a = t.add_router({40.0, -74.0}, 65001);
+  const RouterId b = t.add_router({34.0, -118.0});
+  EXPECT_EQ(t.router_count(), 2u);
+  EXPECT_EQ(t.router(a).asn, 65001u);
+  EXPECT_EQ(t.router(b).asn, kUnknownAs);
+  EXPECT_DOUBLE_EQ(t.router(a).location.lat_deg, 40.0);
+  EXPECT_EQ(t.degree(a), 0u);
+}
+
+TEST(Topology, StandaloneInterface) {
+  Topology t;
+  const RouterId r = t.add_router({0.0, 0.0});
+  const InterfaceId i = t.add_interface(r, addr(0x01020304));
+  EXPECT_EQ(t.interface_count(), 1u);
+  EXPECT_EQ(t.interface(i).router, r);
+  ASSERT_EQ(t.router(r).interfaces.size(), 1u);
+  EXPECT_EQ(t.router(r).interfaces.front(), i);
+}
+
+TEST(Topology, LinkMintsTwoInterfaces) {
+  Topology t;
+  const RouterId a = t.add_router({0.0, 0.0});
+  const RouterId b = t.add_router({1.0, 1.0});
+  const LinkId link = t.add_link(a, b, addr(0x0a000001), addr(0x0a000002));
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.interface_count(), 2u);
+  const Link& l = t.link(link);
+  EXPECT_EQ(t.interface(l.if_a).router, a);
+  EXPECT_EQ(t.interface(l.if_b).router, b);
+  EXPECT_EQ(t.interface(l.if_a).addr, addr(0x0a000001));
+  EXPECT_EQ(t.interface(l.if_b).addr, addr(0x0a000002));
+}
+
+TEST(Topology, AdjacencySymmetric) {
+  Topology t;
+  const RouterId a = t.add_router({0.0, 0.0});
+  const RouterId b = t.add_router({1.0, 1.0});
+  t.add_link(a, b, addr(1), addr(2));
+  ASSERT_EQ(t.degree(a), 1u);
+  ASSERT_EQ(t.degree(b), 1u);
+  const Adjacency& from_a = t.neighbors(a).front();
+  const Adjacency& from_b = t.neighbors(b).front();
+  EXPECT_EQ(from_a.neighbor, b);
+  EXPECT_EQ(from_b.neighbor, a);
+  EXPECT_EQ(from_a.local_if, from_b.remote_if);
+  EXPECT_EQ(from_a.remote_if, from_b.local_if);
+  EXPECT_EQ(from_a.link, from_b.link);
+}
+
+TEST(Topology, AreConnected) {
+  Topology t;
+  const RouterId a = t.add_router({0.0, 0.0});
+  const RouterId b = t.add_router({1.0, 1.0});
+  const RouterId c = t.add_router({2.0, 2.0});
+  t.add_link(a, b, addr(1), addr(2));
+  EXPECT_TRUE(t.are_connected(a, b));
+  EXPECT_TRUE(t.are_connected(b, a));
+  EXPECT_FALSE(t.are_connected(a, c));
+  EXPECT_FALSE(t.are_connected(b, c));
+}
+
+TEST(Topology, ParallelLinksAllowed) {
+  // Real routers do run parallel circuits; the model allows them and they
+  // count as separate links with distinct interfaces.
+  Topology t;
+  const RouterId a = t.add_router({0.0, 0.0});
+  const RouterId b = t.add_router({1.0, 1.0});
+  t.add_link(a, b, addr(1), addr(2));
+  t.add_link(a, b, addr(3), addr(4));
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.degree(a), 2u);
+  EXPECT_EQ(t.interface_count(), 4u);
+}
+
+TEST(Topology, InterfacesPerRouterTrackDegreePlusLoopback) {
+  Topology t;
+  const RouterId a = t.add_router({0.0, 0.0});
+  const RouterId b = t.add_router({1.0, 1.0});
+  const RouterId c = t.add_router({2.0, 2.0});
+  t.add_interface(a, addr(100));  // loopback
+  t.add_link(a, b, addr(1), addr(2));
+  t.add_link(a, c, addr(3), addr(4));
+  EXPECT_EQ(t.router(a).interfaces.size(), 3u);  // loopback + 2 links
+  EXPECT_EQ(t.router(b).interfaces.size(), 1u);
+}
+
+}  // namespace
+}  // namespace geonet::net

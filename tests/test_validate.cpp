@@ -1,0 +1,92 @@
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/ba_gen.h"
+#include "generators/geo_gen.h"
+#include "tests/test_world.h"
+
+namespace geonet::core {
+namespace {
+
+TEST(Validate, GeoGeneratorOutputPassesMostCriteria) {
+  const auto& world = geonet::testing::small_world();
+  generators::GeoGeneratorOptions options;
+  options.router_count = 4000;
+  const auto topo = generators::generate_geo_topology(world, options);
+  const RealismReport report =
+      check_realism(topo.graph, world, geo::regions::us());
+  // The geography-aware generator is built to satisfy the paper's
+  // signatures; at small scale density may hover near the slope-1 line,
+  // so require a strong majority rather than perfection.
+  EXPECT_GE(report.passed + 2, report.checks.size());
+  EXPECT_EQ(report.checks.size(), 8u);  // AS criteria included
+}
+
+TEST(Validate, BarabasiAlbertFailsGeographicCriteria) {
+  const auto& world = geonet::testing::small_world();
+  generators::BarabasiAlbertOptions options;
+  options.node_count = 3000;
+  const auto graph =
+      generators::generate_barabasi_albert(geo::regions::us(), options);
+  const RealismReport report = check_realism(graph, world, geo::regions::us());
+  // Single-AS graph: AS criteria are skipped, geography criteria fail.
+  EXPECT_EQ(report.checks.size(), 5u);
+  EXPECT_FALSE(report.all_pass());
+  // Specifically: no superlinear density and no distance-sensitive
+  // majority.
+  for (const auto& check : report.checks) {
+    if (check.criterion.find("superlinear") != std::string::npos) {
+      EXPECT_FALSE(check.pass);
+    }
+  }
+}
+
+TEST(Validate, ProcessedDatasetPassesAllCriteria) {
+  const auto& s = geonet::testing::small_scenario();
+  const RealismReport report = check_realism(
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      s.world(), geo::regions::us());
+  EXPECT_EQ(report.checks.size(), 8u);
+  EXPECT_GE(report.passed, 7u) << to_string(report);
+}
+
+TEST(Validate, EvaluateIsPureFunctionOfSignature) {
+  RealismSignature sig;
+  sig.density_slope = 1.3;
+  sig.density_r2 = 0.8;
+  sig.lambda_miles = 120.0;
+  sig.fraction_distance_sensitive = 0.85;
+  sig.degree_tail_slope = -2.0;
+  sig.intradomain_fraction = 0.85;
+  sig.corr_nodes_locations = 0.9;
+  sig.zero_hull_fraction = 0.5;
+  sig.as_count = 100;
+  const RealismReport report = evaluate_realism(sig);
+  EXPECT_TRUE(report.all_pass()) << to_string(report);
+
+  sig.density_slope = 0.5;  // break one criterion
+  const RealismReport broken = evaluate_realism(sig);
+  EXPECT_EQ(broken.passed + 1, broken.checks.size());
+}
+
+TEST(Validate, SingleAsGraphSkipsAsCriteria) {
+  RealismSignature sig;
+  sig.as_count = 1;
+  const RealismReport report = evaluate_realism(sig);
+  EXPECT_EQ(report.checks.size(), 5u);
+}
+
+TEST(Validate, ToStringListsEveryCheck) {
+  RealismSignature sig;
+  sig.as_count = 100;
+  const RealismReport report = evaluate_realism(sig);
+  const std::string text = to_string(report);
+  for (const auto& check : report.checks) {
+    EXPECT_NE(text.find(check.criterion), std::string::npos);
+  }
+  EXPECT_NE(text.find("criteria passed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geonet::core

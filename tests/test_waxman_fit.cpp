@@ -1,0 +1,128 @@
+#include "core/waxman_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geonet::core {
+namespace {
+
+/// Builds a synthetic DistancePreference whose f(d) is exactly
+/// beta*exp(-d/lambda) for d < knee and `flat` beyond, with ample pair
+/// support everywhere.
+DistancePreference synthetic_pref(double beta, double lambda, double knee,
+                                  double flat, double bin_miles,
+                                  std::size_t bins) {
+  const double hi = bin_miles * static_cast<double>(bins);
+  DistancePreference pref{stats::Histogram(0.0, hi, bins),
+                          stats::Histogram(0.0, hi, bins),
+                          std::vector<double>(bins, 0.0),
+                          bin_miles,
+                          1000,
+                          5000};
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double d = pref.link_hist.bin_center(b);
+    const double f =
+        d < knee ? beta * std::exp(-d / lambda) : flat;
+    const double pairs = 1e6;
+    pref.pair_hist.add_to_bin(b, pairs);
+    pref.link_hist.add_to_bin(b, f * pairs);
+    pref.f[b] = f;
+  }
+  return pref;
+}
+
+TEST(WaxmanFit, RecoversLambdaAndBeta) {
+  const auto pref = synthetic_pref(1e-3, 140.0, 400.0, 2e-5, 35.0, 100);
+  WaxmanFitOptions options;
+  options.small_d_cut_miles = 350.0;
+  const WaxmanCharacterisation w = characterize_waxman(pref, options);
+  EXPECT_NEAR(w.lambda_miles, 140.0, 5.0);
+  EXPECT_NEAR(w.beta, 1e-3, 1e-4);
+  EXPECT_GT(w.semilog_fit.r_squared, 0.99);
+}
+
+TEST(WaxmanFit, FlatLevelAndLimit) {
+  const double beta = 1e-3;
+  const double lambda = 140.0;
+  const double flat = 2e-5;
+  const auto pref = synthetic_pref(beta, lambda, 400.0, flat, 35.0, 100);
+  WaxmanFitOptions options;
+  options.small_d_cut_miles = 350.0;
+  const WaxmanCharacterisation w = characterize_waxman(pref, options);
+  EXPECT_NEAR(w.flat_level, flat, flat * 0.05);
+  // Limit solves beta exp(-d/lambda) = flat.
+  const double expected_limit = lambda * std::log(beta / flat);
+  EXPECT_NEAR(w.sensitivity_limit_miles, expected_limit,
+              expected_limit * 0.05);
+}
+
+TEST(WaxmanFit, CumulativeFitLinearInFlatRegime) {
+  const auto pref = synthetic_pref(1e-3, 140.0, 400.0, 2e-5, 35.0, 100);
+  WaxmanFitOptions options;
+  options.small_d_cut_miles = 350.0;
+  const WaxmanCharacterisation w = characterize_waxman(pref, options);
+  EXPECT_GT(w.cumulative_fit.r_squared, 0.999);
+  // Slope of F(d) per bin-center mile equals flat/bin width.
+  EXPECT_NEAR(w.cumulative_fit.slope, 2e-5 / 35.0, 2e-7);
+}
+
+TEST(WaxmanFit, FractionBelowLimitUsesLinkHistogram) {
+  auto pref = synthetic_pref(1e-3, 140.0, 400.0, 2e-5, 35.0, 100);
+  WaxmanFitOptions options;
+  options.small_d_cut_miles = 350.0;
+  const WaxmanCharacterisation w = characterize_waxman(pref, options);
+  EXPECT_GT(w.fraction_links_below_limit, 0.0);
+  EXPECT_LE(w.fraction_links_below_limit, 1.0);
+  EXPECT_NEAR(w.fraction_links_below_limit,
+              pref.fraction_links_below(w.sensitivity_limit_miles), 1e-12);
+}
+
+TEST(WaxmanFit, NoisyBinsBelowSupportSkipped) {
+  auto pref = synthetic_pref(1e-3, 140.0, 400.0, 2e-5, 35.0, 100);
+  // Poison one small-d bin with a wild value but zero support.
+  pref.f[2] = 100.0;
+  pref.pair_hist.add_to_bin(2, -pref.pair_hist.count(2));  // zero out
+  WaxmanFitOptions options;
+  options.small_d_cut_miles = 350.0;
+  options.min_pair_support = 10.0;
+  const WaxmanCharacterisation w = characterize_waxman(pref, options);
+  EXPECT_NEAR(w.lambda_miles, 140.0, 6.0);
+}
+
+TEST(WaxmanFit, DefaultCutIsThirdOfRange) {
+  const auto pref = synthetic_pref(1e-3, 100.0, 1000.0, 1e-5, 10.0, 90);
+  const WaxmanCharacterisation w = characterize_waxman(pref);
+  EXPECT_NEAR(w.small_d_cut_miles, 300.0, 1e-9);
+}
+
+TEST(WaxmanFit, EmptyPreferenceDegenerates) {
+  DistancePreference pref{stats::Histogram(0.0, 1.0, 1),
+                          stats::Histogram(0.0, 1.0, 1),
+                          {},
+                          1.0,
+                          0,
+                          0};
+  const WaxmanCharacterisation w = characterize_waxman(pref);
+  EXPECT_DOUBLE_EQ(w.lambda_miles, 0.0);
+  EXPECT_DOUBLE_EQ(w.sensitivity_limit_miles, 0.0);
+}
+
+TEST(WaxmanFit, PaperSmallDCuts) {
+  EXPECT_DOUBLE_EQ(paper_small_d_cut(geo::regions::us()), 250.0);
+  EXPECT_DOUBLE_EQ(paper_small_d_cut(geo::regions::europe()), 300.0);
+  EXPECT_DOUBLE_EQ(paper_small_d_cut(geo::regions::japan()), 200.0);
+  EXPECT_DOUBLE_EQ(paper_small_d_cut({"other", 0, 1, 0, 1}), 0.0);
+}
+
+TEST(WaxmanFit, SteeperDecayGivesSmallerLambda) {
+  const auto steep = synthetic_pref(1e-3, 80.0, 400.0, 2e-5, 15.0, 100);
+  const auto shallow = synthetic_pref(1e-3, 150.0, 400.0, 2e-5, 15.0, 100);
+  WaxmanFitOptions options;
+  options.small_d_cut_miles = 300.0;
+  EXPECT_LT(characterize_waxman(steep, options).lambda_miles,
+            characterize_waxman(shallow, options).lambda_miles);
+}
+
+}  // namespace
+}  // namespace geonet::core

@@ -1,0 +1,110 @@
+#include "net/weighted_paths.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/common.h"
+#include "generators/geo_gen.h"
+#include "net/topology.h"
+#include "tests/test_world.h"
+
+namespace geonet::net {
+namespace {
+
+/// Weighted square: 0-1 (1ms), 1-3 (1ms), 0-2 (5ms), 2-3 (1ms),
+/// plus direct 0-3 (10ms). Shortest 0->3 goes via 1 (2ms).
+AnnotatedGraph square_graph() {
+  AnnotatedGraph g(NodeKind::kRouter, "square");
+  for (int i = 0; i < 4; ++i) {
+    g.add_node({Ipv4Addr{0}, {static_cast<double>(i), 0.0}, 1});
+  }
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  return g;
+}
+
+const std::vector<double> kSquareWeights{1.0, 1.0, 5.0, 1.0, 10.0};
+
+TEST(WeightedPaths, DijkstraFindsCheapestRoute) {
+  const AnnotatedGraph g = square_graph();
+  const WeightedGraph wg(g, kSquareWeights);
+  const auto paths = wg.dijkstra(0);
+  EXPECT_DOUBLE_EQ(paths.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(paths.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(paths.distance[2], 3.0);  // 0-1-3-2 beats direct 0-2
+  EXPECT_DOUBLE_EQ(paths.distance[3], 2.0);
+}
+
+TEST(WeightedPaths, ExtractPathSequence) {
+  const AnnotatedGraph g = square_graph();
+  const WeightedGraph wg(g, kSquareWeights);
+  const auto paths = wg.dijkstra(0);
+  const auto route = WeightedGraph::extract_path(paths, 0, 3);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(route[0], 0u);
+  EXPECT_EQ(route[1], 1u);
+  EXPECT_EQ(route[2], 3u);
+}
+
+TEST(WeightedPaths, UnreachableNode) {
+  AnnotatedGraph g = square_graph();
+  g.add_node({Ipv4Addr{0}, {9.0, 9.0}, 1});  // isolated
+  std::vector<double> weights = kSquareWeights;
+  const WeightedGraph wg(g, weights);
+  const auto paths = wg.dijkstra(0);
+  EXPECT_EQ(paths.distance[4], WeightedGraph::kUnreachable);
+  EXPECT_TRUE(WeightedGraph::extract_path(paths, 0, 4).empty());
+}
+
+TEST(WeightedPaths, ZeroAndNegativeWeightsClamped) {
+  AnnotatedGraph g(NodeKind::kRouter);
+  g.add_node({Ipv4Addr{0}, {0, 0}, 1});
+  g.add_node({Ipv4Addr{0}, {1, 1}, 1});
+  g.add_edge(0, 1);
+  const std::vector<double> weights{-3.0};
+  const WeightedGraph wg(g, weights);
+  const auto paths = wg.dijkstra(0);
+  EXPECT_DOUBLE_EQ(paths.distance[1], 0.0);  // clamped to zero, no blowup
+}
+
+TEST(WeightedPaths, MissingWeightsDefaultToHopCount) {
+  const AnnotatedGraph g = square_graph();
+  const WeightedGraph wg(g, {});
+  const auto paths = wg.dijkstra(0);
+  EXPECT_DOUBLE_EQ(paths.distance[3], 1.0);  // the direct edge
+}
+
+TEST(WeightedPaths, InvalidSourceYieldsAllUnreachable) {
+  const AnnotatedGraph g = square_graph();
+  const WeightedGraph wg(g, kSquareWeights);
+  const auto paths = wg.dijkstra(99);
+  for (const double d : paths.distance) {
+    EXPECT_EQ(d, WeightedGraph::kUnreachable);
+  }
+}
+
+TEST(LatencyStretch, GeneratedTopologyRoutesReasonably) {
+  generators::GeoGeneratorOptions options;
+  options.router_count = 1500;
+  const auto topo = generators::generate_geo_topology(
+      geonet::testing::small_world(), options);
+  const StretchStats stats =
+      latency_stretch(topo.graph, topo.link_latency_ms, 40, 7);
+  ASSERT_GT(stats.pairs, 200u);
+  // Path latency can never beat straight-line propagation at the same
+  // circuity factor...
+  EXPECT_GE(stats.median, 1.0 - 1e-9);
+  // ...and a sane topology should not detour by orders of magnitude.
+  EXPECT_LT(stats.median, 8.0);
+  EXPECT_GE(stats.p95, stats.median);
+}
+
+TEST(LatencyStretch, DegenerateInputs) {
+  const AnnotatedGraph empty(NodeKind::kRouter);
+  EXPECT_EQ(latency_stretch(empty, {}, 4, 1).pairs, 0u);
+}
+
+}  // namespace
+}  // namespace geonet::net

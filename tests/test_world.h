@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared, lazily-built small synthetic worlds for the heavier tests.
+// Building population + ground truth takes a second or two, so tests share
+// one instance per configuration instead of rebuilding per test case.
+
+#include "population/synth_population.h"
+#include "synth/ground_truth.h"
+#include "synth/scenario.h"
+
+namespace geonet::testing {
+
+inline const population::WorldPopulation& small_world() {
+  static const population::WorldPopulation world =
+      population::WorldPopulation::build(2002);
+  return world;
+}
+
+inline synth::GroundTruthOptions small_truth_options() {
+  synth::GroundTruthOptions options;
+  options.interface_scale = 0.02;
+  options.seed = 99;
+  return options;
+}
+
+inline const synth::GroundTruth& small_truth() {
+  static const synth::GroundTruth truth =
+      synth::GroundTruth::build(small_world(), small_truth_options());
+  return truth;
+}
+
+inline const synth::Scenario& small_scenario() {
+  static const synth::Scenario scenario = [] {
+    synth::ScenarioOptions options;  // fixed, ignores GEONET_SCALE
+    options.scale = 0.03;
+    options.seed = 4242;
+    return synth::Scenario::build(options);
+  }();
+  return scenario;
+}
+
+}  // namespace geonet::testing

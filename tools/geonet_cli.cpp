@@ -1,0 +1,157 @@
+// geonet — command-line front end to the library.
+//
+//   geonet generate <routers> <out.graph> [seed]
+//       Grow a geography/AS/latency-annotated topology and write it.
+//   geonet analyze <in.graph> [region]
+//       Run the paper's analyses over a topology file.
+//   geonet validate <in.graph> [region]
+//       Score a topology against the paper's findings; exit 0 iff all
+//       criteria pass (CI-friendly).
+//   geonet scenario [scale]
+//       Build the full synthetic measurement scenario and print the
+//       Table I summary plus the study headline numbers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/study.h"
+#include "core/validate.h"
+#include "generators/geo_gen.h"
+#include "net/graph_io.h"
+#include "report/series.h"
+#include "report/table.h"
+#include "synth/scenario.h"
+
+namespace {
+
+using namespace geonet;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  geonet generate <routers> <out.graph> [seed]\n"
+               "  geonet analyze <in.graph> [region]\n"
+               "  geonet validate <in.graph> [region]\n"
+               "  geonet scenario [scale]\n");
+  return 2;
+}
+
+geo::Region region_arg(int argc, char** argv, int index) {
+  if (argc > index) {
+    if (const auto region = geo::regions::by_name(argv[index])) {
+      return *region;
+    }
+    std::fprintf(stderr, "unknown region '%s', using US\n", argv[index]);
+  }
+  return geo::regions::us();
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  generators::GeoGeneratorOptions options;
+  options.router_count = static_cast<std::size_t>(std::atol(argv[2]));
+  if (argc > 4) options.seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  if (options.router_count < 16) {
+    std::fprintf(stderr, "router count must be >= 16\n");
+    return 2;
+  }
+  const auto world = population::WorldPopulation::build(2002);
+  const auto topo = generators::generate_geo_topology(world, options);
+  if (!net::write_graph_file(argv[3], topo.graph, topo.link_latency_ms)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("wrote %s: %zu nodes, %zu links (lat/lon + AS + latency)\n",
+              argv[3], topo.graph.node_count(), topo.graph.edge_count());
+  return 0;
+}
+
+std::optional<net::AnnotatedGraph> load(const char* path) {
+  std::string error;
+  auto graph = net::read_graph_file(path, &error);
+  if (!graph) std::fprintf(stderr, "failed to read %s: %s\n", path, error.c_str());
+  return graph;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto graph = load(argv[2]);
+  if (!graph) return 1;
+  const geo::Region region = region_arg(argc, argv, 3);
+  const auto world = population::WorldPopulation::build(2002);
+
+  core::StudyOptions options;
+  options.regions = {region};
+  options.compute_fractal_dimension = false;
+  const core::StudyReport report = core::run_study(*graph, world, options);
+  std::printf("%s", core::summarize(report).c_str());
+  const std::string md = report::results_dir() + "/study.md";
+  if (core::write_study_markdown(report, md)) {
+    std::printf("markdown report: %s\n", md.c_str());
+  }
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto graph = load(argv[2]);
+  if (!graph) return 1;
+  const geo::Region region = region_arg(argc, argv, 3);
+  const auto world = population::WorldPopulation::build(2002);
+  const core::RealismReport report =
+      core::check_realism(*graph, world, region);
+  std::printf("%s", to_string(report).c_str());
+  return report.all_pass() ? 0 : 1;
+}
+
+int cmd_scenario(int argc, char** argv) {
+  synth::ScenarioOptions options = synth::ScenarioOptions::defaults();
+  if (argc > 2) {
+    const double scale = std::atof(argv[2]);
+    if (scale > 0.0) options.scale = scale;
+  }
+  std::printf("building scenario at scale %.3f...\n", options.scale);
+  const synth::Scenario scenario = synth::Scenario::build(options);
+
+  report::Table table({"Dataset", "Nodes", "Links", "Locations"});
+  struct Ref {
+    synth::DatasetKind d;
+    synth::MapperKind m;
+    const char* label;
+  };
+  for (const Ref& ref : {Ref{synth::DatasetKind::kMercator,
+                             synth::MapperKind::kIxMapper, "Mercator+IxMapper"},
+                         Ref{synth::DatasetKind::kSkitter,
+                             synth::MapperKind::kIxMapper, "Skitter+IxMapper"},
+                         Ref{synth::DatasetKind::kMercator,
+                             synth::MapperKind::kEdgeScape, "Mercator+EdgeScape"},
+                         Ref{synth::DatasetKind::kSkitter,
+                             synth::MapperKind::kEdgeScape, "Skitter+EdgeScape"}}) {
+    const auto& graph = scenario.graph(ref.d, ref.m);
+    table.add_row({ref.label, report::fmt_count(graph.node_count()),
+                   report::fmt_count(graph.edge_count()),
+                   report::fmt_count(
+                       scenario.stats(ref.d, ref.m).distinct_locations)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto report = core::run_study(
+      scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      scenario.world());
+  std::printf("%s", core::summarize(report).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+  if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
+  if (std::strcmp(argv[1], "validate") == 0) return cmd_validate(argc, argv);
+  if (std::strcmp(argv[1], "scenario") == 0) return cmd_scenario(argc, argv);
+  return usage();
+}
