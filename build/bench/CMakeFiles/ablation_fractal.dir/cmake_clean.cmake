@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fractal.dir/ablation_fractal.cpp.o"
+  "CMakeFiles/ablation_fractal.dir/ablation_fractal.cpp.o.d"
+  "ablation_fractal"
+  "ablation_fractal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fractal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_generators.cpp" "bench/CMakeFiles/ablation_generators.dir/ablation_generators.cpp.o" "gcc" "bench/CMakeFiles/ablation_generators.dir/ablation_generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/geonet_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/geonet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/generators/CMakeFiles/geonet_generators.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/geonet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/geonet_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/geonet_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geonet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geonet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hostnames.dir/ablation_hostnames.cpp.o"
+  "CMakeFiles/ablation_hostnames.dir/ablation_hostnames.cpp.o.d"
+  "ablation_hostnames"
+  "ablation_hostnames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hostnames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

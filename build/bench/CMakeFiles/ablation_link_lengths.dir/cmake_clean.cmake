@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_lengths.dir/ablation_link_lengths.cpp.o"
+  "CMakeFiles/ablation_link_lengths.dir/ablation_link_lengths.cpp.o.d"
+  "ablation_link_lengths"
+  "ablation_link_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_maps.dir/fig01_maps.cpp.o"
+  "CMakeFiles/fig01_maps.dir/fig01_maps.cpp.o.d"
+  "fig01_maps"
+  "fig01_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

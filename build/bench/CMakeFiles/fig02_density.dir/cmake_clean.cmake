@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_density.dir/fig02_density.cpp.o"
+  "CMakeFiles/fig02_density.dir/fig02_density.cpp.o.d"
+  "fig02_density"
+  "fig02_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_distance_pref.dir/fig04_distance_pref.cpp.o"
+  "CMakeFiles/fig04_distance_pref.dir/fig04_distance_pref.cpp.o.d"
+  "fig04_distance_pref"
+  "fig04_distance_pref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_distance_pref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_waxman_fit.dir/fig05_waxman_fit.cpp.o"
+  "CMakeFiles/fig05_waxman_fit.dir/fig05_waxman_fit.cpp.o.d"
+  "fig05_waxman_fit"
+  "fig05_waxman_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_waxman_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

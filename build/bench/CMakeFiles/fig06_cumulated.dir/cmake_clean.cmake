@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cumulated.dir/fig06_cumulated.cpp.o"
+  "CMakeFiles/fig06_cumulated.dir/fig06_cumulated.cpp.o.d"
+  "fig06_cumulated"
+  "fig06_cumulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cumulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

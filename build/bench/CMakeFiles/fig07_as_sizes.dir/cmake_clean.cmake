@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_as_sizes.dir/fig07_as_sizes.cpp.o"
+  "CMakeFiles/fig07_as_sizes.dir/fig07_as_sizes.cpp.o.d"
+  "fig07_as_sizes"
+  "fig07_as_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_as_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

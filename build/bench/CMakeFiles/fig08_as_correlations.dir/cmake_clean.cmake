@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_as_correlations.dir/fig08_as_correlations.cpp.o"
+  "CMakeFiles/fig08_as_correlations.dir/fig08_as_correlations.cpp.o.d"
+  "fig08_as_correlations"
+  "fig08_as_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_as_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

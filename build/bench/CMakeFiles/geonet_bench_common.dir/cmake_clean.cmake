@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/geonet_bench_common.dir/bench_common.cpp.o.d"
+  "libgeonet_bench_common.a"
+  "libgeonet_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dataset_sizes.dir/table1_dataset_sizes.cpp.o"
+  "CMakeFiles/table1_dataset_sizes.dir/table1_dataset_sizes.cpp.o.d"
+  "table1_dataset_sizes"
+  "table1_dataset_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dataset_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

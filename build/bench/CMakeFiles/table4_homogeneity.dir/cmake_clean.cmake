@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_homogeneity.dir/table4_homogeneity.cpp.o"
+  "CMakeFiles/table4_homogeneity.dir/table4_homogeneity.cpp.o.d"
+  "table4_homogeneity"
+  "table4_homogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_homogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_sensitivity_limits.dir/table5_sensitivity_limits.cpp.o"
+  "CMakeFiles/table5_sensitivity_limits.dir/table5_sensitivity_limits.cpp.o.d"
+  "table5_sensitivity_limits"
+  "table5_sensitivity_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_sensitivity_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_link_domains.dir/table6_link_domains.cpp.o"
+  "CMakeFiles/table6_link_domains.dir/table6_link_domains.cpp.o.d"
+  "table6_link_domains"
+  "table6_link_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_link_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

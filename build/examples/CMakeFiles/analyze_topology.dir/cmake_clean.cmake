@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_topology.dir/analyze_topology.cpp.o"
+  "CMakeFiles/analyze_topology.dir/analyze_topology.cpp.o.d"
+  "analyze_topology"
+  "analyze_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

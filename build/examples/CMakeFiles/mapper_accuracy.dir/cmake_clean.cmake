@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_accuracy.dir/mapper_accuracy.cpp.o"
+  "CMakeFiles/mapper_accuracy.dir/mapper_accuracy.cpp.o.d"
+  "mapper_accuracy"
+  "mapper_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

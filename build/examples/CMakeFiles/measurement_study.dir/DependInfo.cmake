@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/measurement_study.cpp" "examples/CMakeFiles/measurement_study.dir/measurement_study.cpp.o" "gcc" "examples/CMakeFiles/measurement_study.dir/measurement_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geonet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/geonet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/generators/CMakeFiles/geonet_generators.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/geonet_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/geonet_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geonet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geonet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

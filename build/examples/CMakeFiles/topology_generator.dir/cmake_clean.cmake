@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_generator.dir/topology_generator.cpp.o"
+  "CMakeFiles/topology_generator.dir/topology_generator.cpp.o.d"
+  "topology_generator"
+  "topology_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

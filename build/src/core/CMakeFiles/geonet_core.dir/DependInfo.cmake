@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/as_analysis.cpp" "src/core/CMakeFiles/geonet_core.dir/as_analysis.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/as_analysis.cpp.o.d"
+  "/root/repo/src/core/density.cpp" "src/core/CMakeFiles/geonet_core.dir/density.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/density.cpp.o.d"
+  "/root/repo/src/core/distance_pref.cpp" "src/core/CMakeFiles/geonet_core.dir/distance_pref.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/distance_pref.cpp.o.d"
+  "/root/repo/src/core/hull_analysis.cpp" "src/core/CMakeFiles/geonet_core.dir/hull_analysis.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/hull_analysis.cpp.o.d"
+  "/root/repo/src/core/link_domains.cpp" "src/core/CMakeFiles/geonet_core.dir/link_domains.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/link_domains.cpp.o.d"
+  "/root/repo/src/core/link_lengths.cpp" "src/core/CMakeFiles/geonet_core.dir/link_lengths.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/link_lengths.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/geonet_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/geonet_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/validate.cpp.o.d"
+  "/root/repo/src/core/waxman_fit.cpp" "src/core/CMakeFiles/geonet_core.dir/waxman_fit.cpp.o" "gcc" "src/core/CMakeFiles/geonet_core.dir/waxman_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/geonet_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geonet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/geonet_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geonet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/geonet_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_core.dir/as_analysis.cpp.o"
+  "CMakeFiles/geonet_core.dir/as_analysis.cpp.o.d"
+  "CMakeFiles/geonet_core.dir/density.cpp.o"
+  "CMakeFiles/geonet_core.dir/density.cpp.o.d"
+  "CMakeFiles/geonet_core.dir/distance_pref.cpp.o"
+  "CMakeFiles/geonet_core.dir/distance_pref.cpp.o.d"
+  "CMakeFiles/geonet_core.dir/hull_analysis.cpp.o"
+  "CMakeFiles/geonet_core.dir/hull_analysis.cpp.o.d"
+  "CMakeFiles/geonet_core.dir/link_domains.cpp.o"
+  "CMakeFiles/geonet_core.dir/link_domains.cpp.o.d"
+  "CMakeFiles/geonet_core.dir/link_lengths.cpp.o"
+  "CMakeFiles/geonet_core.dir/link_lengths.cpp.o.d"
+  "CMakeFiles/geonet_core.dir/study.cpp.o"
+  "CMakeFiles/geonet_core.dir/study.cpp.o.d"
+  "CMakeFiles/geonet_core.dir/validate.cpp.o"
+  "CMakeFiles/geonet_core.dir/validate.cpp.o.d"
+  "CMakeFiles/geonet_core.dir/waxman_fit.cpp.o"
+  "CMakeFiles/geonet_core.dir/waxman_fit.cpp.o.d"
+  "libgeonet_core.a"
+  "libgeonet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

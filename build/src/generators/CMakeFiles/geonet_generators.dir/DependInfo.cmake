@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generators/ba_gen.cpp" "src/generators/CMakeFiles/geonet_generators.dir/ba_gen.cpp.o" "gcc" "src/generators/CMakeFiles/geonet_generators.dir/ba_gen.cpp.o.d"
+  "/root/repo/src/generators/common.cpp" "src/generators/CMakeFiles/geonet_generators.dir/common.cpp.o" "gcc" "src/generators/CMakeFiles/geonet_generators.dir/common.cpp.o.d"
+  "/root/repo/src/generators/geo_gen.cpp" "src/generators/CMakeFiles/geonet_generators.dir/geo_gen.cpp.o" "gcc" "src/generators/CMakeFiles/geonet_generators.dir/geo_gen.cpp.o.d"
+  "/root/repo/src/generators/hierarchical_gen.cpp" "src/generators/CMakeFiles/geonet_generators.dir/hierarchical_gen.cpp.o" "gcc" "src/generators/CMakeFiles/geonet_generators.dir/hierarchical_gen.cpp.o.d"
+  "/root/repo/src/generators/inet_gen.cpp" "src/generators/CMakeFiles/geonet_generators.dir/inet_gen.cpp.o" "gcc" "src/generators/CMakeFiles/geonet_generators.dir/inet_gen.cpp.o.d"
+  "/root/repo/src/generators/random_gen.cpp" "src/generators/CMakeFiles/geonet_generators.dir/random_gen.cpp.o" "gcc" "src/generators/CMakeFiles/geonet_generators.dir/random_gen.cpp.o.d"
+  "/root/repo/src/generators/waxman_gen.cpp" "src/generators/CMakeFiles/geonet_generators.dir/waxman_gen.cpp.o" "gcc" "src/generators/CMakeFiles/geonet_generators.dir/waxman_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/geonet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geonet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/geonet_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geonet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

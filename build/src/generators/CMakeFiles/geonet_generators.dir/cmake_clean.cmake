@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_generators.dir/ba_gen.cpp.o"
+  "CMakeFiles/geonet_generators.dir/ba_gen.cpp.o.d"
+  "CMakeFiles/geonet_generators.dir/common.cpp.o"
+  "CMakeFiles/geonet_generators.dir/common.cpp.o.d"
+  "CMakeFiles/geonet_generators.dir/geo_gen.cpp.o"
+  "CMakeFiles/geonet_generators.dir/geo_gen.cpp.o.d"
+  "CMakeFiles/geonet_generators.dir/hierarchical_gen.cpp.o"
+  "CMakeFiles/geonet_generators.dir/hierarchical_gen.cpp.o.d"
+  "CMakeFiles/geonet_generators.dir/inet_gen.cpp.o"
+  "CMakeFiles/geonet_generators.dir/inet_gen.cpp.o.d"
+  "CMakeFiles/geonet_generators.dir/random_gen.cpp.o"
+  "CMakeFiles/geonet_generators.dir/random_gen.cpp.o.d"
+  "CMakeFiles/geonet_generators.dir/waxman_gen.cpp.o"
+  "CMakeFiles/geonet_generators.dir/waxman_gen.cpp.o.d"
+  "libgeonet_generators.a"
+  "libgeonet_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

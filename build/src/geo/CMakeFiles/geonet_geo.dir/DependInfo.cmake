@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/box_counting.cpp" "src/geo/CMakeFiles/geonet_geo.dir/box_counting.cpp.o" "gcc" "src/geo/CMakeFiles/geonet_geo.dir/box_counting.cpp.o.d"
+  "/root/repo/src/geo/convex_hull.cpp" "src/geo/CMakeFiles/geonet_geo.dir/convex_hull.cpp.o" "gcc" "src/geo/CMakeFiles/geonet_geo.dir/convex_hull.cpp.o.d"
+  "/root/repo/src/geo/distance.cpp" "src/geo/CMakeFiles/geonet_geo.dir/distance.cpp.o" "gcc" "src/geo/CMakeFiles/geonet_geo.dir/distance.cpp.o.d"
+  "/root/repo/src/geo/geo_point.cpp" "src/geo/CMakeFiles/geonet_geo.dir/geo_point.cpp.o" "gcc" "src/geo/CMakeFiles/geonet_geo.dir/geo_point.cpp.o.d"
+  "/root/repo/src/geo/grid.cpp" "src/geo/CMakeFiles/geonet_geo.dir/grid.cpp.o" "gcc" "src/geo/CMakeFiles/geonet_geo.dir/grid.cpp.o.d"
+  "/root/repo/src/geo/projection.cpp" "src/geo/CMakeFiles/geonet_geo.dir/projection.cpp.o" "gcc" "src/geo/CMakeFiles/geonet_geo.dir/projection.cpp.o.d"
+  "/root/repo/src/geo/region.cpp" "src/geo/CMakeFiles/geonet_geo.dir/region.cpp.o" "gcc" "src/geo/CMakeFiles/geonet_geo.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

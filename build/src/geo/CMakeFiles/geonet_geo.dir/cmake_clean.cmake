@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_geo.dir/box_counting.cpp.o"
+  "CMakeFiles/geonet_geo.dir/box_counting.cpp.o.d"
+  "CMakeFiles/geonet_geo.dir/convex_hull.cpp.o"
+  "CMakeFiles/geonet_geo.dir/convex_hull.cpp.o.d"
+  "CMakeFiles/geonet_geo.dir/distance.cpp.o"
+  "CMakeFiles/geonet_geo.dir/distance.cpp.o.d"
+  "CMakeFiles/geonet_geo.dir/geo_point.cpp.o"
+  "CMakeFiles/geonet_geo.dir/geo_point.cpp.o.d"
+  "CMakeFiles/geonet_geo.dir/grid.cpp.o"
+  "CMakeFiles/geonet_geo.dir/grid.cpp.o.d"
+  "CMakeFiles/geonet_geo.dir/projection.cpp.o"
+  "CMakeFiles/geonet_geo.dir/projection.cpp.o.d"
+  "CMakeFiles/geonet_geo.dir/region.cpp.o"
+  "CMakeFiles/geonet_geo.dir/region.cpp.o.d"
+  "libgeonet_geo.a"
+  "libgeonet_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/annotated_graph.cpp" "src/net/CMakeFiles/geonet_net.dir/annotated_graph.cpp.o" "gcc" "src/net/CMakeFiles/geonet_net.dir/annotated_graph.cpp.o.d"
+  "/root/repo/src/net/graph_algos.cpp" "src/net/CMakeFiles/geonet_net.dir/graph_algos.cpp.o" "gcc" "src/net/CMakeFiles/geonet_net.dir/graph_algos.cpp.o.d"
+  "/root/repo/src/net/graph_io.cpp" "src/net/CMakeFiles/geonet_net.dir/graph_io.cpp.o" "gcc" "src/net/CMakeFiles/geonet_net.dir/graph_io.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/geonet_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/geonet_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/prefix_trie.cpp" "src/net/CMakeFiles/geonet_net.dir/prefix_trie.cpp.o" "gcc" "src/net/CMakeFiles/geonet_net.dir/prefix_trie.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/geonet_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/geonet_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/weighted_paths.cpp" "src/net/CMakeFiles/geonet_net.dir/weighted_paths.cpp.o" "gcc" "src/net/CMakeFiles/geonet_net.dir/weighted_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/geonet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

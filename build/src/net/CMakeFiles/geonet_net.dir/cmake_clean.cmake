@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_net.dir/annotated_graph.cpp.o"
+  "CMakeFiles/geonet_net.dir/annotated_graph.cpp.o.d"
+  "CMakeFiles/geonet_net.dir/graph_algos.cpp.o"
+  "CMakeFiles/geonet_net.dir/graph_algos.cpp.o.d"
+  "CMakeFiles/geonet_net.dir/graph_io.cpp.o"
+  "CMakeFiles/geonet_net.dir/graph_io.cpp.o.d"
+  "CMakeFiles/geonet_net.dir/ipv4.cpp.o"
+  "CMakeFiles/geonet_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/geonet_net.dir/prefix_trie.cpp.o"
+  "CMakeFiles/geonet_net.dir/prefix_trie.cpp.o.d"
+  "CMakeFiles/geonet_net.dir/topology.cpp.o"
+  "CMakeFiles/geonet_net.dir/topology.cpp.o.d"
+  "CMakeFiles/geonet_net.dir/weighted_paths.cpp.o"
+  "CMakeFiles/geonet_net.dir/weighted_paths.cpp.o.d"
+  "libgeonet_net.a"
+  "libgeonet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

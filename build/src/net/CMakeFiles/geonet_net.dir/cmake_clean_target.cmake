@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeonet_net.a"
+)

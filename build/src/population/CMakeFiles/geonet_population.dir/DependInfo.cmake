@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/population/economic_profile.cpp" "src/population/CMakeFiles/geonet_population.dir/economic_profile.cpp.o" "gcc" "src/population/CMakeFiles/geonet_population.dir/economic_profile.cpp.o.d"
+  "/root/repo/src/population/population_grid.cpp" "src/population/CMakeFiles/geonet_population.dir/population_grid.cpp.o" "gcc" "src/population/CMakeFiles/geonet_population.dir/population_grid.cpp.o.d"
+  "/root/repo/src/population/synth_population.cpp" "src/population/CMakeFiles/geonet_population.dir/synth_population.cpp.o" "gcc" "src/population/CMakeFiles/geonet_population.dir/synth_population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/geonet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

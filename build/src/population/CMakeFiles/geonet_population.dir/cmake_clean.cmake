@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_population.dir/economic_profile.cpp.o"
+  "CMakeFiles/geonet_population.dir/economic_profile.cpp.o.d"
+  "CMakeFiles/geonet_population.dir/population_grid.cpp.o"
+  "CMakeFiles/geonet_population.dir/population_grid.cpp.o.d"
+  "CMakeFiles/geonet_population.dir/synth_population.cpp.o"
+  "CMakeFiles/geonet_population.dir/synth_population.cpp.o.d"
+  "libgeonet_population.a"
+  "libgeonet_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_report.dir/ascii_map.cpp.o"
+  "CMakeFiles/geonet_report.dir/ascii_map.cpp.o.d"
+  "CMakeFiles/geonet_report.dir/gnuplot.cpp.o"
+  "CMakeFiles/geonet_report.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/geonet_report.dir/series.cpp.o"
+  "CMakeFiles/geonet_report.dir/series.cpp.o.d"
+  "CMakeFiles/geonet_report.dir/table.cpp.o"
+  "CMakeFiles/geonet_report.dir/table.cpp.o.d"
+  "libgeonet_report.a"
+  "libgeonet_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/geonet_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/geonet_stats.dir/ccdf.cpp.o"
+  "CMakeFiles/geonet_stats.dir/ccdf.cpp.o.d"
+  "CMakeFiles/geonet_stats.dir/distributions.cpp.o"
+  "CMakeFiles/geonet_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/geonet_stats.dir/fenwick.cpp.o"
+  "CMakeFiles/geonet_stats.dir/fenwick.cpp.o.d"
+  "CMakeFiles/geonet_stats.dir/histogram.cpp.o"
+  "CMakeFiles/geonet_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/geonet_stats.dir/linear_fit.cpp.o"
+  "CMakeFiles/geonet_stats.dir/linear_fit.cpp.o.d"
+  "CMakeFiles/geonet_stats.dir/rng.cpp.o"
+  "CMakeFiles/geonet_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/geonet_stats.dir/summary.cpp.o"
+  "CMakeFiles/geonet_stats.dir/summary.cpp.o.d"
+  "libgeonet_stats.a"
+  "libgeonet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

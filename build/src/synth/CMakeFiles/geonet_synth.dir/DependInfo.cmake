@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/bgp.cpp" "src/synth/CMakeFiles/geonet_synth.dir/bgp.cpp.o" "gcc" "src/synth/CMakeFiles/geonet_synth.dir/bgp.cpp.o.d"
+  "/root/repo/src/synth/bgp_propagation.cpp" "src/synth/CMakeFiles/geonet_synth.dir/bgp_propagation.cpp.o" "gcc" "src/synth/CMakeFiles/geonet_synth.dir/bgp_propagation.cpp.o.d"
+  "/root/repo/src/synth/geo_mapper.cpp" "src/synth/CMakeFiles/geonet_synth.dir/geo_mapper.cpp.o" "gcc" "src/synth/CMakeFiles/geonet_synth.dir/geo_mapper.cpp.o.d"
+  "/root/repo/src/synth/ground_truth.cpp" "src/synth/CMakeFiles/geonet_synth.dir/ground_truth.cpp.o" "gcc" "src/synth/CMakeFiles/geonet_synth.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/synth/hostnames.cpp" "src/synth/CMakeFiles/geonet_synth.dir/hostnames.cpp.o" "gcc" "src/synth/CMakeFiles/geonet_synth.dir/hostnames.cpp.o.d"
+  "/root/repo/src/synth/mercator.cpp" "src/synth/CMakeFiles/geonet_synth.dir/mercator.cpp.o" "gcc" "src/synth/CMakeFiles/geonet_synth.dir/mercator.cpp.o.d"
+  "/root/repo/src/synth/scenario.cpp" "src/synth/CMakeFiles/geonet_synth.dir/scenario.cpp.o" "gcc" "src/synth/CMakeFiles/geonet_synth.dir/scenario.cpp.o.d"
+  "/root/repo/src/synth/skitter.cpp" "src/synth/CMakeFiles/geonet_synth.dir/skitter.cpp.o" "gcc" "src/synth/CMakeFiles/geonet_synth.dir/skitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/geonet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/geonet_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geonet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_synth.dir/bgp.cpp.o"
+  "CMakeFiles/geonet_synth.dir/bgp.cpp.o.d"
+  "CMakeFiles/geonet_synth.dir/bgp_propagation.cpp.o"
+  "CMakeFiles/geonet_synth.dir/bgp_propagation.cpp.o.d"
+  "CMakeFiles/geonet_synth.dir/geo_mapper.cpp.o"
+  "CMakeFiles/geonet_synth.dir/geo_mapper.cpp.o.d"
+  "CMakeFiles/geonet_synth.dir/ground_truth.cpp.o"
+  "CMakeFiles/geonet_synth.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/geonet_synth.dir/hostnames.cpp.o"
+  "CMakeFiles/geonet_synth.dir/hostnames.cpp.o.d"
+  "CMakeFiles/geonet_synth.dir/mercator.cpp.o"
+  "CMakeFiles/geonet_synth.dir/mercator.cpp.o.d"
+  "CMakeFiles/geonet_synth.dir/scenario.cpp.o"
+  "CMakeFiles/geonet_synth.dir/scenario.cpp.o.d"
+  "CMakeFiles/geonet_synth.dir/skitter.cpp.o"
+  "CMakeFiles/geonet_synth.dir/skitter.cpp.o.d"
+  "libgeonet_synth.a"
+  "libgeonet_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

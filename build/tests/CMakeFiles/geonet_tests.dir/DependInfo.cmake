@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_annotated_graph.cpp" "tests/CMakeFiles/geonet_tests.dir/test_annotated_graph.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_annotated_graph.cpp.o.d"
+  "/root/repo/tests/test_as_analysis.cpp" "tests/CMakeFiles/geonet_tests.dir/test_as_analysis.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_as_analysis.cpp.o.d"
+  "/root/repo/tests/test_bgp.cpp" "tests/CMakeFiles/geonet_tests.dir/test_bgp.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_bgp.cpp.o.d"
+  "/root/repo/tests/test_bgp_propagation.cpp" "tests/CMakeFiles/geonet_tests.dir/test_bgp_propagation.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_bgp_propagation.cpp.o.d"
+  "/root/repo/tests/test_bootstrap.cpp" "tests/CMakeFiles/geonet_tests.dir/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_box_counting.cpp" "tests/CMakeFiles/geonet_tests.dir/test_box_counting.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_box_counting.cpp.o.d"
+  "/root/repo/tests/test_ccdf.cpp" "tests/CMakeFiles/geonet_tests.dir/test_ccdf.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_ccdf.cpp.o.d"
+  "/root/repo/tests/test_convex_hull.cpp" "tests/CMakeFiles/geonet_tests.dir/test_convex_hull.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_convex_hull.cpp.o.d"
+  "/root/repo/tests/test_density.cpp" "tests/CMakeFiles/geonet_tests.dir/test_density.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_density.cpp.o.d"
+  "/root/repo/tests/test_distance.cpp" "tests/CMakeFiles/geonet_tests.dir/test_distance.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_distance.cpp.o.d"
+  "/root/repo/tests/test_distance_pref.cpp" "tests/CMakeFiles/geonet_tests.dir/test_distance_pref.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_distance_pref.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/geonet_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_fenwick.cpp" "tests/CMakeFiles/geonet_tests.dir/test_fenwick.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_fenwick.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/geonet_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_geo_mapper.cpp" "tests/CMakeFiles/geonet_tests.dir/test_geo_mapper.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_geo_mapper.cpp.o.d"
+  "/root/repo/tests/test_geo_point.cpp" "tests/CMakeFiles/geonet_tests.dir/test_geo_point.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_geo_point.cpp.o.d"
+  "/root/repo/tests/test_gnuplot.cpp" "tests/CMakeFiles/geonet_tests.dir/test_gnuplot.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_gnuplot.cpp.o.d"
+  "/root/repo/tests/test_graph_algos.cpp" "tests/CMakeFiles/geonet_tests.dir/test_graph_algos.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_graph_algos.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/geonet_tests.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/geonet_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_ground_truth.cpp" "tests/CMakeFiles/geonet_tests.dir/test_ground_truth.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_ground_truth.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/geonet_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_hostnames.cpp" "tests/CMakeFiles/geonet_tests.dir/test_hostnames.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_hostnames.cpp.o.d"
+  "/root/repo/tests/test_hull_analysis.cpp" "tests/CMakeFiles/geonet_tests.dir/test_hull_analysis.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_hull_analysis.cpp.o.d"
+  "/root/repo/tests/test_integration_io.cpp" "tests/CMakeFiles/geonet_tests.dir/test_integration_io.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_integration_io.cpp.o.d"
+  "/root/repo/tests/test_ipv4.cpp" "tests/CMakeFiles/geonet_tests.dir/test_ipv4.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_ipv4.cpp.o.d"
+  "/root/repo/tests/test_knob_properties.cpp" "tests/CMakeFiles/geonet_tests.dir/test_knob_properties.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_knob_properties.cpp.o.d"
+  "/root/repo/tests/test_linear_fit.cpp" "tests/CMakeFiles/geonet_tests.dir/test_linear_fit.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_linear_fit.cpp.o.d"
+  "/root/repo/tests/test_link_domains.cpp" "tests/CMakeFiles/geonet_tests.dir/test_link_domains.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_link_domains.cpp.o.d"
+  "/root/repo/tests/test_link_lengths.cpp" "tests/CMakeFiles/geonet_tests.dir/test_link_lengths.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_link_lengths.cpp.o.d"
+  "/root/repo/tests/test_new_generators.cpp" "tests/CMakeFiles/geonet_tests.dir/test_new_generators.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_new_generators.cpp.o.d"
+  "/root/repo/tests/test_population.cpp" "tests/CMakeFiles/geonet_tests.dir/test_population.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_population.cpp.o.d"
+  "/root/repo/tests/test_prefix_trie.cpp" "tests/CMakeFiles/geonet_tests.dir/test_prefix_trie.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_prefix_trie.cpp.o.d"
+  "/root/repo/tests/test_probes.cpp" "tests/CMakeFiles/geonet_tests.dir/test_probes.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_probes.cpp.o.d"
+  "/root/repo/tests/test_process_pipeline.cpp" "tests/CMakeFiles/geonet_tests.dir/test_process_pipeline.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_process_pipeline.cpp.o.d"
+  "/root/repo/tests/test_projection.cpp" "tests/CMakeFiles/geonet_tests.dir/test_projection.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_projection.cpp.o.d"
+  "/root/repo/tests/test_property_geo.cpp" "tests/CMakeFiles/geonet_tests.dir/test_property_geo.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_property_geo.cpp.o.d"
+  "/root/repo/tests/test_property_pipeline.cpp" "tests/CMakeFiles/geonet_tests.dir/test_property_pipeline.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_property_pipeline.cpp.o.d"
+  "/root/repo/tests/test_region.cpp" "tests/CMakeFiles/geonet_tests.dir/test_region.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_region.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/geonet_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/geonet_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/geonet_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_study.cpp" "tests/CMakeFiles/geonet_tests.dir/test_study.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_study.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/geonet_tests.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_summary.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/geonet_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/geonet_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_waxman_fit.cpp" "tests/CMakeFiles/geonet_tests.dir/test_waxman_fit.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_waxman_fit.cpp.o.d"
+  "/root/repo/tests/test_weighted_paths.cpp" "tests/CMakeFiles/geonet_tests.dir/test_weighted_paths.cpp.o" "gcc" "tests/CMakeFiles/geonet_tests.dir/test_weighted_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geonet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/geonet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/generators/CMakeFiles/geonet_generators.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/geonet_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/geonet_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geonet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/geonet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/geonet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

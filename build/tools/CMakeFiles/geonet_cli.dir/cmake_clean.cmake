@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geonet_cli.dir/geonet_cli.cpp.o"
+  "CMakeFiles/geonet_cli.dir/geonet_cli.cpp.o.d"
+  "geonet"
+  "geonet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geonet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
