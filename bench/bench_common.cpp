@@ -1,16 +1,22 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/run_report.h"
 
 namespace geonet::bench {
 
 const synth::Scenario& scenario() {
   static const synth::Scenario instance = [] {
     const auto options = synth::ScenarioOptions::defaults();
-    std::fprintf(stderr, "[geonet] building scenario at scale %.3f...\n",
-                 options.scale);
+    obs::log(obs::LogLevel::kInfo,
+             "[geonet] building scenario at scale %.3f...", options.scale);
     synth::Scenario s = synth::Scenario::build(options);
-    std::fprintf(stderr, "[geonet] scenario ready\n");
+    obs::log(obs::LogLevel::kInfo, "[geonet] scenario ready");
     return s;
   }();
   return instance;
@@ -40,7 +46,56 @@ const std::vector<DatasetRef>& ixmapper_datasets() {
   return datasets;
 }
 
+namespace {
+
+/// State for the per-figure timing record written at process exit. The
+/// experiment identifiers passed to print_banner are already file-safe
+/// (fig02_density, table5_sensitivity_limits, ...).
+struct BenchRecord {
+  std::string experiment;
+  std::string artifact;
+  std::chrono::steady_clock::time_point start;
+};
+BenchRecord& bench_record() {
+  static BenchRecord record;
+  return record;
+}
+
+void write_bench_report() {
+  const BenchRecord& record = bench_record();
+  if (record.experiment.empty()) return;
+  if (const char* env = std::getenv("GEONET_BENCH_REPORT")) {
+    if (std::string(env) == "0") return;
+  }
+  const char* dir = std::getenv("GEONET_BENCH_REPORT_DIR");
+  const std::string path = (dir != nullptr ? std::string(dir)
+                                           : report::results_dir()) +
+                           "/BENCH_" + record.experiment + ".json";
+
+  obs::RunReport report("bench");
+  report.set_info("experiment", record.experiment);
+  report.set_info("paper_artifact", record.artifact);
+  report.set_info("scale",
+                  std::to_string(synth::ScenarioOptions::defaults().scale));
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - record.start);
+  report.set_info("wall_us", std::to_string(wall_us.count()));
+  if (report.write(path)) {
+    obs::log(obs::LogLevel::kInfo, "[geonet] bench record written: %s",
+             path.c_str());
+  }
+}
+
+}  // namespace
+
 void print_banner(const char* experiment, const char* paper_artifact) {
+  BenchRecord& record = bench_record();
+  if (record.experiment.empty()) {
+    record.experiment = experiment;
+    record.artifact = paper_artifact;
+    record.start = std::chrono::steady_clock::now();
+    std::atexit(write_bench_report);
+  }
   std::printf("================================================================\n");
   std::printf("%s  --  reproduces %s\n", experiment, paper_artifact);
   std::printf("  (paper: On the Geographic Location of Internet Resources,\n");

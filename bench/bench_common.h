@@ -28,7 +28,12 @@ const std::vector<DatasetRef>& all_datasets();
 /// The (dataset, mapper) pairs the paper's main body uses (IxMapper).
 const std::vector<DatasetRef>& ixmapper_datasets();
 
-/// Prints the standard experiment banner (scale, dataset sizes).
+/// Prints the standard experiment banner (scale, dataset sizes) and
+/// registers an exit hook that writes `results/BENCH_<experiment>.json`,
+/// a geonet.run_report.v1 record carrying the run's per-stage span
+/// timings and pipeline counters — one point of the perf trajectory
+/// tracked across PRs. Set GEONET_BENCH_REPORT=0 to disable, or
+/// GEONET_BENCH_REPORT_DIR to redirect.
 void print_banner(const char* experiment, const char* paper_artifact);
 
 /// Writes a two-column series under results/ and reports the path.

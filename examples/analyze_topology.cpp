@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/as_analysis.h"
+#include "obs/log.h"
 #include "core/density.h"
 #include "core/hull_analysis.h"
 #include "core/link_domains.h"
@@ -23,13 +24,13 @@ int main(int argc, char** argv) {
   using namespace geonet;
 
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <topology.graph> [region]\n", argv[0]);
+    obs::log(obs::LogLevel::kError, "usage: %s <topology.graph> [region]", argv[0]);
     return 2;
   }
   std::string error;
   const auto graph = net::read_graph_file(argv[1], &error);
   if (!graph) {
-    std::fprintf(stderr, "failed to read %s: %s\n", argv[1], error.c_str());
+    obs::log(obs::LogLevel::kError, "failed to read %s: %s", argv[1], error.c_str());
     return 1;
   }
   const geo::Region region =

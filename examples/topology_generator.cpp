@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/log.h"
+
 #include "core/density.h"
 #include "net/graph_io.h"
 #include "core/link_domains.h"
@@ -61,7 +63,7 @@ int main(int argc, char** argv) {
   // --- emit the annotated topology in the library interchange format,
   // readable back via net::read_graph_file (see examples/analyze_topology)
   if (!net::write_graph_file(output_path, graph, result.link_latency_ms)) {
-    std::fprintf(stderr, "cannot write %s\n", output_path);
+    obs::log(obs::LogLevel::kError, "cannot write %s", output_path);
     return 1;
   }
   std::printf("wrote %s (%zu nodes + %zu links)\n", output_path,

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <unordered_set>
 
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "report/table.h"
 
 namespace geonet::core {
@@ -11,6 +13,7 @@ namespace geonet::core {
 StudyReport run_study(const net::AnnotatedGraph& graph,
                       const population::WorldPopulation& world,
                       const StudyOptions& options) {
+  const obs::Span run_span("study/run");
   StudyReport report;
   report.dataset_name = graph.name();
   report.nodes = graph.node_count();
@@ -24,8 +27,11 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
     report.distinct_locations = keys.size();
   }
 
-  report.economic_rows = economic_region_table(graph, world);
-  report.homogeneity_rows = homogeneity_table(graph, world);
+  {
+    const obs::Span span("study/economic_tables");
+    report.economic_rows = economic_region_table(graph, world);
+    report.homogeneity_rows = homogeneity_table(graph, world);
+  }
 
   const std::vector<geo::Region> regions =
       options.regions.empty() ? geo::regions::paper_study_regions()
@@ -33,25 +39,102 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
   for (const geo::Region& region : regions) {
     RegionStudy study;
     study.region = region;
-    study.density = analyze_density(graph, world, region, options.patch_arcmin);
-    study.distance = distance_preference(graph, region, options.distance);
-    WaxmanFitOptions fit_options;
-    fit_options.small_d_cut_miles = paper_small_d_cut(region);
-    study.waxman = characterize_waxman(study.distance, fit_options);
-    study.link_domains = analyze_link_domains(graph, region);
+    {
+      const obs::Span span("study/density");
+      study.density =
+          analyze_density(graph, world, region, options.patch_arcmin);
+    }
+    {
+      const obs::Span span("study/distance_pref");
+      study.distance = distance_preference(graph, region, options.distance);
+    }
+    {
+      const obs::Span span("study/waxman_fit");
+      WaxmanFitOptions fit_options;
+      fit_options.small_d_cut_miles = paper_small_d_cut(region);
+      study.waxman = characterize_waxman(study.distance, fit_options);
+    }
+    {
+      const obs::Span span("study/link_domains");
+      study.link_domains = analyze_link_domains(graph, region);
+    }
     report.regions.push_back(std::move(study));
   }
 
-  report.world_links = analyze_link_domains(graph);
-  report.link_lengths = analyze_link_lengths(graph);
-  report.as_sizes = analyze_as_sizes(graph);
-  report.hulls = analyze_hulls(graph);
+  {
+    const obs::Span span("study/link_domains");
+    report.world_links = analyze_link_domains(graph);
+  }
+  {
+    const obs::Span span("study/link_lengths");
+    report.link_lengths = analyze_link_lengths(graph);
+  }
+  {
+    const obs::Span span("study/as_analysis");
+    report.as_sizes = analyze_as_sizes(graph);
+  }
+  {
+    const obs::Span span("study/hulls");
+    report.hulls = analyze_hulls(graph);
+  }
 
   if (options.compute_fractal_dimension) {
+    const obs::Span span("study/fractal_dimension");
     report.fractal = geo::box_counting_dimension(graph.locations(),
                                                  geo::regions::us());
   }
   return report;
+}
+
+std::string study_report_json(const StudyReport& report) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("dataset").value(report.dataset_name);
+  json.key("nodes").value(report.nodes);
+  json.key("links").value(report.links);
+  json.key("distinct_locations").value(report.distinct_locations);
+
+  json.key("regions").begin_array();
+  for (const auto& region : report.regions) {
+    json.begin_object();
+    json.key("name").value(region.region.name);
+    json.key("density_slope").value(region.density.loglog_fit.slope);
+    json.key("lambda_miles").value(region.waxman.lambda_miles);
+    json.key("sensitivity_limit_miles")
+        .value(region.waxman.sensitivity_limit_miles);
+    json.key("fraction_links_below_limit")
+        .value(region.waxman.fraction_links_below_limit);
+    json.key("intradomain_fraction")
+        .value(region.link_domains.intradomain_fraction());
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("as_analysis").begin_object();
+  json.key("records").value(report.as_sizes.records.size());
+  json.key("corr_nodes_locations").value(report.as_sizes.corr_nodes_locations);
+  json.key("corr_nodes_degree").value(report.as_sizes.corr_nodes_degree);
+  json.key("corr_locations_degree").value(report.as_sizes.corr_locations_degree);
+  json.end_object();
+
+  json.key("hulls").begin_object();
+  json.key("zero_area_fraction").value(report.hulls.zero_area_fraction);
+  json.key("threshold_by_degree").value(report.hulls.thresholds.by_degree);
+  json.key("threshold_by_node_count")
+      .value(report.hulls.thresholds.by_node_count);
+  json.key("threshold_by_locations")
+      .value(report.hulls.thresholds.by_locations);
+  json.end_object();
+
+  json.key("link_lengths").begin_object();
+  json.key("median_miles").value(report.link_lengths.summary.median);
+  json.key("mean_miles").value(report.link_lengths.summary.mean);
+  json.key("fraction_zero").value(report.link_lengths.fraction_zero);
+  json.end_object();
+
+  json.key("fractal_dimension_us").value(report.fractal.dimension);
+  json.end_object();
+  return json.str();
 }
 
 std::string summarize(const StudyReport& report) {

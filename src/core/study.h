@@ -62,6 +62,11 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
 /// Renders a compact human-readable summary of a report.
 std::string summarize(const StudyReport& report);
 
+/// Renders the report's headline numbers as a JSON object — the
+/// `sections.study` payload of an `obs::RunReport`
+/// (schema geonet.run_report.v1; see docs/observability.md).
+std::string study_report_json(const StudyReport& report);
+
 /// Writes the report's tables (III, IV, V, VI and the per-region fits)
 /// as a markdown document; returns false on I/O failure.
 bool write_study_markdown(const StudyReport& report, const std::string& path);

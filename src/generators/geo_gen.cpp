@@ -1,6 +1,7 @@
 #include "generators/geo_gen.h"
 
 #include "generators/common.h"
+#include "obs/trace.h"
 #include "population/economic_profile.h"
 
 namespace geonet::generators {
@@ -30,6 +31,7 @@ GeneratedTopology topology_from_truth(const synth::GroundTruth& truth) {
 GeneratedTopology generate_geo_topology(
     const population::WorldPopulation& world,
     const GeoGeneratorOptions& options) {
+  const obs::Span span("generators/geo_topology");
   synth::GroundTruthOptions growth = options.growth;
   growth.seed = options.seed;
 

@@ -43,13 +43,16 @@ std::vector<Region> economic_regions() {
           japan(),  australia(),     us()};
 }
 
+std::vector<Region> all() {
+  return {us(),          europe(),        japan(),
+          northern_us(), southern_us(),   central_america(),
+          africa(),      south_america(), mexico(),
+          western_europe(), australia(),  world()};
+}
+
 std::optional<Region> by_name(std::string_view name) {
-  static const std::vector<Region> all = {
-      us(),         europe(),          japan(),
-      northern_us(), southern_us(),    central_america(),
-      africa(),      south_america(),  mexico(),
-      western_europe(), australia(),   world()};
-  for (const auto& r : all) {
+  static const std::vector<Region> known = all();
+  for (const auto& r : known) {
     if (r.name == name) return r;
   }
   return std::nullopt;

@@ -75,6 +75,10 @@ std::vector<Region> paper_study_regions();
 /// All Table III rows except World, in the paper's order.
 std::vector<Region> economic_regions();
 
+/// Every named region (study, homogeneity and economic boxes plus
+/// World), in a stable order — the domain of by_name().
+std::vector<Region> all();
+
 /// Looks a region up by its canonical name (case sensitive).
 std::optional<Region> by_name(std::string_view name);
 

@@ -6,11 +6,18 @@
 #include <unordered_map>
 
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace geonet::net {
 
 bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
                  std::span<const double> link_latency_ms) {
+  const obs::Span span("io/write_graph");
+  obs::MetricsRegistry::global().counter("io.nodes_written")
+      .add(graph.node_count());
+  obs::MetricsRegistry::global().counter("io.links_written")
+      .add(graph.edge_count());
   out << "# geonet annotated topology\n";
   out << "kind " << to_string(graph.kind()) << '\n';
   if (!graph.name().empty()) out << "name " << graph.name() << '\n';
@@ -57,6 +64,7 @@ bool fail(std::string* error, std::size_t line_no, const std::string& what) {
 
 std::optional<AnnotatedGraph> read_graph(std::istream& in,
                                          std::string* error) {
+  const obs::Span span("io/read_graph");
   NodeKind kind = NodeKind::kRouter;
   std::string name;
 
@@ -142,6 +150,10 @@ std::optional<AnnotatedGraph> read_graph(std::istream& in,
     }
     graph.add_edge(ia->second, ib->second);  // dedup/self-loop safe
   }
+  obs::MetricsRegistry::global().counter("io.nodes_read")
+      .add(graph.node_count());
+  obs::MetricsRegistry::global().counter("io.links_read")
+      .add(graph.edge_count());
   return graph;
 }
 

@@ -1,0 +1,312 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace geonet::obs {
+
+void JsonWriter::append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == '{') {
+    assert(have_key_ && "object members need a key() first");
+    have_key_ = false;
+    return;  // key() already handled the comma
+  }
+  if (needs_comma_) out_ += ',';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back('{');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == '{');
+  stack_.pop_back();
+  out_ += '}';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back('[');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == '[');
+  stack_.pop_back();
+  out_ += ']';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back() == '{');
+  if (needs_comma_) out_ += ',';
+  append_escaped(out_, k);
+  out_ += ':';
+  needs_comma_ = false;
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  append_escaped(out_, v);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    out_ += buf;
+  }
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_.append(json);
+  needs_comma_ = true;
+  return *this;
+}
+
+// ---------------------------------------------------------------------
+// Validator: a hand-rolled recursive-descent checker.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Checker {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* error;
+
+  bool fail(const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return fail("bad literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (pos >= text.size() || !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return fail("expected digit");
+    }
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    return true;
+  }
+
+  bool number() {
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    if (pos < text.size() && text[pos] == '0') {
+      ++pos;  // leading zero: no further integer digits allowed
+    } else if (!digits()) {
+      return false;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    skip_ws();
+    if (pos >= text.size()) return fail("expected value");
+    switch (text[pos]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos;  // '{'
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
+      ++pos;
+      if (!value()) return false;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos;  // '['
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool json_validate(std::string_view text, std::string* error) {
+  Checker checker{text, 0, error};
+  if (!checker.value()) return false;
+  if (!checker.at_end()) return checker.fail("trailing content");
+  return true;
+}
+
+}  // namespace geonet::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geonet::obs {
+
+/// Minimal streaming JSON writer — the only JSON producer in geonet, so
+/// every machine-readable artifact (traces, metrics, run reports, bench
+/// records) shares one escaping and number-formatting policy.
+///
+/// The writer maintains a container stack and inserts commas itself;
+/// misuse (value without key inside an object, unbalanced end_*) is a
+/// programming error and asserts in debug builds. Non-finite doubles are
+/// emitted as null, keeping output strictly RFC 8259 parseable.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null();
+
+  /// Splices pre-rendered JSON (e.g. a section built by another writer)
+  /// as one value. The caller vouches for its validity.
+  JsonWriter& raw(std::string_view json);
+
+  /// The document so far. Call after the last end_*.
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  /// Appends a correctly escaped JSON string literal (with quotes) to `out`.
+  static void append_escaped(std::string& out, std::string_view s);
+
+ private:
+  void before_value();
+
+  std::string out_;
+  std::vector<char> stack_;      // '{' or '['
+  bool needs_comma_ = false;
+  bool have_key_ = false;
+};
+
+/// Validates that `text` is one well-formed JSON value (RFC 8259 subset:
+/// full syntax, no depth limit beyond recursion). On failure returns
+/// false and, when `error` is non-null, a short diagnostic with offset.
+/// Used by tests and tools/check_trace.py's C++ twin; not a parser — it
+/// builds no DOM.
+bool json_validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace geonet::obs

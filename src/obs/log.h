@@ -1,0 +1,29 @@
+#pragma once
+
+namespace geonet::obs {
+
+/// Leveled diagnostic logging to stderr.
+///
+/// Library and tool code must never write unconditionally to stderr;
+/// every diagnostic goes through log(), which a front end can silence
+/// (`--quiet` sets the threshold to kError) or crank up. stdout remains
+/// reserved for actual program output (tables, reports).
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilent = 4,  ///< threshold only: suppresses everything
+};
+
+/// Messages below this level are dropped. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// printf-style; a trailing newline is appended when missing.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log(LogLevel level, const char* fmt, ...);
+
+}  // namespace geonet::obs

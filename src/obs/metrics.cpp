@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace geonet::obs {
+
+std::atomic<std::uint64_t>& Counter::shard_for_thread() noexcept {
+  // Cheap thread → shard mapping: hash of the thread id, computed once
+  // per thread. Collisions only cost sharing, never correctness.
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kCounterShards;
+  return shards_[shard].cell;
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ULL ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::update_min(std::uint64_t sample) noexcept {
+  std::uint64_t current = min_.load(std::memory_order_relaxed);
+  while (sample < current &&
+         !min_.compare_exchange_weak(current, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::update_max(std::uint64_t sample) noexcept {
+  std::uint64_t current = max_.load(std::memory_order_relaxed);
+  while (sample > current &&
+         !max_.compare_exchange_weak(current, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& entry : counters_) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  counters_.push_back({std::string(name), std::make_unique<Counter>()});
+  return *counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& entry : gauges_) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  gauges_.push_back({std::string(name), std::make_unique<Gauge>()});
+  return *gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& entry : histograms_) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  histograms_.push_back({std::string(name), std::make_unique<Histogram>()});
+  return *histograms_.back().instrument;
+}
+
+std::vector<MetricsRegistry::CounterRow> MetricsRegistry::counters() const {
+  std::vector<CounterRow> rows;
+  {
+    const std::scoped_lock lock(mutex_);
+    rows.reserve(counters_.size());
+    for (const auto& entry : counters_) {
+      rows.push_back({entry.name, entry.instrument->value()});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CounterRow& a, const CounterRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+std::vector<MetricsRegistry::GaugeRow> MetricsRegistry::gauges() const {
+  std::vector<GaugeRow> rows;
+  {
+    const std::scoped_lock lock(mutex_);
+    rows.reserve(gauges_.size());
+    for (const auto& entry : gauges_) {
+      rows.push_back({entry.name, entry.instrument->value()});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const GaugeRow& a, const GaugeRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+std::vector<MetricsRegistry::HistogramRow> MetricsRegistry::histograms() const {
+  std::vector<HistogramRow> rows;
+  {
+    const std::scoped_lock lock(mutex_);
+    rows.reserve(histograms_.size());
+    for (const auto& entry : histograms_) {
+      rows.push_back({entry.name, entry.instrument.get()});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const HistogramRow& a, const HistogramRow& b) {
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+
+  json.key("counters").begin_object();
+  for (const auto& row : counters()) {
+    json.key(row.name).value(row.value);
+  }
+  json.end_object();
+
+  json.key("gauges").begin_object();
+  for (const auto& row : gauges()) {
+    json.key(row.name).value(row.value);
+  }
+  json.end_object();
+
+  json.key("histograms").begin_object();
+  for (const auto& row : histograms()) {
+    const Histogram& h = *row.histogram;
+    json.key(row.name).begin_object();
+    json.key("count").value(h.count());
+    json.key("sum").value(h.sum());
+    json.key("min").value(h.min());
+    json.key("max").value(h.max());
+    json.key("mean").value(h.mean());
+    json.key("buckets").begin_array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h.bucket_count(i);
+      if (n == 0) continue;  // sparse: empty buckets carry no information
+      json.begin_object();
+      json.key("le").value(Histogram::bucket_upper(i));
+      json.key("count").value(n);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+
+  json.end_object();
+  return json.str();
+}
+
+void MetricsRegistry::clear() {
+  const std::scoped_lock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+}  // namespace geonet::obs

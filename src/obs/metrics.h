@@ -1,0 +1,178 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geonet::obs {
+
+/// Observability primitives for the pipeline: named counters, gauges and
+/// fixed-bucket latency histograms collected in a process-wide registry.
+///
+/// Design constraints (see docs/observability.md):
+///  * increments must be cheap enough for hot loops — the increment path
+///    is a single relaxed fetch_add on a thread-sharded cache line, with
+///    no locks and no allocation;
+///  * handles are stable for the life of the registry, so call sites
+///    resolve a name once (static local) and then touch only atomics;
+///  * reads (snapshots, JSON export) are approximate under concurrent
+///    writes, which is fine for reporting.
+
+/// Number of independent cells a counter is split across. Each cell sits
+/// on its own cache line so concurrent writers from different threads do
+/// not bounce a shared line.
+inline constexpr std::size_t kCounterShards = 8;
+
+/// Monotonic counter. add() is lock-free and wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shard_for_thread().fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards; approximate under concurrent writes.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.cell.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& shard : shards_) shard.cell.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> cell{0};
+  };
+
+  [[nodiscard]] std::atomic<std::uint64_t>& shard_for_thread() noexcept;
+
+  std::array<Shard, kCounterShards> shards_;
+};
+
+/// Last-value-wins gauge (e.g. dataset sizes, configuration knobs).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram for latencies (or any non-negative integer
+/// quantity). Buckets are powers of two: bucket i counts samples in
+/// [2^i, 2^(i+1)), bucket 0 additionally holds 0. With 40 buckets the
+/// range covers 1 microsecond .. ~12 days when fed microseconds.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(std::uint64_t sample) noexcept {
+    buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    update_min(sample);
+    update_max(sample);
+  }
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t sample) noexcept {
+    if (sample < 2) return 0;
+    const auto bit = static_cast<std::size_t>(64 - __builtin_clzll(sample) - 1);
+    return bit < kBuckets ? bit : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket i (lower bound of bucket i+1 is +1).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept {
+    return (i + 1 >= 64) ? ~0ULL : (1ULL << (i + 1)) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;  ///< 0 when empty
+  [[nodiscard]] std::uint64_t max() const noexcept;  ///< 0 when empty
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  void update_min(std::uint64_t sample) noexcept;
+  void update_max(std::uint64_t sample) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Name → instrument registry. Lookup/registration takes a mutex (cold
+/// path, do it once per call site); the returned references stay valid
+/// for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeRow {
+    std::string name;
+    std::int64_t value;
+  };
+  struct HistogramRow {
+    std::string name;
+    const Histogram* histogram;
+  };
+
+  /// Name-sorted snapshots.
+  [[nodiscard]] std::vector<CounterRow> counters() const;
+  [[nodiscard]] std::vector<GaugeRow> gauges() const;
+  [[nodiscard]] std::vector<HistogramRow> histograms() const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Drops every registered instrument (invalidates handles; tests only).
+  void clear();
+
+  /// The process-wide registry the pipeline instruments report to.
+  static MetricsRegistry& global();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::unique_ptr<T> instrument;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+}  // namespace geonet::obs

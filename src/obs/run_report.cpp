@@ -1,0 +1,90 @@
+#include "obs/run_report.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <map>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace geonet::obs {
+
+void RunReport::set_info(std::string key, std::string value) {
+  info_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunReport::add_section(std::string name, std::string json) {
+  assert(json_validate(json) && "section payload must be valid JSON");
+  sections_.emplace_back(std::move(name), std::move(json));
+}
+
+std::string RunReport::to_json(const MetricsRegistry& metrics,
+                               const Tracer& tracer) const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("geonet.run_report.v1");
+  json.key("command").value(command_);
+
+  json.key("info").begin_object();
+  for (const auto& [key, value] : info_) json.key(key).value(value);
+  json.end_object();
+
+  json.key("sections").begin_object();
+  for (const auto& [name, payload] : sections_) json.key(name).raw(payload);
+  json.end_object();
+
+  json.key("metrics").raw(metrics.to_json());
+
+  // Span aggregation. Prefer the tracer's buffer (exact, ordered); fall
+  // back to the stage_us.* histograms so reports carry stage timings even
+  // when tracing was never enabled.
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+  };
+  std::map<std::string, Agg> spans;
+  for (const TraceEvent& event : tracer.events()) {
+    Agg& agg = spans[event.name];
+    ++agg.count;
+    agg.total_us += event.duration_us;
+  }
+  if (spans.empty()) {
+    constexpr std::string_view kPrefix = "stage_us.";
+    for (const auto& row : metrics.histograms()) {
+      if (row.name.rfind(kPrefix, 0) != 0) continue;
+      spans[row.name.substr(kPrefix.size())] = {row.histogram->count(),
+                                                row.histogram->sum()};
+    }
+  }
+  json.key("spans").begin_array();
+  for (const auto& [name, agg] : spans) {
+    json.begin_object();
+    json.key("name").value(name);
+    json.key("count").value(agg.count);
+    json.key("total_us").value(agg.total_us);
+    json.key("mean_us").value(
+        agg.count == 0 ? 0.0
+                       : static_cast<double>(agg.total_us) /
+                             static_cast<double>(agg.count));
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  return json.str();
+}
+
+std::string RunReport::to_json() const {
+  return to_json(MetricsRegistry::global(), Tracer::global());
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace geonet::obs

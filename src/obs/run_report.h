@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace geonet::obs {
+
+class MetricsRegistry;
+class Tracer;
+
+/// Machine-readable record of one run — the single JSON artifact a CLI
+/// invocation or bench binary leaves behind (`--metrics <file>`,
+/// `results/BENCH_*.json`). Schema `geonet.run_report.v1`:
+///
+/// {
+///   "schema": "geonet.run_report.v1",
+///   "command": "scenario",
+///   "info":     { "scale": "0.15", ... },            // free-form strings
+///   "sections": { "<name>": <object>, ... },         // domain payloads
+///   "metrics":  { "counters": {...}, "gauges": {...},
+///                 "histograms": { "<name>": { count,sum,min,max,mean,
+///                                             buckets:[{le,count}] } } },
+///   "spans":    [ { "name", "count", "total_us", "mean_us" }, ... ]
+/// }
+///
+/// Sections are pre-rendered JSON objects supplied by the layers that own
+/// the data (core::study_report_json, synth::processing_stats_json, ...),
+/// keeping obs free of upward dependencies.
+class RunReport {
+ public:
+  explicit RunReport(std::string command) : command_(std::move(command)) {}
+
+  /// Adds a free-form string fact ("scale", "dataset", "argv", ...).
+  void set_info(std::string key, std::string value);
+
+  /// Attaches a pre-rendered JSON object under sections.<name>.
+  /// `json` must be a valid JSON value (asserted in debug builds).
+  void add_section(std::string name, std::string json);
+
+  /// Renders the report, embedding the registry's current metrics and a
+  /// per-stage span aggregation (from the tracer's buffer when tracing
+  /// was on, else from the stage_us.* histograms).
+  [[nodiscard]] std::string to_json(const MetricsRegistry& metrics,
+                                    const Tracer& tracer) const;
+  /// Same, against the global registry/tracer.
+  [[nodiscard]] std::string to_json() const;
+
+  bool write(const std::string& path) const;
+
+ private:
+  std::string command_;
+  std::vector<std::pair<std::string, std::string>> info_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+}  // namespace geonet::obs

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace geonet::obs {
+
+namespace {
+
+std::uint64_t to_us(std::chrono::steady_clock::duration d) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+/// Dense per-thread index for trace rows (Chrome groups events by tid).
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  static thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// Per-thread span nesting depth.
+std::uint32_t& depth_slot() {
+  static thread_local std::uint32_t depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+void Tracer::set_enabled(bool enabled) {
+  if (enabled && !enabled_.load(std::memory_order_relaxed)) {
+    const std::scoped_lock lock(mutex_);
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  return to_us(std::chrono::steady_clock::now() - epoch_);
+}
+
+void Tracer::record(std::string name, std::uint64_t start_us,
+                    std::uint64_t duration_us, std::uint32_t depth) {
+  TraceEvent event{std::move(name), start_us, duration_us, thread_index(),
+                   depth};
+  const std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+std::string Tracer::chrome_trace_json() const {
+  auto sorted = events();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& event : sorted) {
+    json.begin_object();
+    json.key("name").value(event.name);
+    json.key("cat").value("geonet");
+    json.key("ph").value("X");  // complete event: begin + duration in one
+    json.key("ts").value(event.start_us);
+    json.key("dur").value(event.duration_us);
+    json.key("pid").value(1);
+    json.key("tid").value(event.thread);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("displayTimeUnit").value("ms");
+  json.end_object();
+  return json.str();
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+std::string Tracer::summary() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint32_t min_depth = ~0u;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& event : events()) {
+    Agg& agg = by_name[event.name];
+    ++agg.count;
+    agg.total_us += event.duration_us;
+    agg.min_depth = std::min(agg.min_depth, event.depth);
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+
+  std::string out = "stage                                   count   total ms    mean ms\n";
+  char line[160];
+  for (const auto& [name, agg] : rows) {
+    const std::string label(std::string(agg.min_depth * 2, ' ') + name);
+    std::snprintf(line, sizeof(line), "%-38s %6llu %10.2f %10.3f\n",
+                  label.c_str(),
+                  static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.total_us) / 1000.0,
+                  agg.count == 0 ? 0.0
+                                 : static_cast<double>(agg.total_us) /
+                                       (1000.0 * static_cast<double>(agg.count)));
+    out += line;
+  }
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+Span::Span(const char* name)
+    : name_(name),
+      start_(std::chrono::steady_clock::now()),
+      start_us_(Tracer::global().enabled() ? Tracer::global().now_us() : 0),
+      depth_(depth_slot()++) {}
+
+Span::~Span() {
+  --depth_slot();
+  const std::uint64_t duration_us =
+      to_us(std::chrono::steady_clock::now() - start_);
+  // Stage wall-time histogram: populated whether or not tracing is on, so
+  // metrics output always carries per-stage timings. The handle lookup is
+  // mutex-protected but spans are stage-granular, so this is cold.
+  MetricsRegistry::global()
+      .histogram(std::string("stage_us.") + name_)
+      .record(duration_us);
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) {
+    tracer.record(name_, start_us_, duration_us, depth_);
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  sink_.record(to_us(std::chrono::steady_clock::now() - start_));
+}
+
+}  // namespace geonet::obs

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace geonet::obs {
+
+class Histogram;
+
+/// Stage-level tracing.
+///
+/// A `Span` is an RAII marker around one pipeline stage ("synth/skitter",
+/// "study/density", ...). Spans always feed a per-stage wall-time
+/// histogram in the global `MetricsRegistry` (metric `stage_us.<name>`),
+/// so `--metrics` output carries stage timings even without a trace file.
+/// When the global `Tracer` is enabled they additionally append a
+/// complete event to its buffer, which exports as Chrome
+/// `trace_event`-format JSON (open in chrome://tracing or
+/// https://ui.perfetto.dev) or as a flat text summary.
+///
+/// Spans nest: a thread-local depth counter tracks the current stack so
+/// the text summary can indent by nesting; the Chrome viewer infers
+/// nesting from timestamps on its own.
+///
+/// Cost when tracing is disabled: two steady_clock reads plus one
+/// histogram record per span — intended for stage granularity (tens to
+/// thousands per run), not per-element hot loops. For hot loops, use
+/// counters.
+
+/// One completed span. Timestamps are microseconds since the tracer's
+/// epoch (process start of tracing).
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t thread = 0;  ///< dense thread index, 0 = first seen
+  std::uint32_t depth = 0;   ///< nesting depth at start, 0 = top level
+};
+
+class Tracer {
+ public:
+  /// Starts buffering events. Also (re)sets the epoch when first enabled.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(std::string name, std::uint64_t start_us,
+              std::uint64_t duration_us, std::uint32_t depth);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Microseconds since the tracer epoch.
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Flat per-stage summary (count, total, mean), longest first.
+  [[nodiscard]] std::string summary() const;
+
+  static Tracer& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII span around one stage. `name` must outlive the span (string
+/// literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_us_;  ///< tracer-epoch timestamp (only if enabled)
+  std::uint32_t depth_;
+};
+
+/// RAII timer that records elapsed microseconds into one histogram and
+/// nothing else — for sub-stage measurements too frequent to trace.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink) noexcept
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace geonet::obs

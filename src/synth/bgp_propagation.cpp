@@ -1,5 +1,7 @@
 #include "synth/bgp_propagation.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <queue>
 #include <unordered_map>
@@ -56,6 +58,7 @@ void bfs_closure(
 
 std::vector<AsRelationship> infer_as_relationships(const GroundTruth& truth,
                                                    double provider_ratio) {
+  const obs::Span span("bgp/infer_relationships");
   std::unordered_set<std::uint64_t> seen;
   std::vector<AsRelationship> out;
   const net::Topology& topology = truth.topology();
@@ -203,6 +206,7 @@ BgpTable vantage_table(const GroundTruth& truth,
 BgpTable route_views_union(const GroundTruth& truth,
                            std::span<const AsRelationship> relationships,
                            std::span<const std::uint32_t> vantage_asns) {
+  const obs::Span span("bgp/route_views_union");
   const std::unordered_set<std::uint32_t> vantages(vantage_asns.begin(),
                                                    vantage_asns.end());
   BgpTable table;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "geo/distance.h"
+#include "obs/metrics.h"
 
 namespace geonet::synth {
 
@@ -107,14 +108,27 @@ GeoMapper::GeoMapper(MapperProfile profile, std::vector<geo::GeoPoint> city_db,
 std::optional<geo::GeoPoint> GeoMapper::map(
     net::Ipv4Addr addr, const geo::GeoPoint& true_location,
     const geo::GeoPoint& as_home) const {
-  if (net::is_private(addr)) return std::nullopt;
+  // Registry handles resolve once; per-lookup cost is one relaxed
+  // fetch_add, cheap enough for this per-interface path.
+  static obs::Counter& lookups =
+      obs::MetricsRegistry::global().counter("mapper.lookups");
+  static obs::Counter& unmapped =
+      obs::MetricsRegistry::global().counter("mapper.unmapped");
+  lookups.add();
+  if (net::is_private(addr)) {
+    unmapped.add();
+    return std::nullopt;
+  }
 
   // Derive the per-address decision stream deterministically: the same
   // address queried twice gives the same answer.
   std::uint64_t h = seed_ ^ (0x9e3779b97f4a7c15ULL * (addr.value + 1));
   stats::Rng rng(stats::splitmix64(h));
 
-  if (rng.bernoulli(profile_.failure_rate)) return std::nullopt;
+  if (rng.bernoulli(profile_.failure_rate)) {
+    unmapped.add();
+    return std::nullopt;
+  }
   if (rng.bernoulli(profile_.hq_error_rate)) {
     // whois fallback: the organisation's registered headquarters.
     if (const auto city = index_.nearest(as_home)) {
@@ -136,6 +150,7 @@ std::optional<geo::GeoPoint> GeoMapper::map(
   if (const auto city = index_.nearest(true_location)) {
     return index_.cities()[*city];
   }
+  unmapped.add();
   return std::nullopt;
 }
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "geo/distance.h"
+#include "obs/trace.h"
 #include "stats/distributions.h"
 #include "stats/fenwick.h"
 #include "stats/rng.h"
@@ -168,6 +169,7 @@ std::size_t pick_site_by_distance(const std::vector<Site>& sites,
 
 GroundTruth GroundTruth::build(const WorldPopulation& world,
                                const GroundTruthOptions& options) {
+  const obs::Span span("synth/ground_truth");
   GroundTruth gt;
   gt.options_ = options;
   Rng root(options.seed);

@@ -5,12 +5,15 @@
 #include <unordered_set>
 
 #include "net/graph_algos.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/rng.h"
 
 namespace geonet::synth {
 
 RouterObservation run_mercator(const GroundTruth& truth,
                                const MercatorOptions& options) {
+  const obs::Span span("synth/mercator");
   RouterObservation out;
   const net::Topology& topology = truth.topology();
   const std::size_t n = topology.router_count();
@@ -99,6 +102,11 @@ RouterObservation run_mercator(const GroundTruth& truth,
       out.links.emplace_back(a, b);
     }
   }
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("mercator.raw_interfaces").add(out.raw_interfaces);
+  metrics.counter("mercator.routers_observed").add(out.routers.size());
+  metrics.counter("mercator.links_observed").add(out.links.size());
   return out;
 }
 

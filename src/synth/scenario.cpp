@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/bgp_propagation.h"
 #include "synth/hostnames.h"
 #include <cstdlib>
@@ -29,11 +32,25 @@ std::uint32_t bgp_asn(const GroundTruth& truth, const BgpTable* bgp,
   return table.origin_as(addr).value_or(net::kUnknownAs);
 }
 
+/// The paper's Section III.B bookkeeping, mirrored into the metrics
+/// registry so every run's pipeline accounting is machine-readable.
+void record_processing_metrics(const ProcessingStats& stats) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("pipeline.nodes_processed").add(stats.input_nodes);
+  metrics.counter("pipeline.nodes_unmapped").add(stats.unmapped_nodes);
+  metrics.counter("pipeline.routers_tie_discarded")
+      .add(stats.tie_discarded_routers);
+  metrics.counter("pipeline.nodes_as_unmapped").add(stats.as_unmapped_nodes);
+  metrics.counter("pipeline.nodes_emitted").add(stats.output_nodes);
+  metrics.counter("pipeline.links_emitted").add(stats.output_links);
+}
+
 }  // namespace
 
 net::AnnotatedGraph process_interface_observation(
     const GroundTruth& truth, const InterfaceObservation& raw,
     const Mapper& mapper, ProcessingStats* stats, const BgpTable* bgp) {
+  const obs::Span span("pipeline/process_interfaces");
   ProcessingStats local;
   local.input_nodes = raw.interfaces.size();
 
@@ -65,6 +82,7 @@ net::AnnotatedGraph process_interface_observation(
   local.output_nodes = graph.node_count();
   local.output_links = graph.edge_count();
   local.distinct_locations = distinct_location_count(graph);
+  record_processing_metrics(local);
   if (stats != nullptr) *stats = local;
   return graph;
 }
@@ -72,6 +90,7 @@ net::AnnotatedGraph process_interface_observation(
 net::AnnotatedGraph process_router_observation(
     const GroundTruth& truth, const RouterObservation& raw,
     const Mapper& mapper, ProcessingStats* stats, const BgpTable* bgp) {
+  const obs::Span span("pipeline/process_routers");
   ProcessingStats local;
   local.input_nodes = raw.routers.size();
 
@@ -153,6 +172,7 @@ net::AnnotatedGraph process_router_observation(
   local.output_nodes = graph.node_count();
   local.output_links = graph.edge_count();
   local.distinct_locations = distinct_location_count(graph);
+  record_processing_metrics(local);
   if (stats != nullptr) *stats = local;
   return graph;
 }
@@ -182,11 +202,15 @@ std::size_t Scenario::slot(DatasetKind dataset, MapperKind mapper) noexcept {
 }
 
 Scenario Scenario::build(const ScenarioOptions& options) {
+  const obs::Span build_span("scenario/build");
   Scenario s;
   s.options_ = options;
 
-  s.world_ = std::make_unique<population::WorldPopulation>(
-      population::WorldPopulation::build(options.seed));
+  {
+    const obs::Span span("scenario/world_population");
+    s.world_ = std::make_unique<population::WorldPopulation>(
+        population::WorldPopulation::build(options.seed));
+  }
 
   GroundTruthOptions truth_options = options.truth;
   truth_options.interface_scale = options.scale;
@@ -251,6 +275,7 @@ Scenario Scenario::build(const ScenarioOptions& options) {
         route_views_union(truth, relationships, vantages));
   };
   if (options.mechanical_pipeline) {
+    const obs::Span span("scenario/mechanical_setup");
     codebook = std::make_unique<CityCodebook>(city_db);
     dns = std::make_unique<DnsDatabase>(build_dns(*s.truth_, *codebook));
     dns_mercator =
@@ -299,6 +324,36 @@ const net::AnnotatedGraph& Scenario::graph(DatasetKind dataset,
 const ProcessingStats& Scenario::stats(DatasetKind dataset,
                                        MapperKind mapper) const noexcept {
   return stats_[slot(dataset, mapper)];
+}
+
+std::string processing_stats_json(const ProcessingStats& stats) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("input_nodes").value(stats.input_nodes);
+  json.key("unmapped_nodes").value(stats.unmapped_nodes);
+  json.key("tie_discarded_routers").value(stats.tie_discarded_routers);
+  json.key("as_unmapped_nodes").value(stats.as_unmapped_nodes);
+  json.key("output_nodes").value(stats.output_nodes);
+  json.key("output_links").value(stats.output_links);
+  json.key("distinct_locations").value(stats.distinct_locations);
+  json.end_object();
+  return json.str();
+}
+
+std::string scenario_stats_json(const Scenario& scenario) {
+  obs::JsonWriter json;
+  json.begin_object();
+  for (const DatasetKind dataset :
+       {DatasetKind::kSkitter, DatasetKind::kMercator}) {
+    for (const MapperKind mapper :
+         {MapperKind::kIxMapper, MapperKind::kEdgeScape}) {
+      const std::string key =
+          std::string(to_string(dataset)) + "+" + to_string(mapper);
+      json.key(key).raw(processing_stats_json(scenario.stats(dataset, mapper)));
+    }
+  }
+  json.end_object();
+  return json.str();
 }
 
 }  // namespace geonet::synth

@@ -121,4 +121,13 @@ class Scenario {
 std::size_t distinct_location_count(const net::AnnotatedGraph& graph,
                                     double quantum_deg = 0.01);
 
+/// Renders one pipeline run's bookkeeping as a JSON object (a
+/// `sections.*` payload of an `obs::RunReport`).
+std::string processing_stats_json(const ProcessingStats& stats);
+
+/// Renders all four (dataset, mapper) ProcessingStats of a scenario as
+/// one JSON object keyed by "Dataset+Mapper" — the machine-readable
+/// Table I.
+std::string scenario_stats_json(const Scenario& scenario);
+
 }  // namespace geonet::synth

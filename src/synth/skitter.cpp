@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "net/graph_algos.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/rng.h"
 
 namespace geonet::synth {
@@ -20,6 +22,7 @@ std::uint64_t pair_key(net::InterfaceId a, net::InterfaceId b) noexcept {
 
 InterfaceObservation run_skitter(const GroundTruth& truth,
                                  const SkitterOptions& options) {
+  const obs::Span span("synth/skitter");
   InterfaceObservation out;
   const net::Topology& topology = truth.topology();
   const std::size_t n = topology.router_count();
@@ -97,6 +100,11 @@ InterfaceObservation run_skitter(const GroundTruth& truth,
     }
   }
   out.destination_interfaces_discarded = out.traces;
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("skitter.traces").add(out.traces);
+  metrics.counter("skitter.interfaces_observed").add(out.interfaces.size());
+  metrics.counter("skitter.links_observed").add(out.links.size());
   return out;
 }
 

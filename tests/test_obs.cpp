@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/study.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "synth/scenario.h"
+#include "tests/test_world.h"
+
+namespace geonet::obs {
+namespace {
+
+// ------------------------------------------------------------------
+// Counters, gauges, histograms
+// ------------------------------------------------------------------
+
+TEST(Counter, SumsAcrossShardsAndThreads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 42u + kThreads * kPerThread);
+
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, LastValueWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.set(7);
+  gauge.set(-3);
+  EXPECT_EQ(gauge.value(), -3);
+}
+
+TEST(Histogram, BucketIndexIsPowerOfTwo) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 0u);
+  EXPECT_EQ(Histogram::bucket_index(2), 1u);
+  EXPECT_EQ(Histogram::bucket_index(3), 1u);
+  EXPECT_EQ(Histogram::bucket_index(4), 2u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 9u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 10u);
+  // Saturates in the last bucket instead of overflowing.
+  EXPECT_EQ(Histogram::bucket_index(~0ULL), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, RecordsCountSumMinMaxMean) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 0u);
+  EXPECT_EQ(histogram.mean(), 0.0);
+
+  for (const std::uint64_t sample : {5u, 10u, 15u}) histogram.record(sample);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.sum(), 30u);
+  EXPECT_EQ(histogram.min(), 5u);
+  EXPECT_EQ(histogram.max(), 15u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 10.0);
+  // 5 -> bucket 2 ([4,8)), 10 and 15 -> bucket 3 ([8,16)).
+  EXPECT_EQ(histogram.bucket_count(2), 1u);
+  EXPECT_EQ(histogram.bucket_count(3), 2u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test.a");
+  Counter& again = registry.counter("test.a");
+  EXPECT_EQ(&a, &again);  // same name, same instrument
+  a.add(3);
+  registry.counter("test.b").add(1);
+  registry.gauge("test.g").set(9);
+  registry.histogram("test.h").record(100);
+
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "test.a");  // name-sorted
+  EXPECT_EQ(counters[0].value, 3u);
+  EXPECT_EQ(counters[1].name, "test.b");
+
+  std::string error;
+  EXPECT_TRUE(json_validate(registry.to_json(), &error)) << error;
+}
+
+// ------------------------------------------------------------------
+// JSON writer + validator
+// ------------------------------------------------------------------
+
+TEST(JsonWriter, EscapesAndNests) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("text").value("a\"b\\c\nd\te");
+  json.key("num").value(1.5);
+  json.key("neg").value(std::int64_t{-7});
+  json.key("flag").value(true);
+  json.key("nothing").null();
+  json.key("list").begin_array().value(1).value(2).end_array();
+  json.end_object();
+
+  const std::string& out = json.str();
+  EXPECT_NE(out.find("\"a\\\"b\\\\c\\nd\\te\""), std::string::npos);
+  EXPECT_NE(out.find("\"list\":[1,2]"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(json_validate(out, &error)) << error << "\n" << out;
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(std::numeric_limits<double>::infinity());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonValidate, AcceptsValidRejectsBroken) {
+  EXPECT_TRUE(json_validate("{}"));
+  EXPECT_TRUE(json_validate("[1,2.5,-3e2,\"x\",true,false,null]"));
+  EXPECT_TRUE(json_validate("  {\"a\": {\"b\": []}} "));
+  EXPECT_FALSE(json_validate(""));
+  EXPECT_FALSE(json_validate("{"));
+  EXPECT_FALSE(json_validate("{\"a\":}"));
+  EXPECT_FALSE(json_validate("[1,]"));
+  EXPECT_FALSE(json_validate("{\"a\":1} extra"));
+  EXPECT_FALSE(json_validate("'single'"));
+  EXPECT_FALSE(json_validate("{\"a\":01}"));
+  std::string error;
+  EXPECT_FALSE(json_validate("[1,", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------------------
+// Spans + tracing
+// ------------------------------------------------------------------
+
+TEST(Trace, SpansNestAndExportWellFormedChromeJson) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+  {
+    const Span outer("obs_test/outer");
+    const Span middle("obs_test/middle");
+    { const Span inner("obs_test/inner"); }
+    { const Span inner("obs_test/inner"); }
+  }
+  tracer.set_enabled(false);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);  // two inners, middle, outer (end order)
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* middle = nullptr;
+  int inners = 0;
+  for (const TraceEvent& event : events) {
+    if (event.name == "obs_test/outer") outer = &event;
+    if (event.name == "obs_test/middle") middle = &event;
+    if (event.name == "obs_test/inner") {
+      ++inners;
+      EXPECT_EQ(event.depth, 2u);
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  EXPECT_EQ(inners, 2);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(middle->depth, 1u);
+  // Temporal containment: the outer span brackets the middle one.
+  EXPECT_LE(outer->start_us, middle->start_us);
+  EXPECT_GE(outer->start_us + outer->duration_us,
+            middle->start_us + middle->duration_us);
+
+  const std::string trace = tracer.chrome_trace_json();
+  std::string error;
+  EXPECT_TRUE(json_validate(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("obs_test/inner"), std::string::npos);
+
+  const std::string summary = tracer.summary();
+  EXPECT_NE(summary.find("obs_test/outer"), std::string::npos);
+  tracer.clear();
+}
+
+TEST(Trace, SpansFeedStageHistogramsEvenWhenDisabled) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  Histogram& stage =
+      MetricsRegistry::global().histogram("stage_us.obs_test/quiet");
+  const std::uint64_t before = stage.count();
+  { const Span span("obs_test/quiet"); }
+  EXPECT_EQ(stage.count(), before + 1);
+}
+
+TEST(Trace, ScopedTimerRecordsIntoSink) {
+  Histogram sink;
+  { const ScopedTimer timer(sink); }
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+// ------------------------------------------------------------------
+// Log levels
+// ------------------------------------------------------------------
+
+TEST(Log, ThresholdFilters) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Suppressed call must be a no-op (and must not crash on formatting).
+  log(LogLevel::kInfo, "should not appear %d", 1);
+  set_log_level(before);
+}
+
+// ------------------------------------------------------------------
+// Run reports
+// ------------------------------------------------------------------
+
+TEST(RunReport, EmitsSchemaInfoSectionsMetricsSpans) {
+  MetricsRegistry registry;
+  registry.counter("rr.count").add(5);
+  registry.histogram("stage_us.rr/phase").record(1000);
+  Tracer tracer;
+
+  RunReport report("unit");
+  report.set_info("scale", "0.15");
+  report.add_section("payload", "{\"answer\":42}");
+  const std::string json = report.to_json(registry, tracer);
+
+  std::string error;
+  ASSERT_TRUE(json_validate(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"schema\":\"geonet.run_report.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"command\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":\"0.15\""), std::string::npos);
+  EXPECT_NE(json.find("\"payload\":{\"answer\":42}"), std::string::npos);
+  EXPECT_NE(json.find("\"rr.count\":5"), std::string::npos);
+  // Span table falls back to the stage_us.* histograms when no trace ran.
+  EXPECT_NE(json.find("\"name\":\"rr/phase\""), std::string::npos);
+}
+
+// The acceptance path of `geonet scenario --metrics`: a scenario run's
+// full RunReport (processing stats + study headline + metrics) must
+// round-trip through a JSON parse.
+TEST(RunReport, ScenarioRunReportIsWellFormed) {
+  const synth::Scenario& scenario = geonet::testing::small_scenario();
+
+  core::StudyOptions options;
+  options.compute_fractal_dimension = false;
+  options.regions = {geo::regions::us()};
+  const core::StudyReport study = core::run_study(
+      scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      scenario.world(), options);
+
+  RunReport report("scenario");
+  report.set_info("scale", std::to_string(scenario.options().scale));
+  report.add_section("processing_stats", synth::scenario_stats_json(scenario));
+  report.add_section("study", core::study_report_json(study));
+  const std::string json = report.to_json();
+
+  std::string error;
+  ASSERT_TRUE(json_validate(json, &error)) << error;
+  EXPECT_NE(json.find("\"Skitter+IxMapper\""), std::string::npos);
+  EXPECT_NE(json.find("\"input_nodes\""), std::string::npos);
+  EXPECT_NE(json.find("\"density_slope\""), std::string::npos);
+  // Pipeline counters accumulated during the scenario build.
+  EXPECT_NE(json.find("\"pipeline.nodes_processed\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline.links_emitted\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geonet::obs

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""End-to-end check of the geonet observability artifacts.
+
+Runs `geonet scenario --trace --metrics --quiet` at a small scale and
+asserts that:
+  * the trace file is valid JSON in Chrome trace_event format and holds
+    at least 12 distinct span names,
+  * the metrics file is a valid geonet.run_report.v1 document carrying
+    the pipeline counters and per-stage wall-time histograms.
+
+Usage: check_trace.py <path-to-geonet_cli> [scale]
+Registered as the `check_trace` ctest in tests/CMakeLists.txt.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+MIN_DISTINCT_SPANS = 12
+
+REQUIRED_COUNTERS = [
+    "pipeline.nodes_processed",
+    "pipeline.nodes_unmapped",
+    "pipeline.routers_tie_discarded",
+    "pipeline.links_emitted",
+]
+
+REQUIRED_SPANS = [
+    "synth/skitter",
+    "synth/mercator",
+    "pipeline/process_interfaces",
+    "study/run",
+]
+
+
+def fail(message):
+    print("check_trace: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace.py <geonet_cli> [scale]")
+    cli = sys.argv[1]
+    scale = sys.argv[2] if len(sys.argv) > 2 else "0.02"
+
+    with tempfile.TemporaryDirectory(prefix="geonet_check_trace_") as tmp:
+        trace_path = os.path.join(tmp, "trace.json")
+        metrics_path = os.path.join(tmp, "metrics.json")
+        cmd = [cli, "scenario", scale,
+               "--trace", trace_path, "--metrics", metrics_path, "--quiet"]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail("CLI exited %d\nstderr:\n%s"
+                 % (result.returncode, result.stderr))
+
+        # --- trace file: Chrome trace_event format ---
+        try:
+            with open(trace_path) as handle:
+                trace = json.load(handle)
+        except (OSError, ValueError) as err:
+            fail("trace file unreadable or invalid JSON: %s" % err)
+        events = trace.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            fail("trace has no traceEvents array")
+        for event in events:
+            for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+                if field not in event:
+                    fail("trace event missing %r: %r" % (field, event))
+            if event["ph"] != "X":
+                fail("unexpected event phase %r" % event["ph"])
+            if event["dur"] < 0 or event["ts"] < 0:
+                fail("negative timestamp in %r" % event)
+        names = {event["name"] for event in events}
+        if len(names) < MIN_DISTINCT_SPANS:
+            fail("only %d distinct spans (need >= %d): %s"
+                 % (len(names), MIN_DISTINCT_SPANS, sorted(names)))
+        for span in REQUIRED_SPANS:
+            if span not in names:
+                fail("expected span %r missing; have %s" % (span, sorted(names)))
+
+        # --- metrics file: geonet.run_report.v1 ---
+        try:
+            with open(metrics_path) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError) as err:
+            fail("metrics file unreadable or invalid JSON: %s" % err)
+        if report.get("schema") != "geonet.run_report.v1":
+            fail("unexpected schema %r" % report.get("schema"))
+        if report.get("command") != "scenario":
+            fail("unexpected command %r" % report.get("command"))
+        counters = report.get("metrics", {}).get("counters", {})
+        for name in REQUIRED_COUNTERS:
+            if name not in counters:
+                fail("counter %r missing; have %s"
+                     % (name, sorted(counters)))
+            if not isinstance(counters[name], int):
+                fail("counter %r is not an integer" % name)
+        if counters["pipeline.nodes_processed"] <= 0:
+            fail("pipeline.nodes_processed is zero — instrumentation dead?")
+        histograms = report.get("metrics", {}).get("histograms", {})
+        stages = [h for h in histograms if h.startswith("stage_us.")]
+        if len(stages) < MIN_DISTINCT_SPANS:
+            fail("only %d stage_us.* histograms (need >= %d)"
+                 % (len(stages), MIN_DISTINCT_SPANS))
+        for name in stages:
+            hist = histograms[name]
+            if hist.get("count", 0) <= 0:
+                fail("histogram %r has zero count" % name)
+
+    print("check_trace: OK (%d spans, %d events, %d counters)"
+          % (len(names), len(events), len(counters)))
+
+
+if __name__ == "__main__":
+    main()

@@ -10,17 +10,29 @@
 //   geonet scenario [scale]
 //       Build the full synthetic measurement scenario and print the
 //       Table I summary plus the study headline numbers.
+//
+// Global flags (any subcommand):
+//   --trace <file>     write a chrome://tracing-loadable span trace
+//   --metrics <file>   write a geonet.run_report.v1 JSON run report
+//   --quiet            suppress info/warn diagnostics on stderr
+//   --version, --help
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/study.h"
 #include "core/validate.h"
 #include "generators/geo_gen.h"
 #include "net/graph_io.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "report/series.h"
 #include "report/table.h"
 #include "synth/scenario.h"
@@ -29,65 +41,142 @@ namespace {
 
 using namespace geonet;
 
+constexpr const char* kVersion = "geonet 1.0.0";
+
+constexpr const char* kUsage =
+    "usage:\n"
+    "  geonet generate <routers> <out.graph> [seed]\n"
+    "  geonet analyze <in.graph> [region]\n"
+    "  geonet validate <in.graph> [region]\n"
+    "  geonet scenario [scale]\n"
+    "  geonet help | --help | --version\n"
+    "global flags:\n"
+    "  --trace <file>    write chrome://tracing span trace\n"
+    "  --metrics <file>  write machine-readable run report (JSON)\n"
+    "  --quiet           errors only on stderr\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  geonet generate <routers> <out.graph> [seed]\n"
-               "  geonet analyze <in.graph> [region]\n"
-               "  geonet validate <in.graph> [region]\n"
-               "  geonet scenario [scale]\n");
+  obs::log(obs::LogLevel::kError, "%s", kUsage);
   return 2;
 }
 
-geo::Region region_arg(int argc, char** argv, int index) {
-  if (argc > index) {
-    if (const auto region = geo::regions::by_name(argv[index])) {
-      return *region;
+/// Flags shared by every subcommand, stripped from argv before dispatch.
+struct GlobalFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  bool quiet = false;
+  bool version = false;
+  bool help = false;
+};
+
+/// Parses and removes global flags; returns nullopt on malformed input.
+std::optional<GlobalFlags> extract_global_flags(std::vector<std::string>& args) {
+  GlobalFlags flags;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto flag_value = [&](const char* name) -> std::optional<std::string> {
+      if (arg != name) return std::nullopt;
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (arg == "--trace" || arg == "--metrics") {
+      const auto value = flag_value(arg.c_str());
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "%s requires a file argument",
+                 arg.c_str());
+        return std::nullopt;
+      }
+      (arg == "--trace" ? flags.trace_path : flags.metrics_path) = *value;
+    } else if (arg == "--quiet" || arg == "-q") {
+      flags.quiet = true;
+    } else if (arg == "--version") {
+      flags.version = true;
+    } else if (arg == "--help" || arg == "-h" || arg == "help") {
+      flags.help = true;
+    } else {
+      rest.push_back(arg);
     }
-    std::fprintf(stderr, "unknown region '%s', using US\n", argv[index]);
   }
-  return geo::regions::us();
+  args = std::move(rest);
+  return flags;
 }
 
-int cmd_generate(int argc, char** argv) {
-  if (argc < 4) return usage();
+/// Resolves a region argument. Unknown names are a hard usage error: the
+/// caller gets nullopt and the user a list of valid names (exit 2), so a
+/// typo can never silently analyse the wrong region.
+std::optional<geo::Region> region_arg(const std::vector<std::string>& args,
+                                      std::size_t index) {
+  if (args.size() <= index) return geo::regions::us();
+  if (const auto region = geo::regions::by_name(args[index])) {
+    return *region;
+  }
+  std::string known;
+  for (const auto& r : geo::regions::all()) {
+    if (!known.empty()) known += ", ";
+    known += "'" + r.name + "'";
+  }
+  obs::log(obs::LogLevel::kError, "unknown region '%s'; valid names: %s",
+           args[index].c_str(), known.c_str());
+  return std::nullopt;
+}
+
+int cmd_generate(const std::vector<std::string>& args,
+                 obs::RunReport& run_report) {
+  if (args.size() < 3) return usage();
   generators::GeoGeneratorOptions options;
-  options.router_count = static_cast<std::size_t>(std::atol(argv[2]));
-  if (argc > 4) options.seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  options.router_count = static_cast<std::size_t>(std::atol(args[1].c_str()));
+  if (args.size() > 3) {
+    options.seed = static_cast<std::uint64_t>(std::atoll(args[3].c_str()));
+  }
   if (options.router_count < 16) {
-    std::fprintf(stderr, "router count must be >= 16\n");
+    obs::log(obs::LogLevel::kError, "router count must be >= 16");
     return 2;
   }
   const auto world = population::WorldPopulation::build(2002);
   const auto topo = generators::generate_geo_topology(world, options);
-  if (!net::write_graph_file(argv[3], topo.graph, topo.link_latency_ms)) {
-    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+  if (!net::write_graph_file(args[2], topo.graph, topo.link_latency_ms)) {
+    obs::log(obs::LogLevel::kError, "cannot write %s", args[2].c_str());
     return 1;
   }
   std::printf("wrote %s: %zu nodes, %zu links (lat/lon + AS + latency)\n",
-              argv[3], topo.graph.node_count(), topo.graph.edge_count());
+              args[2].c_str(), topo.graph.node_count(),
+              topo.graph.edge_count());
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("output").value(args[2]);
+  json.key("nodes").value(topo.graph.node_count());
+  json.key("links").value(topo.graph.edge_count());
+  json.end_object();
+  run_report.add_section("generate", json.str());
   return 0;
 }
 
-std::optional<net::AnnotatedGraph> load(const char* path) {
+std::optional<net::AnnotatedGraph> load(const std::string& path) {
   std::string error;
   auto graph = net::read_graph_file(path, &error);
-  if (!graph) std::fprintf(stderr, "failed to read %s: %s\n", path, error.c_str());
+  if (!graph) {
+    obs::log(obs::LogLevel::kError, "failed to read %s: %s", path.c_str(),
+             error.c_str());
+  }
   return graph;
 }
 
-int cmd_analyze(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const auto graph = load(argv[2]);
+int cmd_analyze(const std::vector<std::string>& args,
+                obs::RunReport& run_report) {
+  if (args.size() < 2) return usage();
+  const auto graph = load(args[1]);
   if (!graph) return 1;
-  const geo::Region region = region_arg(argc, argv, 3);
+  const auto region = region_arg(args, 2);
+  if (!region) return 2;
   const auto world = population::WorldPopulation::build(2002);
 
   core::StudyOptions options;
-  options.regions = {region};
+  options.regions = {*region};
   options.compute_fractal_dimension = false;
   const core::StudyReport report = core::run_study(*graph, world, options);
   std::printf("%s", core::summarize(report).c_str());
+  run_report.add_section("study", core::study_report_json(report));
   const std::string md = report::results_dir() + "/study.md";
   if (core::write_study_markdown(report, md)) {
     std::printf("markdown report: %s\n", md.c_str());
@@ -95,26 +184,38 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
-int cmd_validate(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const auto graph = load(argv[2]);
+int cmd_validate(const std::vector<std::string>& args,
+                 obs::RunReport& run_report) {
+  if (args.size() < 2) return usage();
+  const auto graph = load(args[1]);
   if (!graph) return 1;
-  const geo::Region region = region_arg(argc, argv, 3);
+  const auto region = region_arg(args, 2);
+  if (!region) return 2;
   const auto world = population::WorldPopulation::build(2002);
   const core::RealismReport report =
-      core::check_realism(*graph, world, region);
+      core::check_realism(*graph, world, *region);
   std::printf("%s", to_string(report).c_str());
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("all_pass").value(report.all_pass());
+  json.end_object();
+  run_report.add_section("validate", json.str());
   return report.all_pass() ? 0 : 1;
 }
 
-int cmd_scenario(int argc, char** argv) {
+int cmd_scenario(const std::vector<std::string>& args,
+                 obs::RunReport& run_report) {
   synth::ScenarioOptions options = synth::ScenarioOptions::defaults();
-  if (argc > 2) {
-    const double scale = std::atof(argv[2]);
+  if (args.size() > 1) {
+    const double scale = std::atof(args[1].c_str());
     if (scale > 0.0) options.scale = scale;
   }
-  std::printf("building scenario at scale %.3f...\n", options.scale);
+  obs::log(obs::LogLevel::kInfo, "building scenario at scale %.3f...",
+           options.scale);
   const synth::Scenario scenario = synth::Scenario::build(options);
+  run_report.set_info("scale", std::to_string(options.scale));
+  run_report.add_section("processing_stats",
+                         synth::scenario_stats_json(scenario));
 
   report::Table table({"Dataset", "Nodes", "Links", "Locations"});
   struct Ref {
@@ -142,16 +243,66 @@ int cmd_scenario(int argc, char** argv) {
       scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
       scenario.world());
   std::printf("%s", core::summarize(report).c_str());
+  run_report.add_section("study", core::study_report_json(report));
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
-  if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
-  if (std::strcmp(argv[1], "validate") == 0) return cmd_validate(argc, argv);
-  if (std::strcmp(argv[1], "scenario") == 0) return cmd_scenario(argc, argv);
-  return usage();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const auto flags = extract_global_flags(args);
+  if (!flags) return 2;
+  if (flags->version) {
+    std::printf("%s\n", kVersion);
+    return 0;
+  }
+  if (flags->help || args.empty()) {
+    std::printf("%s", kUsage);
+    return flags->help ? 0 : 2;
+  }
+  if (flags->quiet) obs::set_log_level(obs::LogLevel::kError);
+  if (!flags->trace_path.empty()) obs::Tracer::global().set_enabled(true);
+
+  const std::string& command = args[0];
+  obs::RunReport run_report(command);
+
+  int status = 2;
+  if (command == "generate") {
+    status = cmd_generate(args, run_report);
+  } else if (command == "analyze") {
+    status = cmd_analyze(args, run_report);
+  } else if (command == "validate") {
+    status = cmd_validate(args, run_report);
+  } else if (command == "scenario") {
+    status = cmd_scenario(args, run_report);
+  } else {
+    obs::log(obs::LogLevel::kError, "unknown command '%s'", command.c_str());
+    return usage();
+  }
+
+  if (!flags->trace_path.empty()) {
+    if (obs::Tracer::global().write_chrome_trace(flags->trace_path)) {
+      obs::log(obs::LogLevel::kInfo, "trace written: %s (open in chrome://tracing)",
+               flags->trace_path.c_str());
+      obs::log(obs::LogLevel::kInfo, "%s",
+               obs::Tracer::global().summary().c_str());
+    } else {
+      obs::log(obs::LogLevel::kError, "cannot write trace %s",
+               flags->trace_path.c_str());
+      if (status == 0) status = 1;
+    }
+  }
+  if (!flags->metrics_path.empty()) {
+    run_report.set_info("exit_status", std::to_string(status));
+    if (run_report.write(flags->metrics_path)) {
+      obs::log(obs::LogLevel::kInfo, "run report written: %s",
+               flags->metrics_path.c_str());
+    } else {
+      obs::log(obs::LogLevel::kError, "cannot write run report %s",
+               flags->metrics_path.c_str());
+      if (status == 0) status = 1;
+    }
+  }
+  return status;
 }
