@@ -2,9 +2,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <unordered_set>
 
+#include "err/status.h"
 #include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "report/table.h"
 
@@ -27,11 +31,69 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
     report.distinct_locations = keys.size();
   }
 
-  {
-    const obs::Span span("study/economic_tables");
+  // Graceful degradation: every phase runs under a capture harness. A
+  // phase that throws leaves its default-constructed result in place and
+  // is recorded in report.degradation; once the error budget is spent,
+  // remaining phases are skipped rather than risk compounding damage.
+  DegradationReport& degradation = report.degradation;
+  degradation.max_errors = options.max_errors;
+  err::ErrorBudget budget(options.max_errors);
+  static obs::Counter& phase_errors_metric =
+      obs::MetricsRegistry::global().counter("study.phase_errors");
+  static obs::Counter& phase_skips_metric =
+      obs::MetricsRegistry::global().counter("study.phase_skips");
+
+  const auto skip_phase = [&](std::string label, std::string reason) {
+    PhaseOutcome outcome;
+    outcome.phase = std::move(label);
+    outcome.ok = false;
+    outcome.skipped = true;
+    outcome.error = std::move(reason);
+    ++degradation.skipped;
+    phase_skips_metric.add();
+    degradation.phases.push_back(std::move(outcome));
+  };
+
+  const auto run_phase = [&](const char* span_name, std::string label,
+                             auto&& fn) -> bool {
+    if (budget.exhausted()) {
+      skip_phase(std::move(label), "error budget exhausted");
+      return false;
+    }
+    PhaseOutcome outcome;
+    outcome.phase = std::move(label);
+    try {
+      const obs::Span span(span_name);
+      for (const std::string& injected : options.inject_phase_failures) {
+        if (injected == outcome.phase) {
+          throw std::runtime_error("injected failure: " + injected);
+        }
+      }
+      fn();
+    } catch (const std::exception& e) {
+      outcome.ok = false;
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.ok = false;
+      outcome.error = "unknown error";
+    }
+    const bool ok = outcome.ok;
+    if (!ok) {
+      obs::log(obs::LogLevel::kWarn, "study phase '%s' failed: %s",
+               outcome.phase.c_str(), outcome.error.c_str());
+      ++degradation.errors;
+      phase_errors_metric.add();
+      budget.charge();
+      degradation.budget_exhausted = budget.exhausted();
+    }
+    degradation.phases.push_back(std::move(outcome));
+    return ok;
+  };
+
+  run_phase("study/economic_tables", "economic_tables", [&] {
     report.economic_rows = economic_region_table(graph, world);
     report.homogeneity_rows = homogeneity_table(graph, world);
-  }
+  });
 
   const std::vector<geo::Region> regions =
       options.regions.empty() ? geo::regions::paper_study_regions()
@@ -39,51 +101,86 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
   for (const geo::Region& region : regions) {
     RegionStudy study;
     study.region = region;
-    {
-      const obs::Span span("study/density");
+    run_phase("study/density", "density:" + region.name, [&] {
       study.density =
           analyze_density(graph, world, region, options.patch_arcmin);
+    });
+    const bool distance_ok =
+        run_phase("study/distance_pref", "distance_pref:" + region.name, [&] {
+          study.distance = distance_preference(graph, region, options.distance);
+        });
+    if (distance_ok) {
+      run_phase("study/waxman_fit", "waxman_fit:" + region.name, [&] {
+        WaxmanFitOptions fit_options;
+        fit_options.small_d_cut_miles = paper_small_d_cut(region);
+        study.waxman = characterize_waxman(study.distance, fit_options);
+      });
+    } else {
+      // The fit consumes the distance histograms; fitting defaults would
+      // manufacture a bogus exponent, so the phase sits out instead.
+      skip_phase("waxman_fit:" + region.name,
+                 "dependency failed: distance_pref:" + region.name);
     }
-    {
-      const obs::Span span("study/distance_pref");
-      study.distance = distance_preference(graph, region, options.distance);
-    }
-    {
-      const obs::Span span("study/waxman_fit");
-      WaxmanFitOptions fit_options;
-      fit_options.small_d_cut_miles = paper_small_d_cut(region);
-      study.waxman = characterize_waxman(study.distance, fit_options);
-    }
-    {
-      const obs::Span span("study/link_domains");
+    run_phase("study/link_domains", "link_domains:" + region.name, [&] {
       study.link_domains = analyze_link_domains(graph, region);
-    }
+    });
     report.regions.push_back(std::move(study));
   }
 
-  {
-    const obs::Span span("study/link_domains");
+  run_phase("study/link_domains", "link_domains:world", [&] {
     report.world_links = analyze_link_domains(graph);
-  }
-  {
-    const obs::Span span("study/link_lengths");
+  });
+  run_phase("study/link_lengths", "link_lengths", [&] {
     report.link_lengths = analyze_link_lengths(graph);
-  }
-  {
-    const obs::Span span("study/as_analysis");
+  });
+  run_phase("study/as_analysis", "as_analysis", [&] {
     report.as_sizes = analyze_as_sizes(graph);
-  }
-  {
-    const obs::Span span("study/hulls");
+  });
+  run_phase("study/hulls", "hulls", [&] {
     report.hulls = analyze_hulls(graph);
-  }
+  });
 
   if (options.compute_fractal_dimension) {
-    const obs::Span span("study/fractal_dimension");
-    report.fractal = geo::box_counting_dimension(graph.locations(),
-                                                 geo::regions::us());
+    run_phase("study/fractal_dimension", "fractal_dimension", [&] {
+      report.fractal = geo::box_counting_dimension(graph.locations(),
+                                                   geo::regions::us());
+    });
   }
   return report;
+}
+
+std::string study_degradation_json(const DegradationReport& degradation) {
+  obs::JsonWriter json;
+  json.begin_object();
+  if (degradation.degraded()) {
+    json.key("errors").value(static_cast<std::uint64_t>(degradation.errors));
+    json.key("skipped").value(static_cast<std::uint64_t>(degradation.skipped));
+    json.key("max_errors")
+        .value(static_cast<std::uint64_t>(degradation.max_errors));
+    json.key("budget_exhausted").value(degradation.budget_exhausted);
+    json.key("phases_run")
+        .value(static_cast<std::uint64_t>(degradation.phases.size()));
+    json.key("failed_phases").begin_array();
+    for (const PhaseOutcome& outcome : degradation.phases) {
+      if (outcome.ok || outcome.skipped) continue;
+      json.begin_object();
+      json.key("phase").value(outcome.phase);
+      json.key("error").value(outcome.error);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("skipped_phases").begin_array();
+    for (const PhaseOutcome& outcome : degradation.phases) {
+      if (!outcome.skipped) continue;
+      json.begin_object();
+      json.key("phase").value(outcome.phase);
+      json.key("reason").value(outcome.error);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+  return json.str();
 }
 
 std::string study_report_json(const StudyReport& report) {
@@ -93,6 +190,7 @@ std::string study_report_json(const StudyReport& report) {
   json.key("nodes").value(report.nodes);
   json.key("links").value(report.links);
   json.key("distinct_locations").value(report.distinct_locations);
+  json.key("degraded").value(report.degradation.degraded());
 
   json.key("regions").begin_array();
   for (const auto& region : report.regions) {
@@ -148,6 +246,12 @@ std::string summarize(const StudyReport& report) {
   append("dataset: %s\n", report.dataset_name.c_str());
   append("  nodes=%zu links=%zu locations=%zu\n", report.nodes, report.links,
          report.distinct_locations);
+  if (report.degradation.degraded()) {
+    append("  DEGRADED: %zu phase error(s), %zu skipped (budget %zu%s)\n",
+           report.degradation.errors, report.degradation.skipped,
+           report.degradation.max_errors,
+           report.degradation.budget_exhausted ? ", EXHAUSTED" : "");
+  }
   for (const auto& region : report.regions) {
     append("  %-7s density-slope=%.2f  lambda=%.0f mi  limit=%.0f mi  "
            "links<limit=%.1f%%  intra=%.1f%%\n",

@@ -25,6 +25,29 @@ struct RegionStudy {
   LinkDomainStats link_domains;          ///< Table VI row
 };
 
+/// What happened to one analysis phase under graceful degradation.
+struct PhaseOutcome {
+  std::string phase;    ///< e.g. "density:US"
+  std::string error;    ///< empty when ok
+  bool ok = true;
+  bool skipped = false;  ///< not run: budget exhausted or dependency failed
+};
+
+/// Damage accounting for one run_study call. A degraded report is still
+/// a report: failed phases keep their default-constructed results and
+/// are listed here instead of aborting the study.
+struct DegradationReport {
+  std::vector<PhaseOutcome> phases;  ///< one entry per phase attempted
+  std::size_t errors = 0;            ///< phases that threw
+  std::size_t skipped = 0;           ///< phases not run
+  std::size_t max_errors = 0;        ///< the budget this run had
+  bool budget_exhausted = false;     ///< remaining phases were skipped
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return errors != 0 || skipped != 0;
+  }
+};
+
 /// The complete result set of the paper for one processed dataset: the
 /// top-level object of this library.
 struct StudyReport {
@@ -42,6 +65,8 @@ struct StudyReport {
   std::size_t nodes = 0;
   std::size_t links = 0;
   std::size_t distinct_locations = 0;             ///< Table I column
+
+  DegradationReport degradation;                  ///< phase damage, if any
 };
 
 struct StudyOptions {
@@ -50,6 +75,14 @@ struct StudyOptions {
   bool compute_fractal_dimension = true;
   /// Regions to study; empty = the paper's US / Europe / Japan.
   std::vector<geo::Region> regions;
+  /// Degradation budget: phase errors tolerated before the remaining
+  /// phases are skipped (`--max-errors`). Each phase that throws is
+  /// captured into StudyReport::degradation instead of aborting the run.
+  std::size_t max_errors = 8;
+  /// Fault-injection hook: phases whose label appears here throw on
+  /// entry, exercising the degradation machinery in tests and chaos
+  /// drills ("density:US", "hulls", ...).
+  std::vector<std::string> inject_phase_failures;
 };
 
 /// Runs the paper's full analysis pipeline over one processed dataset.
@@ -66,6 +99,11 @@ std::string summarize(const StudyReport& report);
 /// `sections.study` payload of an `obs::RunReport`
 /// (schema geonet.run_report.v1; see docs/observability.md).
 std::string study_report_json(const StudyReport& report);
+
+/// Renders the degradation record as a JSON object (the analysis half of
+/// a run report's `degradation` section): error/skip counts, the budget,
+/// and the phases that failed or were skipped. "{}" for a clean run.
+std::string study_degradation_json(const DegradationReport& degradation);
 
 /// Writes the report's tables (III, IV, V, VI and the per-region fits)
 /// as a markdown document; returns false on I/O failure.

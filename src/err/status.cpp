@@ -1,0 +1,29 @@
+#include "err/status.h"
+
+namespace geonet::err {
+
+const char* code_name(Code code) noexcept {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kDataLoss: return "DATA_LOSS";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Code::kAborted: return "ABORTED";
+    case Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace geonet::err

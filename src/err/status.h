@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace geonet::err {
+
+/// Error taxonomy of the pipeline. Codes classify *what kind* of damage
+/// occurred so callers can decide between retry, degrade, and abort:
+///
+///   kInvalidArgument   caller error (bad spec, bad flag) — never retried
+///   kNotFound          missing file / region / dataset
+///   kDataLoss          malformed or truncated records in an input
+///   kUnavailable       a resource failed transiently (monitor down,
+///                      router throttled) — the retry layer's domain
+///   kResourceExhausted a budget ran out (--max-errors, quarantine cap)
+///   kAborted           a phase gave up after exhausting its budget
+///   kInternal          invariant violation; always a bug
+enum class Code : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kDataLoss = 3,
+  kUnavailable = 4,
+  kResourceExhausted = 5,
+  kAborted = 6,
+  kInternal = 7,
+};
+
+[[nodiscard]] const char* code_name(Code code) noexcept;
+
+/// A cheap success-or-diagnostic value. Ok carries no message and no
+/// allocation; errors carry a code and a human-readable message.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+  static Status invalid_argument(std::string m) {
+    return {Code::kInvalidArgument, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {Code::kNotFound, std::move(m)};
+  }
+  static Status data_loss(std::string m) {
+    return {Code::kDataLoss, std::move(m)};
+  }
+  static Status unavailable(std::string m) {
+    return {Code::kUnavailable, std::move(m)};
+  }
+  static Status resource_exhausted(std::string m) {
+    return {Code::kResourceExhausted, std::move(m)};
+  }
+  static Status aborted(std::string m) {
+    return {Code::kAborted, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {Code::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. The pipeline's replacement for bare std::optional
+/// returns: a failed Result says *why* it failed, so callers can
+/// quarantine, degrade, or surface the diagnostic instead of guessing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  Result(Status status)                                                  // NOLINT
+      : state_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(state_).is_ok() && "ok Status carries no value");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& noexcept {
+    assert(is_ok());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T& value() & noexcept {
+    assert(is_ok());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T&& value() && noexcept {
+    assert(is_ok());
+    return std::get<0>(std::move(state_));
+  }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+  /// Status::ok() when holding a value.
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<1>(state_);
+  }
+  [[nodiscard]] const std::string& error_message() const noexcept {
+    static const std::string empty;
+    return is_ok() ? empty : std::get<1>(state_).message();
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Counts damage against a cap. The degradation machinery records every
+/// captured error here; once the budget is exhausted further phases are
+/// skipped rather than risk compounding a broken run.
+class ErrorBudget {
+ public:
+  explicit ErrorBudget(std::size_t max_errors) noexcept
+      : max_errors_(max_errors) {}
+
+  /// Charges one error; returns false once over budget.
+  bool charge() noexcept { return ++errors_ <= max_errors_; }
+
+  [[nodiscard]] std::size_t errors() const noexcept { return errors_; }
+  [[nodiscard]] std::size_t max_errors() const noexcept { return max_errors_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return errors_ > max_errors_;
+  }
+
+ private:
+  std::size_t max_errors_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace geonet::err

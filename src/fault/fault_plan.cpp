@@ -1,0 +1,243 @@
+#include "fault/fault_plan.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace geonet::fault {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const auto pos = s.find(sep);
+    if (pos == std::string_view::npos) {
+      parts.push_back(trim(s));
+      return parts;
+    }
+    parts.push_back(trim(s.substr(0, pos)));
+    s.remove_prefix(pos + 1);
+  }
+}
+
+err::Status bad(std::string_view clause, const std::string& what) {
+  return err::Status::invalid_argument("fault clause '" + std::string(clause) +
+                                       "': " + what);
+}
+
+bool parse_number(std::string_view text, double* out) {
+  const std::string owned(text);
+  char* end = nullptr;
+  *out = std::strtod(owned.c_str(), &end);
+  return end != owned.c_str() && *end == '\0';
+}
+
+struct KeyValue {
+  std::string_view key;
+  double value = 0.0;
+};
+
+}  // namespace
+
+err::Result<FaultPlan> parse_fault_plan(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string_view clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+
+    const auto colon = clause.find(':');
+    const auto equals = clause.find('=');
+    // 'seed=7' — the one plan-level setting.
+    if (equals != std::string_view::npos &&
+        (colon == std::string_view::npos || equals < colon)) {
+      if (trim(clause.substr(0, equals)) != "seed") {
+        return bad(clause, "only 'seed=<n>' may appear without a ':'");
+      }
+      double value = 0.0;
+      if (!parse_number(trim(clause.substr(equals + 1)), &value) ||
+          value < 0.0) {
+        return bad(clause, "seed must be a non-negative integer");
+      }
+      plan.seed = static_cast<std::uint64_t>(value);
+      continue;
+    }
+
+    const std::string_view name =
+        trim(colon == std::string_view::npos ? clause : clause.substr(0, colon));
+    std::vector<KeyValue> kvs;
+    if (colon != std::string_view::npos) {
+      for (const std::string_view kv : split(clause.substr(colon + 1), ',')) {
+        if (kv.empty()) continue;
+        const auto eq = kv.find('=');
+        if (eq == std::string_view::npos) {
+          return bad(clause, "expected key=value, got '" + std::string(kv) + "'");
+        }
+        KeyValue parsed;
+        parsed.key = trim(kv.substr(0, eq));
+        if (!parse_number(trim(kv.substr(eq + 1)), &parsed.value)) {
+          return bad(clause, "bad number for '" + std::string(parsed.key) + "'");
+        }
+        kvs.push_back(parsed);
+      }
+    }
+
+    const auto fraction = [&](double v, std::string_view key,
+                              err::Status* status) {
+      if (v < 0.0 || v > 1.0) {
+        *status = bad(clause, "'" + std::string(key) + "' must be in [0,1]");
+      }
+      return v;
+    };
+    err::Status range = err::Status::ok();
+
+    if (name == "monitor-outage") {
+      MonitorOutageFault f = plan.monitor_outage.value_or(MonitorOutageFault{});
+      for (const KeyValue& kv : kvs) {
+        if (kv.key == "count") {
+          if (kv.value < 0.0) return bad(clause, "'count' must be >= 0");
+          f.count = static_cast<std::size_t>(kv.value);
+        } else if (kv.key == "at") {
+          f.at_fraction = fraction(kv.value, kv.key, &range);
+        } else {
+          return bad(clause, "unknown key '" + std::string(kv.key) + "'");
+        }
+      }
+      plan.monitor_outage = f;
+    } else if (name == "throttle") {
+      ThrottleFault f = plan.throttle.value_or(ThrottleFault{});
+      for (const KeyValue& kv : kvs) {
+        if (kv.key == "frac") {
+          f.router_fraction = fraction(kv.value, kv.key, &range);
+        } else if (kv.key == "rate") {
+          f.answer_rate = fraction(kv.value, kv.key, &range);
+        } else {
+          return bad(clause, "unknown key '" + std::string(kv.key) + "'");
+        }
+      }
+      plan.throttle = f;
+    } else if (name == "truncate") {
+      TruncateFault f = plan.truncate.value_or(TruncateFault{});
+      for (const KeyValue& kv : kvs) {
+        if (kv.key == "prob") {
+          f.probability = fraction(kv.value, kv.key, &range);
+        } else if (kv.key == "min-hops") {
+          if (kv.value < 1.0) return bad(clause, "'min-hops' must be >= 1");
+          f.min_hops = static_cast<std::size_t>(kv.value);
+        } else {
+          return bad(clause, "unknown key '" + std::string(kv.key) + "'");
+        }
+      }
+      plan.truncate = f;
+    } else if (name == "probe-loss") {
+      ProbeLossFault f = plan.probe_loss.value_or(ProbeLossFault{});
+      for (const KeyValue& kv : kvs) {
+        if (kv.key == "prob") {
+          f.burst_probability = fraction(kv.value, kv.key, &range);
+        } else if (kv.key == "burst") {
+          if (kv.value < 1.0) return bad(clause, "'burst' must be >= 1");
+          f.mean_burst_length = kv.value;
+        } else {
+          return bad(clause, "unknown key '" + std::string(kv.key) + "'");
+        }
+      }
+      plan.probe_loss = f;
+    } else if (name == "geo-corrupt") {
+      GeoCorruptFault f = plan.geo_corrupt.value_or(GeoCorruptFault{});
+      for (const KeyValue& kv : kvs) {
+        if (kv.key == "prob") {
+          f.probability = fraction(kv.value, kv.key, &range);
+        } else if (kv.key == "garble") {
+          f.garble_fraction = fraction(kv.value, kv.key, &range);
+        } else {
+          return bad(clause, "unknown key '" + std::string(kv.key) + "'");
+        }
+      }
+      plan.geo_corrupt = f;
+    } else {
+      return bad(clause, "unknown fault '" + std::string(name) + "'");
+    }
+    if (!range.is_ok()) return range;
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_json() const {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("seed").value(static_cast<std::uint64_t>(seed));
+  if (monitor_outage) {
+    json.key("monitor_outage").begin_object();
+    json.key("count").value(static_cast<std::uint64_t>(monitor_outage->count));
+    json.key("at").value(monitor_outage->at_fraction);
+    json.end_object();
+  }
+  if (throttle) {
+    json.key("throttle").begin_object();
+    json.key("frac").value(throttle->router_fraction);
+    json.key("rate").value(throttle->answer_rate);
+    json.end_object();
+  }
+  if (truncate) {
+    json.key("truncate").begin_object();
+    json.key("prob").value(truncate->probability);
+    json.key("min_hops").value(static_cast<std::uint64_t>(truncate->min_hops));
+    json.end_object();
+  }
+  if (probe_loss) {
+    json.key("probe_loss").begin_object();
+    json.key("prob").value(probe_loss->burst_probability);
+    json.key("burst").value(probe_loss->mean_burst_length);
+    json.end_object();
+  }
+  if (geo_corrupt) {
+    json.key("geo_corrupt").begin_object();
+    json.key("prob").value(geo_corrupt->probability);
+    json.key("garble").value(geo_corrupt->garble_fraction);
+    json.end_object();
+  }
+  json.end_object();
+  return json.str();
+}
+
+void FaultStats::merge(const FaultStats& other) noexcept {
+  monitors_killed += other.monitors_killed;
+  destinations_skipped += other.destinations_skipped;
+  routers_throttled += other.routers_throttled;
+  traces_truncated += other.traces_truncated;
+  probes_lost += other.probes_lost;
+  geo_corrupted += other.geo_corrupted;
+  geo_garbled += other.geo_garbled;
+}
+
+bool FaultStats::any() const noexcept {
+  return monitors_killed != 0 || destinations_skipped != 0 ||
+         routers_throttled != 0 || traces_truncated != 0 || probes_lost != 0 ||
+         geo_corrupted != 0 || geo_garbled != 0;
+}
+
+std::string FaultStats::to_json() const {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("monitors_killed").value(monitors_killed);
+  json.key("destinations_skipped").value(destinations_skipped);
+  json.key("routers_throttled").value(routers_throttled);
+  json.key("traces_truncated").value(traces_truncated);
+  json.key("probes_lost").value(probes_lost);
+  json.key("geo_corrupted").value(geo_corrupted);
+  json.key("geo_garbled").value(geo_garbled);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace geonet::fault

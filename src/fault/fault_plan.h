@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "err/status.h"
+
+namespace geonet::fault {
+
+/// Deterministic, seed-driven fault injection for the measurement
+/// pipeline. A FaultPlan describes *which* realistic failures a run
+/// suffers; the simulators consult it through forked RNG streams so that
+/// (a) the same plan + seed reproduces the same damage bit-for-bit and
+/// (b) a null/empty plan leaves the fault-free path untouched.
+///
+/// Spec grammar (`--faults <spec>`, see docs/robustness.md):
+///
+///   spec    := clause ( ';' clause )*
+///   clause  := name [ ':' kv ( ',' kv )* ] | 'seed' '=' integer
+///   kv      := key '=' number
+///
+/// Clauses (all keys optional, defaults in brackets):
+///   monitor-outage : count [1]      monitors die mid-run
+///                    at    [0.5]    fraction of their list probed before dying
+///   throttle       : frac  [0.1]    fraction of routers that rate-limit ICMP
+///                    rate  [0.25]   per-attempt answer probability
+///   truncate       : prob  [0.02]   per-trace truncation probability
+///                    min-hops [3]   earliest hop a trace can be cut at
+///   probe-loss     : prob  [0.01]   per-destination burst-start probability
+///                    burst [20]     mean burst length (whole probes lost)
+///   geo-corrupt    : prob  [0.01]   per-address corruption probability
+///                    garble [0.5]   fraction of corruptions that are pure
+///                                   garbage (vs hemisphere/sign flips)
+///
+/// Example: "monitor-outage:count=3,at=0.5;throttle:frac=0.1,rate=0.3"
+
+/// N monitors go dark partway through their destination lists — the
+/// Skitter-monitor outages the paper's data collection lived with.
+struct MonitorOutageFault {
+  std::size_t count = 1;
+  double at_fraction = 0.5;  ///< in [0,1]
+};
+
+/// ICMP rate limiting: beyond the static hop_response_rate trait, a
+/// random fraction of routers answers each probe attempt with only
+/// `answer_rate` probability. Retries (ProbePolicy) can recover these.
+struct ThrottleFault {
+  double router_fraction = 0.1;
+  double answer_rate = 0.25;
+};
+
+/// A trace is cut short at a random hop (>= min_hops): loops detected,
+/// gap limits hit, or the probe train dying inside the network.
+struct TruncateFault {
+  double probability = 0.02;
+  std::size_t min_hops = 3;
+};
+
+/// Bursty probe loss: once a burst starts, whole probes (entire
+/// destination traces) are lost for a geometric run of destinations.
+struct ProbeLossFault {
+  double burst_probability = 0.01;
+  double mean_burst_length = 20.0;
+};
+
+/// Corrupted geolocation answers: a stale or garbled database entry
+/// replaces the true answer with either a hemisphere/sign flip or a
+/// uniformly random point. Deterministic per address, like a real broken
+/// database row.
+struct GeoCorruptFault {
+  double probability = 0.01;
+  double garble_fraction = 0.5;
+};
+
+struct FaultPlan {
+  std::optional<MonitorOutageFault> monitor_outage;
+  std::optional<ThrottleFault> throttle;
+  std::optional<TruncateFault> truncate;
+  std::optional<ProbeLossFault> probe_loss;
+  std::optional<GeoCorruptFault> geo_corrupt;
+  /// Fault decisions derive from this seed alone (not the simulation
+  /// seeds), so the same damage pattern can be replayed across scenarios.
+  std::uint64_t seed = 0xFA17;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return !monitor_outage && !throttle && !truncate && !probe_loss &&
+           !geo_corrupt;
+  }
+
+  /// JSON echo of the plan (the `degradation.plan` report field).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Parses the spec grammar above. Unknown clause or key names, malformed
+/// numbers, and out-of-range values are kInvalidArgument with a
+/// diagnostic naming the offending clause.
+err::Result<FaultPlan> parse_fault_plan(std::string_view spec);
+
+/// Damage bookkeeping filled by the simulators; the counts the
+/// `degradation.faults` report section carries.
+struct FaultStats {
+  std::uint64_t monitors_killed = 0;
+  std::uint64_t destinations_skipped = 0;  ///< unprobed due to dead monitors
+  std::uint64_t routers_throttled = 0;
+  std::uint64_t traces_truncated = 0;
+  std::uint64_t probes_lost = 0;           ///< whole probes lost in bursts
+  std::uint64_t geo_corrupted = 0;         ///< flipped/offset answers
+  std::uint64_t geo_garbled = 0;           ///< answers replaced by noise
+
+  void merge(const FaultStats& other) noexcept;
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace geonet::fault

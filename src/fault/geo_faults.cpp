@@ -1,0 +1,32 @@
+#include "fault/geo_faults.h"
+
+#include <algorithm>
+
+#include "stats/rng.h"
+
+namespace geonet::fault {
+
+std::optional<geo::GeoPoint> GeoCorruptor::corrupt(std::uint64_t address_key,
+                                                   const geo::GeoPoint& answer,
+                                                   FaultStats& stats) const {
+  std::uint64_t h = seed_ ^ (0xc2b2ae3d27d4eb4fULL * (address_key + 1));
+  stats::Rng rng(stats::splitmix64(h));
+  if (!rng.bernoulli(fault_.probability)) return std::nullopt;
+
+  if (rng.bernoulli(fault_.garble_fraction)) {
+    ++stats.geo_garbled;
+    return geo::GeoPoint{rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)};
+  }
+  ++stats.geo_corrupted;
+  switch (rng.uniform_index(3)) {
+    case 0:  // longitude sign flip (the classic W/E bug)
+      return geo::GeoPoint{answer.lat_deg, -answer.lon_deg};
+    case 1:  // latitude sign flip (N/S)
+      return geo::GeoPoint{-answer.lat_deg, answer.lon_deg};
+    default:  // lat/lon swapped; clamp latitude into range
+      return geo::GeoPoint{std::clamp(answer.lon_deg, -90.0, 90.0),
+                           answer.lat_deg};
+  }
+}
+
+}  // namespace geonet::fault

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/fault_plan.h"
+#include "geo/geo_point.h"
+
+namespace geonet::fault {
+
+/// Applies a GeoCorruptFault to geolocation answers. Corruption is a
+/// pure function of (seed, address key): the same broken database row
+/// answers the same wrong way every time, exactly like a real stale or
+/// garbled geolocation entry. Two damage modes:
+///   * corrupted — a hemisphere/sign flip or lat/lon swap: plausible
+///     coordinates, wrong place (classic W/E longitude-sign bugs);
+///   * garbled   — a uniformly random point: the row is noise.
+class GeoCorruptor {
+ public:
+  GeoCorruptor(const GeoCorruptFault& fault, std::uint64_t seed) noexcept
+      : fault_(fault), seed_(seed) {}
+
+  /// The corrupted answer for this address, or nullopt when the address
+  /// is untouched (the common case). `answer` is the mapper's honest
+  /// reply. Updates `stats` when corruption fires.
+  [[nodiscard]] std::optional<geo::GeoPoint> corrupt(
+      std::uint64_t address_key, const geo::GeoPoint& answer,
+      FaultStats& stats) const;
+
+ private:
+  GeoCorruptFault fault_;
+  std::uint64_t seed_;
+};
+
+}  // namespace geonet::fault

@@ -1,0 +1,64 @@
+#include "fault/probe.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace geonet::fault {
+
+void ProbeStats::merge(const ProbeStats& other) noexcept {
+  probes += other.probes;
+  attempts += other.attempts;
+  retries += other.retries;
+  losses += other.losses;
+  giveups += other.giveups;
+  simulated_wait_ms += other.simulated_wait_ms;
+}
+
+std::string ProbeStats::to_json() const {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("probes").value(probes);
+  json.key("attempts").value(attempts);
+  json.key("retries").value(retries);
+  json.key("losses").value(losses);
+  json.key("giveups").value(giveups);
+  json.key("simulated_wait_ms").value(simulated_wait_ms);
+  json.end_object();
+  return json.str();
+}
+
+bool probe_with_retry(stats::Rng& rng, double answer_probability,
+                      const ProbePolicy& policy, ProbeStats& stats) {
+  static obs::Counter& attempts_metric =
+      obs::MetricsRegistry::global().counter("probe.attempts");
+  static obs::Counter& retries_metric =
+      obs::MetricsRegistry::global().counter("probe.retries");
+  static obs::Counter& losses_metric =
+      obs::MetricsRegistry::global().counter("probe.losses");
+  static obs::Counter& giveups_metric =
+      obs::MetricsRegistry::global().counter("probe.giveups");
+
+  ++stats.probes;
+  const std::uint32_t max_attempts = std::max(1u, policy.max_attempts);
+  double wait_ms = policy.timeout_ms;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++stats.attempts;
+    attempts_metric.add();
+    if (attempt > 0) {
+      ++stats.retries;
+      retries_metric.add();
+    }
+    if (rng.bernoulli(answer_probability)) return true;
+    ++stats.losses;
+    losses_metric.add();
+    stats.simulated_wait_ms += wait_ms;
+    wait_ms *= policy.backoff;
+  }
+  ++stats.giveups;
+  giveups_metric.add();
+  return false;
+}
+
+}  // namespace geonet::fault

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/rng.h"
+
+namespace geonet::fault {
+
+/// Retry-with-timeout semantics of one probe, as CAIDA Skitter ran them:
+/// a probe that gets no answer within the timeout is retried up to
+/// max_attempts times, each wait growing by the backoff factor. The
+/// simulators do not sleep — the waits are accounted as simulated time so
+/// the cost of a lossy network shows up in the run report.
+struct ProbePolicy {
+  std::uint32_t max_attempts = 3;
+  double timeout_ms = 1000.0;
+  double backoff = 2.0;  ///< wait multiplier per retry
+};
+
+/// Per-run probe accounting (the `degradation.probes` report section).
+/// Also mirrored into the obs metrics registry (probe.attempts,
+/// probe.retries, probe.losses, probe.giveups).
+struct ProbeStats {
+  std::uint64_t probes = 0;    ///< probe_with_retry calls
+  std::uint64_t attempts = 0;  ///< individual packet attempts
+  std::uint64_t retries = 0;   ///< attempts beyond the first
+  std::uint64_t losses = 0;    ///< attempts that timed out
+  std::uint64_t giveups = 0;   ///< probes unanswered after all attempts
+  double simulated_wait_ms = 0.0;  ///< time spent waiting on timeouts
+
+  void merge(const ProbeStats& other) noexcept;
+  [[nodiscard]] bool any() const noexcept { return probes != 0; }
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Fires one probe at a target that answers each attempt independently
+/// with `answer_probability`; retries per `policy`. Returns whether any
+/// attempt was answered. Draws from `rng` once per attempt, so callers
+/// passing a dedicated fault stream keep the fault-free path untouched.
+bool probe_with_retry(stats::Rng& rng, double answer_probability,
+                      const ProbePolicy& policy, ProbeStats& stats);
+
+}  // namespace geonet::fault

@@ -11,8 +11,17 @@
 
 namespace geonet::net {
 
+namespace {
+
+bool write_failed(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
 bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
-                 std::span<const double> link_latency_ms) {
+                 std::span<const double> link_latency_ms, std::string* error) {
   const obs::Span span("io/write_graph");
   obs::MetricsRegistry::global().counter("io.nodes_written")
       .add(graph.node_count());
@@ -21,6 +30,7 @@ bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
   out << "# geonet annotated topology\n";
   out << "kind " << to_string(graph.kind()) << '\n';
   if (!graph.name().empty()) out << "name " << graph.name() << '\n';
+  if (!out) return write_failed(error, "write failed at header");
   out << "# node <id> <lat> <lon> <asn> <addr>\n";
   char buf[160];
   for (std::uint32_t id = 0; id < graph.node_count(); ++id) {
@@ -29,6 +39,13 @@ bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
                   node.location.lat_deg, node.location.lon_deg, node.asn,
                   to_string(node.addr).c_str());
     out << buf;
+    // Check per record: a full disk or closed pipe is reported with the
+    // record it hit, not discovered after streaming the whole graph.
+    if (!out) {
+      return write_failed(error, "write failed at node record " +
+                                     std::to_string(id) + " of " +
+                                     std::to_string(graph.node_count()));
+    }
   }
   out << "# link <a> <b> [latency_ms]\n";
   const bool with_latency = link_latency_ms.size() == graph.edge_count();
@@ -41,49 +58,80 @@ bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
       std::snprintf(buf, sizeof(buf), "link %u %u\n", edge.a, edge.b);
     }
     out << buf;
+    if (!out) {
+      return write_failed(error, "write failed at link record " +
+                                     std::to_string(e) + " of " +
+                                     std::to_string(graph.edge_count()));
+    }
   }
-  return static_cast<bool>(out);
+  if (!static_cast<bool>(out)) return write_failed(error, "write failed");
+  return true;
 }
 
 bool write_graph_file(const std::string& path, const AnnotatedGraph& graph,
-                      std::span<const double> link_latency_ms) {
+                      std::span<const double> link_latency_ms,
+                      std::string* error) {
   std::ofstream out(path);
-  return out && write_graph(out, graph, link_latency_ms);
+  if (!out) return write_failed(error, "cannot open " + path + " for writing");
+  return write_graph(out, graph, link_latency_ms, error);
 }
 
 namespace {
 
-bool fail(std::string* error, std::size_t line_no, const std::string& what) {
-  if (error != nullptr) {
-    *error = "line " + std::to_string(line_no) + ": " + what;
-  }
-  return false;
-}
+struct PendingNode {
+  std::uint64_t id = 0;
+  GraphNode node;
+  std::size_t line_no = 0;
+};
+
+struct PendingLink {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::size_t line_no = 0;
+};
 
 }  // namespace
 
-std::optional<AnnotatedGraph> read_graph(std::istream& in,
-                                         std::string* error) {
+GraphReadResult read_graph_ex(std::istream& in,
+                              const GraphReadOptions& options) {
   const obs::Span span("io/read_graph");
+  GraphReadResult result;
   NodeKind kind = NodeKind::kRouter;
   std::string name;
 
-  struct PendingNode {
-    std::uint64_t id;
-    GraphNode node;
-  };
   std::vector<PendingNode> nodes;
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> links;
+  std::vector<PendingLink> links;
+
+  // Quarantines one malformed record. Returns true when the read may
+  // continue (lenient mode, cap not yet hit); false fails the read with
+  // the appropriate status.
+  bool failed = false;
+  const auto bad_record = [&](std::size_t line_no, std::string reason,
+                              std::string text) {
+    result.quarantined.push_back(
+        {line_no, std::move(reason), std::move(text)});
+    const QuarantinedRecord& record = result.quarantined.back();
+    if (!options.lenient) {
+      result.status = err::Status::data_loss(
+          "line " + std::to_string(record.line_no) + ": " + record.reason);
+      failed = true;
+      return false;
+    }
+    if (result.quarantined.size() > options.max_quarantined) {
+      result.status = err::Status::resource_exhausted(
+          "more than " + std::to_string(options.max_quarantined) +
+          " malformed records; refusing input");
+      failed = true;
+      return false;
+    }
+    return true;
+  };
 
   std::string line;
   std::size_t line_no = 0;
-  const auto parse_failed = [&](const std::string& what) {
-    fail(error, line_no, what);
-    return std::optional<AnnotatedGraph>{};
-  };
-
-  while (std::getline(in, line)) {
+  while (!failed && std::getline(in, line)) {
     ++line_no;
+    const std::string original = line;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream fields(line);
@@ -98,73 +146,114 @@ std::optional<AnnotatedGraph> read_graph(std::istream& in,
       } else if (value == "router") {
         kind = NodeKind::kRouter;
       } else {
-        return parse_failed("unknown kind '" + value + "'");
+        bad_record(line_no, "unknown kind '" + value + "'", original);
       }
     } else if (tag == "name") {
       std::getline(fields >> std::ws, name);
     } else if (tag == "node") {
       PendingNode pending;
+      pending.line_no = line_no;
       double lat = 0.0, lon = 0.0;
       std::uint32_t asn = 0;
       if (!(fields >> pending.id >> lat >> lon >> asn)) {
-        return parse_failed("malformed node record");
+        bad_record(line_no, "malformed node record", original);
+        continue;
       }
       if (!geo::is_valid({lat, lon})) {
-        return parse_failed("invalid coordinates");
+        bad_record(line_no, "invalid coordinates", original);
+        continue;
       }
       pending.node.location = {lat, lon};
       pending.node.asn = asn;
       std::string addr_text;
       if (fields >> addr_text) {
         const auto addr = parse_ipv4(addr_text);
-        if (!addr) return parse_failed("bad address '" + addr_text + "'");
+        if (!addr) {
+          bad_record(line_no, "bad address '" + addr_text + "'", original);
+          continue;
+        }
         pending.node.addr = *addr;
       }
       nodes.push_back(pending);
     } else if (tag == "link") {
-      std::uint64_t a = 0, b = 0;
-      if (!(fields >> a >> b)) {
-        return parse_failed("malformed link record");
+      PendingLink pending;
+      pending.line_no = line_no;
+      if (!(fields >> pending.a >> pending.b)) {
+        bad_record(line_no, "malformed link record", original);
+        continue;
       }
-      links.emplace_back(a, b);
+      links.push_back(pending);
     } else {
-      return parse_failed("unknown record '" + tag + "'");
+      bad_record(line_no, "unknown record '" + tag + "'", original);
     }
   }
 
-  AnnotatedGraph graph(kind, name);
-  std::unordered_map<std::uint64_t, std::uint32_t> index;
-  index.reserve(nodes.size());
-  for (const PendingNode& pending : nodes) {
-    if (!index.try_emplace(pending.id, graph.add_node(pending.node)).second) {
-      fail(error, 0, "duplicate node id " + std::to_string(pending.id));
-      return std::nullopt;
+  if (!failed) {
+    AnnotatedGraph graph(kind, name);
+    std::unordered_map<std::uint64_t, std::uint32_t> index;
+    index.reserve(nodes.size());
+    for (const PendingNode& pending : nodes) {
+      if (index.contains(pending.id)) {
+        if (!bad_record(pending.line_no,
+                        "duplicate node id " + std::to_string(pending.id),
+                        "node " + std::to_string(pending.id))) {
+          break;
+        }
+        continue;
+      }
+      index.emplace(pending.id, graph.add_node(pending.node));
+    }
+    for (const PendingLink& pending : links) {
+      if (failed) break;
+      const auto ia = index.find(pending.a);
+      const auto ib = index.find(pending.b);
+      if (ia == index.end() || ib == index.end()) {
+        if (!bad_record(pending.line_no, "link references unknown node",
+                        "link " + std::to_string(pending.a) + " " +
+                            std::to_string(pending.b))) {
+          break;
+        }
+        continue;
+      }
+      graph.add_edge(ia->second, ib->second);  // dedup/self-loop safe
+    }
+    if (!failed) {
+      obs::MetricsRegistry::global().counter("io.nodes_read")
+          .add(graph.node_count());
+      obs::MetricsRegistry::global().counter("io.links_read")
+          .add(graph.edge_count());
+      result.graph = std::move(graph);
+      result.status = err::Status::ok();
     }
   }
-  for (const auto& [a, b] : links) {
-    const auto ia = index.find(a);
-    const auto ib = index.find(b);
-    if (ia == index.end() || ib == index.end()) {
-      fail(error, 0, "link references unknown node");
-      return std::nullopt;
-    }
-    graph.add_edge(ia->second, ib->second);  // dedup/self-loop safe
+  obs::MetricsRegistry::global().counter("io.records_quarantined")
+      .add(result.quarantined.size());
+  return result;
+}
+
+GraphReadResult read_graph_file_ex(const std::string& path,
+                                   const GraphReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    GraphReadResult result;
+    result.status = err::Status::not_found("cannot open " + path);
+    return result;
   }
-  obs::MetricsRegistry::global().counter("io.nodes_read")
-      .add(graph.node_count());
-  obs::MetricsRegistry::global().counter("io.links_read")
-      .add(graph.edge_count());
-  return graph;
+  return read_graph_ex(in, options);
+}
+
+std::optional<AnnotatedGraph> read_graph(std::istream& in,
+                                         std::string* error) {
+  GraphReadResult result = read_graph_ex(in, {});
+  if (!result.ok() && error != nullptr) *error = result.status.message();
+  return std::move(result.graph);
 }
 
 std::optional<AnnotatedGraph> read_graph_file(const std::string& path,
                                               std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return std::nullopt;
-  }
-  return read_graph(in, error);
+  GraphReadResult result = read_graph_file_ex(path, {});
+  if (!result.ok() && error != nullptr) *error = result.status.message();
+  return std::move(result.graph);
 }
 
 }  // namespace geonet::net

@@ -4,7 +4,9 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "err/status.h"
 #include "net/annotated_graph.h"
 
 namespace geonet::net {
@@ -21,19 +23,59 @@ namespace geonet::net {
 ///   link <a> <b> [extra columns ignored]
 ///
 /// Node ids may be arbitrary distinct integers; they are remapped to
-/// dense indices on read. Links referencing unknown ids are an error.
+/// dense indices on read. In strict mode (the default) any malformed
+/// record fails the whole read; lenient mode quarantines bad records
+/// (with line number and diagnostic) and keeps the rest.
 
 /// Writes the graph; when `link_latency_ms` is non-empty it must parallel
 /// graph.edges() and is emitted as an extra column. Returns false on I/O
-/// failure.
+/// failure; the stream state is checked after every record, and `error`
+/// (when non-null) then names the record that failed.
 bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
-                 std::span<const double> link_latency_ms = {});
+                 std::span<const double> link_latency_ms = {},
+                 std::string* error = nullptr);
 
 bool write_graph_file(const std::string& path, const AnnotatedGraph& graph,
-                      std::span<const double> link_latency_ms = {});
+                      std::span<const double> link_latency_ms = {},
+                      std::string* error = nullptr);
 
-/// Reads a graph; on failure returns nullopt and, when `error` is
-/// non-null, stores a one-line diagnostic including the line number.
+struct GraphReadOptions {
+  /// Quarantine malformed records instead of failing the read.
+  bool lenient = false;
+  /// Lenient-mode damage cap: exceeding it fails the read with
+  /// kResourceExhausted (an input this broken is the wrong file, not a
+  /// file with a few bad rows).
+  std::size_t max_quarantined = 1024;
+};
+
+/// One malformed record set aside by a lenient read.
+struct QuarantinedRecord {
+  std::size_t line_no = 0;  ///< 1-based line the record came from
+  std::string reason;       ///< diagnostic, e.g. "malformed node record"
+  std::string text;         ///< the offending line (or record echo)
+};
+
+/// Outcome of a graph read. `graph` is set on success — in lenient mode
+/// possibly alongside a non-empty quarantine list; on failure `status`
+/// explains (kDataLoss for malformed input, kNotFound for missing files,
+/// kResourceExhausted past the quarantine cap).
+struct GraphReadResult {
+  std::optional<AnnotatedGraph> graph;
+  std::vector<QuarantinedRecord> quarantined;
+  err::Status status;
+
+  [[nodiscard]] bool ok() const noexcept { return graph.has_value(); }
+};
+
+GraphReadResult read_graph_ex(std::istream& in,
+                              const GraphReadOptions& options = {});
+
+GraphReadResult read_graph_file_ex(const std::string& path,
+                                   const GraphReadOptions& options = {});
+
+/// Strict-mode convenience wrappers; on failure returns nullopt and, when
+/// `error` is non-null, stores a one-line diagnostic including the line
+/// number.
 std::optional<AnnotatedGraph> read_graph(std::istream& in,
                                          std::string* error = nullptr);
 

@@ -1,0 +1,22 @@
+#include "synth/faulty_mapper.h"
+
+#include "obs/metrics.h"
+
+namespace geonet::synth {
+
+std::optional<geo::GeoPoint> FaultyMapper::map(
+    net::Ipv4Addr addr, const geo::GeoPoint& true_location,
+    const geo::GeoPoint& as_home) const {
+  const auto answer = inner_.map(addr, true_location, as_home);
+  if (!answer) return answer;
+  if (const auto corrupted =
+          corruptor_.corrupt(addr.value, *answer, stats_)) {
+    static obs::Counter& corrupted_metric =
+        obs::MetricsRegistry::global().counter("fault.geo_answers_corrupted");
+    corrupted_metric.add();
+    return corrupted;
+  }
+  return answer;
+}
+
+}  // namespace geonet::synth

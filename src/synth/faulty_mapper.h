@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "fault/geo_faults.h"
+#include "synth/geo_mapper.h"
+
+namespace geonet::synth {
+
+/// Decorates any Mapper with a GeoCorruptFault: most answers pass
+/// through untouched; a seed-deterministic minority come back flipped,
+/// swapped, or garbled, exactly like stale/broken rows in a real
+/// geolocation database. Unmappable addresses stay unmappable — a broken
+/// row corrupts an answer, it does not invent one.
+///
+/// Keeps the inner mapper's name so processed-dataset labels ("Skitter+
+/// IxMapper") stay stable regardless of injected damage.
+class FaultyMapper final : public Mapper {
+ public:
+  FaultyMapper(const Mapper& inner, const fault::GeoCorruptFault& fault,
+               std::uint64_t seed) noexcept
+      : inner_(inner), corruptor_(fault, seed) {}
+
+  [[nodiscard]] std::optional<geo::GeoPoint> map(
+      net::Ipv4Addr addr, const geo::GeoPoint& true_location,
+      const geo::GeoPoint& as_home) const override;
+
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+  /// Damage dealt so far (geo_corrupted / geo_garbled counts).
+  [[nodiscard]] const fault::FaultStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  const Mapper& inner_;
+  fault::GeoCorruptor corruptor_;
+  mutable fault::FaultStats stats_;
+};
+
+}  // namespace geonet::synth

@@ -21,6 +21,35 @@ RouterObservation run_mercator(const GroundTruth& truth,
 
   stats::Rng rng(options.seed);
 
+  // Fault decisions draw from their own plan-seeded streams; without a
+  // plan the run consumes exactly the pre-fault random sequence.
+  const fault::FaultPlan* plan =
+      options.faults && !options.faults->empty() ? &*options.faults : nullptr;
+  stats::Rng fault_rng(plan != nullptr ? plan->seed : 0);
+  stats::Rng probe_fault_rng = fault_rng.fork(0x9e2c);
+
+  // Per-probe loss probability for discovery probes: bursts at the
+  // destination-list level do not map onto a single-host sweep, so the
+  // expected loss mass (burst rate x burst length) applies per probe.
+  const double probe_loss_probability =
+      (plan != nullptr && plan->probe_loss)
+          ? std::min(1.0, plan->probe_loss->burst_probability *
+                              plan->probe_loss->mean_burst_length)
+          : 0.0;
+
+  // Throttled routers answer UDP alias probes only at the throttle rate.
+  std::vector<bool> throttled;
+  if (plan != nullptr && plan->throttle) {
+    stats::Rng throttle_rng = fault_rng.fork(0x7407);
+    throttled.assign(n, false);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (throttle_rng.bernoulli(plan->throttle->router_fraction)) {
+        throttled[r] = true;
+        ++out.fault_stats.routers_throttled;
+      }
+    }
+  }
+
   // Single vantage point: the highest-degree router (a well-connected
   // academic host, as the Scan project used).
   net::RouterId source = 0;
@@ -54,8 +83,17 @@ RouterObservation run_mercator(const GroundTruth& truth,
                                 (tree.parent[r] == adj.neighbor &&
                                  tree.entry_if[r] == adj.local_if);
       if (!seen_links.contains(link_key(adj.link))) {
-        const bool discovered =
+        bool discovered =
             is_tree_edge || rng.bernoulli(options.lateral_discovery_rate);
+        // Lateral discovery probes can be lost; retries may recover them.
+        // Tree edges are the repeatedly-probed BFS backbone and survive.
+        if (discovered && !is_tree_edge && probe_loss_probability > 0.0 &&
+            !fault::probe_with_retry(probe_fault_rng,
+                                     1.0 - probe_loss_probability,
+                                     options.probe, out.probe_stats)) {
+          ++out.fault_stats.probes_lost;
+          discovered = false;
+        }
         if (discovered) {
           seen_links.insert(link_key(adj.link));
           observe(r, adj.local_if);
@@ -73,8 +111,16 @@ RouterObservation run_mercator(const GroundTruth& truth,
   std::unordered_map<net::InterfaceId, std::uint32_t> node_of_interface;
   for (auto& [router, ifaces] : observed) {
     std::sort(ifaces.begin(), ifaces.end());
-    const bool resolved =
+    bool resolved =
         ifaces.size() < 2 || rng.bernoulli(options.alias_resolution_rate);
+    // Rate-limited routers drop UDP alias probes per attempt; retries can
+    // still save the resolution.
+    if (resolved && ifaces.size() >= 2 && !throttled.empty() &&
+        throttled[router] &&
+        !fault::probe_with_retry(probe_fault_rng, plan->throttle->answer_rate,
+                                 options.probe, out.probe_stats)) {
+      resolved = false;
+    }
     if (resolved) {
       const auto node = static_cast<std::uint32_t>(out.routers.size());
       out.routers.push_back({ifaces, router});
@@ -107,6 +153,11 @@ RouterObservation run_mercator(const GroundTruth& truth,
   metrics.counter("mercator.raw_interfaces").add(out.raw_interfaces);
   metrics.counter("mercator.routers_observed").add(out.routers.size());
   metrics.counter("mercator.links_observed").add(out.links.size());
+  if (out.fault_stats.any()) {
+    metrics.counter("fault.routers_throttled")
+        .add(out.fault_stats.routers_throttled);
+    metrics.counter("fault.probes_lost").add(out.fault_stats.probes_lost);
+  }
   return out;
 }
 

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "fault/fault_plan.h"
+#include "fault/probe.h"
 #include "net/topology.h"
 #include "synth/ground_truth.h"
 
@@ -23,6 +26,15 @@ struct MercatorOptions {
   /// observed interfaces; failures leave each interface as its own node.
   double alias_resolution_rate = 0.85;
   std::uint64_t seed = 11;
+  /// Retry-with-timeout behaviour for discovery/alias probes under
+  /// injected faults.
+  fault::ProbePolicy probe;
+  /// Failures injected into this run (probe-loss applies to lateral
+  /// discovery probes; throttle degrades UDP alias probing). Monitor
+  /// outages and trace truncation do not apply to a single-host mapper.
+  /// nullopt or an empty plan keeps the run byte-identical to the
+  /// fault-free simulation.
+  std::optional<fault::FaultPlan> faults;
 };
 
 /// One observed (possibly partially-resolved) router.
@@ -36,6 +48,8 @@ struct RouterObservation {
   std::vector<ObservedRouter> routers;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> links;  ///< router idx
   std::size_t raw_interfaces = 0;  ///< interfaces seen before resolution
+  fault::FaultStats fault_stats;   ///< injected damage, if any
+  fault::ProbeStats probe_stats;   ///< retry/loss/giveup accounting
 };
 
 /// Runs the Mercator simulation over the ground truth.

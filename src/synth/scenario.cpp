@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "synth/bgp_propagation.h"
+#include "synth/faulty_mapper.h"
 #include "synth/hostnames.h"
 #include <cstdlib>
 #include <unordered_map>
@@ -229,6 +230,7 @@ Scenario Scenario::build(const ScenarioOptions& options) {
 
   SkitterOptions skitter_options = options.skitter;
   skitter_options.seed = options.seed ^ 0x51c177e6ULL;
+  skitter_options.faults = options.faults;
   // Destination lists scale with the world so coverage stays comparable.
   skitter_options.destinations_per_monitor = std::max<std::size_t>(
       200, s.truth_->topology().router_count() / 4);
@@ -236,6 +238,7 @@ Scenario Scenario::build(const ScenarioOptions& options) {
 
   MercatorOptions mercator_options = options.mercator;
   mercator_options.seed = options.seed ^ 0x3e2ca707ULL;
+  mercator_options.faults = options.faults;
   s.mercator_raw_ = run_mercator(*s.mercator_truth_, mercator_options);
 
   // City database shared by both mappers: where people actually live.
@@ -309,10 +312,39 @@ Scenario Scenario::build(const ScenarioOptions& options) {
       options.mechanical_pipeline
           ? static_cast<const Mapper&>(*hostname_mapper_mercator)
           : static_cast<const Mapper&>(ixmapper);
-  process(DatasetKind::kSkitter, MapperKind::kIxMapper, ix_role);
-  process(DatasetKind::kSkitter, MapperKind::kEdgeScape, edgescape);
-  process(DatasetKind::kMercator, MapperKind::kIxMapper, ix_role_mercator);
-  process(DatasetKind::kMercator, MapperKind::kEdgeScape, edgescape);
+
+  // Injected geolocation-database corruption wraps whichever mappers the
+  // run uses; the wrapped service keeps its name so dataset labels stay
+  // stable under damage.
+  std::optional<FaultyMapper> faulty_ix, faulty_ix_mercator, faulty_edge;
+  const Mapper* ix_use = &ix_role;
+  const Mapper* ix_use_mercator = &ix_role_mercator;
+  const Mapper* edge_use = &edgescape;
+  if (options.faults && options.faults->geo_corrupt) {
+    const fault::GeoCorruptFault& geo_fault = *options.faults->geo_corrupt;
+    const std::uint64_t fault_seed = options.faults->seed;
+    faulty_ix.emplace(ix_role, geo_fault, fault_seed);
+    faulty_ix_mercator.emplace(ix_role_mercator, geo_fault, fault_seed);
+    faulty_edge.emplace(edgescape, geo_fault, fault_seed);
+    ix_use = &*faulty_ix;
+    ix_use_mercator = &*faulty_ix_mercator;
+    edge_use = &*faulty_edge;
+  }
+
+  process(DatasetKind::kSkitter, MapperKind::kIxMapper, *ix_use);
+  process(DatasetKind::kSkitter, MapperKind::kEdgeScape, *edge_use);
+  process(DatasetKind::kMercator, MapperKind::kIxMapper, *ix_use_mercator);
+  process(DatasetKind::kMercator, MapperKind::kEdgeScape, *edge_use);
+
+  s.fault_stats_.merge(s.skitter_raw_.fault_stats);
+  s.fault_stats_.merge(s.mercator_raw_.fault_stats);
+  for (const auto* faulty : {faulty_ix ? &*faulty_ix : nullptr,
+                             faulty_ix_mercator ? &*faulty_ix_mercator : nullptr,
+                             faulty_edge ? &*faulty_edge : nullptr}) {
+    if (faulty != nullptr) s.fault_stats_.merge(faulty->stats());
+  }
+  s.probe_stats_.merge(s.skitter_raw_.probe_stats);
+  s.probe_stats_.merge(s.mercator_raw_.probe_stats);
   return s;
 }
 
@@ -336,6 +368,19 @@ std::string processing_stats_json(const ProcessingStats& stats) {
   json.key("output_nodes").value(stats.output_nodes);
   json.key("output_links").value(stats.output_links);
   json.key("distinct_locations").value(stats.distinct_locations);
+  json.end_object();
+  return json.str();
+}
+
+std::string scenario_degradation_json(const Scenario& scenario) {
+  obs::JsonWriter json;
+  json.begin_object();
+  const auto& plan = scenario.options().faults;
+  if (plan && !plan->empty()) {
+    json.key("plan").raw(plan->to_json());
+    json.key("faults").raw(scenario.fault_stats().to_json());
+    json.key("probes").raw(scenario.probe_stats().to_json());
+  }
   json.end_object();
   return json.str();
 }

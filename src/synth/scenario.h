@@ -3,8 +3,11 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "fault/fault_plan.h"
+#include "fault/probe.h"
 #include "net/annotated_graph.h"
 #include "population/synth_population.h"
 #include "synth/geo_mapper.h"
@@ -67,8 +70,13 @@ struct ScenarioOptions {
   /// paper used the Aug 10, 1999 RouteViews snapshot).
   double mercator_epoch_factor = 0.45;
   GroundTruthOptions truth;       ///< interface_scale/seed overridden
-  SkitterOptions skitter;         ///< seed overridden
-  MercatorOptions mercator;       ///< seed overridden
+  SkitterOptions skitter;         ///< seed/faults overridden
+  MercatorOptions mercator;       ///< seed/faults overridden
+  /// Failures injected into both measurement campaigns and the
+  /// geolocation services (see fault::FaultPlan). nullopt = fault-free;
+  /// the fault-free scenario is byte-identical with and without the
+  /// fault machinery compiled in.
+  std::optional<fault::FaultPlan> faults;
 
   static ScenarioOptions defaults();
 };
@@ -104,6 +112,15 @@ class Scenario {
   [[nodiscard]] const ProcessingStats& stats(DatasetKind dataset,
                                              MapperKind mapper) const noexcept;
 
+  /// Aggregate injected damage across both campaigns and all mappers.
+  [[nodiscard]] const fault::FaultStats& fault_stats() const noexcept {
+    return fault_stats_;
+  }
+  /// Aggregate probe retry/loss/giveup accounting across both campaigns.
+  [[nodiscard]] const fault::ProbeStats& probe_stats() const noexcept {
+    return probe_stats_;
+  }
+
  private:
   static std::size_t slot(DatasetKind dataset, MapperKind mapper) noexcept;
 
@@ -115,6 +132,8 @@ class Scenario {
   RouterObservation mercator_raw_;
   std::array<std::unique_ptr<net::AnnotatedGraph>, 4> graphs_;
   std::array<ProcessingStats, 4> stats_;
+  fault::FaultStats fault_stats_;
+  fault::ProbeStats probe_stats_;
 };
 
 /// Counts distinct quantised node locations in a processed dataset.
@@ -129,5 +148,10 @@ std::string processing_stats_json(const ProcessingStats& stats);
 /// one JSON object keyed by "Dataset+Mapper" — the machine-readable
 /// Table I.
 std::string scenario_stats_json(const Scenario& scenario);
+
+/// Renders the scenario's injected-fault plan, damage counts, and probe
+/// retry accounting as one JSON object (the measurement half of a run
+/// report's `degradation` section). "{}" for a fault-free scenario.
+std::string scenario_degradation_json(const Scenario& scenario);
 
 }  // namespace geonet::synth

@@ -1,6 +1,7 @@
 #include "synth/skitter.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "net/graph_algos.h"
@@ -30,12 +31,37 @@ InterfaceObservation run_skitter(const GroundTruth& truth,
 
   stats::Rng rng(options.seed);
 
-  // Per-router trait: does it answer TTL-expired probes?
+  // Per-router trait: does it answer TTL-expired probes? Rates of exactly
+  // 1.0 (everyone answers) and 0.0 (total ICMP blackout) are honoured
+  // without degenerate draws.
+  const double response_rate =
+      std::clamp(options.hop_response_rate, 0.0, 1.0);
   std::vector<bool> responds(n, true);
-  if (options.hop_response_rate < 1.0) {
+  if (response_rate < 1.0) {
     stats::Rng trait_rng = rng.fork(0x51);
     for (std::size_t r = 0; r < n; ++r) {
-      responds[r] = trait_rng.bernoulli(options.hop_response_rate);
+      responds[r] = trait_rng.bernoulli(response_rate);
+    }
+  }
+
+  // Fault decisions draw exclusively from streams seeded by the plan, so
+  // a run without a plan consumes exactly the same random sequence as the
+  // pre-fault simulator (bit-identical observations).
+  const fault::FaultPlan* plan =
+      options.faults && !options.faults->empty() ? &*options.faults : nullptr;
+  stats::Rng fault_rng(plan != nullptr ? plan->seed : 0);
+
+  // ICMP rate limiting: a per-router trait like `responds`, but losses
+  // are per-attempt, so retries can recover these hops.
+  std::vector<bool> throttled;
+  if (plan != nullptr && plan->throttle) {
+    stats::Rng throttle_rng = fault_rng.fork(0x7407);
+    throttled.assign(n, false);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (throttle_rng.bernoulli(plan->throttle->router_fraction)) {
+        throttled[r] = true;
+        ++out.fault_stats.routers_throttled;
+      }
     }
   }
 
@@ -55,26 +81,89 @@ InterfaceObservation run_skitter(const GroundTruth& truth,
     if (monitor_set.insert(router).second) monitors.push_back(router);
   }
 
+  // Which monitors go dark mid-run (uniform over the monitor set).
+  std::vector<bool> dies(monitors.size(), false);
+  if (plan != nullptr && plan->monitor_outage && !monitors.empty()) {
+    stats::Rng outage_rng = fault_rng.fork(0x07a);
+    std::vector<std::size_t> order(monitors.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    outage_rng.shuffle(std::span<std::size_t>(order));
+    const std::size_t kills =
+        std::min(plan->monitor_outage->count, monitors.size());
+    for (std::size_t i = 0; i < kills; ++i) dies[order[i]] = true;
+    out.fault_stats.monitors_killed = kills;
+  }
+
   std::unordered_set<net::InterfaceId> seen_interfaces;
   std::unordered_set<std::uint64_t> seen_links;
   std::unordered_set<net::InterfaceId> destination_interfaces;
 
-  for (const net::RouterId monitor : monitors) {
+  for (std::size_t m = 0; m < monitors.size(); ++m) {
+    const net::RouterId monitor = monitors[m];
     const net::BfsTree tree = net::bfs_tree(topology, monitor);
 
     // Per-monitor destination list of varying size, uniform over routers
     // (the real lists aim to cover the whole address space).
-    const double spread = options.destination_list_variation;
+    const double spread =
+        std::clamp(options.destination_list_variation, 0.0, 1.0);
     const auto list_size = static_cast<std::size_t>(
         static_cast<double>(options.destinations_per_monitor) *
         rng.uniform(1.0 - spread, 1.0 + spread));
 
+    // A dying monitor stops probing this far through its list.
+    const std::size_t probe_limit =
+        (plan != nullptr && plan->monitor_outage && dies[m])
+            ? static_cast<std::size_t>(
+                  static_cast<double>(list_size) *
+                  std::clamp(plan->monitor_outage->at_fraction, 0.0, 1.0))
+            : list_size;
+
+    // Per-monitor fault stream: bursts, truncations, and retries here must
+    // not disturb other monitors' damage pattern.
+    stats::Rng monitor_fault_rng = fault_rng.fork(0x6000 + m);
+    std::size_t burst_remaining = 0;
+
     for (std::size_t d = 0; d < list_size; ++d) {
+      if (d >= probe_limit) {
+        out.fault_stats.destinations_skipped += list_size - d;
+        break;
+      }
       const auto destination =
           static_cast<net::RouterId>(rng.uniform_index(n));
+
+      // Probe-loss bursts swallow whole traces for a stretch of the list.
+      if (plan != nullptr && plan->probe_loss) {
+        if (burst_remaining > 0) {
+          --burst_remaining;
+          ++out.fault_stats.probes_lost;
+          continue;
+        }
+        if (monitor_fault_rng.bernoulli(plan->probe_loss->burst_probability)) {
+          const double length = std::max(
+              1.0, monitor_fault_rng.exponential(
+                       std::max(1.0, plan->probe_loss->mean_burst_length)));
+          burst_remaining = static_cast<std::size_t>(length);
+          if (burst_remaining > 0) --burst_remaining;
+          ++out.fault_stats.probes_lost;
+          continue;
+        }
+      }
+
       const auto path = net::extract_path(tree, destination);
       if (path.size() < 2) continue;
       ++out.traces;
+
+      // Truncated traces stop at a random hop (loop detection, gap
+      // limits, probes dying in-network).
+      std::size_t hop_limit = path.size();
+      if (plan != nullptr && plan->truncate &&
+          path.size() > plan->truncate->min_hops &&
+          monitor_fault_rng.bernoulli(plan->truncate->probability)) {
+        hop_limit = plan->truncate->min_hops +
+                    static_cast<std::size_t>(monitor_fault_rng.uniform_index(
+                        path.size() - plan->truncate->min_hops));
+        ++out.fault_stats.traces_truncated;
+      }
 
       // Entry interfaces of every hop past the monitor, including the
       // access router serving the destination. The paper's 18% discard
@@ -82,8 +171,14 @@ InterfaceObservation run_skitter(const GroundTruth& truth,
       // *behind* the access router and are never recorded here at all.
       net::InterfaceId previous = 0;
       bool have_previous = false;
-      for (std::size_t h = 1; h < path.size(); ++h) {
-        if (!responds[path[h]]) continue;  // silent hop: spliced over
+      for (std::size_t h = 1; h < hop_limit; ++h) {
+        if (!responds[path[h]]) continue;  // ICMP filtered: spliced over
+        if (!throttled.empty() && throttled[path[h]] &&
+            !fault::probe_with_retry(monitor_fault_rng,
+                                     plan->throttle->answer_rate,
+                                     options.probe, out.probe_stats)) {
+          continue;  // rate-limited and retries exhausted: spliced over
+        }
         const net::InterfaceId entry = tree.entry_if[path[h]];
         if (seen_interfaces.insert(entry).second) {
           out.interfaces.push_back(entry);
@@ -95,8 +190,11 @@ InterfaceObservation run_skitter(const GroundTruth& truth,
         previous = entry;
         have_previous = true;
       }
-      // One end-host address per trace would have been discarded.
-      destination_interfaces.insert(tree.entry_if[path.back()]);
+      // One end-host address per trace would have been discarded (only
+      // traces that actually reached their destination).
+      if (hop_limit == path.size()) {
+        destination_interfaces.insert(tree.entry_if[path.back()]);
+      }
     }
   }
   out.destination_interfaces_discarded = out.traces;
@@ -105,6 +203,17 @@ InterfaceObservation run_skitter(const GroundTruth& truth,
   metrics.counter("skitter.traces").add(out.traces);
   metrics.counter("skitter.interfaces_observed").add(out.interfaces.size());
   metrics.counter("skitter.links_observed").add(out.links.size());
+  if (out.fault_stats.any()) {
+    metrics.counter("fault.monitors_killed")
+        .add(out.fault_stats.monitors_killed);
+    metrics.counter("fault.destinations_skipped")
+        .add(out.fault_stats.destinations_skipped);
+    metrics.counter("fault.routers_throttled")
+        .add(out.fault_stats.routers_throttled);
+    metrics.counter("fault.traces_truncated")
+        .add(out.fault_stats.traces_truncated);
+    metrics.counter("fault.probes_lost").add(out.fault_stats.probes_lost);
+  }
   return out;
 }
 

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "fault/fault_plan.h"
+#include "fault/probe.h"
 #include "net/topology.h"
 #include "synth/ground_truth.h"
 
@@ -19,16 +22,25 @@ namespace geonet::synth {
 struct SkitterOptions {
   std::size_t monitor_count = 19;
   /// Mean destinations per monitor; per-monitor lists vary around this
-  /// ("each probing a destination list of varying size").
+  /// ("each probing a destination list of varying size"). Zero is valid
+  /// and yields an empty observation.
   std::size_t destinations_per_monitor = 4000;
-  double destination_list_variation = 0.5;  ///< +/- fraction of the mean
+  double destination_list_variation = 0.5;  ///< +/- fraction, clamped [0,1]
   /// Probability a router answers TTL-expired probes at all (a per-router
-  /// trait: some filter ICMP entirely). Silent routers vanish from
-  /// traces, splicing their neighbours into false interface adjacencies —
-  /// a classic traceroute-map artifact the downstream pipeline must
-  /// tolerate.
+  /// trait: some filter ICMP entirely — retries never help these, unlike
+  /// throttled routers). Clamped to [0,1]; 0.0 and 1.0 are exact. Silent
+  /// routers vanish from traces, splicing their neighbours into false
+  /// interface adjacencies — a classic traceroute-map artifact the
+  /// downstream pipeline must tolerate.
   double hop_response_rate = 0.97;
   std::uint64_t seed = 7;
+  /// Retry-with-timeout behaviour for probes that get no answer (only
+  /// throttled routers lose individual attempts; see fault::ThrottleFault).
+  fault::ProbePolicy probe;
+  /// Failures injected into this run. nullopt (or an empty plan) keeps
+  /// the measurement byte-identical to the fault-free simulation: fault
+  /// decisions draw from their own seeded streams, never the main one.
+  std::optional<fault::FaultPlan> faults;
 };
 
 /// Raw interface-level observation, before geolocation or AS mapping.
@@ -37,6 +49,8 @@ struct InterfaceObservation {
   std::vector<std::pair<net::InterfaceId, net::InterfaceId>> links;  ///< distinct
   std::size_t traces = 0;  ///< forward paths probed
   std::size_t destination_interfaces_discarded = 0;  ///< per the paper's 18%
+  fault::FaultStats fault_stats;  ///< injected damage, if any
+  fault::ProbeStats probe_stats;  ///< retry/loss/giveup accounting
 };
 
 /// Runs the Skitter simulation over the ground truth: per-monitor BFS

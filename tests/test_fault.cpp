@@ -1,0 +1,499 @@
+// Unit tests for the fault-injection layer: the err:: taxonomy, the
+// FaultPlan spec parser, probe retry semantics, geolocation corruption,
+// and the simulators' behaviour under injected damage (including the
+// no-plan == empty-plan == pre-fault invariant).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "err/status.h"
+#include "fault/fault_plan.h"
+#include "fault/geo_faults.h"
+#include "fault/probe.h"
+#include "geo/geo_point.h"
+#include "stats/rng.h"
+#include "synth/faulty_mapper.h"
+#include "synth/mercator.h"
+#include "synth/skitter.h"
+#include "tests/test_world.h"
+
+namespace geonet {
+namespace {
+
+using geonet::testing::small_truth;
+
+// ---------------------------------------------------------------------------
+// err::Status / err::Result / err::ErrorBudget
+
+TEST(Status, DefaultIsOk) {
+  const err::Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), err::Code::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const err::Status s = err::Status::data_loss("truncated record");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), err::Code::kDataLoss);
+  EXPECT_EQ(s.message(), "truncated record");
+  EXPECT_EQ(s.to_string(), "DATA_LOSS: truncated record");
+  EXPECT_EQ(err::Status::unavailable("x").code(), err::Code::kUnavailable);
+  EXPECT_EQ(err::Status::resource_exhausted("x").code(),
+            err::Code::kResourceExhausted);
+  EXPECT_EQ(err::Status::aborted("x").code(), err::Code::kAborted);
+  EXPECT_EQ(err::Status::internal("x").code(), err::Code::kInternal);
+  EXPECT_EQ(err::Status::not_found("x").code(), err::Code::kNotFound);
+  EXPECT_EQ(err::Status::invalid_argument("x").code(),
+            err::Code::kInvalidArgument);
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  err::Result<int> ok(42);
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(-1), 42);
+  EXPECT_TRUE(ok.status().is_ok());
+  EXPECT_TRUE(ok.error_message().empty());
+
+  err::Result<int> bad(err::Status::not_found("no such region"));
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(bad.status().code(), err::Code::kNotFound);
+  EXPECT_EQ(bad.error_message(), "no such region");
+}
+
+TEST(Result, MovesValueOut) {
+  err::Result<std::string> r(std::string("payload"));
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ErrorBudget, ChargesUntilExhausted) {
+  err::ErrorBudget budget(2);
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_TRUE(budget.charge());   // 1 of 2
+  EXPECT_TRUE(budget.charge());   // 2 of 2
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_FALSE(budget.charge());  // over budget
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.errors(), 3u);
+  EXPECT_EQ(budget.max_errors(), 2u);
+}
+
+TEST(ErrorBudget, ZeroBudgetExhaustsOnFirstError) {
+  err::ErrorBudget budget(0);
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_FALSE(budget.charge());
+  EXPECT_TRUE(budget.exhausted());
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan spec parsing
+
+TEST(FaultPlanParse, EmptySpecIsEmptyPlan) {
+  const auto plan = fault::parse_fault_plan("");
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_TRUE(plan.value().empty());
+}
+
+TEST(FaultPlanParse, FullSpecPopulatesEveryClause) {
+  const auto result = fault::parse_fault_plan(
+      "monitor-outage:count=3,at=0.25; throttle:frac=0.1,rate=0.3;"
+      "truncate:prob=0.05,min-hops=4; probe-loss:prob=0.02,burst=10;"
+      "geo-corrupt:prob=0.04,garble=0.75; seed=77");
+  ASSERT_TRUE(result.is_ok()) << result.error_message();
+  const fault::FaultPlan& plan = result.value();
+  EXPECT_FALSE(plan.empty());
+  ASSERT_TRUE(plan.monitor_outage);
+  EXPECT_EQ(plan.monitor_outage->count, 3u);
+  EXPECT_DOUBLE_EQ(plan.monitor_outage->at_fraction, 0.25);
+  ASSERT_TRUE(plan.throttle);
+  EXPECT_DOUBLE_EQ(plan.throttle->router_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(plan.throttle->answer_rate, 0.3);
+  ASSERT_TRUE(plan.truncate);
+  EXPECT_DOUBLE_EQ(plan.truncate->probability, 0.05);
+  EXPECT_EQ(plan.truncate->min_hops, 4u);
+  ASSERT_TRUE(plan.probe_loss);
+  EXPECT_DOUBLE_EQ(plan.probe_loss->burst_probability, 0.02);
+  EXPECT_DOUBLE_EQ(plan.probe_loss->mean_burst_length, 10.0);
+  ASSERT_TRUE(plan.geo_corrupt);
+  EXPECT_DOUBLE_EQ(plan.geo_corrupt->probability, 0.04);
+  EXPECT_DOUBLE_EQ(plan.geo_corrupt->garble_fraction, 0.75);
+  EXPECT_EQ(plan.seed, 77u);
+}
+
+TEST(FaultPlanParse, BareClauseUsesDefaults) {
+  const auto result = fault::parse_fault_plan("throttle");
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_TRUE(result.value().throttle);
+  EXPECT_DOUBLE_EQ(result.value().throttle->router_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(result.value().throttle->answer_rate, 0.25);
+  EXPECT_FALSE(result.value().monitor_outage);
+}
+
+TEST(FaultPlanParse, RejectsBadSpecs) {
+  const char* bad_specs[] = {
+      "explode",                      // unknown clause
+      "throttle:knob=1",              // unknown key
+      "throttle:frac=1.5",            // fraction out of range
+      "throttle:frac=abc",            // malformed number
+      "truncate:min-hops=0",          // below minimum
+      "probe-loss:burst=0.5",         // below minimum
+      "count=3",                      // bare key=value that isn't seed
+      "seed=-4",                      // negative seed
+      "monitor-outage:count",         // key without value
+  };
+  for (const char* spec : bad_specs) {
+    const auto result = fault::parse_fault_plan(spec);
+    EXPECT_FALSE(result.is_ok()) << spec;
+    EXPECT_EQ(result.status().code(), err::Code::kInvalidArgument) << spec;
+    EXPECT_NE(result.error_message().find("fault clause"), std::string::npos)
+        << spec << " -> " << result.error_message();
+  }
+}
+
+TEST(FaultPlanParse, PlanJsonEchoIsWellFormed) {
+  const auto result =
+      fault::parse_fault_plan("monitor-outage:count=2;throttle");
+  ASSERT_TRUE(result.is_ok());
+  const std::string json = result.value().to_json();
+  EXPECT_NE(json.find("\"monitor_outage\""), std::string::npos);
+  EXPECT_NE(json.find("\"throttle\""), std::string::npos);
+  EXPECT_EQ(json.find("\"truncate\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Probe retry semantics
+
+TEST(ProbeRetry, PerfectTargetAnswersFirstAttempt) {
+  stats::Rng rng(1);
+  fault::ProbeStats stats;
+  const fault::ProbePolicy policy{.max_attempts = 3};
+  EXPECT_TRUE(fault::probe_with_retry(rng, 1.0, policy, stats));
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.losses, 0u);
+  EXPECT_EQ(stats.giveups, 0u);
+  EXPECT_DOUBLE_EQ(stats.simulated_wait_ms, 0.0);
+}
+
+TEST(ProbeRetry, SilentTargetExhaustsAttemptsWithBackoff) {
+  stats::Rng rng(1);
+  fault::ProbeStats stats;
+  const fault::ProbePolicy policy{
+      .max_attempts = 3, .timeout_ms = 100.0, .backoff = 2.0};
+  EXPECT_FALSE(fault::probe_with_retry(rng, 0.0, policy, stats));
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.losses, 3u);
+  EXPECT_EQ(stats.giveups, 1u);
+  // 100 + 200 + 400: every timed-out attempt waits, each wait doubling.
+  EXPECT_DOUBLE_EQ(stats.simulated_wait_ms, 700.0);
+}
+
+TEST(ProbeRetry, ZeroAttemptsStillProbesOnce) {
+  stats::Rng rng(1);
+  fault::ProbeStats stats;
+  const fault::ProbePolicy policy{.max_attempts = 0};
+  fault::probe_with_retry(rng, 1.0, policy, stats);
+  EXPECT_EQ(stats.attempts, 1u);
+}
+
+TEST(ProbeRetry, RetriesRecoverLossyTargets) {
+  // With 3 attempts at 50% each, ~87.5% of probes succeed; far more than
+  // the single-attempt 50%.
+  stats::Rng rng(7);
+  fault::ProbeStats stats;
+  const fault::ProbePolicy policy{.max_attempts = 3};
+  std::size_t answered = 0;
+  constexpr std::size_t kProbes = 2000;
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    if (fault::probe_with_retry(rng, 0.5, policy, stats)) ++answered;
+  }
+  EXPECT_GT(answered, kProbes * 8 / 10);
+  EXPECT_LT(answered, kProbes * 95 / 100);
+  EXPECT_EQ(stats.probes, kProbes);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.giveups, kProbes - answered);
+  EXPECT_EQ(stats.attempts, stats.retries + kProbes);
+}
+
+TEST(ProbeStats, MergeAddsFields) {
+  fault::ProbeStats a;
+  a.probes = 1;
+  a.attempts = 2;
+  a.simulated_wait_ms = 10.0;
+  fault::ProbeStats b;
+  b.probes = 3;
+  b.attempts = 4;
+  b.simulated_wait_ms = 5.0;
+  a.merge(b);
+  EXPECT_EQ(a.probes, 4u);
+  EXPECT_EQ(a.attempts, 6u);
+  EXPECT_DOUBLE_EQ(a.simulated_wait_ms, 15.0);
+}
+
+// ---------------------------------------------------------------------------
+// Geolocation corruption
+
+TEST(GeoCorruptor, IsDeterministicPerAddress) {
+  const fault::GeoCorruptFault spec{.probability = 0.5, .garble_fraction = 0.5};
+  const fault::GeoCorruptor corruptor(spec, 1234);
+  const geo::GeoPoint answer{40.0, -74.0};
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    fault::FaultStats s1, s2;
+    const auto first = corruptor.corrupt(key, answer, s1);
+    const auto second = corruptor.corrupt(key, answer, s2);
+    ASSERT_EQ(first.has_value(), second.has_value()) << key;
+    if (first) {
+      EXPECT_DOUBLE_EQ(first->lat_deg, second->lat_deg) << key;
+      EXPECT_DOUBLE_EQ(first->lon_deg, second->lon_deg) << key;
+    }
+  }
+}
+
+TEST(GeoCorruptor, ZeroProbabilityNeverFires) {
+  const fault::GeoCorruptor corruptor({.probability = 0.0}, 1);
+  fault::FaultStats stats;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_FALSE(corruptor.corrupt(key, {10.0, 20.0}, stats).has_value());
+  }
+  EXPECT_FALSE(stats.any());
+}
+
+TEST(GeoCorruptor, CertainCorruptionAlwaysFiresAndStaysOnThePlanet) {
+  const fault::GeoCorruptFault spec{.probability = 1.0, .garble_fraction = 0.5};
+  const fault::GeoCorruptor corruptor(spec, 99);
+  fault::FaultStats stats;
+  const geo::GeoPoint answer{40.0, -74.0};
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    const auto wrong = corruptor.corrupt(key, answer, stats);
+    ASSERT_TRUE(wrong.has_value()) << key;
+    EXPECT_TRUE(geo::is_valid(*wrong)) << key;
+  }
+  EXPECT_EQ(stats.geo_corrupted + stats.geo_garbled, 100u);
+  EXPECT_GT(stats.geo_corrupted, 0u);
+  EXPECT_GT(stats.geo_garbled, 0u);
+}
+
+/// Stub mapper with a fixed answer, for decorator tests.
+class FixedMapper final : public synth::Mapper {
+ public:
+  [[nodiscard]] std::optional<geo::GeoPoint> map(
+      net::Ipv4Addr addr, const geo::GeoPoint&,
+      const geo::GeoPoint&) const override {
+    if (addr.value % 10 == 0) return std::nullopt;  // unmappable minority
+    return geo::GeoPoint{40.0, -74.0};
+  }
+  [[nodiscard]] std::string name() const override { return "FixedMapper"; }
+};
+
+TEST(FaultyMapper, CorruptsAnswersButNeverInventsThem) {
+  const FixedMapper inner;
+  const synth::FaultyMapper faulty(
+      inner, {.probability = 1.0, .garble_fraction = 0.0}, 7);
+  EXPECT_EQ(faulty.name(), "FixedMapper");
+  std::size_t mapped = 0;
+  for (std::uint32_t a = 1; a <= 100; ++a) {
+    const net::Ipv4Addr addr{a};
+    const auto answer = faulty.map(addr, {0, 0}, {0, 0});
+    const auto honest = inner.map(addr, {0, 0}, {0, 0});
+    ASSERT_EQ(answer.has_value(), honest.has_value()) << a;
+    if (answer) {
+      ++mapped;
+      EXPECT_TRUE(geo::is_valid(*answer));
+      // probability=1: every mapped answer is corrupted away from truth.
+      EXPECT_FALSE(answer->lat_deg == honest->lat_deg &&
+                   answer->lon_deg == honest->lon_deg)
+          << a;
+    }
+  }
+  EXPECT_GT(mapped, 0u);
+  EXPECT_EQ(faulty.stats().geo_corrupted, mapped);
+}
+
+// ---------------------------------------------------------------------------
+// Skitter under faults (and at its option edge cases)
+
+synth::SkitterOptions small_skitter_options() {
+  synth::SkitterOptions options;
+  options.monitor_count = 5;
+  options.destinations_per_monitor = 300;
+  options.seed = 2024;
+  return options;
+}
+
+TEST(SkitterEdgeCases, ZeroMonitorsYieldEmptyObservation) {
+  auto options = small_skitter_options();
+  options.monitor_count = 0;
+  const auto obs = synth::run_skitter(small_truth(), options);
+  EXPECT_EQ(obs.traces, 0u);
+  EXPECT_TRUE(obs.interfaces.empty());
+  EXPECT_TRUE(obs.links.empty());
+}
+
+TEST(SkitterEdgeCases, ZeroDestinationsYieldEmptyObservation) {
+  auto options = small_skitter_options();
+  options.destinations_per_monitor = 0;
+  const auto obs = synth::run_skitter(small_truth(), options);
+  EXPECT_EQ(obs.traces, 0u);
+  EXPECT_TRUE(obs.interfaces.empty());
+}
+
+TEST(SkitterEdgeCases, ResponseRateZeroObservesNothing) {
+  auto options = small_skitter_options();
+  options.hop_response_rate = 0.0;
+  const auto obs = synth::run_skitter(small_truth(), options);
+  EXPECT_GT(obs.traces, 0u);  // probes fire; nothing answers
+  EXPECT_TRUE(obs.interfaces.empty());
+  EXPECT_TRUE(obs.links.empty());
+}
+
+TEST(SkitterEdgeCases, ResponseRateOneObservesEveryHop) {
+  auto options = small_skitter_options();
+  options.hop_response_rate = 1.0;
+  const auto obs = synth::run_skitter(small_truth(), options);
+  EXPECT_GT(obs.traces, 0u);
+  EXPECT_GT(obs.interfaces.size(), 0u);
+}
+
+TEST(SkitterEdgeCases, OversizedListVariationIsClamped) {
+  auto options = small_skitter_options();
+  options.destination_list_variation = 5.0;  // would be UB unclamped
+  const auto obs = synth::run_skitter(small_truth(), options);
+  EXPECT_GT(obs.traces, 0u);
+}
+
+template <typename Obs>
+void expect_same_observation(const Obs& a, const Obs& b) {
+  EXPECT_EQ(a.links, b.links);
+  EXPECT_EQ(a.traces, b.traces);
+}
+
+TEST(SkitterFaults, EmptyPlanIsByteIdenticalToNoPlan) {
+  const auto options = small_skitter_options();
+  auto with_empty_plan = options;
+  with_empty_plan.faults = fault::FaultPlan{};  // no clauses armed
+  const auto baseline = synth::run_skitter(small_truth(), options);
+  const auto shadowed = synth::run_skitter(small_truth(), with_empty_plan);
+  EXPECT_EQ(baseline.interfaces, shadowed.interfaces);
+  expect_same_observation(baseline, shadowed);
+  EXPECT_FALSE(shadowed.fault_stats.any());
+  EXPECT_FALSE(shadowed.probe_stats.any());
+}
+
+TEST(SkitterFaults, MonitorOutageSkipsDestinations) {
+  auto options = small_skitter_options();
+  const auto baseline = synth::run_skitter(small_truth(), options);
+  options.faults =
+      fault::parse_fault_plan("monitor-outage:count=2,at=0.0").value();
+  const auto damaged = synth::run_skitter(small_truth(), options);
+  EXPECT_EQ(damaged.fault_stats.monitors_killed, 2u);
+  EXPECT_GT(damaged.fault_stats.destinations_skipped, 0u);
+  EXPECT_LT(damaged.traces, baseline.traces);
+}
+
+TEST(SkitterFaults, OutageCountIsCappedAtTheMonitorSet) {
+  auto options = small_skitter_options();
+  options.faults =
+      fault::parse_fault_plan("monitor-outage:count=100,at=0.0").value();
+  const auto damaged = synth::run_skitter(small_truth(), options);
+  EXPECT_EQ(damaged.fault_stats.monitors_killed, options.monitor_count);
+  EXPECT_EQ(damaged.traces, 0u);
+}
+
+TEST(SkitterFaults, TruncationCutsTraces) {
+  auto options = small_skitter_options();
+  options.faults =
+      fault::parse_fault_plan("truncate:prob=1.0,min-hops=1").value();
+  const auto damaged = synth::run_skitter(small_truth(), options);
+  EXPECT_GT(damaged.fault_stats.traces_truncated, 0u);
+}
+
+TEST(SkitterFaults, ProbeLossBurstsDropWholeTraces) {
+  auto options = small_skitter_options();
+  const auto baseline = synth::run_skitter(small_truth(), options);
+  options.faults =
+      fault::parse_fault_plan("probe-loss:prob=0.2,burst=5").value();
+  const auto damaged = synth::run_skitter(small_truth(), options);
+  EXPECT_GT(damaged.fault_stats.probes_lost, 0u);
+  EXPECT_LT(damaged.traces, baseline.traces);
+}
+
+TEST(SkitterFaults, ThrottledRoutersVanishWithoutRetries) {
+  auto options = small_skitter_options();
+  options.hop_response_rate = 1.0;
+  const auto baseline = synth::run_skitter(small_truth(), options);
+
+  // Every router throttled, answering no attempt ever: only monitors'
+  // probes into silence remain, and every probe burns all its attempts.
+  options.faults =
+      fault::parse_fault_plan("throttle:frac=1.0,rate=0.0").value();
+  const auto damaged = synth::run_skitter(small_truth(), options);
+  EXPECT_GT(damaged.fault_stats.routers_throttled, 0u);
+  EXPECT_TRUE(damaged.interfaces.empty());
+  EXPECT_GT(damaged.probe_stats.giveups, 0u);
+  EXPECT_EQ(damaged.probe_stats.losses, damaged.probe_stats.attempts);
+  EXPECT_GT(damaged.probe_stats.retries, 0u);
+  EXPECT_GT(damaged.probe_stats.simulated_wait_ms, 0.0);
+  EXPECT_LT(damaged.interfaces.size(), baseline.interfaces.size());
+}
+
+TEST(SkitterFaults, PerfectlyAnsweringThrottleChangesNothing) {
+  auto options = small_skitter_options();
+  const auto baseline = synth::run_skitter(small_truth(), options);
+  options.faults =
+      fault::parse_fault_plan("throttle:frac=1.0,rate=1.0").value();
+  const auto damaged = synth::run_skitter(small_truth(), options);
+  // Rate 1.0 means the first attempt always answers: observation equals
+  // the fault-free run, with the bookkeeping showing the probes fired.
+  EXPECT_EQ(baseline.interfaces, damaged.interfaces);
+  expect_same_observation(baseline, damaged);
+  EXPECT_EQ(damaged.probe_stats.retries, 0u);
+  EXPECT_GT(damaged.probe_stats.probes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Mercator under faults
+
+TEST(MercatorFaults, EmptyPlanIsByteIdenticalToNoPlan) {
+  synth::MercatorOptions options;
+  auto with_empty_plan = options;
+  with_empty_plan.faults = fault::FaultPlan{};
+  const auto baseline = synth::run_mercator(small_truth(), options);
+  const auto shadowed = synth::run_mercator(small_truth(), with_empty_plan);
+  EXPECT_EQ(baseline.links, shadowed.links);
+  EXPECT_EQ(baseline.routers.size(), shadowed.routers.size());
+  EXPECT_FALSE(shadowed.fault_stats.any());
+}
+
+TEST(MercatorFaults, ThrottleDegradesAliasResolution) {
+  synth::MercatorOptions options;
+  const auto baseline = synth::run_mercator(small_truth(), options);
+  options.faults =
+      fault::parse_fault_plan("throttle:frac=1.0,rate=0.0").value();
+  const auto damaged = synth::run_mercator(small_truth(), options);
+  EXPECT_GT(damaged.fault_stats.routers_throttled, 0u);
+  // Unresolved aliases leave interfaces as separate router nodes.
+  EXPECT_GT(damaged.routers.size(), baseline.routers.size());
+}
+
+TEST(MercatorFaults, ProbeLossSuppressesLateralDiscovery) {
+  synth::MercatorOptions options;
+  const auto baseline = synth::run_mercator(small_truth(), options);
+  options.faults =
+      fault::parse_fault_plan("probe-loss:prob=1.0,burst=1000").value();
+  const auto damaged = synth::run_mercator(small_truth(), options);
+  EXPECT_GT(damaged.fault_stats.probes_lost, 0u);
+  EXPECT_LT(damaged.links.size(), baseline.links.size());
+}
+
+}  // namespace
+}  // namespace geonet

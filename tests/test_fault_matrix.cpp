@@ -1,0 +1,183 @@
+// Integration-level fault matrix: the ISSUE acceptance scenario (kill 3
+// of 19 monitors mid-run, throttle 10% of routers) must degrade the
+// measurement without wrecking the science, and run_study must capture
+// phase failures instead of aborting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/study.h"
+#include "fault/fault_plan.h"
+#include "synth/scenario.h"
+#include "tests/test_world.h"
+
+namespace geonet {
+namespace {
+
+using geonet::testing::small_world;
+
+synth::ScenarioOptions matrix_options() {
+  synth::ScenarioOptions options;  // fixed, ignores GEONET_SCALE
+  options.scale = 0.04;
+  options.seed = 20020101;
+  return options;
+}
+
+const synth::Scenario& clean_scenario() {
+  static const synth::Scenario scenario =
+      synth::Scenario::build(matrix_options());
+  return scenario;
+}
+
+const synth::Scenario& faulted_scenario() {
+  static const synth::Scenario scenario = [] {
+    auto options = matrix_options();
+    options.faults =
+        fault::parse_fault_plan(
+            "monitor-outage:count=3,at=0.5;throttle:frac=0.1,rate=0.3")
+            .value();
+    return synth::Scenario::build(options);
+  }();
+  return scenario;
+}
+
+TEST(FaultMatrix, AcceptancePlanDegradesButCompletes) {
+  const synth::Scenario& scenario = faulted_scenario();
+  const fault::FaultStats& faults = scenario.fault_stats();
+  EXPECT_EQ(faults.monitors_killed, 3u);
+  EXPECT_GT(faults.destinations_skipped, 0u);
+  EXPECT_GT(faults.routers_throttled, 0u);
+  EXPECT_GT(scenario.probe_stats().probes, 0u);
+  EXPECT_GT(scenario.probe_stats().retries, 0u);
+  // The damaged campaign still yields a usable processed dataset.
+  const auto& graph = scenario.graph(synth::DatasetKind::kSkitter,
+                                     synth::MapperKind::kIxMapper);
+  EXPECT_GT(graph.node_count(), 1000u);
+  EXPECT_GT(graph.edge_count(), 1000u);
+}
+
+TEST(FaultMatrix, DegradationJsonIsPopulatedOnlyUnderFaults) {
+  const std::string clean = synth::scenario_degradation_json(clean_scenario());
+  EXPECT_EQ(clean, "{}");
+  const std::string faulted =
+      synth::scenario_degradation_json(faulted_scenario());
+  EXPECT_NE(faulted.find("\"plan\""), std::string::npos);
+  EXPECT_NE(faulted.find("\"monitors_killed\":3"), std::string::npos)
+      << faulted;
+  EXPECT_NE(faulted.find("\"probes\""), std::string::npos);
+}
+
+TEST(FaultMatrix, WaxmanDecayScaleSurvivesTheAcceptancePlan) {
+  core::StudyOptions options;
+  options.compute_fractal_dimension = false;
+  options.regions = {geo::regions::us()};
+  const auto study = [&](const synth::Scenario& scenario) {
+    return core::run_study(scenario.graph(synth::DatasetKind::kSkitter,
+                                          synth::MapperKind::kIxMapper),
+                           scenario.world(), options);
+  };
+  const core::StudyReport clean = study(clean_scenario());
+  const core::StudyReport faulted = study(faulted_scenario());
+  ASSERT_EQ(clean.regions.size(), 1u);
+  ASSERT_EQ(faulted.regions.size(), 1u);
+  const double clean_lambda = clean.regions[0].waxman.lambda_miles;
+  const double faulted_lambda = faulted.regions[0].waxman.lambda_miles;
+  ASSERT_GT(clean_lambda, 0.0);
+  // Acceptance bound: the decay scale moves < 25% under the plan.
+  EXPECT_LT(std::abs(faulted_lambda - clean_lambda) / clean_lambda, 0.25)
+      << "clean " << clean_lambda << " vs faulted " << faulted_lambda;
+  EXPECT_FALSE(clean.degradation.degraded());
+  EXPECT_FALSE(faulted.degradation.degraded());
+}
+
+// ---------------------------------------------------------------------------
+// run_study graceful degradation (driven by the chaos hook)
+
+TEST(StudyDegradation, InjectedPhaseFailureIsCapturedNotFatal) {
+  const auto& scenario = clean_scenario();
+  core::StudyOptions options;
+  options.compute_fractal_dimension = false;
+  options.inject_phase_failures = {"hulls"};
+  const core::StudyReport report = core::run_study(
+      scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      scenario.world(), options);
+  EXPECT_TRUE(report.degradation.degraded());
+  EXPECT_EQ(report.degradation.errors, 1u);
+  EXPECT_FALSE(report.degradation.budget_exhausted);
+  bool found = false;
+  for (const core::PhaseOutcome& phase : report.degradation.phases) {
+    if (phase.phase == "hulls") {
+      found = true;
+      EXPECT_FALSE(phase.ok);
+      EXPECT_FALSE(phase.error.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+  // The rest of the study is intact.
+  EXPECT_FALSE(report.regions.empty());
+  EXPECT_GT(report.nodes, 0u);
+  // And the damage is visible in both renderings.
+  EXPECT_NE(core::summarize(report).find("DEGRADED"), std::string::npos);
+  const std::string json = core::study_degradation_json(report.degradation);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("hulls"), std::string::npos) << json;
+}
+
+TEST(StudyDegradation, DependentPhasesAreSkippedWhenInputsFail) {
+  const auto& scenario = clean_scenario();
+  core::StudyOptions options;
+  options.compute_fractal_dimension = false;
+  options.regions = {geo::regions::us()};
+  options.inject_phase_failures = {"distance_pref:US"};
+  const core::StudyReport report = core::run_study(
+      scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      scenario.world(), options);
+  EXPECT_EQ(report.degradation.errors, 1u);
+  EXPECT_GE(report.degradation.skipped, 1u);
+  bool waxman_skipped = false;
+  for (const core::PhaseOutcome& phase : report.degradation.phases) {
+    if (phase.phase == "waxman_fit:US") {
+      waxman_skipped = phase.skipped;
+      EXPECT_NE(phase.error.find("dependency"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(waxman_skipped);
+}
+
+TEST(StudyDegradation, ExhaustedBudgetSkipsRemainingPhases) {
+  const auto& scenario = clean_scenario();
+  core::StudyOptions options;
+  options.compute_fractal_dimension = false;
+  options.regions = {geo::regions::us()};
+  options.max_errors = 0;  // first error blows the budget
+  options.inject_phase_failures = {"economic_tables"};
+  const core::StudyReport report = core::run_study(
+      scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      scenario.world(), options);
+  EXPECT_TRUE(report.degradation.budget_exhausted);
+  EXPECT_EQ(report.degradation.errors, 1u);
+  EXPECT_GT(report.degradation.skipped, 0u);
+  const std::string json = core::study_degradation_json(report.degradation);
+  EXPECT_NE(json.find("\"budget_exhausted\":true"), std::string::npos) << json;
+  EXPECT_NE(core::study_report_json(report).find("\"degraded\":true"),
+            std::string::npos);
+}
+
+TEST(StudyDegradation, CleanRunReportsNoDamage) {
+  const auto& scenario = clean_scenario();
+  core::StudyOptions options;
+  options.compute_fractal_dimension = false;
+  options.regions = {geo::regions::us()};
+  const core::StudyReport report = core::run_study(
+      scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
+      scenario.world(), options);
+  EXPECT_FALSE(report.degradation.degraded());
+  EXPECT_FALSE(report.degradation.budget_exhausted);
+  EXPECT_EQ(core::study_degradation_json(report.degradation), "{}");
+  EXPECT_EQ(core::summarize(report).find("DEGRADED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geonet

@@ -134,5 +134,168 @@ TEST(GraphIo, MissingFileReportsError) {
   EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Strict vs lenient parsing over a table of malformed inputs: strict mode
+// must reject each one outright; lenient mode must quarantine exactly the
+// bad records and keep the rest of the graph.
+
+struct FuzzCase {
+  const char* label;
+  const char* input;
+  std::size_t quarantined;  ///< lenient-mode quarantine count
+  std::size_t nodes;        ///< surviving nodes in lenient mode
+  std::size_t links;        ///< surviving links in lenient mode
+  const char* reason;       ///< substring of the first quarantine reason
+};
+
+constexpr FuzzCase kFuzzCases[] = {
+    {"truncated node record", "node 1 0\nnode 2 0 0 1\nnode 3 1 1 1\nlink 2 3\n",
+     1, 2, 1, "malformed node record"},
+    {"non-numeric fields", "node 1 abc def 1\nnode 2 0 0 1\n", 1, 1, 0,
+     "malformed node record"},
+    {"duplicate node id", "node 1 0 0 1\nnode 1 5 5 2\nnode 2 1 1 1\nlink 1 2\n",
+     1, 2, 1, "duplicate node id 1"},
+    {"out-of-range latitude", "node 1 95 0 1\nnode 2 0 0 1\n", 1, 1, 0,
+     "invalid coordinates"},
+    {"out-of-range longitude", "node 1 0 200 1\nnode 2 0 0 1\n", 1, 1, 0,
+     "invalid coordinates"},
+    {"bad address", "node 1 0 0 1 999.999.999.999\nnode 2 0 0 1\n", 1, 1, 0,
+     "bad address"},
+    {"link to unknown node", "node 1 0 0 1\nlink 1 7\n", 1, 1, 0,
+     "unknown node"},
+    {"truncated link record", "node 1 0 0 1\nnode 2 1 1 1\nlink 1\nlink 1 2\n",
+     1, 2, 1, "malformed link record"},
+    {"unknown record tag", "frobnicate 1 2 3\nnode 1 0 0 1\n", 1, 1, 0,
+     "unknown record"},
+    {"unknown kind", "kind banana\nnode 1 0 0 1\n", 1, 1, 0, "unknown kind"},
+};
+
+TEST(GraphIoFuzz, StrictRejectsMalformedInputs) {
+  for (const FuzzCase& c : kFuzzCases) {
+    std::stringstream in(c.input);
+    const GraphReadResult result = read_graph_ex(in, {.lenient = false});
+    EXPECT_FALSE(result.ok()) << c.label;
+    EXPECT_EQ(result.status.code(), err::Code::kDataLoss) << c.label;
+    EXPECT_NE(result.status.message().find(c.reason), std::string::npos)
+        << c.label << ": " << result.status.message();
+    // Strict failures still identify the offending record.
+    ASSERT_FALSE(result.quarantined.empty()) << c.label;
+  }
+}
+
+TEST(GraphIoFuzz, LenientQuarantinesAndKeepsTheRest) {
+  for (const FuzzCase& c : kFuzzCases) {
+    std::stringstream in(c.input);
+    const GraphReadResult result = read_graph_ex(in, {.lenient = true});
+    ASSERT_TRUE(result.ok()) << c.label << ": " << result.status.message();
+    EXPECT_TRUE(result.status.is_ok()) << c.label;
+    EXPECT_EQ(result.quarantined.size(), c.quarantined) << c.label;
+    EXPECT_EQ(result.graph->node_count(), c.nodes) << c.label;
+    EXPECT_EQ(result.graph->edge_count(), c.links) << c.label;
+    ASSERT_FALSE(result.quarantined.empty()) << c.label;
+    EXPECT_NE(result.quarantined.front().reason.find(c.reason),
+              std::string::npos)
+        << c.label << ": " << result.quarantined.front().reason;
+    EXPECT_FALSE(result.quarantined.front().text.empty()) << c.label;
+  }
+}
+
+TEST(GraphIoFuzz, QuarantineRecordsCarryLineNumbers) {
+  std::stringstream in(
+      "node 1 0 0 1\n"
+      "node 2 bad bad 1\n"
+      "node 3 1 1 1\n"
+      "link 3 99\n");
+  const GraphReadResult result = read_graph_ex(in, {.lenient = true});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.quarantined.size(), 2u);
+  EXPECT_EQ(result.quarantined[0].line_no, 2u);
+  EXPECT_EQ(result.quarantined[1].line_no, 4u);
+}
+
+TEST(GraphIoFuzz, QuarantineCapFailsTheRead) {
+  std::stringstream in(
+      "node 1 a a 1\n"
+      "node 2 b b 1\n"
+      "node 3 c c 1\n"
+      "node 4 d d 1\n");
+  const GraphReadResult result =
+      read_graph_ex(in, {.lenient = true, .max_quarantined = 2});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), err::Code::kResourceExhausted);
+}
+
+TEST(GraphIoFuzz, LenientCleanInputHasNoQuarantine) {
+  std::stringstream buffer;
+  ASSERT_TRUE(write_graph(buffer, sample_graph()));
+  const GraphReadResult result = read_graph_ex(buffer, {.lenient = true});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.quarantined.empty());
+  EXPECT_EQ(result.graph->node_count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Write-side error reporting: a stream that dies mid-write must be caught
+// at the record it died on, not discovered (or missed) at the end.
+
+/// A streambuf that accepts `limit` bytes and then fails every write.
+class LimitedBuf : public std::streambuf {
+ public:
+  explicit LimitedBuf(std::size_t limit) : limit_(limit) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (written_ >= limit_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+  std::streamsize xsputn(const char* /*s*/, std::streamsize n) override {
+    const auto room = static_cast<std::streamsize>(limit_ - written_);
+    const std::streamsize accepted = n < room ? n : room;
+    written_ += static_cast<std::size_t>(accepted);
+    return accepted;
+  }
+
+ private:
+  std::size_t limit_;
+  std::size_t written_ = 0;
+};
+
+TEST(GraphIoWrite, HeaderFailureIsReported) {
+  LimitedBuf buf(4);
+  std::ostream out(&buf);
+  std::string error;
+  EXPECT_FALSE(write_graph(out, sample_graph(), {}, &error));
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+}
+
+TEST(GraphIoWrite, FailingNodeRecordIsNamed) {
+  // Enough room for the header lines but not for all three node records.
+  LimitedBuf buf(120);
+  std::ostream out(&buf);
+  std::string error;
+  EXPECT_FALSE(write_graph(out, sample_graph(), {}, &error));
+  EXPECT_NE(error.find("node record"), std::string::npos) << error;
+}
+
+TEST(GraphIoWrite, FailingLinkRecordIsNamed) {
+  const AnnotatedGraph graph = sample_graph();
+  // Find how many bytes a full write needs, then starve the link section.
+  std::ostringstream full;
+  ASSERT_TRUE(write_graph(full, graph));
+  LimitedBuf buf(full.str().size() - 4);
+  std::ostream out(&buf);
+  std::string error;
+  EXPECT_FALSE(write_graph(out, graph, {}, &error));
+  EXPECT_NE(error.find("link record"), std::string::npos) << error;
+}
+
+TEST(GraphIoWrite, UnwritablePathIsReported) {
+  std::string error;
+  EXPECT_FALSE(
+      write_graph_file("/no/such/dir/out.graph", sample_graph(), {}, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace geonet::net

@@ -7,13 +7,16 @@
 //   geonet validate <in.graph> [region]
 //       Score a topology against the paper's findings; exit 0 iff all
 //       criteria pass (CI-friendly).
-//   geonet scenario [scale]
+//   geonet scenario [scale]   (alias: geonet study)
 //       Build the full synthetic measurement scenario and print the
 //       Table I summary plus the study headline numbers.
 //
 // Global flags (any subcommand):
 //   --trace <file>     write a chrome://tracing-loadable span trace
 //   --metrics <file>   write a geonet.run_report.v1 JSON run report
+//   --faults <spec>    inject measurement faults (see docs/robustness.md)
+//   --max-errors <n>   analysis-phase error budget before giving up
+//   --lenient-io       quarantine malformed graph records instead of failing
 //   --quiet            suppress info/warn diagnostics on stderr
 //   --version, --help
 
@@ -26,6 +29,7 @@
 
 #include "core/study.h"
 #include "core/validate.h"
+#include "fault/fault_plan.h"
 #include "generators/geo_gen.h"
 #include "net/graph_io.h"
 #include "obs/json.h"
@@ -48,11 +52,20 @@ constexpr const char* kUsage =
     "  geonet generate <routers> <out.graph> [seed]\n"
     "  geonet analyze <in.graph> [region]\n"
     "  geonet validate <in.graph> [region]\n"
-    "  geonet scenario [scale]\n"
+    "  geonet scenario [scale]        (alias: study)\n"
     "  geonet help | --help | --version\n"
     "global flags:\n"
     "  --trace <file>    write chrome://tracing span trace\n"
     "  --metrics <file>  write machine-readable run report (JSON)\n"
+    "  --faults <spec>   inject faults into the measurement campaigns;\n"
+    "                    spec e.g. 'monitor-outage:count=3,at=0.5;"
+    "throttle:frac=0.1,rate=0.3'\n"
+    "                    (clauses: monitor-outage, throttle, truncate,\n"
+    "                    probe-loss, geo-corrupt, seed=<n>; see "
+    "docs/robustness.md)\n"
+    "  --max-errors <n>  tolerate up to n analysis phase errors (default 8)\n"
+    "  --lenient-io      quarantine malformed graph records instead of\n"
+    "                    failing the whole read\n"
     "  --quiet           errors only on stderr\n";
 
 int usage() {
@@ -64,6 +77,9 @@ int usage() {
 struct GlobalFlags {
   std::string trace_path;
   std::string metrics_path;
+  std::optional<fault::FaultPlan> faults;
+  std::optional<std::size_t> max_errors;
+  bool lenient_io = false;
   bool quiet = false;
   bool version = false;
   bool help = false;
@@ -88,6 +104,36 @@ std::optional<GlobalFlags> extract_global_flags(std::vector<std::string>& args) 
         return std::nullopt;
       }
       (arg == "--trace" ? flags.trace_path : flags.metrics_path) = *value;
+    } else if (arg == "--faults") {
+      const auto value = flag_value("--faults");
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "--faults requires a spec argument");
+        return std::nullopt;
+      }
+      auto plan = fault::parse_fault_plan(*value);
+      if (!plan.is_ok()) {
+        obs::log(obs::LogLevel::kError, "bad --faults spec: %s",
+                 plan.error_message().c_str());
+        return std::nullopt;
+      }
+      flags.faults = std::move(plan).value();
+    } else if (arg == "--max-errors") {
+      const auto value = flag_value("--max-errors");
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "--max-errors requires a count");
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value->c_str(), &end, 10);
+      if (end == value->c_str() || *end != '\0') {
+        obs::log(obs::LogLevel::kError,
+                 "--max-errors: '%s' is not a non-negative integer",
+                 value->c_str());
+        return std::nullopt;
+      }
+      flags.max_errors = static_cast<std::size_t>(n);
+    } else if (arg == "--lenient-io") {
+      flags.lenient_io = true;
     } else if (arg == "--quiet" || arg == "-q") {
       flags.quiet = true;
     } else if (arg == "--version") {
@@ -121,6 +167,30 @@ std::optional<geo::Region> region_arg(const std::vector<std::string>& args,
   return std::nullopt;
 }
 
+/// Assembles the run report's `degradation` section from the measurement
+/// half (scenario fault stats), the analysis half (study phase damage)
+/// and I/O quarantining. Pass "" or "{}" for absent halves.
+void add_degradation_section(obs::RunReport& run_report,
+                             const std::string& measurement_json,
+                             const std::string& analysis_json,
+                             std::size_t records_quarantined) {
+  const bool measured = !measurement_json.empty() && measurement_json != "{}";
+  const bool analysed = !analysis_json.empty() && analysis_json != "{}";
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("degraded").value(measured || analysed || records_quarantined != 0);
+  if (measured) json.key("measurement").raw(measurement_json);
+  if (analysed) json.key("analysis").raw(analysis_json);
+  if (records_quarantined != 0) {
+    json.key("io").begin_object();
+    json.key("records_quarantined")
+        .value(static_cast<std::uint64_t>(records_quarantined));
+    json.end_object();
+  }
+  json.end_object();
+  run_report.add_section("degradation", json.str());
+}
+
 int cmd_generate(const std::vector<std::string>& args,
                  obs::RunReport& run_report) {
   if (args.size() < 3) return usage();
@@ -135,8 +205,11 @@ int cmd_generate(const std::vector<std::string>& args,
   }
   const auto world = population::WorldPopulation::build(2002);
   const auto topo = generators::generate_geo_topology(world, options);
-  if (!net::write_graph_file(args[2], topo.graph, topo.link_latency_ms)) {
-    obs::log(obs::LogLevel::kError, "cannot write %s", args[2].c_str());
+  std::string error;
+  if (!net::write_graph_file(args[2], topo.graph, topo.link_latency_ms,
+                             &error)) {
+    obs::log(obs::LogLevel::kError, "cannot write %s: %s", args[2].c_str(),
+             error.c_str());
     return 1;
   }
   std::printf("wrote %s: %zu nodes, %zu links (lat/lon + AS + latency)\n",
@@ -152,20 +225,34 @@ int cmd_generate(const std::vector<std::string>& args,
   return 0;
 }
 
-std::optional<net::AnnotatedGraph> load(const std::string& path) {
-  std::string error;
-  auto graph = net::read_graph_file(path, &error);
-  if (!graph) {
-    obs::log(obs::LogLevel::kError, "failed to read %s: %s", path.c_str(),
-             error.c_str());
+std::optional<net::AnnotatedGraph> load(const std::string& path, bool lenient,
+                                        std::size_t* quarantined) {
+  net::GraphReadOptions options;
+  options.lenient = lenient;
+  net::GraphReadResult result = net::read_graph_file_ex(path, options);
+  if (quarantined != nullptr) *quarantined = result.quarantined.size();
+  for (const auto& record : result.quarantined) {
+    obs::log(obs::LogLevel::kWarn, "%s: quarantined line %zu: %s [%s]",
+             path.c_str(), record.line_no, record.reason.c_str(),
+             record.text.c_str());
   }
-  return graph;
+  if (!result.ok()) {
+    obs::log(obs::LogLevel::kError, "failed to read %s: %s", path.c_str(),
+             result.status.message().c_str());
+    return std::nullopt;
+  }
+  if (!result.quarantined.empty()) {
+    obs::log(obs::LogLevel::kWarn, "%s: %zu malformed record(s) quarantined",
+             path.c_str(), result.quarantined.size());
+  }
+  return std::move(result.graph);
 }
 
-int cmd_analyze(const std::vector<std::string>& args,
+int cmd_analyze(const std::vector<std::string>& args, const GlobalFlags& flags,
                 obs::RunReport& run_report) {
   if (args.size() < 2) return usage();
-  const auto graph = load(args[1]);
+  std::size_t quarantined = 0;
+  const auto graph = load(args[1], flags.lenient_io, &quarantined);
   if (!graph) return 1;
   const auto region = region_arg(args, 2);
   if (!region) return 2;
@@ -174,20 +261,25 @@ int cmd_analyze(const std::vector<std::string>& args,
   core::StudyOptions options;
   options.regions = {*region};
   options.compute_fractal_dimension = false;
+  if (flags.max_errors) options.max_errors = *flags.max_errors;
   const core::StudyReport report = core::run_study(*graph, world, options);
   std::printf("%s", core::summarize(report).c_str());
   run_report.add_section("study", core::study_report_json(report));
+  add_degradation_section(run_report, "",
+                          core::study_degradation_json(report.degradation),
+                          quarantined);
   const std::string md = report::results_dir() + "/study.md";
   if (core::write_study_markdown(report, md)) {
     std::printf("markdown report: %s\n", md.c_str());
   }
-  return 0;
+  return report.degradation.budget_exhausted ? 1 : 0;
 }
 
-int cmd_validate(const std::vector<std::string>& args,
+int cmd_validate(const std::vector<std::string>& args, const GlobalFlags& flags,
                  obs::RunReport& run_report) {
   if (args.size() < 2) return usage();
-  const auto graph = load(args[1]);
+  std::size_t quarantined = 0;
+  const auto graph = load(args[1], flags.lenient_io, &quarantined);
   if (!graph) return 1;
   const auto region = region_arg(args, 2);
   if (!region) return 2;
@@ -200,15 +292,23 @@ int cmd_validate(const std::vector<std::string>& args,
   json.key("all_pass").value(report.all_pass());
   json.end_object();
   run_report.add_section("validate", json.str());
+  if (quarantined != 0) {
+    add_degradation_section(run_report, "", "", quarantined);
+  }
   return report.all_pass() ? 0 : 1;
 }
 
-int cmd_scenario(const std::vector<std::string>& args,
+int cmd_scenario(const std::vector<std::string>& args, const GlobalFlags& flags,
                  obs::RunReport& run_report) {
   synth::ScenarioOptions options = synth::ScenarioOptions::defaults();
   if (args.size() > 1) {
     const double scale = std::atof(args[1].c_str());
     if (scale > 0.0) options.scale = scale;
+  }
+  options.faults = flags.faults;
+  if (options.faults) {
+    obs::log(obs::LogLevel::kInfo, "fault plan armed: %s",
+             options.faults->to_json().c_str());
   }
   obs::log(obs::LogLevel::kInfo, "building scenario at scale %.3f...",
            options.scale);
@@ -239,12 +339,20 @@ int cmd_scenario(const std::vector<std::string>& args,
   }
   std::printf("%s\n", table.to_string().c_str());
 
+  core::StudyOptions study_options;
+  if (flags.max_errors) study_options.max_errors = *flags.max_errors;
   const auto report = core::run_study(
       scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
-      scenario.world());
+      scenario.world(), study_options);
   std::printf("%s", core::summarize(report).c_str());
   run_report.add_section("study", core::study_report_json(report));
-  return 0;
+  add_degradation_section(run_report,
+                          synth::scenario_degradation_json(scenario),
+                          core::study_degradation_json(report.degradation),
+                          /*records_quarantined=*/0);
+  // Injected faults degrade, they don't fail: the run exits 0 unless the
+  // analysis error budget itself was blown.
+  return report.degradation.budget_exhausted ? 1 : 0;
 }
 
 }  // namespace
@@ -271,11 +379,11 @@ int main(int argc, char** argv) {
   if (command == "generate") {
     status = cmd_generate(args, run_report);
   } else if (command == "analyze") {
-    status = cmd_analyze(args, run_report);
+    status = cmd_analyze(args, *flags, run_report);
   } else if (command == "validate") {
-    status = cmd_validate(args, run_report);
-  } else if (command == "scenario") {
-    status = cmd_scenario(args, run_report);
+    status = cmd_validate(args, *flags, run_report);
+  } else if (command == "scenario" || command == "study") {
+    status = cmd_scenario(args, *flags, run_report);
   } else {
     obs::log(obs::LogLevel::kError, "unknown command '%s'", command.c_str());
     return usage();
