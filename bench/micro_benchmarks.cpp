@@ -1,17 +1,27 @@
 // google-benchmark microbenchmarks for the performance-critical kernels:
 // great-circle distance, LPM trie lookups, convex hulls, the three
 // pair-distance histogram engines, grid tallies, and end-to-end synthesis.
+// After the benchmark suite, main() sweeps the exact pair-histogram over
+// thread counts and writes results/BENCH_exec.json (PR bench schema).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/distance_pref.h"
+#include "exec/thread_pool.h"
 #include "geo/convex_hull.h"
 #include "geo/distance.h"
 #include "geo/grid.h"
 #include "net/prefix_trie.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
 #include "population/synth_population.h"
+#include "report/series.h"
 #include "stats/fenwick.h"
 #include "stats/rng.h"
 #include "synth/ground_truth.h"
@@ -133,6 +143,105 @@ void BM_PopulationSynthesis(benchmark::State& state) {
 }
 BENCHMARK(BM_PopulationSynthesis)->Unit(benchmark::kMillisecond);
 
+// Thread-scaling record for the exec subsystem: wall time of the exact
+// pair-distance histogram (the heaviest parallel region) at 1/2/4/8
+// threads, plus a determinism cross-check that every thread count yields
+// identical counts. Written as results/BENCH_exec.json in the same
+// geonet.run_report.v1 bench schema as the experiment binaries, so the
+// perf trajectory tooling picks it up unchanged. Control points with
+// GEONET_BENCH_PAIR_POINTS (default 20000); disable with
+// GEONET_BENCH_REPORT=0, redirect with GEONET_BENCH_REPORT_DIR.
+void write_exec_scaling_record() {
+  if (const char* env = std::getenv("GEONET_BENCH_REPORT")) {
+    if (std::string(env) == "0") return;
+  }
+  std::size_t points = 20000;
+  if (const char* env = std::getenv("GEONET_BENCH_PAIR_POINTS")) {
+    const long long n = std::atoll(env);
+    if (n > 1) points = static_cast<std::size_t>(n);
+  }
+
+  const auto pts = random_points(points, 6);
+  const geo::Region us = geo::regions::us();
+  core::DistancePrefOptions options;
+  options.method = core::PairCountMethod::kExact;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto run_once = [&] {
+    return core::pair_distance_histogram(pts, 0.0, 3500.0, 100, us, options);
+  };
+
+  struct Point {
+    std::size_t threads;
+    long long wall_us;
+  };
+  std::vector<Point> sweep;
+  std::vector<double> reference_counts;
+  bool identical = true;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    exec::ThreadPool::set_global_threads(threads);
+    run_once();  // warm-up: pool spawn, page faults
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto hist = run_once();
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    sweep.push_back({threads, wall.count()});
+    if (reference_counts.empty()) {
+      reference_counts = hist.counts();
+    } else if (hist.counts() != reference_counts) {
+      identical = false;
+    }
+    std::printf("exec scaling: %zu thread(s) -> %lld us%s\n", threads,
+                static_cast<long long>(wall.count()),
+                threads == 1 ? " (baseline)" : "");
+  }
+  exec::ThreadPool::set_global_threads(exec::ThreadPool::default_thread_count());
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("kernel").value("exact_pair_histogram");
+  json.key("points").value(static_cast<std::uint64_t>(points));
+  json.key("hardware_threads")
+      .value(static_cast<std::uint64_t>(exec::ThreadPool::default_thread_count()));
+  json.key("counts_identical_across_threads").value(identical);
+  json.key("sweep").begin_array();
+  const double base = static_cast<double>(sweep.front().wall_us);
+  for (const Point& p : sweep) {
+    json.begin_object();
+    json.key("threads").value(static_cast<std::uint64_t>(p.threads));
+    json.key("wall_us").value(static_cast<std::uint64_t>(p.wall_us));
+    json.key("speedup_vs_1")
+        .value(p.wall_us > 0 ? base / static_cast<double>(p.wall_us) : 0.0);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  obs::RunReport report("bench");
+  report.set_info("experiment", "exec");
+  report.set_info("paper_artifact", "infrastructure: exec thread scaling");
+  report.set_info("scale", "1");
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  report.set_info("wall_us", std::to_string(wall_us.count()));
+  report.add_section("thread_scaling", json.str());
+
+  const char* dir = std::getenv("GEONET_BENCH_REPORT_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) : report::results_dir()) +
+      "/BENCH_exec.json";
+  if (report.write(path)) {
+    std::printf("bench record written: %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_exec_scaling_record();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "core/density.h"
 
 #include <cmath>
+#include <limits>
 
+#include "exec/parallel.h"
 #include "geo/grid.h"
 
 namespace geonet::core {
@@ -22,20 +24,47 @@ DensityAnalysis analyze_density(const net::AnnotatedGraph& graph,
     }
   }
 
-  std::vector<double> log_pop;
-  std::vector<double> log_nodes;
-  for (std::size_t flat = 0; flat < node_counts.size(); ++flat) {
-    if (node_counts[flat] <= 0.0) continue;
-    ++out.occupied_patches;
-    const geo::Region bounds = patches.cell_bounds(patches.unflatten(flat));
-    const double people = world.population_in(bounds);
-    if (people <= 0.0) continue;
-    out.patches.push_back({people, node_counts[flat]});
-    log_pop.push_back(std::log10(people));
-    log_nodes.push_back(std::log10(node_counts[flat]));
-  }
+  // Per-patch population lookups dominate this phase; chunks of the flat
+  // cell index aggregate into private vectors, appended in chunk order so
+  // the patch list (and the fit over it) is independent of thread count.
+  struct PatchAcc {
+    std::vector<PatchPoint> patches;
+    std::vector<double> log_pop;
+    std::vector<double> log_nodes;
+    std::size_t occupied = 0;
+  };
+  exec::RegionOptions region_options;
+  region_options.name = "core/density_patches";
+  region_options.grain = 256;
+  PatchAcc acc = exec::parallel_reduce<PatchAcc>(
+      node_counts.size(), region_options, [] { return PatchAcc(); },
+      [&](PatchAcc& chunk_acc, std::size_t begin, std::size_t end,
+          std::size_t) {
+        for (std::size_t flat = begin; flat < end; ++flat) {
+          if (node_counts[flat] <= 0.0) continue;
+          ++chunk_acc.occupied;
+          const geo::Region bounds =
+              patches.cell_bounds(patches.unflatten(flat));
+          const double people = world.population_in(bounds);
+          if (people <= 0.0) continue;
+          chunk_acc.patches.push_back({people, node_counts[flat]});
+          chunk_acc.log_pop.push_back(std::log10(people));
+          chunk_acc.log_nodes.push_back(std::log10(node_counts[flat]));
+        }
+      },
+      [](PatchAcc& into, PatchAcc&& from) {
+        into.patches.insert(into.patches.end(), from.patches.begin(),
+                            from.patches.end());
+        into.log_pop.insert(into.log_pop.end(), from.log_pop.begin(),
+                            from.log_pop.end());
+        into.log_nodes.insert(into.log_nodes.end(), from.log_nodes.begin(),
+                              from.log_nodes.end());
+        into.occupied += from.occupied;
+      });
 
-  out.loglog_fit = stats::fit_line(log_pop, log_nodes);
+  out.patches = std::move(acc.patches);
+  out.occupied_patches = acc.occupied;
+  out.loglog_fit = stats::fit_line(acc.log_pop, acc.log_nodes);
   return out;
 }
 
@@ -60,6 +89,13 @@ RegionDensityRow make_row(std::string name, double population_millions,
   if (nodes > 0) {
     row.people_per_node = population_millions * 1e6 / static_cast<double>(nodes);
     row.online_per_node = online_millions * 1e6 / static_cast<double>(nodes);
+  } else {
+    // A region can legitimately end up empty (e.g. an all-faults run
+    // killing every monitor that covers it). people-per-node is then
+    // undefined, not zero: the NaN sentinel renders as "n/a" in tables
+    // (report::fmt) and null in JSON (obs::JsonWriter).
+    row.people_per_node = std::numeric_limits<double>::quiet_NaN();
+    row.online_per_node = std::numeric_limits<double>::quiet_NaN();
   }
   return row;
 }

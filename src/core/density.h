@@ -46,7 +46,9 @@ struct RegionDensityRow {
   double population_millions = 0.0;
   double online_millions = 0.0;  ///< 0 when unknown (Table IV)
   std::size_t nodes = 0;
+  /// NaN when nodes == 0 (undefined, rendered "n/a" / JSON null).
   double people_per_node = 0.0;
+  /// NaN when nodes == 0 (undefined, rendered "n/a" / JSON null).
   double online_per_node = 0.0;
 };
 

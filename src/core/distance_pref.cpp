@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.h"
 #include "geo/distance.h"
 #include "geo/grid.h"
 #include "stats/rng.h"
@@ -27,7 +28,12 @@ double DistancePreference::fraction_links_below(double limit_miles) const {
     total += link_hist.count(b);
     if (link_hist.bin_center(b) < limit_miles) below += link_hist.count(b);
   }
-  total += link_hist.overflow();
+  // Both out-of-range masses belong in the denominator: a link longer
+  // than the histogram span is still a link. Underflow mass (x < lo) is
+  // known to fall below any limit past lo; overflow mass (x >= hi) below
+  // none at or under hi.
+  total += link_hist.underflow() + link_hist.overflow();
+  if (limit_miles > link_hist.lo()) below += link_hist.underflow();
   return total > 0.0 ? below / total : 0.0;
 }
 
@@ -42,13 +48,26 @@ namespace {
 
 stats::Histogram exact_pair_histogram(const std::vector<geo::GeoPoint>& points,
                                       double lo, double hi, std::size_t bins) {
-  stats::Histogram hist(lo, hi, bins);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    for (std::size_t j = i + 1; j < points.size(); ++j) {
-      hist.add(geo::great_circle_miles(points[i], points[j]));
-    }
-  }
-  return hist;
+  // O(n²) great-circle sweep, chunked by row range. Pair weights are unit,
+  // so per-chunk sums are exact integers and the chunk-ordered merge is
+  // byte-identical to the serial loop at any thread count.
+  const std::size_t n = points.size();
+  exec::RegionOptions region;
+  region.name = "core/pairs_exact";
+  region.grain = 64;
+  return exec::parallel_reduce<stats::Histogram>(
+      n, region, [&] { return stats::Histogram(lo, hi, bins); },
+      [&](stats::Histogram& hist, std::size_t row_begin, std::size_t row_end,
+          std::size_t) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            hist.add(geo::great_circle_miles(points[i], points[j]));
+          }
+        }
+      },
+      [](stats::Histogram& into, stats::Histogram&& from) {
+        into.merge(from);
+      });
 }
 
 stats::Histogram sampled_pair_histogram(const std::vector<geo::GeoPoint>& points,
@@ -76,7 +95,6 @@ stats::Histogram grid_pair_histogram(const std::vector<geo::GeoPoint>& points,
                                      const geo::Region& region,
                                      double cell_arcmin,
                                      std::size_t max_cells) {
-  stats::Histogram hist(lo, hi, bins);
   struct Cell {
     geo::GeoPoint center;
     double count;
@@ -103,15 +121,29 @@ stats::Histogram grid_pair_histogram(const std::vector<geo::GeoPoint>& points,
     if (next.max_cell_diagonal_miles() > 0.75 * bin_width) break;
   }
 
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    // Same-cell pairs: distance below the cell diagonal, booked at ~0.
-    hist.add(0.0, 0.5 * cells[i].count * (cells[i].count - 1.0));
-    for (std::size_t j = i + 1; j < cells.size(); ++j) {
-      hist.add(geo::great_circle_miles(cells[i].center, cells[j].center),
-               cells[i].count * cells[j].count);
-    }
-  }
-  return hist;
+  // Cell-pair sweep, parallelised like the exact counter. Weights are
+  // products of integer-valued cell counts, so merge order cannot change
+  // the sums: determinism at any thread count comes for free.
+  exec::RegionOptions region_options;
+  region_options.name = "core/pairs_grid";
+  region_options.grain = 32;
+  return exec::parallel_reduce<stats::Histogram>(
+      cells.size(), region_options,
+      [&] { return stats::Histogram(lo, hi, bins); },
+      [&](stats::Histogram& h, std::size_t row_begin, std::size_t row_end,
+          std::size_t) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          // Same-cell pairs: distance below the cell diagonal, booked at ~0.
+          h.add(0.0, 0.5 * cells[i].count * (cells[i].count - 1.0));
+          for (std::size_t j = i + 1; j < cells.size(); ++j) {
+            h.add(geo::great_circle_miles(cells[i].center, cells[j].center),
+                  cells[i].count * cells[j].count);
+          }
+        }
+      },
+      [](stats::Histogram& into, stats::Histogram&& from) {
+        into.merge(from);
+      });
 }
 
 }  // namespace

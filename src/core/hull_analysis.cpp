@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/parallel.h"
 #include "stats/summary.h"
 
 namespace geonet::core {
@@ -76,23 +77,39 @@ HullAnalysis analyze_hulls(const net::AnnotatedGraph& graph,
       options.restrict_to ? geo::AlbersProjection::for_region(*options.restrict_to)
                           : geo::AlbersProjection::world();
 
+  // Hull construction is independent per AS: ASes are ordered by number
+  // up front (so record i is a fixed AS regardless of hash-map iteration
+  // or thread count) and chunks of the AS list fill disjoint slots of the
+  // pre-sized record vector in parallel.
+  std::vector<const std::pair<const std::uint32_t, Accumulator>*> groups;
+  groups.reserve(by_as.size());
+  for (const auto& entry : by_as) groups.push_back(&entry);
+  std::sort(groups.begin(), groups.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  out.records.resize(groups.size());
+  exec::RegionOptions region;
+  region.name = "core/hulls_per_as";
+  region.grain = 16;
+  exec::parallel_for(groups.size(), region,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         const auto& [asn, acc] = *groups[i];
+                         AsHullRecord& record = out.records[i];
+                         record.asn = asn;
+                         record.node_count = acc.points.size();
+                         record.location_count = acc.locations.size();
+                         const auto it = neighbors.find(asn);
+                         record.degree =
+                             it == neighbors.end() ? 0 : it->second.size();
+                         record.hull_area_sq_miles =
+                             geo::hull_area_sq_miles(acc.points, projection);
+                       }
+                     });
   std::size_t zero_area = 0;
-  out.records.reserve(by_as.size());
-  for (const auto& [asn, acc] : by_as) {
-    AsHullRecord record;
-    record.asn = asn;
-    record.node_count = acc.points.size();
-    record.location_count = acc.locations.size();
-    const auto it = neighbors.find(asn);
-    record.degree = it == neighbors.end() ? 0 : it->second.size();
-    record.hull_area_sq_miles = geo::hull_area_sq_miles(acc.points, projection);
+  for (const auto& record : out.records) {
     if (record.hull_area_sq_miles <= 0.0) ++zero_area;
-    out.records.push_back(record);
   }
-  std::sort(out.records.begin(), out.records.end(),
-            [](const AsHullRecord& a, const AsHullRecord& b) {
-              return a.asn < b.asn;
-            });
 
   if (!out.records.empty()) {
     out.zero_area_fraction =

@@ -1,0 +1,27 @@
+#include "exec/parallel.h"
+
+#include "obs/trace.h"
+
+namespace geonet::exec {
+
+ChunkPlan plan_chunks(std::size_t n, std::size_t grain,
+                      std::size_t max_chunks) {
+  ChunkPlan plan;
+  plan.n = n;
+  if (n == 0) return plan;
+  if (grain == 0) grain = 1;
+  if (max_chunks == 0) max_chunks = 1;
+  // Floor division: every chunk holds at least `grain` items, so tiny
+  // inputs collapse to one chunk and skip the pool entirely.
+  std::size_t chunks = n / grain;
+  if (chunks == 0) chunks = 1;
+  if (chunks > max_chunks) chunks = max_chunks;
+  plan.chunks = chunks;
+  return plan;
+}
+
+RegionSpan::RegionSpan(const char* name) : span_(new obs::Span(name)) {}
+
+RegionSpan::~RegionSpan() { delete static_cast<obs::Span*>(span_); }
+
+}  // namespace geonet::exec

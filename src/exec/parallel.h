@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "stats/rng.h"
+
+namespace geonet::exec {
+
+/// Deterministic parallel loop primitives.
+///
+/// The determinism contract (docs/parallelism.md): given the same inputs
+/// and seed, a parallel region produces byte-identical results at ANY
+/// thread count, including 1. Three rules make that hold:
+///
+///  1. the chunk plan is a pure function of (n, grain, max_chunks) — it
+///     never consults the thread count or the hardware;
+///  2. each chunk accumulates into private state, and parallel_reduce
+///     merges the per-chunk accumulators in ascending chunk order on the
+///     calling thread;
+///  3. randomised chunk bodies draw from a substream derived from
+///     seed ⊕ chunk_index (chunk_rng), never from a shared stream.
+///
+/// Which thread executes a chunk, and when, is the only thing the
+/// scheduler controls — and nothing observable depends on it.
+
+/// Upper bound on chunks per region. Fixed (never derived from the thread
+/// count) so the chunk plan — and therefore per-chunk RNG substreams and
+/// merge order — is identical on every machine. 64 chunks keep pools up
+/// to ~16 threads busy with work-stealing headroom.
+inline constexpr std::size_t kDefaultMaxChunks = 64;
+
+/// Options for one parallel region.
+struct RegionOptions {
+  /// Span name for tracing; must outlive the call (string literals).
+  const char* name = "exec/region";
+  /// Minimum items per chunk; below 2*grain the region runs serially.
+  std::size_t grain = 1024;
+  std::size_t max_chunks = kDefaultMaxChunks;
+};
+
+/// Static chunk plan over [0, n): `chunks` ranges of near-equal size
+/// (difference at most one item), in index order.
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t chunks = 0;
+
+  [[nodiscard]] std::size_t begin(std::size_t chunk) const noexcept {
+    const std::size_t base = n / chunks;
+    const std::size_t extra = n % chunks;
+    return chunk * base + (chunk < extra ? chunk : extra);
+  }
+  [[nodiscard]] std::size_t end(std::size_t chunk) const noexcept {
+    return begin(chunk + 1);
+  }
+};
+
+/// Pure function of (n, grain, max_chunks): never consults thread count.
+[[nodiscard]] ChunkPlan plan_chunks(std::size_t n, std::size_t grain,
+                                    std::size_t max_chunks = kDefaultMaxChunks);
+
+/// Deterministic RNG substream for one chunk: the (seed, chunk) pair
+/// fully determines the stream. Uses seed ⊕ chunk_index, decorrelated by
+/// Rng's splitmix64 seeding, so chunk 0 of seed s equals Rng(s).
+/// (Header-only so geonet_exec itself has no link dependency on
+/// geonet_stats, which links back to geonet_exec for its parallel loops.)
+[[nodiscard]] inline stats::Rng chunk_rng(std::uint64_t seed,
+                                          std::size_t chunk) noexcept {
+  return stats::Rng(seed ^ static_cast<std::uint64_t>(chunk));
+}
+
+/// Opens a tracing span for a region (internal helper for the templates;
+/// defined out of line so parallel.h does not pull in obs headers).
+class RegionSpan {
+ public:
+  explicit RegionSpan(const char* name);
+  ~RegionSpan();
+  RegionSpan(const RegionSpan&) = delete;
+  RegionSpan& operator=(const RegionSpan&) = delete;
+
+ private:
+  void* span_;  ///< obs::Span*
+};
+
+/// Runs body(begin, end, chunk) over a static partition of [0, n) on the
+/// global pool. Chunk bodies must write to disjoint state (e.g. disjoint
+/// slices of a pre-sized output vector). Exceptions surface at the join
+/// as ParallelError (see ThreadPool).
+template <typename Body>
+void parallel_for(std::size_t n, const RegionOptions& options, Body&& body) {
+  const ChunkPlan plan = plan_chunks(n, options.grain, options.max_chunks);
+  if (plan.chunks == 0) return;
+  if (plan.chunks == 1) {
+    body(static_cast<std::size_t>(0), n, static_cast<std::size_t>(0));
+    return;
+  }
+  const RegionSpan span(options.name);
+  ThreadPool::global().run(plan.chunks, [&](std::size_t chunk) {
+    body(plan.begin(chunk), plan.end(chunk), chunk);
+  });
+}
+
+/// Chunked reduction: one accumulator per chunk (make()), filled by
+/// body(acc, begin, end, chunk), merged in ascending chunk order by
+/// merge(into, from). The chunk-ordered merge is what keeps
+/// floating-point results byte-identical at any thread count.
+template <typename Acc, typename Make, typename Body, typename Merge>
+Acc parallel_reduce(std::size_t n, const RegionOptions& options, Make&& make,
+                    Body&& body, Merge&& merge) {
+  const ChunkPlan plan = plan_chunks(n, options.grain, options.max_chunks);
+  if (plan.chunks <= 1) {
+    Acc acc = make();
+    if (plan.chunks == 1) {
+      body(acc, static_cast<std::size_t>(0), n, static_cast<std::size_t>(0));
+    }
+    return acc;
+  }
+  const RegionSpan span(options.name);
+  std::vector<std::optional<Acc>> chunk_accs(plan.chunks);
+  ThreadPool::global().run(plan.chunks, [&](std::size_t chunk) {
+    Acc acc = make();
+    body(acc, plan.begin(chunk), plan.end(chunk), chunk);
+    chunk_accs[chunk].emplace(std::move(acc));
+  });
+  Acc out = std::move(*chunk_accs[0]);
+  for (std::size_t chunk = 1; chunk < plan.chunks; ++chunk) {
+    merge(out, std::move(*chunk_accs[chunk]));
+  }
+  return out;
+}
+
+}  // namespace geonet::exec

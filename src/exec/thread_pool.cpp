@@ -1,0 +1,221 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "obs/metrics.h"
+
+namespace geonet::exec {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+obs::Counter& tasks_metric() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("exec.tasks");
+  return c;
+}
+
+obs::Counter& steals_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("exec.steals");
+  return c;
+}
+
+obs::Gauge& queue_depth_metric() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("exec.queue_depth");
+  return g;
+}
+
+/// Global pool storage. The configured size may be set (CLI --threads)
+/// before or after the pool first spins up; a size change tears the old
+/// pool down once no region is running (run_m_ serialises regions).
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_configured_threads = 0;  // 0 = use default_thread_count()
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads) {
+  // Slot threads_-1 is reserved for the thread calling run().
+  workers_.reserve(threads_ - 1);
+  for (std::size_t slot = 0; slot + 1 < threads_; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
+bool ThreadPool::take_chunk(Job& job, std::size_t slot, std::size_t& chunk) {
+  if (job.pending == 0) return false;
+  auto& own = job.queues[slot];
+  if (!own.empty()) {
+    chunk = own.front();
+    own.pop_front();
+    return true;
+  }
+  // Steal from the fullest other slot, from the back (the chunks its
+  // owner would reach last), so owners and thieves rarely contend.
+  std::size_t victim = job.queues.size();
+  std::size_t victim_depth = 0;
+  for (std::size_t s = 0; s < job.queues.size(); ++s) {
+    if (s != slot && job.queues[s].size() > victim_depth) {
+      victim = s;
+      victim_depth = job.queues[s].size();
+    }
+  }
+  if (victim == job.queues.size()) return false;
+  chunk = job.queues[victim].back();
+  job.queues[victim].pop_back();
+  steals_metric().add();
+  return true;
+}
+
+void ThreadPool::execute_chunk(Job& job, std::size_t chunk,
+                               std::unique_lock<std::mutex>& lock) {
+  ++job.active;
+  --job.pending;
+  lock.unlock();
+  err::Status status;
+  const bool was_worker = t_on_worker;
+  t_on_worker = true;
+  try {
+    (*job.fn)(chunk);
+  } catch (const ParallelError& e) {
+    status = e.status();
+  } catch (const std::exception& e) {
+    status = err::Status::aborted(e.what());
+  } catch (...) {
+    status = err::Status::aborted("unknown error in parallel region");
+  }
+  t_on_worker = was_worker;
+  tasks_metric().add();
+  lock.lock();
+  --job.active;
+  if (!status.is_ok() && (!job.failed || chunk < job.error_chunk)) {
+    job.failed = true;
+    job.error_chunk = chunk;
+    job.error = std::move(status);
+  }
+  if (job.pending == 0 && job.active == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop(std::size_t slot) {
+  std::unique_lock<std::mutex> lock(m_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && job_->pending > 0);
+    });
+    if (stop_) return;
+    Job& job = *job_;
+    std::size_t chunk = 0;
+    if (take_chunk(job, slot, chunk)) execute_chunk(job, chunk, lock);
+  }
+}
+
+void ThreadPool::run(std::size_t chunks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  // Serial paths: a 1-slot pool, a single chunk, or a nested region on a
+  // worker thread. Every chunk still runs (matching the parallel path's
+  // error semantics), and the lowest-indexed failure wins.
+  if (threads_ == 1 || chunks == 1 || on_worker_thread()) {
+    bool failed = false;
+    std::size_t error_chunk = 0;
+    err::Status error;
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      try {
+        fn(chunk);
+      } catch (const ParallelError& e) {
+        if (!failed) {
+          failed = true;
+          error_chunk = chunk;
+          error = e.status();
+        }
+      } catch (const std::exception& e) {
+        if (!failed) {
+          failed = true;
+          error_chunk = chunk;
+          error = err::Status::aborted(e.what());
+        }
+      } catch (...) {
+        if (!failed) {
+          failed = true;
+          error_chunk = chunk;
+          error = err::Status::aborted("unknown error in parallel region");
+        }
+      }
+      tasks_metric().add();
+    }
+    if (failed) throw ParallelError(error_chunk, std::move(error));
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_guard(run_m_);
+  Job job;
+  job.fn = &fn;
+  job.queues.resize(threads_);
+  job.pending = chunks;
+  const std::size_t caller_slot = threads_ - 1;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      job.queues[chunk % threads_].push_back(chunk);
+    }
+    queue_depth_metric().set(static_cast<std::int64_t>(chunks));
+    job_ = &job;
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(m_);
+  std::size_t chunk = 0;
+  while (take_chunk(job, caller_slot, chunk)) execute_chunk(job, chunk, lock);
+  done_cv_.wait(lock, [&] { return job.pending == 0 && job.active == 0; });
+  job_ = nullptr;
+  queue_depth_metric().set(0);
+  lock.unlock();
+
+  if (job.failed) throw ParallelError(job.error_chunk, std::move(job.error));
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("GEONET_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0) {
+      return static_cast<std::size_t>(n);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    const std::size_t n = g_configured_threads != 0 ? g_configured_threads
+                                                    : default_thread_count();
+    g_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *g_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_configured_threads = n;
+  const std::size_t want = n != 0 ? n : default_thread_count();
+  if (g_pool && g_pool->thread_count() != want) g_pool.reset();
+}
+
+}  // namespace geonet::exec

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "err/status.h"
+
+namespace geonet::exec {
+
+/// Thrown at the join point of a parallel region when one or more chunk
+/// bodies threw. Carries the err::Status captured from the lowest-indexed
+/// failing chunk, so the error a caller sees does not depend on thread
+/// scheduling. Derives from std::runtime_error so the study pipeline's
+/// phase-capture harness charges it against the error budget like any
+/// other phase failure.
+class ParallelError : public std::runtime_error {
+ public:
+  ParallelError(std::size_t chunk, err::Status status)
+      : std::runtime_error("parallel region failed at chunk " +
+                           std::to_string(chunk) + ": " + status.message()),
+        chunk_(chunk),
+        status_(std::move(status)) {}
+
+  [[nodiscard]] std::size_t chunk() const noexcept { return chunk_; }
+  [[nodiscard]] const err::Status& status() const noexcept { return status_; }
+
+ private:
+  std::size_t chunk_;
+  err::Status status_;
+};
+
+/// Work-stealing pool of `threads` execution slots: threads-1 worker
+/// threads plus the thread that calls run(), which participates instead
+/// of blocking idle. A pool of 1 runs everything inline on the caller.
+///
+/// Scheduling model: run() splits a job into indexed chunks, deals them
+/// round-robin across per-slot queues, and every slot first drains its own
+/// queue, then steals from the busiest other slot (counted in the
+/// `exec.steals` metric). Which thread runs a chunk is scheduling noise by
+/// design — deterministic results come from the chunk plan and the
+/// chunk-ordered merges in parallel_reduce (see parallel.h), never from
+/// execution order.
+///
+/// Error semantics: every chunk always runs, even after another chunk has
+/// failed, so the captured error (lowest failing chunk index) and every
+/// per-chunk side effect are identical at any thread count. The failure
+/// surfaces at the join as a ParallelError.
+///
+/// Nesting: a parallel region entered from inside a worker runs inline and
+/// serially on that worker; the pool never deadlocks on nested regions.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution slots (worker threads + the calling thread), >= 1.
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Runs fn(chunk) for every chunk in [0, chunks), blocking until all
+  /// chunks completed. Throws ParallelError if any chunk body threw.
+  void run(std::size_t chunks, const std::function<void(std::size_t)>& fn);
+
+  /// True on a thread currently executing a chunk for some ThreadPool.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  /// The lazily-created process-wide pool, sized by set_global_threads()
+  /// if called first, else by default_thread_count().
+  static ThreadPool& global();
+
+  /// Sets the global pool size (the CLI's --threads). Recreates the pool
+  /// if it already exists with a different size; n == 0 resets to the
+  /// default. Not safe concurrently with running regions.
+  static void set_global_threads(std::size_t n);
+
+  /// GEONET_THREADS when set to a positive integer, else
+  /// hardware_concurrency (at least 1).
+  [[nodiscard]] static std::size_t default_thread_count();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::vector<std::deque<std::size_t>> queues;  ///< per-slot, guarded by m_
+    std::size_t pending = 0;  ///< queued, not yet taken
+    std::size_t active = 0;   ///< currently executing
+    bool failed = false;
+    std::size_t error_chunk = 0;
+    err::Status error;
+  };
+
+  void worker_loop(std::size_t slot);
+  /// Takes one chunk for `slot` (own queue first, then steals); returns
+  /// false when no chunk is queued. Caller must hold m_.
+  bool take_chunk(Job& job, std::size_t slot, std::size_t& chunk);
+  /// Executes one chunk outside the lock, recording errors and metrics.
+  void execute_chunk(Job& job, std::size_t chunk, std::unique_lock<std::mutex>& lock);
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable work_cv_;  ///< workers: a job has queued chunks
+  std::condition_variable done_cv_;  ///< caller: all chunks finished
+  Job* job_ = nullptr;
+  bool stop_ = false;
+
+  std::mutex run_m_;  ///< serialises concurrent run() callers
+};
+
+}  // namespace geonet::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 
 namespace geonet::report {
@@ -81,6 +82,7 @@ std::string Table::to_markdown() const {
 }
 
 std::string fmt(double value, int precision) {
+  if (!std::isfinite(value)) return "n/a";  // NaN/inf sentinels in tables
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "exec/parallel.h"
 #include "stats/linear_fit.h"
 #include "stats/summary.h"
 
@@ -20,17 +21,32 @@ BootstrapInterval bootstrap_paired(std::span<const double> xs,
   out.point = statistic(xs.subspan(0, n), ys.subspan(0, n));
   out.resamples = resamples;
 
-  Rng rng(seed);
-  std::vector<double> bx(n), by(n), values;
-  values.reserve(resamples);
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t j = rng.uniform_index(n);
-      bx[i] = xs[j];
-      by[i] = ys[j];
-    }
-    values.push_back(statistic(bx, by));
-  }
+  // Resamples are split into chunks, each drawing from its own RNG
+  // substream (seed ⊕ chunk) and filling a private value vector; the
+  // chunk-ordered merge makes the value list — and so the quantiles —
+  // byte-identical at any thread count.
+  exec::RegionOptions region;
+  region.name = "stats/bootstrap";
+  region.grain = 16;
+  const std::vector<double> values = exec::parallel_reduce<std::vector<double>>(
+      resamples, region, [] { return std::vector<double>(); },
+      [&](std::vector<double>& chunk_values, std::size_t begin,
+          std::size_t end, std::size_t chunk) {
+        Rng rng = exec::chunk_rng(seed, chunk);
+        std::vector<double> bx(n), by(n);
+        chunk_values.reserve(end - begin);
+        for (std::size_t r = begin; r < end; ++r) {
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j = rng.uniform_index(n);
+            bx[i] = xs[j];
+            by[i] = ys[j];
+          }
+          chunk_values.push_back(statistic(bx, by));
+        }
+      },
+      [](std::vector<double>& into, std::vector<double>&& from) {
+        into.insert(into.end(), from.begin(), from.end());
+      });
   out.lo = quantile(values, alpha / 2.0);
   out.hi = quantile(values, 1.0 - alpha / 2.0);
   return out;

@@ -24,6 +24,10 @@ using PairedStatistic =
 
 /// Resamples (x, y) pairs with replacement `resamples` times and returns
 /// the [alpha/2, 1-alpha/2] percentile interval of the statistic.
+/// Resampling runs on the global exec pool in deterministic chunks (per
+/// chunk RNG substreams, chunk-ordered merge): results depend only on the
+/// inputs and seed, never on the thread count. `statistic` may be invoked
+/// concurrently and must be safe to call from multiple threads.
 BootstrapInterval bootstrap_paired(std::span<const double> xs,
                                    std::span<const double> ys,
                                    const PairedStatistic& statistic,

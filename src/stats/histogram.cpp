@@ -21,6 +21,7 @@ std::size_t Histogram::bin_of(double x) const noexcept {
 }
 
 void Histogram::add(double x, double weight) noexcept {
+  if (!std::isfinite(x)) return;  // NaN/inf: neither tail, dropped
   const std::size_t b = bin_of(x);
   if (b < counts_.size()) {
     counts_[b] += weight;
@@ -29,6 +30,18 @@ void Histogram::add(double x, double weight) noexcept {
   } else {
     overflow_ += weight;
   }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
 }
 
 void Histogram::add_to_bin(std::size_t b, double weight) noexcept {

@@ -21,7 +21,10 @@ class Histogram {
   Histogram() : Histogram(0.0, 1.0, 1) {}
 
   /// Adds `weight` to the bin containing x. Values outside [lo, hi) are
-  /// tallied in underflow/overflow and excluded from bin totals.
+  /// tallied in underflow/overflow and excluded from bin totals. Values
+  /// exactly at hi count as overflow. Non-finite x (NaN, ±inf with NaN
+  /// semantics aside) is dropped entirely — it is neither a small nor a
+  /// large distance, so it must not skew either tail.
   void add(double x, double weight = 1.0) noexcept;
 
   /// Adds `weight` directly to bin `b` (b < bin_count()).
@@ -50,6 +53,13 @@ class Histogram {
   /// Element-wise bin ratio this/denominator; bins where the denominator is
   /// zero yield 0. Requires identical binning.
   [[nodiscard]] std::vector<double> ratio(const Histogram& denominator) const;
+
+  /// Adds `other`'s bins, underflow and overflow into this histogram.
+  /// The parallel pair counters accumulate per-chunk histograms and merge
+  /// them in chunk order (see src/exec/parallel.h), which keeps seeded
+  /// runs byte-identical at any thread count. Throws std::invalid_argument
+  /// unless both histograms share lo, hi and bin count.
+  void merge(const Histogram& other);
 
  private:
   double lo_;

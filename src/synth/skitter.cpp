@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "exec/parallel.h"
 #include "net/graph_algos.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,107 +95,168 @@ InterfaceObservation run_skitter(const GroundTruth& truth,
     out.fault_stats.monitors_killed = kills;
   }
 
+  // Monitors probe independently, so each gets its own derived streams —
+  // forked serially up front (labels are per-monitor, so every monitor's
+  // randomness is fixed by the seed alone, never by scheduling):
+  //   probe stream 0x9000+m: list size and destination draws
+  //   fault stream 0x6000+m: bursts, truncations, retries (as in the
+  //     serial fault design — damage to one monitor must not disturb
+  //     another's pattern)
+  std::vector<stats::Rng> probe_rngs;
+  std::vector<stats::Rng> monitor_fault_rngs;
+  probe_rngs.reserve(monitors.size());
+  monitor_fault_rngs.reserve(monitors.size());
+  for (std::size_t m = 0; m < monitors.size(); ++m) {
+    probe_rngs.push_back(rng.fork(0x9000 + m));
+    monitor_fault_rngs.push_back(fault_rng.fork(0x6000 + m));
+  }
+
+  // Each monitor first-occurrence-dedups its own observations; the
+  // monitor-ordered merge below with global dedup sets then reproduces
+  // exactly the interface/link ordering of a serial sweep.
+  struct MonitorResult {
+    std::vector<net::InterfaceId> interfaces;
+    std::vector<std::pair<net::InterfaceId, net::InterfaceId>> links;
+    std::vector<net::InterfaceId> destination_ifaces;
+    std::size_t traces = 0;
+    std::size_t destinations_skipped = 0;
+    std::size_t traces_truncated = 0;
+    std::size_t probes_lost = 0;
+    fault::ProbeStats probe_stats;
+  };
+  std::vector<MonitorResult> results(monitors.size());
+
+  exec::RegionOptions region;
+  region.name = "synth/skitter_monitors";
+  region.grain = 1;
+  exec::parallel_for(monitors.size(), region, [&](std::size_t begin,
+                                                  std::size_t end,
+                                                  std::size_t) {
+    for (std::size_t m = begin; m < end; ++m) {
+      MonitorResult& local = results[m];
+      std::unordered_set<net::InterfaceId> local_interfaces;
+      std::unordered_set<std::uint64_t> local_links;
+      const net::RouterId monitor = monitors[m];
+      const net::BfsTree tree = net::bfs_tree(topology, monitor);
+
+      // Per-monitor destination list of varying size, uniform over routers
+      // (the real lists aim to cover the whole address space).
+      stats::Rng& probe_rng = probe_rngs[m];
+      const double spread =
+          std::clamp(options.destination_list_variation, 0.0, 1.0);
+      const auto list_size = static_cast<std::size_t>(
+          static_cast<double>(options.destinations_per_monitor) *
+          probe_rng.uniform(1.0 - spread, 1.0 + spread));
+
+      // A dying monitor stops probing this far through its list.
+      const std::size_t probe_limit =
+          (plan != nullptr && plan->monitor_outage && dies[m])
+              ? static_cast<std::size_t>(
+                    static_cast<double>(list_size) *
+                    std::clamp(plan->monitor_outage->at_fraction, 0.0, 1.0))
+              : list_size;
+
+      stats::Rng& monitor_fault_rng = monitor_fault_rngs[m];
+      std::size_t burst_remaining = 0;
+
+      for (std::size_t d = 0; d < list_size; ++d) {
+        if (d >= probe_limit) {
+          local.destinations_skipped += list_size - d;
+          break;
+        }
+        const auto destination =
+            static_cast<net::RouterId>(probe_rng.uniform_index(n));
+
+        // Probe-loss bursts swallow whole traces for a stretch of the list.
+        if (plan != nullptr && plan->probe_loss) {
+          if (burst_remaining > 0) {
+            --burst_remaining;
+            ++local.probes_lost;
+            continue;
+          }
+          if (monitor_fault_rng.bernoulli(
+                  plan->probe_loss->burst_probability)) {
+            const double length = std::max(
+                1.0, monitor_fault_rng.exponential(
+                         std::max(1.0, plan->probe_loss->mean_burst_length)));
+            burst_remaining = static_cast<std::size_t>(length);
+            if (burst_remaining > 0) --burst_remaining;
+            ++local.probes_lost;
+            continue;
+          }
+        }
+
+        const auto path = net::extract_path(tree, destination);
+        if (path.size() < 2) continue;
+        ++local.traces;
+
+        // Truncated traces stop at a random hop (loop detection, gap
+        // limits, probes dying in-network).
+        std::size_t hop_limit = path.size();
+        if (plan != nullptr && plan->truncate &&
+            path.size() > plan->truncate->min_hops &&
+            monitor_fault_rng.bernoulli(plan->truncate->probability)) {
+          hop_limit = plan->truncate->min_hops +
+                      static_cast<std::size_t>(monitor_fault_rng.uniform_index(
+                          path.size() - plan->truncate->min_hops));
+          ++local.traces_truncated;
+        }
+
+        // Entry interfaces of every hop past the monitor, including the
+        // access router serving the destination. The paper's 18% discard
+        // concerns end-host addresses on the destination lists; hosts hang
+        // *behind* the access router and are never recorded here at all.
+        net::InterfaceId previous = 0;
+        bool have_previous = false;
+        for (std::size_t h = 1; h < hop_limit; ++h) {
+          if (!responds[path[h]]) continue;  // ICMP filtered: spliced over
+          if (!throttled.empty() && throttled[path[h]] &&
+              !fault::probe_with_retry(monitor_fault_rng,
+                                       plan->throttle->answer_rate,
+                                       options.probe, local.probe_stats)) {
+            continue;  // rate-limited and retries exhausted: spliced over
+          }
+          const net::InterfaceId entry = tree.entry_if[path[h]];
+          if (local_interfaces.insert(entry).second) {
+            local.interfaces.push_back(entry);
+          }
+          if (have_previous && previous != entry &&
+              local_links.insert(pair_key(previous, entry)).second) {
+            local.links.emplace_back(previous, entry);
+          }
+          previous = entry;
+          have_previous = true;
+        }
+        // One end-host address per trace would have been discarded (only
+        // traces that actually reached their destination).
+        if (hop_limit == path.size()) {
+          local.destination_ifaces.push_back(tree.entry_if[path.back()]);
+        }
+      }
+    }
+  });
+
   std::unordered_set<net::InterfaceId> seen_interfaces;
   std::unordered_set<std::uint64_t> seen_links;
   std::unordered_set<net::InterfaceId> destination_interfaces;
-
-  for (std::size_t m = 0; m < monitors.size(); ++m) {
-    const net::RouterId monitor = monitors[m];
-    const net::BfsTree tree = net::bfs_tree(topology, monitor);
-
-    // Per-monitor destination list of varying size, uniform over routers
-    // (the real lists aim to cover the whole address space).
-    const double spread =
-        std::clamp(options.destination_list_variation, 0.0, 1.0);
-    const auto list_size = static_cast<std::size_t>(
-        static_cast<double>(options.destinations_per_monitor) *
-        rng.uniform(1.0 - spread, 1.0 + spread));
-
-    // A dying monitor stops probing this far through its list.
-    const std::size_t probe_limit =
-        (plan != nullptr && plan->monitor_outage && dies[m])
-            ? static_cast<std::size_t>(
-                  static_cast<double>(list_size) *
-                  std::clamp(plan->monitor_outage->at_fraction, 0.0, 1.0))
-            : list_size;
-
-    // Per-monitor fault stream: bursts, truncations, and retries here must
-    // not disturb other monitors' damage pattern.
-    stats::Rng monitor_fault_rng = fault_rng.fork(0x6000 + m);
-    std::size_t burst_remaining = 0;
-
-    for (std::size_t d = 0; d < list_size; ++d) {
-      if (d >= probe_limit) {
-        out.fault_stats.destinations_skipped += list_size - d;
-        break;
+  for (MonitorResult& local : results) {
+    out.traces += local.traces;
+    out.fault_stats.destinations_skipped += local.destinations_skipped;
+    out.fault_stats.traces_truncated += local.traces_truncated;
+    out.fault_stats.probes_lost += local.probes_lost;
+    out.probe_stats.merge(local.probe_stats);
+    for (const net::InterfaceId iface : local.interfaces) {
+      if (seen_interfaces.insert(iface).second) {
+        out.interfaces.push_back(iface);
       }
-      const auto destination =
-          static_cast<net::RouterId>(rng.uniform_index(n));
-
-      // Probe-loss bursts swallow whole traces for a stretch of the list.
-      if (plan != nullptr && plan->probe_loss) {
-        if (burst_remaining > 0) {
-          --burst_remaining;
-          ++out.fault_stats.probes_lost;
-          continue;
-        }
-        if (monitor_fault_rng.bernoulli(plan->probe_loss->burst_probability)) {
-          const double length = std::max(
-              1.0, monitor_fault_rng.exponential(
-                       std::max(1.0, plan->probe_loss->mean_burst_length)));
-          burst_remaining = static_cast<std::size_t>(length);
-          if (burst_remaining > 0) --burst_remaining;
-          ++out.fault_stats.probes_lost;
-          continue;
-        }
+    }
+    for (const auto& [a, b] : local.links) {
+      if (seen_links.insert(pair_key(a, b)).second) {
+        out.links.emplace_back(a, b);
       }
-
-      const auto path = net::extract_path(tree, destination);
-      if (path.size() < 2) continue;
-      ++out.traces;
-
-      // Truncated traces stop at a random hop (loop detection, gap
-      // limits, probes dying in-network).
-      std::size_t hop_limit = path.size();
-      if (plan != nullptr && plan->truncate &&
-          path.size() > plan->truncate->min_hops &&
-          monitor_fault_rng.bernoulli(plan->truncate->probability)) {
-        hop_limit = plan->truncate->min_hops +
-                    static_cast<std::size_t>(monitor_fault_rng.uniform_index(
-                        path.size() - plan->truncate->min_hops));
-        ++out.fault_stats.traces_truncated;
-      }
-
-      // Entry interfaces of every hop past the monitor, including the
-      // access router serving the destination. The paper's 18% discard
-      // concerns end-host addresses on the destination lists; hosts hang
-      // *behind* the access router and are never recorded here at all.
-      net::InterfaceId previous = 0;
-      bool have_previous = false;
-      for (std::size_t h = 1; h < hop_limit; ++h) {
-        if (!responds[path[h]]) continue;  // ICMP filtered: spliced over
-        if (!throttled.empty() && throttled[path[h]] &&
-            !fault::probe_with_retry(monitor_fault_rng,
-                                     plan->throttle->answer_rate,
-                                     options.probe, out.probe_stats)) {
-          continue;  // rate-limited and retries exhausted: spliced over
-        }
-        const net::InterfaceId entry = tree.entry_if[path[h]];
-        if (seen_interfaces.insert(entry).second) {
-          out.interfaces.push_back(entry);
-        }
-        if (have_previous && previous != entry &&
-            seen_links.insert(pair_key(previous, entry)).second) {
-          out.links.emplace_back(previous, entry);
-        }
-        previous = entry;
-        have_previous = true;
-      }
-      // One end-host address per trace would have been discarded (only
-      // traces that actually reached their destination).
-      if (hop_limit == path.size()) {
-        destination_interfaces.insert(tree.entry_if[path.back()]);
-      }
+    }
+    for (const net::InterfaceId iface : local.destination_ifaces) {
+      destination_interfaces.insert(iface);
     }
   }
   out.destination_interfaces_discarded = out.traces;

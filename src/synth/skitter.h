@@ -56,6 +56,12 @@ struct InterfaceObservation {
 /// Runs the Skitter simulation over the ground truth: per-monitor BFS
 /// forwarding trees, per-destination path extraction, entry-interface
 /// recording, and discarding of destination-list interfaces.
+///
+/// Monitors probe in parallel on the global exec pool. Every monitor's
+/// randomness (destinations and fault damage alike) comes from streams
+/// forked per monitor index, and results merge in monitor order, so the
+/// observation is a pure function of the options — byte-identical at any
+/// thread count, with or without a fault plan.
 InterfaceObservation run_skitter(const GroundTruth& truth,
                                  const SkitterOptions& options = {});
 

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "report/table.h"
 #include "stats/rng.h"
 #include "tests/test_world.h"
 
@@ -99,6 +100,24 @@ TEST(Density, CountNodesIn) {
   EXPECT_EQ(count_nodes_in(graph, geo::regions::us()), 2u);
   EXPECT_EQ(count_nodes_in(graph, geo::regions::europe()), 1u);
   EXPECT_EQ(count_nodes_in(graph, geo::regions::japan()), 0u);
+}
+
+TEST(Density, EmptyRegionRowsUseNaSentinel) {
+  // A region with zero nodes has no defined people-per-node: the row must
+  // carry the NaN sentinel (rendered "n/a" in tables, null in JSON), not
+  // inf or a misleading zero.
+  const population::WorldPopulation world = population::WorldPopulation::build(5);
+  const net::AnnotatedGraph graph(net::NodeKind::kInterface);
+  for (const auto& rows :
+       {homogeneity_table(graph, world), economic_region_table(graph, world)}) {
+    ASSERT_FALSE(rows.empty());
+    for (const auto& row : rows) {
+      EXPECT_EQ(row.nodes, 0u) << row.name;
+      EXPECT_TRUE(std::isnan(row.people_per_node)) << row.name;
+      EXPECT_TRUE(std::isnan(row.online_per_node)) << row.name;
+      EXPECT_EQ(report::fmt(row.people_per_node, 1), "n/a") << row.name;
+    }
+  }
 }
 
 TEST(Density, EconomicTableHasWorldRow) {

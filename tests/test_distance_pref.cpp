@@ -86,6 +86,28 @@ TEST(DistancePref, FractionLinksBelow) {
   EXPECT_DOUBLE_EQ(pref.fraction_links_below(5.0), 0.0);
 }
 
+TEST(DistancePref, FractionLinksBelowCountsOutOfRangeMass) {
+  // Table V semantics: links outside the histogram span still exist.
+  // Both underflow and overflow mass belong in the denominator, and
+  // underflow mass (x < lo) counts as below any limit past lo. The seed
+  // implementation added only overflow() to the denominator, biasing the
+  // fraction whenever underflow mass was present.
+  DistancePreference pref;
+  pref.link_hist = stats::Histogram(10.0, 50.0, 4);  // bin centers 15..45
+  pref.link_hist.add(15.0);   // bin 0
+  pref.link_hist.add(45.0);   // bin 3
+  pref.link_hist.add(5.0);    // underflow
+  pref.link_hist.add(100.0);  // overflow
+  pref.links = 4;
+  // limit 30: bin 0 plus the underflow link; overflow only inflates the
+  // denominator.
+  EXPECT_DOUBLE_EQ(pref.fraction_links_below(30.0), 2.0 / 4.0);
+  // limit beyond the span: everything but the overflow link.
+  EXPECT_DOUBLE_EQ(pref.fraction_links_below(1000.0), 3.0 / 4.0);
+  // limit at lo: nothing is known to be below it.
+  EXPECT_DOUBLE_EQ(pref.fraction_links_below(10.0), 0.0);
+}
+
 TEST(DistancePref, LinksOutsideRegionExcluded) {
   auto g = make_city_graph();
   const auto outside = g.add_node({net::Ipv4Addr{0}, {50.0, -100.0}, 1});

@@ -1,0 +1,348 @@
+// geonet_exec test suite: chunk planning, the work-stealing pool, the
+// parallel_for/parallel_reduce primitives, and — the load-bearing part —
+// the determinism contract: seeded pipeline stages produce byte-identical
+// results at any thread count, including under fault injection. Runs under
+// the `exec` ctest label so the tsan preset can target exactly this
+// surface.
+
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/distance_pref.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "stats/bootstrap.h"
+#include "stats/rng.h"
+#include "synth/skitter.h"
+#include "tests/test_world.h"
+
+namespace geonet::exec {
+namespace {
+
+/// Restores the global pool to its default size when a test ends, so test
+/// order cannot leak a thread-count override.
+struct PoolGuard {
+  ~PoolGuard() { ThreadPool::set_global_threads(0); }
+};
+
+// ---------------------------------------------------------------- planning
+
+TEST(ChunkPlan, CoversRangeInOrderWithoutGaps) {
+  for (const std::size_t n : {0u, 1u, 7u, 64u, 1000u, 4097u}) {
+    for (const std::size_t grain : {1u, 3u, 64u, 5000u}) {
+      const ChunkPlan plan = plan_chunks(n, grain);
+      if (n == 0) {
+        EXPECT_EQ(plan.chunks, 0u);
+        continue;
+      }
+      ASSERT_GE(plan.chunks, 1u);
+      ASSERT_LE(plan.chunks, kDefaultMaxChunks);
+      std::size_t expect_begin = 0;
+      for (std::size_t c = 0; c < plan.chunks; ++c) {
+        EXPECT_EQ(plan.begin(c), expect_begin);
+        EXPECT_GE(plan.end(c), plan.begin(c));
+        expect_begin = plan.end(c);
+      }
+      EXPECT_EQ(expect_begin, n);
+    }
+  }
+}
+
+TEST(ChunkPlan, RespectsGrainAndMaxChunks) {
+  // 100 items at grain 30 -> floor(100/30) = 3 chunks.
+  EXPECT_EQ(plan_chunks(100, 30).chunks, 3u);
+  // Below 2*grain the plan is a single (serial) chunk.
+  EXPECT_EQ(plan_chunks(100, 60).chunks, 1u);
+  // Huge n clamps at max_chunks, never at a thread-dependent value.
+  EXPECT_EQ(plan_chunks(1u << 20, 1).chunks, kDefaultMaxChunks);
+  EXPECT_EQ(plan_chunks(1000, 10, 8).chunks, 8u);
+}
+
+TEST(ChunkPlan, BalancedSplitDiffersByAtMostOne) {
+  const ChunkPlan plan = plan_chunks(1003, 1, 64);
+  std::size_t lo = 1003, hi = 0;
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const std::size_t size = plan.end(c) - plan.begin(c);
+    lo = std::min(lo, size);
+    hi = std::max(hi, size);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ChunkRng, SubstreamsAreDecorrelatedAndStable) {
+  // Chunk 0 of seed s is exactly Rng(s): a single-chunk region consumes
+  // the same stream a serial implementation would.
+  stats::Rng direct(42);
+  stats::Rng chunk0 = chunk_rng(42, 0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(direct.next_u64(), chunk0.next_u64());
+  }
+  // Distinct chunks get distinct streams.
+  stats::Rng a = chunk_rng(42, 1);
+  stats::Rng b = chunk_rng(42, 2);
+  bool differ = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+// -------------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    constexpr std::size_t kChunks = 200;
+    std::vector<std::atomic<int>> hits(kChunks);
+    pool.run(kChunks, [&](std::size_t chunk) {
+      hits[chunk].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      EXPECT_EQ(hits[c].load(), 1) << "chunk " << c << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ReportsLowestFailingChunkAtAnyThreadCount) {
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> executed{0};
+    try {
+      pool.run(40, [&](std::size_t chunk) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= 7 && chunk % 3 == 1) {
+          throw std::runtime_error("chunk " + std::to_string(chunk) + " died");
+        }
+      });
+      FAIL() << "expected ParallelError";
+    } catch (const ParallelError& e) {
+      // Lowest failing chunk is 7 regardless of scheduling; every chunk
+      // still ran (failure does not cancel siblings, so side effects are
+      // thread-count-independent too).
+      EXPECT_EQ(e.chunk(), 7u);
+      EXPECT_EQ(e.status().code(), err::Code::kAborted);
+      EXPECT_NE(std::string(e.what()).find("chunk 7"), std::string::npos);
+      EXPECT_EQ(executed.load(), 40);
+    }
+  }
+}
+
+TEST(ThreadPool, NestedRegionsRunInlineWithoutDeadlock) {
+  PoolGuard guard;
+  ThreadPool::set_global_threads(4);
+  std::atomic<std::size_t> inner_total{0};
+  RegionOptions outer;
+  outer.name = "test/outer";
+  outer.grain = 1;
+  parallel_for(8, outer, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      RegionOptions inner;
+      inner.name = "test/inner";
+      inner.grain = 1;
+      std::size_t local = 0;
+      parallel_for(10, inner,
+                   [&](std::size_t b, std::size_t e, std::size_t) {
+                     // Inline on this worker: safe to touch `local`
+                     // without synchronisation.
+                     local += e - b;
+                   });
+      inner_total.fetch_add(local, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ThreadPool, GlobalPoolResizesAndDefaultsAreSane) {
+  PoolGuard guard;
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 3u);
+  ThreadPool::set_global_threads(0);  // back to default
+  EXPECT_EQ(ThreadPool::global().thread_count(),
+            ThreadPool::default_thread_count());
+}
+
+TEST(ThreadPool, TasksMetricCounts) {
+  PoolGuard guard;
+  ThreadPool::set_global_threads(2);
+  auto& tasks = obs::MetricsRegistry::global().counter("exec.tasks");
+  const std::uint64_t before = tasks.value();
+  RegionOptions options;
+  options.name = "test/metric";
+  options.grain = 1;
+  options.max_chunks = 16;
+  parallel_for(16, options, [](std::size_t, std::size_t, std::size_t) {});
+  EXPECT_EQ(tasks.value(), before + 16);
+}
+
+// ------------------------------------------------------------- primitives
+
+TEST(ParallelFor, CoversEveryIndexOnceAtAnyThreadCount) {
+  PoolGuard guard;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    ThreadPool::set_global_threads(threads);
+    constexpr std::size_t kN = 10'000;
+    std::vector<std::atomic<int>> hits(kN);
+    RegionOptions options;
+    options.name = "test/coverage";
+    options.grain = 64;
+    parallel_for(kN, options,
+                 [&](std::size_t begin, std::size_t end, std::size_t) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     hits[i].fetch_add(1, std::memory_order_relaxed);
+                   }
+                 });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelReduce, MatchesSerialSumAtAnyThreadCount) {
+  PoolGuard guard;
+  constexpr std::size_t kN = 100'000;
+  const std::uint64_t want = static_cast<std::uint64_t>(kN) * (kN - 1) / 2;
+  RegionOptions options;
+  options.name = "test/sum";
+  options.grain = 128;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    ThreadPool::set_global_threads(threads);
+    const std::uint64_t got = parallel_reduce<std::uint64_t>(
+        kN, options, [] { return std::uint64_t{0}; },
+        [](std::uint64_t& acc, std::size_t begin, std::size_t end,
+           std::size_t) {
+          for (std::size_t i = begin; i < end; ++i) acc += i;
+        },
+        [](std::uint64_t& into, std::uint64_t&& from) { into += from; });
+    EXPECT_EQ(got, want) << "threads " << threads;
+  }
+}
+
+TEST(ParallelReduce, ErrorInsideBodySurfacesAsParallelError) {
+  PoolGuard guard;
+  ThreadPool::set_global_threads(4);
+  RegionOptions options;
+  options.name = "test/throwing";
+  options.grain = 1;
+  EXPECT_THROW(
+      parallel_reduce<int>(
+          32, options, [] { return 0; },
+          [](int&, std::size_t, std::size_t, std::size_t chunk) {
+            if (chunk == 3) throw std::runtime_error("bad chunk");
+          },
+          [](int& into, int&& from) { into += from; }),
+      ParallelError);
+}
+
+// ---------------------------------------------- pipeline-stage determinism
+//
+// The acceptance criterion for the subsystem: every parallelised stage is
+// a pure function of (inputs, seed). Each test runs a stage at 1, 4 and 8
+// threads and requires byte-identical output.
+
+std::vector<geo::GeoPoint> scattered_points(std::size_t n) {
+  stats::Rng rng(77);
+  std::vector<geo::GeoPoint> pts;
+  const geo::Region us = geo::regions::us();
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(us.south_deg, us.north_deg),
+                   rng.uniform(us.west_deg, us.east_deg)});
+  }
+  return pts;
+}
+
+TEST(Determinism, PairHistogramsIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const auto pts = scattered_points(1500);
+  const geo::Region us = geo::regions::us();
+  for (const auto method :
+       {core::PairCountMethod::kExact, core::PairCountMethod::kGrid}) {
+    core::DistancePrefOptions options;
+    options.method = method;
+    std::vector<double> reference;
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      ThreadPool::set_global_threads(threads);
+      const stats::Histogram h =
+          core::pair_distance_histogram(pts, 0.0, 3500.0, 100, us, options);
+      if (reference.empty()) {
+        reference = h.counts();
+      } else {
+        EXPECT_EQ(h.counts(), reference)
+            << "method " << static_cast<int>(method) << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(Determinism, BootstrapIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  stats::Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(2.0 * x + rng.normal(0.0, 1.0));
+  }
+  std::vector<double> reference;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    ThreadPool::set_global_threads(threads);
+    const stats::BootstrapInterval ci =
+        stats::bootstrap_slope(xs, ys, 300, 0.05, 999);
+    if (reference.empty()) {
+      reference = {ci.point, ci.lo, ci.hi};
+    } else {
+      EXPECT_EQ(ci.point, reference[0]) << "threads " << threads;
+      EXPECT_EQ(ci.lo, reference[1]) << "threads " << threads;
+      EXPECT_EQ(ci.hi, reference[2]) << "threads " << threads;
+    }
+  }
+}
+
+TEST(Determinism, SkitterIdenticalAcrossThreadCountsWithAndWithoutFaults) {
+  PoolGuard guard;
+  const auto& truth = geonet::testing::small_truth();
+
+  auto plan = fault::parse_fault_plan(
+      "monitor-outage:count=2,at=0.5;throttle:frac=0.2,rate=0.5;"
+      "truncate:prob=0.3,min-hops=2;probe-loss:prob=0.05,burst=3;seed=11");
+  ASSERT_TRUE(plan.is_ok());
+
+  for (const bool with_faults : {false, true}) {
+    synth::SkitterOptions options;
+    options.monitor_count = 6;
+    options.destinations_per_monitor = 300;
+    options.seed = 31;
+    if (with_faults) options.faults = plan.value();
+
+    std::optional<synth::InterfaceObservation> reference;
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      ThreadPool::set_global_threads(threads);
+      const synth::InterfaceObservation obs = run_skitter(truth, options);
+      if (!reference) {
+        reference = obs;
+        continue;
+      }
+      EXPECT_EQ(obs.interfaces, reference->interfaces)
+          << "faults " << with_faults << " threads " << threads;
+      EXPECT_EQ(obs.links, reference->links)
+          << "faults " << with_faults << " threads " << threads;
+      EXPECT_EQ(obs.traces, reference->traces);
+      EXPECT_EQ(obs.fault_stats.traces_truncated,
+                reference->fault_stats.traces_truncated);
+      EXPECT_EQ(obs.fault_stats.probes_lost, reference->fault_stats.probes_lost);
+      EXPECT_EQ(obs.fault_stats.destinations_skipped,
+                reference->fault_stats.destinations_skipped);
+      EXPECT_EQ(obs.probe_stats.attempts, reference->probe_stats.attempts);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geonet::exec

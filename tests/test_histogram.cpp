@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace geonet::stats {
 namespace {
@@ -49,10 +51,17 @@ TEST(Histogram, UnderflowOverflowTracked) {
   EXPECT_DOUBLE_EQ(h.total(), 0.0);
 }
 
-TEST(Histogram, NonFiniteGoesNowhereInBins) {
+TEST(Histogram, NonFiniteDroppedEntirely) {
+  // Non-finite samples are dropped outright: they land neither in a bin
+  // nor in the underflow/overflow tallies (NaN used to fall through the
+  // `x < lo` comparison into overflow).
   Histogram h(0.0, 10.0, 5);
   h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
   EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
 }
 
 TEST(Histogram, WeightsAccumulate) {
@@ -106,6 +115,66 @@ TEST(Histogram, RatioEmptyDenominatorBinYieldsZero) {
   a.add(0.5);
   const auto f = a.ratio(b);
   EXPECT_DOUBLE_EQ(f[0], 0.0);
+}
+
+TEST(Histogram, MergeRejectsBinningMismatch) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 10)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 20.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 5)), std::invalid_argument);
+  // A failed merge must not have half-applied anything.
+  EXPECT_DOUBLE_EQ(a.total(), 0.0);
+}
+
+TEST(Histogram, MergeSumsBinsAndOutliers) {
+  Histogram a(0.0, 10.0, 5);
+  a.add(1.0);        // bin 0
+  a.add(-3.0);       // underflow
+  Histogram b(0.0, 10.0, 5);
+  b.add(1.5, 2.0);   // bin 0
+  b.add(9.0);        // bin 4
+  b.add(10.0);       // exactly hi -> overflow
+  b.add(42.0, 3.0);  // overflow
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(a.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(a.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(a.overflow(), 4.0);
+  EXPECT_DOUBLE_EQ(a.total(), 4.0);
+}
+
+TEST(Histogram, ChunkOrderedMergeMatchesSerialLoop) {
+  // The exec determinism contract for histogram reductions: filling
+  // per-chunk histograms over contiguous index ranges and merging them in
+  // ascending chunk order is byte-identical to one serial pass.
+  std::vector<double> xs;
+  std::vector<double> ws;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    xs.push_back(static_cast<double>(state % 1200) / 100.0 - 1.0);
+    ws.push_back(1.0 + static_cast<double>(state % 7) * 0.125);
+  }
+
+  Histogram serial(0.0, 10.0, 32);
+  for (std::size_t i = 0; i < xs.size(); ++i) serial.add(xs[i], ws[i]);
+
+  const std::size_t chunks = 7;  // deliberately not a divisor of n
+  Histogram merged(0.0, 10.0, 32);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * xs.size() / chunks;
+    const std::size_t end = (c + 1) * xs.size() / chunks;
+    Histogram part(0.0, 10.0, 32);
+    for (std::size_t i = begin; i < end; ++i) part.add(xs[i], ws[i]);
+    merged.merge(part);
+  }
+
+  ASSERT_EQ(serial.bin_count(), merged.bin_count());
+  for (std::size_t b = 0; b < serial.bin_count(); ++b) {
+    EXPECT_DOUBLE_EQ(serial.count(b), merged.count(b)) << "bin " << b;
+  }
+  EXPECT_DOUBLE_EQ(serial.underflow(), merged.underflow());
+  EXPECT_DOUBLE_EQ(serial.overflow(), merged.overflow());
 }
 
 }  // namespace

@@ -15,6 +15,9 @@
 //   --trace <file>     write a chrome://tracing-loadable span trace
 //   --metrics <file>   write a geonet.run_report.v1 JSON run report
 //   --faults <spec>    inject measurement faults (see docs/robustness.md)
+//   --threads <n>      worker threads for parallel regions (default: all
+//                      cores, or GEONET_THREADS); results are identical
+//                      at any thread count
 //   --max-errors <n>   analysis-phase error budget before giving up
 //   --lenient-io       quarantine malformed graph records instead of failing
 //   --quiet            suppress info/warn diagnostics on stderr
@@ -29,6 +32,7 @@
 
 #include "core/study.h"
 #include "core/validate.h"
+#include "exec/thread_pool.h"
 #include "fault/fault_plan.h"
 #include "generators/geo_gen.h"
 #include "net/graph_io.h"
@@ -63,6 +67,9 @@ constexpr const char* kUsage =
     "                    (clauses: monitor-outage, throttle, truncate,\n"
     "                    probe-loss, geo-corrupt, seed=<n>; see "
     "docs/robustness.md)\n"
+    "  --threads <n>     worker threads for parallel regions (default:\n"
+    "                    GEONET_THREADS or all cores); any n gives\n"
+    "                    identical results (see docs/parallelism.md)\n"
     "  --max-errors <n>  tolerate up to n analysis phase errors (default 8)\n"
     "  --lenient-io      quarantine malformed graph records instead of\n"
     "                    failing the whole read\n"
@@ -78,6 +85,7 @@ struct GlobalFlags {
   std::string trace_path;
   std::string metrics_path;
   std::optional<fault::FaultPlan> faults;
+  std::optional<std::size_t> threads;
   std::optional<std::size_t> max_errors;
   bool lenient_io = false;
   bool quiet = false;
@@ -117,6 +125,20 @@ std::optional<GlobalFlags> extract_global_flags(std::vector<std::string>& args) 
         return std::nullopt;
       }
       flags.faults = std::move(plan).value();
+    } else if (arg == "--threads") {
+      const auto value = flag_value("--threads");
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "--threads requires a count");
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value->c_str(), &end, 10);
+      if (end == value->c_str() || *end != '\0' || n == 0) {
+        obs::log(obs::LogLevel::kError,
+                 "--threads: '%s' is not a positive integer", value->c_str());
+        return std::nullopt;
+      }
+      flags.threads = static_cast<std::size_t>(n);
     } else if (arg == "--max-errors") {
       const auto value = flag_value("--max-errors");
       if (!value) {
@@ -371,6 +393,7 @@ int main(int argc, char** argv) {
   }
   if (flags->quiet) obs::set_log_level(obs::LogLevel::kError);
   if (!flags->trace_path.empty()) obs::Tracer::global().set_enabled(true);
+  if (flags->threads) exec::ThreadPool::set_global_threads(*flags->threads);
 
   const std::string& command = args[0];
   obs::RunReport run_report(command);
