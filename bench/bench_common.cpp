@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "obs/log.h"
 #include "obs/run_report.h"
+#include "store/fs.h"
 
 namespace geonet::bench {
 
@@ -80,7 +82,7 @@ void write_bench_report() {
   const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - record.start);
   report.set_info("wall_us", std::to_string(wall_us.count()));
-  if (report.write(path)) {
+  if (store::atomic_write_text(path, report.to_json() + "\n")) {
     obs::log(obs::LogLevel::kInfo, "[geonet] bench record written: %s",
              path.c_str());
   }
@@ -103,9 +105,21 @@ void print_banner(const char* experiment, const char* paper_artifact) {
   std::printf("================================================================\n");
 }
 
+std::string dat_name(const std::string& stem) {
+  // Strip a trailing ".dat" so callers can pass either a label or a
+  // full filename; everything goes through the same slug.
+  std::string base = stem;
+  constexpr std::string_view kExt = ".dat";
+  if (base.size() >= kExt.size() &&
+      base.compare(base.size() - kExt.size(), kExt.size(), kExt) == 0) {
+    base.resize(base.size() - kExt.size());
+  }
+  return store::slug(base) + ".dat";
+}
+
 void save_series(const std::string& filename, const report::Series& series,
                  const std::string& comment) {
-  const std::string path = report::results_dir() + "/" + filename;
+  const std::string path = report::results_dir() + "/" + dat_name(filename);
   if (report::write_series(path, series, comment)) {
     std::printf("  [series written: %s]\n", path.c_str());
   }

@@ -36,7 +36,14 @@ const std::vector<DatasetRef>& ixmapper_datasets();
 /// GEONET_BENCH_REPORT_DIR to redirect.
 void print_banner(const char* experiment, const char* paper_artifact);
 
-/// Writes a two-column series under results/ and reports the path.
+/// Builds an artifact-safe .dat filename from a free-form label:
+/// store::slug over the stem, so "fig04_EdgeScape, Mercator_US" becomes
+/// "fig04_edgescape_mercator_us.dat". Use this for both save_series and
+/// the gnuplot panel references so the script always matches the files.
+std::string dat_name(const std::string& stem);
+
+/// Writes a two-column series under results/ and reports the path. The
+/// filename stem is slugged via dat_name, so callers may pass raw labels.
 void save_series(const std::string& filename, const report::Series& series,
                  const std::string& comment);
 

@@ -48,14 +48,8 @@ int main() {
           series.points.push_back({std::log10(patch.population),
                                    std::log10(patch.node_count)});
         }
-        std::string file = "fig02_";
-        file += to_string(ref.dataset);
-        file += "_";
-        file += region.name;
-        file += ".dat";
-        for (auto& c : file) {
-          if (c == ' ') c = '_';
-        }
+        const std::string file = bench::dat_name(
+            std::string("fig02_") + to_string(ref.dataset) + "_" + region.name);
         bench::save_series(file, series, "Figure 2 patch scatter");
       }
     }

@@ -49,11 +49,8 @@ int main() {
           series.points.push_back({pref.bin_center(b), pref.f[b]});
         }
       }
-      std::string file = std::string("fig04_") + ref.label + "_" + region.name +
-                         ".dat";
-      for (auto& c : file) {
-        if (c == ' ') c = '_';
-      }
+      const std::string file = bench::dat_name(std::string("fig04_") +
+                                               ref.label + "_" + region.name);
       bench::save_series(file, series, "Figure 4 empirical f(d)");
     }
   }
@@ -67,13 +64,12 @@ int main() {
     panel.xlabel = "d (miles)";
     panel.ylabel = "f(d)";
     panel.logy = true;
-    for (const auto& ref : bench::ixmapper_datasets()) {
-      std::string file = std::string("fig04_") + ref.label + "_" +
-                         region.name + ".dat";
-      for (auto& c : file) {
-        if (c == ' ') c = '_';
-      }
-      panel.dat_files.push_back(file);
+    // Reference the files by the same label the save loop used (the
+    // all_datasets labels), restricted to the main-body IxMapper panels.
+    for (const auto& ref : bench::all_datasets()) {
+      if (ref.mapper != synth::MapperKind::kIxMapper) continue;
+      panel.dat_files.push_back(bench::dat_name(std::string("fig04_") +
+                                                ref.label + "_" + region.name));
     }
     panels.push_back(std::move(panel));
   }

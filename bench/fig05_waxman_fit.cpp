@@ -45,11 +45,8 @@ int main() {
           series.points.push_back({d, std::log(pref.f[b])});
         }
       }
-      std::string file = std::string("fig05_") + ref.label + "_" +
-                         region.name + ".dat";
-      for (auto& c : file) {
-        if (c == ' ') c = '_';
-      }
+      const std::string file = bench::dat_name(std::string("fig05_") +
+                                               ref.label + "_" + region.name);
       bench::save_series(file, series, "Figure 5 semilog small-d");
     }
   }

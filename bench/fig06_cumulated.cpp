@@ -37,11 +37,8 @@ int main() {
           series.points.push_back({d, cumulative[b]});
         }
       }
-      std::string file = std::string("fig06_") + ref.label + "_" +
-                         region.name + ".dat";
-      for (auto& c : file) {
-        if (c == ' ') c = '_';
-      }
+      const std::string file = bench::dat_name(std::string("fig06_") +
+                                               ref.label + "_" + region.name);
       bench::save_series(file, series, "Figure 6 cumulated F(d) large-d");
     }
   }

@@ -23,6 +23,7 @@
 #include "population/synth_population.h"
 #include "report/series.h"
 #include "stats/fenwick.h"
+#include "store/fs.h"
 #include "stats/rng.h"
 #include "synth/ground_truth.h"
 
@@ -230,7 +231,7 @@ void write_exec_scaling_record() {
   const std::string path =
       (dir != nullptr ? std::string(dir) : report::results_dir()) +
       "/BENCH_exec.json";
-  if (report.write(path)) {
+  if (store::atomic_write_text(path, report.to_json() + "\n")) {
     std::printf("bench record written: %s\n", path.c_str());
   }
 }

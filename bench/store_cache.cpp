@@ -1,0 +1,120 @@
+// Warm/cold sweep for the geonet::store artifact cache: run the full
+// analysis study once against an empty cache (cold, every phase computed
+// and snapshotted) and again against the populated cache (warm, every
+// phase deserialized), and record the wall times plus a byte-identity
+// cross-check of the resulting study report. Written as
+// results/BENCH_store.json in the geonet.run_report.v1 bench schema.
+// Control the substrate size with GEONET_BENCH_STORE_SCALE (default
+// 0.05); disable with GEONET_BENCH_REPORT=0, redirect with
+// GEONET_BENCH_REPORT_DIR.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "report/series.h"
+#include "store/cache.h"
+#include "store/fs.h"
+#include "synth/scenario.h"
+
+int main() {
+  using namespace geonet;
+  std::printf("================================================================\n");
+  std::printf("store_cache  --  infrastructure: snapshot cache warm/cold sweep\n");
+  std::printf("================================================================\n");
+
+  double scale = 0.05;
+  if (const char* env = std::getenv("GEONET_BENCH_STORE_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) scale = v;
+  }
+
+  auto options = synth::ScenarioOptions::defaults();
+  options.scale = scale;
+  std::printf("building scenario at scale %.3f...\n", options.scale);
+  const synth::Scenario scenario = synth::Scenario::build(options);
+  const auto& graph =
+      scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "geonet_bench_store_cache";
+  std::filesystem::remove_all(cache_dir);
+  store::ArtifactCache cache(cache_dir.string());
+
+  core::StudyOptions study_options;
+  study_options.cache = &cache;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto timed_run = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::StudyReport report =
+        core::run_study(graph, scenario.world(), study_options);
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    return std::pair<long long, std::string>(wall.count(),
+                                             core::study_report_json(report));
+  };
+
+  const auto [cold_us, cold_json] = timed_run();
+  std::printf("cold run: %lld us (cache populated)\n", cold_us);
+
+  std::vector<long long> warm_us;
+  bool identical = true;
+  long long best_warm = cold_us;
+  for (int i = 0; i < 3; ++i) {
+    const auto [us, json] = timed_run();
+    warm_us.push_back(us);
+    if (json != cold_json) identical = false;
+    if (us < best_warm) best_warm = us;
+    std::printf("warm run %d: %lld us\n", i + 1, us);
+  }
+  const double speedup =
+      best_warm > 0 ? static_cast<double>(cold_us) / static_cast<double>(best_warm)
+                    : 0.0;
+  std::printf("warm speedup: %.1fx; reports identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("scale").value(scale);
+  json.key("cold_us").value(static_cast<std::uint64_t>(cold_us));
+  json.key("warm_us").begin_array();
+  for (const long long us : warm_us) {
+    json.value(static_cast<std::uint64_t>(us));
+  }
+  json.end_array();
+  json.key("speedup_cold_over_best_warm").value(speedup);
+  json.key("reports_identical").value(identical);
+  const store::CacheStats stats = cache.stats();
+  json.key("cache_entries").value(stats.entries);
+  json.key("cache_bytes").value(stats.bytes);
+  json.end_object();
+
+  bool written = true;
+  if (const char* env = std::getenv("GEONET_BENCH_REPORT");
+      env == nullptr || std::string(env) != "0") {
+    obs::RunReport report("bench");
+    report.set_info("experiment", "store");
+    report.set_info("paper_artifact", "infrastructure: snapshot cache");
+    report.set_info("scale", std::to_string(scale));
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    report.set_info("wall_us", std::to_string(wall.count()));
+    report.add_section("cache_sweep", json.str());
+    const char* dir = std::getenv("GEONET_BENCH_REPORT_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) : report::results_dir()) +
+        "/BENCH_store.json";
+    written = store::atomic_write_text(path, report.to_json() + "\n");
+    if (written) std::printf("bench record written: %s\n", path.c_str());
+  }
+
+  std::filesystem::remove_all(cache_dir);
+  return identical && written ? 0 : 1;
+}

@@ -1,16 +1,21 @@
 #include "core/study.h"
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
+#include "core/study_store.h"
 #include "err/status.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "report/table.h"
+#include "store/cache.h"
+#include "store/fs.h"
+#include "store/snapshot.h"
 
 namespace geonet::core {
 
@@ -90,10 +95,91 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
     return ok;
   };
 
-  run_phase("study/economic_tables", "economic_tables", [&] {
-    report.economic_rows = economic_region_table(graph, world);
-    report.homogeneity_rows = homogeneity_table(graph, world);
-  });
+  // Phase-level memoization: with a cache attached, each phase keys a
+  // snapshot of its result on the full input fingerprint and decodes a
+  // prior run's result instead of recomputing. The codecs are byte-exact,
+  // so a warm run's report (and everything rendered from it) is identical
+  // to a cold run's. A corrupt entry degrades to recomputation, recorded
+  // in degradation.notes — never a crash, never a wrong result.
+  store::ArtifactCache* const cache = options.cache;
+  static obs::Counter& phase_hits_metric =
+      obs::MetricsRegistry::global().counter("store.phase_hits");
+  const store::Fingerprint base_fp = cache != nullptr
+                                         ? study_fingerprint(graph, world, options)
+                                         : store::Fingerprint{};
+
+  const auto cached_phase = [&](const char* span_name,
+                                const std::string& label,
+                                std::uint32_t section, auto&& compute,
+                                auto&& encode, auto&& decode) -> bool {
+    if (cache == nullptr) return run_phase(span_name, label, compute);
+    if (budget.exhausted()) {
+      // Same skip the cold path takes — a hit here would make warm runs
+      // diverge from cold ones under an exhausted budget.
+      skip_phase(label, "error budget exhausted");
+      return false;
+    }
+    store::Fingerprint fp = base_fp;
+    fp.add("phase", label);
+    const store::Digest128 key = fp.digest();
+    auto bytes = cache->get(key);
+    if (bytes.is_ok()) {
+      const auto parsed = store::SnapshotView::parse(bytes.value());
+      err::Status status = err::Status::ok();
+      if (!parsed.is_ok()) {
+        status = parsed.status();
+      } else if (const auto* found = parsed.value().find(section)) {
+        store::ByteReader reader(found->payload);
+        status = decode(reader);
+      } else {
+        status = err::Status::data_loss("phase section missing");
+      }
+      if (status.is_ok()) {
+        PhaseOutcome outcome;
+        outcome.phase = label;
+        degradation.phases.push_back(std::move(outcome));
+        phase_hits_metric.add();
+        return true;
+      }
+      degradation.notes.push_back("cache entry for phase '" + label +
+                                  "' was undecodable (" + status.message() +
+                                  "); recomputed");
+    } else if (bytes.status().code() != err::Code::kNotFound) {
+      // get() detected damage, quarantined the entry and counted
+      // store.corrupt; the run report carries the event as a note.
+      degradation.notes.push_back(bytes.status().message() + "; recomputed");
+    }
+    if (!run_phase(span_name, label, compute)) return false;
+    store::ByteWriter body;
+    encode(body);
+    store::SnapshotWriter writer;
+    writer.add_section(section, body.take());
+    const err::Status put = cache->put(key, writer.finish());
+    if (!put.is_ok()) {
+      obs::log(obs::LogLevel::kWarn, "study phase '%s' not cached: %s",
+               label.c_str(), put.message().c_str());
+    }
+    return true;
+  };
+
+  cached_phase(
+      "study/economic_tables", "economic_tables", kSectionRegionTables,
+      [&] {
+        report.economic_rows = economic_region_table(graph, world);
+        report.homogeneity_rows = homogeneity_table(graph, world);
+      },
+      [&](store::ByteWriter& out) {
+        encode_region_tables(out, report.economic_rows,
+                             report.homogeneity_rows);
+      },
+      [&](store::ByteReader& in) -> err::Status {
+        auto tables = decode_region_tables(in);
+        if (!tables.is_ok()) return tables.status();
+        auto pair = std::move(tables).value();
+        report.economic_rows = std::move(pair.first);
+        report.homogeneity_rows = std::move(pair.second);
+        return err::Status::ok();
+      });
 
   const std::vector<geo::Region> regions =
       options.regions.empty() ? geo::regions::paper_study_regions()
@@ -101,50 +187,130 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
   for (const geo::Region& region : regions) {
     RegionStudy study;
     study.region = region;
-    run_phase("study/density", "density:" + region.name, [&] {
-      study.density =
-          analyze_density(graph, world, region, options.patch_arcmin);
-    });
-    const bool distance_ok =
-        run_phase("study/distance_pref", "distance_pref:" + region.name, [&] {
+    cached_phase(
+        "study/density", "density:" + region.name, kSectionDensity,
+        [&] {
+          study.density =
+              analyze_density(graph, world, region, options.patch_arcmin);
+        },
+        [&](store::ByteWriter& out) { encode_density(out, study.density); },
+        [&](store::ByteReader& in) -> err::Status {
+          auto density = decode_density(in);
+          if (!density.is_ok()) return density.status();
+          study.density = std::move(density).value();
+          return err::Status::ok();
+        });
+    const bool distance_ok = cached_phase(
+        "study/distance_pref", "distance_pref:" + region.name,
+        kSectionDistancePref,
+        [&] {
           study.distance = distance_preference(graph, region, options.distance);
+        },
+        [&](store::ByteWriter& out) {
+          encode_distance_pref(out, study.distance);
+        },
+        [&](store::ByteReader& in) -> err::Status {
+          auto pref = decode_distance_pref(in);
+          if (!pref.is_ok()) return pref.status();
+          study.distance = std::move(pref).value();
+          return err::Status::ok();
         });
     if (distance_ok) {
-      run_phase("study/waxman_fit", "waxman_fit:" + region.name, [&] {
-        WaxmanFitOptions fit_options;
-        fit_options.small_d_cut_miles = paper_small_d_cut(region);
-        study.waxman = characterize_waxman(study.distance, fit_options);
-      });
+      cached_phase(
+          "study/waxman_fit", "waxman_fit:" + region.name, kSectionWaxman,
+          [&] {
+            WaxmanFitOptions fit_options;
+            fit_options.small_d_cut_miles = paper_small_d_cut(region);
+            study.waxman = characterize_waxman(study.distance, fit_options);
+          },
+          [&](store::ByteWriter& out) { encode_waxman(out, study.waxman); },
+          [&](store::ByteReader& in) -> err::Status {
+            auto wax = decode_waxman(in);
+            if (!wax.is_ok()) return wax.status();
+            study.waxman = std::move(wax).value();
+            return err::Status::ok();
+          });
     } else {
       // The fit consumes the distance histograms; fitting defaults would
       // manufacture a bogus exponent, so the phase sits out instead.
       skip_phase("waxman_fit:" + region.name,
                  "dependency failed: distance_pref:" + region.name);
     }
-    run_phase("study/link_domains", "link_domains:" + region.name, [&] {
-      study.link_domains = analyze_link_domains(graph, region);
-    });
+    cached_phase(
+        "study/link_domains", "link_domains:" + region.name,
+        kSectionLinkDomains,
+        [&] { study.link_domains = analyze_link_domains(graph, region); },
+        [&](store::ByteWriter& out) {
+          encode_link_domains(out, study.link_domains);
+        },
+        [&](store::ByteReader& in) -> err::Status {
+          auto links = decode_link_domains(in);
+          if (!links.is_ok()) return links.status();
+          study.link_domains = std::move(links).value();
+          return err::Status::ok();
+        });
     report.regions.push_back(std::move(study));
   }
 
-  run_phase("study/link_domains", "link_domains:world", [&] {
-    report.world_links = analyze_link_domains(graph);
-  });
-  run_phase("study/link_lengths", "link_lengths", [&] {
-    report.link_lengths = analyze_link_lengths(graph);
-  });
-  run_phase("study/as_analysis", "as_analysis", [&] {
-    report.as_sizes = analyze_as_sizes(graph);
-  });
-  run_phase("study/hulls", "hulls", [&] {
-    report.hulls = analyze_hulls(graph);
-  });
+  cached_phase(
+      "study/link_domains", "link_domains:world", kSectionLinkDomains,
+      [&] { report.world_links = analyze_link_domains(graph); },
+      [&](store::ByteWriter& out) {
+        encode_link_domains(out, report.world_links);
+      },
+      [&](store::ByteReader& in) -> err::Status {
+        auto links = decode_link_domains(in);
+        if (!links.is_ok()) return links.status();
+        report.world_links = std::move(links).value();
+        return err::Status::ok();
+      });
+  cached_phase(
+      "study/link_lengths", "link_lengths", kSectionLinkLengths,
+      [&] { report.link_lengths = analyze_link_lengths(graph); },
+      [&](store::ByteWriter& out) {
+        encode_link_lengths(out, report.link_lengths);
+      },
+      [&](store::ByteReader& in) -> err::Status {
+        auto lengths = decode_link_lengths(in);
+        if (!lengths.is_ok()) return lengths.status();
+        report.link_lengths = std::move(lengths).value();
+        return err::Status::ok();
+      });
+  cached_phase(
+      "study/as_analysis", "as_analysis", kSectionAsSizes,
+      [&] { report.as_sizes = analyze_as_sizes(graph); },
+      [&](store::ByteWriter& out) { encode_as_sizes(out, report.as_sizes); },
+      [&](store::ByteReader& in) -> err::Status {
+        auto as_sizes = decode_as_sizes(in);
+        if (!as_sizes.is_ok()) return as_sizes.status();
+        report.as_sizes = std::move(as_sizes).value();
+        return err::Status::ok();
+      });
+  cached_phase(
+      "study/hulls", "hulls", kSectionHulls,
+      [&] { report.hulls = analyze_hulls(graph); },
+      [&](store::ByteWriter& out) { encode_hulls(out, report.hulls); },
+      [&](store::ByteReader& in) -> err::Status {
+        auto hulls = decode_hulls(in);
+        if (!hulls.is_ok()) return hulls.status();
+        report.hulls = std::move(hulls).value();
+        return err::Status::ok();
+      });
 
   if (options.compute_fractal_dimension) {
-    run_phase("study/fractal_dimension", "fractal_dimension", [&] {
-      report.fractal = geo::box_counting_dimension(graph.locations(),
-                                                   geo::regions::us());
-    });
+    cached_phase(
+        "study/fractal_dimension", "fractal_dimension", kSectionFractal,
+        [&] {
+          report.fractal = geo::box_counting_dimension(graph.locations(),
+                                                       geo::regions::us());
+        },
+        [&](store::ByteWriter& out) { encode_fractal(out, report.fractal); },
+        [&](store::ByteReader& in) -> err::Status {
+          auto fractal = decode_fractal(in);
+          if (!fractal.is_ok()) return fractal.status();
+          report.fractal = std::move(fractal).value();
+          return err::Status::ok();
+        });
   }
   return report;
 }
@@ -177,6 +343,11 @@ std::string study_degradation_json(const DegradationReport& degradation) {
       json.key("reason").value(outcome.error);
       json.end_object();
     }
+    json.end_array();
+  }
+  if (!degradation.notes.empty()) {
+    json.key("notes").begin_array();
+    for (const std::string& note : degradation.notes) json.value(note);
     json.end_array();
   }
   json.end_object();
@@ -278,8 +449,7 @@ std::string summarize(const StudyReport& report) {
 }
 
 bool write_study_markdown(const StudyReport& report, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+  std::ostringstream out;
   out << "# Study: " << report.dataset_name << "\n\n";
   out << report.nodes << " nodes, " << report.links << " links, "
       << report.distinct_locations << " distinct locations\n\n";
@@ -330,7 +500,7 @@ bool write_study_markdown(const StudyReport& report, const std::string& path) {
       << report::fmt(report.hulls.thresholds.by_node_count, 0)
       << ", locations "
       << report::fmt(report.hulls.thresholds.by_locations, 0) << "\n";
-  return static_cast<bool>(out);
+  return store::atomic_write_text(path, out.str());
 }
 
 }  // namespace geonet::core

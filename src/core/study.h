@@ -14,6 +14,10 @@
 #include "net/annotated_graph.h"
 #include "population/synth_population.h"
 
+namespace geonet::store {
+class ArtifactCache;
+}  // namespace geonet::store
+
 namespace geonet::core {
 
 /// Everything the paper computes for one study region of one dataset.
@@ -42,6 +46,10 @@ struct DegradationReport {
   std::size_t skipped = 0;           ///< phases not run
   std::size_t max_errors = 0;        ///< the budget this run had
   bool budget_exhausted = false;     ///< remaining phases were skipped
+  /// Non-fatal events worth surfacing in the report, e.g. "cache entry
+  /// for phase X was corrupt; recomputed". A note alone does not make the
+  /// run degraded — the results are complete, just obtained the hard way.
+  std::vector<std::string> notes;
 
   [[nodiscard]] bool degraded() const noexcept {
     return errors != 0 || skipped != 0;
@@ -83,6 +91,11 @@ struct StudyOptions {
   /// entry, exercising the degradation machinery in tests and chaos
   /// drills ("density:US", "hulls", ...).
   std::vector<std::string> inject_phase_failures;
+  /// Phase-level memoization (non-owning; nullptr = recompute everything).
+  /// Each phase keys a snapshot of its result table on the full input
+  /// fingerprint (see study_fingerprint in core/study_store.h); a warm
+  /// re-run decodes instead of recomputing and is byte-identical to cold.
+  store::ArtifactCache* cache = nullptr;
 };
 
 /// Runs the paper's full analysis pipeline over one processed dataset.

@@ -1,0 +1,458 @@
+#include "core/study_store.h"
+
+#include <cmath>
+#include <limits>
+
+#include "net/graph_io.h"
+
+namespace geonet::core {
+
+namespace {
+
+/// Vector-of-doubles codec used by several phases.
+void encode_doubles(store::ByteWriter& out, const std::vector<double>& xs) {
+  out.u64(xs.size());
+  for (const double x : xs) out.f64(x);
+}
+
+bool decode_doubles(store::ByteReader& in, std::vector<double>* out) {
+  const std::uint64_t count = in.u64();
+  if (count > in.remaining() / 8) return false;
+  out->reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out->push_back(in.f64());
+  return in.ok();
+}
+
+err::Status truncated(const char* what) {
+  return err::Status::data_loss(std::string("phase payload: truncated ") +
+                                what);
+}
+
+}  // namespace
+
+// --- Shared sub-codecs ----------------------------------------------
+
+void encode_fit(store::ByteWriter& out, const stats::LinearFit& fit) {
+  out.f64(fit.slope);
+  out.f64(fit.intercept);
+  out.f64(fit.r_squared);
+  out.u64(fit.n);
+}
+
+stats::LinearFit decode_fit(store::ByteReader& in) {
+  stats::LinearFit fit;
+  fit.slope = in.f64();
+  fit.intercept = in.f64();
+  fit.r_squared = in.f64();
+  fit.n = static_cast<std::size_t>(in.u64());
+  return fit;
+}
+
+void encode_summary(store::ByteWriter& out, const stats::Summary& summary) {
+  out.u64(summary.n);
+  out.f64(summary.mean);
+  out.f64(summary.stddev);
+  out.f64(summary.min);
+  out.f64(summary.max);
+  out.f64(summary.median);
+}
+
+stats::Summary decode_summary(store::ByteReader& in) {
+  stats::Summary summary;
+  summary.n = static_cast<std::size_t>(in.u64());
+  summary.mean = in.f64();
+  summary.stddev = in.f64();
+  summary.min = in.f64();
+  summary.max = in.f64();
+  summary.median = in.f64();
+  return summary;
+}
+
+void encode_histogram(store::ByteWriter& out, const stats::Histogram& hist) {
+  out.f64(hist.lo());
+  out.f64(hist.hi());
+  out.u64(hist.bin_count());
+  for (const double count : hist.counts()) out.f64(count);
+  out.f64(hist.underflow());
+  out.f64(hist.overflow());
+}
+
+err::Result<stats::Histogram> decode_histogram(store::ByteReader& in) {
+  const double lo = in.f64();
+  const double hi = in.f64();
+  const std::uint64_t bins = in.u64();
+  // Histogram's constructor requires a finite non-empty range; a payload
+  // violating that is damage, not a histogram.
+  if (!in.ok() || !std::isfinite(lo) || !std::isfinite(hi) || hi <= lo ||
+      bins == 0 || bins > in.remaining() / 8) {
+    return err::Status::data_loss("phase payload: malformed histogram header");
+  }
+  stats::Histogram hist(lo, hi, static_cast<std::size_t>(bins));
+  for (std::uint64_t b = 0; b < bins; ++b) {
+    hist.add_to_bin(static_cast<std::size_t>(b), in.f64());
+  }
+  const double underflow = in.f64();
+  const double overflow = in.f64();
+  if (!in.ok()) return truncated("histogram");
+  // No direct setters for the out-of-range tallies; route them through
+  // add() with values just outside the range.
+  if (underflow != 0.0) {
+    hist.add(std::nextafter(lo, -std::numeric_limits<double>::max()),
+             underflow);
+  }
+  if (overflow != 0.0) hist.add(hi, overflow);
+  return hist;
+}
+
+// --- Phase-result codecs --------------------------------------------
+
+void encode_density(store::ByteWriter& out, const DensityAnalysis& density) {
+  out.u64(density.patches.size());
+  for (const PatchPoint& patch : density.patches) {
+    out.f64(patch.population);
+    out.f64(patch.node_count);
+  }
+  encode_fit(out, density.loglog_fit);
+  out.u64(density.nodes_in_region);
+  out.u64(density.occupied_patches);
+  out.f64(density.patch_arcmin);
+}
+
+err::Result<DensityAnalysis> decode_density(store::ByteReader& in) {
+  DensityAnalysis density;
+  const std::uint64_t patches = in.u64();
+  if (patches > in.remaining() / 16) return truncated("density patches");
+  density.patches.reserve(static_cast<std::size_t>(patches));
+  for (std::uint64_t i = 0; i < patches; ++i) {
+    PatchPoint patch;
+    patch.population = in.f64();
+    patch.node_count = in.f64();
+    density.patches.push_back(patch);
+  }
+  density.loglog_fit = decode_fit(in);
+  density.nodes_in_region = static_cast<std::size_t>(in.u64());
+  density.occupied_patches = static_cast<std::size_t>(in.u64());
+  density.patch_arcmin = in.f64();
+  if (!in.ok()) return truncated("density");
+  return density;
+}
+
+void encode_distance_pref(store::ByteWriter& out,
+                          const DistancePreference& pref) {
+  encode_histogram(out, pref.link_hist);
+  encode_histogram(out, pref.pair_hist);
+  encode_doubles(out, pref.f);
+  out.f64(pref.bin_miles);
+  out.u64(pref.nodes);
+  out.u64(pref.links);
+}
+
+err::Result<DistancePreference> decode_distance_pref(store::ByteReader& in) {
+  DistancePreference pref;
+  auto link_hist = decode_histogram(in);
+  if (!link_hist.is_ok()) return link_hist.status();
+  pref.link_hist = std::move(link_hist).value();
+  auto pair_hist = decode_histogram(in);
+  if (!pair_hist.is_ok()) return pair_hist.status();
+  pref.pair_hist = std::move(pair_hist).value();
+  if (!decode_doubles(in, &pref.f)) return truncated("distance-pref ratios");
+  pref.bin_miles = in.f64();
+  pref.nodes = static_cast<std::size_t>(in.u64());
+  pref.links = static_cast<std::size_t>(in.u64());
+  if (!in.ok()) return truncated("distance-pref");
+  return pref;
+}
+
+void encode_waxman(store::ByteWriter& out, const WaxmanCharacterisation& wax) {
+  encode_fit(out, wax.semilog_fit);
+  out.f64(wax.lambda_miles);
+  out.f64(wax.beta);
+  out.f64(wax.small_d_cut_miles);
+  out.f64(wax.flat_level);
+  encode_fit(out, wax.cumulative_fit);
+  out.f64(wax.sensitivity_limit_miles);
+  out.f64(wax.fraction_links_below_limit);
+}
+
+err::Result<WaxmanCharacterisation> decode_waxman(store::ByteReader& in) {
+  WaxmanCharacterisation wax;
+  wax.semilog_fit = decode_fit(in);
+  wax.lambda_miles = in.f64();
+  wax.beta = in.f64();
+  wax.small_d_cut_miles = in.f64();
+  wax.flat_level = in.f64();
+  wax.cumulative_fit = decode_fit(in);
+  wax.sensitivity_limit_miles = in.f64();
+  wax.fraction_links_below_limit = in.f64();
+  if (!in.ok()) return truncated("waxman fit");
+  return wax;
+}
+
+void encode_link_domains(store::ByteWriter& out, const LinkDomainStats& links) {
+  out.str(links.scope);
+  out.u64(links.interdomain_count);
+  out.u64(links.intradomain_count);
+  out.f64(links.interdomain_mean_miles);
+  out.f64(links.intradomain_mean_miles);
+}
+
+err::Result<LinkDomainStats> decode_link_domains(store::ByteReader& in) {
+  LinkDomainStats links;
+  links.scope = in.str();
+  links.interdomain_count = static_cast<std::size_t>(in.u64());
+  links.intradomain_count = static_cast<std::size_t>(in.u64());
+  links.interdomain_mean_miles = in.f64();
+  links.intradomain_mean_miles = in.f64();
+  if (!in.ok()) return truncated("link domains");
+  return links;
+}
+
+void encode_link_lengths(store::ByteWriter& out,
+                         const LinkLengthAnalysis& lengths) {
+  encode_doubles(out, lengths.lengths_miles);
+  encode_summary(out, lengths.summary);
+  out.f64(lengths.fraction_zero);
+  encode_fit(out, lengths.tail);
+}
+
+err::Result<LinkLengthAnalysis> decode_link_lengths(store::ByteReader& in) {
+  LinkLengthAnalysis lengths;
+  if (!decode_doubles(in, &lengths.lengths_miles)) {
+    return truncated("link lengths");
+  }
+  lengths.summary = decode_summary(in);
+  lengths.fraction_zero = in.f64();
+  lengths.tail = decode_fit(in);
+  if (!in.ok()) return truncated("link-length analysis");
+  return lengths;
+}
+
+void encode_as_sizes(store::ByteWriter& out, const AsSizeAnalysis& as_sizes) {
+  out.u64(as_sizes.records.size());
+  for (const AsRecord& record : as_sizes.records) {
+    out.u32(record.asn);
+    out.u64(record.node_count);
+    out.u64(record.location_count);
+    out.u64(record.degree);
+  }
+  out.f64(as_sizes.corr_nodes_locations);
+  out.f64(as_sizes.corr_nodes_degree);
+  out.f64(as_sizes.corr_locations_degree);
+  encode_fit(out, as_sizes.tail_nodes);
+  encode_fit(out, as_sizes.tail_locations);
+  encode_fit(out, as_sizes.tail_degree);
+}
+
+err::Result<AsSizeAnalysis> decode_as_sizes(store::ByteReader& in) {
+  AsSizeAnalysis as_sizes;
+  const std::uint64_t records = in.u64();
+  if (records > in.remaining() / 28) return truncated("AS records");
+  as_sizes.records.reserve(static_cast<std::size_t>(records));
+  for (std::uint64_t i = 0; i < records; ++i) {
+    AsRecord record;
+    record.asn = in.u32();
+    record.node_count = static_cast<std::size_t>(in.u64());
+    record.location_count = static_cast<std::size_t>(in.u64());
+    record.degree = static_cast<std::size_t>(in.u64());
+    as_sizes.records.push_back(record);
+  }
+  as_sizes.corr_nodes_locations = in.f64();
+  as_sizes.corr_nodes_degree = in.f64();
+  as_sizes.corr_locations_degree = in.f64();
+  as_sizes.tail_nodes = decode_fit(in);
+  as_sizes.tail_locations = decode_fit(in);
+  as_sizes.tail_degree = decode_fit(in);
+  if (!in.ok()) return truncated("AS size analysis");
+  return as_sizes;
+}
+
+void encode_hulls(store::ByteWriter& out, const HullAnalysis& hulls) {
+  out.u64(hulls.records.size());
+  for (const AsHullRecord& record : hulls.records) {
+    out.u32(record.asn);
+    out.f64(record.hull_area_sq_miles);
+    out.u64(record.node_count);
+    out.u64(record.location_count);
+    out.u64(record.degree);
+  }
+  out.f64(hulls.zero_area_fraction);
+  out.f64(hulls.thresholds.by_degree);
+  out.f64(hulls.thresholds.by_node_count);
+  out.f64(hulls.thresholds.by_locations);
+  out.f64(hulls.thresholds.dispersed_area_sq_miles);
+}
+
+err::Result<HullAnalysis> decode_hulls(store::ByteReader& in) {
+  HullAnalysis hulls;
+  const std::uint64_t records = in.u64();
+  if (records > in.remaining() / 36) return truncated("hull records");
+  hulls.records.reserve(static_cast<std::size_t>(records));
+  for (std::uint64_t i = 0; i < records; ++i) {
+    AsHullRecord record;
+    record.asn = in.u32();
+    record.hull_area_sq_miles = in.f64();
+    record.node_count = static_cast<std::size_t>(in.u64());
+    record.location_count = static_cast<std::size_t>(in.u64());
+    record.degree = static_cast<std::size_t>(in.u64());
+    hulls.records.push_back(record);
+  }
+  hulls.zero_area_fraction = in.f64();
+  hulls.thresholds.by_degree = in.f64();
+  hulls.thresholds.by_node_count = in.f64();
+  hulls.thresholds.by_locations = in.f64();
+  hulls.thresholds.dispersed_area_sq_miles = in.f64();
+  if (!in.ok()) return truncated("hull analysis");
+  return hulls;
+}
+
+void encode_fractal(store::ByteWriter& out, const geo::FractalDimension& dim) {
+  out.f64(dim.dimension);
+  encode_fit(out, dim.fit);
+  out.u64(dim.sweep.size());
+  for (const geo::BoxCount& scale : dim.sweep) {
+    out.f64(scale.box_arcmin);
+    out.u64(scale.occupied_boxes);
+  }
+}
+
+err::Result<geo::FractalDimension> decode_fractal(store::ByteReader& in) {
+  geo::FractalDimension dim;
+  dim.dimension = in.f64();
+  dim.fit = decode_fit(in);
+  const std::uint64_t scales = in.u64();
+  if (scales > in.remaining() / 16) return truncated("box-count sweep");
+  dim.sweep.reserve(static_cast<std::size_t>(scales));
+  for (std::uint64_t i = 0; i < scales; ++i) {
+    geo::BoxCount scale;
+    scale.box_arcmin = in.f64();
+    scale.occupied_boxes = static_cast<std::size_t>(in.u64());
+    dim.sweep.push_back(scale);
+  }
+  if (!in.ok()) return truncated("fractal dimension");
+  return dim;
+}
+
+namespace {
+
+void encode_table(store::ByteWriter& out,
+                  const std::vector<RegionDensityRow>& rows) {
+  out.u64(rows.size());
+  for (const RegionDensityRow& row : rows) {
+    out.str(row.name);
+    out.f64(row.population_millions);
+    out.f64(row.online_millions);
+    out.u64(row.nodes);
+    out.f64(row.people_per_node);
+    out.f64(row.online_per_node);
+  }
+}
+
+bool decode_table(store::ByteReader& in, std::vector<RegionDensityRow>* out) {
+  const std::uint64_t rows = in.u64();
+  // Each row is at least 48 bytes (name length prefix + 5 numbers).
+  if (rows > in.remaining() / 48) return false;
+  out->reserve(static_cast<std::size_t>(rows));
+  for (std::uint64_t i = 0; i < rows && in.ok(); ++i) {
+    RegionDensityRow row;
+    row.name = in.str();
+    row.population_millions = in.f64();
+    row.online_millions = in.f64();
+    row.nodes = static_cast<std::size_t>(in.u64());
+    row.people_per_node = in.f64();
+    row.online_per_node = in.f64();
+    out->push_back(std::move(row));
+  }
+  return in.ok();
+}
+
+}  // namespace
+
+void encode_region_tables(store::ByteWriter& out,
+                          const std::vector<RegionDensityRow>& economic,
+                          const std::vector<RegionDensityRow>& homogeneity) {
+  encode_table(out, economic);
+  encode_table(out, homogeneity);
+}
+
+err::Result<std::pair<std::vector<RegionDensityRow>,
+                      std::vector<RegionDensityRow>>>
+decode_region_tables(store::ByteReader& in) {
+  std::pair<std::vector<RegionDensityRow>, std::vector<RegionDensityRow>> out;
+  if (!decode_table(in, &out.first) || !decode_table(in, &out.second)) {
+    return truncated("region tables");
+  }
+  return out;
+}
+
+// --- Cache keys -----------------------------------------------------
+
+store::Digest128 world_digest(const population::WorldPopulation& world) {
+  store::Fingerprint fp;
+  fp.add("profiles", world.profiles().size());
+  for (std::size_t i = 0; i < world.grids().size(); ++i) {
+    const population::PopulationGrid& grid = world.grids()[i];
+    if (i < world.profiles().size()) {
+      fp.add("profile.name", world.profiles()[i].name);
+    }
+    const geo::Region& region = grid.grid().region();
+    fp.add("grid.south", region.south_deg);
+    fp.add("grid.north", region.north_deg);
+    fp.add("grid.west", region.west_deg);
+    fp.add("grid.east", region.east_deg);
+    fp.add("grid.rows", grid.grid().rows());
+    fp.add("grid.cols", grid.grid().cols());
+    fp.add("grid.cell_arcmin", grid.grid().cell_arcmin());
+    fp.add("grid.total", grid.total_population());
+    fp.add("grid.cities", grid.cities().size());
+    for (const population::City& city : grid.cities()) {
+      fp.add("city.lat", city.center.lat_deg);
+      fp.add("city.lon", city.center.lon_deg);
+      fp.add("city.pop", city.population);
+    }
+    // A strided sample of the raster itself catches any edit the summary
+    // stats above might miss (e.g. people moved between cells).
+    const std::vector<double>& cells = grid.cell_populations();
+    const std::size_t stride = cells.empty() ? 1 : 1 + cells.size() / 256;
+    for (std::size_t c = 0; c < cells.size(); c += stride) {
+      fp.add("cell", cells[c]);
+    }
+  }
+  return fp.digest();
+}
+
+store::Fingerprint study_fingerprint(const net::AnnotatedGraph& graph,
+                                     const population::WorldPopulation& world,
+                                     const StudyOptions& options) {
+  store::Fingerprint fp = store::Fingerprint::with_provenance();
+  fp.add("op", "run_study");
+  fp.add("graph", net::graph_digest(graph));
+  fp.add("world", world_digest(world));
+  fp.add("patch_arcmin", options.patch_arcmin);
+  fp.add("distance.bins", options.distance.bins);
+  fp.add("distance.domain_filter",
+         static_cast<std::uint32_t>(options.distance.domain_filter));
+  fp.add("distance.bin_miles", options.distance.bin_miles);
+  fp.add("distance.method",
+         static_cast<std::uint32_t>(options.distance.method));
+  fp.add("distance.grid_cell_arcmin", options.distance.grid_cell_arcmin);
+  fp.add("distance.max_grid_cells", options.distance.max_grid_cells);
+  fp.add("distance.sample_pairs", options.distance.sample_pairs);
+  fp.add("distance.seed", options.distance.seed);
+  fp.add("compute_fractal_dimension", options.compute_fractal_dimension);
+  fp.add("regions", options.regions.size());
+  for (const geo::Region& region : options.regions) {
+    fp.add("region.name", region.name);
+    fp.add("region.south", region.south_deg);
+    fp.add("region.north", region.north_deg);
+    fp.add("region.west", region.west_deg);
+    fp.add("region.east", region.east_deg);
+  }
+  fp.add("max_errors", options.max_errors);
+  fp.add("inject_phase_failures", options.inject_phase_failures.size());
+  for (const std::string& label : options.inject_phase_failures) {
+    fp.add("inject", label);
+  }
+  return fp;
+}
+
+}  // namespace geonet::core

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/study.h"
+#include "err/status.h"
+#include "net/annotated_graph.h"
+#include "population/synth_population.h"
+#include "store/bytes.h"
+#include "store/fingerprint.h"
+#include "store/snapshot.h"
+
+namespace geonet::core {
+
+/// Binary codecs for study-phase result tables — the payloads the
+/// artifact cache stores so an incremental `geonet study` re-run can skip
+/// recomputation (see run_study and docs/storage.md).
+///
+/// Every codec is byte-exact (doubles round-trip bit for bit) so a warm
+/// run reproduces the cold run's artifacts byte-identically. Decoders
+/// return kDataLoss on any malformation; they never over-read or crash —
+/// a corrupt cache entry degrades to recomputation.
+
+/// Section fourccs for phase snapshots (one section per snapshot).
+inline constexpr std::uint32_t kSectionDensity =
+    store::fourcc('D', 'E', 'N', 'S');
+inline constexpr std::uint32_t kSectionDistancePref =
+    store::fourcc('D', 'P', 'R', 'F');
+inline constexpr std::uint32_t kSectionWaxman =
+    store::fourcc('W', 'A', 'X', 'F');
+inline constexpr std::uint32_t kSectionLinkDomains =
+    store::fourcc('L', 'D', 'O', 'M');
+inline constexpr std::uint32_t kSectionLinkLengths =
+    store::fourcc('L', 'L', 'E', 'N');
+inline constexpr std::uint32_t kSectionAsSizes =
+    store::fourcc('A', 'S', 'S', 'Z');
+inline constexpr std::uint32_t kSectionHulls =
+    store::fourcc('H', 'U', 'L', 'L');
+inline constexpr std::uint32_t kSectionFractal =
+    store::fourcc('F', 'R', 'A', 'C');
+inline constexpr std::uint32_t kSectionRegionTables =
+    store::fourcc('T', 'A', 'B', 'L');
+
+// --- Shared sub-codecs ----------------------------------------------
+
+void encode_fit(store::ByteWriter& out, const stats::LinearFit& fit);
+stats::LinearFit decode_fit(store::ByteReader& in);
+
+void encode_summary(store::ByteWriter& out, const stats::Summary& summary);
+stats::Summary decode_summary(store::ByteReader& in);
+
+void encode_histogram(store::ByteWriter& out, const stats::Histogram& hist);
+err::Result<stats::Histogram> decode_histogram(store::ByteReader& in);
+
+// --- Phase-result codecs --------------------------------------------
+
+void encode_density(store::ByteWriter& out, const DensityAnalysis& density);
+err::Result<DensityAnalysis> decode_density(store::ByteReader& in);
+
+void encode_distance_pref(store::ByteWriter& out,
+                          const DistancePreference& pref);
+err::Result<DistancePreference> decode_distance_pref(store::ByteReader& in);
+
+void encode_waxman(store::ByteWriter& out, const WaxmanCharacterisation& wax);
+err::Result<WaxmanCharacterisation> decode_waxman(store::ByteReader& in);
+
+void encode_link_domains(store::ByteWriter& out, const LinkDomainStats& links);
+err::Result<LinkDomainStats> decode_link_domains(store::ByteReader& in);
+
+void encode_link_lengths(store::ByteWriter& out,
+                         const LinkLengthAnalysis& lengths);
+err::Result<LinkLengthAnalysis> decode_link_lengths(store::ByteReader& in);
+
+void encode_as_sizes(store::ByteWriter& out, const AsSizeAnalysis& as_sizes);
+err::Result<AsSizeAnalysis> decode_as_sizes(store::ByteReader& in);
+
+void encode_hulls(store::ByteWriter& out, const HullAnalysis& hulls);
+err::Result<HullAnalysis> decode_hulls(store::ByteReader& in);
+
+void encode_fractal(store::ByteWriter& out, const geo::FractalDimension& dim);
+err::Result<geo::FractalDimension> decode_fractal(store::ByteReader& in);
+
+/// The economic_tables phase produces Tables III and IV together; they
+/// share one payload.
+void encode_region_tables(store::ByteWriter& out,
+                          const std::vector<RegionDensityRow>& economic,
+                          const std::vector<RegionDensityRow>& homogeneity);
+err::Result<std::pair<std::vector<RegionDensityRow>,
+                      std::vector<RegionDensityRow>>>
+decode_region_tables(store::ByteReader& in);
+
+// --- Cache keys -----------------------------------------------------
+
+/// Content digest over the synthetic planet: raster shapes, totals, city
+/// lists and a strided cell sample per profile. Any change to the
+/// population substrate — a different seed, profile set or synthesis
+/// option — changes this digest, and with it every study-phase cache key.
+store::Digest128 world_digest(const population::WorldPopulation& world);
+
+/// The base fingerprint a run_study call keys its phase cache on:
+/// provenance + graph content + world content + every StudyOptions field.
+/// Each phase then mixes its own label in (see run_study).
+store::Fingerprint study_fingerprint(const net::AnnotatedGraph& graph,
+                                     const population::WorldPopulation& world,
+                                     const StudyOptions& options);
+
+}  // namespace geonet::core

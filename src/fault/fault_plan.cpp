@@ -164,6 +164,16 @@ err::Result<FaultPlan> parse_fault_plan(std::string_view spec) {
         }
       }
       plan.geo_corrupt = f;
+    } else if (name == "cache-corrupt") {
+      CacheCorruptFault f = plan.cache_corrupt.value_or(CacheCorruptFault{});
+      for (const KeyValue& kv : kvs) {
+        if (kv.key == "prob") {
+          f.probability = fraction(kv.value, kv.key, &range);
+        } else {
+          return bad(clause, "unknown key '" + std::string(kv.key) + "'");
+        }
+      }
+      plan.cache_corrupt = f;
     } else {
       return bad(clause, "unknown fault '" + std::string(name) + "'");
     }
@@ -204,6 +214,11 @@ std::string FaultPlan::to_json() const {
     json.key("geo_corrupt").begin_object();
     json.key("prob").value(geo_corrupt->probability);
     json.key("garble").value(geo_corrupt->garble_fraction);
+    json.end_object();
+  }
+  if (cache_corrupt) {
+    json.key("cache_corrupt").begin_object();
+    json.key("prob").value(cache_corrupt->probability);
     json.end_object();
   }
   json.end_object();

@@ -33,6 +33,9 @@ namespace geonet::fault {
 ///   geo-corrupt    : prob  [0.01]   per-address corruption probability
 ///                    garble [0.5]   fraction of corruptions that are pure
 ///                                   garbage (vs hemisphere/sign flips)
+///   cache-corrupt  : prob  [1.0]    per-entry artifact-cache bit-flip
+///                                   probability (store layer; exercises
+///                                   checksum detection + recompute)
 ///
 /// Example: "monitor-outage:count=3,at=0.5;throttle:frac=0.1,rate=0.3"
 
@@ -74,19 +77,29 @@ struct GeoCorruptFault {
   double garble_fraction = 0.5;
 };
 
+/// Artifact-cache damage: each cache entry read under this fault has a
+/// deterministic (per entry, per seed) chance of a single-bit flip before
+/// validation — media rot in miniature. The store layer must detect every
+/// flip via section checksums and fall back to recomputation; see
+/// store::ArtifactCache::set_corruption.
+struct CacheCorruptFault {
+  double probability = 1.0;
+};
+
 struct FaultPlan {
   std::optional<MonitorOutageFault> monitor_outage;
   std::optional<ThrottleFault> throttle;
   std::optional<TruncateFault> truncate;
   std::optional<ProbeLossFault> probe_loss;
   std::optional<GeoCorruptFault> geo_corrupt;
+  std::optional<CacheCorruptFault> cache_corrupt;
   /// Fault decisions derive from this seed alone (not the simulation
   /// seeds), so the same damage pattern can be replayed across scenarios.
   std::uint64_t seed = 0xFA17;
 
   [[nodiscard]] bool empty() const noexcept {
     return !monitor_outage && !throttle && !truncate && !probe_loss &&
-           !geo_corrupt;
+           !geo_corrupt && !cache_corrupt;
   }
 
   /// JSON echo of the plan (the `degradation.plan` report field).

@@ -1,6 +1,7 @@
 #include "net/graph_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -8,6 +9,8 @@
 #include "net/topology.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/fs.h"
+#include "store/snapshot.h"
 
 namespace geonet::net {
 
@@ -71,9 +74,160 @@ bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
 bool write_graph_file(const std::string& path, const AnnotatedGraph& graph,
                       std::span<const double> link_latency_ms,
                       std::string* error) {
-  std::ofstream out(path);
-  if (!out) return write_failed(error, "cannot open " + path + " for writing");
-  return write_graph(out, graph, link_latency_ms, error);
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".geos") == 0) {
+    return write_snapshot_file(path, graph, link_latency_ms, error);
+  }
+  return store::atomic_write(
+      path,
+      [&](std::ostream& out) {
+        return write_graph(out, graph, link_latency_ms, error);
+      },
+      error != nullptr && error->empty() ? error : nullptr);
+}
+
+// --- Binary snapshots ------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kSectionGraph = store::fourcc('G', 'R', 'P', 'H');
+constexpr std::uint32_t kSectionLatency = store::fourcc('L', 'A', 'T', 'S');
+
+}  // namespace
+
+void encode_graph(store::ByteWriter& out, const AnnotatedGraph& graph) {
+  out.u8(graph.kind() == NodeKind::kInterface ? 0 : 1);
+  out.str(graph.name());
+  out.u64(graph.node_count());
+  for (const GraphNode& node : graph.nodes()) {
+    out.u32(node.addr.value);
+    out.f64(node.location.lat_deg);
+    out.f64(node.location.lon_deg);
+    out.u32(node.asn);
+  }
+  out.u64(graph.edge_count());
+  for (const GraphEdge& edge : graph.edges()) {
+    out.u32(edge.a);
+    out.u32(edge.b);
+  }
+}
+
+err::Result<AnnotatedGraph> decode_graph(store::ByteReader& in) {
+  const std::uint8_t kind_tag = in.u8();
+  if (kind_tag > 1) {
+    return err::Status::data_loss("graph snapshot: bad node kind");
+  }
+  const NodeKind kind =
+      kind_tag == 0 ? NodeKind::kInterface : NodeKind::kRouter;
+  AnnotatedGraph graph(kind, in.str());
+
+  const std::uint64_t node_count = in.u64();
+  // Each node record is 24 bytes: a claimed count larger than the
+  // remaining input is corruption, caught before any allocation.
+  if (node_count > in.remaining() / 24) {
+    return err::Status::data_loss("graph snapshot: node count exceeds input");
+  }
+  for (std::uint64_t i = 0; i < node_count && in.ok(); ++i) {
+    GraphNode node;
+    node.addr.value = in.u32();
+    node.location.lat_deg = in.f64();
+    node.location.lon_deg = in.f64();
+    node.asn = in.u32();
+    graph.add_node(node);
+  }
+  const std::uint64_t edge_count = in.u64();
+  if (edge_count > in.remaining() / 8) {
+    return err::Status::data_loss("graph snapshot: edge count exceeds input");
+  }
+  for (std::uint64_t i = 0; i < edge_count && in.ok(); ++i) {
+    const std::uint32_t a = in.u32();
+    const std::uint32_t b = in.u32();
+    if (!in.ok()) break;
+    if (!graph.add_edge(a, b)) {
+      return err::Status::data_loss(
+          "graph snapshot: invalid edge " + std::to_string(a) + "-" +
+          std::to_string(b) + " (out of range, self-loop or duplicate)");
+    }
+  }
+  if (!in.ok()) {
+    return err::Status::data_loss("graph snapshot: truncated graph body");
+  }
+  return graph;
+}
+
+std::vector<std::byte> encode_graph_snapshot(
+    const AnnotatedGraph& graph, std::span<const double> link_latency_ms) {
+  store::SnapshotWriter writer;
+  store::ByteWriter body;
+  encode_graph(body, graph);
+  writer.add_section(kSectionGraph, body.take());
+  if (link_latency_ms.size() == graph.edge_count() &&
+      !link_latency_ms.empty()) {
+    store::ByteWriter latency;
+    latency.u64(link_latency_ms.size());
+    for (const double v : link_latency_ms) latency.f64(v);
+    writer.add_section(kSectionLatency, latency.take());
+  }
+  return writer.finish();
+}
+
+err::Result<GraphSnapshot> decode_graph_snapshot(
+    std::span<const std::byte> bytes) {
+  auto parsed = store::SnapshotView::parse(bytes);
+  if (!parsed.is_ok()) return parsed.status();
+  const store::SnapshotView& view = parsed.value();
+  const auto* graph_section = view.find(kSectionGraph);
+  if (graph_section == nullptr) {
+    return err::Status::data_loss("graph snapshot: no 'GRPH' section");
+  }
+  store::ByteReader body(graph_section->payload);
+  auto graph = decode_graph(body);
+  if (!graph.is_ok()) return graph.status();
+
+  GraphSnapshot snapshot;
+  snapshot.graph = std::move(graph).value();
+  if (const auto* latency_section = view.find(kSectionLatency)) {
+    store::ByteReader latency(latency_section->payload);
+    const std::uint64_t count = latency.u64();
+    if (count != snapshot.graph.edge_count() ||
+        count > latency.remaining() / 8) {
+      return err::Status::data_loss(
+          "graph snapshot: latency column does not match edge count");
+    }
+    snapshot.link_latency_ms.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      snapshot.link_latency_ms.push_back(latency.f64());
+    }
+    if (!latency.ok()) {
+      return err::Status::data_loss("graph snapshot: truncated latency column");
+    }
+  }
+  return snapshot;
+}
+
+bool write_snapshot_file(const std::string& path, const AnnotatedGraph& graph,
+                         std::span<const double> link_latency_ms,
+                         std::string* error) {
+  const obs::Span span("io/write_snapshot");
+  const std::vector<std::byte> bytes =
+      encode_graph_snapshot(graph, link_latency_ms);
+  obs::MetricsRegistry::global().counter("io.snapshot_bytes_written")
+      .add(bytes.size());
+  return store::atomic_write_bytes(path, bytes, error);
+}
+
+store::Digest128 graph_digest(const AnnotatedGraph& graph) {
+  store::ByteWriter body;
+  encode_graph(body, graph);
+  store::Fingerprint fp;
+  fp.add_bytes("graph", body.buffer());
+  return fp.digest();
+}
+
+bool is_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, 4);
+  return in.gcount() == 4 && std::memcmp(magic, "GEOS", 4) == 0;
 }
 
 namespace {
@@ -237,6 +391,24 @@ GraphReadResult read_graph_file_ex(const std::string& path,
   if (!in) {
     GraphReadResult result;
     result.status = err::Status::not_found("cannot open " + path);
+    return result;
+  }
+  if (is_snapshot_file(path)) {
+    // Binary snapshot: checksummed sections, so lenient-mode quarantining
+    // does not apply — damage fails the read with a precise status.
+    GraphReadResult result;
+    auto bytes = store::read_file_bytes(path);
+    if (!bytes.is_ok()) {
+      result.status = bytes.status();
+      return result;
+    }
+    auto snapshot = decode_graph_snapshot(bytes.value());
+    if (!snapshot.is_ok()) {
+      result.status = snapshot.status();
+      return result;
+    }
+    result.graph = std::move(snapshot).value().graph;
+    result.status = err::Status::ok();
     return result;
   }
   return read_graph_ex(in, options);

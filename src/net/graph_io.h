@@ -8,6 +8,8 @@
 
 #include "err/status.h"
 #include "net/annotated_graph.h"
+#include "store/bytes.h"
+#include "store/fingerprint.h"
 
 namespace geonet::net {
 
@@ -35,9 +37,58 @@ bool write_graph(std::ostream& out, const AnnotatedGraph& graph,
                  std::span<const double> link_latency_ms = {},
                  std::string* error = nullptr);
 
+/// File write is atomic (temp + rename, see store::atomic_write): an
+/// interrupted run never leaves a truncated graph file. A path ending in
+/// ".geos" is written as a binary snapshot instead of text.
 bool write_graph_file(const std::string& path, const AnnotatedGraph& graph,
                       std::span<const double> link_latency_ms = {},
                       std::string* error = nullptr);
+
+// --- Binary snapshots ------------------------------------------------
+//
+// The "GEOS" snapshot round-trip path (store::SnapshotWriter/View, see
+// docs/storage.md): graphs persist as checksummed binary sections and
+// load without re-parsing text — the format the artifact cache stores
+// all topology artifacts in. read_graph_file_ex() sniffs the magic, so
+// every CLI entry point accepts either representation.
+
+/// Serializes the graph body (kind, name, nodes, edges) into `out` — the
+/// payload of a 'GRPH' snapshot section. Byte-exact: doubles round-trip
+/// bit for bit.
+void encode_graph(store::ByteWriter& out, const AnnotatedGraph& graph);
+
+/// Decodes one graph body. kDataLoss on malformed input (never a crash
+/// or over-read; edge/self-loop invariants re-validated on insert).
+err::Result<AnnotatedGraph> decode_graph(store::ByteReader& in);
+
+/// A decoded snapshot: the graph plus the optional latency column.
+struct GraphSnapshot {
+  AnnotatedGraph graph{NodeKind::kRouter};
+  std::vector<double> link_latency_ms;  ///< empty or parallel to edges()
+};
+
+/// Renders a complete snapshot byte stream ('GRPH' + optional 'LATS'
+/// sections, GEOS header with build provenance).
+std::vector<std::byte> encode_graph_snapshot(
+    const AnnotatedGraph& graph, std::span<const double> link_latency_ms = {});
+
+/// Parses and validates snapshot bytes. Unknown sections are skipped
+/// (forward compatibility); kDataLoss / kInvalidArgument on damage or a
+/// format-version mismatch.
+err::Result<GraphSnapshot> decode_graph_snapshot(
+    std::span<const std::byte> bytes);
+
+/// Writes a snapshot file atomically.
+bool write_snapshot_file(const std::string& path, const AnnotatedGraph& graph,
+                         std::span<const double> link_latency_ms = {},
+                         std::string* error = nullptr);
+
+/// 128-bit content digest over the graph body — the dataset identity the
+/// study-phase cache keys on (see core::run_study).
+store::Digest128 graph_digest(const AnnotatedGraph& graph);
+
+/// True when the file begins with the GEOS snapshot magic.
+bool is_snapshot_file(const std::string& path);
 
 struct GraphReadOptions {
   /// Quarantine malformed records instead of failing the read.

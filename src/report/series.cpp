@@ -2,43 +2,45 @@
 
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <ostream>
+
+#include "store/fs.h"
 
 namespace geonet::report {
 
 bool write_series(const std::string& path, const Series& series,
                   const std::string& comment) {
-  std::ofstream out(path);
-  if (!out) return false;
-  if (!comment.empty()) out << "# " << comment << '\n';
-  out << "# " << series.name << ": x y\n";
-  for (const auto& [x, y] : series.points) {
-    out << x << ' ' << y << '\n';
-  }
-  return static_cast<bool>(out);
+  return store::atomic_write(path, [&](std::ostream& out) {
+    if (!comment.empty()) out << "# " << comment << '\n';
+    out << "# " << series.name << ": x y\n";
+    for (const auto& [x, y] : series.points) {
+      out << x << ' ' << y << '\n';
+    }
+    return static_cast<bool>(out);
+  });
 }
 
 bool write_columns(const std::string& path,
                    const std::vector<std::string>& headers,
                    const std::vector<std::vector<double>>& columns,
                    const std::string& comment) {
-  std::ofstream out(path);
-  if (!out) return false;
-  if (!comment.empty()) out << "# " << comment << '\n';
-  out << '#';
-  for (const auto& h : headers) out << ' ' << h;
-  out << '\n';
-
-  std::size_t rows = columns.empty() ? 0 : columns.front().size();
-  for (const auto& col : columns) rows = std::min(rows, col.size());
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      if (c > 0) out << ' ';
-      out << columns[c][r];
-    }
+  return store::atomic_write(path, [&](std::ostream& out) {
+    if (!comment.empty()) out << "# " << comment << '\n';
+    out << '#';
+    for (const auto& h : headers) out << ' ' << h;
     out << '\n';
-  }
-  return static_cast<bool>(out);
+
+    std::size_t rows = columns.empty() ? 0 : columns.front().size();
+    for (const auto& col : columns) rows = std::min(rows, col.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c > 0) out << ' ';
+        out << columns[c][r];
+      }
+      out << '\n';
+    }
+    return static_cast<bool>(out);
+  });
 }
 
 std::string results_dir() {

@@ -1,0 +1,45 @@
+#include "store/build_info.h"
+
+#include "obs/json.h"
+
+namespace geonet::store {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+#ifdef GEONET_VERSION
+    b.tool_version = GEONET_VERSION;
+#else
+    b.tool_version = "unknown";
+#endif
+#if defined(__clang__)
+    b.compiler = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+    b.compiler = std::string("gcc ") + __VERSION__;
+#else
+    b.compiler = "unknown";
+#endif
+#ifdef GEONET_BUILD_TYPE
+    b.build_type = GEONET_BUILD_TYPE;
+#else
+    b.build_type = "unknown";
+#endif
+    if (b.build_type.empty()) b.build_type = "unspecified";
+    return b;
+  }();
+  return info;
+}
+
+std::string provenance_json() {
+  const BuildInfo& info = build_info();
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("format_version").value(static_cast<std::uint64_t>(kFormatVersion));
+  json.key("tool_version").value(info.tool_version);
+  json.key("compiler").value(info.compiler);
+  json.key("build_type").value(info.build_type);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace geonet::store

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace geonet::store {
+
+/// The on-disk snapshot format version. Bumped whenever any codec changes
+/// byte layout; it is written into every snapshot header and mixed into
+/// every cache fingerprint, so an old binary can never misread a new
+/// snapshot (and vice versa) and a rebuilt binary can never serve stale
+/// cache entries across a format change.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Build provenance: who produced an artifact. Embedded in every snapshot
+/// header and run report, and part of every cache fingerprint — a cache
+/// entry written by a different compiler or build type is a miss, never a
+/// stale hit (floating-point results may legitimately differ across
+/// builds).
+struct BuildInfo {
+  std::string tool_version;  ///< geonet version, e.g. "1.0.0"
+  std::string compiler;      ///< e.g. "gcc 13.2.0"
+  std::string build_type;    ///< CMAKE_BUILD_TYPE, e.g. "Release"
+};
+
+/// The provenance of this binary (computed once).
+const BuildInfo& build_info();
+
+/// Provenance as a JSON object — the `provenance` section of run reports:
+/// {"format_version":1,"tool_version":...,"compiler":...,"build_type":...}.
+std::string provenance_json();
+
+}  // namespace geonet::store

@@ -1,0 +1,117 @@
+#include "store/bytes.h"
+
+#include <bit>
+
+namespace geonet::store {
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes,
+                      std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string to_hex(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  raw(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+void ByteWriter::bytes(std::span<const std::byte> b) {
+  u64(b.size());
+  raw(b);
+}
+
+void ByteWriter::raw(std::span<const std::byte> b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+bool ByteReader::take(std::size_t n) noexcept {
+  if (failed_ || n > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() noexcept {
+  if (!take(1)) return 0;
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() noexcept {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() noexcept {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() noexcept { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t len = u64();
+  if (!take(static_cast<std::size_t>(len))) return {};
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return out;
+}
+
+std::span<const std::byte> ByteReader::bytes() {
+  const std::uint64_t len = u64();
+  return raw(static_cast<std::size_t>(len));
+}
+
+std::span<const std::byte> ByteReader::raw(std::size_t n) noexcept {
+  if (!take(n)) return {};
+  const auto view = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+void ByteReader::skip(std::size_t n) noexcept {
+  if (take(n)) pos_ += n;
+}
+
+}  // namespace geonet::store

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geonet::store {
+
+/// Little-endian binary primitives shared by every snapshot codec in the
+/// pipeline (graph snapshots, study-phase payloads, scenario artifacts).
+/// One writer/reader pair means one byte-layout policy: fixed-width
+/// little-endian integers, bit-cast doubles (NaN payloads survive a round
+/// trip exactly), and u64-length-prefixed strings/blobs.
+
+/// FNV-1a 64-bit over a byte range — the checksum of every snapshot
+/// section and one lane of the cache fingerprint. Chosen for having a
+/// trivial, dependency-free twin in tools/check_snapshot.py.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> bytes,
+                                    std::uint64_t seed =
+                                        0xcbf29ce484222325ULL) noexcept;
+
+/// Lowercase hex rendering of a u64 (16 digits, zero padded).
+[[nodiscard]] std::string to_hex(std::uint64_t v);
+
+/// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// u64 length followed by the raw bytes.
+  void str(std::string_view s);
+  void bytes(std::span<const std::byte> b);
+  /// Raw bytes, no length prefix (for nesting pre-encoded payloads).
+  void raw(std::span<const std::byte> b);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::byte>& buffer() const noexcept {
+    return buf_;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Reads primitives back out of a byte span. Never throws and never reads
+/// past the end: any overrun (including a corrupt length prefix larger
+/// than the remaining input) trips a sticky failure flag and every later
+/// read returns a zero value. Callers check ok() once, after decoding.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) noexcept
+      : bytes_(bytes) {}
+
+  std::uint8_t u8() noexcept;
+  std::uint32_t u32() noexcept;
+  std::uint64_t u64() noexcept;
+  double f64() noexcept;
+  bool boolean() noexcept { return u8() != 0; }
+  std::string str();
+  /// u64-length-prefixed blob; the view aliases the input span.
+  std::span<const std::byte> bytes();
+  /// Exactly n raw bytes, no prefix.
+  std::span<const std::byte> raw(std::size_t n) noexcept;
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  void skip(std::size_t n) noexcept;
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) noexcept;
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace geonet::store

@@ -1,0 +1,224 @@
+#include "store/cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "store/bytes.h"
+#include "store/fs.h"
+#include "store/snapshot.h"
+
+namespace geonet::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kEntrySuffix = ".geos";
+constexpr const char* kQuarantineDir = "quarantine";
+
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& puts;
+  obs::Counter& corrupt;
+  obs::Counter& evictions;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+};
+
+CacheMetrics& metrics() {
+  static CacheMetrics m{
+      obs::MetricsRegistry::global().counter("store.hits"),
+      obs::MetricsRegistry::global().counter("store.misses"),
+      obs::MetricsRegistry::global().counter("store.puts"),
+      obs::MetricsRegistry::global().counter("store.corrupt"),
+      obs::MetricsRegistry::global().counter("store.evictions"),
+      obs::MetricsRegistry::global().counter("store.bytes_read"),
+      obs::MetricsRegistry::global().counter("store.bytes_written"),
+  };
+  return m;
+}
+
+std::int64_t mtime_seconds(const fs::path& path) {
+  std::error_code ec;
+  const fs::file_time_type t = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  // file_clock's epoch is unspecified; report Unix time so 'cache ls'
+  // prints something a human can read. (clock_cast is missing from this
+  // libstdc++, hence the now()-anchored conversion.)
+  const auto sys =
+      std::chrono::system_clock::now() +
+      std::chrono::duration_cast<std::chrono::system_clock::duration>(
+          t - fs::file_time_type::clock::now());
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             sys.time_since_epoch())
+      .count();
+}
+
+/// Live entries under `dir` (non-recursive; quarantine/ is not scanned).
+std::vector<CacheEntryInfo> scan(const std::string& dir) {
+  std::vector<CacheEntryInfo> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 32 + 5 || name.substr(32) != kEntrySuffix) continue;
+    const auto key = Digest128::parse_hex(name.substr(0, 32));
+    if (!key) continue;
+    CacheEntryInfo info;
+    info.key = *key;
+    std::error_code size_ec;
+    info.bytes = static_cast<std::uint64_t>(entry.file_size(size_ec));
+    info.mtime_s = mtime_seconds(entry.path());
+    out.push_back(info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CacheEntryInfo& a, const CacheEntryInfo& b) {
+              if (a.mtime_s != b.mtime_s) return a.mtime_s < b.mtime_s;
+              const std::string ha = a.key.hex(), hb = b.key.hex();
+              return ha < hb;
+            });
+  return out;
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ArtifactCache::entry_path(const Digest128& key) const {
+  return dir_ + "/" + key.hex() + kEntrySuffix;
+}
+
+void ArtifactCache::maybe_corrupt(const Digest128& key,
+                                  std::vector<std::byte>& bytes) const {
+  if (corruption_.probability <= 0.0 || bytes.empty()) return;
+  // Entry-deterministic decision and flip position: the same fault plan
+  // corrupts the same entries at the same bit, run after run.
+  Fingerprint fp;
+  fp.add("cache-corrupt.seed", corruption_.seed);
+  fp.add("cache-corrupt.key", key);
+  const Digest128 digest = fp.digest();
+  const double draw = static_cast<double>(digest.hi >> 11) /
+                      static_cast<double>(1ULL << 53);
+  if (draw >= corruption_.probability) return;
+  const std::size_t bit = static_cast<std::size_t>(
+      digest.lo % (bytes.size() * 8));
+  bytes[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+}
+
+err::Result<std::vector<std::byte>> ArtifactCache::get(const Digest128& key) {
+  const std::string path = entry_path(key);
+  auto bytes = read_file_bytes(path);
+  if (!bytes.is_ok()) {
+    metrics().misses.add();
+    return err::Status::not_found("cache miss for " + key.hex());
+  }
+  std::vector<std::byte> payload = std::move(bytes).value();
+  metrics().bytes_read.add(payload.size());
+  maybe_corrupt(key, payload);
+  const auto parsed = SnapshotView::parse(payload);
+  if (!parsed.is_ok()) {
+    metrics().corrupt.add();
+    const std::string parked = quarantine(key);
+    obs::log(obs::LogLevel::kWarn,
+             "cache entry %s corrupt (%s); quarantined to %s, recomputing",
+             key.hex().c_str(), parsed.error_message().c_str(),
+             parked.c_str());
+    return err::Status(parsed.status().code(),
+                       "cache entry " + key.hex() + " corrupt: " +
+                           parsed.error_message() + " (quarantined)");
+  }
+  metrics().hits.add();
+  return payload;
+}
+
+err::Status ArtifactCache::put(const Digest128& key,
+                               std::span<const std::byte> snapshot) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return err::Status::unavailable("cannot create cache dir " + dir_ + ": " +
+                                    ec.message());
+  }
+  std::string error;
+  if (!atomic_write_bytes(entry_path(key), snapshot, &error)) {
+    return err::Status::unavailable("cache put failed: " + error);
+  }
+  metrics().puts.add();
+  metrics().bytes_written.add(snapshot.size());
+  return err::Status::ok();
+}
+
+std::string ArtifactCache::quarantine(const Digest128& key) {
+  const std::string quarantine_dir = dir_ + "/" + kQuarantineDir;
+  std::error_code ec;
+  fs::create_directories(quarantine_dir, ec);
+  const std::string from = entry_path(key);
+  const std::string to =
+      quarantine_dir + "/" + key.hex() + kEntrySuffix;
+  fs::rename(from, to, ec);
+  if (ec) {
+    // A quarantine that cannot move the file must still get it out of the
+    // lookup path, or the next run would hit the same damage.
+    fs::remove(from, ec);
+    return from + " (removed)";
+  }
+  return to;
+}
+
+std::vector<CacheEntryInfo> ArtifactCache::ls() const { return scan(dir_); }
+
+CacheStats ArtifactCache::stats() const {
+  CacheStats out;
+  for (const CacheEntryInfo& entry : scan(dir_)) {
+    ++out.entries;
+    out.bytes += entry.bytes;
+  }
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(dir_ + "/" + kQuarantineDir, ec)) {
+    if (entry.is_regular_file()) ++out.quarantined;
+  }
+  return out;
+}
+
+std::size_t ArtifactCache::gc(std::uint64_t max_bytes) {
+  std::vector<CacheEntryInfo> entries = scan(dir_);
+  std::uint64_t total = 0;
+  for (const CacheEntryInfo& entry : entries) total += entry.bytes;
+  std::size_t evicted = 0;
+  for (const CacheEntryInfo& entry : entries) {
+    if (total <= max_bytes) break;
+    std::error_code ec;
+    if (fs::remove(entry_path(entry.key), ec) && !ec) {
+      total -= entry.bytes;
+      ++evicted;
+      metrics().evictions.add();
+    }
+  }
+  return evicted;
+}
+
+std::size_t ArtifactCache::verify() {
+  std::size_t bad = 0;
+  for (const CacheEntryInfo& entry : scan(dir_)) {
+    auto bytes = read_file_bytes(entry_path(entry.key));
+    if (!bytes.is_ok()) continue;  // raced with gc or another process
+    std::vector<std::byte> payload = std::move(bytes).value();
+    maybe_corrupt(entry.key, payload);
+    const auto parsed = SnapshotView::parse(payload);
+    if (parsed.is_ok()) continue;
+    ++bad;
+    metrics().corrupt.add();
+    const std::string parked = quarantine(entry.key);
+    obs::log(obs::LogLevel::kWarn, "cache verify: %s corrupt (%s) -> %s",
+             entry.key.hex().c_str(), parsed.error_message().c_str(),
+             parked.c_str());
+  }
+  return bad;
+}
+
+}  // namespace geonet::store

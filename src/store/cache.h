@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "err/status.h"
+#include "store/fingerprint.h"
+
+namespace geonet::store {
+
+/// Deterministic read-side corruption — the `cache-corrupt` fault clause
+/// (see fault::FaultPlan and docs/robustness.md). With probability
+/// `probability` per entry (decided by hashing the entry key with `seed`,
+/// so the same plan damages the same entries every run), one bit of the
+/// entry is flipped after the file is read and before validation. The
+/// checksum layer must then detect it, quarantine the entry and force a
+/// recompute — which is exactly what the corruption drills assert.
+struct CorruptionFault {
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+};
+
+struct CacheEntryInfo {
+  Digest128 key;
+  std::uint64_t bytes = 0;
+  std::int64_t mtime_s = 0;  ///< seconds since the Unix epoch
+};
+
+struct CacheStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t quarantined = 0;  ///< entries parked in quarantine/
+};
+
+/// Content-addressed on-disk artifact cache (`--cache-dir`,
+/// `GEONET_CACHE_DIR`). Entries are GEOS snapshots named by the 32-hex
+/// digest of their input fingerprint: `<dir>/<digest>.geos`. The store
+/// never trusts what it reads back — every get() re-validates the full
+/// snapshot (magic, version, checksums) and a bad entry is moved to
+/// `<dir>/quarantine/` and reported as kDataLoss so the caller recomputes;
+/// corruption is never a crash and never a silent wrong answer.
+///
+/// Counters (see docs/observability.md): store.hits, store.misses,
+/// store.puts, store.corrupt, store.evictions, store.bytes_read,
+/// store.bytes_written.
+class ArtifactCache {
+ public:
+  /// Creates `dir` (and quarantine/) on demand at first put.
+  explicit ArtifactCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  void set_corruption(const CorruptionFault& fault) noexcept {
+    corruption_ = fault;
+  }
+
+  /// Validated snapshot bytes for `key`. kNotFound on a miss; kDataLoss
+  /// (or kInvalidArgument for a format-version mismatch) when the entry
+  /// was damaged — it has already been quarantined.
+  err::Result<std::vector<std::byte>> get(const Digest128& key);
+
+  /// Atomically stores snapshot bytes under `key` (write temp + rename).
+  err::Status put(const Digest128& key, std::span<const std::byte> snapshot);
+
+  /// All live entries, oldest first.
+  [[nodiscard]] std::vector<CacheEntryInfo> ls() const;
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Evicts oldest entries until total size <= max_bytes; returns the
+  /// number evicted.
+  std::size_t gc(std::uint64_t max_bytes);
+
+  /// Re-validates every entry; corrupt ones are quarantined. Returns the
+  /// number of bad entries found.
+  std::size_t verify();
+
+  [[nodiscard]] std::string entry_path(const Digest128& key) const;
+
+ private:
+  std::string quarantine(const Digest128& key);
+  void maybe_corrupt(const Digest128& key,
+                     std::vector<std::byte>& bytes) const;
+
+  std::string dir_;
+  CorruptionFault corruption_;
+};
+
+}  // namespace geonet::store

@@ -1,0 +1,111 @@
+#include "store/fingerprint.h"
+
+#include <bit>
+
+#include "store/build_info.h"
+#include "store/bytes.h"
+
+namespace geonet::store {
+
+std::string Digest128::hex() const { return to_hex(hi) + to_hex(lo); }
+
+std::optional<Digest128> Digest128::parse_hex(std::string_view text) {
+  if (text.size() != 32) return std::nullopt;
+  Digest128 out;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const char c = text[i];
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return std::nullopt;
+    }
+    (i < 16 ? out.hi : out.lo) = ((i < 16 ? out.hi : out.lo) << 4) | nibble;
+  }
+  return out;
+}
+
+Fingerprint Fingerprint::with_provenance() {
+  Fingerprint fp;
+  const BuildInfo& info = build_info();
+  fp.add("store.format_version",
+         static_cast<std::uint64_t>(kFormatVersion));
+  fp.add("build.tool_version", info.tool_version);
+  fp.add("build.compiler", info.compiler);
+  fp.add("build.build_type", info.build_type);
+  return fp;
+}
+
+namespace {
+
+std::span<const std::byte> as_span(std::string_view s) noexcept {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+std::span<const std::byte> as_span(const std::uint64_t& v) noexcept {
+  return std::as_bytes(std::span<const std::uint64_t>(&v, 1));
+}
+
+}  // namespace
+
+void Fingerprint::mix(std::string_view field, std::uint8_t type_tag,
+                      std::span<const std::byte> payload) {
+  // Each addition hashes: field name, a type tag, the payload length and
+  // the payload bytes — so ("ab", "c") can never collide with ("a", "bc")
+  // and a double can never alias the integer with the same bit pattern.
+  const std::byte tag{type_tag};
+  const std::uint64_t sizes[2] = {field.size(), payload.size()};
+  for (std::uint64_t* lane : {&hi_, &lo_}) {
+    std::uint64_t h = *lane;
+    // The lanes must mix the same bytes differently or they would be
+    // equal forever; the second lane gets every chunk pre-scrambled.
+    const std::uint64_t spice = (lane == &lo_) ? 0x9e3779b97f4a7c15ULL : 0;
+    h = fnv1a64(as_span(sizes[0] ^ spice), h);
+    h = fnv1a64(as_span(field), h);
+    h = fnv1a64(std::span<const std::byte>(&tag, 1), h);
+    h = fnv1a64(as_span(sizes[1] ^ spice), h);
+    h = fnv1a64(payload, h);
+    *lane = h;
+  }
+}
+
+Fingerprint& Fingerprint::add(std::string_view field, std::string_view value) {
+  mix(field, 1, as_span(value));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view field, std::uint64_t value) {
+  mix(field, 2, as_span(value));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view field, std::int64_t value) {
+  mix(field, 3, as_span(static_cast<std::uint64_t>(value)));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view field, double value) {
+  mix(field, 4, as_span(std::bit_cast<std::uint64_t>(value)));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view field, bool value) {
+  mix(field, 5, as_span(static_cast<std::uint64_t>(value ? 1 : 0)));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add_bytes(std::string_view field,
+                                    std::span<const std::byte> bytes) {
+  mix(field, 6, bytes);
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view field, const Digest128& value) {
+  const std::uint64_t words[2] = {value.hi, value.lo};
+  mix(field, 7, std::as_bytes(std::span<const std::uint64_t>(words, 2)));
+  return *this;
+}
+
+}  // namespace geonet::store

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace geonet::store {
+
+/// A 128-bit content-address. The cache keys every artifact by one of
+/// these; 32 lowercase hex digits name the entry file on disk.
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest128&, const Digest128&) = default;
+
+  [[nodiscard]] std::string hex() const;
+  /// Parses 32 hex digits; nullopt on anything else.
+  static std::optional<Digest128> parse_hex(std::string_view text);
+};
+
+/// Canonical input fingerprint builder. Every options struct that feeds a
+/// cached computation streams its fields in as (name, typed value) pairs;
+/// the digest is order- and type-sensitive, so renaming a field, changing
+/// its type, or adding a field all change the key — exactly the
+/// "different inputs must never collide onto one cache entry" contract.
+///
+/// Two independent FNV-1a lanes with distinct offset bases give the
+/// 128 bits. Not cryptographic — the cache defends against accidents,
+/// not adversaries (it lives in a user-owned directory).
+class Fingerprint {
+ public:
+  /// An empty fingerprint (no provenance). Prefer with_provenance().
+  Fingerprint() = default;
+
+  /// The canonical starting point: format version + build provenance are
+  /// already mixed in, so a rebuilt or upgraded binary can never hit
+  /// entries written by the old one.
+  static Fingerprint with_provenance();
+
+  Fingerprint& add(std::string_view field, std::string_view value);
+  Fingerprint& add(std::string_view field, const char* value) {
+    return add(field, std::string_view(value));
+  }
+  Fingerprint& add(std::string_view field, std::uint64_t value);
+  Fingerprint& add(std::string_view field, std::int64_t value);
+  Fingerprint& add(std::string_view field, std::uint32_t value) {
+    return add(field, static_cast<std::uint64_t>(value));
+  }
+  Fingerprint& add(std::string_view field, double value);
+  Fingerprint& add(std::string_view field, bool value);
+  Fingerprint& add_bytes(std::string_view field,
+                         std::span<const std::byte> bytes);
+  /// Mixes a whole sub-digest in (e.g. a graph content digest).
+  Fingerprint& add(std::string_view field, const Digest128& value);
+
+  [[nodiscard]] Digest128 digest() const noexcept { return {hi_, lo_}; }
+
+ private:
+  void mix(std::string_view field, std::uint8_t type_tag,
+           std::span<const std::byte> payload);
+
+  std::uint64_t hi_ = 0xcbf29ce484222325ULL;
+  std::uint64_t lo_ = 0x84222325cbf29ce4ULL;
+};
+
+}  // namespace geonet::store

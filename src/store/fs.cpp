@@ -1,0 +1,142 @@
+#include "store/fs.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace geonet::store {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+/// Distinct temp names per process and per call, so concurrent writers
+/// (parallel ctest jobs sharing a results dir) never clobber each
+/// other's in-flight temp file.
+std::string temp_name(const std::string& path) {
+  static std::atomic<std::uint64_t> sequence{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+bool atomic_write(const std::string& path,
+                  const std::function<bool(std::ostream&)>& writer,
+                  std::string* error) {
+  const std::string temp = temp_name(path);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      set_error(error, "cannot open temp file " + temp);
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      return false;
+    }
+    bool ok = false;
+    try {
+      ok = writer(out);
+    } catch (...) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      throw;
+    }
+    out.flush();
+    if (!ok || !out) {
+      set_error(error, ok ? "stream failure writing " + temp
+                          : "payload writer aborted for " + path);
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    set_error(error, "cannot rename " + temp + " -> " + path + ": " +
+                         ec.message());
+    std::error_code ec2;
+    std::filesystem::remove(temp, ec2);
+    return false;
+  }
+  return true;
+}
+
+bool atomic_write_text(const std::string& path, std::string_view content,
+                       std::string* error) {
+  return atomic_write(
+      path,
+      [&](std::ostream& out) -> bool {
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        return static_cast<bool>(out);
+      },
+      error);
+}
+
+bool atomic_write_bytes(const std::string& path,
+                        std::span<const std::byte> content,
+                        std::string* error) {
+  return atomic_write(
+      path,
+      [&](std::ostream& out) -> bool {
+        out.write(reinterpret_cast<const char*>(content.data()),
+                  static_cast<std::streamsize>(content.size()));
+        return static_cast<bool>(out);
+      },
+      error);
+}
+
+err::Result<std::vector<std::byte>> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return err::Status::not_found("cannot open " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  if (end < 0) return err::Status::data_loss("cannot size " + path);
+  in.seekg(0, std::ios::beg);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(end));
+  if (!bytes.empty()) {
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  }
+  if (!in) return err::Status::data_loss("short read from " + path);
+  return bytes;
+}
+
+std::string slug(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  bool pending_separator = false;
+  for (const char c : label) {
+    char mapped = 0;
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+        c == '-') {
+      mapped = c;
+    } else if (c >= 'A' && c <= 'Z') {
+      mapped = static_cast<char>(c - 'A' + 'a');
+    }
+    if (mapped == 0) {
+      pending_separator = !out.empty();
+      continue;
+    }
+    if (pending_separator) {
+      out += '_';
+      pending_separator = false;
+    }
+    out += mapped;
+  }
+  return out;
+}
+
+}  // namespace geonet::store

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "err/status.h"
+
+namespace geonet::store {
+
+/// Crash-safe artifact writing. Every results/*.dat file, run-report
+/// JSON, markdown report and cache entry goes through this helper: the
+/// payload is written to a sibling temp file and atomically renamed over
+/// the destination only after every write succeeded. An interrupted or
+/// faulted run therefore never leaves a truncated artifact — the
+/// destination either has its old content or the complete new one.
+
+/// Streams the payload via `writer`; `writer` returns false to abort
+/// (e.g. on a mid-payload stream failure). On any failure the temp file
+/// is removed, the destination is left untouched, the return is false
+/// and `error` (when non-null) says why.
+bool atomic_write(const std::string& path,
+                  const std::function<bool(std::ostream&)>& writer,
+                  std::string* error = nullptr);
+
+bool atomic_write_text(const std::string& path, std::string_view content,
+                       std::string* error = nullptr);
+
+bool atomic_write_bytes(const std::string& path,
+                        std::span<const std::byte> content,
+                        std::string* error = nullptr);
+
+/// Reads a whole file into memory. kNotFound when missing, kDataLoss on a
+/// short or failed read.
+err::Result<std::vector<std::byte>> read_file_bytes(const std::string& path);
+
+/// Sanitizes a label into an artifact-safe filename stem: lowercase,
+/// [a-z0-9_-] only. Runs of any other characters (spaces, commas,
+/// slashes, '+') collapse into a single '_'; leading/trailing separators
+/// are trimmed. "EdgeScape, Mercator US" -> "edgescape_mercator_us".
+[[nodiscard]] std::string slug(std::string_view label);
+
+}  // namespace geonet::store

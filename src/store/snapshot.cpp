@@ -1,0 +1,124 @@
+#include "store/snapshot.h"
+
+namespace geonet::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'E', 'O', 'S'};
+
+}  // namespace
+
+std::string fourcc_name(std::uint32_t type) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((type >> (8 * i)) & 0xFF);
+    out += (c >= 0x20 && c < 0x7F) ? c : '?';
+  }
+  return out;
+}
+
+void SnapshotWriter::add_section(std::uint32_t type,
+                                 std::vector<std::byte> payload) {
+  sections_.push_back({type, std::move(payload)});
+}
+
+std::vector<std::byte> SnapshotWriter::finish() const {
+  const BuildInfo& info = build_info();
+  ByteWriter header;
+  header.str(info.tool_version);
+  header.str(info.compiler);
+  header.str(info.build_type);
+  header.u32(static_cast<std::uint32_t>(sections_.size()));
+
+  ByteWriter out;
+  out.raw(std::as_bytes(std::span<const char>(kMagic, 4)));
+  out.u32(kFormatVersion);
+  out.u64(header.size());
+  out.raw(header.buffer());
+  out.u64(fnv1a64(header.buffer()));
+  for (const Section& section : sections_) {
+    out.u32(section.type);
+    out.u64(section.payload.size());
+    out.u64(fnv1a64(section.payload));
+    out.raw(section.payload);
+  }
+  return out.take();
+}
+
+err::Result<SnapshotView> SnapshotView::parse(
+    std::span<const std::byte> bytes) {
+  ByteReader in(bytes);
+  const auto magic = in.raw(4);
+  if (!in.ok() || std::memcmp(magic.data(), kMagic, 4) != 0) {
+    return err::Status::data_loss("snapshot: bad magic (not a GEOS file)");
+  }
+  SnapshotView view;
+  view.format_version_ = in.u32();
+  if (!in.ok()) return err::Status::data_loss("snapshot: truncated header");
+  if (view.format_version_ != kFormatVersion) {
+    return err::Status::invalid_argument(
+        "snapshot: format version " + std::to_string(view.format_version_) +
+        " (this binary reads version " + std::to_string(kFormatVersion) + ")");
+  }
+
+  const std::uint64_t header_len = in.u64();
+  const auto header_bytes = in.raw(static_cast<std::size_t>(header_len));
+  const std::uint64_t header_checksum = in.u64();
+  if (!in.ok()) return err::Status::data_loss("snapshot: truncated header");
+  if (fnv1a64(header_bytes) != header_checksum) {
+    return err::Status::data_loss("snapshot: header checksum mismatch");
+  }
+  ByteReader header(header_bytes);
+  view.provenance_.tool_version = header.str();
+  view.provenance_.compiler = header.str();
+  view.provenance_.build_type = header.str();
+  const std::uint32_t section_count = header.u32();
+  if (!header.ok()) {
+    return err::Status::data_loss("snapshot: malformed header block");
+  }
+
+  view.sections_.reserve(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    Section section;
+    section.type = in.u32();
+    const std::uint64_t payload_len = in.u64();
+    const std::uint64_t payload_checksum = in.u64();
+    section.payload = in.raw(static_cast<std::size_t>(payload_len));
+    if (!in.ok()) {
+      return err::Status::data_loss("snapshot: truncated section '" +
+                                    fourcc_name(section.type) + "' (" +
+                                    std::to_string(i + 1) + " of " +
+                                    std::to_string(section_count) + ")");
+    }
+    if (fnv1a64(section.payload) != payload_checksum) {
+      return err::Status::data_loss("snapshot: checksum mismatch in section '" +
+                                    fourcc_name(section.type) + "'");
+    }
+    view.sections_.push_back(section);
+  }
+  if (in.remaining() != 0) {
+    return err::Status::data_loss("snapshot: " +
+                                  std::to_string(in.remaining()) +
+                                  " trailing byte(s) after last section");
+  }
+  return view;
+}
+
+const SnapshotView::Section* SnapshotView::find(
+    std::uint32_t type) const noexcept {
+  for (const Section& section : sections_) {
+    if (section.type == type) return &section;
+  }
+  return nullptr;
+}
+
+std::vector<SnapshotView::Section> SnapshotView::find_all(
+    std::uint32_t type) const {
+  std::vector<Section> out;
+  for (const Section& section : sections_) {
+    if (section.type == type) out.push_back(section);
+  }
+  return out;
+}
+
+}  // namespace geonet::store

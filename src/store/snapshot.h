@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "err/status.h"
+#include "store/build_info.h"
+#include "store/bytes.h"
+
+namespace geonet::store {
+
+/// The "GEOS" versioned chunked snapshot container — the one binary
+/// format every persisted artifact uses (graph snapshots, cached study
+/// phases, scenario artifacts). Layout, all integers little-endian:
+///
+///   'G' 'E' 'O' 'S'                        magic
+///   u32  format_version                    kFormatVersion at write time
+///   u64  header_len                        length of the header block
+///   header block:                          (ByteWriter encoding)
+///     str tool_version                     build provenance...
+///     str compiler
+///     str build_type
+///     u32 section_count
+///   u64  header_checksum                   fnv1a64 of the header block
+///   section x section_count:
+///     u32 type                             FourCC, e.g. 'GRPH'
+///     u64 payload_len
+///     u64 payload_checksum                 fnv1a64 of the payload
+///     payload bytes
+///
+/// Readers verify the magic, version, and every checksum, and *skip*
+/// sections whose type they do not recognise — so a newer writer can add
+/// sections without breaking older readers of the same format version.
+/// Any damage (truncation, bit flips, a bad length) surfaces as an
+/// err::Status, never a crash or an over-read: the decoder bounds every
+/// length against the remaining input. tools/check_snapshot.py is the
+/// out-of-process twin of this parser.
+
+/// Builds a section type tag from four ASCII characters.
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) noexcept {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24);
+}
+
+/// "GRPH" -> printable tag for diagnostics.
+[[nodiscard]] std::string fourcc_name(std::uint32_t type);
+
+/// Assembles a snapshot from typed sections.
+class SnapshotWriter {
+ public:
+  void add_section(std::uint32_t type, std::vector<std::byte> payload);
+
+  /// Renders the complete snapshot byte stream (header from build_info()).
+  [[nodiscard]] std::vector<std::byte> finish() const;
+
+ private:
+  struct Section {
+    std::uint32_t type;
+    std::vector<std::byte> payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// A parsed view over snapshot bytes; payload spans alias the input, so
+/// the backing buffer must outlive the view.
+class SnapshotView {
+ public:
+  struct Section {
+    std::uint32_t type = 0;
+    std::span<const std::byte> payload;
+  };
+
+  /// Parses and validates (magic, version, header and section checksums,
+  /// every length bounded by the remaining input). Failure codes:
+  /// kDataLoss for corruption or truncation, kInvalidArgument for a
+  /// format-version mismatch.
+  static err::Result<SnapshotView> parse(std::span<const std::byte> bytes);
+
+  [[nodiscard]] std::uint32_t format_version() const noexcept {
+    return format_version_;
+  }
+  [[nodiscard]] const BuildInfo& provenance() const noexcept {
+    return provenance_;
+  }
+  [[nodiscard]] const std::vector<Section>& sections() const noexcept {
+    return sections_;
+  }
+  /// First section of the given type, or nullptr.
+  [[nodiscard]] const Section* find(std::uint32_t type) const noexcept;
+  /// All sections of the given type, in file order.
+  [[nodiscard]] std::vector<Section> find_all(std::uint32_t type) const;
+
+ private:
+  std::uint32_t format_version_ = 0;
+  BuildInfo provenance_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace geonet::store

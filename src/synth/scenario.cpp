@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "synth/scenario_store.h"
+
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -373,32 +375,21 @@ std::string processing_stats_json(const ProcessingStats& stats) {
 }
 
 std::string scenario_degradation_json(const Scenario& scenario) {
-  obs::JsonWriter json;
-  json.begin_object();
-  const auto& plan = scenario.options().faults;
-  if (plan && !plan->empty()) {
-    json.key("plan").raw(plan->to_json());
-    json.key("faults").raw(scenario.fault_stats().to_json());
-    json.key("probes").raw(scenario.probe_stats().to_json());
-  }
-  json.end_object();
-  return json.str();
+  return scenario_degradation_json(scenario.options().faults,
+                                   scenario.fault_stats(),
+                                   scenario.probe_stats());
 }
 
 std::string scenario_stats_json(const Scenario& scenario) {
-  obs::JsonWriter json;
-  json.begin_object();
+  std::array<ProcessingStats, 4> stats;
   for (const DatasetKind dataset :
        {DatasetKind::kSkitter, DatasetKind::kMercator}) {
     for (const MapperKind mapper :
          {MapperKind::kIxMapper, MapperKind::kEdgeScape}) {
-      const std::string key =
-          std::string(to_string(dataset)) + "+" + to_string(mapper);
-      json.key(key).raw(processing_stats_json(scenario.stats(dataset, mapper)));
+      stats[dataset_slot(dataset, mapper)] = scenario.stats(dataset, mapper);
     }
   }
-  json.end_object();
-  return json.str();
+  return scenario_stats_json(stats);
 }
 
 }  // namespace geonet::synth

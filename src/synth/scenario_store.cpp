@@ -1,0 +1,207 @@
+#include "synth/scenario_store.h"
+
+#include <utility>
+
+#include "net/graph_io.h"
+#include "obs/json.h"
+#include "store/snapshot.h"
+
+namespace geonet::synth {
+
+namespace {
+
+constexpr std::uint32_t kSectionScenario = store::fourcc('S', 'C', 'E', 'N');
+constexpr std::uint32_t kSectionGraph = store::fourcc('G', 'R', 'P', 'H');
+
+void encode_processing_stats(store::ByteWriter& out,
+                             const ProcessingStats& stats) {
+  out.u64(stats.input_nodes);
+  out.u64(stats.unmapped_nodes);
+  out.u64(stats.tie_discarded_routers);
+  out.u64(stats.as_unmapped_nodes);
+  out.u64(stats.output_nodes);
+  out.u64(stats.output_links);
+  out.u64(stats.distinct_locations);
+}
+
+ProcessingStats decode_processing_stats(store::ByteReader& in) {
+  ProcessingStats stats;
+  stats.input_nodes = static_cast<std::size_t>(in.u64());
+  stats.unmapped_nodes = static_cast<std::size_t>(in.u64());
+  stats.tie_discarded_routers = static_cast<std::size_t>(in.u64());
+  stats.as_unmapped_nodes = static_cast<std::size_t>(in.u64());
+  stats.output_nodes = static_cast<std::size_t>(in.u64());
+  stats.output_links = static_cast<std::size_t>(in.u64());
+  stats.distinct_locations = static_cast<std::size_t>(in.u64());
+  return stats;
+}
+
+void encode_fault_stats(store::ByteWriter& out,
+                        const fault::FaultStats& stats) {
+  out.u64(stats.monitors_killed);
+  out.u64(stats.destinations_skipped);
+  out.u64(stats.routers_throttled);
+  out.u64(stats.traces_truncated);
+  out.u64(stats.probes_lost);
+  out.u64(stats.geo_corrupted);
+  out.u64(stats.geo_garbled);
+}
+
+fault::FaultStats decode_fault_stats(store::ByteReader& in) {
+  fault::FaultStats stats;
+  stats.monitors_killed = in.u64();
+  stats.destinations_skipped = in.u64();
+  stats.routers_throttled = in.u64();
+  stats.traces_truncated = in.u64();
+  stats.probes_lost = in.u64();
+  stats.geo_corrupted = in.u64();
+  stats.geo_garbled = in.u64();
+  return stats;
+}
+
+void encode_probe_stats(store::ByteWriter& out,
+                        const fault::ProbeStats& stats) {
+  out.u64(stats.probes);
+  out.u64(stats.attempts);
+  out.u64(stats.retries);
+  out.u64(stats.losses);
+  out.u64(stats.giveups);
+  out.f64(stats.simulated_wait_ms);
+}
+
+fault::ProbeStats decode_probe_stats(store::ByteReader& in) {
+  fault::ProbeStats stats;
+  stats.probes = in.u64();
+  stats.attempts = in.u64();
+  stats.retries = in.u64();
+  stats.losses = in.u64();
+  stats.giveups = in.u64();
+  stats.simulated_wait_ms = in.f64();
+  return stats;
+}
+
+}  // namespace
+
+std::size_t dataset_slot(DatasetKind dataset, MapperKind mapper) noexcept {
+  return (dataset == DatasetKind::kSkitter ? 0u : 2u) +
+         (mapper == MapperKind::kIxMapper ? 0u : 1u);
+}
+
+ScenarioArtifacts snapshot_artifacts(const Scenario& scenario) {
+  ScenarioArtifacts artifacts;
+  for (const DatasetKind dataset :
+       {DatasetKind::kSkitter, DatasetKind::kMercator}) {
+    for (const MapperKind mapper :
+         {MapperKind::kIxMapper, MapperKind::kEdgeScape}) {
+      const std::size_t i = dataset_slot(dataset, mapper);
+      artifacts.graphs[i] = scenario.graph(dataset, mapper);
+      artifacts.stats[i] = scenario.stats(dataset, mapper);
+    }
+  }
+  artifacts.fault_stats = scenario.fault_stats();
+  artifacts.probe_stats = scenario.probe_stats();
+  return artifacts;
+}
+
+std::vector<std::byte> encode_scenario_artifacts(
+    const ScenarioArtifacts& artifacts) {
+  store::SnapshotWriter writer;
+  store::ByteWriter body;
+  for (const ProcessingStats& stats : artifacts.stats) {
+    encode_processing_stats(body, stats);
+  }
+  encode_fault_stats(body, artifacts.fault_stats);
+  encode_probe_stats(body, artifacts.probe_stats);
+  writer.add_section(kSectionScenario, body.take());
+  for (const net::AnnotatedGraph& graph : artifacts.graphs) {
+    store::ByteWriter graph_body;
+    net::encode_graph(graph_body, graph);
+    writer.add_section(kSectionGraph, graph_body.take());
+  }
+  return writer.finish();
+}
+
+err::Result<ScenarioArtifacts> decode_scenario_artifacts(
+    std::span<const std::byte> bytes) {
+  auto parsed = store::SnapshotView::parse(bytes);
+  if (!parsed.is_ok()) return parsed.status();
+  const store::SnapshotView& view = parsed.value();
+
+  const auto* scenario_section = view.find(kSectionScenario);
+  if (scenario_section == nullptr) {
+    return err::Status::data_loss("scenario snapshot: no 'SCEN' section");
+  }
+  ScenarioArtifacts artifacts;
+  store::ByteReader body(scenario_section->payload);
+  for (ProcessingStats& stats : artifacts.stats) {
+    stats = decode_processing_stats(body);
+  }
+  artifacts.fault_stats = decode_fault_stats(body);
+  artifacts.probe_stats = decode_probe_stats(body);
+  if (!body.ok()) {
+    return err::Status::data_loss("scenario snapshot: truncated 'SCEN'");
+  }
+
+  const auto graph_sections = view.find_all(kSectionGraph);
+  if (graph_sections.size() != artifacts.graphs.size()) {
+    return err::Status::data_loss(
+        "scenario snapshot: expected 4 'GRPH' sections, found " +
+        std::to_string(graph_sections.size()));
+  }
+  for (std::size_t i = 0; i < graph_sections.size(); ++i) {
+    store::ByteReader reader(graph_sections[i].payload);
+    auto graph = net::decode_graph(reader);
+    if (!graph.is_ok()) return graph.status();
+    artifacts.graphs[i] = std::move(graph).value();
+  }
+  return artifacts;
+}
+
+store::Fingerprint scenario_fingerprint(const ScenarioOptions& options) {
+  store::Fingerprint fp = store::Fingerprint::with_provenance();
+  fp.add("op", "scenario");
+  fp.add("scale", options.scale);
+  fp.add("seed", options.seed);
+  fp.add("mechanical_pipeline", options.mechanical_pipeline);
+  fp.add("mercator_epoch_factor", options.mercator_epoch_factor);
+  const bool faulted = options.faults && !options.faults->empty();
+  fp.add("faulted", faulted);
+  // The plan's canonical JSON echo covers every clause and the fault
+  // seed, so any change to the injected damage changes the key.
+  if (faulted) fp.add("fault_plan", options.faults->to_json());
+  return fp;
+}
+
+std::string scenario_stats_json(const std::array<ProcessingStats, 4>& stats) {
+  obs::JsonWriter json;
+  json.begin_object();
+  for (const DatasetKind dataset :
+       {DatasetKind::kSkitter, DatasetKind::kMercator}) {
+    for (const MapperKind mapper :
+         {MapperKind::kIxMapper, MapperKind::kEdgeScape}) {
+      const std::string key =
+          std::string(to_string(dataset)) + "+" + to_string(mapper);
+      json.key(key).raw(
+          processing_stats_json(stats[dataset_slot(dataset, mapper)]));
+    }
+  }
+  json.end_object();
+  return json.str();
+}
+
+std::string scenario_degradation_json(
+    const std::optional<fault::FaultPlan>& plan,
+    const fault::FaultStats& fault_stats,
+    const fault::ProbeStats& probe_stats) {
+  obs::JsonWriter json;
+  json.begin_object();
+  if (plan && !plan->empty()) {
+    json.key("plan").raw(plan->to_json());
+    json.key("faults").raw(fault_stats.to_json());
+    json.key("probes").raw(probe_stats.to_json());
+  }
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace geonet::synth

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "err/status.h"
+#include "fault/fault_plan.h"
+#include "fault/probe.h"
+#include "net/annotated_graph.h"
+#include "store/fingerprint.h"
+#include "synth/scenario.h"
+
+namespace geonet::synth {
+
+/// Snapshot persistence for the expensive half of a scenario run.
+///
+/// Building a Scenario simulates two measurement campaigns and processes
+/// four datasets — by far the dominant cost of `geonet scenario`. The
+/// artifacts below are everything the analysis/report side consumes:
+/// the four processed graphs, their pipeline bookkeeping, and the
+/// injected-damage accounting. A warm run decodes these from the cache
+/// and rebuilds only the (cheap) population substrate, producing
+/// byte-identical reports while skipping simulation entirely.
+
+/// Slot layout shared with Scenario: Skitter+IxMapper, Skitter+EdgeScape,
+/// Mercator+IxMapper, Mercator+EdgeScape.
+[[nodiscard]] std::size_t dataset_slot(DatasetKind dataset,
+                                       MapperKind mapper) noexcept;
+
+struct ScenarioArtifacts {
+  std::array<net::AnnotatedGraph, 4> graphs{
+      net::AnnotatedGraph{net::NodeKind::kInterface},
+      net::AnnotatedGraph{net::NodeKind::kInterface},
+      net::AnnotatedGraph{net::NodeKind::kRouter},
+      net::AnnotatedGraph{net::NodeKind::kRouter}};
+  std::array<ProcessingStats, 4> stats{};
+  fault::FaultStats fault_stats;
+  fault::ProbeStats probe_stats;
+};
+
+/// Copies the cacheable outputs out of a built scenario.
+ScenarioArtifacts snapshot_artifacts(const Scenario& scenario);
+
+/// Renders artifacts as one GEOS snapshot: a 'SCEN' section (stats and
+/// damage accounting) plus four 'GRPH' sections in slot order.
+std::vector<std::byte> encode_scenario_artifacts(
+    const ScenarioArtifacts& artifacts);
+
+/// Parses and validates; kDataLoss on damage or a missing section.
+err::Result<ScenarioArtifacts> decode_scenario_artifacts(
+    std::span<const std::byte> bytes);
+
+/// Cache key for one scenario build: provenance + every option that
+/// shapes the simulation (scale, seed, pipeline mode, epoch factor and
+/// the full fault plan).
+store::Fingerprint scenario_fingerprint(const ScenarioOptions& options);
+
+/// scenario_stats_json / scenario_degradation_json twins that work from
+/// decoded artifacts — byte-identical to the Scenario-based renderers in
+/// scenario.h (both delegate to the same implementation).
+std::string scenario_stats_json(const std::array<ProcessingStats, 4>& stats);
+std::string scenario_degradation_json(
+    const std::optional<fault::FaultPlan>& plan,
+    const fault::FaultStats& fault_stats, const fault::ProbeStats& probe_stats);
+
+}  // namespace geonet::synth

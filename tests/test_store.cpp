@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "store/build_info.h"
+#include "store/bytes.h"
+#include "store/cache.h"
+#include "store/fingerprint.h"
+#include "store/fs.h"
+#include "store/snapshot.h"
+
+namespace geonet::store {
+namespace {
+
+namespace fsys = std::filesystem;
+
+// A fresh per-test scratch directory, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fsys::temp_directory_path() /
+              ("geonet_store_test_" + tag)) {
+    fsys::remove_all(path_);
+    fsys::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fsys::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fsys::path path_;
+};
+
+// ------------------------------------------------------------------
+// ByteWriter / ByteReader
+// ------------------------------------------------------------------
+
+TEST(Bytes, RoundTripAllPrimitives) {
+  ByteWriter out;
+  out.u8(0xAB);
+  out.u32(0xDEADBEEFu);
+  out.u64(0x0123456789ABCDEFull);
+  out.f64(-1234.5e-67);
+  out.f64(std::numeric_limits<double>::quiet_NaN());
+  out.boolean(true);
+  out.str("hello, snapshots");
+  out.str("");
+  const std::vector<std::byte> blob = {std::byte{1}, std::byte{2},
+                                       std::byte{3}};
+  out.bytes(blob);
+
+  const std::vector<std::byte> buf = out.take();
+  ByteReader in(buf);
+  EXPECT_EQ(in.u8(), 0xAB);
+  EXPECT_EQ(in.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(in.f64(), -1234.5e-67);
+  EXPECT_TRUE(std::isnan(in.f64()));
+  EXPECT_TRUE(in.boolean());
+  EXPECT_EQ(in.str(), "hello, snapshots");
+  EXPECT_EQ(in.str(), "");
+  const auto read_blob = in.bytes();
+  ASSERT_EQ(read_blob.size(), blob.size());
+  EXPECT_TRUE(std::equal(blob.begin(), blob.end(), read_blob.begin()));
+  EXPECT_TRUE(in.ok());
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(Bytes, OverReadTripsStickyFailure) {
+  ByteWriter out;
+  out.u32(7);
+  const std::vector<std::byte> buf = out.buffer();
+  ByteReader in(buf);
+  EXPECT_EQ(in.u32(), 7u);
+  EXPECT_EQ(in.u64(), 0u);  // past the end
+  EXPECT_FALSE(in.ok());
+  EXPECT_EQ(in.u8(), 0u);  // stays failed
+  EXPECT_FALSE(in.ok());
+}
+
+TEST(Bytes, CorruptLengthPrefixDoesNotOverRead) {
+  ByteWriter out;
+  out.str("abc");
+  std::vector<std::byte> buf = out.take();
+  buf[0] = std::byte{0xFF};  // length prefix now absurdly large
+  ByteReader in(buf);
+  EXPECT_EQ(in.str(), "");
+  EXPECT_FALSE(in.ok());
+}
+
+// ------------------------------------------------------------------
+// Fingerprint
+// ------------------------------------------------------------------
+
+TEST(Fingerprint, DeterministicAndHexRoundTrips) {
+  const Digest128 a = Fingerprint().add("x", std::uint64_t{1}).digest();
+  const Digest128 b = Fingerprint().add("x", std::uint64_t{1}).digest();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hex().size(), 32u);
+  const auto parsed = Digest128::parse_hex(a.hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+  EXPECT_FALSE(Digest128::parse_hex("not-hex").has_value());
+  EXPECT_FALSE(Digest128::parse_hex(a.hex().substr(1)).has_value());
+}
+
+// The satellite contract: changing any single input field changes the
+// digest — no two option sets may collide onto one cache entry.
+TEST(Fingerprint, EveryFieldChangesTheDigest) {
+  const auto base = [] {
+    return Fingerprint()
+        .add("name", "study")
+        .add("seed", std::uint64_t{2002})
+        .add("scale", 0.15)
+        .add("strict", true)
+        .digest();
+  }();
+  EXPECT_NE(base, Fingerprint()
+                      .add("name", "other")
+                      .add("seed", std::uint64_t{2002})
+                      .add("scale", 0.15)
+                      .add("strict", true)
+                      .digest());
+  EXPECT_NE(base, Fingerprint()
+                      .add("name", "study")
+                      .add("seed", std::uint64_t{2003})
+                      .add("scale", 0.15)
+                      .add("strict", true)
+                      .digest());
+  EXPECT_NE(base, Fingerprint()
+                      .add("name", "study")
+                      .add("seed", std::uint64_t{2002})
+                      .add("scale", 0.16)
+                      .add("strict", true)
+                      .digest());
+  EXPECT_NE(base, Fingerprint()
+                      .add("name", "study")
+                      .add("seed", std::uint64_t{2002})
+                      .add("scale", 0.15)
+                      .add("strict", false)
+                      .digest());
+}
+
+TEST(Fingerprint, FieldNameAndTypeAreSignificant) {
+  // Same payload bytes under a different field name or type must not
+  // collide.
+  EXPECT_NE(Fingerprint().add("a", std::uint64_t{5}).digest(),
+            Fingerprint().add("b", std::uint64_t{5}).digest());
+  EXPECT_NE(Fingerprint().add("a", std::uint64_t{1}).digest(),
+            Fingerprint().add("a", std::int64_t{1}).digest());
+  EXPECT_NE(Fingerprint().add("a", true).digest(),
+            Fingerprint().add("a", std::uint64_t{1}).digest());
+}
+
+TEST(Fingerprint, ProvenanceSeedsTheDigest) {
+  EXPECT_NE(Fingerprint::with_provenance().digest(), Fingerprint().digest());
+  const std::string json = provenance_json();
+  EXPECT_NE(json.find("format_version"), std::string::npos);
+  EXPECT_NE(json.find(build_info().compiler), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// slug
+// ------------------------------------------------------------------
+
+TEST(Slug, SanitizesLabelsIntoFilenames) {
+  EXPECT_EQ(slug("EdgeScape, Mercator US"), "edgescape_mercator_us");
+  EXPECT_EQ(slug("fig04_EdgeScape, Mercator_US"),
+            "fig04_edgescape_mercator_us");
+  EXPECT_EQ(slug("already_safe-name_42"), "already_safe-name_42");
+  EXPECT_EQ(slug("  spaces  "), "spaces");
+  EXPECT_EQ(slug("a/b\\c:d"), "a_b_c_d");
+  EXPECT_EQ(slug(""), "");
+}
+
+// ------------------------------------------------------------------
+// Atomic writes
+// ------------------------------------------------------------------
+
+TEST(AtomicWrite, WritesAndReadsBack) {
+  ScratchDir dir("atomic");
+  const std::string path = dir.file("out.txt");
+  ASSERT_TRUE(atomic_write_text(path, "payload\n"));
+  const auto bytes = read_file_bytes(path);
+  ASSERT_TRUE(bytes.is_ok());
+  EXPECT_EQ(bytes.value().size(), 8u);
+}
+
+TEST(AtomicWrite, MidWriteFailureLeavesDestinationUntouched) {
+  ScratchDir dir("atomic_fail");
+  const std::string path = dir.file("artifact.dat");
+  ASSERT_TRUE(atomic_write_text(path, "original"));
+
+  // Inject a failure mid-artifact: the writer emits half the payload and
+  // then reports failure, as a full disk or crash mid-write would.
+  std::string error;
+  const bool ok = atomic_write(
+      path,
+      [](std::ostream& out) {
+        out << "partial new conten";
+        return false;
+      },
+      &error);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(error.empty());
+
+  // Destination still has the complete old content, and no temp litter.
+  const auto bytes = read_file_bytes(path);
+  ASSERT_TRUE(bytes.is_ok());
+  const std::string content(reinterpret_cast<const char*>(bytes.value().data()),
+                            bytes.value().size());
+  EXPECT_EQ(content, "original");
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& entry :
+       fsys::directory_iterator(dir.str())) {
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(AtomicWrite, FailsCleanlyOnMissingDirectory) {
+  std::string error;
+  EXPECT_FALSE(atomic_write_text("/nonexistent-dir-geonet/x.txt", "a", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------------------
+// Snapshot container
+// ------------------------------------------------------------------
+
+constexpr std::uint32_t kTestSection = fourcc('T', 'E', 'S', 'T');
+constexpr std::uint32_t kOtherSection = fourcc('O', 'T', 'H', 'R');
+
+std::vector<std::byte> test_payload(std::size_t n, std::uint8_t base = 7) {
+  std::vector<std::byte> payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<std::byte>(base + i * 13);
+  }
+  return payload;
+}
+
+TEST(Snapshot, RoundTripsSectionsAndProvenance) {
+  SnapshotWriter writer;
+  writer.add_section(kTestSection, test_payload(64));
+  writer.add_section(kOtherSection, test_payload(5, 100));
+  writer.add_section(kTestSection, test_payload(3, 200));
+  const std::vector<std::byte> bytes = writer.finish();
+
+  auto parsed = SnapshotView::parse(bytes);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  const SnapshotView& view = parsed.value();
+  EXPECT_EQ(view.format_version(), kFormatVersion);
+  EXPECT_EQ(view.provenance().compiler, build_info().compiler);
+  ASSERT_EQ(view.sections().size(), 3u);
+
+  const auto* first = view.find(kTestSection);
+  ASSERT_NE(first, nullptr);
+  const auto expected = test_payload(64);
+  ASSERT_EQ(first->payload.size(), expected.size());
+  EXPECT_TRUE(
+      std::equal(expected.begin(), expected.end(), first->payload.begin()));
+  EXPECT_EQ(view.find_all(kTestSection).size(), 2u);
+  EXPECT_EQ(view.find(fourcc('N', 'O', 'P', 'E')), nullptr);
+}
+
+TEST(Snapshot, UnknownSectionsAreSkipped) {
+  // A "newer writer" adds a section this reader has no name for; the
+  // known section must still decode.
+  SnapshotWriter writer;
+  writer.add_section(fourcc('F', 'U', 'T', 'R'), test_payload(41));
+  writer.add_section(kTestSection, test_payload(8));
+  const std::vector<std::byte> bytes = writer.finish();
+
+  auto parsed = SnapshotView::parse(bytes);
+  ASSERT_TRUE(parsed.is_ok());
+  const auto* section = parsed.value().find(kTestSection);
+  ASSERT_NE(section, nullptr);
+  EXPECT_EQ(section->payload.size(), 8u);
+}
+
+TEST(Snapshot, EveryTruncationFailsGracefully) {
+  SnapshotWriter writer;
+  writer.add_section(kTestSection, test_payload(24));
+  const std::vector<std::byte> bytes = writer.finish();
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::byte> prefix(bytes.data(), len);
+    auto parsed = SnapshotView::parse(prefix);
+    if (!parsed.is_ok()) continue;  // rejected outright: fine
+    // If the container somehow parses, the section must not.
+    EXPECT_EQ(parsed.value().find(kTestSection), nullptr)
+        << "truncation to " << len << " bytes went undetected";
+  }
+}
+
+TEST(Snapshot, EverySingleBitFlipIsDetected) {
+  SnapshotWriter writer;
+  writer.add_section(kTestSection, test_payload(24));
+  const std::vector<std::byte> bytes = writer.finish();
+  const auto expected = test_payload(24);
+
+  // A flip anywhere — magic, version, lengths, checksums, header or
+  // payload — must never yield a successful parse that returns the
+  // original payload under the original section type.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::byte> damaged = bytes;
+      damaged[i] ^= static_cast<std::byte>(1u << bit);
+      auto parsed = SnapshotView::parse(damaged);
+      if (!parsed.is_ok()) continue;
+      const auto* section = parsed.value().find(kTestSection);
+      if (section == nullptr) continue;  // renamed section: caller notices
+      ASSERT_EQ(section->payload.size(), expected.size());
+      EXPECT_FALSE(std::equal(expected.begin(), expected.end(),
+                              section->payload.begin()))
+          << "bit " << bit << " of byte " << i
+          << " flipped without detection";
+      // ...and in fact the checksum must have caught it first.
+      ADD_FAILURE() << "flip at byte " << i << " bit " << bit
+                    << " survived validation";
+    }
+  }
+}
+
+TEST(Snapshot, RejectsFutureFormatVersion) {
+  SnapshotWriter writer;
+  writer.add_section(kTestSection, test_payload(4));
+  std::vector<std::byte> bytes = writer.finish();
+  bytes[4] = std::byte{0xEE};  // u32 format_version lives after the magic
+  auto parsed = SnapshotView::parse(bytes);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), err::Code::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------
+// ArtifactCache
+// ------------------------------------------------------------------
+
+std::vector<std::byte> small_snapshot(std::uint8_t base) {
+  SnapshotWriter writer;
+  writer.add_section(kTestSection, test_payload(32, base));
+  return writer.finish();
+}
+
+Digest128 key_of(std::uint64_t n) {
+  return Fingerprint().add("test_key", n).digest();
+}
+
+TEST(ArtifactCache, PutGetRoundTripAndMiss) {
+  ScratchDir dir("cache_basic");
+  ArtifactCache cache(dir.str());
+
+  const auto miss = cache.get(key_of(1));
+  ASSERT_FALSE(miss.is_ok());
+  EXPECT_EQ(miss.status().code(), err::Code::kNotFound);
+
+  const auto snapshot = small_snapshot(1);
+  ASSERT_TRUE(cache.put(key_of(1), snapshot).is_ok());
+  const auto hit = cache.get(key_of(1));
+  ASSERT_TRUE(hit.is_ok());
+  EXPECT_EQ(hit.value(), snapshot);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ArtifactCache, CorruptEntryIsQuarantinedNotReturned) {
+  ScratchDir dir("cache_corrupt");
+  ArtifactCache cache(dir.str());
+  ASSERT_TRUE(cache.put(key_of(2), small_snapshot(2)).is_ok());
+
+  // Damage the entry on disk, as bit rot or a partial write would.
+  const std::string path = cache.entry_path(key_of(2));
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(30);
+    char c = 0;
+    file.seekg(30);
+    file.get(c);
+    file.seekp(30);
+    file.put(static_cast<char>(c ^ 0x10));
+  }
+
+  const auto result = cache.get(key_of(2));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), err::Code::kDataLoss);
+  // Quarantined: gone from the live set, parked under quarantine/.
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_FALSE(fsys::exists(path));
+  // A later get is a plain miss: recompute-and-repopulate works.
+  EXPECT_EQ(cache.get(key_of(2)).status().code(), err::Code::kNotFound);
+  ASSERT_TRUE(cache.put(key_of(2), small_snapshot(2)).is_ok());
+  EXPECT_TRUE(cache.get(key_of(2)).is_ok());
+}
+
+TEST(ArtifactCache, InjectedCorruptionIsDeterministic) {
+  ScratchDir dir("cache_fault");
+  ArtifactCache cache(dir.str());
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cache.put(key_of(i), small_snapshot(
+                                         static_cast<std::uint8_t>(i)))
+                    .is_ok());
+  }
+
+  // probability 1: every read is corrupted, detected, and quarantined.
+  cache.set_corruption({1.0, 42});
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto result = cache.get(key_of(i));
+    ASSERT_FALSE(result.is_ok()) << "entry " << i;
+    EXPECT_NE(result.status().code(), err::Code::kNotFound);
+  }
+  EXPECT_EQ(cache.stats().quarantined, 8u);
+
+  // probability 0: reads are clean again.
+  ScratchDir dir2("cache_fault_off");
+  ArtifactCache clean(dir2.str());
+  ASSERT_TRUE(clean.put(key_of(1), small_snapshot(1)).is_ok());
+  clean.set_corruption({0.0, 42});
+  EXPECT_TRUE(clean.get(key_of(1)).is_ok());
+}
+
+TEST(ArtifactCache, GcEvictsOldestFirst) {
+  ScratchDir dir("cache_gc");
+  ArtifactCache cache(dir.str());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cache.put(key_of(i), small_snapshot(
+                                         static_cast<std::uint8_t>(i)))
+                    .is_ok());
+  }
+  const auto before = cache.ls();
+  ASSERT_EQ(before.size(), 4u);
+  const std::uint64_t entry_bytes = before.front().bytes;
+
+  // Keep room for roughly two entries.
+  const std::size_t evicted = cache.gc(2 * entry_bytes);
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_LE(cache.stats().bytes, 2 * entry_bytes);
+
+  // The survivors are the newest ones (ls is oldest-first).
+  const auto after = cache.ls();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after.back().key, before.back().key);
+
+  EXPECT_EQ(cache.gc(0), 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ArtifactCache, VerifyFindsAndQuarantinesBadEntries) {
+  ScratchDir dir("cache_verify");
+  ArtifactCache cache(dir.str());
+  ASSERT_TRUE(cache.put(key_of(1), small_snapshot(1)).is_ok());
+  ASSERT_TRUE(cache.put(key_of(2), small_snapshot(2)).is_ok());
+  EXPECT_EQ(cache.verify(), 0u);
+
+  {
+    std::ofstream file(cache.entry_path(key_of(2)),
+                       std::ios::binary | std::ios::trunc);
+    file << "GEOSgarbage";
+  }
+  EXPECT_EQ(cache.verify(), 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_TRUE(cache.get(key_of(1)).is_ok());
+}
+
+TEST(ArtifactCache, IgnoresForeignFilesInDir) {
+  ScratchDir dir("cache_foreign");
+  ArtifactCache cache(dir.str());
+  ASSERT_TRUE(cache.put(key_of(1), small_snapshot(1)).is_ok());
+  {
+    std::ofstream file(dir.file("README.txt"));
+    file << "not a cache entry";
+  }
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.ls().size(), 1u);
+  EXPECT_EQ(cache.verify(), 0u);
+}
+
+}  // namespace
+}  // namespace geonet::store

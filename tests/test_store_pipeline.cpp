@@ -1,0 +1,457 @@
+// End-to-end coverage for the storage layer against the real pipeline:
+// graph snapshot round trips, study-phase codec round trips, and the
+// warm-vs-cold byte-identity contract of run_study with an artifact
+// cache attached.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "core/study_store.h"
+#include "exec/thread_pool.h"
+#include "net/graph_io.h"
+#include "obs/metrics.h"
+#include "store/cache.h"
+#include "store/snapshot.h"
+#include "synth/scenario.h"
+#include "synth/scenario_store.h"
+#include "tests/test_world.h"
+
+namespace geonet {
+namespace {
+
+namespace fsys = std::filesystem;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fsys::temp_directory_path() /
+              ("geonet_store_pipeline_" + tag)) {
+    fsys::remove_all(path_);
+    fsys::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fsys::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fsys::path path_;
+};
+
+const net::AnnotatedGraph& study_graph() {
+  return testing::small_scenario().graph(synth::DatasetKind::kSkitter,
+                                         synth::MapperKind::kIxMapper);
+}
+
+void expect_graphs_equal(const net::AnnotatedGraph& a,
+                         const net::AnnotatedGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.kind(), b.kind());
+  EXPECT_EQ(a.name(), b.name());
+  for (std::uint32_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.node(i).addr.value, b.node(i).addr.value);
+    EXPECT_EQ(a.node(i).location.lat_deg, b.node(i).location.lat_deg);
+    EXPECT_EQ(a.node(i).location.lon_deg, b.node(i).location.lon_deg);
+    EXPECT_EQ(a.node(i).asn, b.node(i).asn);
+  }
+  for (std::size_t i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[i].a, b.edges()[i].a);
+    EXPECT_EQ(a.edges()[i].b, b.edges()[i].b);
+  }
+}
+
+// ------------------------------------------------------------------
+// Graph snapshots
+// ------------------------------------------------------------------
+
+TEST(GraphSnapshot, RoundTripsARealProcessedGraph) {
+  const net::AnnotatedGraph& graph = study_graph();
+  const std::vector<std::byte> bytes = net::encode_graph_snapshot(graph);
+  auto decoded = net::decode_graph_snapshot(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().message();
+  expect_graphs_equal(graph, decoded.value().graph);
+  EXPECT_TRUE(decoded.value().link_latency_ms.empty());
+}
+
+TEST(GraphSnapshot, RoundTripsLatencyColumn) {
+  net::AnnotatedGraph graph(net::NodeKind::kRouter, "latency test");
+  for (int i = 0; i < 4; ++i) {
+    graph.add_node({net::Ipv4Addr{static_cast<std::uint32_t>(i + 1)},
+                    {10.0 * i, -20.0 * i},
+                    static_cast<std::uint32_t>(100 + i)});
+  }
+  ASSERT_TRUE(graph.add_edge(0, 1));
+  ASSERT_TRUE(graph.add_edge(1, 2));
+  ASSERT_TRUE(graph.add_edge(2, 3));
+  const std::vector<double> latency = {1.5, 0.25, 99.875};
+
+  const auto bytes = net::encode_graph_snapshot(graph, latency);
+  auto decoded = net::decode_graph_snapshot(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().message();
+  expect_graphs_equal(graph, decoded.value().graph);
+  EXPECT_EQ(decoded.value().link_latency_ms, latency);
+}
+
+TEST(GraphSnapshot, FileRoundTripViaGeosSuffix) {
+  ScratchDir dir("graph_file");
+  const net::AnnotatedGraph& graph = study_graph();
+
+  const std::string path = dir.file("topology.geos");
+  std::string error;
+  ASSERT_TRUE(net::write_graph_file(path, graph, {}, &error)) << error;
+  EXPECT_TRUE(net::is_snapshot_file(path));
+
+  // The generic reader sniffs the magic and takes the binary path.
+  auto result = net::read_graph_file_ex(path);
+  ASSERT_TRUE(result.ok()) << result.status.message();
+  expect_graphs_equal(graph, *result.graph);
+  EXPECT_TRUE(result.quarantined.empty());
+
+  // Text path still works and is not misdetected.
+  const std::string text_path = dir.file("topology.txt");
+  ASSERT_TRUE(net::write_graph_file(text_path, graph, {}, &error)) << error;
+  EXPECT_FALSE(net::is_snapshot_file(text_path));
+  auto text_result = net::read_graph_file_ex(text_path);
+  ASSERT_TRUE(text_result.ok()) << text_result.status.message();
+  EXPECT_EQ(text_result.graph->node_count(), graph.node_count());
+}
+
+TEST(GraphSnapshot, DigestTracksContent) {
+  const net::AnnotatedGraph& graph = study_graph();
+  const store::Digest128 digest = net::graph_digest(graph);
+  EXPECT_EQ(digest, net::graph_digest(graph));
+
+  net::AnnotatedGraph copy = graph;
+  ASSERT_GE(copy.node_count(), 2u);
+  // A different topology must have a different identity.
+  net::AnnotatedGraph tiny(net::NodeKind::kRouter);
+  tiny.add_node({net::Ipv4Addr{1}, {0.0, 0.0}, 1});
+  EXPECT_NE(net::graph_digest(tiny), digest);
+}
+
+TEST(GraphSnapshot, CorruptGraphCountsFailGracefully) {
+  // A hand-built 'GRPH' section claiming far more nodes than the payload
+  // holds must fail with kDataLoss, not allocate or crash.
+  store::ByteWriter body;
+  body.u8(1);        // router kind
+  body.str("evil");  // name
+  body.u64(std::uint64_t{1} << 40);  // node_count: absurd
+  store::ByteReader reader(body.buffer());
+  auto decoded = net::decode_graph(reader);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), err::Code::kDataLoss);
+}
+
+// ------------------------------------------------------------------
+// Study-phase codecs
+// ------------------------------------------------------------------
+
+TEST(StudyCodec, HistogramRoundTripsTailsExactly) {
+  stats::Histogram hist(0.0, 100.0, 10);
+  hist.add(5.0, 2.0);
+  hist.add(95.0, 0.125);
+  hist.add(-3.0);   // underflow
+  hist.add(250.0);  // overflow
+  hist.add(100.0);  // boundary: overflow by contract
+
+  store::ByteWriter out;
+  core::encode_histogram(out, hist);
+  store::ByteReader in(out.buffer());
+  auto decoded = core::decode_histogram(in);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().message();
+  const stats::Histogram& back = decoded.value();
+  EXPECT_EQ(back.lo(), hist.lo());
+  EXPECT_EQ(back.hi(), hist.hi());
+  EXPECT_EQ(back.counts(), hist.counts());
+  EXPECT_EQ(back.underflow(), hist.underflow());
+  EXPECT_EQ(back.overflow(), hist.overflow());
+}
+
+TEST(StudyCodec, HistogramRejectsMalformedShape) {
+  store::ByteWriter out;
+  out.f64(10.0);  // lo
+  out.f64(5.0);   // hi < lo
+  out.f64(0.0);   // underflow
+  out.f64(0.0);   // overflow
+  out.u64(3);     // bins
+  out.f64(0.0);
+  out.f64(0.0);
+  out.f64(0.0);
+  store::ByteReader in(out.buffer());
+  EXPECT_FALSE(core::decode_histogram(in).is_ok());
+}
+
+TEST(StudyCodec, FitSummaryAndTablesRoundTrip) {
+  stats::LinearFit fit{1.26, -3.5, 0.9875, 321};
+  store::ByteWriter out;
+  core::encode_fit(out, fit);
+
+  stats::Summary summary{42, 1.5, 0.25, -8.0, 99.0, 1.0};
+  core::encode_summary(out, summary);
+
+  const std::vector<core::RegionDensityRow> economic = {
+      {"US", 284.0, 160.7, 18000, 15778.0, 8900.0},
+      {"Undefined", 0.0, 0.0, 0, 0.0, 0.0},
+  };
+  const std::vector<core::RegionDensityRow> homogeneity = {
+      {"Scandinavia", 24.0, 0.0, 900, 26000.0, 0.0},
+  };
+  core::encode_region_tables(out, economic, homogeneity);
+
+  store::ByteReader in(out.buffer());
+  const stats::LinearFit fit_back = core::decode_fit(in);
+  EXPECT_EQ(fit_back.slope, fit.slope);
+  EXPECT_EQ(fit_back.intercept, fit.intercept);
+  EXPECT_EQ(fit_back.r_squared, fit.r_squared);
+  EXPECT_EQ(fit_back.n, fit.n);
+
+  const stats::Summary summary_back = core::decode_summary(in);
+  EXPECT_EQ(summary_back.n, summary.n);
+  EXPECT_EQ(summary_back.mean, summary.mean);
+  EXPECT_EQ(summary_back.median, summary.median);
+
+  auto tables = core::decode_region_tables(in);
+  ASSERT_TRUE(tables.is_ok()) << tables.status().message();
+  ASSERT_TRUE(in.ok());
+  const auto& [economic_back, homogeneity_back] = tables.value();
+  ASSERT_EQ(economic_back.size(), economic.size());
+  EXPECT_EQ(economic_back[0].name, "US");
+  EXPECT_EQ(economic_back[0].nodes, economic[0].nodes);
+  EXPECT_EQ(economic_back[0].people_per_node, economic[0].people_per_node);
+  ASSERT_EQ(homogeneity_back.size(), 1u);
+  EXPECT_EQ(homogeneity_back[0].name, "Scandinavia");
+}
+
+TEST(StudyCodec, WorldDigestIsStableAndSeedSensitive) {
+  const auto& world = testing::small_world();
+  EXPECT_EQ(core::world_digest(world), core::world_digest(world));
+  const auto other = population::WorldPopulation::build(7777);
+  EXPECT_NE(core::world_digest(other), core::world_digest(world));
+}
+
+TEST(StudyCodec, StudyFingerprintTracksEveryOption) {
+  const auto& world = testing::small_world();
+  const net::AnnotatedGraph& graph = study_graph();
+  core::StudyOptions options;
+  const store::Digest128 base =
+      core::study_fingerprint(graph, world, options).digest();
+  EXPECT_EQ(core::study_fingerprint(graph, world, options).digest(), base);
+
+  core::StudyOptions changed = options;
+  changed.compute_fractal_dimension = !options.compute_fractal_dimension;
+  EXPECT_NE(core::study_fingerprint(graph, world, changed).digest(), base);
+
+  core::StudyOptions errors = options;
+  errors.max_errors = 123;
+  EXPECT_NE(core::study_fingerprint(graph, world, errors).digest(), base);
+
+  core::StudyOptions faulty = options;
+  faulty.inject_phase_failures = {"density"};
+  EXPECT_NE(core::study_fingerprint(graph, world, faulty).digest(), base);
+}
+
+// ------------------------------------------------------------------
+// Warm vs cold run_study
+// ------------------------------------------------------------------
+
+std::uint64_t phase_hit_count() {
+  return obs::MetricsRegistry::global().counter("store.phase_hits").value();
+}
+
+TEST(StudyCache, WarmRunIsByteIdenticalAndSkipsPhases) {
+  ScratchDir dir("warm_cold");
+  store::ArtifactCache cache(dir.str());
+  const auto& world = testing::small_scenario().world();
+
+  core::StudyOptions options;
+  options.cache = &cache;
+
+  const core::StudyReport cold = core::run_study(study_graph(), world, options);
+  EXPECT_FALSE(cold.degradation.degraded());
+  EXPECT_GT(cache.stats().entries, 0u);
+
+  const std::uint64_t hits_before = phase_hit_count();
+  const core::StudyReport warm = core::run_study(study_graph(), world, options);
+  EXPECT_GT(phase_hit_count(), hits_before);
+
+  // The whole analysis payload must match byte for byte.
+  EXPECT_EQ(core::study_report_json(warm), core::study_report_json(cold));
+  EXPECT_EQ(core::study_degradation_json(warm.degradation),
+            core::study_degradation_json(cold.degradation));
+  EXPECT_EQ(warm.degradation.phases.size(), cold.degradation.phases.size());
+  EXPECT_TRUE(warm.degradation.notes.empty());
+}
+
+TEST(StudyCache, WarmRunMatchesUnderFourThreads) {
+  ScratchDir dir("warm_threads");
+  store::ArtifactCache cache(dir.str());
+  const auto& world = testing::small_scenario().world();
+
+  core::StudyOptions options;
+  options.cache = &cache;
+
+  const core::StudyReport cold = core::run_study(study_graph(), world, options);
+
+  exec::ThreadPool::set_global_threads(4);
+  const core::StudyReport warm = core::run_study(study_graph(), world, options);
+  exec::ThreadPool::set_global_threads(
+      exec::ThreadPool::default_thread_count());
+
+  EXPECT_EQ(core::study_report_json(warm), core::study_report_json(cold));
+}
+
+TEST(StudyCache, DisabledCacheMatchesEnabledCache) {
+  ScratchDir dir("cache_off");
+  store::ArtifactCache cache(dir.str());
+  const auto& world = testing::small_scenario().world();
+
+  core::StudyOptions with_cache;
+  with_cache.cache = &cache;
+  const core::StudyReport cached =
+      core::run_study(study_graph(), world, with_cache);
+
+  const core::StudyReport plain =
+      core::run_study(study_graph(), world, core::StudyOptions{});
+  EXPECT_EQ(core::study_report_json(plain), core::study_report_json(cached));
+}
+
+TEST(StudyCache, CorruptEntriesForceRecomputeWithNotes) {
+  ScratchDir dir("warm_corrupt");
+  store::ArtifactCache cache(dir.str());
+  const auto& world = testing::small_scenario().world();
+
+  core::StudyOptions options;
+  options.cache = &cache;
+  const core::StudyReport cold = core::run_study(study_graph(), world, options);
+
+  // Damage every cached entry via the deterministic injection hook.
+  cache.set_corruption({1.0, 99});
+  const core::StudyReport recovered =
+      core::run_study(study_graph(), world, options);
+  cache.set_corruption({0.0, 0});
+
+  // Identical analysis, but the degradation report says what happened.
+  EXPECT_EQ(core::study_report_json(recovered), core::study_report_json(cold));
+  EXPECT_FALSE(recovered.degradation.notes.empty());
+  // Notes alone must not flip the run to degraded.
+  EXPECT_FALSE(recovered.degradation.degraded());
+  const std::string json = core::study_degradation_json(recovered.degradation);
+  EXPECT_NE(json.find("notes"), std::string::npos);
+
+  // The damaged entries were quarantined and re-populated; a third run
+  // is warm again.
+  const std::uint64_t hits_before = phase_hit_count();
+  const core::StudyReport warm = core::run_study(study_graph(), world, options);
+  EXPECT_GT(phase_hit_count(), hits_before);
+  EXPECT_EQ(core::study_report_json(warm), core::study_report_json(cold));
+}
+
+TEST(StudyCache, FingerprintChangeMissesOldEntries) {
+  ScratchDir dir("warm_missing");
+  store::ArtifactCache cache(dir.str());
+  const auto& world = testing::small_scenario().world();
+
+  core::StudyOptions options;
+  options.cache = &cache;
+  (void)core::run_study(study_graph(), world, options);
+  const std::uint64_t entries = cache.stats().entries;
+
+  // Different options -> different keys -> cold again, new entries.
+  core::StudyOptions changed = options;
+  changed.patch_arcmin = options.patch_arcmin + 10;
+  const std::uint64_t hits_before = phase_hit_count();
+  (void)core::run_study(study_graph(), world, changed);
+  EXPECT_EQ(phase_hit_count(), hits_before);
+  EXPECT_GT(cache.stats().entries, entries);
+}
+
+// ------------------------------------------------------------------
+// Scenario artifacts
+// ------------------------------------------------------------------
+
+TEST(ScenarioStore, ArtifactsRoundTripThroughSnapshot) {
+  const synth::Scenario& scenario = testing::small_scenario();
+  const synth::ScenarioArtifacts artifacts =
+      synth::snapshot_artifacts(scenario);
+
+  const std::vector<std::byte> bytes =
+      synth::encode_scenario_artifacts(artifacts);
+  auto decoded = synth::decode_scenario_artifacts(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().message();
+  const synth::ScenarioArtifacts& back = decoded.value();
+
+  for (std::size_t slot = 0; slot < artifacts.graphs.size(); ++slot) {
+    expect_graphs_equal(artifacts.graphs[slot], back.graphs[slot]);
+    EXPECT_EQ(back.stats[slot].output_nodes, artifacts.stats[slot].output_nodes);
+    EXPECT_EQ(back.stats[slot].distinct_locations,
+              artifacts.stats[slot].distinct_locations);
+  }
+  EXPECT_EQ(back.probe_stats.probes, artifacts.probe_stats.probes);
+  EXPECT_EQ(back.fault_stats.probes_lost, artifacts.fault_stats.probes_lost);
+
+  // The JSON the CLI renders from decoded artifacts must be byte-equal to
+  // the Scenario-based rendering — the warm-path identity contract.
+  EXPECT_EQ(synth::scenario_stats_json(back.stats),
+            synth::scenario_stats_json(scenario));
+}
+
+TEST(ScenarioStore, SlotLayoutMatchesScenario) {
+  const synth::Scenario& scenario = testing::small_scenario();
+  const synth::ScenarioArtifacts artifacts =
+      synth::snapshot_artifacts(scenario);
+  for (const synth::DatasetKind dataset :
+       {synth::DatasetKind::kSkitter, synth::DatasetKind::kMercator}) {
+    for (const synth::MapperKind mapper :
+         {synth::MapperKind::kIxMapper, synth::MapperKind::kEdgeScape}) {
+      const std::size_t slot = synth::dataset_slot(dataset, mapper);
+      ASSERT_LT(slot, artifacts.graphs.size());
+      EXPECT_EQ(artifacts.graphs[slot].node_count(),
+                scenario.graph(dataset, mapper).node_count());
+    }
+  }
+}
+
+TEST(ScenarioStore, FingerprintSeparatesScenarioOptions) {
+  synth::ScenarioOptions a = synth::ScenarioOptions::defaults();
+  const store::Digest128 base = synth::scenario_fingerprint(a).digest();
+  EXPECT_EQ(synth::scenario_fingerprint(a).digest(), base);
+
+  synth::ScenarioOptions scale = a;
+  scale.scale = a.scale * 2.0;
+  EXPECT_NE(synth::scenario_fingerprint(scale).digest(), base);
+
+  synth::ScenarioOptions seed = a;
+  seed.seed = a.seed + 1;
+  EXPECT_NE(synth::scenario_fingerprint(seed).digest(), base);
+
+  synth::ScenarioOptions faulted = a;
+  faulted.faults = fault::FaultPlan{};
+  faulted.faults->cache_corrupt = fault::CacheCorruptFault{0.5};
+  EXPECT_NE(synth::scenario_fingerprint(faulted).digest(), base);
+}
+
+TEST(ScenarioStore, TruncatedArtifactsFailGracefully) {
+  const synth::ScenarioArtifacts artifacts =
+      synth::snapshot_artifacts(testing::small_scenario());
+  const std::vector<std::byte> bytes =
+      synth::encode_scenario_artifacts(artifacts);
+  // Cut mid-way through the graph sections: parse or decode must fail,
+  // never crash.
+  const std::span<const std::byte> cut(bytes.data(), bytes.size() / 2);
+  EXPECT_FALSE(synth::decode_scenario_artifacts(cut).is_ok());
+}
+
+}  // namespace
+}  // namespace geonet

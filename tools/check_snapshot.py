@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Out-of-process format guard for GEOS binary snapshots.
+
+An independent re-implementation of the snapshot parser (see
+src/store/snapshot.h for the layout) validates a snapshot produced by the
+CLI, then drills the robustness contract from the outside:
+
+  * the file parses: magic, format version, header provenance, and every
+    section checksum verify;
+  * a graph snapshot carries a 'GRPH' section;
+  * every truncation of the file is rejected;
+  * single-bit flips are rejected (sampled across the whole file);
+  * appending an unknown section still parses and the known sections are
+    unchanged (forward compatibility).
+
+Usage:
+  check_snapshot.py <path-to-geonet_cli>     # self-driving format check
+  check_snapshot.py --parse <file.geos>      # parse + validate one file
+  check_snapshot.py --flip <file.geos> <n>   # flip bit n in place (for
+                                             # corruption drills)
+
+Registered as the `check_snapshot` ctest in tests/CMakeLists.txt.
+"""
+
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+
+MAGIC = b"GEOS"
+FORMAT_VERSION = 1
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(data, seed=FNV_OFFSET):
+    h = seed
+    for byte in data:
+        h ^= byte
+        h = (h * FNV_PRIME) & MASK64
+    return h
+
+
+class SnapshotError(Exception):
+    pass
+
+
+class Reader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def remaining(self):
+        return len(self.data) - self.pos
+
+    def take(self, n):
+        if n > self.remaining():
+            raise SnapshotError(
+                "truncated: need %d bytes, have %d" % (n, self.remaining()))
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self):
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def string(self):
+        n = self.u64()
+        if n > self.remaining():
+            raise SnapshotError("string length %d exceeds remaining" % n)
+        return self.take(n).decode("utf-8", errors="replace")
+
+
+def parse_snapshot(data):
+    """Full validation; returns (provenance dict, [(fourcc, payload)])."""
+    reader = Reader(data)
+    if reader.take(4) != MAGIC:
+        raise SnapshotError("bad magic")
+    version = reader.u32()
+    if version != FORMAT_VERSION:
+        raise SnapshotError("format version %d (expected %d)"
+                            % (version, FORMAT_VERSION))
+    header_len = reader.u64()
+    if header_len > reader.remaining():
+        raise SnapshotError("header length %d exceeds remaining" % header_len)
+    header = reader.take(header_len)
+    header_checksum = reader.u64()
+    if fnv1a64(header) != header_checksum:
+        raise SnapshotError("header checksum mismatch")
+
+    hreader = Reader(header)
+    provenance = {
+        "tool_version": hreader.string(),
+        "compiler": hreader.string(),
+        "build_type": hreader.string(),
+    }
+    section_count = hreader.u32()
+    if hreader.remaining() != 0:
+        raise SnapshotError("trailing bytes in header")
+
+    sections = []
+    for _ in range(section_count):
+        fourcc = reader.take(4).decode("ascii", errors="replace")
+        payload_len = reader.u64()
+        payload_checksum = reader.u64()
+        if payload_len > reader.remaining():
+            raise SnapshotError("section %r length %d exceeds remaining"
+                                % (fourcc, payload_len))
+        payload = reader.take(payload_len)
+        if fnv1a64(payload) != payload_checksum:
+            raise SnapshotError("section %r checksum mismatch" % fourcc)
+        sections.append((fourcc, payload))
+    if reader.remaining() != 0:
+        raise SnapshotError("%d trailing bytes after last section"
+                            % reader.remaining())
+    return provenance, sections
+
+
+def append_section(data, fourcc, payload):
+    """Re-renders the snapshot with one extra (unknown) section."""
+    provenance, sections = parse_snapshot(data)
+    sections = sections + [(fourcc, payload)]
+
+    header = b""
+    for key in ("tool_version", "compiler", "build_type"):
+        value = provenance[key].encode()
+        header += struct.pack("<Q", len(value)) + value
+    header += struct.pack("<I", len(sections))
+
+    out = MAGIC + struct.pack("<I", FORMAT_VERSION)
+    out += struct.pack("<Q", len(header)) + header
+    out += struct.pack("<Q", fnv1a64(header))
+    for name, payload in sections:
+        out += name.encode("ascii")
+        out += struct.pack("<QQ", len(payload), fnv1a64(payload))
+        out += payload
+    return out
+
+
+def flip_bit(path, bit):
+    with open(path, "r+b") as handle:
+        data = bytearray(handle.read())
+        if bit >= len(data) * 8:
+            raise SnapshotError("bit %d out of range (%d bytes)"
+                                % (bit, len(data)))
+        data[bit // 8] ^= 1 << (bit % 8)
+        handle.seek(0)
+        handle.write(data)
+        handle.truncate()
+
+
+def fail(message):
+    print("check_snapshot: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path):
+    with open(path, "rb") as handle:
+        data = handle.read()
+    provenance, sections = parse_snapshot(data)
+    print("check_snapshot: %s parses: version %d, %d section(s) [%s], "
+          "provenance %s" % (os.path.basename(path), FORMAT_VERSION,
+                             len(sections),
+                             ", ".join(name for name, _ in sections),
+                             provenance))
+
+
+def drill(cli):
+    with tempfile.TemporaryDirectory(prefix="geonet_check_snapshot_") as tmp:
+        snapshot_path = os.path.join(tmp, "topology.geos")
+        cmd = [cli, "generate", "64", snapshot_path, "7", "--quiet"]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail("CLI exited %d\nstderr:\n%s"
+                 % (result.returncode, result.stderr))
+        with open(snapshot_path, "rb") as handle:
+            data = handle.read()
+
+    # 1. The pristine snapshot parses and carries the graph section.
+    try:
+        provenance, sections = parse_snapshot(data)
+    except SnapshotError as err:
+        fail("pristine snapshot rejected: %s" % err)
+    names = [name for name, _ in sections]
+    if "GRPH" not in names:
+        fail("no GRPH section; have %s" % names)
+    for key in ("tool_version", "compiler", "build_type"):
+        if not provenance[key]:
+            fail("empty provenance field %r" % key)
+
+    # 2. Every truncation is rejected.
+    for length in range(len(data)):
+        try:
+            parse_snapshot(data[:length])
+        except SnapshotError:
+            continue
+        fail("truncation to %d bytes (of %d) went undetected"
+             % (length, len(data)))
+
+    # 3. Single-bit flips are rejected. Sample every byte (one rotating
+    #    bit each) to keep the drill fast on large snapshots.
+    flips = 0
+    for i in range(len(data)):
+        damaged = bytearray(data)
+        damaged[i] ^= 1 << (i % 8)
+        try:
+            _, flipped_sections = parse_snapshot(bytes(damaged))
+        except SnapshotError:
+            flips += 1
+            continue
+        # A flip inside a fourcc tag renames the section; the payload
+        # bytes must still be intact and the original tag gone.
+        flipped_names = [name for name, _ in flipped_sections]
+        if flipped_names == names and [p for _, p in flipped_sections] == \
+                [p for _, p in sections]:
+            fail("bit flip at byte %d went completely undetected" % i)
+        flips += 1
+    if flips != len(data):
+        fail("internal error: %d flips checked of %d" % (flips, len(data)))
+
+    # 4. Forward compatibility: an unknown section appended by a "newer
+    #    writer" parses, and the known sections are untouched.
+    extended = append_section(data, "FUTR", b"\x01\x02\x03\x04\x05")
+    try:
+        _, new_sections = parse_snapshot(extended)
+    except SnapshotError as err:
+        fail("snapshot with unknown section rejected: %s" % err)
+    if [s for s in new_sections if s[0] != "FUTR"] != sections:
+        fail("known sections changed after appending an unknown one")
+
+    print("check_snapshot: OK (%d bytes, sections %s, %d truncations, "
+          "%d bit flips)" % (len(data), names, len(data), len(data)))
+
+
+def main():
+    if len(sys.argv) >= 3 and sys.argv[1] == "--parse":
+        try:
+            check_file(sys.argv[2])
+        except (OSError, SnapshotError) as err:
+            fail(str(err))
+        return
+    if len(sys.argv) >= 4 and sys.argv[1] == "--flip":
+        try:
+            flip_bit(sys.argv[2], int(sys.argv[3]))
+        except (OSError, ValueError, SnapshotError) as err:
+            fail(str(err))
+        print("check_snapshot: flipped bit %s in %s"
+              % (sys.argv[3], sys.argv[2]))
+        return
+    if len(sys.argv) < 2:
+        fail("usage: check_snapshot.py <geonet_cli> | "
+             "--parse <file.geos> | --flip <file.geos> <bit>")
+    drill(sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()

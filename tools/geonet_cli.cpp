@@ -10,6 +10,9 @@
 //   geonet scenario [scale]   (alias: geonet study)
 //       Build the full synthetic measurement scenario and print the
 //       Table I summary plus the study headline numbers.
+//   geonet cache <ls|stats|gc|verify>
+//       Inspect or maintain the artifact cache (requires --cache-dir or
+//       GEONET_CACHE_DIR).
 //
 // Global flags (any subcommand):
 //   --trace <file>     write a chrome://tracing-loadable span trace
@@ -18,6 +21,11 @@
 //   --threads <n>      worker threads for parallel regions (default: all
 //                      cores, or GEONET_THREADS); results are identical
 //                      at any thread count
+//   --cache-dir <dir>  content-addressed artifact cache: scenario builds
+//                      and study phases are memoized as GEOS snapshots,
+//                      so a repeat run skips simulation/recomputation and
+//                      is byte-identical to a cold one (default: off, or
+//                      GEONET_CACHE_DIR; see docs/storage.md)
 //   --max-errors <n>   analysis-phase error budget before giving up
 //   --lenient-io       quarantine malformed graph records instead of failing
 //   --quiet            suppress info/warn diagnostics on stderr
@@ -26,8 +34,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/study.h"
@@ -43,7 +53,11 @@
 #include "obs/trace.h"
 #include "report/series.h"
 #include "report/table.h"
+#include "store/build_info.h"
+#include "store/cache.h"
+#include "store/fs.h"
 #include "synth/scenario.h"
+#include "synth/scenario_store.h"
 
 namespace {
 
@@ -57,6 +71,7 @@ constexpr const char* kUsage =
     "  geonet analyze <in.graph> [region]\n"
     "  geonet validate <in.graph> [region]\n"
     "  geonet scenario [scale]        (alias: study)\n"
+    "  geonet cache <ls|stats|gc --max-bytes <n>|verify>\n"
     "  geonet help | --help | --version\n"
     "global flags:\n"
     "  --trace <file>    write chrome://tracing span trace\n"
@@ -65,11 +80,15 @@ constexpr const char* kUsage =
     "                    spec e.g. 'monitor-outage:count=3,at=0.5;"
     "throttle:frac=0.1,rate=0.3'\n"
     "                    (clauses: monitor-outage, throttle, truncate,\n"
-    "                    probe-loss, geo-corrupt, seed=<n>; see "
-    "docs/robustness.md)\n"
+    "                    probe-loss, geo-corrupt, cache-corrupt, seed=<n>;\n"
+    "                    see docs/robustness.md)\n"
     "  --threads <n>     worker threads for parallel regions (default:\n"
     "                    GEONET_THREADS or all cores); any n gives\n"
     "                    identical results (see docs/parallelism.md)\n"
+    "  --cache-dir <dir> memoize scenario builds and study phases as GEOS\n"
+    "                    snapshots under <dir> (default: GEONET_CACHE_DIR\n"
+    "                    or off); warm re-runs are byte-identical to cold\n"
+    "                    ones (see docs/storage.md)\n"
     "  --max-errors <n>  tolerate up to n analysis phase errors (default 8)\n"
     "  --lenient-io      quarantine malformed graph records instead of\n"
     "                    failing the whole read\n"
@@ -84,6 +103,7 @@ int usage() {
 struct GlobalFlags {
   std::string trace_path;
   std::string metrics_path;
+  std::string cache_dir;  ///< empty = caching off
   std::optional<fault::FaultPlan> faults;
   std::optional<std::size_t> threads;
   std::optional<std::size_t> max_errors;
@@ -112,6 +132,13 @@ std::optional<GlobalFlags> extract_global_flags(std::vector<std::string>& args) 
         return std::nullopt;
       }
       (arg == "--trace" ? flags.trace_path : flags.metrics_path) = *value;
+    } else if (arg == "--cache-dir") {
+      const auto value = flag_value("--cache-dir");
+      if (!value || value->empty()) {
+        obs::log(obs::LogLevel::kError, "--cache-dir requires a directory");
+        return std::nullopt;
+      }
+      flags.cache_dir = *value;
     } else if (arg == "--faults") {
       const auto value = flag_value("--faults");
       if (!value) {
@@ -166,6 +193,11 @@ std::optional<GlobalFlags> extract_global_flags(std::vector<std::string>& args) 
       rest.push_back(arg);
     }
   }
+  if (flags.cache_dir.empty()) {
+    if (const char* env = std::getenv("GEONET_CACHE_DIR")) {
+      if (*env != '\0') flags.cache_dir = env;
+    }
+  }
   args = std::move(rest);
   return flags;
 }
@@ -211,6 +243,75 @@ void add_degradation_section(obs::RunReport& run_report,
   }
   json.end_object();
   run_report.add_section("degradation", json.str());
+}
+
+int cmd_cache(const std::vector<std::string>& args,
+              store::ArtifactCache* cache, obs::RunReport& run_report) {
+  if (cache == nullptr) {
+    obs::log(obs::LogLevel::kError,
+             "'geonet cache' needs a cache directory: pass --cache-dir or "
+             "set GEONET_CACHE_DIR");
+    return 2;
+  }
+  const std::string action = args.size() > 1 ? args[1] : "stats";
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("action").value(action);
+  int status = 0;
+  if (action == "ls") {
+    for (const store::CacheEntryInfo& entry : cache->ls()) {
+      std::printf("%s  %10llu bytes  mtime %lld\n", entry.key.hex().c_str(),
+                  static_cast<unsigned long long>(entry.bytes),
+                  static_cast<long long>(entry.mtime_s));
+    }
+  } else if (action == "stats") {
+    const store::CacheStats stats = cache->stats();
+    std::printf("entries:     %llu\nbytes:       %llu\nquarantined: %llu\n",
+                static_cast<unsigned long long>(stats.entries),
+                static_cast<unsigned long long>(stats.bytes),
+                static_cast<unsigned long long>(stats.quarantined));
+    json.key("entries").value(stats.entries);
+    json.key("bytes").value(stats.bytes);
+    json.key("quarantined").value(stats.quarantined);
+  } else if (action == "gc") {
+    std::uint64_t max_bytes = 0;
+    bool have_budget = false;
+    for (std::size_t i = 2; i + 1 < args.size(); ++i) {
+      if (args[i] == "--max-bytes") {
+        char* end = nullptr;
+        max_bytes = std::strtoull(args[i + 1].c_str(), &end, 10);
+        have_budget = end != args[i + 1].c_str() && *end == '\0';
+      }
+    }
+    if (!have_budget) {
+      obs::log(obs::LogLevel::kError,
+               "cache gc requires --max-bytes <n> (the size to shrink to)");
+      return 2;
+    }
+    const std::size_t evicted = cache->gc(max_bytes);
+    std::printf("evicted %zu entr%s (oldest first) to fit %llu bytes\n",
+                evicted, evicted == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(max_bytes));
+    json.key("evicted").value(evicted);
+    json.key("max_bytes").value(max_bytes);
+  } else if (action == "verify") {
+    const store::CacheStats stats = cache->stats();
+    const std::size_t bad = cache->verify();
+    std::printf("%llu entr%s verified, %zu corrupt (quarantined)\n",
+                static_cast<unsigned long long>(stats.entries),
+                stats.entries == 1 ? "y" : "ies", bad);
+    json.key("verified").value(stats.entries);
+    json.key("corrupt").value(bad);
+    status = bad == 0 ? 0 : 1;
+  } else {
+    obs::log(obs::LogLevel::kError,
+             "unknown cache action '%s' (ls, stats, gc, verify)",
+             action.c_str());
+    return usage();
+  }
+  json.end_object();
+  run_report.add_section("cache", json.str());
+  return status;
 }
 
 int cmd_generate(const std::vector<std::string>& args,
@@ -271,7 +372,7 @@ std::optional<net::AnnotatedGraph> load(const std::string& path, bool lenient,
 }
 
 int cmd_analyze(const std::vector<std::string>& args, const GlobalFlags& flags,
-                obs::RunReport& run_report) {
+                store::ArtifactCache* cache, obs::RunReport& run_report) {
   if (args.size() < 2) return usage();
   std::size_t quarantined = 0;
   const auto graph = load(args[1], flags.lenient_io, &quarantined);
@@ -284,6 +385,7 @@ int cmd_analyze(const std::vector<std::string>& args, const GlobalFlags& flags,
   options.regions = {*region};
   options.compute_fractal_dimension = false;
   if (flags.max_errors) options.max_errors = *flags.max_errors;
+  options.cache = cache;
   const core::StudyReport report = core::run_study(*graph, world, options);
   std::printf("%s", core::summarize(report).c_str());
   run_report.add_section("study", core::study_report_json(report));
@@ -321,7 +423,7 @@ int cmd_validate(const std::vector<std::string>& args, const GlobalFlags& flags,
 }
 
 int cmd_scenario(const std::vector<std::string>& args, const GlobalFlags& flags,
-                 obs::RunReport& run_report) {
+                 store::ArtifactCache* cache, obs::RunReport& run_report) {
   synth::ScenarioOptions options = synth::ScenarioOptions::defaults();
   if (args.size() > 1) {
     const double scale = std::atof(args[1].c_str());
@@ -332,12 +434,56 @@ int cmd_scenario(const std::vector<std::string>& args, const GlobalFlags& flags,
     obs::log(obs::LogLevel::kInfo, "fault plan armed: %s",
              options.faults->to_json().c_str());
   }
-  obs::log(obs::LogLevel::kInfo, "building scenario at scale %.3f...",
-           options.scale);
-  const synth::Scenario scenario = synth::Scenario::build(options);
+
+  // The simulation half (two measurement campaigns, four processing
+  // pipelines) is memoized as one scenario-artifacts snapshot; a warm run
+  // decodes it and rebuilds only the cheap population substrate. A
+  // corrupt or missing entry falls through to a full (cold) build.
+  synth::ScenarioArtifacts artifacts;
+  std::unique_ptr<population::WorldPopulation> world;
+  bool warm = false;
+  std::string cache_note;
+  const store::Digest128 scenario_key =
+      synth::scenario_fingerprint(options).digest();
+  if (cache != nullptr) {
+    auto bytes = cache->get(scenario_key);
+    if (bytes.is_ok()) {
+      auto decoded = synth::decode_scenario_artifacts(bytes.value());
+      if (decoded.is_ok()) {
+        artifacts = std::move(decoded).value();
+        world = std::make_unique<population::WorldPopulation>(
+            population::WorldPopulation::build(options.seed));
+        warm = true;
+        obs::log(obs::LogLevel::kInfo,
+                 "scenario cache hit (%s); skipping simulation",
+                 scenario_key.hex().c_str());
+      } else {
+        cache_note = "scenario cache entry was undecodable (" +
+                     decoded.status().message() + "); rebuilt";
+      }
+    } else if (bytes.status().code() != err::Code::kNotFound) {
+      cache_note = bytes.status().message() + "; rebuilt";
+    }
+  }
+  if (!warm) {
+    obs::log(obs::LogLevel::kInfo, "building scenario at scale %.3f...",
+             options.scale);
+    const synth::Scenario scenario = synth::Scenario::build(options);
+    artifacts = synth::snapshot_artifacts(scenario);
+    world = std::make_unique<population::WorldPopulation>(
+        population::WorldPopulation::build(options.seed));
+    if (cache != nullptr) {
+      const err::Status put =
+          cache->put(scenario_key, synth::encode_scenario_artifacts(artifacts));
+      if (!put.is_ok()) {
+        obs::log(obs::LogLevel::kWarn, "scenario not cached: %s",
+                 put.message().c_str());
+      }
+    }
+  }
   run_report.set_info("scale", std::to_string(options.scale));
   run_report.add_section("processing_stats",
-                         synth::scenario_stats_json(scenario));
+                         synth::scenario_stats_json(artifacts.stats));
 
   report::Table table({"Dataset", "Nodes", "Links", "Locations"});
   struct Ref {
@@ -353,25 +499,32 @@ int cmd_scenario(const std::vector<std::string>& args, const GlobalFlags& flags,
                              synth::MapperKind::kEdgeScape, "Mercator+EdgeScape"},
                          Ref{synth::DatasetKind::kSkitter,
                              synth::MapperKind::kEdgeScape, "Skitter+EdgeScape"}}) {
-    const auto& graph = scenario.graph(ref.d, ref.m);
+    const std::size_t slot = synth::dataset_slot(ref.d, ref.m);
+    const auto& graph = artifacts.graphs[slot];
     table.add_row({ref.label, report::fmt_count(graph.node_count()),
                    report::fmt_count(graph.edge_count()),
-                   report::fmt_count(
-                       scenario.stats(ref.d, ref.m).distinct_locations)});
+                   report::fmt_count(artifacts.stats[slot].distinct_locations)});
   }
   std::printf("%s\n", table.to_string().c_str());
 
   core::StudyOptions study_options;
   if (flags.max_errors) study_options.max_errors = *flags.max_errors;
-  const auto report = core::run_study(
-      scenario.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper),
-      scenario.world(), study_options);
+  study_options.cache = cache;
+  core::StudyReport report = core::run_study(
+      artifacts.graphs[synth::dataset_slot(synth::DatasetKind::kSkitter,
+                                           synth::MapperKind::kIxMapper)],
+      *world, study_options);
+  if (!cache_note.empty()) {
+    report.degradation.notes.push_back(cache_note);
+  }
   std::printf("%s", core::summarize(report).c_str());
   run_report.add_section("study", core::study_report_json(report));
-  add_degradation_section(run_report,
-                          synth::scenario_degradation_json(scenario),
-                          core::study_degradation_json(report.degradation),
-                          /*records_quarantined=*/0);
+  add_degradation_section(
+      run_report,
+      synth::scenario_degradation_json(options.faults, artifacts.fault_stats,
+                                       artifacts.probe_stats),
+      core::study_degradation_json(report.degradation),
+      /*records_quarantined=*/0);
   // Injected faults degrade, they don't fail: the run exits 0 unless the
   // analysis error budget itself was blown.
   return report.degradation.budget_exhausted ? 1 : 0;
@@ -397,16 +550,29 @@ int main(int argc, char** argv) {
 
   const std::string& command = args[0];
   obs::RunReport run_report(command);
+  run_report.add_section("provenance", store::provenance_json());
+
+  std::optional<store::ArtifactCache> cache;
+  if (!flags->cache_dir.empty()) {
+    cache.emplace(flags->cache_dir);
+    if (flags->faults && flags->faults->cache_corrupt) {
+      cache->set_corruption({flags->faults->cache_corrupt->probability,
+                             flags->faults->seed});
+    }
+  }
+  store::ArtifactCache* const cache_ptr = cache ? &*cache : nullptr;
 
   int status = 2;
   if (command == "generate") {
     status = cmd_generate(args, run_report);
   } else if (command == "analyze") {
-    status = cmd_analyze(args, *flags, run_report);
+    status = cmd_analyze(args, *flags, cache_ptr, run_report);
   } else if (command == "validate") {
     status = cmd_validate(args, *flags, run_report);
   } else if (command == "scenario" || command == "study") {
-    status = cmd_scenario(args, *flags, run_report);
+    status = cmd_scenario(args, *flags, cache_ptr, run_report);
+  } else if (command == "cache") {
+    status = cmd_cache(args, cache_ptr, run_report);
   } else {
     obs::log(obs::LogLevel::kError, "unknown command '%s'", command.c_str());
     return usage();
@@ -426,7 +592,8 @@ int main(int argc, char** argv) {
   }
   if (!flags->metrics_path.empty()) {
     run_report.set_info("exit_status", std::to_string(status));
-    if (run_report.write(flags->metrics_path)) {
+    if (store::atomic_write_text(flags->metrics_path,
+                                 run_report.to_json() + "\n")) {
       obs::log(obs::LogLevel::kInfo, "run report written: %s",
                flags->metrics_path.c_str());
     } else {
