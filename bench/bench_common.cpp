@@ -3,11 +3,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <string_view>
 
+#include "exec/thread_pool.h"
 #include "obs/log.h"
 #include "obs/run_report.h"
+#include "store/build_info.h"
 #include "store/fs.h"
 
 namespace geonet::bench {
@@ -82,6 +85,7 @@ void write_bench_report() {
   const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - record.start);
   report.set_info("wall_us", std::to_string(wall_us.count()));
+  stamp_bench_report(report);
   if (store::atomic_write_text(path, report.to_json() + "\n")) {
     obs::log(obs::LogLevel::kInfo, "[geonet] bench record written: %s",
              path.c_str());
@@ -103,6 +107,31 @@ void print_banner(const char* experiment, const char* paper_artifact) {
   std::printf("  (paper: On the Geographic Location of Internet Resources,\n");
   std::printf("   Lakhina/Byers/Crovella/Matta, IMC 2002; synthetic substrate)\n");
   std::printf("================================================================\n");
+}
+
+void stamp_bench_report(obs::RunReport& report) {
+  // The effective pool size, not the live pool: benches size the pool via
+  // GEONET_THREADS or hardware, and this also stays safe in exit hooks
+  // where the global pool may already be torn down.
+  report.set_info(
+      "threads", std::to_string(exec::ThreadPool::default_thread_count()));
+  const store::BuildInfo& build = store::build_info();
+  report.set_info("tool_version", build.tool_version);
+  report.set_info("compiler", build.compiler);
+  report.set_info("build_type", build.build_type);
+  report.set_info("git_describe", build.git_describe);
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  char stamp[32] = "unknown";
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+#else
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+#endif
+  report.set_info("timestamp_utc", stamp);
 }
 
 std::string dat_name(const std::string& stem) {

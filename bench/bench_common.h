@@ -12,6 +12,10 @@
 #include "report/table.h"
 #include "synth/scenario.h"
 
+namespace geonet::obs {
+class RunReport;
+}
+
 namespace geonet::bench {
 
 /// The process-wide scenario; built on first use and reported to stderr.
@@ -35,6 +39,14 @@ const std::vector<DatasetRef>& ixmapper_datasets();
 /// tracked across PRs. Set GEONET_BENCH_REPORT=0 to disable, or
 /// GEONET_BENCH_REPORT_DIR to redirect.
 void print_banner(const char* experiment, const char* paper_artifact);
+
+/// Stamps a BENCH run report with the facts `geonet perf diff` uses to
+/// judge comparability: `threads` (the effective pool size), the binary's
+/// BuildInfo (`tool_version`, `compiler`, `build_type`, `git_describe`)
+/// and an ISO-8601 UTC `timestamp_utc`. Every BENCH_*.json writer calls
+/// this so cross-thread-count or stale-binary comparisons are refused
+/// instead of reported as bogus regressions.
+void stamp_bench_report(obs::RunReport& report);
 
 /// Builds an artifact-safe .dat filename from a free-form label:
 /// store::slug over the stem, so "fig04_EdgeScape, Mercator_US" becomes

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/distance_pref.h"
 #include "exec/thread_pool.h"
 #include "geo/convex_hull.h"
@@ -225,6 +226,7 @@ void write_exec_scaling_record() {
   const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
   report.set_info("wall_us", std::to_string(wall_us.count()));
+  bench::stamp_bench_report(report);
   report.add_section("thread_scaling", json.str());
 
   const char* dir = std::getenv("GEONET_BENCH_REPORT_DIR");

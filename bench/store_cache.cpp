@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/study.h"
 #include "obs/json.h"
 #include "obs/run_report.h"
@@ -106,6 +107,7 @@ int main() {
     const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - start);
     report.set_info("wall_us", std::to_string(wall.count()));
+    bench::stamp_bench_report(report);
     report.add_section("cache_sweep", json.str());
     const char* dir = std::getenv("GEONET_BENCH_REPORT_DIR");
     const std::string path =

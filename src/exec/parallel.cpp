@@ -20,8 +20,24 @@ ChunkPlan plan_chunks(std::size_t n, std::size_t grain,
   return plan;
 }
 
-RegionSpan::RegionSpan(const char* name) : span_(new obs::Span(name)) {}
+RegionSpan::RegionSpan(const char* name) : span_(new obs::Span(name)) {
+  // Capture the ambient context right after the span opened: it now names
+  // this region span as the innermost live span on the calling thread.
+  const obs::SpanContext context = obs::current_span_context();
+  context_ = {context.span_id, context.depth};
+}
 
 RegionSpan::~RegionSpan() { delete static_cast<obs::Span*>(span_); }
+
+ChunkScope::ChunkScope(RegionSpan::Context region, std::size_t chunk,
+                       std::size_t range_begin,
+                       std::size_t range_end) noexcept
+    : impl_(nullptr) {
+  if (!obs::Tracer::global().enabled()) return;
+  impl_ = new obs::ChunkSpan(obs::SpanContext{region.span_id, region.depth},
+                             chunk, range_begin, range_end);
+}
+
+ChunkScope::~ChunkScope() { delete static_cast<obs::ChunkSpan*>(impl_); }
 
 }  // namespace geonet::exec

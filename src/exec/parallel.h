@@ -74,15 +74,48 @@ struct ChunkPlan {
 
 /// Opens a tracing span for a region (internal helper for the templates;
 /// defined out of line so parallel.h does not pull in obs headers).
+///
+/// v2: the span's trace context (id + child depth) is captured at
+/// construction — i.e. at submit time, on the calling thread — and handed
+/// to every chunk via ChunkScope, which re-establishes it on the worker.
+/// That is what keeps pool-executed chunk spans linked to the study phase
+/// that submitted them instead of dangling as parentless roots.
 class RegionSpan {
  public:
+  /// Mirror of obs::SpanContext, kept POD here so this header stays free
+  /// of obs includes.
+  struct Context {
+    std::uint64_t span_id = 0;
+    std::uint32_t depth = 0;
+  };
+
   explicit RegionSpan(const char* name);
   ~RegionSpan();
   RegionSpan(const RegionSpan&) = delete;
   RegionSpan& operator=(const RegionSpan&) = delete;
 
+  /// The region span's context as captured at submit time.
+  [[nodiscard]] Context context() const noexcept { return context_; }
+
  private:
   void* span_;  ///< obs::Span*
+  Context context_;
+};
+
+/// Per-chunk trace scope, constructed on the executing worker: adopts the
+/// region's context and emits an `exec/chunk[i]` child event with the
+/// chunk index and item range. No-op (and allocation-free) when tracing
+/// is disabled, so chunk-granularity regions cost nothing untraced.
+class ChunkScope {
+ public:
+  ChunkScope(RegionSpan::Context region, std::size_t chunk,
+             std::size_t range_begin, std::size_t range_end) noexcept;
+  ~ChunkScope();
+  ChunkScope(const ChunkScope&) = delete;
+  ChunkScope& operator=(const ChunkScope&) = delete;
+
+ private:
+  void* impl_;  ///< obs::ChunkSpan*, null when tracing is off
 };
 
 /// Runs body(begin, end, chunk) over a static partition of [0, n) on the
@@ -98,7 +131,9 @@ void parallel_for(std::size_t n, const RegionOptions& options, Body&& body) {
     return;
   }
   const RegionSpan span(options.name);
+  const RegionSpan::Context context = span.context();
   ThreadPool::global().run(plan.chunks, [&](std::size_t chunk) {
+    const ChunkScope scope(context, chunk, plan.begin(chunk), plan.end(chunk));
     body(plan.begin(chunk), plan.end(chunk), chunk);
   });
 }
@@ -119,8 +154,10 @@ Acc parallel_reduce(std::size_t n, const RegionOptions& options, Make&& make,
     return acc;
   }
   const RegionSpan span(options.name);
+  const RegionSpan::Context context = span.context();
   std::vector<std::optional<Acc>> chunk_accs(plan.chunks);
   ThreadPool::global().run(plan.chunks, [&](std::size_t chunk) {
+    const ChunkScope scope(context, chunk, plan.begin(chunk), plan.end(chunk));
     Acc acc = make();
     body(acc, plan.begin(chunk), plan.end(chunk), chunk);
     chunk_accs[chunk].emplace(std::move(acc));

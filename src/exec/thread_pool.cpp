@@ -4,12 +4,25 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace geonet::exec {
 
 namespace {
 
 thread_local bool t_on_worker = false;
+
+/// Emits one sample of both pool counter tracks when tracing is on.
+/// Callers hold the pool mutex; the tracer mutex is a leaf, so the
+/// ordering pool-then-tracer is the only one that ever occurs.
+void sample_pool_counters(std::size_t pending, std::size_t active) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) return;
+  tracer.record_counter("exec.queue_depth",
+                        static_cast<std::int64_t>(pending));
+  tracer.record_counter("exec.active_workers",
+                        static_cast<std::int64_t>(active));
+}
 
 obs::Counter& tasks_metric() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter("exec.tasks");
@@ -86,6 +99,7 @@ void ThreadPool::execute_chunk(Job& job, std::size_t chunk,
                                std::unique_lock<std::mutex>& lock) {
   ++job.active;
   --job.pending;
+  sample_pool_counters(job.pending, job.active);
   lock.unlock();
   err::Status status;
   const bool was_worker = t_on_worker;
@@ -103,6 +117,7 @@ void ThreadPool::execute_chunk(Job& job, std::size_t chunk,
   tasks_metric().add();
   lock.lock();
   --job.active;
+  sample_pool_counters(job.pending, job.active);
   if (!status.is_ok() && (!job.failed || chunk < job.error_chunk)) {
     job.failed = true;
     job.error_chunk = chunk;
@@ -174,6 +189,7 @@ void ThreadPool::run(std::size_t chunks,
       job.queues[chunk % threads_].push_back(chunk);
     }
     queue_depth_metric().set(static_cast<std::int64_t>(chunks));
+    sample_pool_counters(job.pending, job.active);
     job_ = &job;
   }
   work_cv_.notify_all();

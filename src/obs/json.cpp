@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace geonet::obs {
 
@@ -307,6 +308,300 @@ bool json_validate(std::string_view text, std::string* error) {
   if (!checker.value()) return false;
   if (!checker.at_end()) return checker.fail("trailing content");
   return true;
+}
+
+// ---------------------------------------------------------------------
+// DOM parser: same grammar as the Checker, but builds a JsonValue tree.
+// ---------------------------------------------------------------------
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::Bool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::Number;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::String;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue out;
+  out.kind_ = Kind::Object;
+  return out;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue out;
+  out.kind_ = Kind::Array;
+  return out;
+}
+
+void JsonValue::add_member(std::string key, JsonValue value) {
+  assert(kind_ == Kind::Object);
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::add_item(JsonValue value) {
+  assert(kind_ == Kind::Array);
+  items_.push_back(std::move(value));
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser. Kept separate from the Checker so the
+/// validator stays allocation-free; the two share the grammar by
+/// construction (both are direct transcriptions of RFC 8259).
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* error;
+
+  std::optional<JsonValue> fail(const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + " at offset " + std::to_string(pos);
+    }
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos >= text.size()) return false;
+      const char c = text[pos++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::optional<std::string> string() {
+    if (pos >= text.size() || text[pos] != '"') return std::nullopt;
+    ++pos;
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out += c;
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (pos >= text.size()) return std::nullopt;
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return std::nullopt;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+            if (pos + 1 < text.size() && text[pos] == '\\' &&
+                text[pos + 1] == 'u') {
+              pos += 2;
+              std::uint32_t low = 0;
+              if (!hex4(low) || low < 0xDC00 || low > 0xDFFF) {
+                return std::nullopt;
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            }  // lone surrogate: emit as-is, matching the validator
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    const auto digits = [&] {
+      const std::size_t before = pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+      return pos > before;
+    };
+    if (pos < text.size() && text[pos] == '0') {
+      ++pos;
+    } else if (!digits()) {
+      return fail("expected digit");
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (!digits()) return fail("expected fraction digits");
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) return fail("expected exponent digits");
+    }
+    const std::string token(text.substr(start, pos - start));
+    return JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos >= text.size()) return fail("expected value");
+    switch (text[pos]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        auto s = string();
+        if (!s) return fail("bad string");
+        return JsonValue::make_string(std::move(*s));
+      }
+      case 't':
+        if (!literal("true")) return fail("bad literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!literal("false")) return fail("bad literal");
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!literal("null")) return fail("bad literal");
+        return JsonValue::make_null();
+      default: return number();
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    ++pos;  // '{'
+    JsonValue out = JsonValue::make_object();
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return fail("expected member key");
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
+      ++pos;
+      auto member = value();
+      if (!member) return std::nullopt;
+      out.add_member(std::move(*key), std::move(*member));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return out;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    ++pos;  // '['
+    JsonValue out = JsonValue::make_array();
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      auto item = value();
+      if (!item) return std::nullopt;
+      out.add_item(std::move(*item));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return out;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
+  Parser parser{text, 0, error};
+  auto root = parser.value();
+  if (!root) return std::nullopt;
+  parser.skip_ws();
+  if (parser.pos < parser.text.size()) return parser.fail("trailing content");
+  return root;
 }
 
 }  // namespace geonet::obs

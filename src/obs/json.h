@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace geonet::obs {
@@ -59,5 +61,78 @@ class JsonWriter {
 /// Used by tests and tools/check_trace.py's C++ twin; not a parser — it
 /// builds no DOM.
 bool json_validate(std::string_view text, std::string* error = nullptr);
+
+/// Parsed JSON value — the DOM counterpart to JsonWriter, introduced for
+/// consumers of our own artifacts (the perf gate reads BENCH_*.json).
+/// Owning tree; numbers are stored as double (exact for integers up to
+/// 2^53, far beyond any microsecond timing we record). Object members
+/// keep document order; lookup returns the first match.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+
+  /// Typed accessors with defaults — wrong-kind access returns the
+  /// default rather than throwing, so schema drift degrades softly.
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const noexcept {
+    return is_number() ? number_ : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const noexcept {
+    return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+  }
+  [[nodiscard]] std::string_view as_string(
+      std::string_view fallback = {}) const noexcept {
+    return is_string() ? std::string_view(string_) : fallback;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  /// All object members in document order (empty unless an object).
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+  /// Array elements (empty unless an array).
+  [[nodiscard]] const std::vector<JsonValue>& items() const noexcept {
+    return items_;
+  }
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_object();
+  static JsonValue make_array();
+
+  void add_member(std::string key, JsonValue value);
+  void add_item(JsonValue value);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> items_;
+};
+
+/// Parses one JSON document into a JsonValue tree. Returns nullopt on
+/// malformed input (diagnostic with offset in `error` when non-null).
+/// obs sits below err, so this reports via optional rather than
+/// err::Result; callers wanting rich errors wrap it themselves.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
 
 }  // namespace geonet::obs

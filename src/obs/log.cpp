@@ -1,15 +1,27 @@
 #include "obs/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace geonet::obs {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+std::uint64_t elapsed_us_since_first_log() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
 
 }  // namespace
 
@@ -21,16 +33,48 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::size_t format_log_prefix(std::uint64_t elapsed_us, std::uint32_t thread,
+                              char* buf, std::size_t size) noexcept {
+  const int n =
+      std::snprintf(buf, size, "[%8.1fms t%02u] ",
+                    static_cast<double>(elapsed_us) / 1000.0, thread);
+  return n < 0 ? 0 : static_cast<std::size_t>(n);
+}
+
 void log(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
+  char prefix[48];
+  format_log_prefix(elapsed_us_since_first_log(), thread_index(), prefix,
+                    sizeof(prefix));
+
+  // Render the message into one buffer so prefix + body + newline reach
+  // stderr as a single write — interleaved threads stay line-atomic in
+  // practice.
+  char stack_buf[512];
   std::va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
   va_end(args);
-  const std::size_t len = std::strlen(fmt);
-  if (len == 0 || fmt[len - 1] != '\n') std::fputc('\n', stderr);
+  if (needed < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
+    va_end(args_copy);
+    std::fprintf(stderr, "%s%s%s", prefix, stack_buf,
+                 (needed == 0 || stack_buf[needed - 1] != '\n') ? "\n" : "");
+    return;
+  }
+  std::string body(static_cast<std::size_t>(needed) + 1, '\0');
+  std::vsnprintf(body.data(), body.size(), fmt, args_copy);
+  va_end(args_copy);
+  body.resize(static_cast<std::size_t>(needed));
+  std::fprintf(stderr, "%s%s%s", prefix, body.c_str(),
+               (body.empty() || body.back() != '\n') ? "\n" : "");
 }
 
 }  // namespace geonet::obs

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 namespace geonet::obs {
 
 /// Leveled diagnostic logging to stderr.
@@ -8,6 +11,11 @@ namespace geonet::obs {
 /// every diagnostic goes through log(), which a front end can silence
 /// (`--quiet` sets the threshold to kError) or crank up. stdout remains
 /// reserved for actual program output (tables, reports).
+///
+/// Every line carries a `[<elapsed>ms t<idx>]` prefix: milliseconds
+/// since the first log call and the dense per-thread index from
+/// obs::thread_index() — the same index Chrome trace rows use as `tid`,
+/// so interleaved multi-threaded log output cross-references the trace.
 enum class LogLevel : int {
   kDebug = 0,
   kInfo = 1,
@@ -19,6 +27,13 @@ enum class LogLevel : int {
 /// Messages below this level are dropped. Default: kInfo.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Renders the line prefix for a given elapsed time and thread index
+/// into `buf` (NUL-terminated, truncating) and returns the would-be
+/// length à la snprintf. Exposed so the format is pinned by a test:
+/// `[<elapsed ms, width 8, 1 decimal>ms t<index, width 2, zero pad>] `.
+std::size_t format_log_prefix(std::uint64_t elapsed_us, std::uint32_t thread,
+                              char* buf, std::size_t size) noexcept;
 
 /// printf-style; a trailing newline is appended when missing.
 #if defined(__GNUC__) || defined(__clang__)

@@ -25,6 +25,31 @@ std::uint64_t Histogram::max() const noexcept {
   return max_.load(std::memory_order_relaxed);
 }
 
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      const double lower = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+      const double upper = static_cast<double>(bucket_upper(i));
+      const double fraction = (target - cumulative) / in_bucket;
+      const double estimate = lower + fraction * (upper - lower);
+      const auto lo = static_cast<double>(min());
+      const auto hi = static_cast<double>(max());
+      return std::min(std::max(estimate, lo), hi);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
 void Histogram::update_min(std::uint64_t sample) noexcept {
   std::uint64_t current = min_.load(std::memory_order_relaxed);
   while (sample < current &&

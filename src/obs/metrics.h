@@ -115,6 +115,13 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Quantile estimate from the pow2 buckets: finds the bucket holding
+  /// the q-th sample and interpolates linearly inside it, clamped to the
+  /// exact observed [min, max]. q in [0, 1]; returns 0 when empty.
+  /// Resolution is bucket-width (a factor of 2), which is enough to rank
+  /// stages and spot order-of-magnitude shifts.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
  private:
   void update_min(std::uint64_t sample) noexcept;
   void update_max(std::uint64_t sample) noexcept;

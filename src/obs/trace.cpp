@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <unordered_map>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -17,26 +18,48 @@ std::uint64_t to_us(std::chrono::steady_clock::duration d) noexcept {
       std::chrono::duration_cast<std::chrono::microseconds>(d).count());
 }
 
-/// Dense per-thread index for trace rows (Chrome groups events by tid).
-std::uint32_t thread_index() {
+/// Per-thread ambient trace context: the innermost live span and the
+/// depth its children start at. Spans push/pop it RAII-style; a
+/// ContextGuard swaps in a context captured on another thread.
+struct Ambient {
+  std::uint64_t id = 0;
+  std::uint32_t depth = 0;
+};
+
+Ambient& ambient_slot() noexcept {
+  static thread_local Ambient ambient;
+  return ambient;
+}
+
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Initial event-buffer reservation when tracing turns on: enough for a
+/// full scenario study at chunk granularity without a grow under the
+/// record lock.
+constexpr std::size_t kInitialEventCapacity = 4096;
+
+}  // namespace
+
+std::uint32_t thread_index() noexcept {
   static std::atomic<std::uint32_t> next{0};
   static thread_local const std::uint32_t index =
       next.fetch_add(1, std::memory_order_relaxed);
   return index;
 }
 
-/// Per-thread span nesting depth.
-std::uint32_t& depth_slot() {
-  static thread_local std::uint32_t depth = 0;
-  return depth;
+SpanContext current_span_context() noexcept {
+  const Ambient& ambient = ambient_slot();
+  return {ambient.id, ambient.depth};
 }
-
-}  // namespace
 
 void Tracer::set_enabled(bool enabled) {
   if (enabled && !enabled_.load(std::memory_order_relaxed)) {
     const std::scoped_lock lock(mutex_);
     epoch_ = std::chrono::steady_clock::now();
+    events_.reserve(kInitialEventCapacity);
   }
   enabled_.store(enabled, std::memory_order_relaxed);
 }
@@ -45,12 +68,22 @@ std::uint64_t Tracer::now_us() const noexcept {
   return to_us(std::chrono::steady_clock::now() - epoch_);
 }
 
-void Tracer::record(std::string name, std::uint64_t start_us,
-                    std::uint64_t duration_us, std::uint32_t depth) {
-  TraceEvent event{std::move(name), start_us, duration_us, thread_index(),
-                   depth};
+void Tracer::record(TraceEvent event) {
+  // The event arrives fully built (name string allocated by the caller),
+  // so the lock covers one push_back into pre-reserved storage. Growth
+  // doubles explicitly so a reserve-skipping first use still amortizes.
   const std::scoped_lock lock(mutex_);
+  if (events_.size() == events_.capacity()) {
+    events_.reserve(std::max(kInitialEventCapacity, events_.capacity() * 2));
+  }
   events_.push_back(std::move(event));
+}
+
+void Tracer::record_counter(std::string_view name, std::int64_t value) {
+  if (!enabled()) return;
+  CounterEvent event{std::string(name), now_us(), value};
+  const std::scoped_lock lock(mutex_);
+  counters_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -58,17 +91,31 @@ std::vector<TraceEvent> Tracer::events() const {
   return events_;
 }
 
+std::vector<CounterEvent> Tracer::counter_events() const {
+  const std::scoped_lock lock(mutex_);
+  return counters_;
+}
+
 void Tracer::clear() {
   const std::scoped_lock lock(mutex_);
   events_.clear();
+  counters_.clear();
 }
 
-std::string Tracer::chrome_trace_json() const {
+std::string Tracer::chrome_trace_json(std::string_view provenance) const {
   auto sorted = events();
   std::sort(sorted.begin(), sorted.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.start_us < b.start_us;
             });
+  // Parent thread lookup for flow binding (arrows only make sense when
+  // the child ran on a different thread than its parent).
+  std::unordered_map<std::uint64_t, std::uint32_t> thread_of;
+  thread_of.reserve(sorted.size());
+  for (const TraceEvent& event : sorted) {
+    if (event.id != 0) thread_of.emplace(event.id, event.thread);
+  }
+
   JsonWriter json;
   json.begin_object();
   json.key("traceEvents").begin_array();
@@ -81,10 +128,62 @@ std::string Tracer::chrome_trace_json() const {
     json.key("dur").value(event.duration_us);
     json.key("pid").value(1);
     json.key("tid").value(event.thread);
+    json.key("args").begin_object();
+    json.key("span_id").value(event.id);
+    json.key("parent_id").value(event.parent);
+    if (event.chunk != TraceEvent::kNoChunk) {
+      json.key("chunk").value(event.chunk);
+      json.key("begin").value(event.range_begin);
+      json.key("end").value(event.range_end);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  // Flow arrows: one start/finish pair per cross-thread parent link, so
+  // the viewer draws each phase fanning out to its pool chunks.
+  for (const TraceEvent& event : sorted) {
+    if (event.parent == 0) continue;
+    const auto parent_thread = thread_of.find(event.parent);
+    if (parent_thread == thread_of.end() ||
+        parent_thread->second == event.thread) {
+      continue;
+    }
+    json.begin_object();
+    json.key("name").value(event.name);
+    json.key("cat").value("geonet.flow");
+    json.key("ph").value("s");
+    json.key("id").value(event.id);
+    json.key("ts").value(event.start_us);
+    json.key("pid").value(1);
+    json.key("tid").value(parent_thread->second);
+    json.end_object();
+    json.begin_object();
+    json.key("name").value(event.name);
+    json.key("cat").value("geonet.flow");
+    json.key("ph").value("f");
+    json.key("bp").value("e");
+    json.key("id").value(event.id);
+    json.key("ts").value(event.start_us);
+    json.key("pid").value(1);
+    json.key("tid").value(event.thread);
+    json.end_object();
+  }
+  // Counter tracks (queue depth, active workers): own lanes over time.
+  for (const CounterEvent& counter : counter_events()) {
+    json.begin_object();
+    json.key("name").value(counter.name);
+    json.key("cat").value("geonet");
+    json.key("ph").value("C");
+    json.key("ts").value(counter.ts_us);
+    json.key("pid").value(1);
+    json.key("args").begin_object();
+    json.key("value").value(counter.value);
+    json.end_object();
     json.end_object();
   }
   json.end_array();
   json.key("displayTimeUnit").value("ms");
+  if (!provenance.empty()) json.key("geonet").raw(provenance);
   json.end_object();
   return json.str();
 }
@@ -96,38 +195,146 @@ bool Tracer::write_chrome_trace(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-std::string Tracer::summary() const {
-  struct Agg {
-    std::uint64_t count = 0;
-    std::uint64_t total_us = 0;
-    std::uint32_t min_depth = ~0u;
-  };
-  std::map<std::string, Agg> by_name;
-  for (const TraceEvent& event : events()) {
-    Agg& agg = by_name[event.name];
+namespace {
+
+/// One aggregated stage of the profile tree: all events sharing a name,
+/// attached under the stage name of their (first seen) parent event.
+struct StageAgg {
+  std::string parent;  ///< parent stage name, "" = root
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t self_us = 0;  ///< total minus direct children's time
+  std::uint32_t min_depth = ~0u;
+  Histogram durations;  ///< pow2 buckets over per-event duration_us
+};
+
+/// Groups events by stage name, computes self time from parent links and
+/// feeds per-stage pow2 duration histograms (for p50/p95 estimates).
+std::map<std::string, StageAgg> aggregate_stages(
+    const std::vector<TraceEvent>& events) {
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  index_of.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].id != 0) index_of.emplace(events[i].id, i);
+  }
+  std::vector<std::uint64_t> child_us(events.size(), 0);
+  for (const TraceEvent& event : events) {
+    if (event.parent == 0) continue;
+    const auto it = index_of.find(event.parent);
+    if (it != index_of.end()) child_us[it->second] += event.duration_us;
+  }
+  std::map<std::string, StageAgg> stages;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    StageAgg& agg = stages[event.name];
     ++agg.count;
     agg.total_us += event.duration_us;
+    agg.self_us += event.duration_us > child_us[i]
+                       ? event.duration_us - child_us[i]
+                       : 0;
     agg.min_depth = std::min(agg.min_depth, event.depth);
+    agg.durations.record(event.duration_us);
+    if (agg.parent.empty() && event.parent != 0) {
+      const auto it = index_of.find(event.parent);
+      if (it != index_of.end()) agg.parent = events[it->second].name;
+    }
   }
-  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
-  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return a.second.total_us > b.second.total_us;
-  });
+  // A stage must never claim itself (or a missing stage) as parent.
+  for (auto& [name, agg] : stages) {
+    if (agg.parent == name || stages.find(agg.parent) == stages.end()) {
+      agg.parent.clear();
+    }
+  }
+  return stages;
+}
 
-  std::string out = "stage                                   count   total ms    mean ms\n";
-  char line[160];
-  for (const auto& [name, agg] : rows) {
-    const std::string label(std::string(agg.min_depth * 2, ' ') + name);
-    std::snprintf(line, sizeof(line), "%-38s %6llu %10.2f %10.3f\n",
-                  label.c_str(),
-                  static_cast<unsigned long long>(agg.count),
+/// Children of each stage, ordered by total time descending.
+std::map<std::string, std::vector<std::string>> stage_children(
+    const std::map<std::string, StageAgg>& stages) {
+  std::map<std::string, std::vector<std::string>> children;
+  for (const auto& [name, agg] : stages) {
+    children[agg.parent].push_back(name);
+  }
+  for (auto& [parent, names] : children) {
+    std::sort(names.begin(), names.end(),
+              [&](const std::string& a, const std::string& b) {
+                return stages.at(a).total_us > stages.at(b).total_us;
+              });
+  }
+  return children;
+}
+
+}  // namespace
+
+std::string Tracer::summary() const {
+  const auto stages = aggregate_stages(events());
+  const auto children = stage_children(stages);
+
+  std::string out =
+      "stage                                     count   total ms    self ms"
+      "    p50 ms    p95 ms    max ms\n";
+  char line[256];
+  const auto render = [&](const auto& self, const std::string& name,
+                          std::size_t indent) -> void {
+    const StageAgg& agg = stages.at(name);
+    const std::string label(std::string(indent * 2, ' ') + name);
+    std::snprintf(line, sizeof(line),
+                  "%-40s %6llu %10.2f %10.2f %9.2f %9.2f %9.2f\n",
+                  label.c_str(), static_cast<unsigned long long>(agg.count),
                   static_cast<double>(agg.total_us) / 1000.0,
-                  agg.count == 0 ? 0.0
-                                 : static_cast<double>(agg.total_us) /
-                                       (1000.0 * static_cast<double>(agg.count)));
+                  static_cast<double>(agg.self_us) / 1000.0,
+                  agg.durations.percentile(0.50) / 1000.0,
+                  agg.durations.percentile(0.95) / 1000.0,
+                  static_cast<double>(agg.durations.max()) / 1000.0);
     out += line;
+    const auto it = children.find(name);
+    if (it == children.end()) return;
+    for (const std::string& child : it->second) {
+      self(self, child, indent + 1);
+    }
+  };
+  const auto roots = children.find("");
+  if (roots != children.end()) {
+    for (const std::string& root : roots->second) render(render, root, 0);
   }
   return out;
+}
+
+std::string Tracer::profile_json(std::string_view provenance) const {
+  const auto stages = aggregate_stages(events());
+  const auto children = stage_children(stages);
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("geonet.profile.v1");
+  if (!provenance.empty()) json.key("provenance").raw(provenance);
+  json.key("stages").begin_array();
+  // Depth-first from the roots so a reader can rebuild the tree from the
+  // flat array in order; `parent` names carry the edges.
+  const auto emit = [&](const auto& self, const std::string& name) -> void {
+    const StageAgg& agg = stages.at(name);
+    json.begin_object();
+    json.key("name").value(name);
+    json.key("parent").value(agg.parent);
+    json.key("depth").value(agg.min_depth);
+    json.key("count").value(agg.count);
+    json.key("total_us").value(agg.total_us);
+    json.key("self_us").value(agg.self_us);
+    json.key("p50_us").value(agg.durations.percentile(0.50));
+    json.key("p95_us").value(agg.durations.percentile(0.95));
+    json.key("max_us").value(agg.durations.max());
+    json.end_object();
+    const auto it = children.find(name);
+    if (it == children.end()) return;
+    for (const std::string& child : it->second) self(self, child);
+  };
+  const auto roots = children.find("");
+  if (roots != children.end()) {
+    for (const std::string& root : roots->second) emit(emit, root);
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
 }
 
 Tracer& Tracer::global() {
@@ -135,14 +342,29 @@ Tracer& Tracer::global() {
   return *instance;
 }
 
-Span::Span(const char* name)
-    : name_(name),
-      start_(std::chrono::steady_clock::now()),
-      start_us_(Tracer::global().enabled() ? Tracer::global().now_us() : 0),
-      depth_(depth_slot()++) {}
+Span::Span(const char* name) : name_(name) { open(); }
+
+Span::Span(std::string name) : owned_(std::move(name)), name_(owned_.c_str()) {
+  open();
+}
+
+void Span::open() {
+  Ambient& ambient = ambient_slot();
+  depth_ = ambient.depth++;
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) {
+    id_ = next_span_id();
+    parent_ = ambient.id;
+    ambient.id = id_;
+    start_us_ = tracer.now_us();
+  }
+  start_ = std::chrono::steady_clock::now();
+}
 
 Span::~Span() {
-  --depth_slot();
+  Ambient& ambient = ambient_slot();
+  --ambient.depth;
+  if (id_ != 0) ambient.id = parent_;
   const std::uint64_t duration_us =
       to_us(std::chrono::steady_clock::now() - start_);
   // Stage wall-time histogram: populated whether or not tracing is on, so
@@ -152,9 +374,70 @@ Span::~Span() {
       .histogram(std::string("stage_us.") + name_)
       .record(duration_us);
   Tracer& tracer = Tracer::global();
-  if (tracer.enabled()) {
-    tracer.record(name_, start_us_, duration_us, depth_);
+  if (id_ != 0 && tracer.enabled()) {
+    TraceEvent event;
+    event.name = name_;
+    event.start_us = start_us_;
+    event.duration_us = duration_us;
+    event.id = id_;
+    event.parent = parent_;
+    event.thread = thread_index();
+    event.depth = depth_;
+    tracer.record(std::move(event));
   }
+}
+
+ContextGuard::ContextGuard(SpanContext context) noexcept {
+  Ambient& ambient = ambient_slot();
+  saved_ = {ambient.id, ambient.depth};
+  ambient.id = context.span_id;
+  ambient.depth = context.depth;
+}
+
+ContextGuard::~ContextGuard() {
+  Ambient& ambient = ambient_slot();
+  ambient.id = saved_.span_id;
+  ambient.depth = saved_.depth;
+}
+
+ChunkSpan::ChunkSpan(SpanContext region, std::size_t chunk,
+                     std::size_t range_begin, std::size_t range_end) noexcept {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  Ambient& ambient = ambient_slot();
+  saved_ = {ambient.id, ambient.depth};
+  id_ = next_span_id();
+  parent_ = region.span_id;
+  depth_ = region.depth;
+  ambient.id = id_;
+  ambient.depth = region.depth + 1;
+  chunk_ = chunk;
+  range_begin_ = range_begin;
+  range_end_ = range_end;
+  start_us_ = tracer.now_us();
+  start_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+ChunkSpan::~ChunkSpan() {
+  if (!active_) return;
+  Ambient& ambient = ambient_slot();
+  ambient.id = saved_.span_id;
+  ambient.depth = saved_.depth;
+  const std::uint64_t duration_us =
+      to_us(std::chrono::steady_clock::now() - start_);
+  TraceEvent event;
+  event.name = "exec/chunk[" + std::to_string(chunk_) + "]";
+  event.start_us = start_us_;
+  event.duration_us = duration_us;
+  event.id = id_;
+  event.parent = parent_;
+  event.thread = thread_index();
+  event.depth = depth_;
+  event.chunk = chunk_;
+  event.range_begin = range_begin_;
+  event.range_end = range_end_;
+  Tracer::global().record(std::move(event));
 }
 
 ScopedTimer::~ScopedTimer() {

@@ -5,13 +5,15 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace geonet::obs {
 
 class Histogram;
+class MetricsRegistry;
 
-/// Stage-level tracing.
+/// Stage-level tracing, v2: spans carry identities and parent links.
 ///
 /// A `Span` is an RAII marker around one pipeline stage ("synth/skitter",
 /// "study/density", ...). Spans always feed a per-stage wall-time
@@ -20,50 +22,113 @@ class Histogram;
 /// When the global `Tracer` is enabled they additionally append a
 /// complete event to its buffer, which exports as Chrome
 /// `trace_event`-format JSON (open in chrome://tracing or
-/// https://ui.perfetto.dev) or as a flat text summary.
+/// https://ui.perfetto.dev) or as a per-stage tree summary.
 ///
-/// Spans nest: a thread-local depth counter tracks the current stack so
-/// the text summary can indent by nesting; the Chrome viewer infers
-/// nesting from timestamps on its own.
+/// v2 adds trace contexts: every traced span gets a process-unique id and
+/// records the id of the innermost live span on its thread as its parent.
+/// The ambient context is thread-local; `current_span_context()` captures
+/// it and `ContextGuard` re-establishes a captured context on another
+/// thread, which is how `exec::parallel_for`/`parallel_reduce` keep chunk
+/// spans executed on pool workers linked to the phase that submitted them
+/// (`ChunkSpan` emits the per-chunk `exec/chunk[i]` child events). The
+/// Chrome export adds flow arrows for cross-thread parent/child pairs and
+/// counter tracks (`exec.queue_depth`, `exec.active_workers`) sampled by
+/// the pool, so a study phase visibly fans out over the pool lanes.
 ///
 /// Cost when tracing is disabled: two steady_clock reads plus one
 /// histogram record per span — intended for stage granularity (tens to
-/// thousands per run), not per-element hot loops. For hot loops, use
-/// counters.
+/// thousands per run), not per-element hot loops. Chunk spans and counter
+/// samples cost one relaxed load when disabled.
 
 /// One completed span. Timestamps are microseconds since the tracer's
 /// epoch (process start of tracing).
 struct TraceEvent {
+  /// Sentinel for `chunk` on events that are not chunk spans.
+  static constexpr std::uint64_t kNoChunk = ~0ULL;
+
   std::string name;
   std::uint64_t start_us = 0;
   std::uint64_t duration_us = 0;
+  std::uint64_t id = 0;      ///< process-unique span id, > 0 when traced
+  std::uint64_t parent = 0;  ///< id of the enclosing span, 0 = root
   std::uint32_t thread = 0;  ///< dense thread index, 0 = first seen
   std::uint32_t depth = 0;   ///< nesting depth at start, 0 = top level
+  /// Chunk-span payload (`exec/chunk[i]`): chunk index and the item range
+  /// [range_begin, range_end) it covered. kNoChunk on ordinary spans.
+  std::uint64_t chunk = kNoChunk;
+  std::uint64_t range_begin = 0;
+  std::uint64_t range_end = 0;
 };
+
+/// One sampled point of a counter track (Chrome "C" events): instruments
+/// whose value-over-time matters, e.g. the pool's queue depth.
+struct CounterEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;
+  std::int64_t value = 0;
+};
+
+/// A captured span context: the innermost live span on a thread plus the
+/// nesting depth its children would start at. Copyable and cheap; valid
+/// to re-establish on another thread while the span is still live.
+struct SpanContext {
+  std::uint64_t span_id = 0;  ///< 0 = no live span (root)
+  std::uint32_t depth = 0;    ///< depth the next child span starts at
+};
+
+/// The ambient context of the calling thread. Capture at submit time,
+/// hand to workers via ContextGuard (or ChunkSpan, which does both).
+[[nodiscard]] SpanContext current_span_context() noexcept;
+
+/// Dense per-thread index, 0 = first thread seen. Shared by trace rows
+/// (`TraceEvent::thread`) and log-line prefixes so the two are cross-
+/// referencable.
+[[nodiscard]] std::uint32_t thread_index() noexcept;
 
 class Tracer {
  public:
-  /// Starts buffering events. Also (re)sets the epoch when first enabled.
+  /// Starts buffering events. Also (re)sets the epoch when first enabled
+  /// and pre-reserves the event buffer.
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  void record(std::string name, std::uint64_t start_us,
-              std::uint64_t duration_us, std::uint32_t depth);
+  /// Appends one completed span. The event (name string included) must be
+  /// fully built by the caller so the critical section is a single
+  /// push_back into pre-reserved storage — no allocation under the lock
+  /// on the common path.
+  void record(TraceEvent event);
+
+  /// Appends one counter sample (no-op when disabled).
+  void record_counter(std::string_view name, std::int64_t value);
 
   [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::vector<CounterEvent> counter_events() const;
   void clear();
 
   /// Microseconds since the tracer epoch.
   [[nodiscard]] std::uint64_t now_us() const noexcept;
 
-  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
-  [[nodiscard]] std::string chrome_trace_json() const;
+  /// Chrome trace_event JSON: complete ("X") events with span/parent ids
+  /// and chunk ranges in args, flow ("s"/"f") arrows for cross-thread
+  /// parent links, counter ("C") track events, and — when `provenance` is
+  /// a non-empty JSON object — a top-level "geonet" provenance stamp.
+  [[nodiscard]] std::string chrome_trace_json(
+      std::string_view provenance = {}) const;
   bool write_chrome_trace(const std::string& path) const;
 
-  /// Flat per-stage summary (count, total, mean), longest first.
+  /// Per-stage tree summary: stages indented under their parent stage,
+  /// with count, total, self (total minus child spans) and p50/p95/max
+  /// estimated from pow2-bucket histograms of the span durations.
   [[nodiscard]] std::string summary() const;
+
+  /// Machine-readable profile, schema `geonet.profile.v1`: the same
+  /// stage tree as `summary()` as a flat array of stage rows with parent
+  /// names. Emitted via the CLI's `--profile` and embedded in run
+  /// reports. `provenance` (a JSON object, usually
+  /// `store::provenance_json()`) is spliced in when non-empty.
+  [[nodiscard]] std::string profile_json(std::string_view provenance = {}) const;
 
   static Tracer& global();
 
@@ -71,25 +136,76 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::vector<CounterEvent> counters_;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };
 
-/// RAII span around one stage. `name` must outlive the span (string
-/// literals in practice).
+/// RAII span around one stage. The `const char*` constructor borrows the
+/// name (string literals); the `std::string` overload owns it (dynamic
+/// names such as per-chunk labels).
 class Span {
  public:
   explicit Span(const char* name);
+  explicit Span(std::string name);
   ~Span();
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
+  void open();
+
+  std::string owned_;  ///< backing storage for dynamic names (else empty)
   const char* name_;
   std::chrono::steady_clock::time_point start_;
-  std::uint64_t start_us_;  ///< tracer-epoch timestamp (only if enabled)
-  std::uint32_t depth_;
+  std::uint64_t start_us_ = 0;  ///< tracer-epoch timestamp (only if traced)
+  std::uint64_t id_ = 0;        ///< assigned only while tracing
+  std::uint64_t parent_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Re-establishes a captured context as this thread's ambient context for
+/// the guard's lifetime — the bridge that carries a submitting phase's
+/// span across the pool to its workers.
+class ContextGuard {
+ public:
+  explicit ContextGuard(SpanContext context) noexcept;
+  ~ContextGuard();
+
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  SpanContext saved_;
+};
+
+/// Trace-only RAII span for one executed chunk of a parallel region:
+/// re-establishes the region's context on the executing thread and emits
+/// an `exec/chunk[i]` child event carrying the chunk index and item
+/// range. Complete no-op when the tracer is disabled — chunk spans never
+/// feed `stage_us.*` histograms, keeping the trace-off overhead of
+/// chunk-granularity regions flat.
+class ChunkSpan {
+ public:
+  ChunkSpan(SpanContext region, std::size_t chunk, std::size_t range_begin,
+            std::size_t range_end) noexcept;
+  ~ChunkSpan();
+
+  ChunkSpan(const ChunkSpan&) = delete;
+  ChunkSpan& operator=(const ChunkSpan&) = delete;
+
+ private:
+  SpanContext saved_;  ///< ambient context to restore
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint32_t depth_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t chunk_ = 0;
+  std::uint64_t range_begin_ = 0;
+  std::uint64_t range_end_ = 0;
+  bool active_ = false;
 };
 
 /// RAII timer that records elapsed microseconds into one histogram and

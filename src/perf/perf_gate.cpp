@@ -1,0 +1,276 @@
+#include "perf/perf_gate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "obs/json.h"
+#include "store/fs.h"
+
+namespace geonet::perf {
+
+namespace {
+
+/// Reads an info value as a string, "" when absent or not a string.
+std::string info_string(const obs::JsonValue& info, std::string_view key) {
+  const obs::JsonValue* value = info.find(key);
+  return value != nullptr ? std::string(value->as_string()) : std::string();
+}
+
+/// Two metadata values conflict only when both are known and differ —
+/// unstamped legacy records stay comparable.
+bool conflicts(const std::string& a, const std::string& b) {
+  return !a.empty() && !b.empty() && a != b;
+}
+
+}  // namespace
+
+err::Result<BenchRecord> parse_bench_record(std::string_view json,
+                                            std::string file) {
+  std::string parse_error;
+  const auto root = obs::json_parse(json, &parse_error);
+  if (!root) {
+    return err::Status::data_loss(file + ": invalid JSON: " + parse_error);
+  }
+  const obs::JsonValue* schema = root->find("schema");
+  if (schema == nullptr ||
+      schema->as_string() != "geonet.run_report.v1") {
+    return err::Status::data_loss(
+        file + ": not a geonet.run_report.v1 document");
+  }
+  BenchRecord record;
+  record.file = std::move(file);
+  if (const obs::JsonValue* info = root->find("info")) {
+    record.experiment = info_string(*info, "experiment");
+    record.threads = info_string(*info, "threads");
+    record.git_describe = info_string(*info, "git_describe");
+    record.build_type = info_string(*info, "build_type");
+    record.timestamp_utc = info_string(*info, "timestamp_utc");
+    const std::string wall = info_string(*info, "wall_us");
+    if (!wall.empty()) {
+      record.metrics.push_back({"wall_us", std::strtod(wall.c_str(), nullptr)});
+    }
+  }
+  if (const obs::JsonValue* spans = root->find("spans")) {
+    for (const obs::JsonValue& span : spans->items()) {
+      const obs::JsonValue* name = span.find("name");
+      const obs::JsonValue* total = span.find("total_us");
+      if (name == nullptr || total == nullptr || !name->is_string()) continue;
+      record.metrics.push_back(
+          {"span/" + std::string(name->as_string()), total->as_double()});
+    }
+  }
+  std::sort(record.metrics.begin(), record.metrics.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return record;
+}
+
+err::Result<BenchRecord> load_bench_record(const std::string& path) {
+  auto bytes = store::read_file_bytes(path);
+  if (!bytes) return bytes.status();
+  const std::string text(reinterpret_cast<const char*>(bytes.value().data()),
+                         bytes.value().size());
+  return parse_bench_record(
+      text, std::filesystem::path(path).filename().string());
+}
+
+double Tolerances::for_metric(std::string_view name) const noexcept {
+  for (const auto& [metric, pct] : per_metric) {
+    if (metric == name) return pct;
+  }
+  return default_pct;
+}
+
+const char* row_status_name(RowStatus status) noexcept {
+  switch (status) {
+    case RowStatus::kOk: return "ok";
+    case RowStatus::kRegression: return "REGRESSION";
+    case RowStatus::kImprovement: return "improved";
+    case RowStatus::kTooSmall: return "skipped";
+    case RowStatus::kBaselineOnly: return "baseline-only";
+    case RowStatus::kCurrentOnly: return "new";
+  }
+  return "?";
+}
+
+bool Diff::regressed() const noexcept {
+  return std::any_of(rows.begin(), rows.end(), [](const DiffRow& row) {
+    return row.status == RowStatus::kRegression;
+  });
+}
+
+Diff diff_records(const BenchRecord& baseline, const BenchRecord& current,
+                  const Tolerances& tolerances, bool ignore_meta) {
+  Diff diff;
+  diff.label = !baseline.file.empty() ? baseline.file : current.file;
+
+  if (!ignore_meta) {
+    if (conflicts(baseline.threads, current.threads)) {
+      diff.comparable = false;
+      diff.refusal = "thread counts differ (baseline " + baseline.threads +
+                     ", current " + current.threads + ")";
+    } else if (conflicts(baseline.build_type, current.build_type)) {
+      diff.comparable = false;
+      diff.refusal = "build types differ (baseline " + baseline.build_type +
+                     ", current " + current.build_type + ")";
+    } else if (!baseline.timestamp_utc.empty() &&
+               !current.timestamp_utc.empty() &&
+               current.timestamp_utc < baseline.timestamp_utc) {
+      diff.comparable = false;
+      diff.refusal = "current record (" + current.timestamp_utc +
+                     ") predates the baseline (" + baseline.timestamp_utc +
+                     ") — stale artifact?";
+    }
+    if (!diff.comparable) return diff;
+  }
+
+  // Walk the union of the two name-sorted metric lists.
+  std::size_t b = 0;
+  std::size_t c = 0;
+  while (b < baseline.metrics.size() || c < current.metrics.size()) {
+    DiffRow row;
+    const bool have_b = b < baseline.metrics.size();
+    const bool have_c = c < current.metrics.size();
+    if (have_b && (!have_c || baseline.metrics[b].name < current.metrics[c].name)) {
+      row.metric = baseline.metrics[b].name;
+      row.baseline_us = baseline.metrics[b].us;
+      row.status = RowStatus::kBaselineOnly;
+      ++b;
+    } else if (have_c &&
+               (!have_b || current.metrics[c].name < baseline.metrics[b].name)) {
+      row.metric = current.metrics[c].name;
+      row.current_us = current.metrics[c].us;
+      row.status = RowStatus::kCurrentOnly;
+      ++c;
+    } else {
+      row.metric = baseline.metrics[b].name;
+      row.baseline_us = baseline.metrics[b].us;
+      row.current_us = current.metrics[c].us;
+      row.tolerance_pct = tolerances.for_metric(row.metric);
+      if (row.baseline_us > 0.0) {
+        row.delta_pct =
+            (row.current_us - row.baseline_us) / row.baseline_us * 100.0;
+      }
+      if (row.baseline_us < tolerances.min_us &&
+          row.current_us < tolerances.min_us) {
+        row.status = RowStatus::kTooSmall;  // sub-noise timings never gate
+      } else if (row.delta_pct > row.tolerance_pct) {
+        row.status = RowStatus::kRegression;
+      } else if (row.delta_pct < -row.tolerance_pct) {
+        row.status = RowStatus::kImprovement;
+      } else {
+        row.status = RowStatus::kOk;
+      }
+      ++b;
+      ++c;
+    }
+    diff.rows.push_back(std::move(row));
+  }
+  return diff;
+}
+
+std::string render_diff(const Diff& diff) {
+  std::string out = "perf diff: " + diff.label + "\n";
+  if (!diff.comparable) {
+    out += "  REFUSED: " + diff.refusal + "\n";
+    out += "  (rerun with --ignore-meta to compare anyway)\n";
+    return out;
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-44s %14s %14s %9s %6s  %s\n",
+                "metric", "baseline us", "current us", "delta", "tol",
+                "status");
+  out += line;
+  std::size_t regressions = 0;
+  std::size_t compared = 0;
+  for (const DiffRow& row : diff.rows) {
+    if (row.status == RowStatus::kRegression) ++regressions;
+    if (row.status == RowStatus::kRegression ||
+        row.status == RowStatus::kImprovement ||
+        row.status == RowStatus::kOk) {
+      ++compared;
+    }
+    switch (row.status) {
+      case RowStatus::kBaselineOnly:
+        std::snprintf(line, sizeof(line), "  %-44s %14.0f %14s %9s %6s  %s\n",
+                      row.metric.c_str(), row.baseline_us, "-", "-", "-",
+                      row_status_name(row.status));
+        break;
+      case RowStatus::kCurrentOnly:
+        std::snprintf(line, sizeof(line), "  %-44s %14s %14.0f %9s %6s  %s\n",
+                      row.metric.c_str(), "-", row.current_us, "-", "-",
+                      row_status_name(row.status));
+        break;
+      default:
+        std::snprintf(line, sizeof(line),
+                      "  %-44s %14.0f %14.0f %+8.1f%% %5.0f%%  %s\n",
+                      row.metric.c_str(), row.baseline_us, row.current_us,
+                      row.delta_pct, row.tolerance_pct,
+                      row_status_name(row.status));
+        break;
+    }
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  => %s (%zu compared, %zu regression%s)\n",
+                regressions == 0 ? "OK" : "REGRESSED", compared, regressions,
+                regressions == 1 ? "" : "s");
+  out += line;
+  return out;
+}
+
+bool CheckResult::regressed() const noexcept {
+  return std::any_of(diffs.begin(), diffs.end(),
+                     [](const Diff& diff) { return diff.regressed(); });
+}
+
+bool CheckResult::refused() const noexcept {
+  return std::any_of(diffs.begin(), diffs.end(),
+                     [](const Diff& diff) { return !diff.comparable; });
+}
+
+err::Result<CheckResult> check_directories(const std::string& baseline_dir,
+                                           const std::string& current_dir,
+                                           const Tolerances& tolerances,
+                                           bool ignore_meta) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(baseline_dir, ec)) {
+    return err::Status::not_found("baseline dir missing: " + baseline_dir);
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      names.push_back(name);
+    }
+  }
+  if (ec) {
+    return err::Status::data_loss("cannot list " + baseline_dir + ": " +
+                                  ec.message());
+  }
+  if (names.empty()) {
+    return err::Status::not_found("no BENCH_*.json records in " +
+                                  baseline_dir);
+  }
+  std::sort(names.begin(), names.end());
+
+  CheckResult result;
+  for (const std::string& name : names) {
+    auto baseline = load_bench_record(baseline_dir + "/" + name);
+    if (!baseline) return baseline.status();
+    const std::string current_path = current_dir + "/" + name;
+    if (!fs::exists(current_path, ec)) {
+      result.missing_current.push_back(name);
+      continue;
+    }
+    auto current = load_bench_record(current_path);
+    if (!current) return current.status();
+    result.diffs.push_back(diff_records(baseline.value(), current.value(),
+                                        tolerances, ignore_meta));
+  }
+  return result;
+}
+
+}  // namespace geonet::perf

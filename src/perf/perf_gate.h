@@ -1,0 +1,120 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "err/status.h"
+
+namespace geonet::perf {
+
+/// Perf-regression gate over the BENCH_*.json trajectory.
+///
+/// Every bench binary leaves a `geonet.run_report.v1` record behind
+/// (bench_common's exit hook): info facts (`wall_us`, `threads`,
+/// `git_describe`, ...) plus per-stage span timings. This module parses
+/// those records, compares a current run against a committed baseline
+/// with per-metric tolerances, and renders the verdict — the engine
+/// behind `geonet perf diff` / `geonet perf check` and the opt-in `perf`
+/// ctest.
+///
+/// Comparisons refuse (rather than report bogus regressions) when the
+/// two records are not comparable: different thread counts, different
+/// build types, different scenario scales, or a current record that
+/// predates the baseline (stale artifact). `--ignore-meta` overrides.
+
+/// One named timing extracted from a record: `wall_us` plus one
+/// `span/<name>` per span row (total_us).
+struct Metric {
+  std::string name;
+  double us = 0.0;
+};
+
+/// One parsed BENCH record. Metadata fields are empty when the record
+/// predates the stamping (old baselines) — unknown never conflicts.
+struct BenchRecord {
+  std::string file;  ///< basename of the source path, e.g. BENCH_fig02_density.json
+  std::string experiment;
+  std::string threads;
+  std::string git_describe;
+  std::string build_type;
+  std::string timestamp_utc;  ///< ISO-8601 UTC, lexicographically ordered
+  std::vector<Metric> metrics;  ///< name-sorted
+};
+
+/// Parses one geonet.run_report.v1 bench record from JSON text.
+err::Result<BenchRecord> parse_bench_record(std::string_view json,
+                                            std::string file = {});
+
+/// Loads and parses a record from disk.
+err::Result<BenchRecord> load_bench_record(const std::string& path);
+
+/// Tolerance policy: a default percentage, optional per-metric
+/// overrides (first match wins), and a floor below which timings are
+/// considered noise and skipped.
+struct Tolerances {
+  double default_pct = 10.0;
+  double min_us = 1000.0;
+  std::vector<std::pair<std::string, double>> per_metric;
+
+  [[nodiscard]] double for_metric(std::string_view name) const noexcept;
+};
+
+enum class RowStatus {
+  kOk,            ///< within tolerance
+  kRegression,    ///< current slower than baseline beyond tolerance
+  kImprovement,   ///< current faster beyond tolerance (informational)
+  kTooSmall,      ///< under min_us in both records; skipped
+  kBaselineOnly,  ///< metric vanished from the current record
+  kCurrentOnly,   ///< new metric with no baseline
+};
+[[nodiscard]] const char* row_status_name(RowStatus status) noexcept;
+
+struct DiffRow {
+  std::string metric;
+  double baseline_us = 0.0;
+  double current_us = 0.0;
+  double delta_pct = 0.0;  ///< (current - baseline) / baseline * 100
+  double tolerance_pct = 0.0;
+  RowStatus status = RowStatus::kOk;
+};
+
+/// Verdict for one baseline/current record pair.
+struct Diff {
+  std::string label;     ///< record basename
+  bool comparable = true;
+  std::string refusal;   ///< why not comparable (metadata conflict)
+  std::vector<DiffRow> rows;
+
+  [[nodiscard]] bool regressed() const noexcept;
+};
+
+/// Compares two records under the given tolerances. Metadata conflicts
+/// mark the diff incomparable (no rows) unless `ignore_meta`.
+[[nodiscard]] Diff diff_records(const BenchRecord& baseline,
+                                const BenchRecord& current,
+                                const Tolerances& tolerances,
+                                bool ignore_meta = false);
+
+/// Human-readable table for one diff, ending in a one-line verdict.
+[[nodiscard]] std::string render_diff(const Diff& diff);
+
+/// Directory-level check: every BENCH_*.json in `baseline_dir` is
+/// compared against the same-named file in `current_dir`. Records
+/// missing from `current_dir` are listed, not failed — a partial bench
+/// run gates only what it produced.
+struct CheckResult {
+  std::vector<Diff> diffs;
+  std::vector<std::string> missing_current;
+
+  [[nodiscard]] bool regressed() const noexcept;
+  [[nodiscard]] bool refused() const noexcept;
+};
+
+err::Result<CheckResult> check_directories(const std::string& baseline_dir,
+                                           const std::string& current_dir,
+                                           const Tolerances& tolerances,
+                                           bool ignore_meta = false);
+
+}  // namespace geonet::perf

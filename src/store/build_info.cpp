@@ -25,6 +25,10 @@ const BuildInfo& build_info() {
     b.build_type = "unknown";
 #endif
     if (b.build_type.empty()) b.build_type = "unspecified";
+#ifdef GEONET_GIT_DESCRIBE
+    b.git_describe = GEONET_GIT_DESCRIBE;
+#endif
+    if (b.git_describe.empty()) b.git_describe = "unknown";
     return b;
   }();
   return info;
@@ -38,6 +42,7 @@ std::string provenance_json() {
   json.key("tool_version").value(info.tool_version);
   json.key("compiler").value(info.compiler);
   json.key("build_type").value(info.build_type);
+  json.key("git_describe").value(info.git_describe);
   json.end_object();
   return json.str();
 }

@@ -21,13 +21,17 @@ struct BuildInfo {
   std::string tool_version;  ///< geonet version, e.g. "1.0.0"
   std::string compiler;      ///< e.g. "gcc 13.2.0"
   std::string build_type;    ///< CMAKE_BUILD_TYPE, e.g. "Release"
+  std::string git_describe;  ///< `git describe --always --dirty` at configure
+                             ///< time, "unknown" outside a work tree
 };
 
 /// The provenance of this binary (computed once).
 const BuildInfo& build_info();
 
-/// Provenance as a JSON object — the `provenance` section of run reports:
-/// {"format_version":1,"tool_version":...,"compiler":...,"build_type":...}.
+/// Provenance as a JSON object — the `provenance` section of run reports
+/// and the stamp on trace/profile artifacts:
+/// {"format_version":1,"tool_version":...,"compiler":...,"build_type":...,
+///  "git_describe":...}.
 std::string provenance_json();
 
 }  // namespace geonet::store

@@ -10,13 +10,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/distance_pref.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/bootstrap.h"
 #include "stats/rng.h"
 #include "synth/skitter.h"
@@ -203,6 +207,83 @@ TEST(ParallelFor, CoversEveryIndexOnceAtAnyThreadCount) {
       ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
     }
   }
+}
+
+TEST(ParallelFor, ChunkSpansLinkToEnclosingSpanAcrossThreads) {
+  PoolGuard guard;
+  ThreadPool::set_global_threads(4);
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+
+  constexpr std::size_t kN = 4096;
+  std::atomic<std::uint64_t> sum{0};
+  {
+    const obs::Span phase("test/traced_phase");
+    RegionOptions options;
+    options.name = "test/traced_region";
+    options.grain = 64;
+    parallel_for(kN, options,
+                 [&](std::size_t begin, std::size_t end, std::size_t) {
+                   std::uint64_t local = 0;
+                   for (std::size_t i = begin; i < end; ++i) local += i;
+                   sum.fetch_add(local, std::memory_order_relaxed);
+                 });
+  }
+  tracer.set_enabled(false);
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+
+  // Every exec/chunk[*] event must point back at the region span, which
+  // in turn points at the enclosing phase span — even for chunks that
+  // ran on pool worker threads.
+  const obs::TraceEvent* phase = nullptr;
+  const obs::TraceEvent* region = nullptr;
+  std::vector<const obs::TraceEvent*> chunks;
+  const auto events = tracer.events();
+  for (const obs::TraceEvent& event : events) {
+    if (event.name == "test/traced_phase") phase = &event;
+    if (event.name == "test/traced_region") region = &event;
+    if (event.name.rfind("exec/chunk[", 0) == 0) chunks.push_back(&event);
+  }
+  ASSERT_NE(phase, nullptr);
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->parent, phase->id);
+  EXPECT_EQ(region->depth, phase->depth + 1);
+  ASSERT_FALSE(chunks.empty());
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  std::vector<std::uint32_t> indices;
+  for (const obs::TraceEvent* chunk : chunks) {
+    EXPECT_EQ(chunk->parent, region->id) << chunk->name;
+    EXPECT_EQ(chunk->depth, region->depth + 1) << chunk->name;
+    ASSERT_NE(chunk->chunk, obs::TraceEvent::kNoChunk);
+    ranges.emplace_back(chunk->range_begin, chunk->range_end);
+    indices.push_back(chunk->chunk);
+  }
+  // Chunk indices are unique and the recorded ranges tile [0, kN).
+  std::sort(indices.begin(), indices.end());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], static_cast<std::uint32_t>(i));
+  }
+  std::sort(ranges.begin(), ranges.end());
+  std::uint64_t expect_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_LT(begin, end);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, kN);
+
+  // The pool sampled its queue/worker counters while the region ran.
+  bool saw_queue_depth = false;
+  bool saw_active_workers = false;
+  for (const obs::CounterEvent& counter : tracer.counter_events()) {
+    if (counter.name == "exec.queue_depth") saw_queue_depth = true;
+    if (counter.name == "exec.active_workers") saw_active_workers = true;
+  }
+  EXPECT_TRUE(saw_queue_depth);
+  EXPECT_TRUE(saw_active_workers);
+  tracer.clear();
 }
 
 TEST(ParallelReduce, MatchesSerialSumAtAnyThreadCount) {

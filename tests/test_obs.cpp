@@ -199,6 +199,248 @@ TEST(Trace, SpansNestAndExportWellFormedChromeJson) {
   tracer.clear();
 }
 
+TEST(Trace, SpansCarryUniqueIdsAndParentLinks) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+  {
+    const Span outer("obs_test/outer");
+    const Span middle("obs_test/middle");
+    { const Span inner("obs_test/inner"); }
+  }
+  tracer.set_enabled(false);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* middle = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const TraceEvent& event : events) {
+    if (event.name == "obs_test/outer") outer = &event;
+    if (event.name == "obs_test/middle") middle = &event;
+    if (event.name == "obs_test/inner") inner = &event;
+  }
+  ASSERT_TRUE(outer != nullptr && middle != nullptr && inner != nullptr);
+  EXPECT_GT(outer->id, 0u);
+  EXPECT_NE(outer->id, middle->id);
+  EXPECT_NE(middle->id, inner->id);
+  EXPECT_EQ(outer->parent, 0u);  // root
+  EXPECT_EQ(middle->parent, outer->id);
+  EXPECT_EQ(inner->parent, middle->id);
+  // Ordinary spans carry no chunk payload.
+  EXPECT_EQ(inner->chunk, TraceEvent::kNoChunk);
+  tracer.clear();
+}
+
+TEST(Trace, ContextGuardLinksSpansAcrossThreads) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+  SpanContext captured;
+  {
+    const Span parent("obs_test/submitter");
+    captured = current_span_context();
+    ASSERT_GT(captured.span_id, 0u);
+    std::thread worker([captured] {
+      const ContextGuard guard(captured);
+      const Span child("obs_test/worker_child");
+    });
+    worker.join();
+  }
+  tracer.set_enabled(false);
+
+  const TraceEvent* parent = nullptr;
+  const TraceEvent* child = nullptr;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.name == "obs_test/submitter") parent = &event;
+    if (event.name == "obs_test/worker_child") child = &event;
+  }
+  ASSERT_TRUE(parent != nullptr && child != nullptr);
+  EXPECT_EQ(child->parent, parent->id);
+  EXPECT_EQ(child->depth, parent->depth + 1);
+  tracer.clear();
+}
+
+TEST(Trace, ChunkSpanEmitsChunkEventWithRangeArgs) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+  {
+    const Span region("obs_test/region");
+    const SpanContext context = current_span_context();
+    { const ChunkSpan chunk(context, 3, 300, 400); }
+  }
+  tracer.set_enabled(false);
+
+  const TraceEvent* region = nullptr;
+  const TraceEvent* chunk = nullptr;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.name == "obs_test/region") region = &event;
+    if (event.name == "exec/chunk[3]") chunk = &event;
+  }
+  ASSERT_TRUE(region != nullptr && chunk != nullptr);
+  EXPECT_EQ(chunk->parent, region->id);
+  EXPECT_EQ(chunk->chunk, 3u);
+  EXPECT_EQ(chunk->range_begin, 300u);
+  EXPECT_EQ(chunk->range_end, 400u);
+  EXPECT_EQ(chunk->depth, region->depth + 1);
+  // The chrome export exposes the payload as args and counter samples as
+  // "C" events.
+  tracer.set_enabled(true);
+  tracer.record_counter("obs_test.counter", 7);
+  tracer.set_enabled(false);
+  const std::string json = tracer.chrome_trace_json();
+  std::string error;
+  EXPECT_TRUE(json_validate(json, &error)) << error;
+  EXPECT_NE(json.find("\"chunk\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"begin\":300"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\""), std::string::npos);
+  tracer.clear();
+}
+
+TEST(Trace, ChunkSpanIsNoOpWhenDisabled) {
+  Tracer& tracer = Tracer::global();
+  ASSERT_FALSE(tracer.enabled());
+  tracer.clear();
+  { const ChunkSpan chunk(SpanContext{1, 1}, 0, 0, 10); }
+  tracer.record_counter("obs_test.ignored", 1);
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_TRUE(tracer.counter_events().empty());
+}
+
+TEST(Trace, ChromeExportEmitsFlowArrowsForCrossThreadChildren) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+  {
+    const Span parent("obs_test/flow_parent");
+    const SpanContext captured = current_span_context();
+    std::thread worker([captured] {
+      const ContextGuard guard(captured);
+      const Span child("obs_test/flow_child");
+    });
+    worker.join();
+  }
+  tracer.set_enabled(false);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  tracer.clear();
+}
+
+TEST(Trace, SummaryRendersTreeWithSelfTimeAndPercentiles) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+  {
+    const Span outer("obs_test/tree_outer");
+    { const Span inner("obs_test/tree_inner"); }
+  }
+  tracer.set_enabled(false);
+
+  const std::string summary = tracer.summary();
+  EXPECT_NE(summary.find("obs_test/tree_outer"), std::string::npos);
+  // The child renders indented under its parent.
+  EXPECT_NE(summary.find("  obs_test/tree_inner"), std::string::npos);
+  EXPECT_NE(summary.find("p95"), std::string::npos);
+
+  const std::string profile = tracer.profile_json();
+  std::string error;
+  ASSERT_TRUE(json_validate(profile, &error)) << error;
+  EXPECT_NE(profile.find("\"schema\":\"geonet.profile.v1\""),
+            std::string::npos);
+  const auto parsed = json_parse(profile);
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* stages = parsed->find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_EQ(stages->items().size(), 2u);
+  bool found_inner = false;
+  for (const JsonValue& stage : stages->items()) {
+    const JsonValue* total = stage.find("total_us");
+    const JsonValue* self = stage.find("self_us");
+    ASSERT_TRUE(total != nullptr && self != nullptr);
+    EXPECT_LE(self->as_double(), total->as_double());
+    if (stage.find("name")->as_string() == "obs_test/tree_inner") {
+      found_inner = true;
+      EXPECT_EQ(stage.find("parent")->as_string(), "obs_test/tree_outer");
+    }
+  }
+  EXPECT_TRUE(found_inner);
+  tracer.clear();
+}
+
+TEST(Trace, ThreadIndexIsDenseAndStable) {
+  const std::uint32_t own = thread_index();
+  EXPECT_EQ(thread_index(), own);  // stable per thread
+  std::uint32_t other = own;
+  std::thread worker([&other] { other = thread_index(); });
+  worker.join();
+  EXPECT_NE(other, own);
+}
+
+TEST(Histogram, PercentileEstimatesFromBuckets) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.percentile(0.5), 0.0);  // empty
+  for (std::uint64_t i = 0; i < 100; ++i) histogram.record(1000);
+  histogram.record(1u << 20);  // one outlier
+  const double p50 = histogram.percentile(0.50);
+  EXPECT_GE(p50, 1000.0);
+  EXPECT_LT(p50, 2048.0);  // within the sample's pow2 bucket
+  // The estimate is clamped to the observed range.
+  EXPECT_LE(histogram.percentile(1.0), static_cast<double>(1u << 20));
+  EXPECT_GE(histogram.percentile(0.0), 1000.0);
+}
+
+// ------------------------------------------------------------------
+// JSON DOM parser
+// ------------------------------------------------------------------
+
+TEST(JsonParse, BuildsDomWithTypedAccessors) {
+  const auto root = json_parse(
+      R"({"name":"geonet","n":42,"pi":3.5,"ok":true,"none":null,)"
+      R"("list":[1,2,3],"nested":{"deep":"x"}})");
+  ASSERT_TRUE(root.has_value());
+  ASSERT_TRUE(root->is_object());
+  EXPECT_EQ(root->find("name")->as_string(), "geonet");
+  EXPECT_EQ(root->find("n")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(root->find("pi")->as_double(), 3.5);
+  EXPECT_TRUE(root->find("ok")->as_bool());
+  EXPECT_TRUE(root->find("none")->is_null());
+  EXPECT_EQ(root->find("missing"), nullptr);
+  const JsonValue* list = root->find("list");
+  ASSERT_TRUE(list != nullptr && list->is_array());
+  ASSERT_EQ(list->items().size(), 3u);
+  EXPECT_EQ(list->items()[2].as_int(), 3);
+  EXPECT_EQ(root->find("nested")->find("deep")->as_string(), "x");
+  // Wrong-kind access degrades to the fallback, never throws.
+  EXPECT_EQ(root->find("name")->as_int(-1), -1);
+}
+
+TEST(JsonParse, UnescapesStrings) {
+  const auto root = json_parse(R"(["a\"b\\c\nd\t", "Aé"])");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(root->items()[0].as_string(), "a\"b\\c\nd\t");
+  EXPECT_EQ(root->items()[1].as_string(), "A\xc3\xa9");  // é in UTF-8
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json_parse("", &error).has_value());
+  EXPECT_FALSE(json_parse("{", &error).has_value());
+  EXPECT_FALSE(json_parse("[1,]", &error).has_value());
+  EXPECT_FALSE(json_parse("{\"a\":1} extra", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  // Round-trip: everything the writer emits, the parser accepts.
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("weird \"key\"").value("tab\there");
+  writer.end_object();
+  EXPECT_TRUE(json_parse(writer.str()).has_value());
+}
+
 TEST(Trace, SpansFeedStageHistogramsEvenWhenDisabled) {
   ASSERT_FALSE(Tracer::global().enabled());
   Histogram& stage =
@@ -225,6 +467,24 @@ TEST(Log, ThresholdFilters) {
   // Suppressed call must be a no-op (and must not crash on formatting).
   log(LogLevel::kInfo, "should not appear %d", 1);
   set_log_level(before);
+}
+
+TEST(Log, PrefixFormatIsPinned) {
+  // The `[<elapsed>ms t<idx>] ` prefix is part of the observable log
+  // format; tooling that parses logs depends on it staying stable.
+  char buf[64];
+  std::size_t n = format_log_prefix(0, 0, buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf, n), "[     0.0ms t00] ");
+  n = format_log_prefix(1234567, 3, buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf, n), "[  1234.6ms t03] ");
+  n = format_log_prefix(987654321, 42, buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf, n), "[987654.3ms t42] ");
+  // A too-small buffer truncates safely (NUL-terminated) while still
+  // reporting the would-be length, snprintf-style.
+  char tiny[8];
+  n = format_log_prefix(1234567, 3, tiny, sizeof(tiny));
+  EXPECT_EQ(n, 17u);
+  EXPECT_EQ(std::string(tiny), "[  1234");
 }
 
 // ------------------------------------------------------------------

@@ -1,0 +1,266 @@
+// Unit tests for the perf-regression gate (geonet::perf): BENCH record
+// parsing, tolerance policy, diff semantics (regression / improvement /
+// noise floor / one-sided metrics), metadata refusals, and the
+// directory-level check behind `geonet perf check`.
+
+#include "perf/perf_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace geonet::perf {
+namespace {
+
+struct SpanFixture {
+  std::string name;
+  double total_us;
+};
+
+/// Builds a minimal geonet.run_report.v1 bench document. Empty metadata
+/// strings are omitted, mimicking unstamped legacy records.
+std::string record_json(const std::string& wall_us,
+                        const std::vector<SpanFixture>& spans,
+                        const std::string& threads = "4",
+                        const std::string& build_type = "Release",
+                        const std::string& timestamp = "2026-08-09T00:00:00Z") {
+  std::string json = R"({"schema":"geonet.run_report.v1","info":{)";
+  json += R"("experiment":"unit")";
+  if (!wall_us.empty()) json += R"(,"wall_us":")" + wall_us + "\"";
+  if (!threads.empty()) json += R"(,"threads":")" + threads + "\"";
+  if (!build_type.empty()) json += R"(,"build_type":")" + build_type + "\"";
+  if (!timestamp.empty()) json += R"(,"timestamp_utc":")" + timestamp + "\"";
+  json += "},\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) json += ",";
+    json += R"({"name":")" + spans[i].name +
+            R"(","total_us":)" + std::to_string(spans[i].total_us) + "}";
+  }
+  json += "]}";
+  return json;
+}
+
+TEST(ParseBenchRecord, ExtractsMetadataAndSortedMetrics) {
+  const auto result = parse_bench_record(
+      record_json("123456", {{"zeta", 50.0}, {"alpha", 10.0}}),
+      "BENCH_unit.json");
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  const BenchRecord& record = result.value();
+  EXPECT_EQ(record.file, "BENCH_unit.json");
+  EXPECT_EQ(record.experiment, "unit");
+  EXPECT_EQ(record.threads, "4");
+  EXPECT_EQ(record.build_type, "Release");
+  EXPECT_EQ(record.timestamp_utc, "2026-08-09T00:00:00Z");
+  ASSERT_EQ(record.metrics.size(), 3u);  // wall_us + two spans, name-sorted
+  EXPECT_EQ(record.metrics[0].name, "span/alpha");
+  EXPECT_EQ(record.metrics[1].name, "span/zeta");
+  EXPECT_EQ(record.metrics[2].name, "wall_us");
+  EXPECT_DOUBLE_EQ(record.metrics[2].us, 123456.0);
+}
+
+TEST(ParseBenchRecord, RejectsWrongSchemaAndBadJson) {
+  EXPECT_FALSE(parse_bench_record("not json at all").is_ok());
+  EXPECT_FALSE(parse_bench_record(R"({"schema":"something.else"})").is_ok());
+  EXPECT_FALSE(parse_bench_record(R"({"info":{}})").is_ok());
+}
+
+TEST(DiffRecords, WithinToleranceIsOk) {
+  const auto baseline =
+      parse_bench_record(record_json("100000", {{"phase", 50000.0}}));
+  const auto current =
+      parse_bench_record(record_json("105000", {{"phase", 52000.0}}));
+  ASSERT_TRUE(baseline.is_ok() && current.is_ok());
+  const Diff diff =
+      diff_records(baseline.value(), current.value(), Tolerances{});
+  EXPECT_TRUE(diff.comparable);
+  EXPECT_FALSE(diff.regressed());
+  for (const DiffRow& row : diff.rows) {
+    EXPECT_EQ(row.status, RowStatus::kOk) << row.metric;
+  }
+}
+
+TEST(DiffRecords, FlagsRegressionAndImprovementBeyondTolerance) {
+  const auto baseline =
+      parse_bench_record(record_json("100000", {{"fast", 80000.0}}));
+  const auto current =
+      parse_bench_record(record_json("125000", {{"fast", 40000.0}}));
+  ASSERT_TRUE(baseline.is_ok() && current.is_ok());
+  const Diff diff =
+      diff_records(baseline.value(), current.value(), Tolerances{});
+  ASSERT_EQ(diff.rows.size(), 2u);
+  EXPECT_EQ(diff.rows[0].metric, "span/fast");
+  EXPECT_EQ(diff.rows[0].status, RowStatus::kImprovement);
+  EXPECT_EQ(diff.rows[1].metric, "wall_us");
+  EXPECT_EQ(diff.rows[1].status, RowStatus::kRegression);
+  EXPECT_NEAR(diff.rows[1].delta_pct, 25.0, 1e-9);
+  EXPECT_TRUE(diff.regressed());
+}
+
+TEST(DiffRecords, NoiseFloorSkipsOnlyWhenBothRecordsAreUnderIt) {
+  Tolerances tolerances;
+  tolerances.min_us = 1000.0;
+  // Both sub-noise: skipped even though the ratio is huge.
+  const auto tiny_base = parse_bench_record(record_json("100", {}));
+  const auto tiny_cur = parse_bench_record(record_json("900", {}));
+  ASSERT_TRUE(tiny_base.is_ok() && tiny_cur.is_ok());
+  Diff diff = diff_records(tiny_base.value(), tiny_cur.value(), tolerances);
+  ASSERT_EQ(diff.rows.size(), 1u);
+  EXPECT_EQ(diff.rows[0].status, RowStatus::kTooSmall);
+  EXPECT_FALSE(diff.regressed());
+  // A metric that grows past the floor still gates.
+  const auto grown = parse_bench_record(record_json("5000", {}));
+  ASSERT_TRUE(grown.is_ok());
+  diff = diff_records(tiny_base.value(), grown.value(), tolerances);
+  ASSERT_EQ(diff.rows.size(), 1u);
+  EXPECT_EQ(diff.rows[0].status, RowStatus::kRegression);
+}
+
+TEST(DiffRecords, OneSidedMetricsNeverGate) {
+  const auto baseline =
+      parse_bench_record(record_json("100000", {{"removed", 5000.0}}));
+  const auto current =
+      parse_bench_record(record_json("100000", {{"added", 5000.0}}));
+  ASSERT_TRUE(baseline.is_ok() && current.is_ok());
+  const Diff diff =
+      diff_records(baseline.value(), current.value(), Tolerances{});
+  ASSERT_EQ(diff.rows.size(), 3u);
+  EXPECT_EQ(diff.rows[0].metric, "span/added");
+  EXPECT_EQ(diff.rows[0].status, RowStatus::kCurrentOnly);
+  EXPECT_EQ(diff.rows[1].metric, "span/removed");
+  EXPECT_EQ(diff.rows[1].status, RowStatus::kBaselineOnly);
+  EXPECT_FALSE(diff.regressed());
+}
+
+TEST(DiffRecords, RefusesOnMetadataConflictsUnlessOverridden) {
+  const auto base = parse_bench_record(record_json("100000", {}));
+  ASSERT_TRUE(base.is_ok());
+
+  const auto other_threads =
+      parse_bench_record(record_json("100000", {}, "8"));
+  ASSERT_TRUE(other_threads.is_ok());
+  Diff diff =
+      diff_records(base.value(), other_threads.value(), Tolerances{});
+  EXPECT_FALSE(diff.comparable);
+  EXPECT_NE(diff.refusal.find("thread counts differ"), std::string::npos);
+  EXPECT_TRUE(diff.rows.empty());
+
+  const auto other_build =
+      parse_bench_record(record_json("100000", {}, "4", "Debug"));
+  ASSERT_TRUE(other_build.is_ok());
+  diff = diff_records(base.value(), other_build.value(), Tolerances{});
+  EXPECT_FALSE(diff.comparable);
+  EXPECT_NE(diff.refusal.find("build types differ"), std::string::npos);
+
+  // A current record older than the baseline is a stale artifact.
+  const auto stale = parse_bench_record(
+      record_json("100000", {}, "4", "Release", "2020-01-01T00:00:00Z"));
+  ASSERT_TRUE(stale.is_ok());
+  diff = diff_records(base.value(), stale.value(), Tolerances{});
+  EXPECT_FALSE(diff.comparable);
+  EXPECT_NE(diff.refusal.find("predates"), std::string::npos);
+
+  // --ignore-meta compares anyway.
+  diff = diff_records(base.value(), other_threads.value(), Tolerances{},
+                      /*ignore_meta=*/true);
+  EXPECT_TRUE(diff.comparable);
+  EXPECT_FALSE(diff.rows.empty());
+}
+
+TEST(DiffRecords, UnknownMetadataNeverConflicts) {
+  // Legacy records without stamping (empty metadata) stay comparable
+  // against stamped ones.
+  const auto legacy = parse_bench_record(record_json("100000", {}, "", "", ""));
+  const auto stamped = parse_bench_record(record_json("100000", {}));
+  ASSERT_TRUE(legacy.is_ok() && stamped.is_ok());
+  EXPECT_TRUE(
+      diff_records(legacy.value(), stamped.value(), Tolerances{}).comparable);
+  EXPECT_TRUE(
+      diff_records(stamped.value(), legacy.value(), Tolerances{}).comparable);
+}
+
+TEST(Tolerances, PerMetricOverrideWinsOverDefault) {
+  Tolerances tolerances;
+  tolerances.default_pct = 10.0;
+  tolerances.per_metric.push_back({"wall_us", 50.0});
+  EXPECT_DOUBLE_EQ(tolerances.for_metric("wall_us"), 50.0);
+  EXPECT_DOUBLE_EQ(tolerances.for_metric("span/other"), 10.0);
+
+  // A +25% wall-clock change passes under the 50% override but the same
+  // span change gates under the default.
+  const auto baseline =
+      parse_bench_record(record_json("100000", {{"phase", 100000.0}}));
+  const auto current =
+      parse_bench_record(record_json("125000", {{"phase", 125000.0}}));
+  ASSERT_TRUE(baseline.is_ok() && current.is_ok());
+  const Diff diff =
+      diff_records(baseline.value(), current.value(), tolerances);
+  ASSERT_EQ(diff.rows.size(), 2u);
+  EXPECT_EQ(diff.rows[0].metric, "span/phase");
+  EXPECT_EQ(diff.rows[0].status, RowStatus::kRegression);
+  EXPECT_EQ(diff.rows[1].metric, "wall_us");
+  EXPECT_EQ(diff.rows[1].status, RowStatus::kOk);
+}
+
+TEST(RenderDiff, ShowsVerdictAndRefusals) {
+  const auto baseline = parse_bench_record(record_json("100000", {}));
+  const auto slower = parse_bench_record(record_json("200000", {}));
+  ASSERT_TRUE(baseline.is_ok() && slower.is_ok());
+  const std::string regressed = render_diff(
+      diff_records(baseline.value(), slower.value(), Tolerances{}));
+  EXPECT_NE(regressed.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(regressed.find("=> REGRESSED"), std::string::npos);
+
+  const std::string ok = render_diff(
+      diff_records(baseline.value(), baseline.value(), Tolerances{}));
+  EXPECT_NE(ok.find("=> OK"), std::string::npos);
+
+  const auto other = parse_bench_record(record_json("100000", {}, "8"));
+  ASSERT_TRUE(other.is_ok());
+  const std::string refused = render_diff(
+      diff_records(baseline.value(), other.value(), Tolerances{}));
+  EXPECT_NE(refused.find("REFUSED"), std::string::npos);
+  EXPECT_NE(refused.find("--ignore-meta"), std::string::npos);
+}
+
+TEST(CheckDirectories, ComparesMatchingRecordsAndListsMissingOnes) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "geonet_test_perf_gate";
+  fs::remove_all(root);
+  const fs::path baseline_dir = root / "baseline";
+  const fs::path current_dir = root / "current";
+  fs::create_directories(baseline_dir);
+  fs::create_directories(current_dir);
+  const auto write = [](const fs::path& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  };
+  write(baseline_dir / "BENCH_a.json", record_json("100000", {}));
+  write(baseline_dir / "BENCH_b.json", record_json("100000", {}));
+  write(current_dir / "BENCH_a.json", record_json("150000", {}));
+  // BENCH_b.json missing from current; stray non-bench files ignored.
+  write(baseline_dir / "notes.txt", "not a record");
+
+  const auto result = check_directories(baseline_dir.string(),
+                                        current_dir.string(), Tolerances{});
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  ASSERT_EQ(result.value().diffs.size(), 1u);
+  EXPECT_EQ(result.value().diffs[0].label, "BENCH_a.json");
+  EXPECT_TRUE(result.value().regressed());
+  EXPECT_FALSE(result.value().refused());
+  ASSERT_EQ(result.value().missing_current.size(), 1u);
+  EXPECT_EQ(result.value().missing_current[0], "BENCH_b.json");
+
+  // A baseline directory without records is an error, not an empty pass.
+  fs::remove(baseline_dir / "BENCH_a.json");
+  fs::remove(baseline_dir / "BENCH_b.json");
+  EXPECT_FALSE(check_directories(baseline_dir.string(), current_dir.string(),
+                                 Tolerances{})
+                   .is_ok());
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace geonet::perf

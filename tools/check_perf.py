@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Self-test of the `geonet perf check` regression gate.
+
+Deterministic — no timing is measured. The committed baseline records
+are compared against doctored copies of themselves, exercising all
+three gate outcomes end-to-end through the CLI:
+  * a verbatim copy passes (exit 0),
+  * a synthetic 25% slowdown injected into every metric trips the gate
+    (exit 1, REGRESSED verdict in the output),
+  * a tampered threads field is refused, not misreported (exit 2).
+
+Usage: check_perf.py <path-to-geonet_cli> <baseline-dir>
+Registered as the opt-in `check_perf` ctest (label: perf).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SLOWDOWN = 1.25
+
+
+def fail(message):
+    print("check_perf: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def run_check(cli, baseline_dir, current_dir):
+    cmd = [cli, "perf", "check", "--baseline-dir", baseline_dir,
+           "--current-dir", current_dir, "--quiet"]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def doctor(path, slow_factor=None, threads=None):
+    """Rewrites a BENCH record with injected slowdown and/or tampered
+    thread count."""
+    with open(path) as handle:
+        record = json.load(handle)
+    if slow_factor is not None:
+        info = record.get("info", {})
+        if "wall_us" in info:
+            info["wall_us"] = str(int(float(info["wall_us"]) * slow_factor))
+        for span in record.get("spans", []):
+            if "total_us" in span:
+                span["total_us"] = int(span["total_us"] * slow_factor)
+    if threads is not None:
+        record.setdefault("info", {})["threads"] = threads
+    with open(path, "w") as handle:
+        json.dump(record, handle)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_perf.py <geonet_cli> <baseline-dir>")
+    cli, baseline_dir = sys.argv[1], sys.argv[2]
+    if not os.path.isdir(baseline_dir):
+        fail("baseline dir missing: %s" % baseline_dir)
+    records = sorted(name for name in os.listdir(baseline_dir)
+                     if name.startswith("BENCH_") and name.endswith(".json"))
+    if not records:
+        fail("no BENCH_*.json records in %s" % baseline_dir)
+
+    with tempfile.TemporaryDirectory(prefix="geonet_check_perf_") as tmp:
+        current_dir = os.path.join(tmp, "current")
+
+        # 1. A verbatim copy of the baseline must pass.
+        shutil.copytree(baseline_dir, current_dir)
+        result = run_check(cli, baseline_dir, current_dir)
+        if result.returncode != 0:
+            fail("self-comparison should pass, got exit %d\nstdout:\n%s"
+                 "\nstderr:\n%s"
+                 % (result.returncode, result.stdout, result.stderr))
+        if "OK" not in result.stdout:
+            fail("self-comparison verdict missing from output:\n%s"
+                 % result.stdout)
+
+        # 2. A uniform 25% slowdown must trip the default 10% gate.
+        for name in records:
+            doctor(os.path.join(current_dir, name), slow_factor=SLOWDOWN)
+        result = run_check(cli, baseline_dir, current_dir)
+        if result.returncode != 1:
+            fail("injected %.0f%% slowdown should exit 1, got %d\nstdout:\n%s"
+                 % ((SLOWDOWN - 1) * 100, result.returncode, result.stdout))
+        if "REGRESSED" not in result.stdout:
+            fail("REGRESSED verdict missing from output:\n%s" % result.stdout)
+
+        # 3. A thread-count tamper must be refused, not compared.
+        shutil.rmtree(current_dir)
+        shutil.copytree(baseline_dir, current_dir)
+        doctor(os.path.join(current_dir, records[0]), threads="97")
+        result = run_check(cli, baseline_dir, current_dir)
+        if result.returncode != 2:
+            fail("thread tamper should exit 2 (refused), got %d\nstdout:\n%s"
+                 % (result.returncode, result.stdout))
+        if "REFUSED" not in result.stdout:
+            fail("REFUSED verdict missing from output:\n%s" % result.stdout)
+
+    print("check_perf: OK (%d records; pass/regress/refuse verified)"
+          % len(records))
+
+
+if __name__ == "__main__":
+    main()

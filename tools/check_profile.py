@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Format guard for the geonet.profile.v1 artifact.
+
+Runs `geonet scenario --profile --quiet` at a small scale and asserts
+that the profile document is well-formed:
+  * schema is geonet.profile.v1 with a provenance stamp,
+  * stages form a resolvable tree (every parent names an earlier stage,
+    depth = parent depth + 1, depth-first emit order),
+  * per-stage invariants hold: count > 0, 0 <= self_us <= total_us,
+    p50_us <= p95_us <= max_us,
+  * the embedded run-report copy (--metrics) carries the same profile
+    under its "profile" section.
+
+Usage: check_profile.py <path-to-geonet_cli> [scale]
+Registered as the `check_profile` ctest in tests/CMakeLists.txt.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+MIN_STAGES = 12
+
+REQUIRED_STAGES = [
+    "synth/skitter",
+    "synth/mercator",
+    "study/run",
+]
+
+STAGE_FIELDS = [
+    "name", "parent", "depth", "count",
+    "total_us", "self_us", "p50_us", "p95_us", "max_us",
+]
+
+
+def fail(message):
+    print("check_profile: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_profile_doc(profile, source):
+    if profile.get("schema") != "geonet.profile.v1":
+        fail("%s: unexpected schema %r" % (source, profile.get("schema")))
+    stages = profile.get("stages")
+    if not isinstance(stages, list) or not stages:
+        fail("%s: no stages array" % source)
+    if len(stages) < MIN_STAGES:
+        fail("%s: only %d stages (need >= %d)"
+             % (source, len(stages), MIN_STAGES))
+
+    depth_of = {}
+    for stage in stages:
+        for field in STAGE_FIELDS:
+            if field not in stage:
+                fail("%s: stage %r missing %r"
+                     % (source, stage.get("name"), field))
+        name = stage["name"]
+        parent = stage["parent"]
+        if parent:
+            if parent not in depth_of:
+                fail("%s: stage %r parent %r not emitted before it "
+                     "(not depth-first or dangling)" % (source, name, parent))
+            # depth is the minimum depth the stage was observed at, so a
+            # child sits strictly below its parent (>= parent + 1, not
+            # necessarily == when a stage is reached from several depths).
+            if stage["depth"] < depth_of[parent] + 1:
+                fail("%s: stage %r depth %d not below parent depth %d"
+                     % (source, name, stage["depth"], depth_of[parent]))
+        depth_of[name] = stage["depth"]
+
+        if stage["count"] <= 0:
+            fail("%s: stage %r has zero count" % (source, name))
+        if not 0 <= stage["self_us"] <= stage["total_us"]:
+            fail("%s: stage %r self_us %r outside [0, total_us %r]"
+                 % (source, name, stage["self_us"], stage["total_us"]))
+        if not stage["p50_us"] <= stage["p95_us"] <= stage["max_us"]:
+            fail("%s: stage %r percentiles not monotone (%r, %r, %r)"
+                 % (source, name, stage["p50_us"], stage["p95_us"],
+                    stage["max_us"]))
+
+    if 0 not in depth_of.values():
+        fail("%s: no depth-0 root stage" % source)
+    names = set(depth_of)
+    for required in REQUIRED_STAGES:
+        if required not in names:
+            fail("%s: expected stage %r missing; have %s"
+                 % (source, required, sorted(names)))
+    return len(stages)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_profile.py <geonet_cli> [scale]")
+    cli = sys.argv[1]
+    scale = sys.argv[2] if len(sys.argv) > 2 else "0.02"
+
+    with tempfile.TemporaryDirectory(prefix="geonet_check_profile_") as tmp:
+        profile_path = os.path.join(tmp, "profile.json")
+        metrics_path = os.path.join(tmp, "metrics.json")
+        cmd = [cli, "scenario", scale, "--threads", "4",
+               "--profile", profile_path, "--metrics", metrics_path,
+               "--quiet"]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail("CLI exited %d\nstderr:\n%s"
+                 % (result.returncode, result.stderr))
+
+        try:
+            with open(profile_path) as handle:
+                profile = json.load(handle)
+        except (OSError, ValueError) as err:
+            fail("profile file unreadable or invalid JSON: %s" % err)
+        if not isinstance(profile.get("provenance"), dict):
+            fail("profile missing provenance stamp")
+        stage_count = check_profile_doc(profile, "profile artifact")
+
+        # The run report embeds the same profile as a section.
+        try:
+            with open(metrics_path) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError) as err:
+            fail("metrics file unreadable or invalid JSON: %s" % err)
+        embedded = report.get("sections", {}).get("profile")
+        if not isinstance(embedded, dict):
+            fail("run report has no profile section; sections: %s"
+                 % sorted(report.get("sections", {})))
+        check_profile_doc(embedded, "embedded profile")
+
+    print("check_profile: OK (%d stages)" % stage_count)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
 """End-to-end check of the geonet observability artifacts.
 
-Runs `geonet scenario --trace --metrics --quiet` at a small scale and
-asserts that:
-  * the trace file is valid JSON in Chrome trace_event format and holds
-    at least 12 distinct span names,
+Runs `geonet scenario --threads 4 --trace --metrics --quiet` at a small
+scale and asserts that:
+  * the trace file is valid JSON in Chrome trace_event format holding at
+    least 12 distinct span names,
+  * every "X" span carries args.span_id (unique, nonzero) and every
+    non-root span's args.parent_id resolves to another recorded span,
+  * every exec/chunk[*] span links to a parent span and carries
+    chunk/begin/end args describing its item range,
+  * flow arrows ("s"/"f") come in id-matched pairs,
+  * counter tracks ("C") sample exec.queue_depth and exec.active_workers,
   * the metrics file is a valid geonet.run_report.v1 document carrying
     the pipeline counters and per-stage wall-time histograms.
 
@@ -34,10 +40,86 @@ REQUIRED_SPANS = [
     "study/run",
 ]
 
+REQUIRED_COUNTER_TRACKS = [
+    "exec.queue_depth",
+    "exec.active_workers",
+]
+
 
 def fail(message):
     print("check_trace: FAIL: " + message, file=sys.stderr)
     sys.exit(1)
+
+
+def check_complete_events(spans):
+    """Validates "X" events: ids, parent linkage, and chunk args."""
+    ids = {}
+    for event in spans:
+        for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            if field not in event:
+                fail("trace event missing %r: %r" % (field, event))
+        if event["dur"] < 0 or event["ts"] < 0:
+            fail("negative timestamp in %r" % event)
+        args = event.get("args")
+        if not isinstance(args, dict):
+            fail("span %r has no args object" % event["name"])
+        span_id = args.get("span_id")
+        if not isinstance(span_id, int) or span_id <= 0:
+            fail("span %r has bad span_id %r" % (event["name"], span_id))
+        if span_id in ids:
+            fail("duplicate span_id %d (%r and %r)"
+                 % (span_id, ids[span_id]["name"], event["name"]))
+        ids[span_id] = event
+
+    chunk_spans = 0
+    for event in spans:
+        args = event["args"]
+        parent = args.get("parent_id", 0)
+        if parent != 0 and parent not in ids:
+            fail("span %r parent_id %d does not resolve to a recorded span"
+                 % (event["name"], parent))
+        if event["name"].startswith("exec/chunk["):
+            chunk_spans += 1
+            if parent == 0:
+                fail("chunk span %r has no parent" % event["name"])
+            for field in ("chunk", "begin", "end"):
+                if not isinstance(args.get(field), int):
+                    fail("chunk span %r missing args.%s"
+                         % (event["name"], field))
+            if args["begin"] >= args["end"]:
+                fail("chunk span %r has empty range [%d, %d)"
+                     % (event["name"], args["begin"], args["end"]))
+    if chunk_spans == 0:
+        fail("no exec/chunk[*] spans — pool chunk tracing dead?")
+    return chunk_spans
+
+
+def check_flow_events(flows):
+    """Flow arrows must come in id-matched s/f pairs."""
+    starts = {}
+    finishes = {}
+    for event in flows:
+        if "id" not in event:
+            fail("flow event missing id: %r" % event)
+        bucket = starts if event["ph"] == "s" else finishes
+        bucket.setdefault(event["id"], []).append(event)
+    if set(starts) != set(finishes):
+        fail("unmatched flow ids: starts %s vs finishes %s"
+             % (sorted(set(starts) - set(finishes)),
+                sorted(set(finishes) - set(starts))))
+    return len(starts)
+
+
+def check_counter_events(counters):
+    names = set()
+    for event in counters:
+        args = event.get("args")
+        if not isinstance(args, dict) or "value" not in args:
+            fail("counter event without args.value: %r" % event)
+        names.add(event["name"])
+    for name in REQUIRED_COUNTER_TRACKS:
+        if name not in names:
+            fail("counter track %r missing; have %s" % (name, sorted(names)))
 
 
 def main():
@@ -49,7 +131,7 @@ def main():
     with tempfile.TemporaryDirectory(prefix="geonet_check_trace_") as tmp:
         trace_path = os.path.join(tmp, "trace.json")
         metrics_path = os.path.join(tmp, "metrics.json")
-        cmd = [cli, "scenario", scale,
+        cmd = [cli, "scenario", scale, "--threads", "4",
                "--trace", trace_path, "--metrics", metrics_path, "--quiet"]
         result = subprocess.run(cmd, capture_output=True, text=True)
         if result.returncode != 0:
@@ -65,15 +147,23 @@ def main():
         events = trace.get("traceEvents")
         if not isinstance(events, list) or not events:
             fail("trace has no traceEvents array")
+        if "geonet" not in trace:
+            fail("trace missing top-level geonet provenance")
+
+        by_phase = {}
         for event in events:
-            for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
-                if field not in event:
-                    fail("trace event missing %r: %r" % (field, event))
-            if event["ph"] != "X":
-                fail("unexpected event phase %r" % event["ph"])
-            if event["dur"] < 0 or event["ts"] < 0:
-                fail("negative timestamp in %r" % event)
-        names = {event["name"] for event in events}
+            by_phase.setdefault(event.get("ph"), []).append(event)
+        unknown = set(by_phase) - {"X", "s", "f", "C"}
+        if unknown:
+            fail("unexpected event phases %s" % sorted(unknown))
+
+        spans = by_phase.get("X", [])
+        chunk_spans = check_complete_events(spans)
+        flow_pairs = check_flow_events(
+            by_phase.get("s", []) + by_phase.get("f", []))
+        check_counter_events(by_phase.get("C", []))
+
+        names = {event["name"] for event in spans}
         if len(names) < MIN_DISTINCT_SPANS:
             fail("only %d distinct spans (need >= %d): %s"
                  % (len(names), MIN_DISTINCT_SPANS, sorted(names)))
@@ -110,8 +200,9 @@ def main():
             if hist.get("count", 0) <= 0:
                 fail("histogram %r has zero count" % name)
 
-    print("check_trace: OK (%d spans, %d events, %d counters)"
-          % (len(names), len(events), len(counters)))
+    print("check_trace: OK (%d spans, %d chunk spans, %d flow pairs, "
+          "%d events, %d counters)"
+          % (len(names), chunk_spans, flow_pairs, len(events), len(counters)))
 
 
 if __name__ == "__main__":

@@ -13,9 +13,16 @@
 //   geonet cache <ls|stats|gc|verify>
 //       Inspect or maintain the artifact cache (requires --cache-dir or
 //       GEONET_CACHE_DIR).
+//   geonet perf diff <baseline.json> <current.json>
+//   geonet perf check --baseline-dir <dir> [--current-dir <dir>]
+//       Perf-regression gate over BENCH_*.json records: compare named
+//       timings against a committed baseline with per-metric tolerances;
+//       exit 1 on regression, 2 on an incomparable pair (see
+//       docs/architecture.md, Perf Gate).
 //
 // Global flags (any subcommand):
 //   --trace <file>     write a chrome://tracing-loadable span trace
+//   --profile <file>   write a geonet.profile.v1 per-stage profile
 //   --metrics <file>   write a geonet.run_report.v1 JSON run report
 //   --faults <spec>    inject measurement faults (see docs/robustness.md)
 //   --threads <n>      worker threads for parallel regions (default: all
@@ -51,6 +58,7 @@
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "perf/perf_gate.h"
 #include "report/series.h"
 #include "report/table.h"
 #include "store/build_info.h"
@@ -72,9 +80,21 @@ constexpr const char* kUsage =
     "  geonet validate <in.graph> [region]\n"
     "  geonet scenario [scale]        (alias: study)\n"
     "  geonet cache <ls|stats|gc --max-bytes <n>|verify>\n"
+    "  geonet perf diff <baseline.json> <current.json> [perf flags]\n"
+    "  geonet perf check --baseline-dir <dir> [--current-dir <dir>]\n"
+    "                    [perf flags]\n"
     "  geonet help | --help | --version\n"
+    "perf flags:\n"
+    "  --tolerance-pct <x>      default regression tolerance (default 10)\n"
+    "  --tolerance <name=pct>   per-metric override (repeatable)\n"
+    "  --min-us <n>             skip timings under n microseconds in both\n"
+    "                           records (default 1000; they are noise)\n"
+    "  --ignore-meta            compare despite thread-count/build-type/\n"
+    "                           timestamp conflicts\n"
     "global flags:\n"
     "  --trace <file>    write chrome://tracing span trace\n"
+    "  --profile <file>  write per-stage profile (geonet.profile.v1);\n"
+    "                    implies tracing for the run\n"
     "  --metrics <file>  write machine-readable run report (JSON)\n"
     "  --faults <spec>   inject faults into the measurement campaigns;\n"
     "                    spec e.g. 'monitor-outage:count=3,at=0.5;"
@@ -102,6 +122,7 @@ int usage() {
 /// Flags shared by every subcommand, stripped from argv before dispatch.
 struct GlobalFlags {
   std::string trace_path;
+  std::string profile_path;
   std::string metrics_path;
   std::string cache_dir;  ///< empty = caching off
   std::optional<fault::FaultPlan> faults;
@@ -124,14 +145,16 @@ std::optional<GlobalFlags> extract_global_flags(std::vector<std::string>& args) 
       if (i + 1 >= args.size()) return std::nullopt;
       return args[++i];
     };
-    if (arg == "--trace" || arg == "--metrics") {
+    if (arg == "--trace" || arg == "--metrics" || arg == "--profile") {
       const auto value = flag_value(arg.c_str());
       if (!value) {
         obs::log(obs::LogLevel::kError, "%s requires a file argument",
                  arg.c_str());
         return std::nullopt;
       }
-      (arg == "--trace" ? flags.trace_path : flags.metrics_path) = *value;
+      (arg == "--trace"     ? flags.trace_path
+       : arg == "--profile" ? flags.profile_path
+                            : flags.metrics_path) = *value;
     } else if (arg == "--cache-dir") {
       const auto value = flag_value("--cache-dir");
       if (!value || value->empty()) {
@@ -530,6 +553,139 @@ int cmd_scenario(const std::vector<std::string>& args, const GlobalFlags& flags,
   return report.degradation.budget_exhausted ? 1 : 0;
 }
 
+/// `geonet perf diff A B` / `geonet perf check --baseline-dir D`: the
+/// BENCH_*.json regression gate. Exit 0 = within tolerance, 1 = at least
+/// one regression, 2 = usage error or an incomparable record pair
+/// (metadata refusal without --ignore-meta).
+int cmd_perf(const std::vector<std::string>& args,
+             obs::RunReport& run_report) {
+  if (args.size() < 2) return usage();
+  const std::string& action = args[1];
+
+  perf::Tolerances tolerances;
+  bool ignore_meta = false;
+  std::string baseline_dir;
+  std::string current_dir = report::results_dir();
+  std::vector<std::string> operands;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto flag_value = [&](const char* name) -> std::optional<std::string> {
+      if (arg != name) return std::nullopt;
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (arg == "--tolerance-pct") {
+      const auto value = flag_value("--tolerance-pct");
+      if (!value || std::atof(value->c_str()) < 0.0) {
+        obs::log(obs::LogLevel::kError,
+                 "--tolerance-pct requires a non-negative percentage");
+        return 2;
+      }
+      tolerances.default_pct = std::atof(value->c_str());
+    } else if (arg == "--tolerance") {
+      const auto value = flag_value("--tolerance");
+      const std::size_t eq = value ? value->find('=') : std::string::npos;
+      if (!value || eq == std::string::npos || eq == 0) {
+        obs::log(obs::LogLevel::kError,
+                 "--tolerance requires <metric>=<pct> (e.g. "
+                 "span/study/run=25)");
+        return 2;
+      }
+      tolerances.per_metric.emplace_back(
+          value->substr(0, eq), std::atof(value->c_str() + eq + 1));
+    } else if (arg == "--min-us") {
+      const auto value = flag_value("--min-us");
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "--min-us requires a count");
+        return 2;
+      }
+      tolerances.min_us = std::atof(value->c_str());
+    } else if (arg == "--ignore-meta") {
+      ignore_meta = true;
+    } else if (arg == "--baseline-dir") {
+      const auto value = flag_value("--baseline-dir");
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "--baseline-dir requires a directory");
+        return 2;
+      }
+      baseline_dir = *value;
+    } else if (arg == "--current-dir") {
+      const auto value = flag_value("--current-dir");
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "--current-dir requires a directory");
+        return 2;
+      }
+      current_dir = *value;
+    } else {
+      operands.push_back(arg);
+    }
+  }
+
+  std::vector<perf::Diff> diffs;
+  std::vector<std::string> missing;
+  if (action == "diff") {
+    if (operands.size() != 2) {
+      obs::log(obs::LogLevel::kError,
+               "perf diff needs exactly two record files");
+      return usage();
+    }
+    auto baseline = perf::load_bench_record(operands[0]);
+    if (!baseline) {
+      obs::log(obs::LogLevel::kError, "%s", baseline.status().to_string().c_str());
+      return 2;
+    }
+    auto current = perf::load_bench_record(operands[1]);
+    if (!current) {
+      obs::log(obs::LogLevel::kError, "%s", current.status().to_string().c_str());
+      return 2;
+    }
+    diffs.push_back(perf::diff_records(baseline.value(), current.value(),
+                                       tolerances, ignore_meta));
+  } else if (action == "check") {
+    if (baseline_dir.empty()) {
+      obs::log(obs::LogLevel::kError, "perf check requires --baseline-dir");
+      return usage();
+    }
+    auto result = perf::check_directories(baseline_dir, current_dir,
+                                          tolerances, ignore_meta);
+    if (!result) {
+      obs::log(obs::LogLevel::kError, "%s", result.status().to_string().c_str());
+      return 2;
+    }
+    diffs = std::move(result.value().diffs);
+    missing = std::move(result.value().missing_current);
+  } else {
+    obs::log(obs::LogLevel::kError, "unknown perf action '%s' (diff, check)",
+             action.c_str());
+    return usage();
+  }
+
+  std::size_t regressed = 0;
+  std::size_t refused = 0;
+  for (const perf::Diff& diff : diffs) {
+    std::printf("%s", perf::render_diff(diff).c_str());
+    if (diff.regressed()) ++regressed;
+    if (!diff.comparable) ++refused;
+  }
+  for (const std::string& name : missing) {
+    std::printf("perf check: %s has no current record (not gated)\n",
+                name.c_str());
+  }
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("action").value(action);
+  json.key("records").value(diffs.size());
+  json.key("regressed").value(regressed);
+  json.key("refused").value(refused);
+  json.key("missing_current").value(missing.size());
+  json.end_object();
+  run_report.add_section("perf", json.str());
+
+  if (refused != 0) return 2;
+  return regressed != 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -545,7 +701,9 @@ int main(int argc, char** argv) {
     return flags->help ? 0 : 2;
   }
   if (flags->quiet) obs::set_log_level(obs::LogLevel::kError);
-  if (!flags->trace_path.empty()) obs::Tracer::global().set_enabled(true);
+  if (!flags->trace_path.empty() || !flags->profile_path.empty()) {
+    obs::Tracer::global().set_enabled(true);
+  }
   if (flags->threads) exec::ThreadPool::set_global_threads(*flags->threads);
 
   const std::string& command = args[0];
@@ -573,24 +731,44 @@ int main(int argc, char** argv) {
     status = cmd_scenario(args, *flags, cache_ptr, run_report);
   } else if (command == "cache") {
     status = cmd_cache(args, cache_ptr, run_report);
+  } else if (command == "perf") {
+    status = cmd_perf(args, run_report);
   } else {
     obs::log(obs::LogLevel::kError, "unknown command '%s'", command.c_str());
     return usage();
   }
 
+  const obs::Tracer& tracer = obs::Tracer::global();
   if (!flags->trace_path.empty()) {
-    if (obs::Tracer::global().write_chrome_trace(flags->trace_path)) {
+    // Like every artifact: atomic write, provenance-stamped.
+    if (store::atomic_write_text(
+            flags->trace_path,
+            tracer.chrome_trace_json(store::provenance_json()) + "\n")) {
       obs::log(obs::LogLevel::kInfo, "trace written: %s (open in chrome://tracing)",
                flags->trace_path.c_str());
-      obs::log(obs::LogLevel::kInfo, "%s",
-               obs::Tracer::global().summary().c_str());
+      obs::log(obs::LogLevel::kInfo, "%s", tracer.summary().c_str());
     } else {
       obs::log(obs::LogLevel::kError, "cannot write trace %s",
                flags->trace_path.c_str());
       if (status == 0) status = 1;
     }
   }
+  if (!flags->profile_path.empty()) {
+    if (store::atomic_write_text(
+            flags->profile_path,
+            tracer.profile_json(store::provenance_json()) + "\n")) {
+      obs::log(obs::LogLevel::kInfo, "profile written: %s",
+               flags->profile_path.c_str());
+    } else {
+      obs::log(obs::LogLevel::kError, "cannot write profile %s",
+               flags->profile_path.c_str());
+      if (status == 0) status = 1;
+    }
+  }
   if (!flags->metrics_path.empty()) {
+    if (tracer.enabled()) {
+      run_report.add_section("profile", tracer.profile_json());
+    }
     run_report.set_info("exit_status", std::to_string(status));
     if (store::atomic_write_text(flags->metrics_path,
                                  run_report.to_json() + "\n")) {
