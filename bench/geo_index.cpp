@@ -1,0 +1,236 @@
+// geo::SpatialIndex build/query sweep: seeded clustered router sets from
+// 1k to 100k points, measuring index build time, nearest/within_radius
+// query throughput, and limit-bounded pair counting routed through the
+// index versus exact O(n^2) enumeration. Every indexed pair count is
+// cross-checked against the brute-force count — a mismatch fails the
+// bench (exit 1), so the committed record doubles as a correctness pin.
+// Written as results/BENCH_geo.json in the geonet.run_report.v1 bench
+// schema. Trim the sweep with GEONET_BENCH_GEO_MAX (default 100000);
+// disable the record with GEONET_BENCH_REPORT=0, redirect with
+// GEONET_BENCH_REPORT_DIR.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exec/parallel.h"
+#include "geo/distance.h"
+#include "geo/spatial_index.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "report/series.h"
+#include "store/fs.h"
+
+namespace {
+
+using namespace geonet;
+
+/// Clustered point cloud: routers bunch around metro areas, which is the
+/// regime the index's subtree pruning is built for. Deterministic in the
+/// seed regardless of platform (explicit distributions over mt19937_64).
+std::vector<geo::GeoPoint> clustered_points(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> lat_center(-55.0, 65.0);
+  std::uniform_real_distribution<double> lon_center(-180.0, 180.0);
+  std::normal_distribution<double> spread(0.0, 1.5);
+  const std::size_t cluster_count = 64;
+  std::vector<geo::GeoPoint> centers;
+  centers.reserve(cluster_count);
+  for (std::size_t i = 0; i < cluster_count; ++i) {
+    centers.push_back({lat_center(rng), lon_center(rng)});
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, cluster_count - 1);
+  std::vector<geo::GeoPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geo::GeoPoint& c = centers[pick(rng)];
+    double lat = c.lat_deg + spread(rng);
+    double lon = c.lon_deg + spread(rng);
+    if (lat > 90.0) lat = 90.0;
+    if (lat < -90.0) lat = -90.0;
+    if (lon >= 180.0) lon -= 360.0;
+    if (lon < -180.0) lon += 360.0;
+    points.push_back({lat, lon});
+  }
+  return points;
+}
+
+long long elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Limit-bounded pair count through the index, parallel over leaves —
+/// the same traversal core/distance_pref routes its histogram through.
+std::uint64_t indexed_pair_count(const std::vector<geo::GeoPoint>& points,
+                                 const geo::SpatialIndex& index,
+                                 double limit_miles) {
+  exec::RegionOptions region;
+  region.name = "bench/pairs_indexed";
+  region.grain = 1;
+  return exec::parallel_reduce<std::uint64_t>(
+      index.leaf_count(), region, [] { return std::uint64_t{0}; },
+      [&](std::uint64_t& acc, std::size_t begin, std::size_t end,
+          std::size_t) {
+        for (std::size_t leaf = begin; leaf < end; ++leaf) {
+          index.visit_leaf_pairs(
+              leaf, limit_miles, [&](std::uint32_t a, std::uint32_t b) {
+                if (geo::great_circle_miles(points[a], points[b]) <=
+                    limit_miles) {
+                  ++acc;
+                }
+              });
+        }
+      },
+      [](std::uint64_t& into, std::uint64_t from) { into += from; });
+}
+
+/// The pre-index hot path: every unordered pair, one haversine each.
+std::uint64_t brute_pair_count(const std::vector<geo::GeoPoint>& points,
+                               double limit_miles) {
+  exec::RegionOptions region;
+  region.name = "bench/pairs_brute";
+  region.grain = 64;
+  return exec::parallel_reduce<std::uint64_t>(
+      points.size(), region, [] { return std::uint64_t{0}; },
+      [&](std::uint64_t& acc, std::size_t begin, std::size_t end,
+          std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = i + 1; j < points.size(); ++j) {
+            if (geo::great_circle_miles(points[i], points[j]) <= limit_miles) {
+              ++acc;
+            }
+          }
+        }
+      },
+      [](std::uint64_t& into, std::uint64_t from) { into += from; });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("================================================================\n");
+  std::printf("geo_index  --  infrastructure: spatial index build/query sweep\n");
+  std::printf("================================================================\n");
+
+  std::size_t max_n = 100000;
+  if (const char* env = std::getenv("GEONET_BENCH_GEO_MAX")) {
+    const long long v = std::atoll(env);
+    if (v > 0) max_n = static_cast<std::size_t>(v);
+  }
+  std::vector<std::size_t> sweep;
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
+                              std::size_t{100000}}) {
+    if (n <= max_n) sweep.push_back(n);
+  }
+  if (sweep.empty()) sweep.push_back(max_n);
+
+  constexpr double kPairLimitMiles = 200.0;
+  constexpr double kRadiusMiles = 100.0;
+  constexpr std::size_t kQueries = 1000;
+  constexpr std::size_t kNearestK = 8;
+
+  const auto start = std::chrono::steady_clock::now();
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("pair_limit_miles").value(kPairLimitMiles);
+  json.key("radius_miles").value(kRadiusMiles);
+  json.key("queries").value(kQueries);
+  json.key("sweep").begin_array();
+
+  bool counts_match = true;
+  double final_speedup = 0.0;
+  for (const std::size_t n : sweep) {
+    const std::vector<geo::GeoPoint> points = clustered_points(n, 0x9e0caf3);
+
+    auto t0 = std::chrono::steady_clock::now();
+    const geo::SpatialIndex index = geo::SpatialIndex::build(points);
+    const long long build_us = elapsed_us(t0);
+
+    // Query probes reuse the point set itself (query i = point i*stride),
+    // so the workload scales with n without a second generator.
+    const std::size_t stride = points.size() / kQueries + 1;
+    std::uint64_t nearest_checksum = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t q = 0; q < points.size(); q += stride) {
+      for (const auto& hit : index.nearest(points[q], kNearestK)) {
+        nearest_checksum += hit.id;
+      }
+    }
+    const long long nearest_us = elapsed_us(t0);
+
+    std::uint64_t within_total = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t q = 0; q < points.size(); q += stride) {
+      within_total += index.within_radius(points[q], kRadiusMiles).size();
+    }
+    const long long within_us = elapsed_us(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const std::uint64_t indexed = indexed_pair_count(points, index,
+                                                     kPairLimitMiles);
+    const long long indexed_us = elapsed_us(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const std::uint64_t brute = brute_pair_count(points, kPairLimitMiles);
+    const long long brute_us = elapsed_us(t0);
+
+    if (indexed != brute) counts_match = false;
+    const double speedup =
+        indexed_us > 0
+            ? static_cast<double>(brute_us) / static_cast<double>(indexed_us)
+            : 0.0;
+    final_speedup = speedup;
+    std::printf(
+        "n=%7zu  build %8lld us  nearest %8lld us  within %8lld us\n"
+        "           pairs<=%.0fmi indexed %8lld us  brute %10lld us  "
+        "speedup %6.1fx  count %llu %s\n",
+        n, build_us, nearest_us, within_us, kPairLimitMiles, indexed_us,
+        brute_us, speedup, static_cast<unsigned long long>(indexed),
+        indexed == brute ? "(= brute)" : "!= BRUTE — MISMATCH");
+
+    json.begin_object();
+    json.key("n").value(n);
+    json.key("build_us").value(static_cast<std::uint64_t>(build_us));
+    json.key("nearest_us").value(static_cast<std::uint64_t>(nearest_us));
+    json.key("nearest_checksum").value(nearest_checksum);
+    json.key("within_us").value(static_cast<std::uint64_t>(within_us));
+    json.key("within_total").value(within_total);
+    json.key("pairs_indexed_us").value(static_cast<std::uint64_t>(indexed_us));
+    json.key("pairs_brute_us").value(static_cast<std::uint64_t>(brute_us));
+    json.key("pair_count").value(indexed);
+    json.key("counts_match").value(indexed == brute);
+    json.key("speedup_brute_over_indexed").value(speedup);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("all_counts_match").value(counts_match);
+  json.key("final_speedup").value(final_speedup);
+  json.end_object();
+  std::printf("all counts match: %s; speedup at n=%zu: %.1fx\n",
+              counts_match ? "yes" : "NO", sweep.back(), final_speedup);
+
+  bool written = true;
+  if (const char* env = std::getenv("GEONET_BENCH_REPORT");
+      env == nullptr || std::string(env) != "0") {
+    obs::RunReport report("bench");
+    report.set_info("experiment", "geo");
+    report.set_info("paper_artifact", "infrastructure: spatial index");
+    report.set_info("wall_us", std::to_string(elapsed_us(start)));
+    bench::stamp_bench_report(report);
+    report.add_section("index_sweep", json.str());
+    const char* dir = std::getenv("GEONET_BENCH_REPORT_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) : report::results_dir()) +
+        "/BENCH_geo.json";
+    written = store::atomic_write_text(path, report.to_json() + "\n");
+    if (written) std::printf("bench record written: %s\n", path.c_str());
+  }
+  return counts_match && written ? 0 : 1;
+}

@@ -11,16 +11,26 @@ namespace geonet::core {
 DensityAnalysis analyze_density(const net::AnnotatedGraph& graph,
                                 const population::WorldPopulation& world,
                                 const geo::Region& region,
-                                double patch_arcmin) {
+                                double patch_arcmin,
+                                const geo::SpatialIndex* index) {
   DensityAnalysis out;
   out.patch_arcmin = patch_arcmin;
 
   const geo::Grid patches(region, patch_arcmin);
   std::vector<double> node_counts(patches.cell_count(), 0.0);
-  for (const auto& node : graph.nodes()) {
-    if (const auto cell = patches.cell_of(node.location)) {
-      node_counts[patches.flat_index(*cell)] += 1.0;
-      ++out.nodes_in_region;
+  if (index != nullptr) {
+    // Same per-point cell_of decisions with out-of-region subtrees
+    // skipped in bulk; counts are unit adds, so the totals are exact and
+    // identical to the serial scan below.
+    std::size_t dropped = 0;
+    node_counts = index->tally(patches, &dropped);
+    out.nodes_in_region = graph.node_count() - dropped;
+  } else {
+    for (const auto& node : graph.nodes()) {
+      if (const auto cell = patches.cell_of(node.location)) {
+        node_counts[patches.flat_index(*cell)] += 1.0;
+        ++out.nodes_in_region;
+      }
     }
   }
 
@@ -69,7 +79,14 @@ DensityAnalysis analyze_density(const net::AnnotatedGraph& graph,
 }
 
 std::size_t count_nodes_in(const net::AnnotatedGraph& graph,
-                           const geo::Region& region) {
+                           const geo::Region& region,
+                           const geo::SpatialIndex* index) {
+  if (index != nullptr) {
+    const auto mask = index->region_mask(region);
+    std::size_t count = 0;
+    for (const std::uint8_t inside : mask) count += inside;
+    return count;
+  }
   std::size_t count = 0;
   for (const auto& node : graph.nodes()) {
     if (region.contains(node.location)) ++count;
@@ -103,14 +120,15 @@ RegionDensityRow make_row(std::string name, double population_millions,
 }  // namespace
 
 std::vector<RegionDensityRow> economic_region_table(
-    const net::AnnotatedGraph& graph, const population::WorldPopulation& world) {
+    const net::AnnotatedGraph& graph, const population::WorldPopulation& world,
+    const geo::SpatialIndex* index) {
   std::vector<RegionDensityRow> rows;
   double world_pop = 0.0;
   double world_online = 0.0;
   for (const auto& profile : world.profiles()) {
     rows.push_back(make_row(profile.name, profile.population_millions,
                             profile.online_millions,
-                            count_nodes_in(graph, profile.extent)));
+                            count_nodes_in(graph, profile.extent, index)));
     world_pop += profile.population_millions;
     world_online += profile.online_millions;
   }
@@ -119,14 +137,15 @@ std::vector<RegionDensityRow> economic_region_table(
 }
 
 std::vector<RegionDensityRow> homogeneity_table(
-    const net::AnnotatedGraph& graph, const population::WorldPopulation& world) {
+    const net::AnnotatedGraph& graph, const population::WorldPopulation& world,
+    const geo::SpatialIndex* index) {
   std::vector<RegionDensityRow> rows;
   for (const geo::Region& region :
        {geo::regions::northern_us(), geo::regions::southern_us(),
         geo::regions::central_america()}) {
     const double people = world.population_in(region);
     rows.push_back(make_row(region.name, people / 1e6, 0.0,
-                            count_nodes_in(graph, region)));
+                            count_nodes_in(graph, region, index)));
   }
   return rows;
 }

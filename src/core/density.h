@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geo/region.h"
+#include "geo/spatial_index.h"
 #include "net/annotated_graph.h"
 #include "population/synth_population.h"
 #include "stats/linear_fit.h"
@@ -35,10 +36,14 @@ struct DensityAnalysis {
 /// paper) and fits the log-log relationship (Figure 2). Patches lacking
 /// either people or nodes cannot appear on log axes and are excluded from
 /// the fit, as in the paper's plots.
+/// `index`, when non-null, must be built over the graph's node locations
+/// in node-id order; the patch tally then skips out-of-region subtrees
+/// wholesale with byte-identical counts (pinned by differential tests).
 DensityAnalysis analyze_density(const net::AnnotatedGraph& graph,
                                 const population::WorldPopulation& world,
                                 const geo::Region& region,
-                                double patch_arcmin = 75.0);
+                                double patch_arcmin = 75.0,
+                                const geo::SpatialIndex* index = nullptr);
 
 /// A row of Table III / Table IV.
 struct RegionDensityRow {
@@ -52,18 +57,22 @@ struct RegionDensityRow {
   double online_per_node = 0.0;
 };
 
-/// Number of graph nodes mapped inside the region box.
+/// Number of graph nodes mapped inside the region box (index-accelerated
+/// when one is supplied; same contains() decisions either way).
 std::size_t count_nodes_in(const net::AnnotatedGraph& graph,
-                           const geo::Region& region);
+                           const geo::Region& region,
+                           const geo::SpatialIndex* index = nullptr);
 
 /// Table III: people/online-users per interface across the world economic
 /// regions, plus the World total row.
 std::vector<RegionDensityRow> economic_region_table(
-    const net::AnnotatedGraph& graph, const population::WorldPopulation& world);
+    const net::AnnotatedGraph& graph, const population::WorldPopulation& world,
+    const geo::SpatialIndex* index = nullptr);
 
 /// Table IV: the homogeneity test over Northern US / Southern US /
 /// Central America, with populations read from the synthetic raster.
 std::vector<RegionDensityRow> homogeneity_table(
-    const net::AnnotatedGraph& graph, const population::WorldPopulation& world);
+    const net::AnnotatedGraph& graph, const population::WorldPopulation& world,
+    const geo::SpatialIndex* index = nullptr);
 
 }  // namespace geonet::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "exec/parallel.h"
 #include "geo/distance.h"
@@ -70,6 +71,44 @@ stats::Histogram exact_pair_histogram(const std::vector<geo::GeoPoint>& points,
       });
 }
 
+stats::Histogram indexed_pair_histogram(const std::vector<geo::GeoPoint>& points,
+                                        double lo, double hi, std::size_t bins,
+                                        const geo::SpatialIndex& index) {
+  // Index-pruned exact sweep: leaves are the unit of work, and every pair
+  // with one end in the leaf and the other at a later sorted position is
+  // either measured or pruned wholesale. A pruned pair's distance provably
+  // exceeds `hi` (the bbox lower bound is conservative), so the whole
+  // pruned mass books into the overflow bucket — integer adds in either
+  // order, hence byte-identical to the brute-force enumeration above.
+  struct Acc {
+    stats::Histogram hist;
+    std::uint64_t pruned = 0;
+  };
+  exec::RegionOptions region;
+  region.name = "core/pairs_index";
+  region.grain = 1;
+  Acc acc = exec::parallel_reduce<Acc>(
+      index.leaf_count(), region,
+      [&] { return Acc{stats::Histogram(lo, hi, bins), 0}; },
+      [&](Acc& chunk, std::size_t leaf_begin, std::size_t leaf_end,
+          std::size_t) {
+        for (std::size_t leaf = leaf_begin; leaf < leaf_end; ++leaf) {
+          chunk.pruned += index.visit_leaf_pairs(
+              leaf, hi, [&](std::uint32_t a, std::uint32_t b) {
+                chunk.hist.add(geo::great_circle_miles(points[a], points[b]));
+              });
+        }
+      },
+      [](Acc& into, Acc&& from) {
+        into.hist.merge(from.hist);
+        into.pruned += from.pruned;
+      });
+  if (acc.pruned > 0) {
+    acc.hist.add(hi, static_cast<double>(acc.pruned));
+  }
+  return std::move(acc.hist);
+}
+
 stats::Histogram sampled_pair_histogram(const std::vector<geo::GeoPoint>& points,
                                         double lo, double hi, std::size_t bins,
                                         std::size_t samples,
@@ -94,7 +133,8 @@ stats::Histogram grid_pair_histogram(const std::vector<geo::GeoPoint>& points,
                                      double lo, double hi, std::size_t bins,
                                      const geo::Region& region,
                                      double cell_arcmin,
-                                     std::size_t max_cells) {
+                                     std::size_t max_cells,
+                                     const geo::SpatialIndex* index) {
   struct Cell {
     geo::GeoPoint center;
     double count;
@@ -108,7 +148,10 @@ stats::Histogram grid_pair_histogram(const std::vector<geo::GeoPoint>& points,
   const double bin_width = (hi - lo) / static_cast<double>(bins);
   for (double arcmin = cell_arcmin;; arcmin *= 2.0) {
     const geo::Grid grid(region, arcmin);
-    const std::vector<double> counts = grid.tally(points);
+    // The index-accelerated tally skips out-of-region subtrees wholesale
+    // and produces identical counts (same per-point cell_of decisions).
+    const std::vector<double> counts =
+        index != nullptr ? index->tally(grid) : grid.tally(points);
     cells.clear();
     for (std::size_t flat = 0; flat < counts.size(); ++flat) {
       if (counts[flat] > 0.0) {
@@ -151,10 +194,13 @@ stats::Histogram grid_pair_histogram(const std::vector<geo::GeoPoint>& points,
 stats::Histogram pair_distance_histogram(
     const std::vector<geo::GeoPoint>& points, double lo, double hi,
     std::size_t bins, const geo::Region& region,
-    const DistancePrefOptions& options) {
+    const DistancePrefOptions& options,
+    const geo::SpatialIndex* points_index) {
   switch (options.method) {
     case PairCountMethod::kExact:
-      return exact_pair_histogram(points, lo, hi, bins);
+      return points_index != nullptr
+                 ? indexed_pair_histogram(points, lo, hi, bins, *points_index)
+                 : exact_pair_histogram(points, lo, hi, bins);
     case PairCountMethod::kSampled:
       return sampled_pair_histogram(points, lo, hi, bins, options.sample_pairs,
                                     options.seed);
@@ -162,25 +208,33 @@ stats::Histogram pair_distance_histogram(
     default:
       return grid_pair_histogram(points, lo, hi, bins, region,
                                  options.grid_cell_arcmin,
-                                 options.max_grid_cells);
+                                 options.max_grid_cells, points_index);
   }
 }
 
 DistancePreference distance_preference(const net::AnnotatedGraph& graph,
                                        const geo::Region& region,
-                                       const DistancePrefOptions& options) {
+                                       const DistancePrefOptions& options,
+                                       const geo::SpatialIndex* graph_index) {
   const std::size_t bins = std::max<std::size_t>(1, options.bins);
   const double bin_miles = options.bin_miles > 0.0
                                ? options.bin_miles
                                : paper_bin_miles(region, bins);
   const double hi = bin_miles * static_cast<double>(bins);
 
-  // Nodes located in the region, with a dense reindexing for edges.
+  // Nodes located in the region, with a dense reindexing for edges. The
+  // index answers membership through the identical contains() comparisons
+  // with out-of-region subtrees skipped in bulk.
+  std::vector<std::uint8_t> mask;
+  if (graph_index != nullptr) mask = graph_index->region_mask(region);
   std::vector<geo::GeoPoint> points;
   std::vector<std::int64_t> index_of(graph.node_count(), -1);
   for (std::uint32_t id = 0; id < graph.node_count(); ++id) {
     const auto& node = graph.node(id);
-    if (region.contains(node.location)) {
+    const bool inside = graph_index != nullptr
+                            ? mask[id] != 0
+                            : region.contains(node.location);
+    if (inside) {
       index_of[id] = static_cast<std::int64_t>(points.size());
       points.push_back(node.location);
     }
@@ -207,8 +261,16 @@ DistancePreference distance_preference(const net::AnnotatedGraph& graph,
                                               graph.node(edge.b).location));
   }
 
+  // With an index over the graph, pair counting gets its own index over
+  // the region's point subset (cheap relative to the pair sweep it
+  // accelerates). kSampled draws random pairs and gains nothing.
+  std::optional<geo::SpatialIndex> subset_index;
+  if (graph_index != nullptr && options.method != PairCountMethod::kSampled) {
+    subset_index = geo::SpatialIndex::build(points);
+  }
   out.pair_hist =
-      pair_distance_histogram(points, 0.0, hi, bins, region, options);
+      pair_distance_histogram(points, 0.0, hi, bins, region, options,
+                              subset_index ? &*subset_index : nullptr);
   out.f = out.link_hist.ratio(out.pair_hist);
   return out;
 }

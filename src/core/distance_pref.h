@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geo/region.h"
+#include "geo/spatial_index.h"
 #include "net/annotated_graph.h"
 #include "stats/histogram.h"
 
@@ -66,15 +67,27 @@ double paper_bin_miles(const geo::Region& region, std::size_t bins = 100);
 
 /// Estimates the distance preference function for nodes/links of the graph
 /// that fall inside `region`.
-DistancePreference distance_preference(const net::AnnotatedGraph& graph,
-                                       const geo::Region& region,
-                                       const DistancePrefOptions& options = {});
+///
+/// `graph_index` is an optional spatial index over the graph's node
+/// locations (in node-id order). When present, region membership and pair
+/// counting route through the index; the results are byte-identical to
+/// the brute-force path — the differential tests pin that — so the index
+/// never participates in cache fingerprints.
+DistancePreference distance_preference(
+    const net::AnnotatedGraph& graph, const geo::Region& region,
+    const DistancePrefOptions& options = {},
+    const geo::SpatialIndex* graph_index = nullptr);
 
 /// The pair-distance histogram alone (exposed for testing and the
-/// method-comparison microbenchmarks).
+/// method-comparison microbenchmarks). `points_index`, when non-null,
+/// must be built over exactly `points`; kExact then prunes far pairs
+/// straight into the overflow bucket (they all land at or above `hi`)
+/// and kGrid tallies cells through the index. Both remain byte-identical
+/// to the unindexed path.
 stats::Histogram pair_distance_histogram(
     const std::vector<geo::GeoPoint>& points, double lo, double hi,
     std::size_t bins, const geo::Region& region,
-    const DistancePrefOptions& options);
+    const DistancePrefOptions& options,
+    const geo::SpatialIndex* points_index = nullptr);
 
 }  // namespace geonet::core

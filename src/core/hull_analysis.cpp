@@ -39,8 +39,16 @@ double detect_threshold(const std::vector<AsHullRecord>& records,
 }  // namespace
 
 HullAnalysis analyze_hulls(const net::AnnotatedGraph& graph,
-                           const HullOptions& options) {
+                           const HullOptions& options,
+                           const geo::SpatialIndex* index) {
   HullAnalysis out;
+
+  // Restriction mask, answered through the index when one is supplied
+  // (same contains() comparisons, bulk subtree skips).
+  std::vector<std::uint8_t> restrict_mask;
+  if (options.restrict_to && index != nullptr) {
+    restrict_mask = index->region_mask(*options.restrict_to);
+  }
 
   // Group node locations by AS (skipping the unmapped bucket), restricted
   // to the requested box when present.
@@ -49,10 +57,15 @@ HullAnalysis analyze_hulls(const net::AnnotatedGraph& graph,
     std::unordered_set<std::uint64_t> locations;
   };
   std::unordered_map<std::uint32_t, Accumulator> by_as;
+  std::uint32_t node_id = 0;
   for (const auto& node : graph.nodes()) {
+    const std::uint32_t id = node_id++;
     if (node.asn == net::kUnknownAs) continue;
-    if (options.restrict_to && !options.restrict_to->contains(node.location)) {
-      continue;
+    if (options.restrict_to) {
+      const bool inside = index != nullptr
+                              ? restrict_mask[id] != 0
+                              : options.restrict_to->contains(node.location);
+      if (!inside) continue;
     }
     auto& acc = by_as[node.asn];
     acc.points.push_back(node.location);

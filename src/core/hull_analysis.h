@@ -7,6 +7,7 @@
 #include "core/as_analysis.h"
 #include "geo/convex_hull.h"
 #include "geo/region.h"
+#include "geo/spatial_index.h"
 #include "net/annotated_graph.h"
 
 namespace geonet::core {
@@ -49,7 +50,11 @@ struct HullOptions {
 };
 
 /// Computes per-AS convex hulls and the two-regime dispersal thresholds.
+/// `index`, when non-null, must be built over the graph's node locations
+/// in node-id order; it answers the restrict_to membership test with
+/// out-of-region subtrees skipped wholesale (identical decisions).
 HullAnalysis analyze_hulls(const net::AnnotatedGraph& graph,
-                           const HullOptions& options = {});
+                           const HullOptions& options = {},
+                           const geo::SpatialIndex* index = nullptr);
 
 }  // namespace geonet::core

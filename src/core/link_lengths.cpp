@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/parallel.h"
 #include "geo/distance.h"
 #include "net/graph_algos.h"
 #include "stats/rng.h"
@@ -10,20 +11,57 @@ namespace geonet::core {
 
 LinkLengthAnalysis analyze_link_lengths(
     const net::AnnotatedGraph& graph,
-    const std::optional<geo::Region>& scope_region) {
+    const std::optional<geo::Region>& scope_region,
+    const geo::SpatialIndex* index) {
   LinkLengthAnalysis out;
-  std::size_t zero = 0;
-  for (const auto& edge : graph.edges()) {
-    const auto& a = graph.node(edge.a).location;
-    const auto& b = graph.node(edge.b).location;
-    if (scope_region && (!scope_region->contains(a) ||
-                         !scope_region->contains(b))) {
-      continue;
+
+  // Scope membership per node, answered once up front: through the index
+  // (identical contains() comparisons, out-of-region subtrees skipped
+  // wholesale) or a linear scan.
+  std::vector<std::uint8_t> in_scope;
+  if (scope_region) {
+    if (index != nullptr) {
+      in_scope = index->region_mask(*scope_region);
+    } else {
+      in_scope.resize(graph.node_count());
+      for (std::uint32_t id = 0; id < graph.node_count(); ++id) {
+        in_scope[id] = scope_region->contains(graph.node(id).location) ? 1 : 0;
+      }
     }
-    const double miles = geo::great_circle_miles(a, b);
-    out.lengths_miles.push_back(miles);
-    if (miles < 1e-9) ++zero;
   }
+
+  // Chunked edge sweep; per-chunk vectors concatenate in chunk order, so
+  // lengths_miles matches the serial edge order at any thread count.
+  struct Acc {
+    std::vector<double> lengths;
+    std::size_t zero = 0;
+  };
+  exec::RegionOptions region_options;
+  region_options.name = "core/link_lengths";
+  region_options.grain = 1024;
+  Acc acc = exec::parallel_reduce<Acc>(
+      graph.edge_count(), region_options, [] { return Acc(); },
+      [&](Acc& chunk, std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t e = begin; e < end; ++e) {
+          const auto& edge = graph.edges()[e];
+          if (scope_region &&
+              (in_scope[edge.a] == 0 || in_scope[edge.b] == 0)) {
+            continue;
+          }
+          const double miles =
+              geo::great_circle_miles(graph.node(edge.a).location,
+                                      graph.node(edge.b).location);
+          chunk.lengths.push_back(miles);
+          if (miles < 1e-9) ++chunk.zero;
+        }
+      },
+      [](Acc& into, Acc&& from) {
+        into.lengths.insert(into.lengths.end(), from.lengths.begin(),
+                            from.lengths.end());
+        into.zero += from.zero;
+      });
+  out.lengths_miles = std::move(acc.lengths);
+  const std::size_t zero = acc.zero;
   out.summary = stats::summarize(out.lengths_miles);
   if (!out.lengths_miles.empty()) {
     out.fraction_zero =

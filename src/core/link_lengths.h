@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geo/region.h"
+#include "geo/spatial_index.h"
 #include "net/annotated_graph.h"
 #include "stats/ccdf.h"
 #include "stats/summary.h"
@@ -22,10 +23,15 @@ struct LinkLengthAnalysis {
 };
 
 /// Computes link lengths for links with both endpoints inside
-/// `scope_region` (or all links when nullopt).
+/// `scope_region` (or all links when nullopt). The edge sweep is chunked
+/// on the exec pool with per-chunk length vectors concatenated in chunk
+/// order, so the stored lengths match the serial edge order at any thread
+/// count. `index`, when non-null, must be built over the graph's node
+/// locations in node-id order and answers the scope membership test.
 LinkLengthAnalysis analyze_link_lengths(
     const net::AnnotatedGraph& graph,
-    const std::optional<geo::Region>& scope_region = std::nullopt);
+    const std::optional<geo::Region>& scope_region = std::nullopt,
+    const geo::SpatialIndex* index = nullptr);
 
 /// Small-world probe (the paper's Section V endnote, citing Watts &
 /// Strogatz): the few non-local links "play an important structural

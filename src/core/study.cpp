@@ -1,6 +1,7 @@
 #include "core/study.h"
 
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
@@ -8,6 +9,8 @@
 
 #include "core/study_store.h"
 #include "err/status.h"
+#include "geo/spatial_index_store.h"
+#include "net/graph_io.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -162,11 +165,76 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
     return true;
   };
 
+  // Spatial-index resolution — the warm-index path. A caller-provided
+  // index wins; otherwise, with a cache attached, the index is loaded
+  // from (or stored into) a standalone SIDX snapshot keyed on the graph
+  // digest, else built fresh. Deliberately outside the phase harness and
+  // outside study_fingerprint: the index changes how proximity phases
+  // compute, never what they produce (the differential suite pins the
+  // byte identity), so cache entries stay valid across the switch.
+  static obs::Counter& sidx_hits_metric =
+      obs::MetricsRegistry::global().counter("store.sidx_hits");
+  std::optional<geo::SpatialIndex> owned_index;
+  const geo::SpatialIndex* index = nullptr;
+  if (options.use_spatial_index) {
+    if (options.spatial_index != nullptr &&
+        options.spatial_index->size() == graph.node_count()) {
+      index = options.spatial_index;
+    } else {
+      const obs::Span span("study/spatial_index");
+      try {
+        store::Digest128 sidx_key{};
+        if (cache != nullptr) {
+          store::Fingerprint fp = store::Fingerprint::with_provenance();
+          fp.add("artifact", "spatial_index");
+          fp.add("sidx_format", geo::kSpatialIndexFormatVersion);
+          fp.add("graph", net::graph_digest(graph));
+          sidx_key = fp.digest();
+          auto bytes = cache->get(sidx_key);
+          if (bytes.is_ok()) {
+            auto decoded = geo::decode_spatial_index_snapshot(bytes.value());
+            if (decoded.is_ok() &&
+                decoded.value().size() == graph.node_count()) {
+              owned_index = std::move(decoded).value();
+              sidx_hits_metric.add();
+            } else if (!decoded.is_ok()) {
+              degradation.notes.push_back(
+                  "cached spatial index was undecodable (" +
+                  decoded.status().message() + "); rebuilt");
+            }
+          } else if (bytes.status().code() != err::Code::kNotFound) {
+            degradation.notes.push_back(bytes.status().message() +
+                                        "; spatial index rebuilt");
+          }
+        }
+        if (!owned_index.has_value()) {
+          owned_index = geo::SpatialIndex::build(graph.locations());
+          if (cache != nullptr) {
+            const err::Status put = cache->put(
+                sidx_key, geo::encode_spatial_index_snapshot(*owned_index));
+            if (!put.is_ok()) {
+              obs::log(obs::LogLevel::kWarn, "spatial index not cached: %s",
+                       put.message().c_str());
+            }
+          }
+        }
+        index = &*owned_index;
+      } catch (const std::exception& e) {
+        // The phases all have brute-force fallbacks; an index failure
+        // (e.g. allocation) degrades to the unindexed paths, same bytes.
+        degradation.notes.push_back(std::string("spatial index unavailable (") +
+                                    e.what() + "); using brute-force paths");
+        owned_index.reset();
+        index = nullptr;
+      }
+    }
+  }
+
   cached_phase(
       "study/economic_tables", "economic_tables", kSectionRegionTables,
       [&] {
-        report.economic_rows = economic_region_table(graph, world);
-        report.homogeneity_rows = homogeneity_table(graph, world);
+        report.economic_rows = economic_region_table(graph, world, index);
+        report.homogeneity_rows = homogeneity_table(graph, world, index);
       },
       [&](store::ByteWriter& out) {
         encode_region_tables(out, report.economic_rows,
@@ -190,8 +258,8 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
     cached_phase(
         "study/density", "density:" + region.name, kSectionDensity,
         [&] {
-          study.density =
-              analyze_density(graph, world, region, options.patch_arcmin);
+          study.density = analyze_density(graph, world, region,
+                                          options.patch_arcmin, index);
         },
         [&](store::ByteWriter& out) { encode_density(out, study.density); },
         [&](store::ByteReader& in) -> err::Status {
@@ -204,7 +272,8 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
         "study/distance_pref", "distance_pref:" + region.name,
         kSectionDistancePref,
         [&] {
-          study.distance = distance_preference(graph, region, options.distance);
+          study.distance =
+              distance_preference(graph, region, options.distance, index);
         },
         [&](store::ByteWriter& out) {
           encode_distance_pref(out, study.distance);
@@ -266,7 +335,9 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
       });
   cached_phase(
       "study/link_lengths", "link_lengths", kSectionLinkLengths,
-      [&] { report.link_lengths = analyze_link_lengths(graph); },
+      [&] {
+        report.link_lengths = analyze_link_lengths(graph, std::nullopt, index);
+      },
       [&](store::ByteWriter& out) {
         encode_link_lengths(out, report.link_lengths);
       },
@@ -288,7 +359,7 @@ StudyReport run_study(const net::AnnotatedGraph& graph,
       });
   cached_phase(
       "study/hulls", "hulls", kSectionHulls,
-      [&] { report.hulls = analyze_hulls(graph); },
+      [&] { report.hulls = analyze_hulls(graph, {}, index); },
       [&](store::ByteWriter& out) { encode_hulls(out, report.hulls); },
       [&](store::ByteReader& in) -> err::Status {
         auto hulls = decode_hulls(in);

@@ -11,6 +11,7 @@
 #include "core/link_lengths.h"
 #include "core/waxman_fit.h"
 #include "geo/box_counting.h"
+#include "geo/spatial_index.h"
 #include "net/annotated_graph.h"
 #include "population/synth_population.h"
 
@@ -96,6 +97,17 @@ struct StudyOptions {
   /// fingerprint (see study_fingerprint in core/study_store.h); a warm
   /// re-run decodes instead of recomputing and is byte-identical to cold.
   store::ArtifactCache* cache = nullptr;
+  /// Route proximity phases (pair counting, density tallies, region
+  /// membership) through a geo::SpatialIndex over the graph's node
+  /// locations. Results are byte-identical either way — the differential
+  /// suite pins that — so neither this flag nor the index participates in
+  /// study_fingerprint: warm cache entries stay valid across the switch.
+  bool use_spatial_index = true;
+  /// Prebuilt index over the graph's node locations in node-id order
+  /// (e.g. decoded from a snapshot's SIDX section). Non-owning; nullptr
+  /// makes run_study build one (or load it from the cache) when
+  /// use_spatial_index is set. Ignored if its size mismatches the graph.
+  const geo::SpatialIndex* spatial_index = nullptr;
 };
 
 /// Runs the paper's full analysis pipeline over one processed dataset.

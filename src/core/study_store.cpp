@@ -452,6 +452,10 @@ store::Fingerprint study_fingerprint(const net::AnnotatedGraph& graph,
   for (const std::string& label : options.inject_phase_failures) {
     fp.add("inject", label);
   }
+  // Deliberately excluded: cache (it IS the cache), use_spatial_index and
+  // spatial_index. The index only changes how proximity phases compute,
+  // never their bytes (pinned by the differential suite), so indexed and
+  // brute-force runs must share cache entries.
   return fp;
 }
 

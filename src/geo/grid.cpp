@@ -22,7 +22,20 @@ Grid::Grid(Region region, double cell_arcmin)
 }
 
 std::optional<CellIndex> Grid::cell_of(const GeoPoint& p) const noexcept {
-  if (!region_.contains(p)) return std::nullopt;
+  // Half-open [south, north) x [west, east) like Region::contains, except
+  // that a point exactly on the global upper edge (lat 90 or lon 180)
+  // belongs to the last row/column: there is no cell beyond the pole or
+  // the antimeridian to claim it. Interior upper edges stay exclusive so
+  // adjacent grids never double-count a shared boundary.
+  const bool lat_ok =
+      p.lat_deg >= region_.south_deg &&
+      (p.lat_deg < region_.north_deg ||
+       (region_.north_deg == 90.0 && p.lat_deg == 90.0));
+  const bool lon_ok =
+      p.lon_deg >= region_.west_deg &&
+      (p.lon_deg < region_.east_deg ||
+       (region_.east_deg == 180.0 && p.lon_deg == 180.0));
+  if (!lat_ok || !lon_ok) return std::nullopt;
   auto row = static_cast<std::size_t>((p.lat_deg - region_.south_deg) / cell_deg_);
   auto col = static_cast<std::size_t>((p.lon_deg - region_.west_deg) / cell_deg_);
   row = std::min(row, rows_ - 1);

@@ -1,0 +1,372 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "geo/distance.h"
+
+namespace geonet::geo {
+
+namespace {
+
+/// Spreads the low 32 bits of x to the even bit positions of a 64-bit
+/// word (the standard Morton interleave half).
+std::uint64_t part1by1(std::uint64_t x) noexcept {
+  x &= 0xffffffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+/// Maps v in [lo, hi] onto the full 32-bit range; clamps outside values
+/// (and NaN) so every input gets some cell.
+std::uint32_t quantize_unit(double v, double lo, double hi) noexcept {
+  double t = (v - lo) / (hi - lo);
+  if (!(t > 0.0)) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  return static_cast<std::uint32_t>(t * 4294967295.0);
+}
+
+std::uint64_t morton_code(const GeoPoint& p) noexcept {
+  const std::uint64_t qlat = quantize_unit(p.lat_deg, -90.0, 90.0);
+  const std::uint64_t qlon = quantize_unit(p.lon_deg, -180.0, 180.0);
+  return (part1by1(qlat) << 1) | part1by1(qlon);
+}
+
+/// Total order over doubles matching < on ordinary values (and ordering
+/// -0 before +0, NaNs last by bit pattern). Using this instead of raw
+/// double comparison keeps the sort comparator a strict total order for
+/// any input bits — no UB risk, and the node order stays a pure function
+/// of the coordinate bit patterns.
+std::uint64_t total_order_key(double v) noexcept {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  return (bits & 0x8000000000000000ULL) != 0 ? ~bits
+                                             : bits | 0x8000000000000000ULL;
+}
+
+/// The canonical sort order: (morton, lat, lon, original index). The id
+/// tie-break makes it a total order, so the sorted permutation is unique
+/// — the property from_sorted() verifies on the warm path.
+bool canonical_less(const std::vector<std::uint64_t>& morton,
+                    const std::vector<GeoPoint>& points, std::uint32_t a,
+                    std::uint32_t b) noexcept {
+  if (morton[a] != morton[b]) return morton[a] < morton[b];
+  const std::uint64_t la = total_order_key(points[a].lat_deg);
+  const std::uint64_t lb = total_order_key(points[b].lat_deg);
+  if (la != lb) return la < lb;
+  const std::uint64_t na = total_order_key(points[a].lon_deg);
+  const std::uint64_t nb = total_order_key(points[b].lon_deg);
+  if (na != nb) return na < nb;
+  return a < b;
+}
+
+std::vector<std::uint64_t> morton_codes(const std::vector<GeoPoint>& points) {
+  std::vector<std::uint64_t> codes(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    codes[i] = morton_code(points[i]);
+  }
+  return codes;
+}
+
+/// Minimum |cos(lat)| over the box's latitude span. Latitudes live in
+/// [-90, 90] where cos is concave and non-negative, so the minimum sits
+/// at whichever edge is farther from the equator.
+double min_cos_lat(const SpatialIndex::BoundingBox& box) noexcept {
+  const double c = std::min(std::cos(deg_to_rad(box.min_lat)),
+                            std::cos(deg_to_rad(box.max_lat)));
+  return std::max(0.0, c);
+}
+
+}  // namespace
+
+SpatialIndex SpatialIndex::build(std::span<const GeoPoint> points,
+                                 const Options& options) {
+  if (points.size() >= 0xfffffffeULL) {
+    throw std::invalid_argument("SpatialIndex: too many points");
+  }
+  SpatialIndex index;
+  index.leaf_size_ = std::max<std::size_t>(1, options.leaf_size);
+  index.points_.assign(points.begin(), points.end());
+  index.order_.resize(points.size());
+  std::iota(index.order_.begin(), index.order_.end(), 0u);
+  const auto morton = morton_codes(index.points_);
+  std::sort(index.order_.begin(), index.order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return canonical_less(morton, index.points_, a, b);
+            });
+  index.build_tree();
+  return index;
+}
+
+std::optional<SpatialIndex> SpatialIndex::from_sorted(
+    std::vector<GeoPoint> points, std::vector<std::uint32_t> order,
+    const Options& options) {
+  if (points.size() >= 0xfffffffeULL) return std::nullopt;
+  if (order.size() != points.size()) return std::nullopt;
+  const auto n = static_cast<std::uint32_t>(points.size());
+  for (const std::uint32_t id : order) {
+    if (id >= n) return std::nullopt;
+  }
+  // Strictly ascending under the canonical total order implies the
+  // entries are distinct — hence a permutation — and equal to build()'s
+  // unique sorted output.
+  const auto morton = morton_codes(points);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (!canonical_less(morton, points, order[i - 1], order[i])) {
+      return std::nullopt;
+    }
+  }
+  SpatialIndex index;
+  index.leaf_size_ = std::max<std::size_t>(1, options.leaf_size);
+  index.points_ = std::move(points);
+  index.order_ = std::move(order);
+  index.build_tree();
+  return index;
+}
+
+void SpatialIndex::build_tree() {
+  nodes_.clear();
+  leaves_.clear();
+  if (points_.empty()) return;
+  nodes_.reserve(2 * (points_.size() / leaf_size_ + 1));
+  build_node(0, static_cast<std::uint32_t>(points_.size()));
+}
+
+std::uint32_t SpatialIndex::build_node(std::uint32_t begin,
+                                       std::uint32_t end) {
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{begin, end, kNoChild, kNoChild, {}});
+  if (end - begin > leaf_size_) {
+    const std::uint32_t mid = begin + (end - begin) / 2;
+    const std::uint32_t left = build_node(begin, mid);
+    const std::uint32_t right = build_node(mid, end);
+    Node& n = nodes_[index];
+    n.left = left;
+    n.right = right;
+    const BoundingBox& lb = nodes_[left].box;
+    const BoundingBox& rb = nodes_[right].box;
+    n.box.min_lat = std::min(lb.min_lat, rb.min_lat);
+    n.box.max_lat = std::max(lb.max_lat, rb.max_lat);
+    n.box.min_lon = std::min(lb.min_lon, rb.min_lon);
+    n.box.max_lon = std::max(lb.max_lon, rb.max_lon);
+  } else {
+    Node& n = nodes_[index];
+    const GeoPoint& first = points_[order_[begin]];
+    n.box = BoundingBox{first.lat_deg, first.lat_deg, first.lon_deg,
+                        first.lon_deg};
+    for (std::uint32_t i = begin + 1; i < end; ++i) {
+      const GeoPoint& p = points_[order_[i]];
+      n.box.min_lat = std::min(n.box.min_lat, p.lat_deg);
+      n.box.max_lat = std::max(n.box.max_lat, p.lat_deg);
+      n.box.min_lon = std::min(n.box.min_lon, p.lon_deg);
+      n.box.max_lon = std::max(n.box.max_lon, p.lon_deg);
+    }
+    leaves_.push_back(index);
+  }
+  return index;
+}
+
+double SpatialIndex::min_distance_miles_lower_bound(
+    const BoundingBox& a, const BoundingBox& b) noexcept {
+  const double lat_gap =
+      std::max(0.0, std::max(a.min_lat - b.max_lat, b.min_lat - a.max_lat));
+  double lon_gap = 0.0;
+  if (a.min_lon > b.max_lon || b.min_lon > a.max_lon) {
+    const double direct =
+        std::max(a.min_lon - b.max_lon, b.min_lon - a.max_lon);
+    // The two boxes can also face each other across the antimeridian.
+    const double wrap = 360.0 - (std::max(a.max_lon, b.max_lon) -
+                                 std::min(a.min_lon, b.min_lon));
+    lon_gap = std::min(direct, std::max(0.0, wrap));
+    if (lon_gap > 180.0) lon_gap = 360.0 - lon_gap;
+  }
+  const double sin_lat = std::sin(0.5 * deg_to_rad(lat_gap));
+  const double sin_lon = std::sin(0.5 * deg_to_rad(lon_gap));
+  const double h = sin_lat * sin_lat +
+                   min_cos_lat(a) * min_cos_lat(b) * sin_lon * sin_lon;
+  const double sigma = 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+  const double bound = kEarthRadiusMiles * sigma;
+  // Safety slack: ~1e-9 relative + 1e-6 miles absolute, orders of
+  // magnitude above libm's per-call error, so the bound can never
+  // exceed a distance great_circle_miles would actually report.
+  return std::max(0.0, bound * (1.0 - 1e-9) - 1e-6);
+}
+
+namespace {
+
+/// (distance, id) ascending — the total order every query result uses.
+bool neighbor_less(const SpatialIndex::Neighbor& x,
+                   const SpatialIndex::Neighbor& y) noexcept {
+  if (x.distance_miles != y.distance_miles) {
+    return x.distance_miles < y.distance_miles;
+  }
+  return x.id < y.id;
+}
+
+}  // namespace
+
+std::vector<SpatialIndex::Neighbor> SpatialIndex::nearest(
+    const GeoPoint& query, std::size_t k) const {
+  std::vector<Neighbor> best;  // max-heap: worst of the k best on top
+  if (k == 0 || empty()) return best;
+  const BoundingBox qbox{query.lat_deg, query.lat_deg, query.lon_deg,
+                         query.lon_deg};
+  auto descend = [&](auto&& self, std::uint32_t node_index) -> void {
+    const Node& n = nodes_[node_index];
+    if (best.size() == k) {
+      // Prune on strict >: a subtree at exactly the worst distance can
+      // still hold an equal-distance point with a smaller id.
+      if (min_distance_miles_lower_bound(qbox, n.box) >
+          best.front().distance_miles) {
+        return;
+      }
+    }
+    if (n.left == kNoChild) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        const std::uint32_t id = order_[i];
+        const Neighbor cand{id, great_circle_miles(query, points_[id])};
+        if (best.size() < k) {
+          best.push_back(cand);
+          std::push_heap(best.begin(), best.end(), neighbor_less);
+        } else if (neighbor_less(cand, best.front())) {
+          std::pop_heap(best.begin(), best.end(), neighbor_less);
+          best.back() = cand;
+          std::push_heap(best.begin(), best.end(), neighbor_less);
+        }
+      }
+      return;
+    }
+    // Nearer child first so the heap tightens before the far side.
+    const double lb_left =
+        min_distance_miles_lower_bound(qbox, nodes_[n.left].box);
+    const double lb_right =
+        min_distance_miles_lower_bound(qbox, nodes_[n.right].box);
+    if (lb_right < lb_left) {
+      self(self, n.right);
+      self(self, n.left);
+    } else {
+      self(self, n.left);
+      self(self, n.right);
+    }
+  };
+  descend(descend, 0);
+  std::sort(best.begin(), best.end(), neighbor_less);
+  return best;
+}
+
+std::vector<SpatialIndex::Neighbor> SpatialIndex::within_radius(
+    const GeoPoint& query, double radius_miles) const {
+  std::vector<Neighbor> hits;
+  if (empty() || !(radius_miles >= 0.0)) return hits;
+  const BoundingBox qbox{query.lat_deg, query.lat_deg, query.lon_deg,
+                         query.lon_deg};
+  auto descend = [&](auto&& self, std::uint32_t node_index) -> void {
+    const Node& n = nodes_[node_index];
+    if (min_distance_miles_lower_bound(qbox, n.box) > radius_miles) return;
+    if (n.left == kNoChild) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        const std::uint32_t id = order_[i];
+        const double d = great_circle_miles(query, points_[id]);
+        if (d <= radius_miles) hits.push_back(Neighbor{id, d});
+      }
+      return;
+    }
+    self(self, n.left);
+    self(self, n.right);
+  };
+  descend(descend, 0);
+  std::sort(hits.begin(), hits.end(), neighbor_less);
+  return hits;
+}
+
+std::vector<SpatialIndex::Neighbor> SpatialIndex::within_radius_km(
+    const GeoPoint& query, double radius_km) const {
+  return within_radius(query, radius_km * (kEarthRadiusMiles / kEarthRadiusKm));
+}
+
+std::vector<std::uint32_t> SpatialIndex::in_region(
+    const Region& region) const {
+  std::vector<std::uint32_t> ids;
+  const auto mask = region_mask(region);
+  for (std::uint32_t id = 0; id < mask.size(); ++id) {
+    if (mask[id] != 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<std::uint8_t> SpatialIndex::region_mask(
+    const Region& region) const {
+  std::vector<std::uint8_t> mask(points_.size(), 0);
+  if (empty()) return mask;
+  auto descend = [&](auto&& self, std::uint32_t node_index) -> void {
+    const Node& n = nodes_[node_index];
+    const BoundingBox& box = n.box;
+    // Disjoint under the half-open contains() contract.
+    if (box.max_lat < region.south_deg || box.min_lat >= region.north_deg ||
+        box.max_lon < region.west_deg || box.min_lon >= region.east_deg) {
+      return;
+    }
+    // Fully inside: every point passes the same four comparisons.
+    if (box.min_lat >= region.south_deg && box.max_lat < region.north_deg &&
+        box.min_lon >= region.west_deg && box.max_lon < region.east_deg) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) mask[order_[i]] = 1;
+      return;
+    }
+    if (n.left == kNoChild) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        const std::uint32_t id = order_[i];
+        if (region.contains(points_[id])) mask[id] = 1;
+      }
+      return;
+    }
+    self(self, n.left);
+    self(self, n.right);
+  };
+  descend(descend, 0);
+  return mask;
+}
+
+std::vector<double> SpatialIndex::tally(const Grid& grid,
+                                        std::size_t* dropped) const {
+  std::vector<double> counts(grid.cell_count(), 0.0);
+  std::size_t inside = 0;
+  if (!empty()) {
+    const Region& region = grid.region();
+    // Grid::cell_of admits the global upper edges (lat 90 / lon 180), so
+    // the prune must not cut boxes touching them; see Grid::cell_of.
+    const double inf = std::numeric_limits<double>::infinity();
+    const double north_cut = region.north_deg == 90.0 ? inf : region.north_deg;
+    const double east_cut = region.east_deg == 180.0 ? inf : region.east_deg;
+    auto descend = [&](auto&& self, std::uint32_t node_index) -> void {
+      const Node& n = nodes_[node_index];
+      const BoundingBox& box = n.box;
+      if (box.max_lat < region.south_deg || box.min_lat >= north_cut ||
+          box.max_lon < region.west_deg || box.min_lon >= east_cut) {
+        return;
+      }
+      if (n.left == kNoChild) {
+        for (std::uint32_t i = n.begin; i < n.end; ++i) {
+          if (const auto cell = grid.cell_of(points_[order_[i]])) {
+            counts[grid.flat_index(*cell)] += 1.0;
+            ++inside;
+          }
+        }
+        return;
+      }
+      self(self, n.left);
+      self(self, n.right);
+    };
+    descend(descend, 0);
+  }
+  if (dropped != nullptr) *dropped = points_.size() - inside;
+  return counts;
+}
+
+}  // namespace geonet::geo

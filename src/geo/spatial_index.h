@@ -1,0 +1,252 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "geo/grid.h"
+#include "geo/region.h"
+
+namespace geonet::geo {
+
+/// A snapshot-built spatial index over a fixed set of lat/lon points —
+/// the geotree-style structure the ROADMAP names as the refactor under
+/// every proximity hot path (distance-preference pair counting, per-AS
+/// hulls, link-length scoping, density patch aggregation, and the future
+/// `geonet serve` nearest/radius queries).
+///
+/// Structure: points are sorted once by (Morton code of the quantised
+/// lat/lon, lat bits, lon bits, original index) — a geohash-style
+/// space-filling order that is a pure function of the coordinates, never
+/// of insertion order or thread count — and a packed bounding-box tree
+/// (midpoint splits, preorder node array) is built over the sorted run.
+/// Every traversal below therefore visits nodes in one deterministic
+/// order, and every query result is defined by a total order on
+/// (distance, original index), so results are reproducible byte for byte
+/// across platforms, runs, and `--threads` settings.
+///
+/// Pruning uses a conservative great-circle lower bound between bounding
+/// boxes derived from the haversine identity (see
+/// min_distance_miles_lower_bound); the bound is relaxed by a safety
+/// margin dwarfing any libm variance, so a pruned subtree provably
+/// contains only points strictly farther than the query limit. The
+/// differential property suite in tests/test_spatial_index.cpp pins every
+/// query against a brute-force oracle, tie-breaking included.
+///
+/// Precondition: all points must satisfy is_valid() (finite lat in
+/// [-90, 90], lon in [-180, 180]). Graph node locations always do.
+
+/// Build knobs (namespace scope so it can serve as a default argument
+/// inside the class definition below).
+struct SpatialIndexOptions {
+  /// Points per leaf, clamped to >= 1. The default is small enough that
+  /// leaf scans stay cheap, large enough that the node array stays
+  /// compact.
+  std::size_t leaf_size = 16;
+};
+
+class SpatialIndex {
+ public:
+  /// Sentinel child index marking a leaf node.
+  static constexpr std::uint32_t kNoChild = 0xffffffffu;
+  static constexpr std::size_t kDefaultLeafSize = 16;
+
+  using Options = SpatialIndexOptions;
+
+  /// Closed lat/lon bounding box of a subtree (not wrapped: a cluster
+  /// straddling the antimeridian gets a wide box, which is merely
+  /// conservative for pruning).
+  struct BoundingBox {
+    double min_lat = 0.0;
+    double max_lat = 0.0;
+    double min_lon = 0.0;
+    double max_lon = 0.0;
+  };
+
+  /// One node of the packed tree: a contiguous range [begin, end) of the
+  /// sorted order plus the bounding box of its points. Leaves have
+  /// left == right == kNoChild.
+  struct Node {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint32_t left = kNoChild;
+    std::uint32_t right = kNoChild;
+    BoundingBox box;
+  };
+
+  /// A query hit: the point's index in the original input span plus its
+  /// great-circle distance from the query, in statute miles. Results are
+  /// always ordered by (distance_miles, id) ascending — the total order
+  /// that makes ties deterministic.
+  struct Neighbor {
+    std::uint32_t id = 0;
+    double distance_miles = 0.0;
+    friend bool operator==(const Neighbor&, const Neighbor&) = default;
+  };
+
+  /// Tallies from one pairs_within sweep: pairs handed to the visitor
+  /// plus pairs pruned wholesale (each provably farther than the limit).
+  /// visited + pruned always equals n*(n-1)/2 — no pair is ever dropped.
+  struct PairSweepStats {
+    std::uint64_t visited_pairs = 0;
+    std::uint64_t pruned_pairs = 0;
+    [[nodiscard]] std::uint64_t total_pairs() const noexcept {
+      return visited_pairs + pruned_pairs;
+    }
+  };
+
+  SpatialIndex() = default;
+
+  /// Builds the index over a copy of `points`. O(n log n); deterministic
+  /// for a given point multiset (duplicates tie-break by input index).
+  /// Throws std::invalid_argument if points.size() exceeds 2^32 - 2.
+  static SpatialIndex build(std::span<const GeoPoint> points,
+                            const Options& options = {});
+
+  /// Reconstructs an index from a previously built sorted order (the
+  /// SIDX warm path). Returns nullopt unless `order` is exactly the
+  /// canonical build() order for `points` — a decoded index can never
+  /// silently disagree with a freshly built one.
+  static std::optional<SpatialIndex> from_sorted(
+      std::vector<GeoPoint> points, std::vector<std::uint32_t> order,
+      const Options& options = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t leaf_size() const noexcept { return leaf_size_; }
+  [[nodiscard]] const std::vector<GeoPoint>& points() const noexcept {
+    return points_;
+  }
+  /// Sorted position -> original index (the Morton permutation).
+  [[nodiscard]] const std::vector<std::uint32_t>& order() const noexcept {
+    return order_;
+  }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  /// Node indices of the leaves, in sorted (spatial) order. The unit of
+  /// work for parallel pair sweeps: chunk leaves with exec::parallel_reduce
+  /// and merge per-chunk accumulators in chunk order.
+  [[nodiscard]] const std::vector<std::uint32_t>& leaves() const noexcept {
+    return leaves_;
+  }
+  [[nodiscard]] std::size_t leaf_count() const noexcept {
+    return leaves_.size();
+  }
+
+  /// The k nearest points to `query` by (distance, id); fewer when the
+  /// index holds fewer than k points.
+  [[nodiscard]] std::vector<Neighbor> nearest(const GeoPoint& query,
+                                              std::size_t k) const;
+
+  /// All points within `radius_miles` (inclusive), sorted by
+  /// (distance, id).
+  [[nodiscard]] std::vector<Neighbor> within_radius(
+      const GeoPoint& query, double radius_miles) const;
+
+  /// Kilometre convenience wrapper: converts the radius via the earth
+  /// radii ratio and reports distances in miles like everything else.
+  [[nodiscard]] std::vector<Neighbor> within_radius_km(
+      const GeoPoint& query, double radius_km) const;
+
+  /// Original indices of all points inside `region` (half-open
+  /// Region::contains semantics), ascending. Subtrees fully inside are
+  /// taken wholesale; membership is decided by the exact same
+  /// comparisons as a linear contains() scan.
+  [[nodiscard]] std::vector<std::uint32_t> in_region(
+      const Region& region) const;
+
+  /// Byte-per-point membership mask for `region` (1 = inside).
+  [[nodiscard]] std::vector<std::uint8_t> region_mask(
+      const Region& region) const;
+
+  /// Index-accelerated Grid::tally over this index's points: identical
+  /// counts and dropped total as grid.tally(points()), with out-of-region
+  /// subtrees skipped wholesale.
+  [[nodiscard]] std::vector<double> tally(const Grid& grid,
+                                          std::size_t* dropped = nullptr) const;
+
+  /// Visits every unordered pair {a, b} of original indices that has at
+  /// least one endpoint in leaf `leaf_ordinal` and the other at an equal
+  /// or later sorted position — over all leaf ordinals this enumerates
+  /// each of the n*(n-1)/2 pairs exactly once. Pairs whose bounding-box
+  /// lower bound exceeds `limit_miles` are not visited; the count of such
+  /// pruned pairs is returned (each is provably farther than the limit).
+  /// Pass an infinite limit to visit every pair.
+  template <typename Visitor>
+  std::uint64_t visit_leaf_pairs(std::size_t leaf_ordinal, double limit_miles,
+                                 Visitor&& visit) const {
+    const Node& leaf = nodes_[leaves_[leaf_ordinal]];
+    for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
+      for (std::uint32_t j = i + 1; j < leaf.end; ++j) {
+        visit(order_[i], order_[j]);
+      }
+    }
+    if (leaf.end >= size()) return 0;
+    return visit_suffix_pairs(0, leaf, limit_miles, visit);
+  }
+
+  /// Serial all-pairs sweep: visit(a, b) for every unordered pair not
+  /// pruned by `limit_miles`, leaves in spatial order. The parallel form
+  /// lives in core/distance_pref (chunked over leaves()).
+  template <typename Visitor>
+  PairSweepStats pairs_within(double limit_miles, Visitor&& visit) const {
+    PairSweepStats stats;
+    for (std::size_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+      stats.pruned_pairs += visit_leaf_pairs(
+          leaf, limit_miles, [&](std::uint32_t a, std::uint32_t b) {
+            ++stats.visited_pairs;
+            visit(a, b);
+          });
+    }
+    return stats;
+  }
+
+  /// Conservative great-circle lower bound (statute miles) on the
+  /// distance between any point of `a` and any point of `b`. From the
+  /// haversine identity hav(s) = hav(dlat) + cos(lat_a) cos(lat_b)
+  /// hav(dlon): each term is lower-bounded by the box gaps (circular in
+  /// longitude) and the minimum |cos(lat)| over each box, then the
+  /// result is shrunk by a relative + absolute safety margin far above
+  /// libm's ulp-level variance — so `bound > d` never holds for a real
+  /// pair distance d computed by great_circle_miles.
+  [[nodiscard]] static double min_distance_miles_lower_bound(
+      const BoundingBox& a, const BoundingBox& b) noexcept;
+
+ private:
+  void build_tree();
+  std::uint32_t build_node(std::uint32_t begin, std::uint32_t end);
+
+  template <typename Visitor>
+  std::uint64_t visit_suffix_pairs(std::uint32_t node_index, const Node& leaf,
+                                   double limit_miles, Visitor& visit) const {
+    const Node& n = nodes_[node_index];
+    if (n.end <= leaf.end) return 0;  // entirely at or before the leaf
+    const std::uint32_t from = n.begin > leaf.end ? n.begin : leaf.end;
+    if (min_distance_miles_lower_bound(leaf.box, n.box) > limit_miles) {
+      return static_cast<std::uint64_t>(n.end - from) *
+             static_cast<std::uint64_t>(leaf.end - leaf.begin);
+    }
+    if (n.left == kNoChild) {
+      for (std::uint32_t j = from; j < n.end; ++j) {
+        for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
+          visit(order_[i], order_[j]);
+        }
+      }
+      return 0;
+    }
+    return visit_suffix_pairs(n.left, leaf, limit_miles, visit) +
+           visit_suffix_pairs(n.right, leaf, limit_miles, visit);
+  }
+
+  std::vector<GeoPoint> points_;        ///< original input order
+  std::vector<std::uint32_t> order_;    ///< sorted position -> original id
+  std::vector<Node> nodes_;             ///< preorder packed tree
+  std::vector<std::uint32_t> leaves_;   ///< leaf node indices, sorted order
+  std::size_t leaf_size_ = kDefaultLeafSize;
+};
+
+}  // namespace geonet::geo

@@ -1,0 +1,80 @@
+#include "geo/spatial_index_store.h"
+
+#include <utility>
+
+namespace geonet::geo {
+
+void encode_spatial_index(store::ByteWriter& out, const SpatialIndex& index) {
+  out.u32(kSpatialIndexFormatVersion);
+  out.u32(static_cast<std::uint32_t>(index.leaf_size()));
+  out.u64(index.size());
+  for (const GeoPoint& p : index.points()) {
+    out.f64(p.lat_deg);
+    out.f64(p.lon_deg);
+  }
+  for (const std::uint32_t id : index.order()) {
+    out.u32(id);
+  }
+}
+
+err::Result<SpatialIndex> decode_spatial_index(store::ByteReader& in) {
+  const std::uint32_t version = in.u32();
+  if (!in.ok()) {
+    return err::Status::data_loss("SIDX: truncated header");
+  }
+  if (version != kSpatialIndexFormatVersion) {
+    return err::Status::invalid_argument("SIDX: unsupported format version " +
+                                         std::to_string(version));
+  }
+  const std::uint32_t leaf_size = in.u32();
+  const std::uint64_t n = in.u64();
+  if (!in.ok() || leaf_size == 0) {
+    return err::Status::data_loss("SIDX: malformed header");
+  }
+  // Bound the allocation by the remaining input before trusting n.
+  if (n > in.remaining() / 20) {
+    return err::Status::data_loss("SIDX: point count exceeds payload");
+  }
+  std::vector<GeoPoint> points(static_cast<std::size_t>(n));
+  for (auto& p : points) {
+    p.lat_deg = in.f64();
+    p.lon_deg = in.f64();
+  }
+  std::vector<std::uint32_t> order(static_cast<std::size_t>(n));
+  for (auto& id : order) {
+    id = in.u32();
+  }
+  if (!in.ok() || in.remaining() != 0) {
+    return err::Status::data_loss("SIDX: truncated or oversized payload");
+  }
+  auto index = SpatialIndex::from_sorted(
+      std::move(points), std::move(order),
+      SpatialIndex::Options{static_cast<std::size_t>(leaf_size)});
+  if (!index.has_value()) {
+    return err::Status::data_loss("SIDX: stored order is not canonical");
+  }
+  return std::move(*index);
+}
+
+std::vector<std::byte> encode_spatial_index_snapshot(
+    const SpatialIndex& index) {
+  store::ByteWriter payload;
+  encode_spatial_index(payload, index);
+  store::SnapshotWriter writer;
+  writer.add_section(kSectionSpatialIndex, payload.take());
+  return writer.finish();
+}
+
+err::Result<SpatialIndex> decode_spatial_index_snapshot(
+    std::span<const std::byte> bytes) {
+  auto view = store::SnapshotView::parse(bytes);
+  if (!view) return view.status();
+  const auto* section = view.value().find(kSectionSpatialIndex);
+  if (section == nullptr) {
+    return err::Status::not_found("snapshot has no SIDX section");
+  }
+  store::ByteReader reader(section->payload);
+  return decode_spatial_index(reader);
+}
+
+}  // namespace geonet::geo

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "err/status.h"
+#include "geo/spatial_index.h"
+#include "store/bytes.h"
+#include "store/snapshot.h"
+
+namespace geonet::geo {
+
+/// GEOS persistence for geo::SpatialIndex — the `SIDX` section. A graph
+/// snapshot written by the CLI carries the index of its node locations so
+/// warm runs skip the O(n log n) build, and run_study caches a standalone
+/// SIDX snapshot per graph digest. Readers that predate SIDX skip the
+/// section (unknown-section forward compatibility); readers that know it
+/// re-verify the stored order against the canonical sort, so a stale or
+/// doctored index can never silently disagree with a fresh build.
+///
+/// Payload layout (ByteWriter encoding, see docs/storage.md):
+///
+///   u32  sidx_version        kSpatialIndexFormatVersion
+///   u32  leaf_size
+///   u64  point_count n
+///   f64  lat, f64 lon        x n, original input order
+///   u32  order[i]            x n, the canonical Morton permutation
+inline constexpr std::uint32_t kSectionSpatialIndex =
+    store::fourcc('S', 'I', 'D', 'X');
+
+/// Bumped on any change to the payload layout or to the canonical sort
+/// order; mixed into every SIDX cache fingerprint so an upgraded binary
+/// never trusts an old index.
+inline constexpr std::uint32_t kSpatialIndexFormatVersion = 1;
+
+void encode_spatial_index(store::ByteWriter& out, const SpatialIndex& index);
+
+/// Decodes and fully validates one SIDX payload: version match, bounded
+/// lengths, and the stored order being exactly the canonical build order
+/// (kDataLoss otherwise).
+err::Result<SpatialIndex> decode_spatial_index(store::ByteReader& in);
+
+/// Renders a standalone single-section GEOS snapshot holding the index —
+/// the artifact-cache entry shape run_study uses for the warm-index path.
+[[nodiscard]] std::vector<std::byte> encode_spatial_index_snapshot(
+    const SpatialIndex& index);
+
+/// Parses a snapshot produced by encode_spatial_index_snapshot.
+err::Result<SpatialIndex> decode_spatial_index_snapshot(
+    std::span<const std::byte> bytes);
+
+}  // namespace geonet::geo

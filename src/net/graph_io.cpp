@@ -1,11 +1,13 @@
 #include "net/graph_io.h"
 
+#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include "geo/spatial_index_store.h"
 #include "net/topology.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -87,13 +89,6 @@ bool write_graph_file(const std::string& path, const AnnotatedGraph& graph,
 
 // --- Binary snapshots ------------------------------------------------
 
-namespace {
-
-constexpr std::uint32_t kSectionGraph = store::fourcc('G', 'R', 'P', 'H');
-constexpr std::uint32_t kSectionLatency = store::fourcc('L', 'A', 'T', 'S');
-
-}  // namespace
-
 void encode_graph(store::ByteWriter& out, const AnnotatedGraph& graph) {
   out.u8(graph.kind() == NodeKind::kInterface ? 0 : 1);
   out.str(graph.name());
@@ -167,6 +162,14 @@ std::vector<std::byte> encode_graph_snapshot(
     for (const double v : link_latency_ms) latency.f64(v);
     writer.add_section(kSectionLatency, latency.take());
   }
+  // The spatial index over the node locations rides along so warm readers
+  // skip the O(n log n) build; old readers skip the unknown section.
+  {
+    store::ByteWriter sidx;
+    geo::encode_spatial_index(sidx,
+                              geo::SpatialIndex::build(graph.locations()));
+    writer.add_section(geo::kSectionSpatialIndex, sidx.take());
+  }
   return writer.finish();
 }
 
@@ -199,6 +202,27 @@ err::Result<GraphSnapshot> decode_graph_snapshot(
     }
     if (!latency.ok()) {
       return err::Status::data_loss("graph snapshot: truncated latency column");
+    }
+  }
+  // The index is an accelerator, not data: a missing, undecodable, or
+  // mismatched 'SIDX' section leaves spatial_index empty (readers rebuild)
+  // rather than failing the graph read. Bit-equality against the graph's
+  // own locations guards against a section pasted in from another file.
+  if (const auto* sidx_section = view.find(geo::kSectionSpatialIndex)) {
+    store::ByteReader sidx(sidx_section->payload);
+    auto decoded = geo::decode_spatial_index(sidx);
+    if (decoded.is_ok()) {
+      const auto bits = [](double v) {
+        return std::bit_cast<std::uint64_t>(v);
+      };
+      const auto& locations = snapshot.graph.locations();
+      const auto& points = decoded.value().points();
+      bool matches = points.size() == locations.size();
+      for (std::size_t i = 0; matches && i < points.size(); ++i) {
+        matches = bits(points[i].lat_deg) == bits(locations[i].lat_deg) &&
+                  bits(points[i].lon_deg) == bits(locations[i].lon_deg);
+      }
+      if (matches) snapshot.spatial_index = std::move(decoded).value();
     }
   }
   return snapshot;
@@ -407,7 +431,9 @@ GraphReadResult read_graph_file_ex(const std::string& path,
       result.status = snapshot.status();
       return result;
     }
-    result.graph = std::move(snapshot).value().graph;
+    GraphSnapshot decoded = std::move(snapshot).value();
+    result.graph = std::move(decoded.graph);
+    result.spatial_index = std::move(decoded.spatial_index);
     result.status = err::Status::ok();
     return result;
   }

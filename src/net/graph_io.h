@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "err/status.h"
+#include "geo/spatial_index.h"
 #include "net/annotated_graph.h"
 #include "store/bytes.h"
 #include "store/fingerprint.h"
+#include "store/snapshot.h"
 
 namespace geonet::net {
 
@@ -52,6 +54,13 @@ bool write_graph_file(const std::string& path, const AnnotatedGraph& graph,
 // all topology artifacts in. read_graph_file_ex() sniffs the magic, so
 // every CLI entry point accepts either representation.
 
+/// Graph snapshot section types (the spatial-index section is
+/// geo::kSectionSpatialIndex, 'SIDX').
+inline constexpr std::uint32_t kSectionGraph =
+    store::fourcc('G', 'R', 'P', 'H');
+inline constexpr std::uint32_t kSectionLatency =
+    store::fourcc('L', 'A', 'T', 'S');
+
 /// Serializes the graph body (kind, name, nodes, edges) into `out` — the
 /// payload of a 'GRPH' snapshot section. Byte-exact: doubles round-trip
 /// bit for bit.
@@ -61,14 +70,25 @@ void encode_graph(store::ByteWriter& out, const AnnotatedGraph& graph);
 /// or over-read; edge/self-loop invariants re-validated on insert).
 err::Result<AnnotatedGraph> decode_graph(store::ByteReader& in);
 
-/// A decoded snapshot: the graph plus the optional latency column.
+/// A decoded snapshot: the graph plus the optional latency column and,
+/// when the writer included one, the prebuilt spatial index over the
+/// graph's node locations (the warm-index path — run_study and `geonet
+/// serve`-style consumers skip the O(n log n) build).
 struct GraphSnapshot {
   AnnotatedGraph graph{NodeKind::kRouter};
   std::vector<double> link_latency_ms;  ///< empty or parallel to edges()
+  /// Set iff a 'SIDX' section decoded cleanly AND matches the graph's
+  /// locations bit for bit; anything else leaves it empty (readers then
+  /// rebuild — never a wrong index, never a failed graph read).
+  std::optional<geo::SpatialIndex> spatial_index;
 };
 
-/// Renders a complete snapshot byte stream ('GRPH' + optional 'LATS'
-/// sections, GEOS header with build provenance).
+/// Renders a complete snapshot byte stream ('GRPH' + optional 'LATS' +
+/// 'SIDX' sections, GEOS header with build provenance). The spatial index
+/// of the node locations is always included so warm readers skip the
+/// build; readers that predate SIDX skip the section (forward
+/// compatibility). graph_digest() covers the 'GRPH' body only, so cache
+/// keys are unaffected.
 std::vector<std::byte> encode_graph_snapshot(
     const AnnotatedGraph& graph, std::span<const double> link_latency_ms = {});
 
@@ -114,6 +134,9 @@ struct GraphReadResult {
   std::optional<AnnotatedGraph> graph;
   std::vector<QuarantinedRecord> quarantined;
   err::Status status;
+  /// From the snapshot's 'SIDX' section when reading a .geos file that
+  /// carries a valid one (see GraphSnapshot::spatial_index).
+  std::optional<geo::SpatialIndex> spatial_index;
 
   [[nodiscard]] bool ok() const noexcept { return graph.has_value(); }
 };

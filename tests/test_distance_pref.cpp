@@ -256,5 +256,71 @@ TEST(DistancePref, EmptyRegionProducesZeros) {
   for (const double v : pref.f) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(DistancePref, IndexedExactHistogramIsByteIdenticalToBrute) {
+  // The index-routed kExact path prunes far pairs into the overflow
+  // bucket wholesale; the histogram must still match the brute-force
+  // enumeration bin for bin, bit for bit.
+  stats::Rng rng(2026);
+  std::vector<geo::GeoPoint> points;
+  for (int i = 0; i < 230; ++i) {
+    points.push_back({25.0 + 25.0 * rng.uniform(), -150.0 + 105.0 * rng.uniform()});
+  }
+  const geo::Region region = geo::regions::us();
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kExact;
+  const double hi = 500.0;  // well under the region diagonal: real pruning
+
+  const geo::SpatialIndex index = geo::SpatialIndex::build(points);
+  const stats::Histogram brute =
+      pair_distance_histogram(points, 0.0, hi, 50, region, options);
+  const stats::Histogram indexed =
+      pair_distance_histogram(points, 0.0, hi, 50, region, options, &index);
+  ASSERT_EQ(indexed.bin_count(), brute.bin_count());
+  for (std::size_t b = 0; b < brute.bin_count(); ++b) {
+    EXPECT_EQ(indexed.count(b), brute.count(b)) << "bin " << b;
+  }
+  EXPECT_EQ(indexed.total(), brute.total());
+}
+
+TEST(DistancePref, IndexedGridHistogramIsByteIdenticalToBrute) {
+  stats::Rng rng(2027);
+  std::vector<geo::GeoPoint> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({25.0 + 25.0 * rng.uniform(), -150.0 + 105.0 * rng.uniform()});
+  }
+  const geo::Region region = geo::regions::us();
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kGrid;
+
+  const geo::SpatialIndex index = geo::SpatialIndex::build(points);
+  const stats::Histogram brute =
+      pair_distance_histogram(points, 0.0, 3000.0, 40, region, options);
+  const stats::Histogram indexed = pair_distance_histogram(
+      points, 0.0, 3000.0, 40, region, options, &index);
+  ASSERT_EQ(indexed.bin_count(), brute.bin_count());
+  for (std::size_t b = 0; b < brute.bin_count(); ++b) {
+    EXPECT_EQ(indexed.count(b), brute.count(b)) << "bin " << b;
+  }
+}
+
+TEST(DistancePref, IndexBackedPreferenceMatchesBruteForce) {
+  const auto g = make_city_graph();
+  const geo::SpatialIndex index = geo::SpatialIndex::build(g.locations());
+  DistancePrefOptions options;
+  options.method = PairCountMethod::kExact;
+  options.bins = 10;
+  options.bin_miles = 30.0;
+  const DistancePreference brute =
+      distance_preference(g, city_region(), options);
+  const DistancePreference indexed =
+      distance_preference(g, city_region(), options, &index);
+  EXPECT_EQ(indexed.nodes, brute.nodes);
+  EXPECT_EQ(indexed.links, brute.links);
+  EXPECT_EQ(indexed.f, brute.f);
+  for (std::size_t b = 0; b < brute.pair_hist.bin_count(); ++b) {
+    EXPECT_EQ(indexed.pair_hist.count(b), brute.pair_hist.count(b));
+  }
+}
+
 }  // namespace
 }  // namespace geonet::core

@@ -96,6 +96,40 @@ TEST(Grid, MaxCellDiagonalBoundsSampledCells) {
   }
 }
 
+TEST(Grid, GlobalUpperEdgeBelongsToTheLastCell) {
+  // Regression: a point exactly at lat 90 or lon 180 used to fall out of
+  // range in a world grid even though no cell exists beyond the pole or
+  // the antimeridian. It now lands in the last row/column.
+  const Grid grid(regions::world(), 75.0);
+  const auto pole = grid.cell_of({90.0, 0.0});
+  ASSERT_TRUE(pole.has_value());
+  EXPECT_EQ(pole->row, grid.rows() - 1);
+  const auto antimeridian = grid.cell_of({0.0, 180.0});
+  ASSERT_TRUE(antimeridian.has_value());
+  EXPECT_EQ(antimeridian->col, grid.cols() - 1);
+  const auto corner = grid.cell_of({90.0, 180.0});
+  ASSERT_TRUE(corner.has_value());
+  EXPECT_EQ(corner->row, grid.rows() - 1);
+  EXPECT_EQ(corner->col, grid.cols() - 1);
+
+  std::size_t dropped = 0;
+  grid.tally(std::vector<GeoPoint>{{90.0, 180.0}, {-90.0, -180.0}}, &dropped);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(Grid, InteriorUpperEdgesStayExclusive) {
+  // The fix applies only to the global edges: a regional grid still
+  // excludes its own north/east boundary, so adjacent grids never
+  // double-count a shared edge.
+  const Grid us(regions::us(), 75.0);
+  EXPECT_FALSE(us.cell_of({50.0, -100.0}).has_value());   // north edge
+  EXPECT_FALSE(us.cell_of({40.0, -45.0}).has_value());    // east edge
+  const Region north_to_pole{"arctic", 60.0, 90.0, -10.0, 10.0};
+  const Grid arctic(north_to_pole, 75.0);
+  EXPECT_TRUE(arctic.cell_of({90.0, 0.0}).has_value());   // pole edge: kept
+  EXPECT_FALSE(arctic.cell_of({75.0, 10.0}).has_value()); // east edge: not
+}
+
 TEST(Grid, SingleCellDegenerateRegion) {
   const Region tiny{"tiny", 10.0, 10.1, 20.0, 20.1};
   const Grid grid(tiny, 75.0);

@@ -15,6 +15,8 @@
 #include "core/study.h"
 #include "core/study_store.h"
 #include "exec/thread_pool.h"
+#include "geo/spatial_index.h"
+#include "geo/spatial_index_store.h"
 #include "net/graph_io.h"
 #include "obs/metrics.h"
 #include "store/cache.h"
@@ -83,6 +85,37 @@ TEST(GraphSnapshot, RoundTripsARealProcessedGraph) {
   ASSERT_TRUE(decoded.is_ok()) << decoded.status().message();
   expect_graphs_equal(graph, decoded.value().graph);
   EXPECT_TRUE(decoded.value().link_latency_ms.empty());
+
+  // Every snapshot carries the 'SIDX' warm index, validated on decode to
+  // be exactly the canonical index of the graph's own locations.
+  ASSERT_TRUE(decoded.value().spatial_index.has_value());
+  const geo::SpatialIndex& warm = *decoded.value().spatial_index;
+  const geo::SpatialIndex fresh = geo::SpatialIndex::build(graph.locations());
+  EXPECT_EQ(warm.order(), fresh.order());
+  EXPECT_EQ(warm.points(), fresh.points());
+}
+
+TEST(GraphSnapshot, ForeignSpatialIndexSectionIsDroppedNotTrusted) {
+  // Splice the SIDX section of a different graph into this snapshot: the
+  // graph must still decode, but the mismatched index must not surface.
+  const net::AnnotatedGraph& graph = study_graph();
+  const net::AnnotatedGraph& other = testing::small_scenario().graph(
+      synth::DatasetKind::kMercator, synth::MapperKind::kIxMapper);
+  ASSERT_NE(graph.node_count(), 0u);
+
+  store::SnapshotWriter writer;
+  store::ByteWriter body;
+  net::encode_graph(body, graph);
+  writer.add_section(net::kSectionGraph, body.take());
+  store::ByteWriter sidx;
+  geo::encode_spatial_index(sidx,
+                            geo::SpatialIndex::build(other.locations()));
+  writer.add_section(geo::kSectionSpatialIndex, sidx.take());
+
+  auto decoded = net::decode_graph_snapshot(writer.finish());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().message();
+  expect_graphs_equal(graph, decoded.value().graph);
+  EXPECT_FALSE(decoded.value().spatial_index.has_value());
 }
 
 TEST(GraphSnapshot, RoundTripsLatencyColumn) {
@@ -356,6 +389,52 @@ TEST(StudyCache, CorruptEntriesForceRecomputeWithNotes) {
   const core::StudyReport warm = core::run_study(study_graph(), world, options);
   EXPECT_GT(phase_hit_count(), hits_before);
   EXPECT_EQ(core::study_report_json(warm), core::study_report_json(cold));
+}
+
+TEST(StudyCache, SpatialIndexIsCachedAndReused) {
+  ScratchDir dir("warm_sidx");
+  store::ArtifactCache cache(dir.str());
+  const auto& world = testing::small_scenario().world();
+
+  core::StudyOptions options;
+  options.cache = &cache;
+  const auto sidx_hits = [] {
+    return obs::MetricsRegistry::global().counter("store.sidx_hits").value();
+  };
+
+  const std::uint64_t before = sidx_hits();
+  const core::StudyReport cold = core::run_study(study_graph(), world, options);
+  EXPECT_EQ(sidx_hits(), before);  // cold run builds, doesn't hit
+
+  const core::StudyReport warm = core::run_study(study_graph(), world, options);
+  EXPECT_GT(sidx_hits(), before);  // warm run decodes the cached SIDX
+  EXPECT_EQ(core::study_report_json(warm), core::study_report_json(cold));
+}
+
+TEST(StudyCache, CorruptSpatialIndexEntryDegradesToRebuild) {
+  ScratchDir dir("corrupt_sidx");
+  store::ArtifactCache cache(dir.str());
+  const auto& world = testing::small_scenario().world();
+
+  core::StudyOptions options;
+  options.cache = &cache;
+  options.compute_fractal_dimension = false;
+  const core::StudyReport cold = core::run_study(study_graph(), world, options);
+
+  // Damage every entry — including the cached SIDX. The index is rebuilt
+  // (note recorded), the analysis is unchanged.
+  cache.set_corruption({1.0, 7});
+  const core::StudyReport recovered =
+      core::run_study(study_graph(), world, options);
+  cache.set_corruption({0.0, 0});
+
+  EXPECT_EQ(core::study_report_json(recovered), core::study_report_json(cold));
+  EXPECT_FALSE(recovered.degradation.degraded());
+  bool noted = false;
+  for (const std::string& note : recovered.degradation.notes) {
+    if (note.find("spatial index") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted) << "no degradation note mentions the spatial index";
 }
 
 TEST(StudyCache, FingerprintChangeMissesOldEntries) {

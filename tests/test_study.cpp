@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "exec/thread_pool.h"
+#include "geo/spatial_index.h"
 #include "tests/test_world.h"
 
 namespace geonet::core {
@@ -107,6 +109,72 @@ TEST(Study, ConsistentAcrossDatasetsAndMappers) {
       }
     }
   }
+}
+
+// ------------------------------------------------------------------
+// Spatial-index determinism pins: the index is a pure accelerator, so
+// an index-backed study must be byte-identical to the brute-force one —
+// at any thread count, with a caller-provided index, and under faults.
+// ------------------------------------------------------------------
+
+TEST(Study, SpatialIndexDoesNotChangeAnyReportByte) {
+  const auto& s = geonet::testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  StudyOptions brute;
+  brute.use_spatial_index = false;
+  const std::string golden =
+      study_report_json(run_study(graph, s.world(), brute));
+
+  StudyOptions indexed;  // use_spatial_index defaults to true
+  EXPECT_EQ(study_report_json(run_study(graph, s.world(), indexed)), golden);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    exec::ThreadPool::set_global_threads(threads);
+    EXPECT_EQ(study_report_json(run_study(graph, s.world(), indexed)), golden)
+        << threads << " threads";
+  }
+  exec::ThreadPool::set_global_threads(
+      exec::ThreadPool::default_thread_count());
+}
+
+TEST(Study, CallerProvidedIndexMatchesBruteForce) {
+  const auto& s = geonet::testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kMercator, synth::MapperKind::kIxMapper);
+  const geo::SpatialIndex index = geo::SpatialIndex::build(graph.locations());
+
+  StudyOptions brute;
+  brute.use_spatial_index = false;
+  brute.compute_fractal_dimension = false;
+  StudyOptions warm = brute;
+  warm.use_spatial_index = true;
+  warm.spatial_index = &index;
+
+  EXPECT_EQ(study_report_json(run_study(graph, s.world(), warm)),
+            study_report_json(run_study(graph, s.world(), brute)));
+}
+
+TEST(Study, SpatialIndexIdenticalUnderInjectedFaults) {
+  const auto& s = geonet::testing::small_scenario();
+  const auto& graph =
+      s.graph(synth::DatasetKind::kSkitter, synth::MapperKind::kIxMapper);
+
+  StudyOptions brute;
+  brute.use_spatial_index = false;
+  brute.compute_fractal_dimension = false;
+  brute.inject_phase_failures = {"density:US", "hulls"};
+  StudyOptions indexed = brute;
+  indexed.use_spatial_index = true;
+
+  const StudyReport a = run_study(graph, s.world(), indexed);
+  const StudyReport b = run_study(graph, s.world(), brute);
+  EXPECT_EQ(a.degradation.errors, 2u);
+  EXPECT_EQ(study_report_json(a), study_report_json(b));
+  EXPECT_EQ(study_degradation_json(a.degradation),
+            study_degradation_json(b.degradation));
 }
 
 TEST(Study, MarkdownExportContainsAllSections) {

@@ -7,7 +7,10 @@ CLI, then drills the robustness contract from the outside:
 
   * the file parses: magic, format version, header provenance, and every
     section checksum verify;
-  * a graph snapshot carries a 'GRPH' section;
+  * a graph snapshot carries a 'GRPH' section and an 'SIDX' spatial-index
+    section whose envelope validates: version, leaf size, exact payload
+    length, in-range coordinates, and the stored order being a
+    permutation of the points (see src/geo/spatial_index_store.h);
   * every truncation of the file is rejected;
   * single-bit flips are rejected (sampled across the whole file);
   * appending an unknown section still parses and the known sections are
@@ -121,6 +124,36 @@ def parse_snapshot(data):
     return provenance, sections
 
 
+SIDX_VERSION = 1
+
+
+def validate_sidx(payload):
+    """Envelope check of one SIDX payload (layout documented in
+    src/geo/spatial_index_store.h). Raises SnapshotError on damage."""
+    reader = Reader(payload)
+    version = reader.u32()
+    if version != SIDX_VERSION:
+        raise SnapshotError("SIDX version %d (expected %d)"
+                            % (version, SIDX_VERSION))
+    leaf_size = reader.u32()
+    if leaf_size == 0:
+        raise SnapshotError("SIDX leaf size is zero")
+    count = reader.u64()
+    if count * 20 != reader.remaining():
+        raise SnapshotError("SIDX payload length does not match %d points"
+                            % count)
+    for i in range(count):
+        lat, lon = struct.unpack("<dd", reader.take(16))
+        if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+            raise SnapshotError("SIDX point %d out of range: %r, %r"
+                                % (i, lat, lon))
+    order = struct.unpack("<%dI" % count, reader.take(4 * count))
+    if sorted(order) != list(range(count)):
+        raise SnapshotError("SIDX order is not a permutation of 0..%d"
+                            % (count - 1))
+    return count
+
+
 def append_section(data, fourcc, payload):
     """Re-renders the snapshot with one extra (unknown) section."""
     provenance, sections = parse_snapshot(data)
@@ -189,6 +222,14 @@ def drill(cli):
     names = [name for name, _ in sections]
     if "GRPH" not in names:
         fail("no GRPH section; have %s" % names)
+    if "SIDX" not in names:
+        fail("no SIDX spatial-index section; have %s" % names)
+    try:
+        sidx_points = validate_sidx(dict(sections)["SIDX"])
+    except SnapshotError as err:
+        fail("SIDX envelope invalid: %s" % err)
+    if sidx_points == 0:
+        fail("SIDX indexes no points for a non-empty generated graph")
     for key in ("tool_version", "compiler", "build_type"):
         if not provenance[key]:
             fail("empty provenance field %r" % key)

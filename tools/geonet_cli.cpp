@@ -76,6 +76,8 @@ constexpr const char* kVersion = "geonet 1.0.0";
 constexpr const char* kUsage =
     "usage:\n"
     "  geonet generate <routers> <out.graph> [seed]\n"
+    "                  (a .geos output embeds the spatial index; analyze\n"
+    "                  then starts with proximity queries warm)\n"
     "  geonet analyze <in.graph> [region]\n"
     "  geonet validate <in.graph> [region]\n"
     "  geonet scenario [scale]        (alias: study)\n"
@@ -371,11 +373,15 @@ int cmd_generate(const std::vector<std::string>& args,
   return 0;
 }
 
-std::optional<net::AnnotatedGraph> load(const std::string& path, bool lenient,
-                                        std::size_t* quarantined) {
+std::optional<net::AnnotatedGraph> load(
+    const std::string& path, bool lenient, std::size_t* quarantined,
+    std::optional<geo::SpatialIndex>* spatial_index = nullptr) {
   net::GraphReadOptions options;
   options.lenient = lenient;
   net::GraphReadResult result = net::read_graph_file_ex(path, options);
+  if (spatial_index != nullptr) {
+    *spatial_index = std::move(result.spatial_index);
+  }
   if (quarantined != nullptr) *quarantined = result.quarantined.size();
   for (const auto& record : result.quarantined) {
     obs::log(obs::LogLevel::kWarn, "%s: quarantined line %zu: %s [%s]",
@@ -398,7 +404,10 @@ int cmd_analyze(const std::vector<std::string>& args, const GlobalFlags& flags,
                 store::ArtifactCache* cache, obs::RunReport& run_report) {
   if (args.size() < 2) return usage();
   std::size_t quarantined = 0;
-  const auto graph = load(args[1], flags.lenient_io, &quarantined);
+  // A .geos input carries a prebuilt spatial index; handing it to the
+  // study skips the cold build (results identical either way).
+  std::optional<geo::SpatialIndex> warm_index;
+  const auto graph = load(args[1], flags.lenient_io, &quarantined, &warm_index);
   if (!graph) return 1;
   const auto region = region_arg(args, 2);
   if (!region) return 2;
@@ -409,6 +418,7 @@ int cmd_analyze(const std::vector<std::string>& args, const GlobalFlags& flags,
   options.compute_fractal_dimension = false;
   if (flags.max_errors) options.max_errors = *flags.max_errors;
   options.cache = cache;
+  if (warm_index) options.spatial_index = &*warm_index;
   const core::StudyReport report = core::run_study(*graph, world, options);
   std::printf("%s", core::summarize(report).c_str());
   run_report.add_section("study", core::study_report_json(report));
