@@ -1,0 +1,378 @@
+// geonet serve load generator: an in-process Server over a clustered
+// synthetic US topology, hammered by 1/4/8 synchronous client threads
+// issuing a deterministic mix of query verbs over real loopback sockets,
+// with the server's exec pool resized to match (1/4/8 workers) — the
+// sweep measures the batch fan-out architecture end to end. Records
+// throughput (requests/s) and client-observed latency percentiles
+// (p50/p95/p99) per thread count, plus the cores actually available:
+// on a single-core host the scaling ratio pins near 1.0 by physics, so
+// the record carries `cores` and the perf gate compares like with like.
+// Before each sweep every thread replays a fixed probe set and compares
+// the wire answers against ServeSnapshot::answer() byte for byte — a
+// mismatch at ANY pool size fails the bench (exit 1), making the record
+// double as a cross-thread-count determinism pin; timing itself never
+// fails the run (the perf gate judges that offline).
+// Written as results/BENCH_serve.json in the geonet.run_report.v1 bench
+// schema. Knobs: GEONET_BENCH_SERVE_NODES (default 20000),
+// GEONET_BENCH_SERVE_REQUESTS per thread (default 4000); disable the
+// record with GEONET_BENCH_REPORT=0, redirect with
+// GEONET_BENCH_REPORT_DIR.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "exec/thread_pool.h"
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "population/synth_population.h"
+#include "report/series.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "store/fs.h"
+
+namespace {
+
+using namespace geonet;
+
+/// Clustered router topology inside the US study box: nodes bunch around
+/// metro centers, chained into intra-cluster links plus a long-haul link
+/// per cluster. Deterministic in the seed regardless of platform.
+net::AnnotatedGraph clustered_us_graph(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> lat_center(27.0, 48.0);
+  std::uniform_real_distribution<double> lon_center(-120.0, -72.0);
+  std::normal_distribution<double> spread(0.0, 0.8);
+  const std::size_t cluster_count = 64;
+  std::vector<geo::GeoPoint> centers;
+  centers.reserve(cluster_count);
+  for (std::size_t i = 0; i < cluster_count; ++i) {
+    centers.push_back({lat_center(rng), lon_center(rng)});
+  }
+  net::AnnotatedGraph graph(net::NodeKind::kRouter, "serve-load");
+  std::uniform_int_distribution<std::size_t> pick(0, cluster_count - 1);
+  std::vector<std::uint32_t> last_in_cluster(cluster_count, UINT32_MAX);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = pick(rng);
+    double lat = centers[c].lat_deg + spread(rng);
+    double lon = centers[c].lon_deg + spread(rng);
+    lat = std::clamp(lat, 25.5, 49.5);
+    lon = std::clamp(lon, -124.0, -67.0);
+    const auto id = static_cast<std::uint32_t>(graph.node_count());
+    graph.add_node({net::Ipv4Addr{static_cast<std::uint32_t>(i + 1)},
+                    {lat, lon},
+                    static_cast<std::uint32_t>(c % 200 + 1)});
+    if (last_in_cluster[c] != UINT32_MAX) {
+      graph.add_edge(last_in_cluster[c], id);
+    }
+    last_in_cluster[c] = id;
+  }
+  // One long-haul link per cluster pair ring so f(d) has distant bins.
+  for (std::size_t c = 0; c + 1 < cluster_count; ++c) {
+    if (last_in_cluster[c] != UINT32_MAX &&
+        last_in_cluster[c + 1] != UINT32_MAX) {
+      graph.add_edge(last_in_cluster[c], last_in_cluster[c + 1]);
+    }
+  }
+  return graph;
+}
+
+long long elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The request mix, cycled deterministically per thread. Point queries
+/// jitter across the US box so index traversals vary.
+std::string mixed_payload(std::size_t i, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> lat(26.0, 49.0);
+  std::uniform_real_distribution<double> lon(-123.0, -68.0);
+  char buffer[160];
+  switch (i % 5) {
+    case 0:
+      std::snprintf(buffer, sizeof(buffer),
+                    R"({"op":"nearest","lat":%.6f,"lon":%.6f,"k":32})",
+                    lat(rng), lon(rng));
+      break;
+    case 1:
+      std::snprintf(
+          buffer, sizeof(buffer),
+          R"({"op":"within","lat":%.6f,"lon":%.6f,"radius_miles":250,"max_hits":64})",
+          lat(rng), lon(rng));
+      break;
+    case 2:
+      std::snprintf(buffer, sizeof(buffer),
+                    R"({"op":"fd","region":"US","d":%.1f})",
+                    std::uniform_real_distribution<double>(0.0, 3000.0)(rng));
+      break;
+    case 3:
+      std::snprintf(buffer, sizeof(buffer),
+                    R"({"op":"density","lat":%.6f,"lon":%.6f})", lat(rng),
+                    lon(rng));
+      break;
+    default:
+      std::snprintf(buffer, sizeof(buffer),
+                    R"({"op":"as","lat":%.6f,"lon":%.6f})", lat(rng),
+                    lon(rng));
+      break;
+  }
+  return buffer;
+}
+
+/// Fixed probe set answered once offline; every load thread replays it
+/// on the wire and must read back the identical bytes.
+std::vector<std::string> probe_payloads() {
+  return {
+      R"({"op":"ping"})",
+      R"({"op":"info"})",
+      R"({"op":"nearest","lat":40.75,"lon":-74.0,"k":16})",
+      R"({"op":"within","lat":41.88,"lon":-87.63,"radius_miles":300,"max_hits":32})",
+      R"({"op":"fd","region":"US","d":750})",
+      R"({"op":"density","lat":34.05,"lon":-118.24})",
+      R"({"op":"as","lat":39.74,"lon":-104.99})",
+  };
+}
+
+struct SweepResult {
+  std::size_t threads = 0;
+  std::uint64_t requests = 0;
+  long long wall_us = 0;
+  double rps = 0.0;
+  long long p50_us = 0;
+  long long p95_us = 0;
+  long long p99_us = 0;
+  bool identity_ok = true;
+};
+
+SweepResult run_sweep(std::uint16_t port, std::size_t thread_count,
+                      std::size_t requests_per_thread,
+                      const std::vector<std::string>& probes,
+                      const std::vector<std::string>& expected) {
+  SweepResult result;
+  result.threads = thread_count;
+  std::vector<std::vector<long long>> latencies(thread_count);
+  std::atomic<int> identity_failures{0};
+  std::atomic<int> transport_failures{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(thread_count);
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    workers.emplace_back([&, t] {
+      serve::Client client;
+      if (!client.connect("127.0.0.1", port).is_ok()) {
+        transport_failures.fetch_add(1);
+        return;
+      }
+      // Identity pass: wire answers must be the snapshot's bytes.
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        const err::Result<std::string> response = client.request(probes[p]);
+        if (!response.is_ok()) {
+          transport_failures.fetch_add(1);
+          return;
+        }
+        if (response.value() != expected[p]) identity_failures.fetch_add(1);
+      }
+      std::mt19937_64 rng(0xbadcafe + t);
+      auto& mine = latencies[t];
+      mine.reserve(requests_per_thread);
+      for (std::size_t i = 0; i < requests_per_thread; ++i) {
+        const std::string payload = mixed_payload(i, rng);
+        const auto q0 = std::chrono::steady_clock::now();
+        const err::Result<std::string> response = client.request(payload);
+        if (!response.is_ok()) {
+          transport_failures.fetch_add(1);
+          return;
+        }
+        mine.push_back(elapsed_us(q0));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  result.wall_us = elapsed_us(t0);
+
+  std::vector<long long> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.requests = all.size();
+  result.identity_ok =
+      identity_failures.load() == 0 && transport_failures.load() == 0;
+  if (!all.empty()) {
+    const auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(all.size() - 1));
+      return all[idx];
+    };
+    result.p50_us = pct(0.50);
+    result.p95_us = pct(0.95);
+    result.p99_us = pct(0.99);
+    result.rps = static_cast<double>(all.size()) * 1e6 /
+                 static_cast<double>(result.wall_us);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("================================================================\n");
+  std::printf("serve_load  --  infrastructure: geonet serve throughput sweep\n");
+  std::printf("================================================================\n");
+
+  std::size_t nodes = 20000;
+  if (const char* env = std::getenv("GEONET_BENCH_SERVE_NODES")) {
+    const long long v = std::atoll(env);
+    if (v > 0) nodes = static_cast<std::size_t>(v);
+  }
+  std::size_t requests_per_thread = 4000;
+  if (const char* env = std::getenv("GEONET_BENCH_SERVE_REQUESTS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) requests_per_thread = static_cast<std::size_t>(v);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::printf("building world + %zu-node topology + serve snapshot...\n",
+              nodes);
+  const population::WorldPopulation world =
+      population::WorldPopulation::build(5);
+  serve::ServeOptions serve_options;
+  serve_options.regions = {geo::regions::us()};
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto snapshot = serve::ServeSnapshot::build(
+      clustered_us_graph(nodes, 0x5eedf00d), world, serve_options);
+  if (!snapshot.is_ok()) {
+    std::fprintf(stderr, "snapshot build failed: %s\n",
+                 snapshot.status().message().c_str());
+    return 1;
+  }
+  const long long snapshot_build_us = elapsed_us(t0);
+
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  serve::Server server(server_options, snapshot.value(), nullptr, &world,
+                       serve_options);
+  if (const err::Status status = server.start(); !status.is_ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.message().c_str());
+    return 1;
+  }
+  std::thread runner([&server] { (void)server.run(); });
+  const std::uint16_t port = server.port();
+  std::printf("serving on 127.0.0.1:%u (snapshot build %lld us)\n", port,
+              snapshot_build_us);
+
+  const std::vector<std::string> probes = probe_payloads();
+  std::vector<std::string> expected;
+  expected.reserve(probes.size());
+  for (const std::string& probe : probes) {
+    expected.push_back(snapshot.value()->answer(
+        serve::parse_request(probe).value()));
+  }
+
+  const std::size_t original_pool = exec::ThreadPool::global().thread_count();
+  const std::size_t cores = std::thread::hardware_concurrency();
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("nodes").value(nodes);
+  json.key("requests_per_thread").value(requests_per_thread);
+  json.key("cores").value(cores);
+  json.key("snapshot_build_us")
+      .value(static_cast<std::uint64_t>(snapshot_build_us));
+  json.key("sweep").begin_array();
+
+  bool identity_ok = true;
+  double rps_at_1 = 0.0;
+  double rps_at_4 = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    // Resize the server's exec pool to match the client count. Safe here:
+    // every client from the previous sweep has disconnected and joined, so
+    // no batch region is running.
+    exec::ThreadPool::set_global_threads(threads);
+    const SweepResult sweep =
+        run_sweep(port, threads, requests_per_thread, probes, expected);
+    identity_ok = identity_ok && sweep.identity_ok;
+    if (threads == 1) rps_at_1 = sweep.rps;
+    if (threads == 4) rps_at_4 = sweep.rps;
+    std::printf(
+        "threads=%zu  %8llu reqs in %8lld us  %9.0f req/s  "
+        "p50 %5lld us  p95 %5lld us  p99 %5lld us  identity %s\n",
+        threads, static_cast<unsigned long long>(sweep.requests),
+        sweep.wall_us, sweep.rps, sweep.p50_us, sweep.p95_us, sweep.p99_us,
+        sweep.identity_ok ? "ok" : "MISMATCH");
+
+    json.begin_object();
+    json.key("threads").value(threads);
+    json.key("pool_threads").value(exec::ThreadPool::global().thread_count());
+    json.key("requests").value(sweep.requests);
+    json.key("wall_us").value(static_cast<std::uint64_t>(sweep.wall_us));
+    json.key("requests_per_second").value(sweep.rps);
+    json.key("p50_us").value(static_cast<std::uint64_t>(sweep.p50_us));
+    json.key("p95_us").value(static_cast<std::uint64_t>(sweep.p95_us));
+    json.key("p99_us").value(static_cast<std::uint64_t>(sweep.p99_us));
+    json.key("identity_ok").value(sweep.identity_ok);
+    json.end_object();
+  }
+  json.end_array();
+  exec::ThreadPool::set_global_threads(original_pool);
+
+  const double scaling = rps_at_1 > 0.0 ? rps_at_4 / rps_at_1 : 0.0;
+  const bool core_bound = cores < 4;
+  json.key("all_identity_ok").value(identity_ok);
+  json.key("scaling_4_over_1").value(scaling);
+  json.key("core_bound").value(core_bound);
+  json.end_object();
+  std::printf("identity: %s; 4-thread scaling over 1: %.2fx (%zu core%s)\n",
+              identity_ok ? "ok" : "MISMATCH", scaling, cores,
+              cores == 1 ? "" : "s");
+  if (core_bound) {
+    std::printf(
+        "note: host has %zu core(s); parallel scaling is core-bound and the "
+        "ratio pins near 1.0 — the sweep still measures per-thread latency "
+        "and pins cross-pool-size answer identity\n",
+        cores);
+  }
+
+  server.request_stop();
+  runner.join();
+  const serve::ServerStats stats = server.stats();
+  std::printf("server: %llu request(s), %llu batch(es), %llu error(s)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.errors));
+
+  bool written = true;
+  if (const char* env = std::getenv("GEONET_BENCH_REPORT");
+      env == nullptr || std::string(env) != "0") {
+    obs::RunReport report("bench");
+    report.set_info("experiment", "serve");
+    report.set_info("paper_artifact", "infrastructure: online query service");
+    report.set_info("wall_us", std::to_string(elapsed_us(start)));
+    bench::stamp_bench_report(report);
+    report.add_section("load_sweep", json.str());
+    const char* dir = std::getenv("GEONET_BENCH_REPORT_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) : report::results_dir()) +
+        "/BENCH_serve.json";
+    written = store::atomic_write_text(path, report.to_json() + "\n");
+    if (written) std::printf("bench record written: %s\n", path.c_str());
+  }
+  return identity_ok && written ? 0 : 1;
+}

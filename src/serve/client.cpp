@@ -1,0 +1,117 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.h"
+
+namespace geonet::serve {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+err::Status Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return err::Status::unavailable(std::string("socket: ") +
+                                    std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return err::Status::invalid_argument("bad host \"" + host + "\"");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    close();
+    return err::Status::unavailable("connect: " + detail);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return err::Status::ok();
+}
+
+err::Status Client::send_raw(std::string_view bytes) {
+  if (fd_ < 0) return err::Status::unavailable("not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return err::Status::unavailable(std::string("send: ") +
+                                      std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return err::Status::ok();
+}
+
+err::Result<std::string> Client::read_response() {
+  if (fd_ < 0) return err::Status::unavailable("not connected");
+  // Blocking exact reads: prefix, then payload. Nothing is ever
+  // over-read, so pipelined responses stay aligned with no carry-over.
+  auto read_exact = [&](char* out, std::size_t want) -> err::Status {
+    std::size_t have = 0;
+    while (have < want) {
+      const ssize_t n = ::recv(fd_, out + have, want - have, 0);
+      if (n == 0) {
+        return err::Status::unavailable("server closed the connection");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return err::Status::unavailable(std::string("recv: ") +
+                                        std::strerror(errno));
+      }
+      have += static_cast<std::size_t>(n);
+    }
+    return err::Status::ok();
+  };
+
+  char prefix[kFramePrefixBytes];
+  err::Status status = read_exact(prefix, sizeof(prefix));
+  if (!status.is_ok()) return status;
+  const auto* u = reinterpret_cast<const unsigned char*>(prefix);
+  const std::uint32_t length = (std::uint32_t{u[0]} << 24) |
+                               (std::uint32_t{u[1]} << 16) |
+                               (std::uint32_t{u[2]} << 8) | std::uint32_t{u[3]};
+  if (length > kMaxFrameBytes) {
+    return err::Status::data_loss("response frame length " +
+                                  std::to_string(length) + " exceeds cap");
+  }
+  std::string payload(length, '\0');
+  status = read_exact(payload.data(), payload.size());
+  if (!status.is_ok()) return status;
+  return payload;
+}
+
+err::Result<std::string> Client::request(std::string_view request_json) {
+  const err::Status sent = send_raw(encode_frame(request_json));
+  if (!sent.is_ok()) return sent;
+  return read_response();
+}
+
+}  // namespace geonet::serve

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "err/status.h"
+
+namespace geonet::serve {
+
+/// Minimal blocking client for the framed protocol — what the tests, the
+/// load generator and check-style tools use to talk to a server. One
+/// connection, synchronous round trips; not itself part of the served
+/// protocol surface.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port (IPv4 dotted quad).
+  err::Status connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// One framed round trip: sends `request_json`, returns the response
+  /// payload. kUnavailable on a transport failure (including the server
+  /// closing the connection).
+  err::Result<std::string> request(std::string_view request_json);
+
+  /// Sends raw bytes as-is (malformed-frame drills). kUnavailable on
+  /// transport failure.
+  err::Status send_raw(std::string_view bytes);
+
+  /// Reads one framed response without sending anything first.
+  err::Result<std::string> read_response();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace geonet::serve

@@ -1,0 +1,381 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace geonet::serve {
+namespace {
+
+using obs::JsonValue;
+
+std::uint32_t read_be32(const char* bytes) {
+  const auto* u = reinterpret_cast<const unsigned char*>(bytes);
+  return (std::uint32_t{u[0]} << 24) | (std::uint32_t{u[1]} << 16) |
+         (std::uint32_t{u[2]} << 8) | std::uint32_t{u[3]};
+}
+
+void append_be32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+struct VerbEntry {
+  const char* name;
+  Verb verb;
+};
+
+constexpr VerbEntry kVerbs[] = {
+    {"ping", Verb::kPing},       {"info", Verb::kInfo},
+    {"density", Verb::kDensity}, {"fd", Verb::kFd},
+    {"nearest", Verb::kNearest}, {"within", Verb::kWithin},
+    {"as", Verb::kAs},           {"stats", Verb::kStats},
+    {"reload", Verb::kReload},   {"shutdown", Verb::kShutdown},
+};
+
+std::optional<Verb> verb_from_name(std::string_view name) {
+  for (const auto& entry : kVerbs) {
+    if (name == entry.name) return entry.verb;
+  }
+  return std::nullopt;
+}
+
+bool needs_point(Verb verb) {
+  return verb == Verb::kDensity || verb == Verb::kNearest ||
+         verb == Verb::kWithin || verb == Verb::kAs;
+}
+
+/// Domain checks shared by the JSON and HTTP parsers. `seen_*` flags say
+/// which fields the request actually supplied, so missing required
+/// fields are distinguished from explicit zeros.
+struct FieldPresence {
+  bool lat = false;
+  bool lon = false;
+  bool d = false;
+  bool radius = false;
+  bool region = false;
+  bool fingerprint = false;
+};
+
+err::Result<Request> validate(Request request, const FieldPresence& seen) {
+  const Verb verb = request.verb;
+  if (needs_point(verb)) {
+    if (!seen.lat || !seen.lon) {
+      return err::Status::invalid_argument(
+          std::string(verb_name(verb)) + " requires lat and lon");
+    }
+    if (!std::isfinite(request.lat) || request.lat < -90.0 ||
+        request.lat > 90.0) {
+      return err::Status::invalid_argument("lat out of range [-90, 90]");
+    }
+    if (!std::isfinite(request.lon) || request.lon < -180.0 ||
+        request.lon > 180.0) {
+      return err::Status::invalid_argument("lon out of range [-180, 180]");
+    }
+  }
+  if (verb == Verb::kFd) {
+    if (!seen.d) {
+      return err::Status::invalid_argument("fd requires d (miles)");
+    }
+    if (!std::isfinite(request.d) || request.d < 0.0) {
+      return err::Status::invalid_argument("d must be finite and >= 0");
+    }
+    if (!seen.region || request.region.empty()) {
+      return err::Status::invalid_argument("fd requires a region name");
+    }
+  }
+  if (verb == Verb::kNearest) {
+    if (request.k == 0 || request.k > kMaxNearestK) {
+      return err::Status::invalid_argument(
+          "k must be in [1, " + std::to_string(kMaxNearestK) + "]");
+    }
+  }
+  if (verb == Verb::kWithin) {
+    if (!seen.radius) {
+      return err::Status::invalid_argument("within requires radius_miles");
+    }
+    if (!std::isfinite(request.radius_miles) || request.radius_miles < 0.0) {
+      return err::Status::invalid_argument(
+          "radius_miles must be finite and >= 0");
+    }
+    if (request.max_hits == 0 || request.max_hits > kMaxWithinHits) {
+      return err::Status::invalid_argument(
+          "max_hits must be in [1, " + std::to_string(kMaxWithinHits) + "]");
+    }
+  }
+  if (verb == Verb::kReload) {
+    const bool all_hex =
+        std::all_of(request.fingerprint.begin(), request.fingerprint.end(),
+                    [](unsigned char c) { return std::isxdigit(c) != 0; });
+    if (!seen.fingerprint || request.fingerprint.size() != 32 || !all_hex) {
+      return err::Status::invalid_argument(
+          "reload requires a 32-hex-digit fingerprint");
+    }
+  }
+  return request;
+}
+
+/// Reads one numeric field; false (with a diagnostic) when present but
+/// not a number.
+bool take_number(const JsonValue& doc, const char* key, double* out,
+                 bool* seen, std::string* error) {
+  const JsonValue* field = doc.find(key);
+  if (field == nullptr) return true;
+  if (!field->is_number()) {
+    *error = std::string(key) + " must be a number";
+    return false;
+  }
+  *out = field->as_double();
+  *seen = true;
+  return true;
+}
+
+bool take_size(const JsonValue& doc, const char* key, std::size_t* out,
+               std::string* error) {
+  const JsonValue* field = doc.find(key);
+  if (field == nullptr) return true;
+  if (!field->is_number() || field->as_double() < 0.0 ||
+      field->as_double() != std::floor(field->as_double())) {
+    *error = std::string(key) + " must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<std::size_t>(field->as_double());
+  return true;
+}
+
+bool take_string(const JsonValue& doc, const char* key, std::string* out,
+                 bool* seen, std::string* error) {
+  const JsonValue* field = doc.find(key);
+  if (field == nullptr) return true;
+  if (!field->is_string()) {
+    *error = std::string(key) + " must be a string";
+    return false;
+  }
+  *out = std::string(field->as_string());
+  *seen = true;
+  return true;
+}
+
+/// %XX and '+' decoding for HTTP query values.
+std::string url_decode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < in.size()) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(in[i + 1]);
+      const int lo = hex(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+      } else {
+        out.push_back(c);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFramePrefixBytes + payload.size());
+  append_be32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (bad_) return std::nullopt;
+  if (buffer_.size() < kFramePrefixBytes) return std::nullopt;
+  const std::uint32_t length = read_be32(buffer_.data());
+  if (length > max_frame_bytes_) {
+    bad_ = true;
+    error_ = "frame length " + std::to_string(length) + " exceeds cap " +
+             std::to_string(max_frame_bytes_);
+    return std::nullopt;
+  }
+  if (buffer_.size() < kFramePrefixBytes + length) return std::nullopt;
+  std::string payload = buffer_.substr(kFramePrefixBytes, length);
+  buffer_.erase(0, kFramePrefixBytes + length);
+  return payload;
+}
+
+const char* verb_name(Verb verb) noexcept {
+  for (const auto& entry : kVerbs) {
+    if (entry.verb == verb) return entry.name;
+  }
+  return "unknown";
+}
+
+err::Result<Request> parse_request(std::string_view json) {
+  std::string error;
+  std::optional<JsonValue> doc = obs::json_parse(json, &error);
+  if (!doc.has_value()) {
+    return err::Status::invalid_argument("malformed JSON: " + error);
+  }
+  if (!doc->is_object()) {
+    return err::Status::invalid_argument("request must be a JSON object");
+  }
+  const JsonValue* op = doc->find("op");
+  if (op == nullptr || !op->is_string()) {
+    return err::Status::invalid_argument("missing string field \"op\"");
+  }
+  std::optional<Verb> verb = verb_from_name(op->as_string());
+  if (!verb.has_value()) {
+    return err::Status::invalid_argument(
+        "unknown op \"" + std::string(op->as_string()) + "\"");
+  }
+
+  Request request;
+  request.verb = *verb;
+  FieldPresence seen;
+  if (!take_number(*doc, "lat", &request.lat, &seen.lat, &error) ||
+      !take_number(*doc, "lon", &request.lon, &seen.lon, &error) ||
+      !take_number(*doc, "d", &request.d, &seen.d, &error) ||
+      !take_number(*doc, "radius_miles", &request.radius_miles, &seen.radius,
+                   &error) ||
+      !take_size(*doc, "k", &request.k, &error) ||
+      !take_size(*doc, "max_hits", &request.max_hits, &error) ||
+      !take_string(*doc, "region", &request.region, &seen.region, &error) ||
+      !take_string(*doc, "fingerprint", &request.fingerprint,
+                   &seen.fingerprint, &error)) {
+    return err::Status::invalid_argument(error);
+  }
+  return validate(std::move(request), seen);
+}
+
+bool looks_like_http(std::string_view opening) {
+  static constexpr std::string_view kGet = "GET ";
+  const std::size_t n = std::min(opening.size(), kGet.size());
+  return n > 0 && opening.substr(0, n) == kGet.substr(0, n);
+}
+
+bool has_complete_http_request(std::string_view buffer) {
+  return buffer.find("\r\n\r\n") != std::string_view::npos ||
+         buffer.find("\n\n") != std::string_view::npos;
+}
+
+err::Result<Request> parse_http_request(std::string_view head) {
+  // Request line: "GET <target> HTTP/1.1".
+  const std::size_t line_end = head.find_first_of("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!looks_like_http(line) || line.size() <= 4) {
+    return err::Status::invalid_argument("only GET requests are supported");
+  }
+  line.remove_prefix(4);
+  const std::size_t space = line.find(' ');
+  std::string_view target =
+      space == std::string_view::npos ? line : line.substr(0, space);
+  if (target.empty() || target[0] != '/') {
+    return err::Status::invalid_argument("bad request target");
+  }
+
+  const std::size_t qmark = target.find('?');
+  std::string_view path = target.substr(1, qmark == std::string_view::npos
+                                               ? std::string_view::npos
+                                               : qmark - 1);
+  std::optional<Verb> verb = verb_from_name(path);
+  if (!verb.has_value()) {
+    return err::Status::not_found("unknown path \"/" + std::string(path) +
+                                  "\"");
+  }
+
+  Request request;
+  request.verb = *verb;
+  FieldPresence seen;
+  std::string_view query =
+      qmark == std::string_view::npos ? "" : target.substr(qmark + 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? "" : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string key = url_decode(pair.substr(0, eq));
+    const std::string value = url_decode(pair.substr(eq + 1));
+    auto number = [&](double* out, bool* present) -> bool {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') return false;
+      *out = parsed;
+      if (present != nullptr) *present = true;
+      return true;
+    };
+    bool ok = true;
+    if (key == "lat") {
+      ok = number(&request.lat, &seen.lat);
+    } else if (key == "lon") {
+      ok = number(&request.lon, &seen.lon);
+    } else if (key == "d") {
+      ok = number(&request.d, &seen.d);
+    } else if (key == "radius_miles") {
+      ok = number(&request.radius_miles, &seen.radius);
+    } else if (key == "k" || key == "max_hits") {
+      double parsed = 0.0;
+      ok = number(&parsed, nullptr) && parsed >= 0.0 &&
+           parsed == std::floor(parsed);
+      if (ok) {
+        (key == "k" ? request.k : request.max_hits) =
+            static_cast<std::size_t>(parsed);
+      }
+    } else if (key == "region") {
+      request.region = value;
+      seen.region = true;
+    } else if (key == "fingerprint") {
+      request.fingerprint = value;
+      seen.fingerprint = true;
+    }  // Unknown keys are ignored (forward compatibility).
+    if (!ok) {
+      return err::Status::invalid_argument("bad query value for \"" + key +
+                                           "\"");
+    }
+  }
+  return validate(std::move(request), seen);
+}
+
+std::string http_response(int status, std::string_view body_json) {
+  const char* reason = "OK";
+  if (status == 400) reason = "Bad Request";
+  if (status == 404) reason = "Not Found";
+  if (status == 503) reason = "Service Unavailable";
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: application/json\r\nContent-Length: " +
+                    std::to_string(body_json.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out.append(body_json);
+  return out;
+}
+
+std::string error_json(const err::Status& status) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(false);
+  json.key("error").begin_object();
+  json.key("code").value(err::code_name(status.code()));
+  json.key("message").value(status.message());
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace geonet::serve

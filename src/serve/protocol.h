@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "err/status.h"
+
+namespace geonet::serve {
+
+/// Wire protocol of `geonet serve` (see docs/serve.md).
+///
+/// The primary transport is length-prefixed JSON frames over TCP: every
+/// request and every response is a 4-byte big-endian payload length
+/// followed by exactly that many bytes of UTF-8 JSON. Framing carries no
+/// other state, so a client can pipeline requests and match responses by
+/// order — the server always answers a connection's requests in arrival
+/// order.
+///
+/// A connection may instead open with an HTTP/1.1 GET line ("GET /density
+/// ?lat=..&lon=.. HTTP/1.1"); the server then answers that one request
+/// with a minimal HTTP response (Content-Length, Connection: close) and
+/// closes. The shim exists so `curl` can poke a running server; the
+/// framed protocol is the real interface. A connection speaks exactly one
+/// of the two protocols, decided by its first bytes.
+///
+/// Robustness contract (drilled by tests/test_serve.cpp and
+/// tools/check_serve.py): a malformed frame, an oversized declared
+/// length, unparseable JSON, an unknown verb or out-of-domain arguments
+/// never crash the server and never go unanswered — each yields a clean
+/// {"ok":false,"error":{...}} response (closing the connection only when
+/// the stream itself can no longer be framed).
+
+/// Frame length prefix size and the default cap on one payload. A
+/// declared length above the cap poisons the stream (there is no way to
+/// resynchronise), so the decoder reports a hard error and the server
+/// answers once and closes.
+inline constexpr std::size_t kFramePrefixBytes = 4;
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// Renders one frame: big-endian length + payload.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame reassembly for one connection. Feed raw bytes as
+/// they arrive; next() pops complete payloads in order. Once bad() the
+/// stream is unrecoverable (oversized declared length) and the remaining
+/// buffer is meaningless.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// The next complete payload, or nullopt when more bytes are needed
+  /// (or the stream is bad).
+  std::optional<std::string> next();
+
+  [[nodiscard]] bool bad() const noexcept { return bad_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// Bytes buffered but not yet consumed (diagnostics).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  bool bad_ = false;
+  std::string error_;
+};
+
+/// Query verbs. Data verbs are answered from one immutable snapshot
+/// epoch; control verbs (reload, shutdown) and stats are handled serially
+/// on the server's listener thread.
+enum class Verb : std::uint8_t {
+  kPing,      ///< liveness + current epoch (readiness probe)
+  kInfo,      ///< snapshot facts: nodes, links, regions, AS count
+  kDensity,   ///< density patch at a coordinate, per configured region
+  kFd,        ///< distance-preference f(d) bin lookup for one region
+  kNearest,   ///< k nearest routers to a coordinate
+  kWithin,    ///< routers within a radius of a coordinate
+  kAs,        ///< AS membership + hull containment for a coordinate
+  kStats,     ///< server counters (requests, errors, batches, reloads)
+  kReload,    ///< hot-swap to the cache snapshot named by `fingerprint`
+  kShutdown,  ///< graceful stop (equivalent to SIGTERM)
+};
+
+[[nodiscard]] const char* verb_name(Verb verb) noexcept;
+
+/// One parsed request. Fields are only meaningful for the verbs that use
+/// them; parse_request validates domains (finite coordinates in range,
+/// k and radius positive and bounded) so answer paths never see garbage.
+struct Request {
+  Verb verb = Verb::kPing;
+  double lat = 0.0;
+  double lon = 0.0;
+  double d = 0.0;             ///< kFd: distance in statute miles
+  double radius_miles = 0.0;  ///< kWithin
+  std::size_t k = 8;          ///< kNearest
+  std::size_t max_hits = 256; ///< kWithin: cap on listed hits
+  std::string region;         ///< kFd: region name (e.g. "US")
+  std::string fingerprint;    ///< kReload: 32-hex cache key
+
+  /// True for verbs the listener thread must handle serially (they
+  /// mutate server state or read it outside any snapshot epoch).
+  [[nodiscard]] bool is_control() const noexcept {
+    return verb == Verb::kReload || verb == Verb::kShutdown ||
+           verb == Verb::kStats;
+  }
+};
+
+/// Upper bounds on request parameters (rejected beyond, never clamped —
+/// a client asking for more than the server will answer should hear so).
+inline constexpr std::size_t kMaxNearestK = 4096;
+inline constexpr std::size_t kMaxWithinHits = 65536;
+
+/// Parses one JSON request payload: {"op":"nearest","lat":..,...}.
+/// kInvalidArgument with a one-line diagnostic on malformed JSON, an
+/// unknown op, a missing field, or an out-of-domain value.
+err::Result<Request> parse_request(std::string_view json);
+
+/// True when a connection's opening bytes look like an HTTP GET request
+/// (the shim); callers buffer until has_complete_http_request.
+[[nodiscard]] bool looks_like_http(std::string_view opening);
+
+/// True once the buffer holds the full request head ("\r\n\r\n").
+[[nodiscard]] bool has_complete_http_request(std::string_view buffer);
+
+/// Maps an HTTP request head to a Request: the target path selects the
+/// verb ("/density", "/fd", ...) and the query string supplies fields
+/// (lat=..&lon=..). Percent- and plus-decoding applied to values.
+err::Result<Request> parse_http_request(std::string_view head);
+
+/// Renders a minimal HTTP/1.1 response around a JSON body.
+/// `status` is 200, 400, 404 or 503.
+[[nodiscard]] std::string http_response(int status, std::string_view body_json);
+
+/// {"ok":false,"error":{"code":"...","message":"..."}} — the uniform
+/// error payload.
+[[nodiscard]] std::string error_json(const err::Status& status);
+
+}  // namespace geonet::serve

@@ -1,0 +1,489 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "exec/parallel.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace geonet::serve {
+namespace {
+
+/// Self-pipe write end for the (single) server's signal handlers. Only
+/// ever written from a handler with a signal-safe write(2).
+std::atomic<int> g_signal_wake_fd{-1};
+
+extern "C" void serve_signal_handler(int) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const auto n = ::write(fd, &byte, 1);
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options,
+               std::shared_ptr<const ServeSnapshot> snapshot,
+               store::ArtifactCache* cache,
+               const population::WorldPopulation* world,
+               ServeOptions serve_options)
+    : options_(std::move(options)),
+      serve_options_(std::move(serve_options)),
+      cache_(cache),
+      world_(world),
+      snapshot_(std::move(snapshot)) {}
+
+Server::~Server() {
+  if (signals_installed_) {
+    g_signal_wake_fd.store(-1, std::memory_order_relaxed);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+  }
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+err::Status Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return err::Status::unavailable(std::string("socket: ") +
+                                    std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return err::Status::invalid_argument("bad listen host \"" + options_.host +
+                                         "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return err::Status::unavailable(std::string("bind: ") +
+                                    std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return err::Status::unavailable(std::string("listen: ") +
+                                    std::strerror(errno));
+  }
+  if (!set_nonblocking(listen_fd_)) {
+    return err::Status::unavailable("failed to set listener nonblocking");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return err::Status::unavailable(std::string("getsockname: ") +
+                                    std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return err::Status::unavailable(std::string("pipe: ") +
+                                    std::strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+  return err::Status::ok();
+}
+
+void Server::request_stop() noexcept {
+  stop_.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const auto n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::install_signal_handlers() noexcept {
+  g_signal_wake_fd.store(wake_write_fd_, std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = serve_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  signals_installed_ = true;
+}
+
+ServerStats Server::stats() const noexcept {
+  ServerStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.reloads = reloads_.load(std::memory_order_relaxed);
+  out.connections = connections_total_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::string Server::epoch() const {
+  return current_snapshot()->epoch();
+}
+
+std::shared_ptr<const ServeSnapshot> Server::current_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+void Server::accept_ready() {
+  while (connections_.size() < options_.max_connections) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN or transient error: retry next cycle
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn;
+    conn.fd = fd;
+    conn.decoder = FrameDecoder(options_.max_frame_bytes);
+    connections_.emplace(fd, std::move(conn));
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::read_connection(Connection& conn,
+                             std::vector<PendingRequest>& pending) {
+  char buffer[16384];
+  bool peer_closed = false;
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      std::string_view bytes(buffer, static_cast<std::size_t>(n));
+      if (!conn.mode_known) {
+        conn.mode_known = true;
+        conn.http = looks_like_http(bytes);
+      }
+      if (conn.http) {
+        conn.http_buffer.append(bytes);
+        if (conn.http_buffer.size() > options_.max_frame_bytes) {
+          enqueue_response(conn,
+                           error_json(err::Status::invalid_argument(
+                               "request head too large")),
+                           /*http=*/true, /*parse_failed=*/true);
+          conn.closing = true;
+          return;
+        }
+      } else {
+        conn.decoder.feed(bytes);
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    peer_closed = true;  // hard error: treat as closed
+    break;
+  }
+
+  if (conn.http) {
+    if (has_complete_http_request(conn.http_buffer)) {
+      pending.emplace_back(conn.fd, parse_http_request(conn.http_buffer),
+                           /*http=*/true);
+      conn.http_buffer.clear();
+      conn.closing = true;  // one response per HTTP connection
+    }
+  } else {
+    while (auto payload = conn.decoder.next()) {
+      pending.emplace_back(conn.fd, parse_request(*payload), /*http=*/false);
+      if (pending.size() >= options_.max_batch) break;
+    }
+    if (conn.decoder.bad()) {
+      // Unframeable stream: answer once, then close — there is no way to
+      // find the next frame boundary.
+      enqueue_response(
+          conn, error_json(err::Status::invalid_argument(conn.decoder.error())),
+          /*http=*/false, /*parse_failed=*/true);
+      conn.closing = true;
+    }
+  }
+  if (peer_closed) conn.closing = true;
+}
+
+void Server::enqueue_response(Connection& conn, const std::string& body,
+                              bool http, bool parse_failed) {
+  if (parse_failed) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::global().counter("serve.errors").add();
+  }
+  if (http) {
+    int status = 200;
+    if (parse_failed || body.rfind("{\"ok\":false", 0) == 0) {
+      // Derive the HTTP status from the error payload's code field.
+      status = body.find("\"NOT_FOUND\"") != std::string::npos      ? 404
+               : body.find("\"UNAVAILABLE\"") != std::string::npos ? 503
+                                                                   : 400;
+    }
+    conn.out.append(http_response(status, body));
+    conn.closing = true;
+  } else {
+    conn.out.append(encode_frame(body));
+  }
+}
+
+std::string Server::handle_control(const Request& request) {
+  const std::shared_ptr<const ServeSnapshot> snapshot = current_snapshot();
+  obs::JsonWriter json;
+  switch (request.verb) {
+    case Verb::kStats: {
+      const ServerStats s = stats();
+      json.begin_object();
+      json.key("ok").value(true);
+      json.key("op").value("stats");
+      json.key("epoch").value(snapshot->epoch());
+      json.key("requests").value(s.requests);
+      json.key("errors").value(s.errors);
+      json.key("batches").value(s.batches);
+      json.key("reloads").value(s.reloads);
+      json.key("connections").value(s.connections);
+      json.end_object();
+      return json.str();
+    }
+    case Verb::kReload: {
+      if (cache_ == nullptr || world_ == nullptr) {
+        return error_json(err::Status::unavailable(
+            "server was started without an artifact cache"));
+      }
+      const std::optional<store::Digest128> key =
+          store::Digest128::parse_hex(request.fingerprint);
+      if (!key.has_value()) {
+        return error_json(err::Status::invalid_argument(
+            "fingerprint is not 32 hex digits"));
+      }
+      err::Result<std::shared_ptr<const ServeSnapshot>> next =
+          ServeSnapshot::from_cache(*cache_, *key, *world_, serve_options_);
+      if (!next.is_ok()) return error_json(next.status());
+      {
+        std::lock_guard<std::mutex> lock(snapshot_mutex_);
+        snapshot_ = next.value();
+      }
+      reloads_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global().counter("serve.reloads").add();
+      json.begin_object();
+      json.key("ok").value(true);
+      json.key("op").value("reload");
+      json.key("epoch").value(next.value()->epoch());
+      json.end_object();
+      return json.str();
+    }
+    case Verb::kShutdown: {
+      if (!options_.allow_shutdown) {
+        return error_json(err::Status::invalid_argument(
+            "shutdown verb is disabled on this server"));
+      }
+      request_stop();
+      json.begin_object();
+      json.key("ok").value(true);
+      json.key("op").value("shutdown");
+      json.key("epoch").value(snapshot->epoch());
+      json.end_object();
+      return json.str();
+    }
+    default:
+      return error_json(err::Status::internal("non-control verb in "
+                                              "handle_control"));
+  }
+}
+
+void Server::process_batch(std::vector<PendingRequest>& pending) {
+  if (pending.empty()) return;
+  const auto started = std::chrono::steady_clock::now();
+  const obs::Span span("serve/batch");
+  auto& metrics = obs::MetricsRegistry::global();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  metrics.counter("serve.batches").add();
+  metrics.histogram("serve.batch_size").record(pending.size());
+
+  // One epoch for the whole batch: a concurrent reload cannot tear a
+  // batch's answers across snapshots.
+  const std::shared_ptr<const ServeSnapshot> snapshot = current_snapshot();
+
+  std::vector<std::string> responses(pending.size());
+  std::vector<std::size_t> data_indices;
+  data_indices.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].parsed.is_ok() && !pending[i].parsed.value().is_control()) {
+      data_indices.push_back(i);
+    }
+  }
+
+  exec::RegionOptions region;
+  region.name = "serve/batch";
+  region.grain = 1;
+  exec::parallel_for(
+      data_indices.size(), region,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t j = begin; j < end; ++j) {
+          const std::size_t i = data_indices[j];
+          responses[i] = snapshot->answer(pending[i].parsed.value());
+        }
+      });
+
+  // Control verbs and parse failures, serially, preserving arrival order
+  // in the response stream.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!pending[i].parsed.is_ok()) {
+      responses[i] = error_json(pending[i].parsed.status());
+    } else if (pending[i].parsed.value().is_control()) {
+      responses[i] = handle_control(pending[i].parsed.value());
+    }
+  }
+
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const auto it = connections_.find(pending[i].fd);
+    if (it == connections_.end()) continue;  // connection died mid-batch
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    metrics.counter("serve.requests").add();
+    enqueue_response(it->second, responses[i], pending[i].http,
+                     !pending[i].parsed.is_ok());
+  }
+
+  const auto elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  auto& latency = metrics.histogram("serve.latency_us");
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    latency.record(static_cast<std::uint64_t>(elapsed_us));
+  }
+}
+
+void Server::write_connection(Connection& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    conn.out.clear();  // peer gone; drop the rest and close
+    conn.closing = true;
+    return;
+  }
+}
+
+err::Status Server::run() {
+  if (listen_fd_ < 0) {
+    return err::Status::internal("run() before start()");
+  }
+  bool draining = false;
+  while (true) {
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size() + 2);
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    if (!draining && connections_.size() < options_.max_connections) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    for (auto& [fd, conn] : connections_) {
+      short events = 0;
+      if (!draining && !conn.closing) events |= POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      if (events != 0) fds.push_back({fd, events, 0});
+    }
+
+    if (draining) {
+      bool writes_pending = false;
+      for (const auto& [fd, conn] : connections_) {
+        if (!conn.out.empty()) {
+          writes_pending = true;
+          break;
+        }
+      }
+      if (!writes_pending) break;
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), 200);
+    if (ready < 0 && errno != EINTR) {
+      return err::Status::unavailable(std::string("poll: ") +
+                                      std::strerror(errno));
+    }
+
+    // Drain the wake pipe. Both writers (request_stop and the signal
+    // handler, which cannot touch stop_ directly) mean "stop", so any
+    // byte on the pipe raises the flag.
+    char drain_buffer[64];
+    while (::read(wake_read_fd_, drain_buffer, sizeof(drain_buffer)) > 0) {
+      stop_.store(true, std::memory_order_relaxed);
+    }
+
+    std::vector<PendingRequest> pending;
+    for (const pollfd& p : fds) {
+      if (p.fd == wake_read_fd_) continue;
+      if (p.fd == listen_fd_) {
+        if ((p.revents & POLLIN) != 0 && !draining) accept_ready();
+        continue;
+      }
+      auto it = connections_.find(p.fd);
+      if (it == connections_.end()) continue;
+      if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !draining &&
+          !it->second.closing) {
+        read_connection(it->second, pending);
+      }
+    }
+
+    // Drain transition (the only place it happens, so it always runs
+    // after a read phase): stop accepting and reading, but first sweep
+    // every connection once more — requests whose bytes were already in
+    // the kernel buffers when the stop arrived still get answered.
+    if (!draining && stop_.load(std::memory_order_relaxed)) {
+      draining = true;
+      for (auto& [fd, conn] : connections_) {
+        if (!conn.closing) read_connection(conn, pending);
+      }
+    }
+
+    process_batch(pending);
+
+    std::vector<int> dead;
+    for (auto& [fd, conn] : connections_) {
+      if (!conn.out.empty()) write_connection(conn);
+      if (conn.closing && conn.out.empty()) dead.push_back(fd);
+    }
+    for (const int fd : dead) close_connection(fd);
+  }
+
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  return err::Status::ok();
+}
+
+void Server::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::close(fd);
+  connections_.erase(it);
+}
+
+}  // namespace geonet::serve

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "err/status.h"
+#include "population/synth_population.h"
+#include "serve/protocol.h"
+#include "serve/snapshot.h"
+#include "store/cache.h"
+
+namespace geonet::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks; read the bound port back via
+  /// port() (and the CLI prints it + optionally writes --port-file).
+  std::uint16_t port = 0;
+  std::size_t max_connections = 128;
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Cap on requests drained into one exec-pool batch per poll cycle.
+  std::size_t max_batch = 256;
+  /// Whether the `shutdown` verb is honoured (the CLI enables it; a
+  /// long-lived deployment might not want remote stop).
+  bool allow_shutdown = true;
+};
+
+/// Serve-side counters, exposed by the `stats` verb and mirrored into
+/// obs metrics (serve.* rows, docs/observability.md).
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t connections = 0;
+};
+
+/// The `geonet serve` engine: one nonblocking listener thread owning all
+/// sockets, fanning data-verb batches out on the global exec pool.
+///
+/// Threading model (docs/serve.md): the poll loop accepts connections,
+/// reassembles frames and parses requests; each cycle the complete
+/// requests form one batch answered via exec::parallel_for against a
+/// single snapshot epoch captured for the whole batch (so a reload
+/// mid-batch can never produce a torn mix within one batch — and
+/// per-request answers always carry their epoch). Control verbs run
+/// serially on the listener thread after the batch. Responses are
+/// written back in per-connection arrival order.
+///
+/// Shutdown: request_stop() (self-pipe, signal-safe via
+/// install_signal_handlers) stops accepting and reading, drains every
+/// already-buffered complete request as a final batch, flushes all
+/// pending writes, then closes — in-flight work is never dropped.
+class Server {
+ public:
+  /// `cache` may be null (reload then answers kUnavailable). `world` and
+  /// `serve_options` are what reload rebuilds snapshots with; both must
+  /// outlive the server.
+  Server(ServerOptions options,
+         std::shared_ptr<const ServeSnapshot> snapshot,
+         store::ArtifactCache* cache, const population::WorldPopulation* world,
+         ServeOptions serve_options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens; after success port() is the actual bound port.
+  err::Status start();
+
+  /// Runs the poll loop until request_stop() / SIGINT / SIGTERM / a
+  /// `shutdown` verb. Returns the reason the loop ended (ok on a clean
+  /// stop).
+  err::Status run();
+
+  /// Signal-safe stop request: wakes the poll loop via the self-pipe.
+  void request_stop() noexcept;
+
+  /// Routes SIGINT/SIGTERM to request_stop() of this server (one server
+  /// per process; the CLI path). Restores default handlers on
+  /// destruction.
+  void install_signal_handlers() noexcept;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] ServerStats stats() const noexcept;
+
+  /// Current epoch label (for tests; racy only in the benign
+  /// read-after-swap sense).
+  [[nodiscard]] std::string epoch() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string http_buffer;
+    std::string out;           ///< bytes pending write
+    bool http = false;         ///< HTTP shim connection
+    bool mode_known = false;   ///< first bytes seen yet?
+    bool closing = false;      ///< close once `out` drains
+  };
+
+  struct PendingRequest {
+    int fd = -1;
+    err::Result<Request> parsed;
+    bool http = false;
+    PendingRequest(int fd_, err::Result<Request> parsed_, bool http_)
+        : fd(fd_), parsed(std::move(parsed_)), http(http_) {}
+  };
+
+  void accept_ready();
+  void read_connection(Connection& conn,
+                       std::vector<PendingRequest>& pending);
+  void write_connection(Connection& conn);
+  void close_connection(int fd);
+  void process_batch(std::vector<PendingRequest>& pending);
+  std::string handle_control(const Request& request);
+  void enqueue_response(Connection& conn, const std::string& body, bool http,
+                        bool parse_failed);
+  [[nodiscard]] std::shared_ptr<const ServeSnapshot> current_snapshot() const;
+
+  ServerOptions options_;
+  ServeOptions serve_options_;
+  store::ArtifactCache* cache_;
+  const population::WorldPopulation* world_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const ServeSnapshot> snapshot_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool signals_installed_ = false;
+
+  std::unordered_map<int, Connection> connections_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> connections_total_{0};
+};
+
+}  // namespace geonet::serve

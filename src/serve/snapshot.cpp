@@ -1,0 +1,325 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geo/convex_hull.h"
+#include "net/graph_io.h"
+#include "net/topology.h"
+#include "obs/json.h"
+#include "synth/scenario_store.h"
+
+namespace geonet::serve {
+namespace {
+
+/// Projected hull polygon per AS record, mirroring analyze_hulls'
+/// grouping exactly (same skip of the unmapped bucket, same restriction
+/// semantics, same projection choice) so containment answers agree with
+/// the offline hull areas.
+std::vector<std::vector<geo::PlanarPoint>> build_hull_polygons(
+    const net::AnnotatedGraph& graph, const core::HullOptions& options,
+    const geo::SpatialIndex& index,
+    const std::vector<core::AsHullRecord>& records,
+    const geo::AlbersProjection& projection) {
+  std::vector<std::uint8_t> restrict_mask;
+  if (options.restrict_to) {
+    restrict_mask = index.region_mask(*options.restrict_to);
+  }
+  std::unordered_map<std::uint32_t, std::vector<geo::PlanarPoint>> by_as;
+  std::uint32_t node_id = 0;
+  for (const auto& node : graph.nodes()) {
+    const std::uint32_t id = node_id++;
+    if (node.asn == net::kUnknownAs) continue;
+    if (options.restrict_to && restrict_mask[id] == 0) continue;
+    by_as[node.asn].push_back(projection.project(node.location));
+  }
+  std::vector<std::vector<geo::PlanarPoint>> polys(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto it = by_as.find(records[i].asn);
+    if (it == by_as.end()) continue;
+    std::vector<geo::PlanarPoint> hull = geo::convex_hull(it->second);
+    if (hull.size() >= 3) polys[i] = std::move(hull);
+  }
+  return polys;
+}
+
+void write_neighbor_array(obs::JsonWriter& json,
+                          const net::AnnotatedGraph& graph,
+                          const std::vector<geo::SpatialIndex::Neighbor>& hits,
+                          std::size_t limit) {
+  json.begin_array();
+  const std::size_t n = std::min(hits.size(), limit);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& hit = hits[i];
+    const net::GraphNode& node = graph.node(hit.id);
+    json.begin_object();
+    json.key("id").value(static_cast<std::uint64_t>(hit.id));
+    json.key("asn").value(static_cast<std::uint64_t>(node.asn));
+    json.key("lat").value(node.location.lat_deg);
+    json.key("lon").value(node.location.lon_deg);
+    json.key("distance_miles").value(hit.distance_miles);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+err::Result<std::shared_ptr<const ServeSnapshot>> ServeSnapshot::build(
+    net::AnnotatedGraph graph, const population::WorldPopulation& world,
+    const ServeOptions& options, std::optional<geo::SpatialIndex> prebuilt,
+    std::string epoch_hex) {
+  if (graph.node_count() == 0) {
+    return err::Status::invalid_argument("cannot serve an empty graph");
+  }
+  auto snapshot = std::shared_ptr<ServeSnapshot>(new ServeSnapshot());
+  snapshot->epoch_ = epoch_hex.empty()
+                         ? net::graph_digest(graph).hex()
+                         : std::move(epoch_hex);
+  snapshot->graph_ = std::move(graph);
+  const net::AnnotatedGraph& g = snapshot->graph_;
+
+  if (prebuilt.has_value() && prebuilt->size() == g.node_count()) {
+    snapshot->index_ = *std::move(prebuilt);
+  } else {
+    snapshot->index_ = geo::SpatialIndex::build(g.locations());
+  }
+  const geo::SpatialIndex& index = snapshot->index_;
+
+  std::vector<geo::Region> regions =
+      options.regions.empty() ? geo::regions::paper_study_regions()
+                              : options.regions;
+  snapshot->regions_.reserve(regions.size());
+  for (const geo::Region& region : regions) {
+    RegionTable table{region, geo::Grid(region, options.patch_arcmin),
+                      {}, {}, {}, {}};
+    table.node_counts = index.tally(table.patches);
+    table.populations.resize(table.patches.cell_count());
+    for (std::size_t flat = 0; flat < table.populations.size(); ++flat) {
+      table.populations[flat] =
+          world.population_in(table.patches.cell_bounds(
+              table.patches.unflatten(flat)));
+    }
+    table.density = core::analyze_density(g, world, region,
+                                          options.patch_arcmin, &index);
+    table.fd = core::distance_preference(g, region, options.distance, &index);
+    snapshot->regions_.push_back(std::move(table));
+  }
+
+  snapshot->hulls_ = core::analyze_hulls(g, options.hulls, &index);
+  snapshot->projection_ =
+      options.hulls.restrict_to
+          ? geo::AlbersProjection::for_region(*options.hulls.restrict_to)
+          : geo::AlbersProjection::world();
+  snapshot->hull_polys_ = build_hull_polygons(
+      g, options.hulls, index, snapshot->hulls_.records, snapshot->projection_);
+  return std::shared_ptr<const ServeSnapshot>(std::move(snapshot));
+}
+
+err::Result<std::shared_ptr<const ServeSnapshot>> ServeSnapshot::from_cache(
+    store::ArtifactCache& cache, const store::Digest128& key,
+    const population::WorldPopulation& world, const ServeOptions& options) {
+  err::Result<std::vector<std::byte>> bytes = cache.get(key);
+  if (!bytes.is_ok()) return bytes.status();
+
+  // A cache entry is either a single-graph snapshot or a full scenario
+  // artifact bundle; sniff by decoding (both validate everything, so a
+  // wrong guess is a clean error, not a misparse).
+  err::Result<net::GraphSnapshot> as_graph =
+      net::decode_graph_snapshot(bytes.value());
+  if (as_graph.is_ok()) {
+    net::GraphSnapshot snapshot = std::move(as_graph).value();
+    return build(std::move(snapshot.graph), world, options,
+                 std::move(snapshot.spatial_index), key.hex());
+  }
+  err::Result<synth::ScenarioArtifacts> as_scenario =
+      synth::decode_scenario_artifacts(bytes.value());
+  if (as_scenario.is_ok()) {
+    const std::size_t slot = synth::dataset_slot(synth::DatasetKind::kSkitter,
+                                                 synth::MapperKind::kIxMapper);
+    return build(std::move(as_scenario.value().graphs[slot]), world, options,
+                 std::nullopt, key.hex());
+  }
+  return err::Status::data_loss(
+      "cache entry " + key.hex() +
+      " is neither a graph snapshot (" + as_graph.status().message() +
+      ") nor scenario artifacts (" + as_scenario.status().message() + ")");
+}
+
+err::Result<std::shared_ptr<const ServeSnapshot>> ServeSnapshot::from_file(
+    const std::string& path, const population::WorldPopulation& world,
+    const ServeOptions& options) {
+  net::GraphReadResult read = net::read_graph_file_ex(path);
+  if (!read.ok()) return read.status;
+  return build(std::move(*read.graph), world, options,
+               std::move(read.spatial_index));
+}
+
+std::string ServeSnapshot::answer(const Request& request) const {
+  if (request.is_control()) {
+    return error_json(err::Status::internal(
+        std::string("control verb \"") + verb_name(request.verb) +
+        "\" routed to a snapshot"));
+  }
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(true);
+  json.key("op").value(verb_name(request.verb));
+  json.key("epoch").value(epoch_);
+
+  const geo::GeoPoint query{request.lat, request.lon};
+  switch (request.verb) {
+    case Verb::kPing:
+      break;
+
+    case Verb::kInfo: {
+      json.key("kind").value(net::to_string(graph_.kind()));
+      json.key("name").value(graph_.name());
+      json.key("nodes").value(static_cast<std::uint64_t>(graph_.node_count()));
+      json.key("links").value(static_cast<std::uint64_t>(graph_.edge_count()));
+      json.key("as_count")
+          .value(static_cast<std::uint64_t>(hulls_.records.size()));
+      json.key("regions").begin_array();
+      for (const RegionTable& table : regions_) {
+        json.begin_object();
+        json.key("name").value(table.region.name);
+        json.key("nodes").value(static_cast<std::uint64_t>(table.fd.nodes));
+        json.key("links").value(static_cast<std::uint64_t>(table.fd.links));
+        json.key("bin_miles").value(table.fd.bin_miles);
+        json.key("patches")
+            .value(static_cast<std::uint64_t>(table.patches.cell_count()));
+        json.end_object();
+      }
+      json.end_array();
+      break;
+    }
+
+    case Verb::kDensity: {
+      json.key("lat").value(request.lat);
+      json.key("lon").value(request.lon);
+      json.key("regions").begin_array();
+      for (const RegionTable& table : regions_) {
+        const std::optional<geo::CellIndex> cell =
+            table.patches.cell_of(query);
+        if (!cell.has_value()) continue;
+        const std::size_t flat = table.patches.flat_index(*cell);
+        json.begin_object();
+        json.key("region").value(table.region.name);
+        json.key("row").value(static_cast<std::uint64_t>(cell->row));
+        json.key("col").value(static_cast<std::uint64_t>(cell->col));
+        json.key("nodes").value(table.node_counts[flat]);
+        json.key("population").value(table.populations[flat]);
+        json.key("nodes_in_region")
+            .value(static_cast<std::uint64_t>(table.density.nodes_in_region));
+        json.key("occupied_patches")
+            .value(static_cast<std::uint64_t>(table.density.occupied_patches));
+        json.key("fit").begin_object();
+        json.key("slope").value(table.density.loglog_fit.slope);
+        json.key("intercept").value(table.density.loglog_fit.intercept);
+        json.key("r_squared").value(table.density.loglog_fit.r_squared);
+        json.end_object();
+        json.end_object();
+      }
+      json.end_array();
+      break;
+    }
+
+    case Verb::kFd: {
+      const auto it = std::find_if(
+          regions_.begin(), regions_.end(), [&](const RegionTable& t) {
+            return t.region.name == request.region;
+          });
+      if (it == regions_.end()) {
+        return error_json(err::Status::not_found(
+            "region \"" + request.region + "\" is not served"));
+      }
+      const core::DistancePreference& fd = it->fd;
+      json.key("region").value(it->region.name);
+      json.key("d").value(request.d);
+      json.key("bin_miles").value(fd.bin_miles);
+      json.key("nodes").value(static_cast<std::uint64_t>(fd.nodes));
+      json.key("links").value(static_cast<std::uint64_t>(fd.links));
+      const std::size_t bin = fd.link_hist.bin_of(request.d);
+      if (bin >= fd.link_hist.bin_count()) {
+        json.key("beyond_range").value(true);
+        json.key("f").value(0.0);
+      } else {
+        json.key("bin").value(static_cast<std::uint64_t>(bin));
+        json.key("bin_center_miles").value(fd.bin_center(bin));
+        json.key("f").value(fd.f[bin]);
+        json.key("link_count").value(fd.link_hist.count(bin));
+        json.key("pair_count").value(fd.pair_hist.count(bin));
+      }
+      break;
+    }
+
+    case Verb::kNearest: {
+      json.key("lat").value(request.lat);
+      json.key("lon").value(request.lon);
+      const std::vector<geo::SpatialIndex::Neighbor> hits =
+          index_.nearest(query, request.k);
+      json.key("hits");
+      write_neighbor_array(json, graph_, hits, hits.size());
+      break;
+    }
+
+    case Verb::kWithin: {
+      json.key("lat").value(request.lat);
+      json.key("lon").value(request.lon);
+      json.key("radius_miles").value(request.radius_miles);
+      const std::vector<geo::SpatialIndex::Neighbor> hits =
+          index_.within_radius(query, request.radius_miles);
+      json.key("count").value(static_cast<std::uint64_t>(hits.size()));
+      json.key("truncated").value(hits.size() > request.max_hits);
+      json.key("hits");
+      write_neighbor_array(json, graph_, hits, request.max_hits);
+      break;
+    }
+
+    case Verb::kAs: {
+      json.key("lat").value(request.lat);
+      json.key("lon").value(request.lon);
+      const std::vector<geo::SpatialIndex::Neighbor> nearest =
+          index_.nearest(query, 1);
+      if (!nearest.empty()) {
+        const net::GraphNode& node = graph_.node(nearest.front().id);
+        json.key("nearest").begin_object();
+        json.key("id").value(static_cast<std::uint64_t>(nearest.front().id));
+        json.key("asn").value(static_cast<std::uint64_t>(node.asn));
+        json.key("distance_miles").value(nearest.front().distance_miles);
+        json.end_object();
+      } else {
+        json.key("nearest").null();
+      }
+      const geo::PlanarPoint projected = projection_.project(query);
+      json.key("containing").begin_array();
+      for (std::size_t i = 0; i < hulls_.records.size(); ++i) {
+        if (hull_polys_[i].empty()) continue;
+        if (!geo::point_in_convex_polygon(projected, hull_polys_[i])) continue;
+        const core::AsHullRecord& record = hulls_.records[i];
+        json.begin_object();
+        json.key("asn").value(static_cast<std::uint64_t>(record.asn));
+        json.key("hull_area_sq_miles").value(record.hull_area_sq_miles);
+        json.key("node_count")
+            .value(static_cast<std::uint64_t>(record.node_count));
+        json.key("location_count")
+            .value(static_cast<std::uint64_t>(record.location_count));
+        json.key("degree").value(static_cast<std::uint64_t>(record.degree));
+        json.end_object();
+      }
+      json.end_array();
+      break;
+    }
+
+    case Verb::kStats:
+    case Verb::kReload:
+    case Verb::kShutdown:
+      break;  // unreachable: is_control() handled above
+  }
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace geonet::serve

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/density.h"
+#include "core/distance_pref.h"
+#include "core/hull_analysis.h"
+#include "err/status.h"
+#include "geo/grid.h"
+#include "geo/projection.h"
+#include "geo/region.h"
+#include "geo/spatial_index.h"
+#include "net/annotated_graph.h"
+#include "population/synth_population.h"
+#include "serve/protocol.h"
+#include "store/cache.h"
+#include "store/fingerprint.h"
+
+namespace geonet::serve {
+
+/// Query-shaping knobs, fixed for the lifetime of a server (a reload
+/// swaps the snapshot, never the options, so answers across epochs stay
+/// comparable).
+struct ServeOptions {
+  /// Regions with density + f(d) tables; empty = the paper's US / Europe
+  /// / Japan.
+  std::vector<geo::Region> regions;
+  double patch_arcmin = 75.0;
+  core::DistancePrefOptions distance;
+  core::HullOptions hulls;
+};
+
+/// One immutable, fully precomputed epoch of the server: the graph, its
+/// spatial index, and the offline study tables every query verb answers
+/// from.
+///
+/// All query state is computed at build time by the *same* core analysis
+/// entry points the offline CLI uses (`analyze_density`,
+/// `distance_preference`, `analyze_hulls`), so a serve answer is a lookup
+/// into the identical tables `geonet analyze` would print — the
+/// differential tests pin byte-level equality. After build() the object
+/// is never mutated; worker threads share it behind
+/// shared_ptr<const ServeSnapshot> and a reload simply publishes a new
+/// epoch.
+class ServeSnapshot {
+ public:
+  /// Per-region query tables.
+  struct RegionTable {
+    geo::Region region;
+    geo::Grid patches;
+    /// Node count per flat grid cell (index tally; offline-identical).
+    std::vector<double> node_counts;
+    /// People per flat grid cell, precomputed so density queries never
+    /// touch the population raster at request time.
+    std::vector<double> populations;
+    core::DensityAnalysis density;
+    core::DistancePreference fd;
+  };
+
+  /// Builds every table from a graph. `prebuilt` (e.g. a snapshot's SIDX
+  /// section) is reused when it matches the graph; otherwise the index is
+  /// built here. `epoch_hex` labels answers (pass the cache key when
+  /// loading from the cache; from_file/build default to the graph
+  /// digest).
+  static err::Result<std::shared_ptr<const ServeSnapshot>> build(
+      net::AnnotatedGraph graph, const population::WorldPopulation& world,
+      const ServeOptions& options,
+      std::optional<geo::SpatialIndex> prebuilt = std::nullopt,
+      std::string epoch_hex = {});
+
+  /// Loads an artifact-cache entry by key and builds. The entry may be a
+  /// graph snapshot or a scenario-artifacts snapshot (the Skitter +
+  /// IxMapper slot is served); sniffed by decoding.
+  static err::Result<std::shared_ptr<const ServeSnapshot>> from_cache(
+      store::ArtifactCache& cache, const store::Digest128& key,
+      const population::WorldPopulation& world, const ServeOptions& options);
+
+  /// Reads a .geos or text graph file and builds, reusing an embedded
+  /// SIDX section when present.
+  static err::Result<std::shared_ptr<const ServeSnapshot>> from_file(
+      const std::string& path, const population::WorldPopulation& world,
+      const ServeOptions& options);
+
+  /// The epoch label stamped into every answer ("epoch":"<hex32>").
+  [[nodiscard]] const std::string& epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const net::AnnotatedGraph& graph() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] const geo::SpatialIndex& index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] const std::vector<RegionTable>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] const core::HullAnalysis& hulls() const noexcept {
+    return hulls_;
+  }
+
+  /// Answers one *data* verb (ping/info/density/fd/nearest/within/as)
+  /// as a JSON object string. Control verbs are the server's business —
+  /// passing one here is a programming error answered with kInternal.
+  [[nodiscard]] std::string answer(const Request& request) const;
+
+ private:
+  ServeSnapshot() = default;
+
+  std::string epoch_;
+  net::AnnotatedGraph graph_{net::NodeKind::kRouter};
+  geo::SpatialIndex index_;
+  std::vector<RegionTable> regions_;
+  core::HullAnalysis hulls_;
+  /// records[i]'s hull polygon (projected, CCW) — empty when degenerate
+  /// (< 3 vertices, zero area). Parallel to hulls_.records.
+  std::vector<std::vector<geo::PlanarPoint>> hull_polys_;
+  geo::AlbersProjection projection_ = geo::AlbersProjection::world();
+};
+
+}  // namespace geonet::serve

@@ -183,8 +183,11 @@ TEST(Trace, SpansNestAndExportWellFormedChromeJson) {
   EXPECT_EQ(outer->depth, 0u);
   EXPECT_EQ(middle->depth, 1u);
   // Temporal containment: the outer span brackets the middle one.
+  // start_us and duration_us are each truncated to whole microseconds
+  // from independent clock reads, so a computed end may understate the
+  // true end by up to 1us per truncation — allow 2us of slack.
   EXPECT_LE(outer->start_us, middle->start_us);
-  EXPECT_GE(outer->start_us + outer->duration_us,
+  EXPECT_GE(outer->start_us + outer->duration_us + 2,
             middle->start_us + middle->duration_us);
 
   const std::string trace = tracer.chrome_trace_json();

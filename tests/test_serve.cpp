@@ -1,0 +1,886 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/density.h"
+#include "core/distance_pref.h"
+#include "core/hull_analysis.h"
+#include "geo/region.h"
+#include "net/annotated_graph.h"
+#include "net/graph_io.h"
+#include "obs/json.h"
+#include "population/synth_population.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "store/cache.h"
+#include "store/fingerprint.h"
+
+namespace geonet::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixtures: one small world and one hand-built US graph, reused
+// across the suite (snapshot builds run the full offline analyses, so
+// they are shared rather than rebuilt per test).
+
+const population::WorldPopulation& world() {
+  static const population::WorldPopulation w =
+      population::WorldPopulation::build(5);
+  return w;
+}
+
+/// US-resident nodes across three ASes (+ one unmapped), with enough
+/// links for a non-trivial f(d). AS 1 spans a continental triangle.
+net::AnnotatedGraph make_graph() {
+  net::AnnotatedGraph g(net::NodeKind::kInterface, "serve-test");
+  g.add_node({net::Ipv4Addr{1}, {40.7, -74.0}, 1});    // 0 New York
+  g.add_node({net::Ipv4Addr{2}, {34.0, -118.2}, 1});   // 1 Los Angeles
+  g.add_node({net::Ipv4Addr{3}, {47.6, -122.3}, 1});   // 2 Seattle
+  g.add_node({net::Ipv4Addr{4}, {41.9, -87.6}, 2});    // 3 Chicago
+  g.add_node({net::Ipv4Addr{5}, {29.8, -95.4}, 2});    // 4 Houston
+  g.add_node({net::Ipv4Addr{6}, {33.7, -84.4}, 3});    // 5 Atlanta
+  g.add_node({net::Ipv4Addr{7}, {25.8, -80.2}, 0});    // 6 Miami (unmapped)
+  g.add_node({net::Ipv4Addr{8}, {39.7, -104.9}, 2});   // 7 Denver
+  g.add_edge(0, 3);
+  g.add_edge(3, 7);
+  g.add_edge(7, 1);
+  g.add_edge(1, 2);
+  g.add_edge(4, 5);
+  g.add_edge(0, 5);
+  return g;
+}
+
+ServeOptions serve_options() {
+  ServeOptions options;
+  options.regions = {geo::regions::us()};
+  return options;
+}
+
+std::shared_ptr<const ServeSnapshot> snapshot() {
+  static const std::shared_ptr<const ServeSnapshot> snap = [] {
+    auto result =
+        ServeSnapshot::build(make_graph(), world(), serve_options());
+    if (!result.is_ok()) std::abort();
+    return result.value();
+  }();
+  return snap;
+}
+
+obs::JsonValue parse_json(const std::string& text) {
+  std::string error;
+  std::optional<obs::JsonValue> doc = obs::json_parse(text, &error);
+  EXPECT_TRUE(doc.has_value()) << error << " in: " << text;
+  return doc.has_value() ? *doc : obs::JsonValue::make_null();
+}
+
+double number_at(const obs::JsonValue& doc, std::string_view key) {
+  const obs::JsonValue* v = doc.find(key);
+  EXPECT_NE(v, nullptr) << "missing key " << key;
+  return v == nullptr ? 0.0 : v->as_double();
+}
+
+/// JsonWriter prints ~10 significant digits, so round-tripped doubles
+/// match the source values to relative 1e-9, not bit-exactly. (The
+/// bit-exact pins below compare the structs, not the rendered JSON.)
+void expect_json_near(double rendered, double expected) {
+  EXPECT_NEAR(rendered, expected,
+              std::abs(expected) * 1e-8 + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder
+
+TEST(FrameDecoder, RoundTripsFramesInOrder) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame("alpha") + encode_frame("") + encode_frame("g"));
+  EXPECT_EQ(decoder.next(), "alpha");
+  EXPECT_EQ(decoder.next(), "");
+  EXPECT_EQ(decoder.next(), "g");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.bad());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, ReassemblesBytewiseFeeds) {
+  const std::string frame = encode_frame(R"({"op":"ping"})");
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_FALSE(decoder.next().has_value()) << "complete after byte " << i;
+    decoder.feed(std::string_view(&frame[i], 1));
+  }
+  EXPECT_EQ(decoder.next(), R"({"op":"ping"})");
+}
+
+TEST(FrameDecoder, TruncatedFrameStaysPending) {
+  const std::string frame = encode_frame("payload");
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(frame).substr(0, frame.size() - 1));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.bad());
+  EXPECT_GT(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, OversizedDeclaredLengthPoisonsStream) {
+  FrameDecoder decoder(64);
+  std::string prefix;
+  const std::uint32_t declared = 65;
+  prefix.push_back(static_cast<char>(declared >> 24));
+  prefix.push_back(static_cast<char>(declared >> 16));
+  prefix.push_back(static_cast<char>(declared >> 8));
+  prefix.push_back(static_cast<char>(declared));
+  decoder.feed(prefix);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.bad());
+  EXPECT_FALSE(decoder.error().empty());
+  // Poisoned for good: more bytes never resurrect the stream.
+  decoder.feed("more");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.bad());
+}
+
+TEST(FrameDecoder, MaxSizePayloadAccepted) {
+  FrameDecoder decoder(64);
+  const std::string payload(64, 'x');
+  decoder.feed(encode_frame(payload));
+  EXPECT_EQ(decoder.next(), payload);
+  EXPECT_FALSE(decoder.bad());
+}
+
+// ---------------------------------------------------------------------------
+// parse_request fuzz tables
+
+TEST(ParseRequest, RejectsMalformedPayloads) {
+  const char* kBad[] = {
+      "",                                     // empty
+      "{",                                    // truncated JSON
+      "null",                                 // not an object
+      "[1,2]",                                // not an object
+      "42",                                   // not an object
+      R"({})",                                // missing op
+      R"({"op":7})",                          // op not a string
+      R"({"op":"warp"})",                     // unknown op
+      R"({"op":"nearest"})",                  // missing lat/lon
+      R"({"op":"nearest","lat":40})",         // missing lon
+      R"({"op":"nearest","lat":"x","lon":0})",// lat not a number
+      R"({"op":"nearest","lat":91,"lon":0})", // lat out of range
+      R"({"op":"nearest","lat":0,"lon":181})",// lon out of range
+      R"({"op":"nearest","lat":1e999,"lon":0})",  // non-finite lat
+      R"({"op":"nearest","lat":0,"lon":0,"k":0})",    // k below domain
+      R"({"op":"nearest","lat":0,"lon":0,"k":4097})", // k above cap
+      R"({"op":"within","lat":0,"lon":0})",   // missing radius
+      R"({"op":"within","lat":0,"lon":0,"radius_miles":-1})",
+      R"({"op":"within","lat":0,"lon":0,"radius_miles":10,"max_hits":0})",
+      R"({"op":"within","lat":0,"lon":0,"radius_miles":10,"max_hits":65537})",
+      R"({"op":"fd","d":100})",               // missing region
+      R"({"op":"fd","region":"US"})",         // missing d
+      R"({"op":"fd","region":"US","d":-5})",  // negative distance
+      R"({"op":"reload"})",                   // missing fingerprint
+      R"({"op":"reload","fingerprint":"abc"})",        // wrong length
+      R"({"op":"reload","fingerprint":"zz345678901234567890123456789012"})",
+  };
+  for (const char* payload : kBad) {
+    const err::Result<Request> parsed = parse_request(payload);
+    EXPECT_FALSE(parsed.is_ok()) << "accepted: " << payload;
+    if (!parsed.is_ok()) {
+      EXPECT_EQ(parsed.status().code(), err::Code::kInvalidArgument)
+          << payload;
+      EXPECT_FALSE(parsed.status().message().empty()) << payload;
+    }
+  }
+}
+
+TEST(ParseRequest, AcceptsValidPayloads) {
+  const auto ping = parse_request(R"({"op":"ping"})");
+  ASSERT_TRUE(ping.is_ok());
+  EXPECT_EQ(ping.value().verb, Verb::kPing);
+  EXPECT_FALSE(ping.value().is_control());
+
+  const auto nearest =
+      parse_request(R"({"op":"nearest","lat":40.5,"lon":-100.25,"k":3})");
+  ASSERT_TRUE(nearest.is_ok());
+  EXPECT_EQ(nearest.value().verb, Verb::kNearest);
+  EXPECT_DOUBLE_EQ(nearest.value().lat, 40.5);
+  EXPECT_DOUBLE_EQ(nearest.value().lon, -100.25);
+  EXPECT_EQ(nearest.value().k, 3u);
+
+  const auto within = parse_request(
+      R"({"op":"within","lat":0,"lon":0,"radius_miles":250,"max_hits":7})");
+  ASSERT_TRUE(within.is_ok());
+  EXPECT_DOUBLE_EQ(within.value().radius_miles, 250.0);
+  EXPECT_EQ(within.value().max_hits, 7u);
+
+  const auto fd = parse_request(R"({"op":"fd","region":"US","d":120})");
+  ASSERT_TRUE(fd.is_ok());
+  EXPECT_EQ(fd.value().region, "US");
+  EXPECT_DOUBLE_EQ(fd.value().d, 120.0);
+
+  const auto reload = parse_request(
+      R"({"op":"reload","fingerprint":"0123456789abcdef0123456789abcdef"})");
+  ASSERT_TRUE(reload.is_ok());
+  EXPECT_TRUE(reload.value().is_control());
+
+  const auto stats = parse_request(R"({"op":"stats"})");
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_TRUE(stats.value().is_control());
+}
+
+// ---------------------------------------------------------------------------
+// HTTP shim parsing
+
+TEST(HttpShim, DetectsAndCompletesRequests) {
+  EXPECT_TRUE(looks_like_http("GET /ping HTTP/1.1\r\n"));
+  EXPECT_TRUE(looks_like_http("GET "));
+  EXPECT_FALSE(looks_like_http("\x00\x00\x00\x05hello"));
+  EXPECT_FALSE(looks_like_http("POST /ping"));
+
+  EXPECT_FALSE(has_complete_http_request("GET /ping HTTP/1.1\r\n"));
+  EXPECT_TRUE(has_complete_http_request("GET /ping HTTP/1.1\r\n\r\n"));
+}
+
+TEST(HttpShim, ParsesQueryParameters) {
+  const auto parsed = parse_http_request(
+      "GET /nearest?lat=40.5&lon=-100.25&k=3 HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().verb, Verb::kNearest);
+  EXPECT_DOUBLE_EQ(parsed.value().lat, 40.5);
+  EXPECT_DOUBLE_EQ(parsed.value().lon, -100.25);
+  EXPECT_EQ(parsed.value().k, 3u);
+
+  // Percent- and plus-decoding in values.
+  const auto fd = parse_http_request(
+      "GET /fd?region=%55S&d=120 HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(fd.is_ok());
+  EXPECT_EQ(fd.value().region, "US");
+}
+
+TEST(HttpShim, RejectsNonGetAndUnknownPaths) {
+  EXPECT_FALSE(parse_http_request("POST /ping HTTP/1.1\r\n\r\n").is_ok());
+  EXPECT_FALSE(parse_http_request("GET /warp HTTP/1.1\r\n\r\n").is_ok());
+  EXPECT_FALSE(parse_http_request("GARBAGE\r\n\r\n").is_ok());
+}
+
+TEST(HttpShim, RendersResponses) {
+  const std::string response = http_response(200, R"({"ok":true})");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_NE(response.find("Content-Length: 11"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot differential pins: serve tables must be the offline tables.
+
+TEST(ServeSnapshot, DensityTableMatchesOfflineAnalysis) {
+  const auto snap = snapshot();
+  ASSERT_EQ(snap->regions().size(), 1u);
+  const ServeSnapshot::RegionTable& table = snap->regions()[0];
+
+  // Offline run takes the brute-force path (no index): any divergence in
+  // the serve tables is a real differential failure, bit for bit.
+  const core::DensityAnalysis offline =
+      core::analyze_density(make_graph(), world(), geo::regions::us());
+  EXPECT_DOUBLE_EQ(table.density.loglog_fit.slope, offline.loglog_fit.slope);
+  EXPECT_DOUBLE_EQ(table.density.loglog_fit.intercept,
+                   offline.loglog_fit.intercept);
+  EXPECT_DOUBLE_EQ(table.density.loglog_fit.r_squared,
+                   offline.loglog_fit.r_squared);
+  EXPECT_EQ(table.density.nodes_in_region, offline.nodes_in_region);
+  EXPECT_EQ(table.density.occupied_patches, offline.occupied_patches);
+}
+
+TEST(ServeSnapshot, DistancePreferenceMatchesOfflineAnalysis) {
+  const auto snap = snapshot();
+  const core::DistancePreference& served = snap->regions()[0].fd;
+  const core::DistancePreference offline = core::distance_preference(
+      make_graph(), geo::regions::us(), core::DistancePrefOptions{});
+
+  EXPECT_DOUBLE_EQ(served.bin_miles, offline.bin_miles);
+  EXPECT_EQ(served.nodes, offline.nodes);
+  EXPECT_EQ(served.links, offline.links);
+  ASSERT_EQ(served.f.size(), offline.f.size());
+  for (std::size_t b = 0; b < served.f.size(); ++b) {
+    EXPECT_DOUBLE_EQ(served.f[b], offline.f[b]) << "bin " << b;
+    EXPECT_EQ(served.link_hist.count(b), offline.link_hist.count(b))
+        << "bin " << b;
+    EXPECT_EQ(served.pair_hist.count(b), offline.pair_hist.count(b))
+        << "bin " << b;
+  }
+}
+
+TEST(ServeSnapshot, HullRecordsMatchOfflineAnalysis) {
+  const auto snap = snapshot();
+  const core::HullAnalysis offline = core::analyze_hulls(make_graph());
+  ASSERT_EQ(snap->hulls().records.size(), offline.records.size());
+  for (std::size_t i = 0; i < offline.records.size(); ++i) {
+    EXPECT_EQ(snap->hulls().records[i].asn, offline.records[i].asn);
+    EXPECT_DOUBLE_EQ(snap->hulls().records[i].hull_area_sq_miles,
+                     offline.records[i].hull_area_sq_miles);
+    EXPECT_EQ(snap->hulls().records[i].node_count,
+              offline.records[i].node_count);
+  }
+}
+
+TEST(ServeSnapshot, FdAnswerLooksUpOfflineBin) {
+  const auto snap = snapshot();
+  const core::DistancePreference& fd = snap->regions()[0].fd;
+
+  Request request;
+  request.verb = Verb::kFd;
+  request.region = "US";
+  request.d = 800.0;
+  const obs::JsonValue doc = parse_json(snap->answer(request));
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+
+  const std::size_t bin = fd.link_hist.bin_of(800.0);
+  ASSERT_LT(bin, fd.link_hist.bin_count());
+  EXPECT_EQ(static_cast<std::size_t>(number_at(doc, "bin")), bin);
+  expect_json_near(number_at(doc, "f"), fd.f[bin]);
+  expect_json_near(number_at(doc, "bin_center_miles"), fd.bin_center(bin));
+  EXPECT_EQ(static_cast<std::uint64_t>(number_at(doc, "link_count")),
+            fd.link_hist.count(bin));
+}
+
+TEST(ServeSnapshot, FdBeyondRangeAndUnknownRegion) {
+  const auto snap = snapshot();
+  Request request;
+  request.verb = Verb::kFd;
+  request.region = "US";
+  request.d = 1e9;
+  const obs::JsonValue beyond = parse_json(snap->answer(request));
+  EXPECT_TRUE(beyond.find("beyond_range")->as_bool());
+  EXPECT_DOUBLE_EQ(number_at(beyond, "f"), 0.0);
+
+  request.region = "Atlantis";
+  request.d = 100.0;
+  const obs::JsonValue missing = parse_json(snap->answer(request));
+  EXPECT_FALSE(missing.find("ok")->as_bool());
+  EXPECT_EQ(missing.find("error")->find("code")->as_string(), "NOT_FOUND");
+}
+
+TEST(ServeSnapshot, DensityAnswerReadsPrecomputedPatch) {
+  const auto snap = snapshot();
+  Request request;
+  request.verb = Verb::kDensity;
+  request.lat = 41.9;   // Chicago's patch: exactly one node
+  request.lon = -87.6;
+  const obs::JsonValue doc = parse_json(snap->answer(request));
+  const obs::JsonValue* rows = doc.find("regions");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items().size(), 1u);
+  const obs::JsonValue& row = rows->items()[0];
+  EXPECT_EQ(row.find("region")->as_string(), "US");
+  EXPECT_DOUBLE_EQ(number_at(row, "nodes"), 1.0);
+  expect_json_near(number_at(row.find("fit") ? *row.find("fit") : row, "slope"),
+                   snap->regions()[0].density.loglog_fit.slope);
+
+  // A point outside every served region answers with an empty rows array.
+  request.lat = 51.5;  // London
+  request.lon = -0.1;
+  const obs::JsonValue outside = parse_json(snap->answer(request));
+  EXPECT_TRUE(outside.find("regions")->items().empty());
+}
+
+TEST(ServeSnapshot, NearestMatchesSpatialIndex) {
+  const auto snap = snapshot();
+  Request request;
+  request.verb = Verb::kNearest;
+  request.lat = 40.0;
+  request.lon = -100.0;
+  request.k = 3;
+  const obs::JsonValue doc = parse_json(snap->answer(request));
+  const auto expected =
+      snap->index().nearest({40.0, -100.0}, 3);
+  const obs::JsonValue* hits = doc.find("hits");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->items().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint32_t>(
+                  number_at(hits->items()[i], "id")),
+              expected[i].id);
+    expect_json_near(number_at(hits->items()[i], "distance_miles"),
+                     expected[i].distance_miles);
+  }
+}
+
+TEST(ServeSnapshot, WithinReportsCountAndTruncation) {
+  const auto snap = snapshot();
+  Request request;
+  request.verb = Verb::kWithin;
+  request.lat = 39.7;   // Denver
+  request.lon = -104.9;
+  request.radius_miles = 2000.0;
+  request.max_hits = 2;
+  const obs::JsonValue doc = parse_json(snap->answer(request));
+  const auto expected =
+      snap->index().within_radius({39.7, -104.9}, 2000.0);
+  EXPECT_EQ(static_cast<std::size_t>(number_at(doc, "count")),
+            expected.size());
+  EXPECT_EQ(doc.find("truncated")->as_bool(), expected.size() > 2);
+  EXPECT_EQ(doc.find("hits")->items().size(),
+            std::min<std::size_t>(expected.size(), 2));
+}
+
+TEST(ServeSnapshot, AsContainmentAgreesWithHullGeometry) {
+  const auto snap = snapshot();
+  Request request;
+  request.verb = Verb::kAs;
+  request.lat = 39.7;   // Denver: inside AS 1's continental triangle
+  request.lon = -104.9;
+  const obs::JsonValue doc = parse_json(snap->answer(request));
+  const obs::JsonValue* containing = doc.find("containing");
+  ASSERT_NE(containing, nullptr);
+  bool has_as1 = false;
+  for (const obs::JsonValue& entry : containing->items()) {
+    if (static_cast<std::uint32_t>(number_at(entry, "asn")) == 1u) {
+      has_as1 = true;
+      const core::AsHullRecord& record = snap->hulls().records.front();
+      ASSERT_EQ(record.asn, 1u);
+      expect_json_near(number_at(entry, "hull_area_sq_miles"),
+                       record.hull_area_sq_miles);
+    }
+  }
+  EXPECT_TRUE(has_as1);
+
+  // Mid-Pacific: no AS hull contains it; nearest is still reported.
+  request.lat = 30.0;
+  request.lon = -160.0;
+  const obs::JsonValue ocean = parse_json(snap->answer(request));
+  EXPECT_TRUE(ocean.find("containing")->items().empty());
+  EXPECT_NE(ocean.find("nearest"), nullptr);
+}
+
+TEST(ServeSnapshot, RejectsEmptyGraphAndControlVerbs) {
+  const auto empty = ServeSnapshot::build(
+      net::AnnotatedGraph(net::NodeKind::kInterface), world(),
+      serve_options());
+  EXPECT_FALSE(empty.is_ok());
+
+  Request reload;
+  reload.verb = Verb::kReload;
+  const obs::JsonValue doc = parse_json(snapshot()->answer(reload));
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error")->find("code")->as_string(), "INTERNAL");
+}
+
+TEST(ServeSnapshot, EveryDataVerbAnswersWellFormedJson) {
+  const auto snap = snapshot();
+  const char* kPayloads[] = {
+      R"({"op":"ping"})",
+      R"({"op":"info"})",
+      R"({"op":"density","lat":40.7,"lon":-74.0})",
+      R"({"op":"fd","region":"US","d":500})",
+      R"({"op":"nearest","lat":40,"lon":-100,"k":2})",
+      R"({"op":"within","lat":40,"lon":-100,"radius_miles":900})",
+      R"({"op":"as","lat":39.7,"lon":-104.9})",
+  };
+  for (const char* payload : kPayloads) {
+    const err::Result<Request> parsed = parse_request(payload);
+    ASSERT_TRUE(parsed.is_ok()) << payload;
+    const obs::JsonValue doc = parse_json(snap->answer(parsed.value()));
+    EXPECT_TRUE(doc.find("ok")->as_bool()) << payload;
+    EXPECT_EQ(doc.find("epoch")->as_string(), snap->epoch()) << payload;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over real sockets.
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(std::shared_ptr<const ServeSnapshot> snap,
+                         store::ArtifactCache* cache = nullptr,
+                         bool allow_shutdown = true) {
+    ServerOptions options;
+    options.port = 0;
+    options.allow_shutdown = allow_shutdown;
+    server_ = std::make_unique<Server>(options, std::move(snap), cache,
+                                       &world(), serve_options());
+    const err::Status status = server_->start();
+    EXPECT_TRUE(status.is_ok()) << status.message();
+    runner_ = std::thread([this] {
+      const err::Status run_status = server_->run();
+      EXPECT_TRUE(run_status.is_ok()) << run_status.message();
+    });
+  }
+
+  ~ServerFixture() { stop(); }
+
+  void stop() {
+    if (runner_.joinable()) {
+      server_->request_stop();
+      runner_.join();
+    }
+  }
+
+  /// Waits for run() to return on its own (shutdown verb / drain tests).
+  void join() {
+    if (runner_.joinable()) runner_.join();
+  }
+
+  Server& server() { return *server_; }
+
+  Client connect() {
+    Client client;
+    const err::Status status =
+        client.connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(status.is_ok()) << status.message();
+    return client;
+  }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+};
+
+TEST(Server, BindsEphemeralPort) {
+  ServerFixture fixture(snapshot());
+  EXPECT_NE(fixture.server().port(), 0);
+  EXPECT_EQ(fixture.server().epoch(), snapshot()->epoch());
+}
+
+TEST(Server, AnswersByteIdenticalToSnapshot) {
+  ServerFixture fixture(snapshot());
+  Client client = fixture.connect();
+  const char* kPayloads[] = {
+      R"({"op":"ping"})",
+      R"({"op":"info"})",
+      R"({"op":"density","lat":41.9,"lon":-87.6})",
+      R"({"op":"fd","region":"US","d":800})",
+      R"({"op":"nearest","lat":40,"lon":-100,"k":3})",
+      R"({"op":"within","lat":39.7,"lon":-104.9,"radius_miles":2000})",
+      R"({"op":"as","lat":39.7,"lon":-104.9})",
+  };
+  for (const char* payload : kPayloads) {
+    const err::Result<std::string> response = client.request(payload);
+    ASSERT_TRUE(response.is_ok()) << payload;
+    EXPECT_EQ(response.value(),
+              snapshot()->answer(parse_request(payload).value()))
+        << payload;
+  }
+}
+
+TEST(Server, PipelinedRequestsAnswerInArrivalOrder) {
+  ServerFixture fixture(snapshot());
+  Client client = fixture.connect();
+  std::string burst;
+  for (int k = 1; k <= 5; ++k) {
+    burst += encode_frame(R"({"op":"nearest","lat":40,"lon":-100,"k":)" +
+                          std::to_string(k) + "}");
+  }
+  ASSERT_TRUE(client.send_raw(burst).is_ok());
+  for (int k = 1; k <= 5; ++k) {
+    const err::Result<std::string> response = client.read_response();
+    ASSERT_TRUE(response.is_ok()) << "response " << k;
+    const obs::JsonValue doc = parse_json(response.value());
+    EXPECT_EQ(doc.find("hits")->items().size(), static_cast<std::size_t>(k));
+  }
+}
+
+TEST(Server, MalformedJsonAnswersErrorAndKeepsConnection) {
+  ServerFixture fixture(snapshot());
+  Client client = fixture.connect();
+  const err::Result<std::string> bad = client.request("{not json");
+  ASSERT_TRUE(bad.is_ok());
+  const obs::JsonValue doc = parse_json(bad.value());
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error")->find("code")->as_string(),
+            "INVALID_ARGUMENT");
+
+  // The stream is still framed; the connection survives.
+  const err::Result<std::string> ping =
+      client.request(R"({"op":"ping"})");
+  ASSERT_TRUE(ping.is_ok());
+  EXPECT_TRUE(parse_json(ping.value()).find("ok")->as_bool());
+  EXPECT_GE(fixture.server().stats().errors, 1u);
+}
+
+TEST(Server, OversizedFrameAnswersOnceAndCloses) {
+  ServerFixture fixture(snapshot());
+  Client client = fixture.connect();
+  std::string prefix;
+  const std::uint32_t declared = kMaxFrameBytes + 1;
+  prefix.push_back(static_cast<char>(declared >> 24));
+  prefix.push_back(static_cast<char>(declared >> 16));
+  prefix.push_back(static_cast<char>(declared >> 8));
+  prefix.push_back(static_cast<char>(declared));
+  ASSERT_TRUE(client.send_raw(prefix).is_ok());
+
+  const err::Result<std::string> error_response = client.read_response();
+  ASSERT_TRUE(error_response.is_ok());
+  EXPECT_FALSE(parse_json(error_response.value()).find("ok")->as_bool());
+  // The stream is unrecoverable: the server closes after answering.
+  EXPECT_FALSE(client.read_response().is_ok());
+}
+
+TEST(Server, TruncatedFrameThenDisconnectIsHarmless) {
+  ServerFixture fixture(snapshot());
+  {
+    Client client = fixture.connect();
+    ASSERT_TRUE(client.send_raw("\x00\x00\x00\x40partial").is_ok());
+  }  // disconnect with an incomplete frame pending
+  // Server must survive and keep answering on a fresh connection.
+  Client client = fixture.connect();
+  const err::Result<std::string> ping = client.request(R"({"op":"ping"})");
+  ASSERT_TRUE(ping.is_ok());
+  EXPECT_TRUE(parse_json(ping.value()).find("ok")->as_bool());
+}
+
+TEST(Server, HttpShimAnswersOneGetAndCloses) {
+  ServerFixture fixture(snapshot());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fixture.server().port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string request =
+      "GET /nearest?lat=40&lon=-100&k=2 HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const obs::JsonValue doc = parse_json(response.substr(body_at + 4));
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("hits")->items().size(), 2u);
+}
+
+TEST(Server, HttpShimMapsErrorCodesToStatusLines) {
+  ServerFixture fixture(snapshot());
+  const auto http_get = [&](const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fixture.server().port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    const std::string request = "GET " + path + " HTTP/1.1\r\n\r\n";
+    ::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+      response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+  // Unknown region and unknown path are kNotFound -> 404; an
+  // out-of-domain argument is kInvalidArgument -> 400.
+  EXPECT_EQ(http_get("/fd?region=Atlantis&d=5").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(http_get("/warp").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(http_get("/nearest?lat=95&lon=0").rfind("HTTP/1.1 400", 0), 0u);
+}
+
+TEST(Server, StatsVerbCountsAndShutdownVerbStops) {
+  ServerFixture fixture(snapshot());
+  Client client = fixture.connect();
+  ASSERT_TRUE(client.request(R"({"op":"ping"})").is_ok());
+  const err::Result<std::string> stats =
+      client.request(R"({"op":"stats"})");
+  ASSERT_TRUE(stats.is_ok());
+  const obs::JsonValue doc = parse_json(stats.value());
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_GE(number_at(doc, "requests"), 1.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(number_at(doc, "reloads")), 0u);
+
+  const err::Result<std::string> shutdown =
+      client.request(R"({"op":"shutdown"})");
+  ASSERT_TRUE(shutdown.is_ok());
+  EXPECT_TRUE(parse_json(shutdown.value()).find("ok")->as_bool());
+  fixture.join();  // run() must return on its own
+}
+
+TEST(Server, ShutdownVerbCanBeDisabled) {
+  ServerFixture fixture(snapshot(), nullptr, /*allow_shutdown=*/false);
+  Client client = fixture.connect();
+  const err::Result<std::string> shutdown =
+      client.request(R"({"op":"shutdown"})");
+  ASSERT_TRUE(shutdown.is_ok());
+  EXPECT_FALSE(parse_json(shutdown.value()).find("ok")->as_bool());
+  // Still serving.
+  EXPECT_TRUE(client.request(R"({"op":"ping"})").is_ok());
+}
+
+TEST(Server, ReloadWithoutCacheIsUnavailable) {
+  ServerFixture fixture(snapshot());
+  Client client = fixture.connect();
+  const err::Result<std::string> reload = client.request(
+      R"({"op":"reload","fingerprint":"0123456789abcdef0123456789abcdef"})");
+  ASSERT_TRUE(reload.is_ok());
+  const obs::JsonValue doc = parse_json(reload.value());
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error")->find("code")->as_string(), "UNAVAILABLE");
+}
+
+TEST(Server, DrainAnswersInFlightRequestsOnStop) {
+  ServerFixture fixture(snapshot());
+  Client client = fixture.connect();
+  // Bytes reach the kernel buffer before the stop lands; the drain sweep
+  // must still answer them.
+  ASSERT_TRUE(
+      client.send_raw(encode_frame(R"({"op":"ping"})")).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  fixture.server().request_stop();
+  const err::Result<std::string> response = client.read_response();
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_TRUE(parse_json(response.value()).find("ok")->as_bool());
+  fixture.join();
+  EXPECT_GE(fixture.server().stats().requests, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hot swap: epochs are never torn.
+
+std::string temp_cache_dir() {
+  std::string tmpl = ::testing::TempDir() + "serve_cache_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+TEST(Server, HotSwapNeverTearsEpochs) {
+  store::ArtifactCache cache(temp_cache_dir());
+  const auto key_a =
+      store::Digest128::parse_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  const auto key_b =
+      store::Digest128::parse_hex("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb");
+  ASSERT_TRUE(key_a.has_value());
+  ASSERT_TRUE(key_b.has_value());
+
+  net::AnnotatedGraph graph_b = make_graph();
+  graph_b.add_node({net::Ipv4Addr{99}, {36.1, -115.2}, 3});  // Las Vegas
+  ASSERT_TRUE(
+      cache.put(*key_a, net::encode_graph_snapshot(make_graph())).is_ok());
+  ASSERT_TRUE(
+      cache.put(*key_b, net::encode_graph_snapshot(graph_b)).is_ok());
+
+  const auto initial =
+      ServeSnapshot::from_cache(cache, *key_a, world(), serve_options());
+  ASSERT_TRUE(initial.is_ok()) << initial.status().message();
+  EXPECT_EQ(initial.value()->epoch(), key_a->hex());
+
+  ServerFixture fixture(initial.value(), &cache);
+
+  // Load thread: hammer pings; every answer must carry exactly one of
+  // the two epochs (never anything else, never a transport error).
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> answered{0};
+  std::atomic<int> saw_b{0};
+  std::thread load([&] {
+    Client client;
+    if (!client.connect("127.0.0.1", fixture.server().port()).is_ok()) {
+      torn.fetch_add(1);
+      return;
+    }
+    while (!done.load(std::memory_order_relaxed)) {
+      const err::Result<std::string> response =
+          client.request(R"({"op":"ping"})");
+      if (!response.is_ok()) {
+        torn.fetch_add(1);
+        return;
+      }
+      const std::optional<obs::JsonValue> doc =
+          obs::json_parse(response.value());
+      const std::string epoch(
+          doc.has_value() && doc->find("epoch") != nullptr
+              ? doc->find("epoch")->as_string()
+              : std::string_view{});
+      if (epoch == key_b->hex()) {
+        saw_b.fetch_add(1);
+      } else if (epoch != key_a->hex()) {
+        torn.fetch_add(1);
+      }
+      answered.fetch_add(1);
+    }
+  });
+
+  // Let the load thread get going, then hot-swap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Client control = fixture.connect();
+  const err::Result<std::string> reload = control.request(
+      R"({"op":"reload","fingerprint":")" + key_b->hex() + R"("})");
+  ASSERT_TRUE(reload.is_ok());
+  const obs::JsonValue reload_doc = parse_json(reload.value());
+  ASSERT_TRUE(reload_doc.find("ok")->as_bool()) << reload.value();
+  EXPECT_EQ(reload_doc.find("epoch")->as_string(), key_b->hex());
+
+  // After the reload response, new requests answer from epoch B.
+  const err::Result<std::string> after =
+      control.request(R"({"op":"ping"})");
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(parse_json(after.value()).find("epoch")->as_string(),
+            key_b->hex());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  done.store(true);
+  load.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_EQ(fixture.server().stats().reloads, 1u);
+
+  // The swapped graph really is graph B: one more node than A.
+  const err::Result<std::string> info =
+      control.request(R"({"op":"info"})");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(static_cast<std::size_t>(
+                number_at(parse_json(info.value()), "nodes")),
+            make_graph().node_count() + 1);
+}
+
+TEST(Server, ReloadUnknownFingerprintKeepsServing) {
+  store::ArtifactCache cache(temp_cache_dir());
+  const auto key =
+      store::Digest128::parse_hex("cccccccccccccccccccccccccccccccc");
+  ASSERT_TRUE(key.has_value());
+  ASSERT_TRUE(
+      cache.put(*key, net::encode_graph_snapshot(make_graph())).is_ok());
+  const auto initial =
+      ServeSnapshot::from_cache(cache, *key, world(), serve_options());
+  ASSERT_TRUE(initial.is_ok());
+
+  ServerFixture fixture(initial.value(), &cache);
+  Client client = fixture.connect();
+  const err::Result<std::string> reload = client.request(
+      R"({"op":"reload","fingerprint":"dddddddddddddddddddddddddddddddd"})");
+  ASSERT_TRUE(reload.is_ok());
+  const obs::JsonValue doc = parse_json(reload.value());
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error")->find("code")->as_string(), "NOT_FOUND");
+
+  // The old epoch keeps serving.
+  const err::Result<std::string> ping = client.request(R"({"op":"ping"})");
+  ASSERT_TRUE(ping.is_ok());
+  EXPECT_EQ(parse_json(ping.value()).find("epoch")->as_string(),
+            key->hex());
+  EXPECT_EQ(fixture.server().stats().reloads, 0u);
+}
+
+}  // namespace
+}  // namespace geonet::serve

@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Out-of-process protocol guard for `geonet serve`.
+
+An independent client (sharing no code with src/serve) drives a real
+server process end-to-end and drills the wire contract documented in
+docs/serve.md:
+
+  * startup: `geonet serve --port 0 --port-file` binds an ephemeral port
+    and publishes it via the port file;
+  * framed round trips: every data verb answers well-formed JSON with
+    ok=true and a stable epoch; responses come back in request order on
+    a pipelined connection;
+  * the HTTP shim answers one GET with a valid HTTP/1.1 response and
+    closes;
+  * robustness: unparseable JSON answers {"ok":false,...} and keeps the
+    connection; an oversized declared frame length is answered once and
+    the connection closed; a half-sent frame followed by disconnect
+    leaves the server serving;
+  * `geonet cache stats --json` emits a machine-readable summary;
+  * SIGTERM stops the server cleanly: exit code 0 and a stop summary.
+
+Usage:
+  check_serve.py <path-to-geonet_cli>
+
+Registered as the `check_serve` ctest in tests/CMakeLists.txt.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+
+MAX_FRAME = 1 << 20
+STARTUP_TIMEOUT_S = 240
+SHUTDOWN_TIMEOUT_S = 60
+
+
+def fail(message):
+    print("check_serve: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def send_frame(sock, payload):
+    data = payload.encode() if isinstance(payload, str) else payload
+    sock.sendall(struct.pack(">I", len(data)) + data)
+
+
+def recv_exact(sock, n):
+    out = b""
+    while len(out) < n:
+        chunk = sock.recv(n - len(out))
+        if not chunk:
+            raise ConnectionError("peer closed after %d of %d bytes"
+                                  % (len(out), n))
+        out += chunk
+    return out
+
+
+def recv_frame(sock):
+    (length,) = struct.unpack(">I", recv_exact(sock, 4))
+    if length > MAX_FRAME:
+        raise ConnectionError("response declares %d bytes" % length)
+    return recv_exact(sock, length)
+
+
+def round_trip(sock, request):
+    send_frame(sock, json.dumps(request))
+    response = recv_frame(sock)
+    try:
+        return json.loads(response)
+    except ValueError as err:
+        fail("response is not JSON (%s): %r" % (err, response[:200]))
+
+
+def expect_ok(doc, op):
+    if not isinstance(doc, dict) or doc.get("ok") is not True:
+        fail("%s answered %r" % (op, doc))
+    if doc.get("op") != op:
+        fail("asked for %r, answered op %r" % (op, doc.get("op")))
+    if not doc.get("epoch"):
+        fail("%s answer carries no epoch" % op)
+    return doc
+
+
+def start_server(cli, graph_path, tmp):
+    port_file = os.path.join(tmp, "port.txt")
+    process = subprocess.Popen(
+        [cli, "serve", "--graph", graph_path, "--port", "0",
+         "--port-file", port_file],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.time() + STARTUP_TIMEOUT_S
+    while time.time() < deadline:
+        if process.poll() is not None:
+            fail("server exited %d during startup:\n%s"
+                 % (process.returncode, process.stdout.read()))
+        try:
+            with open(port_file) as handle:
+                text = handle.read().strip()
+            if text:
+                return process, int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.2)
+    process.kill()
+    fail("no port file after %ds" % STARTUP_TIMEOUT_S)
+
+
+def connect(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def drill_data_verbs(port):
+    sock = connect(port)
+    epoch = expect_ok(round_trip(sock, {"op": "ping"}), "ping")["epoch"]
+
+    info = expect_ok(round_trip(sock, {"op": "info"}), "info")
+    if info["epoch"] != epoch:
+        fail("info epoch %r != ping epoch %r" % (info["epoch"], epoch))
+    if info.get("nodes", 0) <= 0 or not info.get("regions"):
+        fail("info reports no nodes or no regions: %r" % info)
+    region = info["regions"][0]["name"]
+
+    nearest = expect_ok(
+        round_trip(sock, {"op": "nearest", "lat": 40.0, "lon": -100.0,
+                          "k": 3}), "nearest")
+    hits = nearest.get("hits", [])
+    if len(hits) != 3:
+        fail("nearest k=3 returned %d hits" % len(hits))
+    distances = [h["distance_miles"] for h in hits]
+    if distances != sorted(distances):
+        fail("nearest hits not sorted by distance: %r" % distances)
+
+    within = expect_ok(
+        round_trip(sock, {"op": "within", "lat": 40.0, "lon": -100.0,
+                          "radius_miles": 1000.0, "max_hits": 2}), "within")
+    if within["count"] < len(within["hits"]):
+        fail("within count %d < listed hits %d"
+             % (within["count"], len(within["hits"])))
+    if len(within["hits"]) > 2:
+        fail("within listed %d hits despite max_hits=2"
+             % len(within["hits"]))
+
+    fd = expect_ok(
+        round_trip(sock, {"op": "fd", "region": region, "d": 200.0}), "fd")
+    if fd.get("region") != region:
+        fail("fd answered region %r" % fd.get("region"))
+    if "beyond_range" not in fd and not (0.0 <= fd.get("f", -1.0) <= 1.0):
+        fail("fd f=%r out of [0,1]" % fd.get("f"))
+
+    expect_ok(round_trip(sock, {"op": "density", "lat": 40.0,
+                                "lon": -100.0}), "density")
+    expect_ok(round_trip(sock, {"op": "as", "lat": 40.0, "lon": -100.0}),
+              "as")
+
+    stats = expect_ok(round_trip(sock, {"op": "stats"}), "stats")
+    if stats.get("requests", 0) < 7:
+        fail("stats reports %r requests after 8 round trips"
+             % stats.get("requests"))
+    sock.close()
+    return epoch
+
+
+def drill_pipelining(port):
+    sock = connect(port)
+    for k in (1, 2, 3):
+        send_frame(sock, json.dumps({"op": "nearest", "lat": 40.0,
+                                     "lon": -100.0, "k": k}))
+    for k in (1, 2, 3):
+        doc = json.loads(recv_frame(sock))
+        if len(doc.get("hits", [])) != k:
+            fail("pipelined response %d has %d hits (order broken?)"
+                 % (k, len(doc.get("hits", []))))
+    sock.close()
+
+
+def drill_http(port):
+    sock = connect(port)
+    sock.sendall(b"GET /ping HTTP/1.1\r\nHost: check\r\n\r\n")
+    response = b""
+    while True:
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        response += chunk
+    sock.close()
+    if not response.startswith(b"HTTP/1.1 200"):
+        fail("HTTP shim answered %r" % response[:80])
+    head, _, body = response.partition(b"\r\n\r\n")
+    if b"Connection: close" not in head:
+        fail("HTTP response lacks Connection: close")
+    doc = json.loads(body)
+    if doc.get("ok") is not True:
+        fail("HTTP /ping body: %r" % doc)
+
+
+def drill_robustness(port):
+    # Unparseable JSON: answered with ok=false, connection survives.
+    sock = connect(port)
+    send_frame(sock, "{definitely not json")
+    doc = json.loads(recv_frame(sock))
+    if doc.get("ok") is not False or "error" not in doc:
+        fail("malformed JSON answered %r" % doc)
+    expect_ok(round_trip(sock, {"op": "ping"}), "ping")
+    sock.close()
+
+    # Unknown verb and out-of-domain arguments: clean errors.
+    sock = connect(port)
+    for bad in ({"op": "warp"}, {"op": "nearest", "lat": 95, "lon": 0},
+                {"op": "nearest", "lat": 0, "lon": 0, "k": 0}):
+        doc = round_trip(sock, bad)
+        if doc.get("ok") is not False:
+            fail("bad request %r accepted: %r" % (bad, doc))
+        if doc.get("error", {}).get("code") != "INVALID_ARGUMENT":
+            fail("bad request %r answered code %r"
+                 % (bad, doc.get("error", {}).get("code")))
+    sock.close()
+
+    # Oversized declared length: answered once, then closed.
+    sock = connect(port)
+    sock.sendall(struct.pack(">I", MAX_FRAME + 1))
+    doc = json.loads(recv_frame(sock))
+    if doc.get("ok") is not False:
+        fail("oversized frame answered %r" % doc)
+    try:
+        extra = sock.recv(4096)
+    except OSError:
+        extra = b""
+    if extra:
+        fail("server kept talking after poisoned stream: %r" % extra[:80])
+    sock.close()
+
+    # Truncated frame + disconnect must not wedge the server.
+    sock = connect(port)
+    sock.sendall(struct.pack(">I", 64) + b"only-part")
+    sock.close()
+    sock = connect(port)
+    expect_ok(round_trip(sock, {"op": "ping"}), "ping")
+    sock.close()
+
+
+def drill_cache_stats_json(cli, tmp):
+    cache_dir = os.path.join(tmp, "cache")
+    result = subprocess.run(
+        [cli, "--cache-dir", cache_dir, "cache", "stats", "--json"],
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        fail("cache stats --json exited %d:\n%s"
+             % (result.returncode, result.stderr))
+    try:
+        doc = json.loads(result.stdout)
+    except ValueError as err:
+        fail("cache stats --json printed non-JSON (%s): %r"
+             % (err, result.stdout[:200]))
+    for key in ("entries", "bytes", "quarantined", "dir"):
+        if key not in doc:
+            fail("cache stats --json lacks %r: %r" % (key, doc))
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_serve.py <geonet_cli>")
+    cli = sys.argv[1]
+    with tempfile.TemporaryDirectory(prefix="geonet_check_serve_") as tmp:
+        graph_path = os.path.join(tmp, "topology.geos")
+        result = subprocess.run(
+            [cli, "generate", "64", graph_path, "7", "--quiet"],
+            capture_output=True, text=True)
+        if result.returncode != 0:
+            fail("generate exited %d\nstderr:\n%s"
+                 % (result.returncode, result.stderr))
+
+        process, port = start_server(cli, graph_path, tmp)
+        try:
+            epoch = drill_data_verbs(port)
+            drill_pipelining(port)
+            drill_http(port)
+            drill_robustness(port)
+            drill_cache_stats_json(cli, tmp)
+
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=SHUTDOWN_TIMEOUT_S)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                fail("server ignored SIGTERM for %ds" % SHUTDOWN_TIMEOUT_S)
+            if process.returncode != 0:
+                fail("server exited %d after SIGTERM:\n%s"
+                     % (process.returncode, process.stdout.read()))
+            output = process.stdout.read()
+            if "serve: stopped" not in output:
+                fail("no stop summary in server output:\n%s" % output)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+    print("check_serve: OK (port %d, epoch %s, clean SIGTERM stop)"
+          % (port, epoch))
+
+
+if __name__ == "__main__":
+    main()

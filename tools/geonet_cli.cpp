@@ -10,9 +10,13 @@
 //   geonet scenario [scale]   (alias: geonet study)
 //       Build the full synthetic measurement scenario and print the
 //       Table I summary plus the study headline numbers.
-//   geonet cache <ls|stats|gc|verify>
+//   geonet cache <ls|stats [--json]|gc|verify>
 //       Inspect or maintain the artifact cache (requires --cache-dir or
 //       GEONET_CACHE_DIR).
+//   geonet serve (--graph <file> | --fingerprint <hex32>) [--port <n>]
+//       Long-running geo-query server over an immutable snapshot:
+//       length-prefixed TCP JSON protocol + HTTP GET shim, hot-swappable
+//       by fingerprint via the `reload` verb (see docs/serve.md).
 //   geonet perf diff <baseline.json> <current.json>
 //   geonet perf check --baseline-dir <dir> [--current-dir <dir>]
 //       Perf-regression gate over BENCH_*.json records: compare named
@@ -61,6 +65,8 @@
 #include "perf/perf_gate.h"
 #include "report/series.h"
 #include "report/table.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
 #include "store/build_info.h"
 #include "store/cache.h"
 #include "store/fs.h"
@@ -81,7 +87,13 @@ constexpr const char* kUsage =
     "  geonet analyze <in.graph> [region]\n"
     "  geonet validate <in.graph> [region]\n"
     "  geonet scenario [scale]        (alias: study)\n"
-    "  geonet cache <ls|stats|gc --max-bytes <n>|verify>\n"
+    "  geonet cache <ls|stats [--json]|gc --max-bytes <n>|verify>\n"
+    "  geonet serve (--graph <file> | --fingerprint <hex32>)\n"
+    "               [--port <n>] [--port-file <file>] [--world-seed <n>]\n"
+    "               (port 0 = ephemeral; the bound port is printed and,\n"
+    "               with --port-file, written there; queries: ping, info,\n"
+    "               density, fd, nearest, within, as, stats, reload,\n"
+    "               shutdown — see docs/serve.md)\n"
     "  geonet perf diff <baseline.json> <current.json> [perf flags]\n"
     "  geonet perf check --baseline-dir <dir> [--current-dir <dir>]\n"
     "                    [perf flags]\n"
@@ -291,10 +303,26 @@ int cmd_cache(const std::vector<std::string>& args,
     }
   } else if (action == "stats") {
     const store::CacheStats stats = cache->stats();
-    std::printf("entries:     %llu\nbytes:       %llu\nquarantined: %llu\n",
-                static_cast<unsigned long long>(stats.entries),
-                static_cast<unsigned long long>(stats.bytes),
-                static_cast<unsigned long long>(stats.quarantined));
+    bool as_json = false;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--json") as_json = true;
+    }
+    if (as_json) {
+      // Machine-readable form (check_serve.py and readiness probes).
+      obs::JsonWriter out;
+      out.begin_object();
+      out.key("entries").value(stats.entries);
+      out.key("bytes").value(stats.bytes);
+      out.key("quarantined").value(stats.quarantined);
+      out.key("dir").value(cache->dir());
+      out.end_object();
+      std::printf("%s\n", out.str().c_str());
+    } else {
+      std::printf("entries:     %llu\nbytes:       %llu\nquarantined: %llu\n",
+                  static_cast<unsigned long long>(stats.entries),
+                  static_cast<unsigned long long>(stats.bytes),
+                  static_cast<unsigned long long>(stats.quarantined));
+    }
     json.key("entries").value(stats.entries);
     json.key("bytes").value(stats.bytes);
     json.key("quarantined").value(stats.quarantined);
@@ -563,6 +591,159 @@ int cmd_scenario(const std::vector<std::string>& args, const GlobalFlags& flags,
   return report.degradation.budget_exhausted ? 1 : 0;
 }
 
+/// `geonet serve`: load one immutable snapshot (a graph file or an
+/// artifact-cache entry by fingerprint), precompute every query table,
+/// then answer density/f(d)/nearest/within/AS-hull queries until stopped
+/// (SIGINT/SIGTERM drain in-flight work; the `reload` verb hot-swaps the
+/// snapshot by fingerprint with zero downtime). See docs/serve.md.
+int cmd_serve(const std::vector<std::string>& args,
+              store::ArtifactCache* cache, obs::RunReport& run_report) {
+  std::string graph_path;
+  std::string fingerprint_hex;
+  std::string port_file;
+  std::uint16_t port = 0;
+  std::uint64_t world_seed = 2002;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto flag_value = [&](const char* name) -> std::optional<std::string> {
+      if (arg != name) return std::nullopt;
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (arg == "--graph") {
+      const auto value = flag_value("--graph");
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "--graph requires a file");
+        return 2;
+      }
+      graph_path = *value;
+    } else if (arg == "--fingerprint") {
+      const auto value = flag_value("--fingerprint");
+      if (!value) {
+        obs::log(obs::LogLevel::kError,
+                 "--fingerprint requires a 32-hex-digit cache key");
+        return 2;
+      }
+      fingerprint_hex = *value;
+    } else if (arg == "--port") {
+      const auto value = flag_value("--port");
+      char* end = nullptr;
+      const unsigned long n =
+          value ? std::strtoul(value->c_str(), &end, 10) : 0;
+      if (!value || end == value->c_str() || *end != '\0' || n > 65535) {
+        obs::log(obs::LogLevel::kError, "--port requires 0..65535");
+        return 2;
+      }
+      port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--port-file") {
+      const auto value = flag_value("--port-file");
+      if (!value) {
+        obs::log(obs::LogLevel::kError, "--port-file requires a path");
+        return 2;
+      }
+      port_file = *value;
+    } else if (arg == "--world-seed") {
+      const auto value = flag_value("--world-seed");
+      char* end = nullptr;
+      const unsigned long long n =
+          value ? std::strtoull(value->c_str(), &end, 10) : 0;
+      if (!value || end == value->c_str() || *end != '\0') {
+        obs::log(obs::LogLevel::kError, "--world-seed requires an integer");
+        return 2;
+      }
+      world_seed = n;
+    } else {
+      obs::log(obs::LogLevel::kError, "serve: unknown argument '%s'",
+               arg.c_str());
+      return usage();
+    }
+  }
+  if (graph_path.empty() == fingerprint_hex.empty()) {
+    obs::log(obs::LogLevel::kError,
+             "serve needs exactly one of --graph <file> or "
+             "--fingerprint <hex32>");
+    return 2;
+  }
+
+  // The same world seed as `analyze` by default, so served density
+  // tables match offline runs over the same graph.
+  const auto world = population::WorldPopulation::build(world_seed);
+  serve::ServeOptions serve_options;
+
+  err::Result<std::shared_ptr<const serve::ServeSnapshot>> snapshot =
+      [&]() -> err::Result<std::shared_ptr<const serve::ServeSnapshot>> {
+    if (!graph_path.empty()) {
+      return serve::ServeSnapshot::from_file(graph_path, world, serve_options);
+    }
+    if (cache == nullptr) {
+      return err::Status::invalid_argument(
+          "--fingerprint needs a cache: pass --cache-dir or set "
+          "GEONET_CACHE_DIR");
+    }
+    const auto key = store::Digest128::parse_hex(fingerprint_hex);
+    if (!key) {
+      return err::Status::invalid_argument(
+          "--fingerprint is not 32 hex digits");
+    }
+    return serve::ServeSnapshot::from_cache(*cache, *key, world,
+                                            serve_options);
+  }();
+  if (!snapshot.is_ok()) {
+    obs::log(obs::LogLevel::kError, "serve: %s",
+             snapshot.status().to_string().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions server_options;
+  server_options.port = port;
+  serve::Server server(server_options, snapshot.value(), cache, &world,
+                       serve_options);
+  const err::Status started = server.start();
+  if (!started.is_ok()) {
+    obs::log(obs::LogLevel::kError, "serve: %s", started.to_string().c_str());
+    return 1;
+  }
+  if (!port_file.empty() &&
+      !store::atomic_write_text(port_file,
+                                std::to_string(server.port()) + "\n")) {
+    obs::log(obs::LogLevel::kError, "serve: cannot write port file %s",
+             port_file.c_str());
+    return 1;
+  }
+  // Flushed immediately so a parent process waiting on the port (tests,
+  // check_serve.py) sees it before the first query.
+  std::printf("serve: listening on %s:%u (epoch %s)\n",
+              server_options.host.c_str(), server.port(),
+              snapshot.value()->epoch().c_str());
+  std::fflush(stdout);
+
+  server.install_signal_handlers();
+  const err::Status ran = server.run();
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("serve: stopped after %llu request(s), %llu error(s), "
+              "%llu reload(s)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(stats.reloads));
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("port").value(static_cast<std::uint64_t>(server.port()));
+  json.key("epoch").value(server.epoch());
+  json.key("requests").value(stats.requests);
+  json.key("errors").value(stats.errors);
+  json.key("batches").value(stats.batches);
+  json.key("reloads").value(stats.reloads);
+  json.key("connections").value(stats.connections);
+  json.end_object();
+  run_report.add_section("serve", json.str());
+  if (!ran.is_ok()) {
+    obs::log(obs::LogLevel::kError, "serve: %s", ran.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 /// `geonet perf diff A B` / `geonet perf check --baseline-dir D`: the
 /// BENCH_*.json regression gate. Exit 0 = within tolerance, 1 = at least
 /// one regression, 2 = usage error or an incomparable record pair
@@ -741,6 +922,8 @@ int main(int argc, char** argv) {
     status = cmd_scenario(args, *flags, cache_ptr, run_report);
   } else if (command == "cache") {
     status = cmd_cache(args, cache_ptr, run_report);
+  } else if (command == "serve") {
+    status = cmd_serve(args, cache_ptr, run_report);
   } else if (command == "perf") {
     status = cmd_perf(args, run_report);
   } else {
